@@ -1,0 +1,98 @@
+// Ablation of the retrieval architecture (paper §3.5): the inverted clique
+// index with Threshold Algorithm merging vs exhaustive merging vs the
+// sequential pre-index scan. Verifies that all three return the same top-k
+// and reports their speeds plus index statistics.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+  bench::Args args = bench::Args::Parse(argc, argv);
+  if (args.objects == 12000) args.objects = 8000;
+
+  std::printf("[ablation_index] generating corpus (%zu objects)...\n",
+              args.objects);
+  corpus::Generator generator(bench::MakeRetrievalConfig(args));
+  const corpus::Corpus corpus = generator.MakeRetrievalCorpus();
+  const eval::TopicOracle oracle(&corpus);
+  const auto queries = bench::EvalQueries(corpus, args);
+
+  index::EngineOptions ta_options;
+  const index::FigRetrievalEngine ta(corpus, ta_options);
+  index::EngineOptions ex_options;
+  ex_options.merge = index::EngineOptions::MergeMode::kExhaustive;
+  const index::FigRetrievalEngine exhaustive(corpus, ex_options);
+
+  std::printf("[ablation_index] index: %zu distinct cliques, %zu postings\n",
+              ta.Index().DistinctCliques(), ta.Index().TotalPostings());
+
+  // ---- Result agreement (top-10 object sets).
+  std::size_t ta_vs_ex = 0, ta_vs_seq = 0, checked = 0;
+  for (corpus::ObjectId q : queries) {
+    const auto a = ta.Search(corpus.Object(q), 10);
+    const auto b = exhaustive.Search(corpus.Object(q), 10);
+    const auto c = ta.SearchSequential(corpus.Object(q), 10);
+    auto ids = [](const std::vector<core::SearchResult>& r) {
+      std::vector<corpus::ObjectId> v;
+      for (const auto& e : r) v.push_back(e.object);
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    if (ids(a) == ids(b)) ++ta_vs_ex;
+    const auto ia = ids(a), ic = ids(c);
+    std::size_t overlap = 0;
+    for (corpus::ObjectId id : ia)
+      if (std::binary_search(ic.begin(), ic.end(), id)) ++overlap;
+    ta_vs_seq += overlap;
+    ++checked;
+  }
+  std::printf(
+      "[ablation_index] TA == exhaustive on %zu/%zu queries; "
+      "TA vs sequential top-10 overlap %.1f%%\n",
+      ta_vs_ex, checked,
+      100.0 * double(ta_vs_seq) / double(checked * 10));
+
+  // ---- Timing.
+  eval::RetrievalEvalOptions eo;
+  eo.cutoffs = {10};
+  eval::Table table("Index ablation: seconds per query",
+                    {"s/query", "P@10"});
+  auto time_method = [&](const std::string& label, auto&& search) {
+    util::Stopwatch watch;
+    double p10 = 0.0;
+    for (corpus::ObjectId q : queries) {
+      const auto results = search(corpus.Object(q));
+      std::size_t hits = 0;
+      std::size_t seen = 0;
+      for (const auto& r : results) {
+        if (r.object == q) continue;
+        if (seen++ >= 10) break;
+        if (oracle.Relevant(corpus.Object(q), r.object)) ++hits;
+      }
+      p10 += double(hits) / 10.0;
+    }
+    const double secs = watch.ElapsedSeconds() / double(queries.size());
+    table.AddRow(label, {secs, p10 / double(queries.size())});
+    std::printf("[ablation_index] %-28s done\n", label.c_str());
+  };
+  time_method("inverted index + TA", [&](const corpus::MediaObject& q) {
+    return ta.Search(q, 11);
+  });
+  time_method("inverted index + exhaustive",
+              [&](const corpus::MediaObject& q) {
+                return exhaustive.Search(q, 11);
+              });
+  time_method("sequential scan", [&](const corpus::MediaObject& q) {
+    return ta.SearchSequential(q, 11);
+  });
+
+  table.Print();
+  if (args.csv) table.PrintCsv(std::cout);
+  return 0;
+}

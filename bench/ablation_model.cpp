@@ -1,0 +1,69 @@
+// Ablations over the FIG model's design choices (DESIGN.md §4):
+//   1. CorS clique weighting (Eq. 9) on/off
+//   2. smoothing trade-off alpha (Eq. 7)
+//   3. clique size cap (max feature nodes per clique)
+//   4. full-model re-scoring stage on/off
+//   5. text correlation-edge threshold
+// Each row reports retrieval Precision@{3,5,10,20} plus seconds/query.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+  bench::Args args = bench::Args::Parse(argc, argv);
+  if (args.objects == 12000) args.objects = 8000;  // ablations run many engines
+
+  std::printf("[ablation_model] generating corpus (%zu objects)...\n",
+              args.objects);
+  corpus::Generator generator(bench::MakeRetrievalConfig(args));
+  const corpus::Corpus corpus = generator.MakeRetrievalCorpus();
+  const eval::TopicOracle oracle(&corpus);
+  const auto queries = bench::EvalQueries(corpus, args);
+
+  eval::Table table("Model ablations (retrieval)",
+                    {"P@3", "P@5", "P@10", "P@20", "s/query"});
+  auto run = [&](const std::string& label, const index::EngineOptions& eo) {
+    const index::FigRetrievalEngine engine(corpus, eo);
+    const auto r = eval::EvaluateRetrieval(engine, corpus, queries, oracle);
+    std::vector<double> row = r.precision;
+    row.push_back(r.seconds_per_query);
+    table.AddRow(label, row);
+    std::printf("[ablation_model] %-24s done\n", label.c_str());
+  };
+
+  run("FIG (default)", index::EngineOptions{});
+
+  {
+    index::EngineOptions eo;
+    eo.mrf.use_cors_weight = false;
+    run("no CorS weight", eo);
+  }
+  for (double alpha : {1.0, 0.7, 0.5}) {
+    index::EngineOptions eo;
+    eo.mrf.alpha = alpha;
+    run("alpha=" + std::to_string(alpha).substr(0, 4), eo);
+  }
+  for (std::size_t cap : {std::size_t(1), std::size_t(2)}) {
+    index::EngineOptions eo;
+    eo.mrf.cliques.max_features = cap;
+    run("cliques<=" + std::to_string(cap) + " features", eo);
+  }
+  {
+    index::EngineOptions eo;
+    eo.rerank_candidates = 0;
+    run("no full-model rerank", eo);
+  }
+  for (double threshold : {0.45, 0.7}) {
+    index::EngineOptions eo;
+    eo.correlations.text_text_threshold = threshold;
+    run("text edge thr=" + std::to_string(threshold).substr(0, 4), eo);
+  }
+
+  table.Print();
+  if (args.csv) table.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "eval/training.hpp"
+
+namespace figdb::bench {
+
+Args Args::Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    auto value = [&](std::string_view prefix) -> long {
+      return std::atol(std::string(a.substr(prefix.size())).c_str());
+    };
+    if (a.rfind("--objects=", 0) == 0) {
+      args.objects = std::size_t(value("--objects="));
+    } else if (a.rfind("--topics=", 0) == 0) {
+      args.topics = std::size_t(value("--topics="));
+    } else if (a.rfind("--users=", 0) == 0) {
+      args.users = std::size_t(value("--users="));
+    } else if (a.rfind("--queries=", 0) == 0) {
+      args.queries = std::size_t(value("--queries="));
+    } else if (a.rfind("--seed=", 0) == 0) {
+      args.seed = std::uint64_t(value("--seed="));
+    } else if (a == "--train-lambda") {
+      args.train_lambda = true;
+    } else if (a == "--paper-scale") {
+      args.paper_scale = true;
+      args.objects = 236600;  // Dret size
+    } else if (a == "--csv") {
+      args.csv = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--objects=N] [--topics=N] [--users=N] "
+                   "[--queries=N] [--seed=N] [--train-lambda] "
+                   "[--paper-scale] [--csv]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+corpus::GeneratorConfig MakeRetrievalConfig(const Args& args) {
+  corpus::GeneratorConfig config;
+  config.num_objects = args.objects;
+  // Auto-scaling keeps corpus *density* constant: a larger crawl covers
+  // more of the site's topical diversity (objects/topic ~ 150) and more of
+  // its user base (objects/user ~ 2.4), instead of packing more near-
+  // duplicates into a fixed concept space.
+  config.num_topics = args.topics != 0
+                          ? args.topics
+                          : std::max<std::size_t>(20, args.objects / 150);
+  config.num_users = args.users != 0
+                         ? args.users
+                         : std::max<std::size_t>(500, args.objects * 5 / 12);
+  config.seed = args.seed;
+  // Noise levels tuned so no method saturates: heavy generic-tag noise,
+  // moderate user affinity, wide visual semantic gap.
+  config.mean_tags_per_object = 5.0;
+  config.tags_per_topic = 45;
+  config.generic_tag_probability = 0.4;
+  config.cluster_focus = 0.7;
+  config.user_topic_affinity = 0.55;
+  config.mean_interests_per_user = 4.0;
+  config.visual_topic_purity = 0.24;
+  config.visual_words = 1022;  // paper's visual vocabulary size
+  return config;
+}
+
+corpus::GeneratorConfig MakeRecommendationConfig(const Args& args) {
+  corpus::GeneratorConfig config = MakeRetrievalConfig(args);
+  config.seed = args.seed ^ 0xd6ecULL;
+  // Recommendation is user-oriented (paper §5.3.1): favouriter communities
+  // are the strongest signal for what a user will favourite next, so the
+  // Drec analogue has tighter user-topic affinity than Dret.
+  config.user_topic_affinity = 0.68;
+  config.mean_interests_per_user = 3.0;
+  config.mean_favoriters_per_object = 8.0;
+  // Tags on favourited content are less noisy than on the open crawl, but
+  // the user signal stays the strongest (the paper's §5.3.1 observation).
+  config.generic_tag_probability = 0.33;
+  config.mean_tags_per_object = 5.0;
+  // No intra-topic facet structure: a favourites profile spans the user's
+  // whole interest, so facet-level tag sparsity would only blur the
+  // temporal signal Fig. 10/11 measure.
+  config.active_clusters_per_object = 0;
+  // Favourited content is visually more coherent than the open crawl.
+  config.visual_topic_purity = 0.35;
+  config.visual_window_overlap = 1.5;
+  return config;
+}
+
+std::vector<const core::Retriever*> MethodSuite::InFigureOrder() const {
+  return {fig.get(), rb.get(), tp.get(), lsa.get()};
+}
+
+MethodSuite BuildMethods(const corpus::Corpus& corpus, const Args& args,
+                         const eval::TopicOracle& oracle,
+                         const std::vector<corpus::ObjectId>& train_queries) {
+  MethodSuite suite;
+  suite.fig = std::make_unique<index::FigRetrievalEngine>(
+      corpus, index::EngineOptions{});
+  if (args.train_lambda) {
+    eval::LambdaTrainingOptions options;
+    options.sweeps = 1;
+    const auto lambda =
+        eval::TrainEngineLambda(suite.fig.get(), train_queries, oracle,
+                                options);
+    std::printf("[bench] trained lambda = {%.2f, %.2f, %.2f}\n", lambda[0],
+                lambda[1], lambda[2]);
+  }
+  suite.vectors = std::make_shared<baselines::TypedVectors>(
+      baselines::TypedVectors::Build(corpus));
+  suite.lsa = std::make_unique<baselines::LsaRetriever>(
+      corpus, baselines::LsaOptions{.rank = 16});
+  suite.tp = std::make_unique<baselines::TensorProductRetriever>(
+      corpus, suite.vectors, suite.fig->Matrix());
+  // RankBoost's per-modality rankers are IDF-weighted cosines; the TP
+  // kernel deliberately keeps raw frequencies (see TypedVectorsOptions).
+  auto weighted = std::make_shared<baselines::TypedVectors>(
+      baselines::TypedVectors::Build(corpus, {.use_idf = true},
+                                     suite.fig->Matrix().get()));
+  suite.rb = std::make_unique<baselines::RankBoostRetriever>(
+      corpus, weighted, suite.fig->Matrix());
+  suite.rb->Train(
+      eval::MakeRankBoostQueries(corpus, train_queries, oracle));
+  std::printf("[bench] rankboost weights = {%.2f, %.2f, %.2f}\n",
+              suite.rb->Weights()[0], suite.rb->Weights()[1],
+              suite.rb->Weights()[2]);
+  return suite;
+}
+
+std::vector<corpus::ObjectId> EvalQueries(const corpus::Corpus& corpus,
+                                          const Args& args) {
+  // Draw train first with the shifted seed, then evaluation queries from
+  // the remaining objects so the two sets never overlap.
+  const auto train = TrainQueries(corpus, args);
+  auto pool = eval::SampleQueries(corpus, args.queries + train.size(),
+                                  args.seed + 1);
+  std::vector<corpus::ObjectId> out;
+  for (corpus::ObjectId id : pool) {
+    if (std::find(train.begin(), train.end(), id) == train.end())
+      out.push_back(id);
+    if (out.size() == args.queries) break;
+  }
+  return out;
+}
+
+std::vector<corpus::ObjectId> TrainQueries(const corpus::Corpus& corpus,
+                                           const Args& args) {
+  return eval::SampleQueries(corpus, args.train_queries, args.seed + 7);
+}
+
+}  // namespace figdb::bench

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/feature_vectors.hpp"
+#include "baselines/lsa.hpp"
+#include "baselines/rankboost.hpp"
+#include "baselines/tensor_product.hpp"
+#include "corpus/generator.hpp"
+#include "eval/harness.hpp"
+#include "eval/oracle.hpp"
+#include "index/retrieval_engine.hpp"
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the per-figure benchmark binaries: command-line
+/// parsing, the standard evaluation corpus configuration, and a method
+/// factory that assembles FIG + the three baselines over one corpus.
+
+namespace figdb::bench {
+
+struct Args {
+  /// Database size. The paper's Dret has 236,600 objects; the default here
+  /// is laptop-scale. Pass --objects=N (or --paper-scale) to grow it;
+  /// topics and users auto-scale with it (constant corpus density) unless
+  /// pinned explicitly.
+  std::size_t objects = 6000;
+  std::size_t topics = 0;  // 0 = objects / 150
+  std::size_t users = 0;   // 0 = objects * 5 / 12
+  std::size_t queries = 20;  // as in the paper (§5.1.4)
+  std::size_t train_queries = 8;
+  std::uint64_t seed = 20100611;
+  bool train_lambda = false;
+  bool paper_scale = false;
+  bool csv = false;
+
+  static Args Parse(int argc, char** argv);
+};
+
+/// The evaluation corpus configuration. Noise knobs are tuned so the
+/// synthetic task is hard enough that the paper's method ordering can show
+/// (nothing saturates at precision 1.0).
+corpus::GeneratorConfig MakeRetrievalConfig(const Args& args);
+
+/// Same corpus generator settings for the recommendation datasets.
+corpus::GeneratorConfig MakeRecommendationConfig(const Args& args);
+
+/// Everything the retrieval figures need, built once per corpus.
+struct MethodSuite {
+  std::unique_ptr<index::FigRetrievalEngine> fig;
+  std::unique_ptr<baselines::LsaRetriever> lsa;
+  std::unique_ptr<baselines::TensorProductRetriever> tp;
+  std::unique_ptr<baselines::RankBoostRetriever> rb;
+  std::shared_ptr<baselines::TypedVectors> vectors;
+
+  /// In figure order: FIG, RB, TP, LSA.
+  std::vector<const core::Retriever*> InFigureOrder() const;
+};
+
+/// Builds all four methods; trains RankBoost (and optionally λ) on
+/// training queries disjoint from the evaluation queries.
+MethodSuite BuildMethods(const corpus::Corpus& corpus, const Args& args,
+                         const eval::TopicOracle& oracle,
+                         const std::vector<corpus::ObjectId>& train_queries);
+
+/// Evaluation queries (disjoint from training queries by seed offset).
+std::vector<corpus::ObjectId> EvalQueries(const corpus::Corpus& corpus,
+                                          const Args& args);
+std::vector<corpus::ObjectId> TrainQueries(const corpus::Corpus& corpus,
+                                           const Args& args);
+
+}  // namespace figdb::bench

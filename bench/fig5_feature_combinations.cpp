@@ -1,0 +1,52 @@
+// Reproduces paper Figure 5: retrieval Precision@{3,5,10,20} of the FIG
+// model restricted to individual feature modalities and their pairwise
+// combinations.
+//
+// Expected shape (paper §5.2.1): Visual worst (semantic gap); Text slightly
+// above User; every pairwise combination above its singles; the full
+// three-modality FIG best overall.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+  const bench::Args args = bench::Args::Parse(argc, argv);
+
+  std::printf("[fig5] generating corpus (%zu objects)...\n", args.objects);
+  corpus::Generator generator(bench::MakeRetrievalConfig(args));
+  const corpus::Corpus corpus = generator.MakeRetrievalCorpus();
+  const eval::TopicOracle oracle(&corpus);
+  const auto queries = bench::EvalQueries(corpus, args);
+
+  struct Combination {
+    const char* label;
+    std::uint32_t mask;
+  };
+  const Combination combos[] = {
+      {"Visual", core::kVisualMask},
+      {"Text", core::kTextMask},
+      {"User", core::kUserMask},
+      {"Visual+Text", core::kVisualMask | core::kTextMask},
+      {"Visual+User", core::kVisualMask | core::kUserMask},
+      {"Text+User", core::kTextMask | core::kUserMask},
+      {"FIG", core::kAllFeatures},
+  };
+
+  eval::Table table("Figure 5: Retrieval Precision@N by feature combination",
+                    {"P@3", "P@5", "P@10", "P@20"});
+  for (const Combination& combo : combos) {
+    index::EngineOptions options;
+    options.type_mask = combo.mask;
+    const index::FigRetrievalEngine engine(corpus, options);
+    const auto r = eval::EvaluateRetrieval(engine, corpus, queries, oracle);
+    table.AddRow(combo.label, r.precision);
+    std::printf("[fig5] %-12s done\n", combo.label);
+  }
+  table.Print();
+  if (args.csv) table.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces paper Figure 7: retrieval Precision@{3,5,10,20} for FIG
+// against the RB (RankBoost late fusion), TP (tensor product) and LSA
+// baselines on the synthetic Dret-analogue corpus.
+//
+// Expected shape: FIG best at every cutoff; RB comparable to LSA and above
+// TP (paper §5.2.2).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+  const bench::Args args = bench::Args::Parse(argc, argv);
+
+  std::printf("[fig7] generating corpus (%zu objects)...\n", args.objects);
+  corpus::Generator generator(bench::MakeRetrievalConfig(args));
+  const corpus::Corpus corpus = generator.MakeRetrievalCorpus();
+  const eval::TopicOracle oracle(&corpus);
+  const auto train = bench::TrainQueries(corpus, args);
+  const auto queries = bench::EvalQueries(corpus, args);
+
+  std::printf("[fig7] building methods (FIG index + baselines)...\n");
+  const bench::MethodSuite suite =
+      bench::BuildMethods(corpus, args, oracle, train);
+
+  eval::Table table("Figure 7: Retrieval Precision@N (FIG vs RB, TP, LSA)",
+                    {"P@3", "P@5", "P@10", "P@20"});
+  for (const core::Retriever* method : suite.InFigureOrder()) {
+    const auto r = eval::EvaluateRetrieval(*method, corpus, queries, oracle);
+    table.AddRow(method->Name(), r.precision);
+    std::printf("[fig7] %-4s done (%.3fs/query)\n", method->Name().c_str(),
+                r.seconds_per_query);
+  }
+  table.Print();
+  if (args.csv) table.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Figure 8: retrieval Precision@10 of FIG, RB, TP and LSA
+// as the database grows (50K -> 236K in the paper; prefix fractions of the
+// generated corpus here).
+//
+// Expected shape: precision grows with database size for every method (a
+// larger corpus holds more well-matched objects), FIG on top throughout.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+  const bench::Args args = bench::Args::Parse(argc, argv);
+
+  std::printf("[fig8] generating corpus (%zu objects)...\n", args.objects);
+  corpus::Generator generator(bench::MakeRetrievalConfig(args));
+  const corpus::Corpus full = generator.MakeRetrievalCorpus();
+
+  const double fractions[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  std::vector<std::string> columns;
+  for (double f : fractions) {
+    columns.push_back(
+        std::to_string(std::size_t(f * double(args.objects)) / 1000) + "K");
+  }
+  eval::Table table("Figure 8: Precision@10 vs database size", columns);
+
+  // One row per method; evaluated size by size so each prefix gets its own
+  // engines and statistics (the paper rebuilds per size too).
+  std::vector<std::vector<double>> rows(4);
+  std::vector<std::string> names;
+  for (double fraction : fractions) {
+    const std::size_t n = std::size_t(fraction * double(args.objects));
+    const corpus::Corpus prefix = full.Prefix(n);
+    const eval::TopicOracle oracle(&prefix);
+    // Queries must come from within the prefix so every size answers the
+    // same kind of workload.
+    bench::Args sized = args;
+    const auto train = bench::TrainQueries(prefix, sized);
+    const auto queries = bench::EvalQueries(prefix, sized);
+    const bench::MethodSuite suite =
+        bench::BuildMethods(prefix, sized, oracle, train);
+    eval::RetrievalEvalOptions eo;
+    eo.cutoffs = {10};
+    names.clear();
+    std::size_t m = 0;
+    for (const core::Retriever* method : suite.InFigureOrder()) {
+      const auto r = eval::EvaluateRetrieval(*method, prefix, queries,
+                                             oracle, eo);
+      rows[m++].push_back(r.precision[0]);
+      names.push_back(method->Name());
+    }
+    std::printf("[fig8] size %zu done\n", n);
+  }
+  for (std::size_t m = 0; m < rows.size(); ++m)
+    table.AddRow(names[m], rows[m]);
+  table.Print();
+  if (args.csv) table.PrintCsv(std::cout);
+  return 0;
+}

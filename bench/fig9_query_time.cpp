@@ -1,0 +1,63 @@
+// Reproduces paper Figure 9: wall-clock time per query of FIG, RB, TP and
+// LSA as the database grows.
+//
+// Expected shape: per-query time grows with database size; the early-fusion
+// baselines (TP, LSA) are fastest (LSA queries are one dense scan of the
+// unified latent space), RB pays for per-modality rank merging, and FIG is
+// the slowest — the paper's stated trade-off for its richer model — while
+// staying within the same order of magnitude.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+  const bench::Args args = bench::Args::Parse(argc, argv);
+
+  std::printf("[fig9] generating corpus (%zu objects)...\n", args.objects);
+  corpus::Generator generator(bench::MakeRetrievalConfig(args));
+  const corpus::Corpus full = generator.MakeRetrievalCorpus();
+
+  const double fractions[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  std::vector<std::string> columns;
+  for (double f : fractions) {
+    columns.push_back(
+        std::to_string(std::size_t(f * double(args.objects)) / 1000) + "K");
+  }
+  eval::Table table("Figure 9: seconds per query vs database size", columns);
+
+  std::vector<std::vector<double>> rows(4);
+  std::vector<std::string> names;
+  for (double fraction : fractions) {
+    const std::size_t n = std::size_t(fraction * double(args.objects));
+    const corpus::Corpus prefix = full.Prefix(n);
+    const eval::TopicOracle oracle(&prefix);
+    bench::Args sized = args;
+    const auto train = bench::TrainQueries(prefix, sized);
+    const auto queries = bench::EvalQueries(prefix, sized);
+    const bench::MethodSuite suite =
+        bench::BuildMethods(prefix, sized, oracle, train);
+    eval::RetrievalEvalOptions eo;
+    eo.cutoffs = {10};
+    names.clear();
+    std::size_t m = 0;
+    for (const core::Retriever* method : suite.InFigureOrder()) {
+      // Warm-up pass (correlation caches), then the timed pass — the paper
+      // measures steady-state query latency on a preprocessed database.
+      eval::EvaluateRetrieval(*method, prefix, queries, oracle, eo);
+      const auto r = eval::EvaluateRetrieval(*method, prefix, queries,
+                                             oracle, eo);
+      rows[m++].push_back(r.seconds_per_query);
+      names.push_back(method->Name());
+    }
+    std::printf("[fig9] size %zu done\n", n);
+  }
+  for (std::size_t m = 0; m < rows.size(); ++m)
+    table.AddRow(names[m], rows[m]);
+  table.Print();
+  if (args.csv) table.PrintCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,188 @@
+// google-benchmark microbenchmarks for the performance-critical components:
+// k-means clustering, block feature extraction, clique enumeration, CorS
+// computation, correlation lookups, Threshold-Algorithm merging, sparse
+// vector algebra and the Porter stemmer.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/clique.hpp"
+#include "core/fig.hpp"
+#include "corpus/generator.hpp"
+#include "index/threshold_algorithm.hpp"
+#include "stats/cors.hpp"
+#include "text/porter_stemmer.hpp"
+#include "util/rng.hpp"
+#include "util/sparse_vector.hpp"
+#include "vision/block_features.hpp"
+#include "vision/image_synth.hpp"
+#include "vision/kmeans.hpp"
+
+namespace figdb {
+namespace {
+
+// Shared small corpus + engine-side statistics, built once.
+struct MicroFixture {
+  corpus::Corpus corpus;
+  std::shared_ptr<stats::FeatureMatrix> matrix;
+  std::shared_ptr<stats::CorrelationModel> correlations;
+  std::shared_ptr<stats::CorSCalculator> cors;
+
+  MicroFixture() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 3000;
+    config.num_topics = 20;
+    config.num_users = 1000;
+    config.visual_words = 256;
+    config.seed = 99;
+    corpus = corpus::Generator(config).MakeRetrievalCorpus();
+    matrix = std::make_shared<stats::FeatureMatrix>(
+        stats::FeatureMatrix::Build(corpus));
+    correlations = std::make_shared<stats::CorrelationModel>(
+        corpus.SharedContext(), matrix);
+    cors = std::make_shared<stats::CorSCalculator>(matrix);
+  }
+};
+
+MicroFixture& Fixture() {
+  static MicroFixture fixture;
+  return fixture;
+}
+
+void BM_KMeans(benchmark::State& state) {
+  util::Rng rng(1);
+  const std::size_t n = std::size_t(state.range(0));
+  std::vector<float> data(n * 16);
+  for (auto& x : data) x = float(rng.Gaussian());
+  for (auto _ : state) {
+    auto result =
+        vision::KMeans(data, 16, {.k = 64, .max_iterations = 5, .seed = 3});
+    benchmark::DoNotOptimize(result.inertia);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeans)->Arg(1000)->Arg(4000);
+
+void BM_BlockFeatureExtraction(benchmark::State& state) {
+  vision::Synthesizer synth(8, {});
+  util::Rng rng(2);
+  const vision::Image img = synth.Render(
+      std::vector<double>(8, 0.125), &rng);
+  vision::BlockFeatureExtractor extractor;
+  for (auto _ : state) {
+    auto descriptors = extractor.Extract(img);
+    benchmark::DoNotOptimize(descriptors.data());
+  }
+}
+BENCHMARK(BM_BlockFeatureExtraction);
+
+void BM_FigBuild(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  for (auto _ : state) {
+    const auto fig = core::FeatureInteractionGraph::Build(
+        f.corpus.Object(7), *f.correlations);
+    benchmark::DoNotOptimize(fig.NodeCount());
+  }
+}
+BENCHMARK(BM_FigBuild);
+
+void BM_CliqueEnumeration(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  const auto fig = core::FeatureInteractionGraph::Build(
+      f.corpus.Object(7), *f.correlations);
+  for (auto _ : state) {
+    auto cliques = core::EnumerateCliques(
+        fig, {.max_features = std::size_t(state.range(0))});
+    benchmark::DoNotOptimize(cliques.size());
+  }
+}
+BENCHMARK(BM_CliqueEnumeration)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_CorSPair(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  const auto& obj = f.corpus.Object(11);
+  std::vector<corpus::FeatureKey> pair = {obj.features[0].feature,
+                                          obj.features[1].feature};
+  for (auto _ : state) {
+    // Fresh calculator per iteration batch would defeat the memo; this
+    // measures the memoised steady state, matching engine behaviour.
+    benchmark::DoNotOptimize(f.cors->Compute(pair));
+  }
+}
+BENCHMARK(BM_CorSPair);
+
+void BM_CorSTripleUncached(benchmark::State& state) {
+  MicroFixture& f = Fixture();
+  const auto& obj = f.corpus.Object(11);
+  for (auto _ : state) {
+    stats::CorSCalculator fresh(f.matrix);
+    benchmark::DoNotOptimize(
+        fresh.Compute({obj.features[0].feature, obj.features[1].feature,
+                       obj.features[2].feature}));
+  }
+}
+BENCHMARK(BM_CorSTripleUncached);
+
+void BM_ThresholdMerge(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<index::ScoredList> lists(std::size_t(state.range(0)));
+  for (auto& list : lists) {
+    for (int i = 0; i < 500; ++i) {
+      list.entries.push_back({corpus::ObjectId(rng.UniformInt(2000)),
+                              rng.UniformReal()});
+    }
+  }
+  for (auto _ : state) {
+    auto lists_copy = lists;
+    auto result = index::ThresholdMerge(std::move(lists_copy), 10);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_ThresholdMerge)->Arg(8)->Arg(64);
+
+void BM_ExhaustiveMerge(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<index::ScoredList> lists(std::size_t(state.range(0)));
+  for (auto& list : lists) {
+    for (int i = 0; i < 500; ++i) {
+      list.entries.push_back({corpus::ObjectId(rng.UniformInt(2000)),
+                              rng.UniformReal()});
+    }
+  }
+  for (auto _ : state) {
+    auto result = index::ExhaustiveMerge(lists, 10);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_ExhaustiveMerge)->Arg(8)->Arg(64);
+
+void BM_SparseCosine(benchmark::State& state) {
+  util::Rng rng(6);
+  util::SparseVector a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.Add(std::uint32_t(rng.UniformInt(5000)), float(rng.UniformReal()));
+    b.Add(std::uint32_t(rng.UniformInt(5000)), float(rng.UniformReal()));
+  }
+  a.Finalize();
+  b.Finalize();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(util::SparseVector::Cosine(a, b));
+}
+BENCHMARK(BM_SparseCosine);
+
+void BM_PorterStemmer(benchmark::State& state) {
+  text::PorterStemmer stemmer;
+  static const char* kWords[] = {"relational", "hopefulness", "motoring",
+                                 "adjustable", "conflated", "caresses"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stemmer.Stem(kWords[i++ % 6]));
+  }
+}
+BENCHMARK(BM_PorterStemmer);
+
+}  // namespace
+}  // namespace figdb
+
+BENCHMARK_MAIN();

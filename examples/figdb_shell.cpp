@@ -1,0 +1,206 @@
+// Interactive shell over a figdb database: generate or load a corpus, save
+// snapshots, run tag/user queries through QueryBuilder, find neighbours of
+// database objects and inspect them. Exercises the full public API the way
+// a downstream integrator would.
+//
+//   ./build/examples/figdb_shell
+//   figdb> gen 3000
+//   figdb> query sunset beach
+//   figdb> similar 42
+//   figdb> save /tmp/db.figdb
+//
+// Also usable non-interactively:  echo "gen 500\nstats" | figdb_shell
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "corpus/query_builder.hpp"
+#include "index/retrieval_engine.hpp"
+#include "index/storage.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace figdb;
+
+struct Shell {
+  std::optional<corpus::Corpus> db;
+  std::unique_ptr<index::FigRetrievalEngine> engine;
+
+  bool Ready() const { return db.has_value() && engine != nullptr; }
+
+  void RebuildEngine() {
+    util::Stopwatch watch;
+    engine = std::make_unique<index::FigRetrievalEngine>(
+        *db, index::EngineOptions{});
+    std::printf("engine ready in %.2fs (%zu cliques indexed)\n",
+                watch.ElapsedSeconds(), engine->Index().DistinctCliques());
+  }
+
+  void Generate(std::size_t n) {
+    corpus::GeneratorConfig config;
+    config.num_objects = n;
+    config.num_topics = std::max<std::size_t>(10, n / 150);
+    config.num_users = std::max<std::size_t>(100, n * 5 / 12);
+    std::printf("generating %zu objects (%zu topics, %zu users)...\n",
+                config.num_objects, config.num_topics, config.num_users);
+    db = corpus::Generator(config).MakeRetrievalCorpus();
+    RebuildEngine();
+  }
+
+  void Stats() const {
+    const corpus::Context& ctx = db->GetContext();
+    std::printf("objects: %zu | tags: %zu | visual words: %zu | users: %zu "
+                "| index cliques: %zu (%zu postings)\n",
+                db->Size(), ctx.vocabulary.Size(),
+                ctx.visual_vocabulary.WordCount(),
+                ctx.user_graph.UserCount(),
+                engine->Index().DistinctCliques(),
+                engine->Index().TotalPostings());
+  }
+
+  void PrintResults(const std::vector<core::SearchResult>& results,
+                    corpus::ObjectId skip) const {
+    for (const auto& r : results) {
+      if (r.object == skip) continue;
+      const auto& obj = db->Object(r.object);
+      std::printf("  #%-6u score=%.5f topic=%-3u tags:", r.object, r.score,
+                  obj.topic);
+      int shown = 0;
+      for (const auto& f : obj.features) {
+        if (corpus::TypeOf(f.feature) == corpus::FeatureType::kText &&
+            shown++ < 5) {
+          std::printf(
+              " %s",
+              db->GetContext().DescribeFeature(f.feature).c_str() + 4);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  void Query(const std::string& text) {
+    corpus::QueryBuilder builder(db->SharedContext());
+    const corpus::MediaObject q = builder.AddText(text).Build();
+    if (q.features.empty()) {
+      std::printf("no query tags matched the vocabulary\n");
+      return;
+    }
+    util::Stopwatch watch;
+    const auto results = engine->Search(q, 8);
+    std::printf("%zu results in %.1f ms\n", results.size(),
+                watch.ElapsedMillis());
+    PrintResults(results, corpus::kInvalidObject);
+  }
+
+  void Similar(corpus::ObjectId id) {
+    if (id >= db->Size()) {
+      std::printf("no object #%u (database has %zu)\n", id, db->Size());
+      return;
+    }
+    util::Stopwatch watch;
+    const auto results = engine->Search(db->Object(id), 9);
+    std::printf("neighbours of #%u in %.1f ms\n", id, watch.ElapsedMillis());
+    PrintResults(results, id);
+  }
+
+  void Show(corpus::ObjectId id) const {
+    if (id >= db->Size()) {
+      std::printf("no object #%u\n", id);
+      return;
+    }
+    const auto& obj = db->Object(id);
+    std::printf("object #%u  topic=%u  month=%u  |O|=%u\n", obj.id,
+                obj.topic, obj.month, obj.TotalFrequency());
+    for (const auto& f : obj.features)
+      std::printf("  %-24s x%u\n",
+                  db->GetContext().DescribeFeature(f.feature).c_str(),
+                  f.frequency);
+  }
+};
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  gen <n>           generate a synthetic database of n objects\n"
+      "  load <path>       load a snapshot (see 'save')\n"
+      "  save <path>       save the database to a binary snapshot\n"
+      "  stats             database and index statistics\n"
+      "  query <tags...>   free-text tag search (QueryBuilder pipeline)\n"
+      "  similar <id>      FIG neighbours of a database object\n"
+      "  show <id>         dump one object's features\n"
+      "  quit\n");
+}
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::printf("figdb shell — 'help' for commands, 'gen 2000' to start\n");
+  std::string line;
+  while (std::printf("figdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      Help();
+      continue;
+    }
+    if (cmd == "gen") {
+      std::size_t n = 2000;
+      in >> n;
+      shell.Generate(std::max<std::size_t>(50, n));
+      continue;
+    }
+    if (cmd == "load") {
+      std::string path;
+      in >> path;
+      auto loaded = index::LoadCorpus(path);
+      if (!loaded) {
+        std::printf("could not load '%s'\n", path.c_str());
+        continue;
+      }
+      shell.db = std::move(*loaded);
+      shell.RebuildEngine();
+      std::printf("loaded %zu objects\n", shell.db->Size());
+      continue;
+    }
+    if (!shell.Ready()) {
+      std::printf("no database yet — use 'gen <n>' or 'load <path>'\n");
+      continue;
+    }
+    if (cmd == "save") {
+      std::string path;
+      in >> path;
+      std::printf(index::SaveCorpus(*shell.db, path) ? "saved to %s\n"
+                                                     : "save FAILED: %s\n",
+                  path.c_str());
+    } else if (cmd == "stats") {
+      shell.Stats();
+    } else if (cmd == "query") {
+      std::string rest;
+      std::getline(in, rest);
+      shell.Query(rest);
+    } else if (cmd == "similar") {
+      corpus::ObjectId id = 0;
+      in >> id;
+      shell.Similar(id);
+    } else if (cmd == "show") {
+      corpus::ObjectId id = 0;
+      in >> id;
+      shell.Show(id);
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

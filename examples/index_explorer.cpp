@@ -1,0 +1,89 @@
+// Inspect the training/preprocessing stage of paper Fig. 3: feature
+// statistics, correlation-edge counts per relation kind, the FIG of one
+// object, and the inverted clique index.
+//
+//   ./build/examples/index_explorer [num_objects]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/clique.hpp"
+#include "core/fig.hpp"
+#include "corpus/generator.hpp"
+#include "index/retrieval_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+
+  corpus::GeneratorConfig config;
+  config.num_objects = argc > 1 ? std::size_t(std::atol(argv[1])) : 4000;
+  config.num_topics = 25;
+  config.num_users = 1200;
+
+  std::printf("Preprocessing a %zu-object database...\n", config.num_objects);
+  corpus::Generator generator(config);
+  const corpus::Corpus db = generator.MakeRetrievalCorpus();
+  const corpus::Context& ctx = db.GetContext();
+  index::FigRetrievalEngine engine(db, index::EngineOptions{});
+
+  std::printf("\n=== Feature space ===\n");
+  std::printf("  tag vocabulary     : %zu (after min-frequency pruning)\n",
+              ctx.vocabulary.Size());
+  std::printf("  visual vocabulary  : %zu words\n",
+              ctx.visual_vocabulary.WordCount());
+  std::printf("  users / groups     : %zu / %zu\n",
+              ctx.user_graph.UserCount(), ctx.user_graph.GroupCount());
+  std::printf("  taxonomy nodes     : %zu\n", ctx.taxonomy.NodeCount());
+  std::printf("  distinct features  : %zu\n",
+              engine.Matrix()->NumFeatures());
+
+  std::printf("\n=== One object's Feature Interaction Graph ===\n");
+  const corpus::MediaObject& obj = db.Object(17);
+  const auto fig = core::FeatureInteractionGraph::Build(
+      obj, *engine.Correlations());
+  std::printf("  object #%u: %zu feature nodes, %zu correlation edges\n",
+              obj.id, fig.NodeCount(), fig.EdgeCount());
+  std::size_t intra = 0, inter = 0;
+  for (std::size_t i = 0; i < fig.NodeCount(); ++i) {
+    for (std::size_t j = i + 1; j < fig.NodeCount(); ++j) {
+      if (!fig.HasEdge(i, j)) continue;
+      if (corpus::TypeOf(fig.Node(i).feature) ==
+          corpus::TypeOf(fig.Node(j).feature)) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  std::printf("  intra-type edges: %zu, inter-type edges: %zu\n", intra,
+              inter);
+  const auto cliques =
+      core::EnumerateCliques(fig, {.max_features = 3, .max_cliques = 4096});
+  std::size_t by_size[4] = {0, 0, 0, 0};
+  for (const auto& c : cliques)
+    ++by_size[std::min<std::size_t>(c.features.size(), 3)];
+  std::printf("  cliques: %zu singleton, %zu pairs, %zu triangles\n",
+              by_size[1], by_size[2], by_size[3]);
+  std::printf("  sample edges:\n");
+  int shown = 0;
+  for (std::size_t i = 0; i < fig.NodeCount() && shown < 5; ++i) {
+    for (std::size_t j = i + 1; j < fig.NodeCount() && shown < 5; ++j) {
+      if (!fig.HasEdge(i, j)) continue;
+      const auto a = fig.Node(i).feature;
+      const auto b = fig.Node(j).feature;
+      std::printf("    %-22s -- %-22s Cor=%.3f\n",
+                  ctx.DescribeFeature(a).c_str(),
+                  ctx.DescribeFeature(b).c_str(),
+                  engine.Correlations()->Cor(a, b));
+      ++shown;
+    }
+  }
+
+  std::printf("\n=== Inverted clique index ===\n");
+  std::printf("  distinct cliques : %zu\n",
+              engine.Index().DistinctCliques());
+  std::printf("  total postings   : %zu\n", engine.Index().TotalPostings());
+  std::printf("  postings/object  : %.1f\n",
+              double(engine.Index().TotalPostings()) / double(db.Size()));
+  return 0;
+}

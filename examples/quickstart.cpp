@@ -1,0 +1,62 @@
+// Quickstart: generate a small synthetic social-media corpus, build the FIG
+// retrieval engine, and run one similarity query end-to-end.
+//
+//   ./build/examples/quickstart [num_objects]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "corpus/generator.hpp"
+#include "eval/oracle.hpp"
+#include "index/retrieval_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+
+  corpus::GeneratorConfig config;
+  config.num_objects = argc > 1 ? std::atoi(argv[1]) : 2000;
+  config.num_topics = 20;
+  config.num_users = 800;
+
+  std::printf("Generating %zu synthetic social-media objects...\n",
+              config.num_objects);
+  corpus::Generator generator(config);
+  const corpus::Corpus db = generator.MakeRetrievalCorpus();
+  std::printf("  vocabulary: %zu tags, %zu visual words, %zu users\n",
+              db.GetContext().vocabulary.Size(),
+              db.GetContext().visual_vocabulary.WordCount(),
+              db.GetContext().user_graph.UserCount());
+
+  std::printf("Building the FIG retrieval engine (correlation tables + "
+              "inverted clique index)...\n");
+  index::FigRetrievalEngine engine(db, index::EngineOptions{});
+  std::printf("  index: %zu distinct cliques, %zu postings\n",
+              engine.Index().DistinctCliques(),
+              engine.Index().TotalPostings());
+
+  const corpus::MediaObject& query = db.Object(7);
+  std::printf("\nQuery object #%u (topic %u):\n", query.id, query.topic);
+  for (const auto& f : query.features) {
+    if (corpus::TypeOf(f.feature) == corpus::FeatureType::kText)
+      std::printf("  %s\n", db.GetContext().DescribeFeature(f.feature).c_str());
+  }
+
+  const auto results = engine.Search(query, 6);
+  std::printf("\nTop results:\n");
+  for (const auto& r : results) {
+    if (r.object == query.id) continue;  // the query itself
+    const auto& obj = db.Object(r.object);
+    std::printf("  #%-6u score=%.5f topic=%-3u tags:", r.object, r.score,
+                obj.topic);
+    int shown = 0;
+    for (const auto& f : obj.features) {
+      if (corpus::TypeOf(f.feature) == corpus::FeatureType::kText &&
+          shown++ < 4) {
+        std::printf(" %s",
+                    db.GetContext().DescribeFeature(f.feature).c_str());
+      }
+    }
+    std::printf("%s\n", obj.topic == query.topic ? "   [relevant]" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Recommendation demo (paper §4): build a user's profile FIG from their
+// favourite history, then rank this month's new uploads with and without
+// temporal decay (FIG vs FIG-T) and show how the feeds differ.
+//
+//   ./build/examples/recommendation_feed [num_objects]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "corpus/generator.hpp"
+#include "index/retrieval_engine.hpp"
+#include "recsys/recommender.hpp"
+#include "recsys/user_profile.hpp"
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+
+  corpus::GeneratorConfig config;
+  config.num_objects = argc > 1 ? std::size_t(std::atol(argv[1])) : 6000;
+  config.num_topics = 25;
+  config.num_users = 1500;
+  corpus::RecommendationConfig rc;
+  rc.num_profile_users = 8;
+  rc.mean_favorites_per_month = 60.0;  // a heavy favouriter, so the demo
+                                       // feed visibly intersects the truth
+
+  std::printf("Generating a recommendation dataset (%zu objects)...\n",
+              config.num_objects);
+  corpus::Generator generator(config);
+  const corpus::RecommendationDataset ds =
+      generator.MakeRecommendationDataset(rc);
+  std::printf("  %zu users with favourite histories, %zu candidate "
+              "objects in the evaluation window\n",
+              ds.users.size(), ds.candidates.size());
+
+  index::EngineOptions eo;
+  eo.build_index = false;  // recommendation ranks a candidate list directly
+  const index::FigRetrievalEngine engine(ds.corpus, eo);
+  const recsys::ProfileBuilder builder(engine.Correlations());
+  const std::uint16_t now = std::uint16_t(config.num_months - 1);
+
+  // Demo with the user who has the densest held-out truth.
+  const corpus::RecommendationUser* best = &ds.users.front();
+  for (const corpus::RecommendationUser& u : ds.users)
+    if (u.held_out.size() > best->held_out.size()) best = &u;
+  const corpus::RecommendationUser& user = *best;
+  std::printf("\nDemo user: %zu profile favourites, %zu held-out favourites\n",
+              user.profile.size(), user.held_out.size());
+  const recsys::UserProfile profile = builder.Build(ds.corpus, user.profile);
+  std::printf("  profile FIG: %zu time-stamped cliques over %zu features\n",
+              profile.cliques.size(), profile.merged.features.size());
+
+  auto show_feed = [&](const char* title, double decay) {
+    const recsys::FigRecommender rec(ds.corpus, engine.ExactPotential(),
+                                     engine.ExactPotential(),
+                                     {.decay = decay});
+    const auto feed = rec.Recommend(profile, ds.candidates, 8, now);
+    std::printf("\n%s\n", title);
+    std::size_t hits = 0;
+    for (const auto& r : feed) {
+      const bool favourite =
+          std::find(user.held_out.begin(), user.held_out.end(), r.object) !=
+          user.held_out.end();
+      if (favourite) ++hits;
+      std::printf("  object #%-6u score=%.5f topic=%-3u %s\n", r.object,
+                  r.score, ds.corpus.Object(r.object).topic,
+                  favourite ? "[actually favourited!]" : "");
+    }
+    std::printf("  -> %zu of 8 recommendations were real favourites\n",
+                hits);
+  };
+  show_feed("=== FIG feed (no temporal decay) ===", 1.0);
+  show_feed("=== FIG-T feed (decay 0.4: recent interests weigh more) ===",
+            0.4);
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "baselines/feature_vectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace figdb::baselines {
+
+TypedVectors TypedVectors::Build(const corpus::Corpus& corpus,
+                                 TypedVectorsOptions options,
+                                 const stats::FeatureMatrix* matrix) {
+  TypedVectors tv;
+  if (options.use_idf) {
+    FIGDB_CHECK_MSG(matrix != nullptr, "use_idf requires a FeatureMatrix");
+  }
+  for (auto& v : tv.typed_) v.resize(corpus.Size());
+  tv.full_.resize(corpus.Size());
+  for (const corpus::MediaObject& obj : corpus.Objects()) {
+    for (const corpus::FeatureOccurrence& f : obj.features) {
+      double w = f.frequency;
+      if (options.use_idf) {
+        auto [it, inserted] = tv.idf_.try_emplace(f.feature, 0.0);
+        if (inserted) {
+          it->second = std::log(
+              double(corpus.Size() + 1) /
+              (double(matrix->DocumentFrequency(f.feature)) + 1.0));
+        }
+        w *= it->second;
+      }
+      const auto type = static_cast<std::size_t>(corpus::TypeOf(f.feature));
+      tv.typed_[type][obj.id].Add(f.feature, float(w));
+      tv.full_[obj.id].Add(f.feature, float(w));
+    }
+  }
+  for (auto& per_type : tv.typed_)
+    for (auto& v : per_type) v.Finalize();
+  for (auto& v : tv.full_) v.Finalize();
+  return tv;
+}
+
+double TypedVectors::WeightOf(corpus::FeatureKey feature) const {
+  if (idf_.empty()) return 1.0;
+  auto it = idf_.find(feature);
+  return it == idf_.end() ? 0.0 : it->second;
+}
+
+util::SparseVector TypedVectors::QueryVector(
+    const corpus::MediaObject& object, corpus::FeatureType type) const {
+  util::SparseVector v;
+  for (const corpus::FeatureOccurrence& f : object.features) {
+    if (corpus::TypeOf(f.feature) != type) continue;
+    const double w = double(f.frequency) * WeightOf(f.feature);
+    if (w != 0.0) v.Add(f.feature, float(w));
+  }
+  v.Finalize();
+  return v;
+}
+
+const util::SparseVector& TypedVectors::Vector(
+    corpus::ObjectId id, corpus::FeatureType type) const {
+  const auto t = static_cast<std::size_t>(type);
+  FIGDB_CHECK(id < typed_[t].size());
+  return typed_[t][id];
+}
+
+const util::SparseVector& TypedVectors::FullVector(
+    corpus::ObjectId id) const {
+  FIGDB_CHECK(id < full_.size());
+  return full_[id];
+}
+
+util::SparseVector TypedVectors::ToVector(const corpus::MediaObject& object,
+                                          corpus::FeatureType type) {
+  util::SparseVector v;
+  for (const corpus::FeatureOccurrence& f : object.features)
+    if (corpus::TypeOf(f.feature) == type)
+      v.Add(f.feature, float(f.frequency));
+  v.Finalize();
+  return v;
+}
+
+util::SparseVector TypedVectors::ToFullVector(
+    const corpus::MediaObject& object) {
+  util::SparseVector v;
+  for (const corpus::FeatureOccurrence& f : object.features)
+    v.Add(f.feature, float(f.frequency));
+  v.Finalize();
+  return v;
+}
+
+std::vector<corpus::ObjectId> TypedVectors::Candidates(
+    const corpus::MediaObject& query, const stats::FeatureMatrix& matrix) {
+  std::vector<corpus::ObjectId> out;
+  for (const corpus::FeatureOccurrence& f : query.features)
+    for (const stats::Posting& p : matrix.Postings(f.feature))
+      out.push_back(p.object);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace figdb::baselines

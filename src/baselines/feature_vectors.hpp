@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "stats/feature_matrix.hpp"
+#include "util/sparse_vector.hpp"
+
+/// \file feature_vectors.hpp
+/// Per-object, per-modality sparse feature vectors shared by the baselines.
+///
+/// All three baselines (LSA, TP, RankBoost) operate on plain bag-of-feature
+/// vectors: TypedVectors materialises one sparse vector per (object,
+/// modality) plus helpers for converting ad-hoc query objects and for
+/// candidate generation through the shared FeatureMatrix posting lists.
+
+namespace figdb::baselines {
+
+struct TypedVectorsOptions {
+  /// Weight every dimension by log((N+1)/(df+1)). Used by the RankBoost
+  /// rankers (arbitrary per-modality relevance functions); the TP kernel
+  /// keeps raw frequencies, matching the paper's "all dimensions, no
+  /// pruning" characterisation of it.
+  bool use_idf = false;
+};
+
+class TypedVectors {
+ public:
+  static TypedVectors Build(const corpus::Corpus& corpus,
+                            TypedVectorsOptions options = {},
+                            const stats::FeatureMatrix* matrix = nullptr);
+
+  /// Raw-frequency vector of one modality (dimension = FeatureKey).
+  const util::SparseVector& Vector(corpus::ObjectId id,
+                                   corpus::FeatureType type) const;
+
+  /// Vector over ALL modalities.
+  const util::SparseVector& FullVector(corpus::ObjectId id) const;
+
+  std::size_t NumObjects() const { return full_.size(); }
+
+  /// Converts an arbitrary (query) object into a modality-restricted
+  /// sparse vector with THIS instance's weighting applied.
+  util::SparseVector QueryVector(const corpus::MediaObject& object,
+                                 corpus::FeatureType type) const;
+
+  /// Raw-frequency conversions (no weighting).
+  static util::SparseVector ToVector(const corpus::MediaObject& object,
+                                     corpus::FeatureType type);
+  static util::SparseVector ToFullVector(const corpus::MediaObject& object);
+
+  /// Objects sharing at least one of the query's features — the baseline
+  /// candidate set (sorted, unique).
+  static std::vector<corpus::ObjectId> Candidates(
+      const corpus::MediaObject& query, const stats::FeatureMatrix& matrix);
+
+ private:
+  double WeightOf(corpus::FeatureKey feature) const;
+
+  // typed_[type][object]
+  std::vector<util::SparseVector> typed_[corpus::kNumFeatureTypes];
+  std::vector<util::SparseVector> full_;
+  std::unordered_map<corpus::FeatureKey, double> idf_;
+};
+
+}  // namespace figdb::baselines

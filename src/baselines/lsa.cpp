@@ -1,0 +1,208 @@
+#include "baselines/lsa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/top_k.hpp"
+
+namespace figdb::baselines {
+namespace {
+
+/// Minimal CSR view of the object-by-feature matrix.
+struct Csr {
+  std::size_t rows = 0, cols = 0;
+  std::vector<std::size_t> row_ptr;
+  std::vector<std::uint32_t> col;
+  std::vector<float> val;
+
+  /// out(rows x d) = this * dense(cols x d).
+  util::DenseMatrix Multiply(const util::DenseMatrix& dense) const {
+    FIGDB_CHECK(dense.Rows() == cols);
+    util::DenseMatrix out(rows, dense.Cols());
+    for (std::size_t r = 0; r < rows; ++r) {
+      double* o = out.RowPtr(r);
+      for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        const double v = val[i];
+        const double* d = dense.RowPtr(col[i]);
+        for (std::size_t j = 0; j < dense.Cols(); ++j) o[j] += v * d[j];
+      }
+    }
+    return out;
+  }
+
+  /// out(cols x d) = this^T * dense(rows x d).
+  util::DenseMatrix TransposeMultiply(const util::DenseMatrix& dense) const {
+    FIGDB_CHECK(dense.Rows() == rows);
+    util::DenseMatrix out(cols, dense.Cols());
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* d = dense.RowPtr(r);
+      for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        const double v = val[i];
+        double* o = out.RowPtr(col[i]);
+        for (std::size_t j = 0; j < dense.Cols(); ++j) o[j] += v * d[j];
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+LsaRetriever::LsaRetriever(const corpus::Corpus& corpus, LsaOptions options)
+    : log_tf_(options.log_tf) {
+  // ---- Document frequencies (for the IDF weights).
+  if (options.use_idf) {
+    std::unordered_map<corpus::FeatureKey, std::uint32_t> df;
+    for (const corpus::MediaObject& obj : corpus.Objects())
+      for (const corpus::FeatureOccurrence& f : obj.features) ++df[f.feature];
+    idf_.reserve(df.size());
+    for (const auto& [feature, count] : df) {
+      idf_[feature] =
+          std::log(double(corpus.Size() + 1) / (double(count) + 1.0));
+    }
+  }
+
+  // ---- Assemble the CSR object-by-feature matrix.
+  Csr a;
+  a.rows = corpus.Size();
+  a.row_ptr.reserve(a.rows + 1);
+  a.row_ptr.push_back(0);
+  for (const corpus::MediaObject& obj : corpus.Objects()) {
+    for (const corpus::FeatureOccurrence& f : obj.features) {
+      auto [it, inserted] = column_of_.try_emplace(
+          f.feature, static_cast<std::uint32_t>(column_of_.size()));
+      a.col.push_back(it->second);
+      a.val.push_back(static_cast<float>(Weight(f.feature, f.frequency)));
+    }
+    a.row_ptr.push_back(a.col.size());
+  }
+  a.cols = column_of_.size();
+  rank_ = std::min({options.rank, a.rows, a.cols});
+  if (rank_ == 0) return;
+  const std::size_t sketch = std::min(rank_ + options.oversample,
+                                      std::min(a.rows, a.cols));
+
+  // ---- Randomised subspace iteration.
+  util::Rng rng(options.seed);
+  util::DenseMatrix omega(a.cols, sketch);
+  omega.FillGaussian(&rng);
+  util::DenseMatrix y = a.Multiply(omega);
+  y.OrthonormalizeColumns();
+  for (std::size_t it = 0; it < options.power_iterations; ++it) {
+    util::DenseMatrix z = a.TransposeMultiply(y);
+    z.OrthonormalizeColumns();
+    y = a.Multiply(z);
+    y.OrthonormalizeColumns();
+  }
+  const util::DenseMatrix& q = y;  // orthonormal basis of the range of A
+
+  // ---- Project: B = Q^T A (via Bt = A^T Q), eigen of B B^T = Bt^T Bt.
+  util::DenseMatrix bt = a.TransposeMultiply(q);  // f x sketch
+  util::DenseMatrix gram = bt.TransposeMultiply(bt);
+  std::vector<double> eigvals;
+  util::DenseMatrix w;
+  util::SymmetricEigen(gram, &eigvals, &w);
+
+  sigma_.resize(rank_);
+  for (std::size_t j = 0; j < rank_; ++j)
+    sigma_[j] = std::sqrt(std::max(0.0, eigvals[j]));
+
+  // Object embeddings U*Sigma = Q * W[:, :rank] * diag(sigma).
+  object_embeddings_ = util::DenseMatrix(a.rows, rank_);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    for (std::size_t j = 0; j < rank_; ++j) {
+      double s = 0.0;
+      for (std::size_t l = 0; l < sketch; ++l)
+        s += q.At(i, l) * w.At(l, j);
+      object_embeddings_.At(i, j) = s * sigma_[j];
+    }
+  }
+  // Feature directions V = Bt * W[:, :rank] * diag(1/sigma).
+  feature_directions_ = util::DenseMatrix(a.cols, rank_);
+  for (std::size_t f = 0; f < a.cols; ++f) {
+    for (std::size_t j = 0; j < rank_; ++j) {
+      if (sigma_[j] <= 1e-12) continue;
+      double s = 0.0;
+      for (std::size_t l = 0; l < sketch; ++l)
+        s += bt.At(f, l) * w.At(l, j);
+      feature_directions_.At(f, j) = s / sigma_[j];
+    }
+  }
+  object_norms_.resize(a.rows);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    double n = 0.0;
+    for (std::size_t j = 0; j < rank_; ++j)
+      n += object_embeddings_.At(i, j) * object_embeddings_.At(i, j);
+    object_norms_[i] = std::sqrt(n);
+  }
+}
+
+double LsaRetriever::Weight(corpus::FeatureKey feature,
+                            std::uint32_t frequency) const {
+  double w = log_tf_ ? std::log1p(double(frequency)) : double(frequency);
+  if (!idf_.empty()) {
+    auto it = idf_.find(feature);
+    w *= it == idf_.end() ? 0.0 : it->second;
+  }
+  return w;
+}
+
+std::vector<double> LsaRetriever::Embed(
+    const corpus::MediaObject& object) const {
+  std::vector<double> e(rank_, 0.0);
+  for (const corpus::FeatureOccurrence& f : object.features) {
+    auto it = column_of_.find(f.feature);
+    if (it == column_of_.end()) continue;
+    const double w = Weight(f.feature, f.frequency);
+    for (std::size_t j = 0; j < rank_; ++j)
+      e[j] += w * feature_directions_.At(it->second, j);
+  }
+  return e;
+}
+
+double LsaRetriever::CosineToObject(const std::vector<double>& q,
+                                    double query_norm,
+                                    corpus::ObjectId id) const {
+  double dot = 0.0;
+  for (std::size_t j = 0; j < rank_; ++j)
+    dot += q[j] * object_embeddings_.At(id, j);
+  const double denom = query_norm * object_norms_[id];
+  return denom <= 1e-300 ? 0.0 : dot / denom;
+}
+
+namespace {
+double Norm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+}  // namespace
+
+std::vector<core::SearchResult> LsaRetriever::Search(
+    const corpus::MediaObject& query, std::size_t k) const {
+  const std::vector<double> q = Embed(query);
+  const double qn = Norm(q);
+  util::TopK<corpus::ObjectId> topk(k);
+  for (corpus::ObjectId id = 0; id < object_norms_.size(); ++id)
+    topk.Offer(CosineToObject(q, qn, id), id);
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+std::vector<core::SearchResult> LsaRetriever::Rank(
+    const corpus::MediaObject& query,
+    const std::vector<corpus::ObjectId>& candidates, std::size_t k) const {
+  const std::vector<double> q = Embed(query);
+  const double qn = Norm(q);
+  util::TopK<corpus::ObjectId> topk(k);
+  for (corpus::ObjectId id : candidates)
+    topk.Offer(CosineToObject(q, qn, id), id);
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+}  // namespace figdb::baselines

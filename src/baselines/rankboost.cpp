@@ -1,0 +1,145 @@
+#include "baselines/rankboost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/top_k.hpp"
+
+namespace figdb::baselines {
+
+RankBoostRetriever::RankBoostRetriever(
+    const corpus::Corpus& corpus, std::shared_ptr<const TypedVectors> vectors,
+    std::shared_ptr<const stats::FeatureMatrix> matrix,
+    RankBoostOptions options)
+    : corpus_(&corpus),
+      vectors_(std::move(vectors)),
+      matrix_(std::move(matrix)),
+      options_(options),
+      alpha_{0.5, 0.15, 0.35} {  // text, visual, user priors
+  FIGDB_CHECK(vectors_ != nullptr && matrix_ != nullptr);
+}
+
+void RankBoostRetriever::RankScores(
+    const corpus::MediaObject& query,
+    const std::vector<corpus::ObjectId>& candidates,
+    std::vector<std::vector<double>>* rank_scores) const {
+  rank_scores->assign(corpus::kNumFeatureTypes,
+                      std::vector<double>(candidates.size(), 0.0));
+  if (candidates.empty()) return;
+  std::vector<std::size_t> order(candidates.size());
+  std::vector<double> sims(candidates.size());
+  for (std::size_t t = 0; t < corpus::kNumFeatureTypes; ++t) {
+    const auto type = static_cast<corpus::FeatureType>(t);
+    const util::SparseVector qv = vectors_->QueryVector(query, type);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      sims[i] =
+          util::SparseVector::Cosine(qv, vectors_->Vector(candidates[i],
+                                                          type));
+    }
+    // Normalised rank score: best candidate -> 1, worst -> ~0. Ties share
+    // the order given by (score desc, id asc) for determinism.
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (sims[a] != sims[b]) return sims[a] > sims[b];
+      return candidates[a] < candidates[b];
+    });
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      (*rank_scores)[t][order[r]] =
+          1.0 - double(r) / double(order.size());
+    }
+  }
+}
+
+void RankBoostRetriever::Train(
+    const std::vector<RankBoostTrainingQuery>& queries) {
+  // Build preference pairs (crucial pairs): relevant should beat irrelevant.
+  struct Pair {
+    double h[corpus::kNumFeatureTypes];  // h_t(relevant) - h_t(irrelevant)
+  };
+  std::vector<Pair> pairs;
+  util::Rng rng(options_.seed);
+
+  for (const RankBoostTrainingQuery& q : queries) {
+    const std::vector<corpus::ObjectId> pool =
+        TypedVectors::Candidates(q.query, *matrix_);
+    if (pool.size() < 2) continue;
+    std::vector<std::vector<double>> h;
+    RankScores(q.query, pool, &h);
+    std::vector<std::size_t> rel, irr;
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      (q.relevant.count(pool[i]) ? rel : irr).push_back(i);
+    if (rel.empty() || irr.empty()) continue;
+    for (std::size_t p = 0; p < options_.pairs_per_query; ++p) {
+      const std::size_t a = rel[rng.UniformInt(rel.size())];
+      const std::size_t b = irr[rng.UniformInt(irr.size())];
+      Pair pair;
+      for (std::size_t t = 0; t < corpus::kNumFeatureTypes; ++t)
+        pair.h[t] = h[t][a] - h[t][b];
+      pairs.push_back(pair);
+    }
+  }
+  if (pairs.empty()) return;
+
+  // RankBoost (Freund et al. [9], Section 3, with the r-based alpha rule):
+  // maintain a distribution over crucial pairs; each round pick the weak
+  // ranker (modality) with the largest weighted margin r, add
+  // alpha = 0.5 ln((1+r)/(1-r)), and exponentially reweight the pairs the
+  // combination still misorders.
+  std::vector<double> dist(pairs.size(), 1.0 / double(pairs.size()));
+  std::vector<double> alpha(corpus::kNumFeatureTypes, 0.0);
+  for (std::size_t round = 0; round < options_.rounds; ++round) {
+    double best_r = 0.0;
+    std::size_t best_t = corpus::kNumFeatureTypes;
+    for (std::size_t t = 0; t < corpus::kNumFeatureTypes; ++t) {
+      double r = 0.0;
+      for (std::size_t p = 0; p < pairs.size(); ++p)
+        r += dist[p] * pairs[p].h[t];
+      if (std::fabs(r) > std::fabs(best_r)) {
+        best_r = r;
+        best_t = t;
+      }
+    }
+    if (best_t == corpus::kNumFeatureTypes || std::fabs(best_r) < 1e-9)
+      break;
+    const double r = std::clamp(best_r, -0.999999, 0.999999);
+    const double a = 0.5 * std::log((1.0 + r) / (1.0 - r));
+    alpha[best_t] += a;
+    double z = 0.0;
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      dist[p] *= std::exp(-a * pairs[p].h[best_t]);
+      z += dist[p];
+    }
+    if (z <= 0.0) break;
+    for (double& d : dist) d /= z;
+  }
+  // Keep the priors if boosting degenerated to a single all-zero vector.
+  const double total = std::accumulate(alpha.begin(), alpha.end(), 0.0);
+  if (total > 0.0) alpha_ = alpha;
+}
+
+std::vector<core::SearchResult> RankBoostRetriever::Search(
+    const corpus::MediaObject& query, std::size_t k) const {
+  return Rank(query, TypedVectors::Candidates(query, *matrix_), k);
+}
+
+std::vector<core::SearchResult> RankBoostRetriever::Rank(
+    const corpus::MediaObject& query,
+    const std::vector<corpus::ObjectId>& candidates, std::size_t k) const {
+  std::vector<std::vector<double>> h;
+  RankScores(query, candidates, &h);
+  util::TopK<corpus::ObjectId> topk(k);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    double s = 0.0;
+    for (std::size_t t = 0; t < corpus::kNumFeatureTypes; ++t)
+      s += alpha_[t] * h[t][i];
+    topk.Offer(s, candidates[i]);
+  }
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+}  // namespace figdb::baselines

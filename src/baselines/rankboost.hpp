@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/feature_vectors.hpp"
+#include "core/retriever.hpp"
+#include "corpus/corpus.hpp"
+#include "stats/feature_matrix.hpp"
+
+/// \file rankboost.hpp
+/// The RB late-fusion baseline (paper §5.1.1, after Turnbull et al. [21]
+/// with RankBoost from Freund et al. [9]).
+///
+/// Late fusion: each modality produces its own candidate ranking (by
+/// cosine similarity); RankBoost learns a weighted combination of the
+/// per-modality normalised rank scores from preference pairs (relevant
+/// object should outrank irrelevant object). At query time the fused score
+/// is sum_t alpha_t * h_t(o), where h_t(o) in [0,1] is object o's
+/// normalised standing in modality t's ranking — fusion happens strictly on
+/// the result lists, never on the raw features, which is exactly the
+/// property the paper contrasts against early fusion.
+
+namespace figdb::baselines {
+
+struct RankBoostOptions {
+  /// Boosting rounds; weak learners may repeat (their alphas accumulate).
+  std::size_t rounds = 8;
+  /// Preference pairs sampled per training query.
+  std::size_t pairs_per_query = 400;
+  std::uint64_t seed = 0xb005;
+};
+
+/// One labelled training query for boosting.
+struct RankBoostTrainingQuery {
+  corpus::MediaObject query;
+  std::unordered_set<corpus::ObjectId> relevant;
+};
+
+class RankBoostRetriever : public core::Retriever {
+ public:
+  RankBoostRetriever(const corpus::Corpus& corpus,
+                     std::shared_ptr<const TypedVectors> vectors,
+                     std::shared_ptr<const stats::FeatureMatrix> matrix,
+                     RankBoostOptions options = {});
+
+  std::string Name() const override { return "RB"; }
+
+  /// Runs RankBoost over the training queries, learning the per-modality
+  /// fusion weights. Without training, sensible fixed weights are used
+  /// (text 0.5, user 0.35, visual 0.15).
+  void Train(const std::vector<RankBoostTrainingQuery>& queries);
+
+  std::vector<core::SearchResult> Search(const corpus::MediaObject& query,
+                                         std::size_t k) const override;
+  std::vector<core::SearchResult> Rank(
+      const corpus::MediaObject& query,
+      const std::vector<corpus::ObjectId>& candidates,
+      std::size_t k) const override;
+
+  const std::vector<double>& Weights() const { return alpha_; }
+
+ private:
+  /// Per-modality normalised rank scores (h_t) for a candidate pool.
+  /// rank_scores[t][i] is h_t of candidates[i].
+  void RankScores(const corpus::MediaObject& query,
+                  const std::vector<corpus::ObjectId>& candidates,
+                  std::vector<std::vector<double>>* rank_scores) const;
+
+  const corpus::Corpus* corpus_;
+  std::shared_ptr<const TypedVectors> vectors_;
+  std::shared_ptr<const stats::FeatureMatrix> matrix_;
+  RankBoostOptions options_;
+  std::vector<double> alpha_;  // one weight per modality
+};
+
+}  // namespace figdb::baselines

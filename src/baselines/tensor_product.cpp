@@ -1,0 +1,69 @@
+#include "baselines/tensor_product.hpp"
+
+#include "util/check.hpp"
+#include "util/top_k.hpp"
+
+namespace figdb::baselines {
+namespace {
+
+double FusedKernel(const util::SparseVector* query_vecs,
+                   const TypedVectors& vectors, corpus::ObjectId id,
+                   const TensorProductOptions& options) {
+  double k[corpus::kNumFeatureTypes];
+  for (std::size_t t = 0; t < corpus::kNumFeatureTypes; ++t) {
+    k[t] = util::SparseVector::Cosine(
+        query_vecs[t],
+        vectors.Vector(id, static_cast<corpus::FeatureType>(t)));
+  }
+  double s = 0.0;
+  if (options.include_additive)
+    for (double v : k) s += v;
+  for (std::size_t a = 0; a < corpus::kNumFeatureTypes; ++a)
+    for (std::size_t b = a + 1; b < corpus::kNumFeatureTypes; ++b)
+      s += k[a] * k[b];
+  return s;
+}
+
+}  // namespace
+
+TensorProductRetriever::TensorProductRetriever(
+    const corpus::Corpus& corpus, std::shared_ptr<const TypedVectors> vectors,
+    std::shared_ptr<const stats::FeatureMatrix> matrix,
+    TensorProductOptions options)
+    : corpus_(&corpus),
+      vectors_(std::move(vectors)),
+      matrix_(std::move(matrix)),
+      options_(options) {
+  FIGDB_CHECK(vectors_ != nullptr && matrix_ != nullptr);
+}
+
+double TensorProductRetriever::Similarity(const corpus::MediaObject& query,
+                                          corpus::ObjectId id) const {
+  util::SparseVector qv[corpus::kNumFeatureTypes];
+  for (std::size_t t = 0; t < corpus::kNumFeatureTypes; ++t)
+    qv[t] = TypedVectors::ToVector(query,
+                                   static_cast<corpus::FeatureType>(t));
+  return FusedKernel(qv, *vectors_, id, options_);
+}
+
+std::vector<core::SearchResult> TensorProductRetriever::Search(
+    const corpus::MediaObject& query, std::size_t k) const {
+  return Rank(query, TypedVectors::Candidates(query, *matrix_), k);
+}
+
+std::vector<core::SearchResult> TensorProductRetriever::Rank(
+    const corpus::MediaObject& query,
+    const std::vector<corpus::ObjectId>& candidates, std::size_t k) const {
+  util::SparseVector qv[corpus::kNumFeatureTypes];
+  for (std::size_t t = 0; t < corpus::kNumFeatureTypes; ++t)
+    qv[t] = TypedVectors::ToVector(query,
+                                   static_cast<corpus::FeatureType>(t));
+  util::TopK<corpus::ObjectId> topk(k);
+  for (corpus::ObjectId id : candidates)
+    topk.Offer(FusedKernel(qv, *vectors_, id, options_), id);
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+}  // namespace figdb::baselines

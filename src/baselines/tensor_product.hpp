@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+
+#include "baselines/feature_vectors.hpp"
+#include "core/retriever.hpp"
+#include "corpus/corpus.hpp"
+#include "stats/feature_matrix.hpp"
+
+/// \file tensor_product.hpp
+/// The TP early-fusion baseline (paper §5.1.1, after Basilico & Hofmann [3]).
+///
+/// Basilico & Hofmann fuse heterogeneous information by combining per-source
+/// kernels both additively and through tensor products (which on paired
+/// inputs multiply the component kernels). Adapted to the three social-media
+/// modalities, the similarity between objects is
+///
+///   s(q, o) = sum_a k_a(q, o)  +  sum_{a < b} k_a(q, o) * k_b(q, o)
+///
+/// with k_a the cosine kernel of modality a. The product terms are where the
+/// tensor structure shows: every dimension of one modality interacts with
+/// every dimension of another, with no pruning — the property the paper
+/// criticises as noise-prone in high-dimensional social data.
+
+namespace figdb::baselines {
+
+struct TensorProductOptions {
+  /// Include the additive (plain-sum) kernel terms alongside the pairwise
+  /// products.
+  bool include_additive = true;
+};
+
+class TensorProductRetriever : public core::Retriever {
+ public:
+  TensorProductRetriever(const corpus::Corpus& corpus,
+                         std::shared_ptr<const TypedVectors> vectors,
+                         std::shared_ptr<const stats::FeatureMatrix> matrix,
+                         TensorProductOptions options = {});
+
+  std::string Name() const override { return "TP"; }
+
+  std::vector<core::SearchResult> Search(const corpus::MediaObject& query,
+                                         std::size_t k) const override;
+  std::vector<core::SearchResult> Rank(
+      const corpus::MediaObject& query,
+      const std::vector<corpus::ObjectId>& candidates,
+      std::size_t k) const override;
+
+  /// The fused kernel value for one object pair (exposed for tests).
+  double Similarity(const corpus::MediaObject& query,
+                    corpus::ObjectId id) const;
+
+ private:
+  const corpus::Corpus* corpus_;
+  std::shared_ptr<const TypedVectors> vectors_;
+  std::shared_ptr<const stats::FeatureMatrix> matrix_;
+  TensorProductOptions options_;
+};
+
+}  // namespace figdb::baselines

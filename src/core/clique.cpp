@@ -1,0 +1,66 @@
+#include "core/clique.hpp"
+
+#include <algorithm>
+
+namespace figdb::core {
+namespace {
+
+struct Enumerator {
+  const FeatureInteractionGraph& fig;
+  const CliqueEnumerationOptions& options;
+  std::vector<Clique>* out;
+  std::vector<std::size_t> current;
+
+  bool Full() const { return out->size() >= options.max_cliques; }
+
+  void Emit() {
+    Clique c;
+    c.features.reserve(current.size());
+    std::uint16_t month = 0;
+    for (std::size_t idx : current) {
+      c.features.push_back(fig.Node(idx).feature);
+      month = std::max(month, fig.Node(idx).month);
+    }
+    std::sort(c.features.begin(), c.features.end());
+    c.month = month;
+    out->push_back(std::move(c));
+  }
+
+  /// Extends the current clique with vertices greater than \p last that are
+  /// adjacent to every current member.
+  void Extend(std::size_t last) {
+    if (Full()) return;
+    if (current.size() >= options.min_features) Emit();
+    if (current.size() >= options.max_features) return;
+    for (std::size_t v = last + 1; v < fig.NodeCount(); ++v) {
+      bool adjacent_to_all = true;
+      for (std::size_t u : current) {
+        if (!fig.HasEdge(u, v)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (!adjacent_to_all) continue;
+      current.push_back(v);
+      Extend(v);
+      current.pop_back();
+      if (Full()) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Clique> EnumerateCliques(const FeatureInteractionGraph& fig,
+                                     const CliqueEnumerationOptions& options) {
+  std::vector<Clique> out;
+  if (options.max_features == 0) return out;
+  Enumerator e{fig, options, &out, {}};
+  for (std::size_t v = 0; v < fig.NodeCount() && !e.Full(); ++v) {
+    e.current.assign(1, v);
+    e.Extend(v);
+  }
+  return out;
+}
+
+}  // namespace figdb::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fig.hpp"
+
+/// \file clique.hpp
+/// Enumeration of the FIG cliques that drive the MRF (paper §3.3).
+///
+/// A "clique" here is a complete subgraph of the FIG *together with the
+/// implicit virtual root*, i.e. any non-empty set of pairwise-adjacent
+/// feature nodes. The paper's |c| counts the root, so a clique with m
+/// feature nodes has |c| = m + 1; this API works in feature counts.
+///
+/// Enumeration is by ordered extension (each clique is produced exactly
+/// once, smallest-index order), capped both in clique size and in total
+/// clique count — the paper notes the clique space explodes with the
+/// high-dimensional features, which is exactly why λ is bucketed by |c|.
+
+namespace figdb::core {
+
+struct Clique {
+  /// Sorted feature keys (never includes the virtual root).
+  std::vector<corpus::FeatureKey> features;
+  /// Month stamp (max over member nodes' months; used by FIG-T).
+  std::uint16_t month = 0;
+};
+
+struct CliqueEnumerationOptions {
+  /// Maximum feature nodes per clique (paper's |c| - 1).
+  std::size_t max_features = 3;
+  /// Hard cap on cliques per graph; enumeration stops once reached.
+  std::size_t max_cliques = 4096;
+  /// Minimum feature nodes per clique (1 = include singletons).
+  std::size_t min_features = 1;
+};
+
+/// Enumerates cliques of \p fig under \p options. Features within a clique
+/// are sorted by FeatureKey; cliques are unique.
+std::vector<Clique> EnumerateCliques(const FeatureInteractionGraph& fig,
+                                     const CliqueEnumerationOptions& options);
+
+}  // namespace figdb::core

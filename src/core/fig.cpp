@@ -1,0 +1,47 @@
+#include "core/fig.hpp"
+
+#include "util/check.hpp"
+
+namespace figdb::core {
+
+FeatureInteractionGraph FeatureInteractionGraph::Build(
+    const corpus::MediaObject& object, const stats::CorrelationModel& model,
+    std::uint32_t type_mask) {
+  FeatureInteractionGraph fig;
+  for (const corpus::FeatureOccurrence& f : object.features) {
+    if (!MaskContains(type_mask, corpus::TypeOf(f.feature))) continue;
+    fig.AddNode({f.feature, f.frequency, object.month});
+  }
+  fig.FinalizeNodes();
+  for (std::size_t i = 0; i < fig.NodeCount(); ++i) {
+    for (std::size_t j = i + 1; j < fig.NodeCount(); ++j) {
+      if (model.Correlated(fig.nodes_[i].feature, fig.nodes_[j].feature))
+        fig.SetEdge(i, j);
+    }
+  }
+  return fig;
+}
+
+void FeatureInteractionGraph::AddNode(FigNode node) {
+  FIGDB_CHECK_MSG(adjacency_.empty(), "AddNode after FinalizeNodes");
+  nodes_.push_back(node);
+}
+
+void FeatureInteractionGraph::FinalizeNodes() {
+  adjacency_.assign(nodes_.size() * nodes_.size(), 0);
+}
+
+void FeatureInteractionGraph::SetEdge(std::size_t i, std::size_t j) {
+  FIGDB_CHECK(i < nodes_.size() && j < nodes_.size());
+  FIGDB_CHECK(i != j);
+  adjacency_[i * nodes_.size() + j] = 1;
+  adjacency_[j * nodes_.size() + i] = 1;
+}
+
+std::size_t FeatureInteractionGraph::EdgeCount() const {
+  std::size_t count = 0;
+  for (std::uint8_t a : adjacency_) count += a;
+  return count / 2;
+}
+
+}  // namespace figdb::core

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/media_object.hpp"
+#include "stats/correlation.hpp"
+
+/// \file fig.hpp
+/// The Feature Interaction Graph (paper §3.2).
+///
+/// Nodes are the features of one multimedia object (or of a user profile's
+/// objects); an edge connects two features whose correlation clears the
+/// trained threshold. The virtual root — the object itself, connected to
+/// every feature node — is implicit: every clique produced from this graph
+/// is understood to include it (§3.3 constrains cliques to "the complete
+/// subgraph of FIG with the virtual root and at least one feature node").
+
+namespace figdb::core {
+
+/// Bitmask over corpus::FeatureType used to restrict a FIG to a subset of
+/// modalities (the paper's Fig. 5 feature-combination experiments).
+enum FeatureTypeMask : std::uint32_t {
+  kTextMask = 1u << 0,
+  kVisualMask = 1u << 1,
+  kUserMask = 1u << 2,
+  kAllFeatures = kTextMask | kVisualMask | kUserMask,
+};
+
+inline bool MaskContains(std::uint32_t mask, corpus::FeatureType type) {
+  return (mask >> static_cast<std::uint32_t>(type)) & 1u;
+}
+
+struct FigNode {
+  corpus::FeatureKey feature;
+  std::uint32_t frequency;
+  /// Month stamp of the most recent source object contributing this node
+  /// (meaningful for profile FIGs; 0 for single-object FIGs).
+  std::uint16_t month = 0;
+};
+
+class FeatureInteractionGraph {
+ public:
+  /// Builds the FIG of a single object: one node per feature (restricted to
+  /// \p type_mask), an edge wherever the correlation model says the pair is
+  /// correlated.
+  static FeatureInteractionGraph Build(const corpus::MediaObject& object,
+                                       const stats::CorrelationModel& model,
+                                       std::uint32_t type_mask = kAllFeatures);
+
+  std::size_t NodeCount() const { return nodes_.size(); }
+  const FigNode& Node(std::size_t i) const { return nodes_[i]; }
+  const std::vector<FigNode>& Nodes() const { return nodes_; }
+
+  bool HasEdge(std::size_t i, std::size_t j) const {
+    return adjacency_[i * nodes_.size() + j] != 0;
+  }
+  std::size_t EdgeCount() const;
+
+  /// Construction API (used by Build and by the profile builder in recsys,
+  /// which constrains edges to features of the same source object, §4).
+  void AddNode(FigNode node);
+  void FinalizeNodes();  // allocates the adjacency matrix
+  void SetEdge(std::size_t i, std::size_t j);
+
+ private:
+  std::vector<FigNode> nodes_;
+  std::vector<std::uint8_t> adjacency_;
+};
+
+}  // namespace figdb::core

@@ -1,0 +1,33 @@
+#include "core/lambda_trainer.hpp"
+
+#include "util/check.hpp"
+
+namespace figdb::core {
+
+std::vector<double> LambdaTrainer::Train(std::vector<double> initial,
+                                         const Objective& objective) const {
+  FIGDB_CHECK(!initial.empty());
+  std::vector<double> best = initial;
+  double best_value = objective(best);
+  const std::size_t first = options_.pin_first ? 1 : 0;
+  for (std::size_t sweep = 0; sweep < options_.sweeps; ++sweep) {
+    bool improved = false;
+    for (std::size_t dim = first; dim < best.size(); ++dim) {
+      std::vector<double> candidate = best;
+      for (double v : options_.grid) {
+        if (v == best[dim]) continue;
+        candidate[dim] = v;
+        const double value = objective(candidate);
+        if (value > best_value) {
+          best_value = value;
+          best = candidate;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace figdb::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+/// \file lambda_trainer.hpp
+/// Training of the MRF parameter set Λ (paper §3.4 / §5.2).
+///
+/// The paper adopts Metzler & Croft's procedure [16]: because the retrieval
+/// metric is not differentiable in Λ, the (low-dimensional, |c|-bucketed)
+/// parameter vector is optimised by direct search over the simplex —
+/// coordinate ascent against the evaluation metric itself. LambdaTrainer is
+/// that optimiser; the caller supplies the objective (e.g. mean P@10 of
+/// held-out training queries under a candidate λ).
+
+namespace figdb::core {
+
+struct LambdaTrainerOptions {
+  /// Values tried for each coordinate in each sweep.
+  // CorS-weighted pair/triple potentials are orders of magnitude smaller
+  // than unigram potentials, so the grid spans several decades.
+  std::vector<double> grid = {0.0, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0};
+  /// Full coordinate sweeps.
+  std::size_t sweeps = 2;
+  /// The first coordinate is pinned to 1.0 (scores are scale-invariant, so
+  /// only relative λ matter; pinning removes the degeneracy).
+  bool pin_first = true;
+};
+
+class LambdaTrainer {
+ public:
+  using Objective = std::function<double(const std::vector<double>& lambda)>;
+
+  explicit LambdaTrainer(LambdaTrainerOptions options = {})
+      : options_(options) {}
+
+  /// Coordinate-ascent over \p initial; returns the best λ found. The
+  /// objective is maximised; ties keep the incumbent.
+  std::vector<double> Train(std::vector<double> initial,
+                            const Objective& objective) const;
+
+ private:
+  LambdaTrainerOptions options_;
+};
+
+}  // namespace figdb::core

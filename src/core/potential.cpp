@@ -1,0 +1,89 @@
+#include "core/potential.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace figdb::core {
+
+PotentialEvaluator::PotentialEvaluator(
+    std::shared_ptr<const stats::CorrelationModel> cor,
+    std::shared_ptr<const stats::CorSCalculator> cors, MrfOptions options)
+    : cor_(std::move(cor)), cors_(std::move(cors)), options_(options) {
+  FIGDB_CHECK(cor_ != nullptr && cors_ != nullptr);
+  FIGDB_CHECK(!options_.lambda.empty());
+  FIGDB_CHECK(options_.alpha >= 0.0 && options_.alpha <= 1.0);
+}
+
+double PotentialEvaluator::LambdaFor(std::size_t num_features) const {
+  if (num_features == 0) return 0.0;
+  const std::size_t idx = std::min(num_features, options_.lambda.size()) - 1;
+  return options_.lambda[idx];
+}
+
+void PotentialEvaluator::SetLambda(std::vector<double> lambda) {
+  FIGDB_CHECK(!lambda.empty());
+  options_.lambda = std::move(lambda);
+}
+
+double PotentialEvaluator::Smoothing(
+    const std::vector<corpus::FeatureKey>& features,
+    const corpus::MediaObject& obj) const {
+  // sum over clique features x (object features outside the clique).
+  double total = 0.0;
+  std::size_t outside = 0;
+  for (const corpus::FeatureOccurrence& f : obj.features) {
+    const bool in_clique =
+        std::binary_search(features.begin(), features.end(), f.feature);
+    if (in_clique) continue;
+    ++outside;
+    for (corpus::FeatureKey n : features) total += cor_->Cor(n, f.feature);
+  }
+  if (outside == 0 || features.empty()) return 0.0;
+  return total / (double(features.size()) * double(outside));
+}
+
+double PotentialEvaluator::JointProbability(
+    const std::vector<corpus::FeatureKey>& features,
+    const corpus::MediaObject& obj) const {
+  const std::uint32_t size = obj.TotalFrequency();
+  // Joint appearance frequency: co-occurrence count = min member frequency,
+  // zero if any member is missing.
+  std::uint32_t joint = std::numeric_limits<std::uint32_t>::max();
+  for (corpus::FeatureKey n : features)
+    joint = std::min(joint, obj.FrequencyOf(n));
+  const double freq_part =
+      (size == 0 || features.empty()) ? 0.0 : double(joint) / double(size);
+
+  double p = options_.alpha * freq_part;
+  if (options_.alpha < 1.0)
+    p += (1.0 - options_.alpha) * Smoothing(features, obj);
+  return p;
+}
+
+double PotentialEvaluator::CliqueWeight(const Clique& clique) const {
+  return options_.use_cors_weight ? cors_->Compute(clique.features) : 1.0;
+}
+
+double PotentialEvaluator::Phi(const Clique& clique,
+                               const corpus::MediaObject& obj) const {
+  bool contained = true;
+  for (corpus::FeatureKey n : clique.features) {
+    if (!obj.Contains(n)) {
+      contained = false;
+      break;
+    }
+  }
+  if (!contained) {
+    if (!options_.count_partial_cliques) return 0.0;
+    if (clique.features.size() > options_.partial_max_features) return 0.0;
+  }
+  const double lambda = LambdaFor(clique.features.size());
+  if (lambda == 0.0) return 0.0;
+  const double weight = CliqueWeight(clique);
+  if (weight == 0.0) return 0.0;
+  return lambda * weight * JointProbability(clique.features, obj);
+}
+
+}  // namespace figdb::core

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/clique.hpp"
+#include "stats/correlation.hpp"
+#include "stats/cors.hpp"
+
+/// \file potential.hpp
+/// The MRF potential functions of paper §3.3-3.4.
+///
+/// For a clique c = {n1..nm, Oi} (m feature nodes + the object):
+///
+///   P(n1..nm | Oi) = alpha * freq(n1..nm | Oi) / |Oi|
+///                  + (1-alpha) * smooth(c, Oi)            (Eq. 7)
+///   smooth(c, Oi)  = sum_{ni in c} sum_{nj in Oi - c} Cor(ni, nj)
+///                    / (m * |Oi - c|)
+///   phi (c, Oi)    = lambda_m * P(n1..nm | Oi)            (Eq. 7 weighting)
+///   phi'(c, Oi)    = CorS(n1..nm) * phi(c, Oi)            (Eq. 9)
+///
+/// Interpretation choices (documented in DESIGN.md):
+///  * the joint appearance frequency freq(n1..nm | Oi) is the minimum of
+///    the member features' frequencies in Oi (their co-occurrence count),
+///    and 0 when any member is absent;
+///  * lambda is bucketed by clique size m as the paper prescribes
+///    ("we constrain the parameter only related to the number of elements")
+///  * the scorer only evaluates cliques whose features all appear in Oi —
+///    exactly the candidates Algorithm 1 draws from the inverted lists; the
+///    smoothing term then grades them by how well the clique correlates
+///    with the *rest* of Oi's features. An ablation flag re-enables
+///    smoothing-only credit for partially matching cliques.
+
+namespace figdb::core {
+
+struct MrfOptions {
+  /// Eq. 7 smoothing trade-off.
+  double alpha = 0.85;
+  /// lambda_m by clique feature count: lambda[m-1]; sizes beyond the vector
+  /// reuse the last entry. Defaults are overwritten by LambdaTrainer.
+  std::vector<double> lambda = {1.0, 30.0, 30.0};
+  /// Apply the CorS clique weight of Eq. 9 (ablation switch).
+  bool use_cors_weight = true;
+  /// Score cliques whose features are NOT all contained in the object via
+  /// their smoothing term only (the Eq. 7 bridge between related-but-not-
+  /// identical objects; used by the full-model re-scoring stage).
+  bool count_partial_cliques = false;
+  /// Largest clique (in feature nodes) that earns smoothing-only credit
+  /// when not contained. The default covers every clique the model builds;
+  /// lowering it to 1 (singletons only) trades a little bridging power for
+  /// cheaper re-scoring (see ablation_model).
+  std::size_t partial_max_features = 3;
+  CliqueEnumerationOptions cliques;
+};
+
+class PotentialEvaluator {
+ public:
+  PotentialEvaluator(std::shared_ptr<const stats::CorrelationModel> cor,
+                     std::shared_ptr<const stats::CorSCalculator> cors,
+                     MrfOptions options);
+
+  /// Eq. 7: P(n1..nm | obj), including the smoothing component.
+  double JointProbability(const std::vector<corpus::FeatureKey>& features,
+                          const corpus::MediaObject& obj) const;
+
+  /// Eq. 9 potential phi'(c, obj) (or plain phi when use_cors_weight is
+  /// off). Returns 0 for non-contained cliques unless count_partial_cliques.
+  double Phi(const Clique& clique, const corpus::MediaObject& obj) const;
+
+  /// CorS weight of a clique (1 when use_cors_weight is off).
+  double CliqueWeight(const Clique& clique) const;
+
+  double LambdaFor(std::size_t num_features) const;
+
+  const MrfOptions& Options() const { return options_; }
+  const stats::CorrelationModel& Correlations() const { return *cor_; }
+
+  /// Mutable lambda access for the trainer.
+  void SetLambda(std::vector<double> lambda);
+
+ private:
+  double Smoothing(const std::vector<corpus::FeatureKey>& features,
+                   const corpus::MediaObject& obj) const;
+
+  std::shared_ptr<const stats::CorrelationModel> cor_;
+  std::shared_ptr<const stats::CorSCalculator> cors_;
+  MrfOptions options_;
+};
+
+}  // namespace figdb::core

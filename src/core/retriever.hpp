@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/media_object.hpp"
+
+/// \file retriever.hpp
+/// The retrieval interface shared by the FIG engine and all baselines.
+///
+/// Definition 1 of the paper: given a query object Oq, score every database
+/// object and return the top-k. Recommendation (Definition 2) reuses the
+/// same interface by treating the user profile as the query object and
+/// ranking a fixed candidate set (the "newly incoming" objects).
+
+namespace figdb::core {
+
+struct SearchResult {
+  corpus::ObjectId object;
+  double score;
+};
+
+class Retriever {
+ public:
+  virtual ~Retriever() = default;
+
+  /// Short method name as used in the paper's figures ("FIG", "LSA", "TP",
+  /// "RB").
+  virtual std::string Name() const = 0;
+
+  /// Top-k most similar database objects for a query object.
+  virtual std::vector<SearchResult> Search(const corpus::MediaObject& query,
+                                           std::size_t k) const = 0;
+
+  /// Top-k of a fixed candidate set (used by the recommendation task).
+  virtual std::vector<SearchResult> Rank(
+      const corpus::MediaObject& query,
+      const std::vector<corpus::ObjectId>& candidates,
+      std::size_t k) const = 0;
+};
+
+}  // namespace figdb::core

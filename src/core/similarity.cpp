@@ -1,0 +1,44 @@
+#include "core/similarity.hpp"
+
+#include "core/fig.hpp"
+#include "util/check.hpp"
+#include "util/top_k.hpp"
+
+namespace figdb::core {
+
+FigScorer::FigScorer(std::shared_ptr<const PotentialEvaluator> potential)
+    : potential_(std::move(potential)) {
+  FIGDB_CHECK(potential_ != nullptr);
+}
+
+QueryModel FigScorer::Compile(const corpus::MediaObject& query,
+                              std::uint32_t type_mask) const {
+  QueryModel model;
+  model.type_mask = type_mask;
+  const FeatureInteractionGraph fig = FeatureInteractionGraph::Build(
+      query, potential_->Correlations(), type_mask);
+  model.cliques = EnumerateCliques(fig, potential_->Options().cliques);
+  return model;
+}
+
+double FigScorer::Score(const QueryModel& query,
+                        const corpus::MediaObject& obj) const {
+  double total = 0.0;
+  for (const Clique& c : query.cliques) total += potential_->Phi(c, obj);
+  return total;
+}
+
+std::vector<SearchResult> FigScorer::SequentialSearch(
+    const corpus::Corpus& corpus, const QueryModel& query,
+    std::size_t k) const {
+  util::TopK<corpus::ObjectId> topk(k);
+  for (const corpus::MediaObject& obj : corpus.Objects()) {
+    const double s = Score(query, obj);
+    if (s > 0.0) topk.Offer(s, obj.id);
+  }
+  std::vector<SearchResult> out;
+  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+}  // namespace figdb::core

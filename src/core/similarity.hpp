@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/clique.hpp"
+#include "core/potential.hpp"
+#include "core/retriever.hpp"
+#include "corpus/corpus.hpp"
+
+/// \file similarity.hpp
+/// The FIG/MRF similarity measure s(Oq, Oi) of paper Eqs. 2-6: build the
+/// query's Feature Interaction Graph, enumerate its cliques, and sum the
+/// clique potentials against a database object.
+
+namespace figdb::core {
+
+/// A query compiled into its FIG cliques (with clique weights memoised by
+/// the underlying CorS calculator). Build once per query, reuse across all
+/// scored objects.
+struct QueryModel {
+  std::vector<Clique> cliques;
+  std::uint32_t type_mask = kAllFeatures;
+};
+
+class FigScorer {
+ public:
+  FigScorer(std::shared_ptr<const PotentialEvaluator> potential);
+
+  /// Compiles a query object: FIG construction + clique enumeration.
+  QueryModel Compile(const corpus::MediaObject& query,
+                     std::uint32_t type_mask = kAllFeatures) const;
+
+  /// s(Oq, Oi) = sum over query cliques of phi'(c, Oi) (Eq. 6).
+  double Score(const QueryModel& query, const corpus::MediaObject& obj) const;
+
+  /// Reference sequential retrieval (paper §3.5 before indexing): scores
+  /// every object in \p corpus and returns the top-k.
+  std::vector<SearchResult> SequentialSearch(const corpus::Corpus& corpus,
+                                             const QueryModel& query,
+                                             std::size_t k) const;
+
+  const PotentialEvaluator& Potential() const { return *potential_; }
+
+ private:
+  std::shared_ptr<const PotentialEvaluator> potential_;
+};
+
+}  // namespace figdb::core

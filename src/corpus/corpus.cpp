@@ -1,0 +1,42 @@
+#include "corpus/corpus.hpp"
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace figdb::corpus {
+
+std::string Context::DescribeFeature(FeatureKey key) const {
+  const std::uint32_t id = IdOf(key);
+  switch (TypeOf(key)) {
+    case FeatureType::kText:
+      if (id < vocabulary.Size())
+        return util::Format("tag:%s", vocabulary.TermOf(id).c_str());
+      return util::Format("tag:#%u", id);
+    case FeatureType::kVisual:
+      return util::Format("vw:%u", id);
+    case FeatureType::kUser:
+      return util::Format("user:%u", id);
+  }
+  return util::Format("?:%u", id);
+}
+
+ObjectId Corpus::Add(MediaObject object) {
+  object.id = static_cast<ObjectId>(objects_.size());
+  objects_.push_back(std::move(object));
+  return objects_.back().id;
+}
+
+const MediaObject& Corpus::Object(ObjectId id) const {
+  FIGDB_CHECK(id < objects_.size());
+  return objects_[id];
+}
+
+Corpus Corpus::Prefix(std::size_t n) const {
+  Corpus out;
+  out.context_ = context_;
+  const std::size_t count = std::min(n, objects_.size());
+  out.objects_.assign(objects_.begin(), objects_.begin() + count);
+  return out;
+}
+
+}  // namespace figdb::corpus

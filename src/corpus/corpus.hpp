@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/media_object.hpp"
+#include "social/user_graph.hpp"
+#include "text/taxonomy.hpp"
+#include "text/vocabulary.hpp"
+#include "vision/visual_vocabulary.hpp"
+
+/// \file corpus.hpp
+/// The social media database D = {O_i} plus the shared feature substrates
+/// every module consults (tag vocabulary + taxonomy, visual vocabulary,
+/// user/group graph).
+
+namespace figdb::corpus {
+
+/// Shared per-database context: everything needed to interpret FeatureKeys
+/// and to compute intra-type correlations (§3.2).
+struct Context {
+  text::Vocabulary vocabulary;
+  text::Taxonomy taxonomy;
+  vision::VisualVocabulary visual_vocabulary;
+  social::UserGraph user_graph;
+  /// Number of latent ground-truth topics behind the corpus.
+  std::size_t num_topics = 0;
+
+  /// Human-readable rendering of a feature ("tag:sunset", "vw:113",
+  /// "user:42") for logs, examples and reports.
+  std::string DescribeFeature(FeatureKey key) const;
+};
+
+/// The database D. Owns its objects and the shared context.
+class Corpus {
+ public:
+  Corpus() : context_(std::make_shared<Context>()) {}
+
+  Context& MutableContext() { return *context_; }
+  const Context& GetContext() const { return *context_; }
+  std::shared_ptr<const Context> SharedContext() const { return context_; }
+
+  /// Appends an object, assigning its id. Features must be normalized.
+  ObjectId Add(MediaObject object);
+
+  std::size_t Size() const { return objects_.size(); }
+  const MediaObject& Object(ObjectId id) const;
+  const std::vector<MediaObject>& Objects() const { return objects_; }
+
+  /// A corpus restricted to the first \p n objects, sharing this corpus's
+  /// context. Used by the scalability experiments (paper Figs. 8-9).
+  Corpus Prefix(std::size_t n) const;
+
+ private:
+  std::shared_ptr<Context> context_;
+  std::vector<MediaObject> objects_;
+};
+
+}  // namespace figdb::corpus

@@ -1,0 +1,557 @@
+#include "corpus/generator.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/porter_stemmer.hpp"
+#include "text/stopwords.hpp"
+#include "text/tokenizer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "vision/block_features.hpp"
+#include "vision/image_synth.hpp"
+#include "vision/kmeans.hpp"
+
+namespace figdb::corpus {
+namespace {
+
+constexpr std::uint32_t kNoTopic = MediaObject::kInvalidTopic;
+
+/// Pre-materialised object before vocabulary pruning / feature-id assignment.
+struct Draft {
+  std::uint32_t topic = kNoTopic;
+  std::uint32_t secondary = kNoTopic;
+  std::uint16_t month = 0;
+  std::vector<std::string> tag_stems;  // post tokenizer/stemmer/stopwords
+  std::vector<vision::VisualWordId> visual_words;   // direct path
+  std::vector<vision::Descriptor> descriptors;      // image-pipeline path
+  std::vector<social::UserId> users;
+};
+
+/// All shared synthesis state: topic tag pools, user interests, visual word
+/// pools. Owns the deterministic Rng streams.
+class SynthesisEngine {
+ public:
+  explicit SynthesisEngine(const GeneratorConfig& cfg)
+      : cfg_(cfg),
+        rng_(cfg.seed),
+        synthesizer_(cfg.num_topics, vision::SynthesizerOptions{
+                                         .pixel_noise = cfg.pixel_noise,
+                                         .seed = cfg.seed ^ 0xabcdefULL}) {
+    BuildTagPools();
+    BuildUsers();
+    BuildVisualPools();
+  }
+
+  /// Samples one object draft with the given month.
+  Draft MakeDraft(std::uint16_t month) {
+    Draft d;
+    d.month = month;
+    d.topic = static_cast<std::uint32_t>(
+        rng_.Zipf(cfg_.num_topics, cfg_.topic_zipf));
+    if (rng_.Bernoulli(cfg_.secondary_topic_probability))
+      d.secondary = SameDomainNeighbor(d.topic);
+    SampleTags(&d);
+    if (cfg_.use_image_pipeline) {
+      RenderDescriptors(&d);
+    } else {
+      SampleVisualWords(&d);
+    }
+    SampleUsers(&d);
+    return d;
+  }
+
+  /// Converts drafts into a Corpus: builds the vocabulary (with pruning),
+  /// taxonomy, visual vocabulary and user graph, then materialises objects.
+  Corpus Build(std::vector<Draft> drafts) {
+    Corpus corpus;
+    Context& ctx = corpus.MutableContext();
+    ctx.num_topics = cfg_.num_topics;
+
+    // ---- Vocabulary with the paper's min-frequency pruning (§5.1.3).
+    for (const Draft& d : drafts)
+      for (const std::string& stem : d.tag_stems)
+        ctx.vocabulary.AddOccurrence(stem);
+    ctx.vocabulary.Prune(cfg_.min_tag_frequency);
+
+    BuildTaxonomy(&ctx);
+    BuildVisualVocabulary(&drafts, &ctx);
+    ctx.user_graph = std::move(user_graph_);
+
+    // ---- Materialise objects.
+    for (Draft& d : drafts) {
+      MediaObject obj;
+      obj.topic = d.topic;
+      obj.month = d.month;
+      for (const std::string& stem : d.tag_stems) {
+        const text::TermId id = ctx.vocabulary.Lookup(stem);
+        if (id == text::kInvalidTerm) continue;  // pruned typo/rare tag
+        obj.features.push_back({MakeFeatureKey(FeatureType::kText, id), 1});
+      }
+      for (vision::VisualWordId w : d.visual_words)
+        obj.features.push_back({MakeFeatureKey(FeatureType::kVisual, w), 1});
+      for (social::UserId u : d.users)
+        obj.features.push_back({MakeFeatureKey(FeatureType::kUser, u), 1});
+      obj.Normalize();
+      corpus.Add(std::move(obj));
+    }
+    return corpus;
+  }
+
+  util::Rng* MutableRng() { return &rng_; }
+
+  const std::vector<std::uint32_t>& UsersInterestedIn(
+      std::uint32_t topic) const {
+    return topic_users_[topic];
+  }
+
+ private:
+  // ------------------------------------------------------------------ words
+  /// Generates a pronounceable pseudo-word that is a Porter-stem fixed
+  /// point, survives plural inflection, is not a stop word and is unique.
+  std::string MakeWord(std::size_t min_syllables = 2,
+                       std::size_t max_syllables = 4) {
+    static constexpr char kConsonants[] = "bcdfgklmnprtvz";
+    static constexpr char kVowels[] = "aeiou";
+    text::PorterStemmer stemmer;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      std::string w;
+      const std::size_t syllables = static_cast<std::size_t>(
+          rng_.UniformInt(std::int64_t(min_syllables),
+                          std::int64_t(max_syllables)));
+      for (std::size_t s = 0; s < syllables; ++s) {
+        w += kConsonants[rng_.UniformInt(sizeof(kConsonants) - 1)];
+        w += kVowels[rng_.UniformInt(sizeof(kVowels) - 1)];
+      }
+      w += kConsonants[rng_.UniformInt(sizeof(kConsonants) - 2)];  // not 'z'
+      if (w.back() == 's') continue;
+      if (text::IsStopword(w)) continue;
+      if (stemmer.Stem(w) != w) continue;
+      if (stemmer.Stem(w + "s") != w) continue;
+      if (!used_words_.insert(w).second) continue;
+      return w;
+    }
+    FIGDB_CHECK_MSG(false, "could not synthesise a fresh pseudo-word");
+    return {};
+  }
+
+  void BuildTagPools() {
+    topic_tags_.resize(cfg_.num_topics);
+    for (std::size_t t = 0; t < cfg_.num_topics; ++t) {
+      topic_tags_[t].reserve(cfg_.tags_per_topic);
+      for (std::size_t j = 0; j < cfg_.tags_per_topic; ++j) {
+        std::string w = MakeWord();
+        topic_word_info_[w] = {static_cast<std::uint32_t>(t),
+                               static_cast<std::uint32_t>(
+                                   j / std::max<std::size_t>(
+                                           1, cfg_.tags_per_cluster))};
+        topic_tags_[t].push_back(std::move(w));
+      }
+    }
+    generic_tags_.reserve(cfg_.generic_tags);
+    for (std::size_t j = 0; j < cfg_.generic_tags; ++j) {
+      std::string w = MakeWord();
+      generic_word_set_.insert(w);
+      generic_tags_.push_back(std::move(w));
+    }
+  }
+
+  // ------------------------------------------------------------------ users
+  void BuildUsers() {
+    for (std::size_t u = 0; u < cfg_.num_users; ++u) user_graph_.AddUser();
+    const std::size_t num_groups = cfg_.num_topics * cfg_.groups_per_topic;
+    for (std::size_t g = 0; g < num_groups; ++g) user_graph_.AddGroup();
+
+    topic_users_.resize(cfg_.num_topics);
+    for (std::size_t u = 0; u < cfg_.num_users; ++u) {
+      const int extra =
+          rng_.Poisson(std::max(0.0, cfg_.mean_interests_per_user - 1.0));
+      const std::size_t interests =
+          std::min<std::size_t>(1 + extra, cfg_.num_topics);
+      std::unordered_set<std::uint32_t> chosen;
+      while (chosen.size() < interests) {
+        chosen.insert(static_cast<std::uint32_t>(
+            rng_.Zipf(cfg_.num_topics, cfg_.topic_zipf)));
+      }
+      for (std::uint32_t t : chosen) {
+        topic_users_[t].push_back(static_cast<std::uint32_t>(u));
+        // Join 1-2 of the topic's groups.
+        const std::size_t joins = 1 + rng_.UniformInt(2);
+        for (std::size_t j = 0; j < joins; ++j) {
+          const social::GroupId g = static_cast<social::GroupId>(
+              t * cfg_.groups_per_topic +
+              rng_.UniformInt(cfg_.groups_per_topic));
+          user_graph_.AddMembership(static_cast<social::UserId>(u), g);
+        }
+      }
+    }
+    // Guarantee every topic has at least one interested user.
+    for (std::size_t t = 0; t < cfg_.num_topics; ++t) {
+      if (topic_users_[t].empty()) {
+        const std::uint32_t u =
+            static_cast<std::uint32_t>(rng_.UniformInt(cfg_.num_users));
+        topic_users_[t].push_back(u);
+        user_graph_.AddMembership(
+            u, static_cast<social::GroupId>(t * cfg_.groups_per_topic));
+      }
+    }
+  }
+
+  // ----------------------------------------------------------------- visual
+  void BuildVisualPools() {
+    if (cfg_.use_image_pipeline) return;
+    // Topic words live on a circular array; each topic samples from a
+    // window around its anchor, and windows of neighbouring topics overlap
+    // (visual_window_overlap > 1). Centroids follow a slow random walk
+    // along the array so nearby words are also visually similar -- the
+    // intra-visual correlation structure of Sec 3.2 with a realistic blur.
+    topic_visual_span_ = std::max<std::size_t>(
+        cfg_.num_topics,
+        static_cast<std::size_t>(cfg_.visual_words *
+                                 cfg_.visual_topic_fraction));
+    topic_visual_stride_ =
+        std::max<std::size_t>(1, topic_visual_span_ / cfg_.num_topics);
+    topic_visual_window_ = std::max<std::size_t>(
+        topic_visual_stride_,
+        static_cast<std::size_t>(double(topic_visual_stride_) *
+                                 cfg_.visual_window_overlap));
+    common_visual_begin_ = topic_visual_span_;
+    const std::size_t total =
+        std::max(cfg_.visual_words, common_visual_begin_ + 1);
+    visual_centroids_.resize(total);
+    util::Rng crng = rng_.Fork();
+    auto random_descriptor = [&crng]() {
+      vision::Descriptor d{};
+      for (int i = 0; i < 8; ++i)
+        d[i] = static_cast<float>(crng.UniformReal(0.0, 0.3));
+      for (int i = 8; i < 13; ++i)
+        d[i] = static_cast<float>(crng.UniformReal(0.2, 0.8));
+      d[13] = static_cast<float>(crng.UniformReal(0.0, 0.3));
+      d[14] = static_cast<float>(crng.UniformReal(0.0, 0.2));
+      d[15] = static_cast<float>(crng.UniformReal(0.0, 0.2));
+      return d;
+    };
+    vision::Descriptor walk = random_descriptor();
+    for (std::size_t w = 0; w < topic_visual_span_; ++w) {
+      for (auto& x : walk)
+        x = std::clamp(x + static_cast<float>(crng.Gaussian(0.0, 0.02)),
+                       0.0f, 1.0f);
+      visual_centroids_[w] = walk;
+    }
+    for (std::size_t w = common_visual_begin_; w < total; ++w)
+      visual_centroids_[w] = random_descriptor();
+  }
+
+  void BuildVisualVocabulary(std::vector<Draft>* drafts, Context* ctx) {
+    if (!cfg_.use_image_pipeline) {
+      ctx->visual_vocabulary =
+          vision::VisualVocabulary::FromCentroids(visual_centroids_);
+      return;
+    }
+    // Full pipeline: train k-means on a descriptor sample, then quantise
+    // every draft's descriptors into visual words.
+    std::vector<vision::Descriptor> training;
+    for (std::size_t i = 0;
+         i < std::min(cfg_.kmeans_training_images, drafts->size()); ++i) {
+      const auto& ds = (*drafts)[i].descriptors;
+      training.insert(training.end(), ds.begin(), ds.end());
+    }
+    ctx->visual_vocabulary = vision::VisualVocabulary::Build(
+        training, vision::KMeansOptions{.k = cfg_.visual_words,
+                                        .max_iterations =
+                                            cfg_.kmeans_iterations,
+                                        .seed = cfg_.seed ^ 0x515ca1eULL});
+    for (Draft& d : *drafts) {
+      d.visual_words = ctx->visual_vocabulary.QuantizeAll(d.descriptors);
+      d.descriptors.clear();
+      d.descriptors.shrink_to_fit();
+    }
+  }
+
+  // ----------------------------------------------------------------- drafts
+  std::uint32_t SameDomainNeighbor(std::uint32_t topic) {
+    const std::size_t domain = topic / cfg_.topics_per_domain;
+    const std::size_t begin = domain * cfg_.topics_per_domain;
+    const std::size_t end =
+        std::min(begin + cfg_.topics_per_domain, cfg_.num_topics);
+    if (end - begin <= 1) return topic;
+    for (;;) {
+      const std::uint32_t t = static_cast<std::uint32_t>(
+          begin + rng_.UniformInt(end - begin));
+      if (t != topic) return t;
+    }
+  }
+
+  void SampleTags(Draft* d) {
+    static constexpr const char* kStopSamples[] = {"the", "and", "with",
+                                                   "from", "very"};
+    text::Tokenizer tokenizer;
+    text::PorterStemmer stemmer;
+
+    // The object's active tag clusters: a facet of its topic (§DESIGN).
+    const std::size_t cluster_size =
+        std::max<std::size_t>(1, cfg_.tags_per_cluster);
+    const std::size_t clusters_per_topic = std::max<std::size_t>(
+        1, cfg_.tags_per_topic / cluster_size);
+    std::vector<std::size_t> active;
+    for (std::size_t c = 0;
+         c < std::min(cfg_.active_clusters_per_object, clusters_per_topic);
+         ++c) {
+      active.push_back(rng_.UniformInt(clusters_per_topic));
+    }
+
+    auto topic_tag = [&](std::uint32_t topic, bool use_clusters) {
+      const auto& pool = topic_tags_[topic];
+      if (use_clusters && !active.empty() &&
+          rng_.Bernoulli(cfg_.cluster_focus)) {
+        const std::size_t cluster = active[rng_.UniformInt(active.size())];
+        const std::size_t begin =
+            std::min(cluster * cluster_size, pool.size() - 1);
+        const std::size_t span =
+            std::min(cluster_size, pool.size() - begin);
+        return pool[begin + rng_.Zipf(span, cfg_.tag_zipf)];
+      }
+      return pool[rng_.Zipf(pool.size(), cfg_.tag_zipf)];
+    };
+
+    const int count = std::max(3, rng_.Poisson(cfg_.mean_tags_per_object));
+    for (int i = 0; i < count; ++i) {
+      std::string raw;
+      if (rng_.Bernoulli(cfg_.typo_probability)) {
+        // A fresh word that occurs once corpus-wide: pruned as noise/typo.
+        raw = MakeWord(3, 5);
+      } else if (rng_.Bernoulli(cfg_.stopword_probability)) {
+        raw = kStopSamples[rng_.UniformInt(std::size(kStopSamples))];
+      } else if (rng_.Bernoulli(cfg_.generic_tag_probability)) {
+        raw = generic_tags_[rng_.Zipf(generic_tags_.size(), cfg_.tag_zipf)];
+      } else if (d->secondary != kNoTopic && rng_.Bernoulli(0.3)) {
+        raw = topic_tag(d->secondary, /*use_clusters=*/false);
+      } else {
+        raw = topic_tag(d->topic, /*use_clusters=*/true);
+      }
+      if (rng_.Bernoulli(cfg_.inflection_probability)) raw += "s";
+      // Real text pipeline: tokenize, drop stop words, stem.
+      for (const std::string& token : tokenizer.Tokenize(raw)) {
+        if (text::IsStopword(token)) continue;
+        d->tag_stems.push_back(stemmer.Stem(token));
+      }
+    }
+  }
+
+  void SampleVisualWords(Draft* d) {
+    d->visual_words.reserve(cfg_.blocks_per_object);
+    for (std::size_t b = 0; b < cfg_.blocks_per_object; ++b) {
+      if (rng_.Bernoulli(cfg_.visual_topic_purity)) {
+        std::uint32_t topic = d->topic;
+        if (d->secondary != kNoTopic && rng_.Bernoulli(0.3))
+          topic = d->secondary;
+        const std::size_t offset = rng_.Zipf(topic_visual_window_, 0.8);
+        d->visual_words.push_back(static_cast<vision::VisualWordId>(
+            (topic * topic_visual_stride_ + offset) % topic_visual_span_));
+      } else {
+        const std::size_t span =
+            visual_centroids_.size() - common_visual_begin_;
+        d->visual_words.push_back(static_cast<vision::VisualWordId>(
+            common_visual_begin_ + rng_.Zipf(span, 0.8)));
+      }
+    }
+  }
+
+  void RenderDescriptors(Draft* d) {
+    std::vector<double> weights(cfg_.num_topics, 0.02);
+    weights[d->topic] = 1.0;
+    if (d->secondary != kNoTopic) weights[d->secondary] = 0.45;
+    const vision::Image img = synthesizer_.Render(weights, &rng_);
+    d->descriptors = extractor_.Extract(img);
+  }
+
+  void SampleUsers(Draft* d) {
+    const int favoriters = rng_.Poisson(cfg_.mean_favoriters_per_object);
+    const int total = 1 + favoriters;  // uploader + favouriters
+    std::unordered_set<social::UserId> chosen;
+    for (int i = 0; i < total; ++i) {
+      social::UserId u;
+      if (rng_.Bernoulli(cfg_.user_topic_affinity)) {
+        const auto& pool = topic_users_[d->topic];
+        u = pool[rng_.UniformInt(pool.size())];
+      } else {
+        u = static_cast<social::UserId>(rng_.UniformInt(cfg_.num_users));
+      }
+      chosen.insert(u);
+    }
+    d->users.assign(chosen.begin(), chosen.end());
+    std::sort(d->users.begin(), d->users.end());
+  }
+
+  // --------------------------------------------------------------- taxonomy
+  void BuildTaxonomy(Context* ctx) {
+    text::Taxonomy& tax = ctx->taxonomy;
+    const text::NodeId root = tax.AddRoot();
+    const std::size_t num_domains =
+        (cfg_.num_topics + cfg_.topics_per_domain - 1) /
+        cfg_.topics_per_domain;
+    std::vector<text::NodeId> domains;
+    for (std::size_t i = 0; i < num_domains; ++i)
+      domains.push_back(tax.AddChild(root, "domain" + std::to_string(i)));
+
+    // topic -> topic node; (topic, cluster) -> cluster node, built lazily.
+    std::vector<text::NodeId> topic_nodes(cfg_.num_topics);
+    for (std::size_t t = 0; t < cfg_.num_topics; ++t)
+      topic_nodes[t] = tax.AddChild(domains[t / cfg_.topics_per_domain],
+                                    "topic" + std::to_string(t));
+    std::unordered_map<std::uint64_t, text::NodeId> cluster_nodes;
+
+    for (std::size_t id = 0; id < ctx->vocabulary.Size(); ++id) {
+      const std::string& stem =
+          ctx->vocabulary.TermOf(static_cast<text::TermId>(id));
+      auto it = topic_word_info_.find(stem);
+      if (it != topic_word_info_.end()) {
+        const auto [topic, cluster] = it->second;
+        const std::uint64_t key =
+            (std::uint64_t(topic) << 32) | cluster;
+        auto [cit, inserted] = cluster_nodes.try_emplace(key, 0);
+        if (inserted) {
+          cit->second = tax.AddChild(topic_nodes[topic],
+                                     "cluster" + std::to_string(cluster));
+        }
+        tax.AttachTerm(static_cast<std::uint32_t>(id),
+                       tax.AddChild(cit->second, stem));
+      } else {
+        // Generic (or surviving typo) word: its own shallow branch so it is
+        // weakly related to everything (WUP ~= 0.25-0.33, below threshold).
+        const text::NodeId own = tax.AddChild(root, "g_" + stem);
+        tax.AttachTerm(static_cast<std::uint32_t>(id),
+                       tax.AddChild(own, stem));
+      }
+    }
+  }
+
+  const GeneratorConfig& cfg_;
+  util::Rng rng_;
+  vision::Synthesizer synthesizer_;
+  vision::BlockFeatureExtractor extractor_;
+
+  std::vector<std::vector<std::string>> topic_tags_;
+  std::vector<std::string> generic_tags_;
+  std::unordered_set<std::string> used_words_;
+  std::unordered_map<std::string, std::pair<std::uint32_t, std::uint32_t>>
+      topic_word_info_;  // stem -> (topic, cluster)
+  std::unordered_set<std::string> generic_word_set_;
+
+  social::UserGraph user_graph_;
+  std::vector<std::vector<std::uint32_t>> topic_users_;
+
+  std::vector<vision::Descriptor> visual_centroids_;
+  std::size_t topic_visual_span_ = 0;
+  std::size_t topic_visual_stride_ = 0;
+  std::size_t topic_visual_window_ = 0;
+  std::size_t common_visual_begin_ = 0;
+};
+
+}  // namespace
+
+Generator::Generator(GeneratorConfig config) : config_(std::move(config)) {
+  FIGDB_CHECK(config_.num_topics > 0);
+  FIGDB_CHECK(config_.num_months > 0);
+  FIGDB_CHECK(config_.num_users > 0);
+}
+
+Corpus Generator::MakeRetrievalCorpus() {
+  SynthesisEngine engine(config_);
+  std::vector<Draft> drafts;
+  drafts.reserve(config_.num_objects);
+  for (std::size_t i = 0; i < config_.num_objects; ++i) {
+    const std::uint16_t month = static_cast<std::uint16_t>(
+        engine.MutableRng()->UniformInt(config_.num_months));
+    drafts.push_back(engine.MakeDraft(month));
+  }
+  return engine.Build(std::move(drafts));
+}
+
+RecommendationDataset Generator::MakeRecommendationDataset(
+    const RecommendationConfig& rec) {
+  FIGDB_CHECK(rec.profile_months < config_.num_months);
+  SynthesisEngine engine(config_);
+
+  // Objects are spread evenly over the months so every month has a pool.
+  std::vector<Draft> drafts;
+  drafts.reserve(config_.num_objects);
+  for (std::size_t i = 0; i < config_.num_objects; ++i) {
+    const std::uint16_t month =
+        static_cast<std::uint16_t>(i % config_.num_months);
+    drafts.push_back(engine.MakeDraft(month));
+  }
+
+  RecommendationDataset out;
+  out.profile_months = rec.profile_months;
+  out.corpus = engine.Build(std::move(drafts));
+
+  std::vector<std::vector<ObjectId>> by_month(config_.num_months);
+  for (const MediaObject& obj : out.corpus.Objects()) {
+    by_month[obj.month].push_back(obj.id);
+    if (obj.month >= rec.profile_months) out.candidates.push_back(obj.id);
+  }
+
+  util::Rng* rng = engine.MutableRng();
+  for (std::size_t u = 0; u < rec.num_profile_users; ++u) {
+    RecommendationUser user;
+
+    // Persistent interests, stable over all months.
+    std::unordered_set<std::uint32_t> persistent;
+    while (persistent.size() <
+           std::min<std::size_t>(rec.persistent_topics_per_user,
+                                 config_.num_topics)) {
+      persistent.insert(static_cast<std::uint32_t>(
+          rng->Zipf(config_.num_topics, config_.topic_zipf)));
+    }
+    // An old transient interest that dies before the evaluation window, and
+    // a recent one that starts in the last profile month and persists: the
+    // drift FIG-T's decay is designed to exploit (paper §4, Fig. 4).
+    auto fresh_topic = [&] {
+      for (;;) {
+        const std::uint32_t t = static_cast<std::uint32_t>(
+            rng->UniformInt(config_.num_topics));
+        if (!persistent.count(t)) return t;
+      }
+    };
+    const std::uint32_t old_transient = fresh_topic();
+    std::uint32_t new_transient = fresh_topic();
+    while (new_transient == old_transient) new_transient = fresh_topic();
+
+    for (std::size_t m = 0; m < config_.num_months; ++m) {
+      std::vector<double> interest(config_.num_topics, 0.0);
+      for (std::uint32_t t : persistent) interest[t] = 1.0;
+      const bool new_active = m + rec.new_interest_lead >= rec.profile_months;
+      if (!new_active)  // active only in the early profile months
+        interest[old_transient] = rec.transient_weight;
+      if (new_active)   // from (profile_months - lead) onwards
+        interest[new_transient] = rec.transient_weight;
+
+      const auto& pool = by_month[m];
+      if (pool.empty()) continue;
+      std::vector<double> weights(pool.size());
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        const std::uint32_t t = out.corpus.Object(pool[i]).topic;
+        weights[i] = 0.02 + (t < interest.size() ? interest[t] : 0.0);
+      }
+      const int favorites = std::max(1, rng->Poisson(
+                                            rec.mean_favorites_per_month));
+      for (int f = 0; f < favorites; ++f) {
+        const std::size_t pick = rng->Categorical(weights);
+        if (weights[pick] <= 0.0) continue;  // pool exhausted of mass
+        weights[pick] = 0.0;                 // without replacement
+        if (m < rec.profile_months) {
+          user.profile.push_back(pool[pick]);
+        } else {
+          user.held_out.push_back(pool[pick]);
+        }
+      }
+    }
+    out.users.push_back(std::move(user));
+  }
+  return out;
+}
+
+}  // namespace figdb::corpus

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+/// \file generator.hpp
+/// Synthetic social-media corpus generator (the Flickr-crawl substitute).
+///
+/// The paper evaluates on two crawls: Dret (236,600 "interesting" images,
+/// 2008.1-2008.6) and Drec (207,909 favourite images of 279 users). Neither
+/// is available, so this generator produces corpora with the statistical
+/// structure the FIG model exploits:
+///
+///  * a set of latent topics; every object has a dominant topic (ground
+///    truth for the evaluation oracle, replacing the paper's human judges)
+///    and optionally a secondary topic from the same taxonomy domain;
+///  * tags drawn from per-topic Zipf tag pools plus a generic noise pool,
+///    emitted as raw inflected strings and pushed through the real text
+///    pipeline (tokeniser -> Porter stemmer -> stop-word filter ->
+///    min-frequency-5 vocabulary pruning, §5.1.3);
+///  * visual words either from the full image pipeline (procedural render ->
+///    16-D block descriptors -> k-means vocabulary -> quantisation) or from
+///    a fast topic-conditioned sampling path with synthetic topic-anchored
+///    centroids (identical downstream interface, used at large scales);
+///  * uploader + favouriter users whose interests cover few topics and who
+///    join per-topic groups (the §3.2 intra-user correlation substrate);
+///  * upload months, with per-user interest drift for the recommendation
+///    dataset (persistent topics + an old transient interest that dies
+///    before the evaluation window + a recent transient interest that
+///    persists into it — the paper's "Obama during the election" effect).
+
+namespace figdb::corpus {
+
+struct GeneratorConfig {
+  std::size_t num_objects = 20000;
+  std::uint64_t seed = 20100611;
+
+  // ---- Topic structure.
+  std::size_t num_topics = 40;
+  std::size_t topics_per_domain = 5;
+  /// Zipf skew of the dominant-topic distribution over objects.
+  double topic_zipf = 0.5;
+  /// Probability that an object mixes in a secondary same-domain topic.
+  double secondary_topic_probability = 0.35;
+
+  // ---- Textual features.
+  std::size_t tags_per_topic = 30;
+  /// Tags within a topic are grouped into taxonomy clusters of this size.
+  std::size_t tags_per_cluster = 5;
+  std::size_t generic_tags = 120;
+  double generic_tag_probability = 0.22;
+  double tag_zipf = 1.05;
+  double mean_tags_per_object = 8.0;
+  /// Number of the topic's tag clusters an individual object draws from
+  /// (the taxonomy clusters of tags_per_cluster tags). Real objects show a
+  /// facet of their topic, not the whole tag pool; this intra-topic
+  /// sub-structure is what WUP-based correlation can bridge but a low-rank
+  /// latent space cannot.
+  std::size_t active_clusters_per_object = 2;
+  /// Probability a topic-tag draw stays within the object's active
+  /// clusters (vs. the topic's whole pool).
+  double cluster_focus = 0.8;
+  /// Probability a tag token is emitted with a plural inflection (exercises
+  /// the stemmer).
+  double inflection_probability = 0.2;
+  /// Probability of a one-off typo tag (pruned by the min-frequency rule).
+  double typo_probability = 0.02;
+  /// Probability a raw stop word slips into the tag stream.
+  double stopword_probability = 0.03;
+  std::uint32_t min_tag_frequency = 5;
+
+  // ---- Visual features.
+  std::size_t visual_words = 256;  // paper-fidelity value: 1022
+  std::size_t blocks_per_object = 16;
+  /// Probability a block's visual word comes from the object's topic pool
+  /// (the rest come from a topic-agnostic common pool). Lower = wider
+  /// semantic gap.
+  double visual_topic_purity = 0.55;
+  /// Fraction of the visual vocabulary reserved for per-topic pools.
+  double visual_topic_fraction = 0.7;
+  /// Width of a topic's visual-word window, in multiples of the per-topic
+  /// stride over the shared circular word array. Values above 1 make
+  /// neighbouring topics share visual words — the blur behind the visual
+  /// modality's semantic gap.
+  double visual_window_overlap = 3.0;
+  /// Use the full image pipeline (render -> descriptors -> k-means ->
+  /// quantise) instead of direct word sampling. Slower; same interface.
+  bool use_image_pipeline = false;
+  std::size_t kmeans_training_images = 300;
+  std::size_t kmeans_iterations = 12;
+  double pixel_noise = 0.08;
+
+  // ---- User features.
+  std::size_t num_users = 4000;
+  std::size_t groups_per_topic = 3;
+  double mean_interests_per_user = 2.0;
+  double mean_favoriters_per_object = 6.0;
+  /// Probability a favouriter/uploader is drawn from users interested in the
+  /// object's dominant topic (vs. a uniformly random user).
+  double user_topic_affinity = 0.8;
+
+  // ---- Time.
+  std::size_t num_months = 6;
+};
+
+/// Per-user recommendation ground truth (paper §5.1.2, Drec).
+struct RecommendationUser {
+  /// Favourite objects in the profile window (months [0, profile_months)).
+  std::vector<ObjectId> profile;
+  /// Favourite objects in the evaluation window — the "correct"
+  /// recommendations.
+  std::vector<ObjectId> held_out;
+};
+
+struct RecommendationDataset {
+  Corpus corpus;
+  std::vector<RecommendationUser> users;
+  /// All objects in the evaluation window (the "newly incoming set").
+  std::vector<ObjectId> candidates;
+  std::size_t profile_months = 3;
+};
+
+struct RecommendationConfig {
+  std::size_t num_profile_users = 60;
+  std::size_t profile_months = 3;
+  double mean_favorites_per_month = 20.0;
+  std::size_t persistent_topics_per_user = 2;
+  /// Interest weight of an active transient topic relative to a persistent
+  /// topic's weight of 1.
+  double transient_weight = 2.5;
+  /// How many months before the evaluation window the user's NEW transient
+  /// interest switches on. With lead L and P profile months, the new
+  /// interest is active from month P - L onwards (and through the whole
+  /// evaluation window); larger leads give moderate decay values more
+  /// profile evidence to exploit.
+  std::size_t new_interest_lead = 2;
+};
+
+/// Deterministic corpus synthesis; one Generator instance per dataset.
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config);
+
+  /// Builds the retrieval corpus (Dret analogue).
+  Corpus MakeRetrievalCorpus();
+
+  /// Builds the recommendation dataset (Drec analogue): a corpus spanning
+  /// all months plus per-user favourite histories split into a profile
+  /// window and a held-out evaluation window.
+  RecommendationDataset MakeRecommendationDataset(
+      const RecommendationConfig& rec);
+
+  const GeneratorConfig& Config() const { return config_; }
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace figdb::corpus

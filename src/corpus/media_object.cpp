@@ -1,0 +1,51 @@
+#include "corpus/media_object.hpp"
+
+#include <algorithm>
+
+namespace figdb::corpus {
+
+std::uint32_t MediaObject::TotalFrequency() const {
+  std::uint32_t total = 0;
+  for (const auto& f : features) total += f.frequency;
+  return total;
+}
+
+std::uint32_t MediaObject::FrequencyOf(FeatureKey feature) const {
+  auto it = std::lower_bound(
+      features.begin(), features.end(), feature,
+      [](const FeatureOccurrence& f, FeatureKey k) { return f.feature < k; });
+  if (it != features.end() && it->feature == feature) return it->frequency;
+  return 0;
+}
+
+bool MediaObject::Contains(FeatureKey feature) const {
+  return FrequencyOf(feature) > 0;
+}
+
+void MediaObject::Normalize() {
+  std::sort(features.begin(), features.end(),
+            [](const FeatureOccurrence& a, const FeatureOccurrence& b) {
+              return a.feature < b.feature;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < features.size();) {
+    FeatureKey key = features[i].feature;
+    std::uint32_t freq = 0;
+    while (i < features.size() && features[i].feature == key) {
+      freq += features[i].frequency;
+      ++i;
+    }
+    features[out++] = {key, freq};
+  }
+  features.resize(out);
+}
+
+std::vector<FeatureOccurrence> MediaObject::FeaturesOfType(
+    FeatureType type) const {
+  std::vector<FeatureOccurrence> out;
+  for (const auto& f : features)
+    if (TypeOf(f.feature) == type) out.push_back(f);
+  return out;
+}
+
+}  // namespace figdb::corpus

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+/// \file media_object.hpp
+/// The multi-modal social media object O = <T, V, U> of paper §3.1, plus the
+/// packed feature identity used across the FIG, statistics and index layers.
+
+namespace figdb::corpus {
+
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kInvalidObject = static_cast<ObjectId>(-1);
+
+/// The three feature modalities of §3.1.
+enum class FeatureType : std::uint8_t { kText = 0, kVisual = 1, kUser = 2 };
+inline constexpr std::size_t kNumFeatureTypes = 3;
+
+/// Globally unique feature identity: modality in the top 2 bits, the
+/// per-modality id (term id / visual word id / user id) in the low 30 bits.
+using FeatureKey = std::uint32_t;
+
+inline constexpr FeatureKey MakeFeatureKey(FeatureType type,
+                                           std::uint32_t id) {
+  return (static_cast<FeatureKey>(type) << 30) | (id & 0x3fffffffu);
+}
+inline constexpr FeatureType TypeOf(FeatureKey key) {
+  return static_cast<FeatureType>(key >> 30);
+}
+inline constexpr std::uint32_t IdOf(FeatureKey key) {
+  return key & 0x3fffffffu;
+}
+
+/// One feature occurrence inside an object, with its within-object frequency
+/// (a tag can appear in both title and tag list; a visual word can cover
+/// several blocks; a user appears once).
+struct FeatureOccurrence {
+  FeatureKey feature;
+  std::uint32_t frequency;
+};
+
+/// A multi-modal multimedia object. Feature lists are kept sorted by
+/// FeatureKey (which also groups them by modality) and duplicate-free.
+struct MediaObject {
+  ObjectId id = kInvalidObject;
+
+  /// Sorted, unique (feature, frequency) pairs across all three modalities.
+  std::vector<FeatureOccurrence> features;
+
+  /// Upload month, counted from the corpus epoch (the paper time-stamps at
+  /// month granularity, §4).
+  std::uint16_t month = 0;
+
+  /// Ground-truth dominant latent topic. This substitutes the paper's
+  /// human evaluators: a retrieved object is "relevant" iff it shares the
+  /// query's dominant topic. kInvalidTopic for objects without ground truth.
+  std::uint32_t topic = kInvalidTopic;
+
+  static constexpr std::uint32_t kInvalidTopic = static_cast<std::uint32_t>(-1);
+
+  /// Total feature-occurrence mass: |Oi| in the paper's Eq. 7.
+  std::uint32_t TotalFrequency() const;
+
+  /// Frequency of \p feature in this object (0 if absent). O(log n).
+  std::uint32_t FrequencyOf(FeatureKey feature) const;
+
+  /// True iff the object contains \p feature.
+  bool Contains(FeatureKey feature) const;
+
+  /// Sorts by key and merges duplicates; call after bulk insertion.
+  void Normalize();
+
+  /// Features of one modality (contiguous because keys sort by type first).
+  std::vector<FeatureOccurrence> FeaturesOfType(FeatureType type) const;
+};
+
+}  // namespace figdb::corpus

@@ -1,0 +1,72 @@
+#include "corpus/query_builder.hpp"
+
+#include "text/porter_stemmer.hpp"
+#include "text/stopwords.hpp"
+#include "text/tokenizer.hpp"
+#include "util/check.hpp"
+#include "vision/block_features.hpp"
+
+namespace figdb::corpus {
+
+QueryBuilder::QueryBuilder(std::shared_ptr<const Context> context)
+    : context_(std::move(context)) {
+  FIGDB_CHECK(context_ != nullptr);
+}
+
+QueryBuilder& QueryBuilder::AddText(std::string_view raw) {
+  const text::Tokenizer tokenizer;
+  const text::PorterStemmer stemmer;
+  for (const std::string& token : tokenizer.Tokenize(raw)) {
+    if (text::IsStopword(token)) continue;
+    const text::TermId id = context_->vocabulary.Lookup(stemmer.Stem(token));
+    if (id == text::kInvalidTerm) {
+      ++dropped_;
+      continue;
+    }
+    draft_.features.push_back({MakeFeatureKey(FeatureType::kText, id), 1});
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AddImage(const vision::Image& image) {
+  if (context_->visual_vocabulary.WordCount() == 0) {
+    ++dropped_;
+    return *this;
+  }
+  const vision::BlockFeatureExtractor extractor;
+  for (const vision::Descriptor& d : extractor.Extract(image)) {
+    draft_.features.push_back(
+        {MakeFeatureKey(FeatureType::kVisual,
+                        context_->visual_vocabulary.Quantize(d)),
+         1});
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AddVisualWord(std::uint32_t word) {
+  if (word >= context_->visual_vocabulary.WordCount()) {
+    ++dropped_;
+    return *this;
+  }
+  draft_.features.push_back({MakeFeatureKey(FeatureType::kVisual, word), 1});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AddUser(std::uint32_t user) {
+  if (user >= context_->user_graph.UserCount()) {
+    ++dropped_;
+    return *this;
+  }
+  draft_.features.push_back({MakeFeatureKey(FeatureType::kUser, user), 1});
+  return *this;
+}
+
+MediaObject QueryBuilder::Build() {
+  draft_.Normalize();
+  MediaObject out = std::move(draft_);
+  draft_ = MediaObject{};
+  dropped_ = 0;
+  return out;
+}
+
+}  // namespace figdb::corpus

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "vision/image.hpp"
+
+/// \file query_builder.hpp
+/// Builds ad-hoc query objects from raw content.
+///
+/// Retrieval (Definition 1) takes a query *object*; a real deployment's
+/// queries arrive as raw material — free-text tags, a new image, a user id
+/// — not as pre-encoded feature ids. QueryBuilder runs the same feature
+/// extraction used at corpus-build time against an existing database
+/// context: tags go through tokenizer -> stop words -> Porter stemmer ->
+/// vocabulary lookup; an image goes through 16x16 block descriptors ->
+/// visual-word quantisation; users are validated against the user graph.
+/// Unknown tags and users are dropped (they carry no corpus statistics and
+/// therefore no retrieval signal).
+
+namespace figdb::corpus {
+
+class QueryBuilder {
+ public:
+  /// \p context must outlive the builder (typically Corpus::SharedContext).
+  explicit QueryBuilder(std::shared_ptr<const Context> context);
+
+  /// Adds free text; every surviving token becomes a text feature.
+  QueryBuilder& AddText(std::string_view text);
+
+  /// Adds an image; every 16x16 block becomes one visual-word occurrence.
+  QueryBuilder& AddImage(const vision::Image& image);
+
+  /// Adds an already-quantised visual word.
+  QueryBuilder& AddVisualWord(std::uint32_t word);
+
+  /// Adds a user (uploader/favouriter); ignored if unknown to the graph.
+  QueryBuilder& AddUser(std::uint32_t user);
+
+  /// Number of raw inputs that were dropped as unknown (diagnostics).
+  std::size_t DroppedCount() const { return dropped_; }
+
+  /// Produces the normalised query object and resets the builder.
+  MediaObject Build();
+
+ private:
+  std::shared_ptr<const Context> context_;
+  MediaObject draft_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace figdb::corpus

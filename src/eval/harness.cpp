@@ -1,0 +1,79 @@
+#include "eval/harness.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace figdb::eval {
+
+RetrievalEvalResult EvaluateRetrieval(
+    const core::Retriever& retriever, const corpus::Corpus& corpus,
+    const std::vector<corpus::ObjectId>& queries, const TopicOracle& oracle,
+    const RetrievalEvalOptions& options) {
+  RetrievalEvalResult out;
+  out.precision.assign(options.cutoffs.size(), 0.0);
+  if (queries.empty()) return out;
+  const std::size_t max_n =
+      *std::max_element(options.cutoffs.begin(), options.cutoffs.end());
+
+  double total_seconds = 0.0;
+  for (corpus::ObjectId qid : queries) {
+    const corpus::MediaObject& query = corpus.Object(qid);
+    util::Stopwatch watch;
+    // Ask for one extra result so dropping the query itself still leaves
+    // max_n candidates.
+    std::vector<core::SearchResult> results =
+        retriever.Search(query, max_n + (options.exclude_query ? 1 : 0));
+    total_seconds += watch.ElapsedSeconds();
+    if (options.exclude_query) {
+      std::erase_if(results, [qid](const core::SearchResult& r) {
+        return r.object == qid;
+      });
+    }
+    for (std::size_t c = 0; c < options.cutoffs.size(); ++c) {
+      out.precision[c] += PrecisionAtN(
+          results, options.cutoffs[c],
+          [&](corpus::ObjectId id) { return oracle.Relevant(query, id); });
+    }
+  }
+  for (double& p : out.precision) p /= double(queries.size());
+  out.seconds_per_query = total_seconds / double(queries.size());
+  out.num_queries = queries.size();
+  return out;
+}
+
+RecommendationEvalResult EvaluateRecommendation(
+    const corpus::RecommendationDataset& dataset, const RecommendFn& method,
+    const RecommendationEvalOptions& options) {
+  RecommendationEvalResult out;
+  out.precision.assign(options.cutoffs.size(), 0.0);
+  const std::size_t max_n =
+      *std::max_element(options.cutoffs.begin(), options.cutoffs.end());
+
+  double total_seconds = 0.0;
+  std::size_t evaluated = 0;
+  for (const corpus::RecommendationUser& user : dataset.users) {
+    if (user.profile.empty() || user.held_out.empty()) continue;
+    ++evaluated;
+    const std::unordered_set<corpus::ObjectId> truth(user.held_out.begin(),
+                                                     user.held_out.end());
+    util::Stopwatch watch;
+    const std::vector<core::SearchResult> results = method(user, max_n);
+    total_seconds += watch.ElapsedSeconds();
+    for (std::size_t c = 0; c < options.cutoffs.size(); ++c) {
+      out.precision[c] += PrecisionAtN(
+          results, options.cutoffs[c],
+          [&](corpus::ObjectId id) { return truth.count(id) > 0; });
+    }
+  }
+  if (evaluated > 0) {
+    for (double& p : out.precision) p /= double(evaluated);
+    out.seconds_per_user = total_seconds / double(evaluated);
+  }
+  out.num_users = evaluated;
+  return out;
+}
+
+}  // namespace figdb::eval

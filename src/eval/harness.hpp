@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/retriever.hpp"
+#include "corpus/generator.hpp"
+#include "eval/oracle.hpp"
+
+/// \file harness.hpp
+/// Experiment drivers for the two tasks of §5: retrieval (Precision@N +
+/// time per query) and recommendation (Precision@N against held-out
+/// favourites).
+
+namespace figdb::eval {
+
+struct RetrievalEvalOptions {
+  std::vector<std::size_t> cutoffs = {3, 5, 10, 20};
+  /// The query object is itself a database object; drop it from results.
+  bool exclude_query = true;
+};
+
+struct RetrievalEvalResult {
+  /// Mean Precision@N per cutoff (same order as options.cutoffs).
+  std::vector<double> precision;
+  /// Mean wall-clock seconds per query (Search() only).
+  double seconds_per_query = 0.0;
+  std::size_t num_queries = 0;
+};
+
+/// Runs every query through \p retriever and averages Precision@N under the
+/// topic oracle — the protocol behind paper Figs. 5, 7, 8, 9.
+RetrievalEvalResult EvaluateRetrieval(
+    const core::Retriever& retriever, const corpus::Corpus& corpus,
+    const std::vector<corpus::ObjectId>& queries, const TopicOracle& oracle,
+    const RetrievalEvalOptions& options = {});
+
+struct RecommendationEvalOptions {
+  std::vector<std::size_t> cutoffs = {10, 20, 30, 40, 50};
+};
+
+struct RecommendationEvalResult {
+  std::vector<double> precision;
+  double seconds_per_user = 0.0;
+  std::size_t num_users = 0;
+};
+
+/// A recommendation method: given one user's profile history and k, return
+/// the ranked candidates.
+using RecommendFn = std::function<std::vector<core::SearchResult>(
+    const corpus::RecommendationUser& user, std::size_t k)>;
+
+/// The paper's recommendation protocol (§5.1.2/§5.3): a recommended object
+/// counts as correct iff the user actually favourited it in the held-out
+/// window.
+RecommendationEvalResult EvaluateRecommendation(
+    const corpus::RecommendationDataset& dataset, const RecommendFn& method,
+    const RecommendationEvalOptions& options = {});
+
+}  // namespace figdb::eval

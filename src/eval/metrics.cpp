@@ -1,0 +1,39 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+namespace figdb::eval {
+
+double PrecisionAtN(const std::vector<core::SearchResult>& results,
+                    std::size_t n, const RelevanceFn& relevant) {
+  if (n == 0) return 0.0;
+  std::size_t hits = 0;
+  const std::size_t limit = std::min(n, results.size());
+  for (std::size_t i = 0; i < limit; ++i)
+    if (relevant(results[i].object)) ++hits;
+  return double(hits) / double(n);
+}
+
+double AveragePrecision(const std::vector<core::SearchResult>& results,
+                        std::size_t total_relevant,
+                        const RelevanceFn& relevant) {
+  if (total_relevant == 0) return 0.0;
+  double sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (relevant(results[i].object)) {
+      ++hits;
+      sum += double(hits) / double(i + 1);
+    }
+  }
+  return sum / double(total_relevant);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / double(values.size());
+}
+
+}  // namespace figdb::eval

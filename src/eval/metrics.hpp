@@ -1,0 +1,28 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/retriever.hpp"
+
+/// \file metrics.hpp
+/// Ranking quality metrics (paper §5.1.4: Precision@N for both tasks).
+
+namespace figdb::eval {
+
+using RelevanceFn = std::function<bool(corpus::ObjectId)>;
+
+/// Fraction of the first \p n results that are relevant. When fewer than n
+/// results exist, missing slots count as non-relevant (conservative).
+double PrecisionAtN(const std::vector<core::SearchResult>& results,
+                    std::size_t n, const RelevanceFn& relevant);
+
+/// Average precision over the ranked list (relevant-total given).
+double AveragePrecision(const std::vector<core::SearchResult>& results,
+                        std::size_t total_relevant,
+                        const RelevanceFn& relevant);
+
+/// Mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+}  // namespace figdb::eval

@@ -1,0 +1,19 @@
+#include "eval/oracle.hpp"
+
+#include "util/rng.hpp"
+
+namespace figdb::eval {
+
+std::vector<corpus::ObjectId> SampleQueries(const corpus::Corpus& corpus,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<corpus::ObjectId> out;
+  for (std::size_t idx :
+       rng.SampleWithoutReplacement(corpus.Size(), count)) {
+    out.push_back(static_cast<corpus::ObjectId>(idx));
+  }
+  return out;
+}
+
+}  // namespace figdb::eval

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+/// \file oracle.hpp
+/// Ground-truth relevance judgements.
+///
+/// The paper uses three human evaluators for retrieval and the "favorite"
+/// list for recommendation. The synthetic corpus carries a latent dominant
+/// topic per object, so the oracle substitutes the human judges: a result
+/// is relevant to a query iff the two objects share their dominant topic.
+/// (Recommendation keeps the paper's own protocol — held-out favourites —
+/// implemented in harness.hpp.)
+
+namespace figdb::eval {
+
+class TopicOracle {
+ public:
+  explicit TopicOracle(const corpus::Corpus* corpus) : corpus_(corpus) {}
+
+  bool Relevant(const corpus::MediaObject& query,
+                corpus::ObjectId result) const {
+    const auto& obj = corpus_->Object(result);
+    return query.topic != corpus::MediaObject::kInvalidTopic &&
+           query.topic == obj.topic;
+  }
+
+  /// All objects relevant to the query (used for RankBoost training).
+  std::unordered_set<corpus::ObjectId> RelevantSet(
+      const corpus::MediaObject& query) const {
+    std::unordered_set<corpus::ObjectId> out;
+    for (const corpus::MediaObject& obj : corpus_->Objects())
+      if (obj.topic == query.topic && obj.id != query.id) out.insert(obj.id);
+    return out;
+  }
+
+ private:
+  const corpus::Corpus* corpus_;
+};
+
+/// Deterministic query sample (the paper's "20 randomly selected images").
+std::vector<corpus::ObjectId> SampleQueries(const corpus::Corpus& corpus,
+                                            std::size_t count,
+                                            std::uint64_t seed);
+
+}  // namespace figdb::eval

@@ -1,0 +1,55 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "util/check.hpp"
+
+namespace figdb::eval {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::string label, const std::vector<double>& values) {
+  FIGDB_CHECK(values.size() == columns_.size());
+  labels_.push_back(std::move(label));
+  rows_.push_back(values);
+}
+
+void Table::Print(std::ostream& os) const {
+  std::size_t label_width = 8;
+  for (const std::string& l : labels_)
+    label_width = std::max(label_width, l.size() + 2);
+
+  os << "== " << title_ << " ==\n";
+  os << std::left << std::setw(int(label_width)) << "method";
+  for (const std::string& c : columns_)
+    os << std::right << std::setw(12) << c;
+  os << "\n";
+  os << std::string(label_width + 12 * columns_.size(), '-') << "\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << std::left << std::setw(int(label_width)) << labels_[r];
+    for (double v : rows_[r])
+      os << std::right << std::setw(12) << std::fixed << std::setprecision(4)
+         << v;
+    os << "\n";
+  }
+  os << "\n";
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  os << "label";
+  for (const std::string& c : columns_) os << "," << c;
+  os << "\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << labels_[r];
+    for (double v : rows_[r])
+      os << "," << std::setprecision(6) << v;
+    os << "\n";
+  }
+}
+
+void Table::Print() const { Print(std::cout); }
+
+}  // namespace figdb::eval

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file report.hpp
+/// Plain-text table printing for the benchmark harness: every bench binary
+/// prints the rows/series of its paper figure through this, plus a CSV dump
+/// for plotting.
+
+namespace figdb::eval {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::string label, const std::vector<double>& values);
+
+  /// Aligned fixed-width text table.
+  void Print(std::ostream& os) const;
+  /// Same data as comma-separated values.
+  void PrintCsv(std::ostream& os) const;
+  /// Print() to stdout.
+  void Print() const;
+
+  const std::vector<std::vector<double>>& Rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace figdb::eval

@@ -1,0 +1,58 @@
+#include "eval/significance.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace figdb::eval {
+
+SignificanceResult PairedBootstrap(const std::vector<double>& a,
+                                   const std::vector<double>& b,
+                                   std::size_t iterations,
+                                   std::uint64_t seed) {
+  FIGDB_CHECK(a.size() == b.size());
+  FIGDB_CHECK(!a.empty());
+  const std::size_t n = a.size();
+  std::vector<double> diff(n);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    diff[i] = a[i] - b[i];
+    mean += diff[i];
+  }
+  mean /= double(n);
+
+  util::Rng rng(seed);
+  std::size_t not_positive = 0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    double resampled = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      resampled += diff[rng.UniformInt(n)];
+    if (resampled <= 0.0) ++not_positive;
+  }
+  SignificanceResult out;
+  out.mean_difference = mean;
+  out.p_value = (double(not_positive) + 1.0) / (double(iterations) + 1.0);
+  out.samples = n;
+  return out;
+}
+
+double PairedTStatistic(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  FIGDB_CHECK(a.size() == b.size());
+  FIGDB_CHECK(a.size() >= 2);
+  const std::size_t n = a.size();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= double(n);
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = (a[i] - b[i]) - mean;
+    var += d * d;
+  }
+  var /= double(n - 1);
+  if (var <= 0.0) return mean == 0.0 ? 0.0 : HUGE_VAL * (mean > 0 ? 1 : -1);
+  return mean / std::sqrt(var / double(n));
+}
+
+}  // namespace figdb::eval

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file significance.hpp
+/// Statistical significance of per-query metric differences.
+///
+/// The paper reports mean Precision@N over 20 queries; with samples that
+/// small, method orderings deserve a significance check. The bench binaries
+/// can attach a paired-bootstrap p-value to "A beats B" claims.
+
+namespace figdb::eval {
+
+struct SignificanceResult {
+  /// mean(a) - mean(b).
+  double mean_difference = 0.0;
+  /// One-sided p-value for the hypothesis mean(a) > mean(b).
+  double p_value = 1.0;
+  std::size_t samples = 0;
+};
+
+/// Paired bootstrap over per-query metric pairs: resample query indices
+/// with replacement and count how often the resampled mean difference is
+/// <= 0. Requires a.size() == b.size() > 0.
+SignificanceResult PairedBootstrap(const std::vector<double>& a,
+                                   const std::vector<double>& b,
+                                   std::size_t iterations = 10000,
+                                   std::uint64_t seed = 0x5e5e);
+
+/// Paired t statistic (for reference; the bootstrap makes no normality
+/// assumption). Returns the t value; p-value lookup is the caller's job.
+double PairedTStatistic(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace figdb::eval

@@ -1,0 +1,48 @@
+#include "eval/training.hpp"
+
+#include "core/lambda_trainer.hpp"
+#include "eval/harness.hpp"
+
+namespace figdb::eval {
+
+std::vector<double> TrainEngineLambda(
+    index::FigRetrievalEngine* engine,
+    const std::vector<corpus::ObjectId>& training_queries,
+    const TopicOracle& oracle, const LambdaTrainingOptions& options) {
+  RetrievalEvalOptions eval_options;
+  eval_options.cutoffs = {options.eval_k};
+
+  core::LambdaTrainerOptions trainer_options;
+  trainer_options.sweeps = options.sweeps;
+  const core::LambdaTrainer trainer(trainer_options);
+
+  const std::vector<double> initial =
+      engine->Potential()->Options().lambda;
+  std::vector<double> best = trainer.Train(
+      initial, [&](const std::vector<double>& lambda) {
+        engine->SetLambda(lambda);
+        const RetrievalEvalResult r = EvaluateRetrieval(
+            *engine, engine->GetCorpus(), training_queries, oracle,
+            eval_options);
+        return r.precision[0];
+      });
+  engine->SetLambda(best);
+  return best;
+}
+
+std::vector<baselines::RankBoostTrainingQuery> MakeRankBoostQueries(
+    const corpus::Corpus& corpus,
+    const std::vector<corpus::ObjectId>& training_queries,
+    const TopicOracle& oracle) {
+  std::vector<baselines::RankBoostTrainingQuery> out;
+  out.reserve(training_queries.size());
+  for (corpus::ObjectId id : training_queries) {
+    baselines::RankBoostTrainingQuery q;
+    q.query = corpus.Object(id);
+    q.relevant = oracle.RelevantSet(q.query);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace figdb::eval

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "baselines/rankboost.hpp"
+#include "corpus/corpus.hpp"
+#include "eval/oracle.hpp"
+#include "index/retrieval_engine.hpp"
+
+/// \file training.hpp
+/// Glue between the optimisers and the evaluation oracle: the paper trains
+/// the MRF λ "adopting the training strategy presented in [16]" — direct
+/// maximisation of the retrieval metric — and trains RankBoost from labelled
+/// preferences. Both use held-out training queries disjoint from the
+/// evaluation queries.
+
+namespace figdb::eval {
+
+struct LambdaTrainingOptions {
+  std::size_t eval_k = 10;
+  /// Coordinate-ascent sweeps (see core::LambdaTrainerOptions).
+  std::size_t sweeps = 2;
+};
+
+/// Trains the engine's λ (by clique size) to maximise mean P@k of the
+/// training queries; installs the best λ into the engine and returns it.
+std::vector<double> TrainEngineLambda(
+    index::FigRetrievalEngine* engine,
+    const std::vector<corpus::ObjectId>& training_queries,
+    const TopicOracle& oracle, const LambdaTrainingOptions& options = {});
+
+/// Builds RankBoost training queries (relevance = shared dominant topic).
+std::vector<baselines::RankBoostTrainingQuery> MakeRankBoostQueries(
+    const corpus::Corpus& corpus,
+    const std::vector<corpus::ObjectId>& training_queries,
+    const TopicOracle& oracle);
+
+}  // namespace figdb::eval

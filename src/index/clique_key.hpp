@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/media_object.hpp"
+
+/// \file clique_key.hpp
+/// Canonical 64-bit keys for FIG cliques.
+///
+/// The inverted index (§3.5) is keyed by clique identity — the sorted set of
+/// member features. We hash the sorted FeatureKeys into 64 bits (FNV-1a);
+/// with <= 2^24 distinct cliques per corpus the collision probability is
+/// below 2^-15, and a collision can only merge two posting lists (adding
+/// candidates, never losing them), so retrieval correctness degrades
+/// gracefully rather than silently dropping results.
+
+namespace figdb::index {
+
+using CliqueKey = std::uint64_t;
+
+/// \p sorted_features must be sorted ascending (core::Clique guarantees it).
+inline CliqueKey MakeCliqueKey(
+    const std::vector<corpus::FeatureKey>& sorted_features) {
+  CliqueKey h = 0xcbf29ce484222325ULL;
+  for (corpus::FeatureKey f : sorted_features) {
+    h ^= f;
+    h *= 0x100000001b3ULL;
+    // Extra avalanche so permutation-insensitive inputs of equal XOR mass
+    // do not collide trivially.
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace figdb::index

@@ -1,0 +1,47 @@
+#include "index/inverted_index.hpp"
+
+#include <algorithm>
+
+namespace figdb::index {
+
+CliqueIndex CliqueIndex::Build(const corpus::Corpus& corpus,
+                               const stats::CorrelationModel& correlations,
+                               const CliqueIndexOptions& options) {
+  CliqueIndex idx;
+  idx.options_ = options;
+  for (const corpus::MediaObject& obj : corpus.Objects())
+    idx.AddObject(obj, correlations);
+  return idx;
+}
+
+void CliqueIndex::AddObject(const corpus::MediaObject& obj,
+                            const stats::CorrelationModel& correlations) {
+  const core::FeatureInteractionGraph fig =
+      core::FeatureInteractionGraph::Build(obj, correlations,
+                                           options_.type_mask);
+  const std::vector<core::Clique> cliques =
+      core::EnumerateCliques(fig, options_.cliques);
+  for (const core::Clique& c : cliques) {
+    auto& list = postings_[MakeCliqueKey(c.features)];
+    // Fast path: in-order bulk build appends; out-of-order insertion keeps
+    // the list sorted and duplicate-free.
+    if (list.empty() || list.back() < obj.id) {
+      list.push_back(obj.id);
+      ++total_postings_;
+    } else {
+      auto it = std::lower_bound(list.begin(), list.end(), obj.id);
+      if (it == list.end() || *it != obj.id) {
+        list.insert(it, obj.id);
+        ++total_postings_;
+      }
+    }
+  }
+}
+
+const std::vector<corpus::ObjectId>& CliqueIndex::Lookup(
+    const std::vector<corpus::FeatureKey>& sorted_features) const {
+  auto it = postings_.find(MakeCliqueKey(sorted_features));
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+}  // namespace figdb::index

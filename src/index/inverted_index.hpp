@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/clique.hpp"
+#include "core/fig.hpp"
+#include "corpus/corpus.hpp"
+#include "index/clique_key.hpp"
+#include "stats/correlation.hpp"
+
+/// \file inverted_index.hpp
+/// The inverted list on cliques of paper §3.5 / Fig. 3.
+///
+/// Every database object is converted to its FIG, the FIG's cliques are
+/// enumerated, and each clique key maps to the (sorted) list of objects
+/// containing that clique. At query time the index answers "which objects
+/// share clique c with the query" in O(1) + output size — the candidate
+/// generation step of Algorithm 1.
+
+namespace figdb::index {
+
+struct CliqueIndexOptions {
+  core::CliqueEnumerationOptions cliques = {.max_features = 3,
+                                            .max_cliques = 1024};
+  /// Restrict indexed features to these modalities (Fig. 5 experiments).
+  std::uint32_t type_mask = core::kAllFeatures;
+};
+
+class CliqueIndex {
+ public:
+  /// Builds the index over the whole corpus. O(sum of per-object cliques).
+  static CliqueIndex Build(const corpus::Corpus& corpus,
+                           const stats::CorrelationModel& correlations,
+                           const CliqueIndexOptions& options);
+
+  /// Objects containing the clique (sorted by id); empty if unknown.
+  const std::vector<corpus::ObjectId>& Lookup(
+      const std::vector<corpus::FeatureKey>& sorted_features) const;
+
+  /// Incrementally indexes one (new) object — social media databases grow
+  /// continuously ("the number increases by approximately 2 million per
+  /// day", paper §1). Postings stay sorted for any insertion order.
+  void AddObject(const corpus::MediaObject& object,
+                 const stats::CorrelationModel& correlations);
+
+  std::size_t DistinctCliques() const { return postings_.size(); }
+  std::size_t TotalPostings() const { return total_postings_; }
+  const CliqueIndexOptions& Options() const { return options_; }
+
+ private:
+  CliqueIndexOptions options_;
+  std::unordered_map<CliqueKey, std::vector<corpus::ObjectId>> postings_;
+  std::size_t total_postings_ = 0;
+  std::vector<corpus::ObjectId> empty_;
+};
+
+}  // namespace figdb::index

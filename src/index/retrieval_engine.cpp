@@ -1,0 +1,108 @@
+#include "index/retrieval_engine.hpp"
+
+#include "index/threshold_algorithm.hpp"
+#include "util/check.hpp"
+#include "util/top_k.hpp"
+
+namespace figdb::index {
+
+FigRetrievalEngine::FigRetrievalEngine(const corpus::Corpus& corpus,
+                                       EngineOptions options)
+    : corpus_(&corpus), options_(options) {
+  // Keep index-side and query-side clique shapes consistent: a query clique
+  // larger than what was indexed could never match.
+  options_.index.type_mask = options_.type_mask;
+  options_.index.cliques.max_features = options_.mrf.cliques.max_features;
+
+  matrix_ = std::make_shared<stats::FeatureMatrix>(
+      stats::FeatureMatrix::Build(corpus));
+  correlations_ = std::make_shared<stats::CorrelationModel>(
+      corpus.SharedContext(), matrix_, options_.correlations);
+  cors_ = std::make_shared<stats::CorSCalculator>(matrix_);
+  core::MrfOptions exact_options = options_.mrf;
+  exact_options.count_partial_cliques = false;
+  exact_potential_ = std::make_shared<core::PotentialEvaluator>(
+      correlations_, cors_, exact_options);
+  core::MrfOptions full_options = options_.mrf;
+  full_options.count_partial_cliques = true;
+  full_potential_ = std::make_shared<core::PotentialEvaluator>(
+      correlations_, cors_, full_options);
+  scorer_ = std::make_unique<core::FigScorer>(full_potential_);
+  if (options_.build_index) {
+    index_ = std::make_unique<CliqueIndex>(
+        CliqueIndex::Build(corpus, *correlations_, options_.index));
+  }
+}
+
+void FigRetrievalEngine::SetLambda(const std::vector<double>& lambda) {
+  exact_potential_->SetLambda(lambda);
+  full_potential_->SetLambda(lambda);
+}
+
+std::vector<ScoredList> FigRetrievalEngine::BuildScoredLists(
+    const core::QueryModel& qm) const {
+  FIGDB_CHECK_MSG(index_ != nullptr, "engine built without an index");
+  std::vector<ScoredList> lists;
+  lists.reserve(qm.cliques.size());
+  for (const core::Clique& c : qm.cliques) {
+    ScoredList list;
+    for (corpus::ObjectId id : index_->Lookup(c.features)) {
+      const double phi = exact_potential_->Phi(c, corpus_->Object(id));
+      if (phi > 0.0) list.entries.push_back({id, phi});
+    }
+    if (!list.entries.empty()) lists.push_back(std::move(list));
+  }
+  return lists;
+}
+
+std::vector<core::SearchResult> FigRetrievalEngine::Search(
+    const corpus::MediaObject& query, std::size_t k) const {
+  const core::QueryModel qm = scorer_->Compile(query, options_.type_mask);
+  std::vector<ScoredList> lists = BuildScoredLists(qm);
+  const std::size_t stage1_k =
+      options_.rerank_candidates == 0
+          ? k
+          : std::max(k, options_.rerank_candidates);
+  std::vector<core::SearchResult> merged =
+      options_.merge == EngineOptions::MergeMode::kThresholdAlgorithm
+          ? ThresholdMerge(std::move(lists), stage1_k)
+          : ExhaustiveMerge(lists, stage1_k);
+  if (options_.rerank_candidates == 0) return merged;
+  // Stage 2: full-model re-scoring (smoothing credits partial cliques).
+  util::TopK<corpus::ObjectId> topk(k);
+  for (const core::SearchResult& r : merged)
+    topk.Offer(scorer_->Score(qm, corpus_->Object(r.object)), r.object);
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+std::vector<core::SearchResult> FigRetrievalEngine::Rank(
+    const corpus::MediaObject& query,
+    const std::vector<corpus::ObjectId>& candidates, std::size_t k) const {
+  const core::QueryModel qm = scorer_->Compile(query, options_.type_mask);
+  util::TopK<corpus::ObjectId> topk(k);
+  for (corpus::ObjectId id : candidates)
+    topk.Offer(scorer_->Score(qm, corpus_->Object(id)), id);
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+std::vector<core::SearchResult> FigRetrievalEngine::SearchSequential(
+    const corpus::MediaObject& query, std::size_t k) const {
+  const core::QueryModel qm = scorer_->Compile(query, options_.type_mask);
+  core::FigScorer exact_scorer(exact_potential_);
+  util::TopK<corpus::ObjectId> topk(k);
+  for (const corpus::MediaObject& obj : corpus_->Objects()) {
+    // Candidate rule of Algorithm 1: the object must contain at least one
+    // query clique (exact score > 0); then the full model ranks it.
+    if (exact_scorer.Score(qm, obj) <= 0.0) continue;
+    topk.Offer(scorer_->Score(qm, obj), obj.id);
+  }
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+}  // namespace figdb::index

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+
+#include "core/potential.hpp"
+#include "core/retriever.hpp"
+#include "core/similarity.hpp"
+#include "corpus/corpus.hpp"
+#include "index/inverted_index.hpp"
+#include "index/threshold_algorithm.hpp"
+#include "stats/correlation.hpp"
+#include "stats/cors.hpp"
+#include "stats/feature_matrix.hpp"
+
+/// \file retrieval_engine.hpp
+/// End-to-end FIG retrieval (paper Fig. 3 + Algorithm 1).
+///
+/// Construction is the paper's training/preprocessing stage: build the
+/// feature statistics, the correlation model (the six pair-wise tables,
+/// lazily), and the inverted clique index. Search() is Algorithm 1:
+/// compile the query to FIG cliques, pull each clique's candidates from the
+/// inverted list, score them with the potential phi' (Eq. 9) and merge the
+/// per-clique lists with the Threshold Algorithm.
+
+namespace figdb::index {
+
+struct EngineOptions {
+  core::MrfOptions mrf;
+  stats::CorrelationOptions correlations;
+  CliqueIndexOptions index;
+  /// How per-clique candidate lists are merged into the final top-k.
+  enum class MergeMode { kThresholdAlgorithm, kExhaustive };
+  MergeMode merge = MergeMode::kThresholdAlgorithm;
+  /// Two-stage retrieval: the inverted lists + TA produce this many
+  /// candidates by exact-clique score; the candidates are then re-scored
+  /// with the FULL Eq. 7 potential, in which a clique whose features are
+  /// absent from the object still earns its smoothing mass (the mechanism
+  /// that lets FIG bridge related-but-not-identical objects). 0 disables
+  /// the re-scoring stage (pure exact-clique scores).
+  std::size_t rerank_candidates = 192;
+  /// Feature modalities the engine uses (Fig. 5 experiments).
+  std::uint32_t type_mask = core::kAllFeatures;
+  /// Skip building the inverted index (sequential-only engines, e.g. the
+  /// reference scorer in ablations).
+  bool build_index = true;
+};
+
+class FigRetrievalEngine : public core::Retriever {
+ public:
+  /// Preprocessing stage; \p corpus must outlive the engine.
+  FigRetrievalEngine(const corpus::Corpus& corpus, EngineOptions options);
+
+  std::string Name() const override { return "FIG"; }
+
+  /// Algorithm 1: index-accelerated top-k retrieval.
+  std::vector<core::SearchResult> Search(const corpus::MediaObject& query,
+                                         std::size_t k) const override;
+
+  /// Scores an explicit candidate set (recommendation-style ranking).
+  std::vector<core::SearchResult> Rank(
+      const corpus::MediaObject& query,
+      const std::vector<corpus::ObjectId>& candidates,
+      std::size_t k) const override;
+
+  /// Sequential reference retrieval (§3.5 pre-index baseline): applies the
+  /// same two-stage semantics (candidates = objects containing at least one
+  /// query clique, scored with the full model) by brute force. Agrees with
+  /// Search() whenever rerank_candidates covers the whole candidate set —
+  /// asserted by the integration tests.
+  std::vector<core::SearchResult> SearchSequential(
+      const corpus::MediaObject& query, std::size_t k) const;
+
+  /// Updates the MRF λ parameters (used by the trainer).
+  void SetLambda(const std::vector<double>& lambda);
+
+  const CliqueIndex& Index() const { return *index_; }
+  const core::FigScorer& Scorer() const { return *scorer_; }
+  const corpus::Corpus& GetCorpus() const { return *corpus_; }
+  const EngineOptions& Options() const { return options_; }
+
+  /// Shared substrates, reused by the recommender and the baselines so the
+  /// expensive statistics are computed once per corpus.
+  std::shared_ptr<const stats::FeatureMatrix> Matrix() const {
+    return matrix_;
+  }
+  std::shared_ptr<const stats::CorrelationModel> Correlations() const {
+    return correlations_;
+  }
+  std::shared_ptr<const stats::CorSCalculator> CorS() const { return cors_; }
+  /// Full-model evaluator (partial cliques credited via smoothing).
+  std::shared_ptr<const core::PotentialEvaluator> Potential() const {
+    return full_potential_;
+  }
+  /// Exact-containment evaluator (stage-1 / inverted-list scoring).
+  std::shared_ptr<const core::PotentialEvaluator> ExactPotential() const {
+    return exact_potential_;
+  }
+
+ private:
+  std::vector<ScoredList> BuildScoredLists(const core::QueryModel& qm) const;
+
+  const corpus::Corpus* corpus_;
+  EngineOptions options_;
+  std::shared_ptr<const stats::FeatureMatrix> matrix_;
+  std::shared_ptr<const stats::CorrelationModel> correlations_;
+  std::shared_ptr<const stats::CorSCalculator> cors_;
+  std::shared_ptr<core::PotentialEvaluator> exact_potential_;
+  std::shared_ptr<core::PotentialEvaluator> full_potential_;
+  std::unique_ptr<core::FigScorer> scorer_;  // full model
+  std::unique_ptr<CliqueIndex> index_;
+};
+
+}  // namespace figdb::index

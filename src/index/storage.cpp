@@ -1,0 +1,204 @@
+#include "index/storage.hpp"
+
+#include <cstdio>
+
+#include "util/serde.hpp"
+#include "vision/block_features.hpp"
+
+namespace figdb::index {
+namespace {
+
+using util::BinaryReader;
+using util::BinaryWriter;
+
+void WriteVocabulary(const text::Vocabulary& vocab, BinaryWriter* w) {
+  w->PutVarint(vocab.Size());
+  for (std::size_t id = 0; id < vocab.Size(); ++id) {
+    w->PutString(vocab.TermOf(text::TermId(id)));
+    w->PutVarint(vocab.Frequency(text::TermId(id)));
+  }
+}
+
+bool ReadVocabulary(BinaryReader* r, text::Vocabulary* vocab) {
+  const std::uint64_t n = r->GetVarint();
+  for (std::uint64_t i = 0; i < n && r->Ok(); ++i) {
+    const std::string term = r->GetString();
+    const std::uint32_t freq = std::uint32_t(r->GetVarint());
+    if (!r->Ok()) return false;
+    // Ids are assigned sequentially, so insertion order restores them.
+    if (vocab->AddOccurrence(term, freq) != text::TermId(i)) return false;
+  }
+  return r->Ok();
+}
+
+void WriteTaxonomy(const text::Taxonomy& tax, BinaryWriter* w) {
+  w->PutVarint(tax.NodeCount());
+  for (std::size_t n = 0; n < tax.NodeCount(); ++n) {
+    // The root stores itself as parent to keep everything unsigned.
+    const text::NodeId parent = n == 0 ? 0 : tax.Parent(text::NodeId(n));
+    w->PutVarint(parent);
+    w->PutString(tax.Name(text::NodeId(n)));
+  }
+  w->PutVarint(tax.TermNodes().size());
+  for (const auto& [term, node] : tax.TermNodes()) {
+    w->PutVarint(term);
+    w->PutVarint(node);
+  }
+}
+
+bool ReadTaxonomy(BinaryReader* r, text::Taxonomy* tax) {
+  const std::uint64_t nodes = r->GetVarint();
+  for (std::uint64_t n = 0; n < nodes && r->Ok(); ++n) {
+    const text::NodeId parent = text::NodeId(r->GetVarint());
+    std::string name = r->GetString();
+    if (!r->Ok()) return false;
+    if (n == 0) {
+      tax->AddRoot(std::move(name));
+    } else {
+      if (parent >= n) return false;  // children always follow parents
+      tax->AddChild(parent, std::move(name));
+    }
+  }
+  const std::uint64_t terms = r->GetVarint();
+  for (std::uint64_t i = 0; i < terms && r->Ok(); ++i) {
+    const std::uint32_t term = std::uint32_t(r->GetVarint());
+    const text::NodeId node = text::NodeId(r->GetVarint());
+    if (!r->Ok() || node >= tax->NodeCount()) return false;
+    tax->AttachTerm(term, node);
+  }
+  return r->Ok();
+}
+
+void WriteVisualVocabulary(const vision::VisualVocabulary& vocab,
+                           BinaryWriter* w) {
+  w->PutVarint(vocab.WordCount());
+  for (std::size_t c = 0; c < vocab.WordCount(); ++c)
+    for (float x : vocab.Centroid(vision::VisualWordId(c))) w->PutFloat(x);
+}
+
+bool ReadVisualVocabulary(BinaryReader* r,
+                          vision::VisualVocabulary* vocab) {
+  const std::uint64_t n = r->GetVarint();
+  std::vector<vision::Descriptor> centroids;
+  centroids.reserve(n);
+  for (std::uint64_t c = 0; c < n && r->Ok(); ++c) {
+    vision::Descriptor d{};
+    for (auto& x : d) x = r->GetFloat();
+    centroids.push_back(d);
+  }
+  if (!r->Ok()) return false;
+  *vocab = vision::VisualVocabulary::FromCentroids(std::move(centroids));
+  return true;
+}
+
+void WriteUserGraph(const social::UserGraph& graph, BinaryWriter* w) {
+  w->PutVarint(graph.UserCount());
+  w->PutVarint(graph.GroupCount());
+  for (std::size_t u = 0; u < graph.UserCount(); ++u)
+    w->PutSortedIds(graph.GroupsOf(social::UserId(u)));
+}
+
+bool ReadUserGraph(BinaryReader* r, social::UserGraph* graph) {
+  const std::uint64_t users = r->GetVarint();
+  const std::uint64_t groups = r->GetVarint();
+  if (!r->Ok()) return false;
+  for (std::uint64_t u = 0; u < users; ++u) graph->AddUser();
+  for (std::uint64_t g = 0; g < groups; ++g) graph->AddGroup();
+  for (std::uint64_t u = 0; u < users && r->Ok(); ++u) {
+    for (std::uint32_t g : r->GetSortedIds()) {
+      if (g >= groups) return false;
+      graph->AddMembership(social::UserId(u), social::GroupId(g));
+    }
+  }
+  return r->Ok();
+}
+
+void WriteObject(const corpus::MediaObject& obj, BinaryWriter* w) {
+  w->PutVarint(obj.month);
+  w->PutVarint(obj.topic);
+  w->PutVarint(obj.features.size());
+  corpus::FeatureKey prev = 0;
+  for (const corpus::FeatureOccurrence& f : obj.features) {
+    w->PutVarint(f.feature - prev);  // features are sorted; delta-encode
+    prev = f.feature;
+    w->PutVarint(f.frequency);
+  }
+}
+
+bool ReadObject(BinaryReader* r, corpus::MediaObject* obj) {
+  obj->month = std::uint16_t(r->GetVarint());
+  obj->topic = std::uint32_t(r->GetVarint());
+  const std::uint64_t n = r->GetVarint();
+  if (!r->Ok()) return false;
+  obj->features.reserve(n);
+  corpus::FeatureKey prev = 0;
+  for (std::uint64_t i = 0; i < n && r->Ok(); ++i) {
+    prev += corpus::FeatureKey(r->GetVarint());
+    const std::uint32_t freq = std::uint32_t(r->GetVarint());
+    if (freq == 0) return false;
+    obj->features.push_back({prev, freq});
+  }
+  return r->Ok();
+}
+
+}  // namespace
+
+std::string SerializeCorpus(const corpus::Corpus& corpus) {
+  BinaryWriter w;
+  w.PutVarint(kSnapshotMagic);
+  w.PutVarint(kSnapshotVersion);
+  const corpus::Context& ctx = corpus.GetContext();
+  w.PutVarint(ctx.num_topics);
+  WriteVocabulary(ctx.vocabulary, &w);
+  WriteTaxonomy(ctx.taxonomy, &w);
+  WriteVisualVocabulary(ctx.visual_vocabulary, &w);
+  WriteUserGraph(ctx.user_graph, &w);
+  w.PutVarint(corpus.Size());
+  for (const corpus::MediaObject& obj : corpus.Objects())
+    WriteObject(obj, &w);
+  return w.Take();
+}
+
+std::optional<corpus::Corpus> DeserializeCorpus(std::string_view bytes) {
+  BinaryReader r(bytes);
+  if (r.GetVarint() != kSnapshotMagic) return std::nullopt;
+  if (r.GetVarint() != kSnapshotVersion) return std::nullopt;
+  corpus::Corpus out;
+  corpus::Context& ctx = out.MutableContext();
+  ctx.num_topics = std::size_t(r.GetVarint());
+  if (!r.Ok()) return std::nullopt;
+  if (!ReadVocabulary(&r, &ctx.vocabulary)) return std::nullopt;
+  if (!ReadTaxonomy(&r, &ctx.taxonomy)) return std::nullopt;
+  if (!ReadVisualVocabulary(&r, &ctx.visual_vocabulary)) return std::nullopt;
+  if (!ReadUserGraph(&r, &ctx.user_graph)) return std::nullopt;
+  const std::uint64_t objects = r.GetVarint();
+  for (std::uint64_t i = 0; i < objects && r.Ok(); ++i) {
+    corpus::MediaObject obj;
+    if (!ReadObject(&r, &obj)) return std::nullopt;
+    out.Add(std::move(obj));
+  }
+  if (!r.Ok()) return std::nullopt;
+  return out;
+}
+
+bool SaveCorpus(const corpus::Corpus& corpus, const std::string& path) {
+  const std::string bytes = SerializeCorpus(corpus);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<corpus::Corpus> LoadCorpus(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return DeserializeCorpus(bytes);
+}
+
+}  // namespace figdb::index

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "corpus/corpus.hpp"
+
+/// \file storage.hpp
+/// Binary persistence for a figdb database.
+///
+/// A social media corpus (objects + vocabulary + taxonomy + visual
+/// vocabulary + user graph) can be serialised to a compact binary snapshot
+/// and reloaded later, so the expensive preprocessing stage (paper Fig. 3's
+/// training/preprocessing) happens once. Posting-style id lists use
+/// delta-varint compression; strings are length-prefixed; the snapshot is
+/// versioned and magic-tagged so corrupt or foreign files are rejected
+/// rather than misread.
+///
+/// The inverted clique index is deliberately NOT serialised: it is a pure
+/// function of the corpus and the correlation options, and rebuilding it is
+/// cheaper and safer than keeping two versioned formats consistent.
+
+namespace figdb::index {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0xf19db001;
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Serialises the corpus (with its full context) to a byte buffer.
+std::string SerializeCorpus(const corpus::Corpus& corpus);
+
+/// Parses a snapshot produced by SerializeCorpus. Returns std::nullopt on
+/// any structural corruption (bad magic/version, truncation, dangling ids).
+std::optional<corpus::Corpus> DeserializeCorpus(std::string_view bytes);
+
+/// Convenience file wrappers. Save returns false on IO failure; Load
+/// returns std::nullopt on IO failure or corruption.
+bool SaveCorpus(const corpus::Corpus& corpus, const std::string& path);
+std::optional<corpus::Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace figdb::index

@@ -1,0 +1,136 @@
+#include "index/threshold_algorithm.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/top_k.hpp"
+
+namespace figdb::index {
+namespace {
+
+void SortDescending(std::vector<core::SearchResult>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const core::SearchResult& a, const core::SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.object < b.object;
+            });
+}
+
+std::vector<core::SearchResult> TakeTopK(
+    util::TopK<corpus::ObjectId>* topk) {
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk->Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+}  // namespace
+
+std::vector<core::SearchResult> ExhaustiveMerge(
+    const std::vector<ScoredList>& lists, std::size_t k) {
+  std::unordered_map<corpus::ObjectId, double> totals;
+  for (const ScoredList& list : lists)
+    for (const core::SearchResult& e : list.entries)
+      totals[e.object] += e.score;
+  util::TopK<corpus::ObjectId> topk(k);
+  for (const auto& [object, score] : totals) topk.Offer(score, object);
+  return TakeTopK(&topk);
+}
+
+std::vector<core::SearchResult> NraMerge(std::vector<ScoredList> lists,
+                                         std::size_t k) {
+  struct Bounds {
+    double lower = 0.0;
+    std::vector<std::uint32_t> seen_lists;
+  };
+  for (auto& list : lists) SortDescending(&list.entries);
+  std::unordered_map<corpus::ObjectId, Bounds> bounds;
+  std::size_t max_len = 0;
+  for (const auto& list : lists)
+    max_len = std::max(max_len, list.entries.size());
+
+  std::vector<double> frontier(lists.size(), 0.0);
+  for (std::size_t depth = 0; depth < max_len; ++depth) {
+    double total_frontier = 0.0;
+    for (std::size_t l = 0; l < lists.size(); ++l) {
+      const auto& entries = lists[l].entries;
+      if (depth < entries.size()) {
+        frontier[l] = entries[depth].score;
+        Bounds& b = bounds[entries[depth].object];
+        b.lower += entries[depth].score;
+        b.seen_lists.push_back(std::uint32_t(l));
+      } else {
+        frontier[l] = 0.0;
+      }
+      total_frontier += frontier[l];
+    }
+    // Termination check: k-th best lower bound vs best upper bound of any
+    // object outside that provisional top-k.
+    util::TopK<corpus::ObjectId> lower_topk(k);
+    for (const auto& [object, b] : bounds) lower_topk.Offer(b.lower, object);
+    if (!lower_topk.Full()) continue;
+    const double kth = lower_topk.KthScore();
+    std::unordered_set<corpus::ObjectId> provisional;
+    {
+      util::TopK<corpus::ObjectId> copy(k);
+      for (const auto& [object, b] : bounds) copy.Offer(b.lower, object);
+      for (const auto& e : copy.Take()) provisional.insert(e.id);
+    }
+    double best_outside_upper = 0.0;
+    for (const auto& [object, b] : bounds) {
+      if (provisional.count(object)) continue;
+      double upper = b.lower + total_frontier;
+      for (std::uint32_t l : b.seen_lists) upper -= frontier[l];
+      best_outside_upper = std::max(best_outside_upper, upper);
+    }
+    // An entirely unseen object could still reach total_frontier.
+    best_outside_upper = std::max(best_outside_upper, total_frontier);
+    if (kth >= best_outside_upper) break;
+  }
+
+  util::TopK<corpus::ObjectId> topk(k);
+  for (const auto& [object, b] : bounds) topk.Offer(b.lower, object);
+  return TakeTopK(&topk);
+}
+
+std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
+                                               std::size_t k) {
+  // Per-list random-access maps + sorted lists.
+  std::vector<std::unordered_map<corpus::ObjectId, double>> maps(
+      lists.size());
+  std::size_t max_len = 0;
+  for (std::size_t l = 0; l < lists.size(); ++l) {
+    SortDescending(&lists[l].entries);
+    maps[l].reserve(lists[l].entries.size());
+    for (const core::SearchResult& e : lists[l].entries)
+      maps[l][e.object] += e.score;
+    max_len = std::max(max_len, lists[l].entries.size());
+  }
+
+  util::TopK<corpus::ObjectId> topk(k);
+  std::unordered_set<corpus::ObjectId> seen;
+  for (std::size_t depth = 0; depth < max_len; ++depth) {
+    double threshold = 0.0;
+    for (std::size_t l = 0; l < lists.size(); ++l) {
+      const auto& entries = lists[l].entries;
+      if (depth < entries.size()) {
+        threshold += entries[depth].score;
+        const corpus::ObjectId obj = entries[depth].object;
+        if (seen.insert(obj).second) {
+          // Random access: aggregate the object's score across all lists.
+          double total = 0.0;
+          for (const auto& m : maps) {
+            auto it = m.find(obj);
+            if (it != m.end()) total += it->second;
+          }
+          topk.Offer(total, obj);
+        }
+      }
+    }
+    // TA stopping rule: no unseen object can beat the current k-th score.
+    if (topk.Full() && topk.KthScore() >= threshold) break;
+  }
+  return TakeTopK(&topk);
+}
+
+}  // namespace figdb::index

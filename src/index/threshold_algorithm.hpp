@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "core/retriever.hpp"
+
+/// \file threshold_algorithm.hpp
+/// Top-k merge of per-clique candidate lists (Algorithm 1, line 13).
+///
+/// Each query clique produces a list of (object, phi') pairs. The final
+/// score of an object is the SUM of its per-list scores (Eq. 6), so the
+/// merge is a monotone top-k aggregation — exactly the setting of Fagin,
+/// Lotem & Naor's Threshold Algorithm [7], which the paper adopts.
+///
+/// ThresholdMerge performs sorted access in parallel over all lists and
+/// random access through per-list hash maps, stopping as soon as the
+/// k-th best aggregated score reaches the threshold (the sum of the current
+/// sorted-access frontier). ExhaustiveMerge is the non-early-terminating
+/// reference; both return identical results (asserted in tests).
+
+namespace figdb::index {
+
+/// One per-clique scored candidate list. Entries need not be pre-sorted;
+/// the merge sorts them (paper Algorithm 1 line 11).
+struct ScoredList {
+  std::vector<core::SearchResult> entries;
+};
+
+/// Fagin TA with early termination. Ties broken towards smaller object id.
+std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
+                                               std::size_t k);
+
+/// Hash-aggregation over all entries (reference implementation).
+std::vector<core::SearchResult> ExhaustiveMerge(
+    const std::vector<ScoredList>& lists, std::size_t k);
+
+/// Fagin's No-Random-Access (NRA) variant: sorted access only, maintaining
+/// per-object [lower, upper] score bounds, terminating when the k-th lower
+/// bound dominates every other object's upper bound. Returns the correct
+/// top-k SET; the reported scores are the exact sums of the accesses made
+/// (lower bounds), so the within-set order may differ from the true order.
+/// Useful when random access is expensive (e.g. disk-resident postings).
+std::vector<core::SearchResult> NraMerge(std::vector<ScoredList> lists,
+                                         std::size_t k);
+
+}  // namespace figdb::index

@@ -1,0 +1,160 @@
+#include "recsys/recommender.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/top_k.hpp"
+
+namespace figdb::recsys {
+
+FigRecommender::FigRecommender(
+    const corpus::Corpus& corpus,
+    std::shared_ptr<const core::PotentialEvaluator> exact,
+    std::shared_ptr<const core::PotentialEvaluator> full,
+    RecommenderOptions options)
+    : corpus_(&corpus),
+      exact_(std::move(exact)),
+      full_(std::move(full)),
+      options_(options) {
+  FIGDB_CHECK(exact_ != nullptr && full_ != nullptr);
+  FIGDB_CHECK(options_.decay > 0.0 && options_.decay <= 1.0);
+}
+
+double FigRecommender::ScoreWith(const core::PotentialEvaluator& potential,
+                                 const UserProfile& profile,
+                                 const corpus::MediaObject& obj,
+                                 std::uint16_t current_month) const {
+  double total = 0.0;
+  core::Clique scratch;
+  for (const ProfileClique& pc : profile.cliques) {
+    // Occurrence weight: sum of decayed occurrence stamps (Eq. 10, summed
+    // over the clique's appearances in Hu).
+    double weight = 0.0;
+    for (std::uint16_t month : pc.months) {
+      const int age = int(current_month) - int(month);
+      weight += std::pow(options_.decay, double(std::max(age, 0)));
+    }
+    if (weight <= 0.0) continue;
+    scratch.features = pc.features;  // Phi needs a core::Clique view
+    const double phi = potential.Phi(scratch, obj);
+    if (phi > 0.0) total += weight * phi;
+  }
+  return total;
+}
+
+double FigRecommender::Score(const UserProfile& profile,
+                             const corpus::MediaObject& obj,
+                             std::uint16_t current_month) const {
+  return ScoreWith(*full_, profile, obj, current_month);
+}
+
+double FigRecommender::ExactScore(const UserProfile& profile,
+                                  const corpus::MediaObject& obj,
+                                  std::uint16_t current_month) const {
+  return ScoreWith(*exact_, profile, obj, current_month);
+}
+
+std::vector<FigRecommender::Explanation> FigRecommender::Explain(
+    const UserProfile& profile, const corpus::MediaObject& obj,
+    std::uint16_t current_month, std::size_t top_n) const {
+  std::vector<Explanation> all;
+  core::Clique scratch;
+  for (const ProfileClique& pc : profile.cliques) {
+    double weight = 0.0;
+    for (std::uint16_t month : pc.months) {
+      const int age = int(current_month) - int(month);
+      weight += std::pow(options_.decay, double(std::max(age, 0)));
+    }
+    if (weight <= 0.0) continue;
+    scratch.features = pc.features;
+    const double phi = full_->Phi(scratch, obj);
+    if (phi > 0.0) all.push_back({pc.features, weight * phi});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Explanation& a, const Explanation& b) {
+              return a.contribution > b.contribution;
+            });
+  if (all.size() > top_n) all.resize(top_n);
+  return all;
+}
+
+std::vector<core::SearchResult> FigRecommender::Recommend(
+    const UserProfile& profile,
+    const std::vector<corpus::ObjectId>& candidates, std::size_t k,
+    std::uint16_t current_month) const {
+  if (options_.rerank_candidates == 0) {
+    util::TopK<corpus::ObjectId> topk(k);
+    for (corpus::ObjectId id : candidates)
+      topk.Offer(Score(profile, corpus_->Object(id), current_month), id);
+    std::vector<core::SearchResult> out;
+    for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+    return out;
+  }
+
+  // ---- Stage 1: containment matching through a feature -> clique map
+  // (output-sensitive: only cliques touching a candidate's features are
+  // visited), scored with the cheap frequency part of Eq. 10.
+  const std::size_t n = profile.cliques.size();
+  std::vector<double> static_weight(n);  // lambda * CorS * decayed count
+  std::unordered_map<corpus::FeatureKey, std::vector<std::uint32_t>>
+      cliques_of_feature;
+  core::Clique scratch;
+  for (std::size_t c = 0; c < n; ++c) {
+    const ProfileClique& pc = profile.cliques[c];
+    double decayed = 0.0;
+    for (std::uint16_t month : pc.months) {
+      const int age = int(current_month) - int(month);
+      decayed += std::pow(options_.decay, double(std::max(age, 0)));
+    }
+    scratch.features = pc.features;
+    static_weight[c] = decayed *
+                       exact_->LambdaFor(pc.features.size()) *
+                       exact_->CliqueWeight(scratch);
+    if (static_weight[c] <= 0.0) continue;
+    for (corpus::FeatureKey f : pc.features)
+      cliques_of_feature[f].push_back(std::uint32_t(c));
+  }
+
+  std::vector<std::uint16_t> hit_count(n, 0);
+  std::vector<std::uint32_t> touched;
+  util::TopK<corpus::ObjectId> stage1(
+      std::max(k, options_.rerank_candidates));
+  for (corpus::ObjectId id : candidates) {
+    const corpus::MediaObject& obj = corpus_->Object(id);
+    touched.clear();
+    for (const corpus::FeatureOccurrence& f : obj.features) {
+      auto it = cliques_of_feature.find(f.feature);
+      if (it == cliques_of_feature.end()) continue;
+      for (std::uint32_t c : it->second) {
+        if (hit_count[c]++ == 0) touched.push_back(c);
+      }
+    }
+    double score = 0.0;
+    const double total = double(obj.TotalFrequency());
+    for (std::uint32_t c : touched) {
+      const ProfileClique& pc = profile.cliques[c];
+      if (hit_count[c] == pc.features.size() && total > 0.0) {
+        std::uint32_t joint = std::numeric_limits<std::uint32_t>::max();
+        for (corpus::FeatureKey f : pc.features)
+          joint = std::min(joint, obj.FrequencyOf(f));
+        score += static_weight[c] * double(joint) / total;
+      }
+      hit_count[c] = 0;
+    }
+    stage1.Offer(score, id);
+  }
+
+  // ---- Stage 2: full-model re-scoring of the survivors (Eq. 10 with the
+  // smoothing component, partial singleton cliques included).
+  util::TopK<corpus::ObjectId> topk(k);
+  for (const auto& e : stage1.Take())
+    topk.Offer(Score(profile, corpus_->Object(e.id), current_month), e.id);
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+}  // namespace figdb::recsys

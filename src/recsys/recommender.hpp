@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/potential.hpp"
+#include "core/retriever.hpp"
+#include "corpus/corpus.hpp"
+#include "recsys/user_profile.hpp"
+
+/// \file recommender.hpp
+/// The FIG / FIG-T recommender of paper §4.
+///
+/// For a candidate object Or stamped with the current month tc, every
+/// profile clique c (stamped ti) contributes
+///
+///   phi_rec(c) = lambda_|c| * delta^(tc - ti) * CorS(c) * P(c | Or)  (Eq.10)
+///
+/// summed over the clique's occurrences (so an interest favourited in
+/// several months accumulates decayed evidence; with delta = 1 this reduces
+/// to plain occurrence counting, i.e. the non-temporal FIG variant).
+
+namespace figdb::recsys {
+
+struct RecommenderOptions {
+  /// Temporal decay delta in (0, 1]; 1 disables decay (plain FIG).
+  double decay = 1.0;
+  /// Two-stage scoring, mirroring the retrieval engine: all candidates are
+  /// scored with the exact-containment potential first, and the best ones
+  /// re-scored with the full Eq. 10 model (smoothing credits partial
+  /// cliques). 0 = single-stage full-model scoring of every candidate.
+  std::size_t rerank_candidates = 128;
+};
+
+class FigRecommender {
+ public:
+  /// Reuses the retrieval engine's potential evaluators (same lambda,
+  /// alpha, CorS machinery); \p corpus must outlive the recommender.
+  /// \p exact is the containment-gated stage-1 evaluator; \p full the
+  /// smoothing-credited stage-2 evaluator (they may be the same object).
+  FigRecommender(const corpus::Corpus& corpus,
+                 std::shared_ptr<const core::PotentialEvaluator> exact,
+                 std::shared_ptr<const core::PotentialEvaluator> full,
+                 RecommenderOptions options);
+
+  std::string Name() const {
+    return options_.decay < 1.0 ? "FIG-T" : "FIG";
+  }
+
+  /// Ranks \p candidates for the profile; \p current_month is tc.
+  std::vector<core::SearchResult> Recommend(
+      const UserProfile& profile,
+      const std::vector<corpus::ObjectId>& candidates, std::size_t k,
+      std::uint16_t current_month) const;
+
+  /// Full-model score of a single candidate (exposed for tests/ablations).
+  double Score(const UserProfile& profile, const corpus::MediaObject& obj,
+               std::uint16_t current_month) const;
+
+  /// Stage-1 (exact containment) score.
+  double ExactScore(const UserProfile& profile,
+                    const corpus::MediaObject& obj,
+                    std::uint16_t current_month) const;
+
+  /// One contributing clique of a recommendation.
+  struct Explanation {
+    std::vector<corpus::FeatureKey> features;
+    double contribution;  // decayed weight * phi
+  };
+
+  /// The top contributing profile cliques for a (profile, candidate) pair —
+  /// the "why was this recommended" view, sorted by contribution.
+  std::vector<Explanation> Explain(const UserProfile& profile,
+                                   const corpus::MediaObject& obj,
+                                   std::uint16_t current_month,
+                                   std::size_t top_n = 5) const;
+
+  const RecommenderOptions& Options() const { return options_; }
+
+ private:
+  double ScoreWith(const core::PotentialEvaluator& potential,
+                   const UserProfile& profile,
+                   const corpus::MediaObject& obj,
+                   std::uint16_t current_month) const;
+
+  const corpus::Corpus* corpus_;
+  std::shared_ptr<const core::PotentialEvaluator> exact_;
+  std::shared_ptr<const core::PotentialEvaluator> full_;
+  RecommenderOptions options_;
+};
+
+}  // namespace figdb::recsys

@@ -1,0 +1,56 @@
+#include "recsys/user_profile.hpp"
+
+#include <unordered_map>
+
+#include "core/fig.hpp"
+#include "index/clique_key.hpp"
+#include "util/check.hpp"
+
+namespace figdb::recsys {
+
+ProfileBuilder::ProfileBuilder(
+    std::shared_ptr<const stats::CorrelationModel> correlations,
+    ProfileBuilderOptions options)
+    : correlations_(std::move(correlations)), options_(options) {
+  FIGDB_CHECK(correlations_ != nullptr);
+}
+
+UserProfile ProfileBuilder::Build(
+    const corpus::Corpus& corpus,
+    const std::vector<corpus::ObjectId>& history) const {
+  UserProfile profile;
+  std::unordered_map<index::CliqueKey, std::size_t> by_key;
+
+  for (corpus::ObjectId id : history) {
+    const corpus::MediaObject& obj = corpus.Object(id);
+
+    // Big-object feature union (frequencies summed), §4's Hu.
+    for (const corpus::FeatureOccurrence& f : obj.features) {
+      if (!core::MaskContains(options_.type_mask, corpus::TypeOf(f.feature)))
+        continue;
+      profile.merged.features.push_back(f);
+    }
+    profile.merged.month =
+        std::max(profile.merged.month, obj.month);
+
+    // Per-object FIG: the §4 constraint falls out naturally because edges
+    // are only drawn inside one object's graph.
+    const core::FeatureInteractionGraph fig =
+        core::FeatureInteractionGraph::Build(obj, *correlations_,
+                                             options_.type_mask);
+    for (core::Clique& c :
+         core::EnumerateCliques(fig, options_.cliques)) {
+      const index::CliqueKey key = index::MakeCliqueKey(c.features);
+      auto [it, inserted] = by_key.try_emplace(key, profile.cliques.size());
+      if (inserted) {
+        profile.cliques.push_back({std::move(c.features), {obj.month}});
+      } else {
+        profile.cliques[it->second].months.push_back(obj.month);
+      }
+    }
+  }
+  profile.merged.Normalize();
+  return profile;
+}
+
+}  // namespace figdb::recsys

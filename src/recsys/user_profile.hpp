@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/clique.hpp"
+#include "corpus/corpus.hpp"
+#include "stats/correlation.hpp"
+
+/// \file user_profile.hpp
+/// The user profile Hu of paper §4: the "big object" formed by a user's
+/// historical favourite/uploaded objects.
+///
+/// Two §4 refinements over naive feature union:
+///  * edges (and therefore cliques) are only formed between features of the
+///    SAME source object — features from different favourites never form a
+///    clique, avoiding the noisy cross-object cliques the paper warns about;
+///  * every clique occurrence carries the month stamp of its source object,
+///    so the recommender can decay old evidence (FIG-T).
+
+namespace figdb::recsys {
+
+/// A clique of the profile FIG with one month stamp per source-object
+/// occurrence (the same feature set favourited in months 1 and 3 yields
+/// months = {1, 3}).
+struct ProfileClique {
+  std::vector<corpus::FeatureKey> features;
+  std::vector<std::uint16_t> months;
+};
+
+struct UserProfile {
+  std::vector<ProfileClique> cliques;
+  /// The flat "big object" union of the history's features (frequencies
+  /// summed). This is what the baselines — which have no per-object edge
+  /// constraint — use as their query.
+  corpus::MediaObject merged;
+};
+
+struct ProfileBuilderOptions {
+  core::CliqueEnumerationOptions cliques = {.max_features = 3,
+                                            .max_cliques = 1024};
+  std::uint32_t type_mask = core::kAllFeatures;
+};
+
+class ProfileBuilder {
+ public:
+  ProfileBuilder(std::shared_ptr<const stats::CorrelationModel> correlations,
+                 ProfileBuilderOptions options = {});
+
+  /// Builds Hu from the user's history (object ids into \p corpus).
+  UserProfile Build(const corpus::Corpus& corpus,
+                    const std::vector<corpus::ObjectId>& history) const;
+
+ private:
+  std::shared_ptr<const stats::CorrelationModel> correlations_;
+  ProfileBuilderOptions options_;
+};
+
+}  // namespace figdb::recsys

@@ -1,0 +1,76 @@
+#include "social/user_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace figdb::social {
+
+UserId UserGraph::AddUser() {
+  user_groups_.emplace_back();
+  return static_cast<UserId>(user_groups_.size() - 1);
+}
+
+GroupId UserGraph::AddGroup() {
+  group_users_.emplace_back();
+  return static_cast<GroupId>(group_users_.size() - 1);
+}
+
+void UserGraph::AddMembership(UserId user, GroupId group) {
+  FIGDB_CHECK(user < user_groups_.size());
+  FIGDB_CHECK(group < group_users_.size());
+  auto& groups = user_groups_[user];
+  auto it = std::lower_bound(groups.begin(), groups.end(), group);
+  if (it != groups.end() && *it == group) return;
+  groups.insert(it, group);
+  auto& members = group_users_[group];
+  members.insert(std::lower_bound(members.begin(), members.end(), user),
+                 user);
+}
+
+const std::vector<GroupId>& UserGraph::GroupsOf(UserId user) const {
+  FIGDB_CHECK(user < user_groups_.size());
+  return user_groups_[user];
+}
+
+const std::vector<UserId>& UserGraph::MembersOf(GroupId group) const {
+  FIGDB_CHECK(group < group_users_.size());
+  return group_users_[group];
+}
+
+bool UserGraph::SharesGroup(UserId a, UserId b) const {
+  const auto& ga = GroupsOf(a);
+  const auto& gb = GroupsOf(b);
+  std::size_t i = 0, j = 0;
+  while (i < ga.size() && j < gb.size()) {
+    if (ga[i] == gb[j]) return true;
+    if (ga[i] < gb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+double UserGraph::GroupJaccard(UserId a, UserId b) const {
+  const auto& ga = GroupsOf(a);
+  const auto& gb = GroupsOf(b);
+  if (ga.empty() && gb.empty()) return 0.0;
+  std::size_t i = 0, j = 0, common = 0;
+  while (i < ga.size() && j < gb.size()) {
+    if (ga[i] == gb[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (ga[i] < gb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = ga.size() + gb.size() - common;
+  return uni == 0 ? 0.0 : double(common) / double(uni);
+}
+
+}  // namespace figdb::social

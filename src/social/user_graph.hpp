@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file user_graph.hpp
+/// Users, interest groups and the membership bipartite graph.
+///
+/// The paper's user feature (§5.1.3) is the set of users who uploaded an
+/// image or marked it "favorite"; intra-user correlation (§3.2) is defined
+/// through shared group membership: "If two users belong to the same group,
+/// two users are considered to be correlated."
+
+namespace figdb::social {
+
+using UserId = std::uint32_t;
+using GroupId = std::uint32_t;
+
+class UserGraph {
+ public:
+  UserId AddUser();
+  GroupId AddGroup();
+
+  /// Records that \p user belongs to \p group (idempotent).
+  void AddMembership(UserId user, GroupId group);
+
+  std::size_t UserCount() const { return user_groups_.size(); }
+  std::size_t GroupCount() const { return group_users_.size(); }
+
+  /// Sorted group ids of a user.
+  const std::vector<GroupId>& GroupsOf(UserId user) const;
+
+  /// Sorted member ids of a group.
+  const std::vector<UserId>& MembersOf(GroupId group) const;
+
+  /// The paper's binary intra-user correlation: true iff the users share at
+  /// least one group.
+  bool SharesGroup(UserId a, UserId b) const;
+
+  /// Jaccard similarity of the two users' group sets; a graded variant used
+  /// as the correlation *strength* where a real value is needed.
+  double GroupJaccard(UserId a, UserId b) const;
+
+ private:
+  std::vector<std::vector<GroupId>> user_groups_;
+  std::vector<std::vector<UserId>> group_users_;
+};
+
+}  // namespace figdb::social

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "corpus/corpus.hpp"
+#include "corpus/media_object.hpp"
+#include "stats/feature_matrix.hpp"
+
+/// \file correlation.hpp
+/// The Cor(·,·) feature-correlation function of paper §3.2.
+///
+/// Intra-type:
+///  * text  x text   -> WUP similarity over the taxonomy [26]
+///  * visual x visual -> Euclidean-derived similarity between word centroids
+///  * user  x user   -> shared-group membership (binary), graded by the
+///                      Jaccard of the users' group sets for use as a
+///                      real-valued strength
+/// Inter-type: cosine of the features' occurrence vectors (Eq. 1).
+///
+/// An edge is drawn in the FIG when Cor exceeds the trained per-kind
+/// threshold. This object plays the role of the paper's "6 pair-wise feature
+/// correlation tables" (§3.5), computed lazily with memoisation instead of
+/// being fully materialised (T x T alone would be ~60k^2 entries).
+
+namespace figdb::stats {
+
+/// Strategy for intra-textual correlation (§3.2: WUP by default; term
+/// co-occurrence [6] is the paper's noted orthogonal alternative).
+enum class TextSimilarity { kWup, kCooccurrence };
+
+struct CorrelationOptions {
+  TextSimilarity text_similarity = TextSimilarity::kWup;
+  /// Edge thresholds per relation kind (the paper's "trained threshold").
+  double text_text_threshold = 0.55;
+  /// Threshold used when text_similarity is kCooccurrence (cosine scale,
+  /// much smaller than the WUP scale).
+  double text_cooccurrence_threshold = 0.15;
+  double visual_visual_threshold = 0.80;
+  double user_user_threshold = 0.5;
+  double inter_type_threshold = 0.12;
+  /// Memoisation cap for inter-type cosine lookups (entries).
+  std::size_t cache_capacity = 1 << 22;
+};
+
+class CorrelationModel {
+ public:
+  CorrelationModel(std::shared_ptr<const corpus::Context> context,
+                   std::shared_ptr<const FeatureMatrix> matrix,
+                   CorrelationOptions options = {});
+
+  /// Correlation strength in [0, 1].
+  double Cor(corpus::FeatureKey a, corpus::FeatureKey b) const;
+
+  /// True iff Cor(a, b) reaches the threshold for the pair's relation kind
+  /// — i.e. whether the FIG has an edge between the two features.
+  bool Correlated(corpus::FeatureKey a, corpus::FeatureKey b) const;
+
+  /// Threshold that applies to a given feature pair.
+  double ThresholdFor(corpus::FeatureKey a, corpus::FeatureKey b) const;
+
+  const CorrelationOptions& Options() const { return options_; }
+  const corpus::Context& Context() const { return *context_; }
+  const FeatureMatrix& Matrix() const { return *matrix_; }
+
+ private:
+  double IntraText(std::uint32_t a, std::uint32_t b) const;
+  double IntraVisual(std::uint32_t a, std::uint32_t b) const;
+  double IntraUser(std::uint32_t a, std::uint32_t b) const;
+  double InterType(corpus::FeatureKey a, corpus::FeatureKey b) const;
+
+  std::shared_ptr<const corpus::Context> context_;
+  std::shared_ptr<const FeatureMatrix> matrix_;
+  CorrelationOptions options_;
+
+  // Memo for inter-type cosines (the only expensive kind).
+  mutable std::unordered_map<std::uint64_t, double> cache_;
+};
+
+}  // namespace figdb::stats

@@ -1,0 +1,160 @@
+#include "stats/cors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace figdb::stats {
+namespace {
+
+/// Order-insensitive 64-bit key for a feature set (FNV over sorted keys).
+std::uint64_t HashFeatures(const std::vector<corpus::FeatureKey>& sorted) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (corpus::FeatureKey f : sorted) {
+    h ^= f;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// T(S): sum over objects in the intersection of the features' supports of
+/// the product of scaled frequencies freq/sigma.
+double IntersectionMoment(const FeatureMatrix& matrix,
+                          const std::vector<corpus::FeatureKey>& subset,
+                          const std::vector<double>& sigma_of_subset) {
+  std::vector<const std::vector<Posting>*> lists;
+  lists.reserve(subset.size());
+  for (corpus::FeatureKey f : subset) lists.push_back(&matrix.Postings(f));
+
+  std::vector<std::size_t> pos(lists.size(), 0);
+  double total = 0.0;
+  for (;;) {
+    // Advance to a common object id across all lists.
+    corpus::ObjectId target = 0;
+    bool done = false;
+    for (std::size_t l = 0; l < lists.size(); ++l) {
+      if (pos[l] >= lists[l]->size()) {
+        done = true;
+        break;
+      }
+      target = std::max(target, (*lists[l])[pos[l]].object);
+    }
+    if (done) break;
+    bool aligned = true;
+    for (std::size_t l = 0; l < lists.size(); ++l) {
+      while (pos[l] < lists[l]->size() &&
+             (*lists[l])[pos[l]].object < target) {
+        ++pos[l];
+      }
+      if (pos[l] >= lists[l]->size()) {
+        aligned = false;
+        done = true;
+        break;
+      }
+      if ((*lists[l])[pos[l]].object != target) aligned = false;
+    }
+    if (done) break;
+    if (aligned) {
+      double prod = 1.0;
+      for (std::size_t l = 0; l < lists.size(); ++l)
+        prod *= double((*lists[l])[pos[l]].frequency) / sigma_of_subset[l];
+      total += prod;
+      for (auto& p : pos) ++p;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+CorSCalculator::CorSCalculator(std::shared_ptr<const FeatureMatrix> matrix)
+    : matrix_(std::move(matrix)) {
+  FIGDB_CHECK(matrix_ != nullptr);
+}
+
+double CorSCalculator::Compute(
+    const std::vector<corpus::FeatureKey>& features) const {
+  if (features.size() <= 1) return 1.0;
+  std::vector<corpus::FeatureKey> sorted = features;
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t key = HashFeatures(sorted);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const double v = ComputeUncached(std::move(sorted));
+  cache_.emplace(key, v);
+  return v;
+}
+
+double CorSCalculator::ComputeUncached(
+    std::vector<corpus::FeatureKey> features) const {
+  const std::size_t m = features.size();
+  const double n = double(matrix_->NumObjects());
+  if (n <= 0.0) return 0.0;
+
+  std::vector<double> sigma(m), c(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double var = matrix_->Variance(features[j]);
+    if (var <= 0.0) return 0.0;  // constant feature: undefined weight
+    sigma[j] = std::sqrt(var);
+    c[j] = matrix_->Mean(features[j]) / sigma[j];
+  }
+
+  // Subset expansion over the 2^m subsets S of the clique's features.
+  double sum = 0.0;
+  const std::size_t subsets = std::size_t(1) << m;
+  std::vector<corpus::FeatureKey> subset;
+  std::vector<double> subset_sigma;
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    double coeff = 1.0;
+    subset.clear();
+    subset_sigma.clear();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (mask & (std::size_t(1) << j)) {
+        subset.push_back(features[j]);
+        subset_sigma.push_back(sigma[j]);
+      } else {
+        coeff *= -c[j];
+      }
+    }
+    const double t =
+        subset.empty() ? n
+                       : IntersectionMoment(*matrix_, subset, subset_sigma);
+    sum += coeff * t;
+  }
+  return std::max(0.0, sum / n);
+}
+
+double CorSCalculator::ComputeBrute(
+    const std::vector<corpus::FeatureKey>& features) const {
+  if (features.size() <= 1) return 1.0;
+  const std::size_t m = features.size();
+  const double n = double(matrix_->NumObjects());
+  if (n <= 0.0) return 0.0;
+
+  std::vector<double> sigma(m), mean(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double var = matrix_->Variance(features[j]);
+    if (var <= 0.0) return 0.0;
+    sigma[j] = std::sqrt(var);
+    mean[j] = matrix_->Mean(features[j]);
+  }
+
+  // Dense per-object frequencies, reconstructed from posting lists.
+  std::vector<std::vector<double>> freq(
+      m, std::vector<double>(matrix_->NumObjects(), 0.0));
+  for (std::size_t j = 0; j < m; ++j)
+    for (const Posting& p : matrix_->Postings(features[j]))
+      freq[j][p.object] = double(p.frequency);
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < matrix_->NumObjects(); ++i) {
+    double prod = 1.0;
+    for (std::size_t j = 0; j < m; ++j)
+      prod *= (freq[j][i] - mean[j]) / sigma[j];
+    sum += prod;
+  }
+  return std::max(0.0, sum / n);
+}
+
+}  // namespace figdb::stats

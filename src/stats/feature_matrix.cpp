@@ -1,0 +1,74 @@
+#include "stats/feature_matrix.hpp"
+
+#include <cmath>
+
+namespace figdb::stats {
+
+FeatureMatrix FeatureMatrix::Build(const corpus::Corpus& corpus) {
+  FeatureMatrix m;
+  m.num_objects_ = corpus.Size();
+  for (const corpus::MediaObject& obj : corpus.Objects()) {
+    for (const corpus::FeatureOccurrence& f : obj.features) {
+      m.postings_[f.feature].push_back({obj.id, f.frequency});
+      Stats& s = m.stats_[f.feature];
+      s.total += f.frequency;
+      s.total_sq += std::uint64_t(f.frequency) * f.frequency;
+    }
+  }
+  // Objects are scanned in id order, so posting lists are already sorted.
+  return m;
+}
+
+const std::vector<Posting>& FeatureMatrix::Postings(
+    corpus::FeatureKey feature) const {
+  auto it = postings_.find(feature);
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+std::size_t FeatureMatrix::DocumentFrequency(
+    corpus::FeatureKey feature) const {
+  return Postings(feature).size();
+}
+
+double FeatureMatrix::Mean(corpus::FeatureKey feature) const {
+  if (num_objects_ == 0) return 0.0;
+  auto it = stats_.find(feature);
+  if (it == stats_.end()) return 0.0;
+  return double(it->second.total) / double(num_objects_);
+}
+
+double FeatureMatrix::Variance(corpus::FeatureKey feature) const {
+  if (num_objects_ == 0) return 0.0;
+  auto it = stats_.find(feature);
+  if (it == stats_.end()) return 0.0;
+  const double mean = double(it->second.total) / double(num_objects_);
+  const double mean_sq = double(it->second.total_sq) / double(num_objects_);
+  return std::max(0.0, mean_sq - mean * mean);
+}
+
+double FeatureMatrix::Cosine(corpus::FeatureKey a,
+                             corpus::FeatureKey b) const {
+  const auto& pa = Postings(a);
+  const auto& pb = Postings(b);
+  if (pa.empty() || pb.empty()) return 0.0;
+  double dot = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < pa.size() && j < pb.size()) {
+    if (pa[i].object == pb[j].object) {
+      dot += double(pa[i].frequency) * double(pb[j].frequency);
+      ++i;
+      ++j;
+    } else if (pa[i].object < pb[j].object) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  if (dot == 0.0) return 0.0;
+  double na = 0.0, nb = 0.0;
+  for (const Posting& p : pa) na += double(p.frequency) * p.frequency;
+  for (const Posting& p : pb) nb += double(p.frequency) * p.frequency;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace figdb::stats

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "corpus/media_object.hpp"
+
+/// \file feature_matrix.hpp
+/// Feature-by-object occurrence statistics.
+///
+/// Each feature node n can be "associated with vector n⃗ where each dimension
+/// ... equals the frequency of n appearing in this object" (paper §3.2).
+/// FeatureMatrix materialises those vectors as per-feature posting lists,
+/// plus the per-feature mean and variance needed by the CorS clique weight
+/// (Eq. 8).
+
+namespace figdb::stats {
+
+/// One posting: the feature occurs in \p object with \p frequency.
+struct Posting {
+  corpus::ObjectId object;
+  std::uint32_t frequency;
+};
+
+class FeatureMatrix {
+ public:
+  /// Scans the corpus once and builds all posting lists (sorted by object).
+  static FeatureMatrix Build(const corpus::Corpus& corpus);
+
+  std::size_t NumObjects() const { return num_objects_; }
+  std::size_t NumFeatures() const { return postings_.size(); }
+
+  /// Posting list of a feature (empty list for unseen features).
+  const std::vector<Posting>& Postings(corpus::FeatureKey feature) const;
+
+  /// Number of objects containing the feature.
+  std::size_t DocumentFrequency(corpus::FeatureKey feature) const;
+
+  /// Mean frequency of the feature over ALL objects (absent = 0), i.e. the
+  /// n̄_j of Eq. 8.
+  double Mean(corpus::FeatureKey feature) const;
+
+  /// Population variance of the feature's frequency over all objects.
+  double Variance(corpus::FeatureKey feature) const;
+
+  /// Cosine similarity between two features' occurrence vectors — the
+  /// paper's Eq. 1 inter-type correlation.
+  double Cosine(corpus::FeatureKey a, corpus::FeatureKey b) const;
+
+ private:
+  struct Stats {
+    std::uint64_t total = 0;     // sum of frequencies
+    std::uint64_t total_sq = 0;  // sum of squared frequencies
+  };
+
+  std::size_t num_objects_ = 0;
+  std::unordered_map<corpus::FeatureKey, std::vector<Posting>> postings_;
+  std::unordered_map<corpus::FeatureKey, Stats> stats_;
+  std::vector<Posting> empty_;
+};
+
+}  // namespace figdb::stats

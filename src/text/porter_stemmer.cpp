@@ -1,0 +1,173 @@
+#include "text/porter_stemmer.hpp"
+
+#include <array>
+
+namespace figdb::text {
+namespace {
+
+bool IsVowelAt(const std::string& w, std::size_t i) {
+  switch (w[i]) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return true;
+    case 'y':
+      // 'y' is a vowel when preceded by a consonant.
+      return i > 0 && !IsVowelAt(w, i - 1);
+    default:
+      return false;
+  }
+}
+
+/// Measure m of the stem w[0..end]: number of VC sequences.
+int Measure(const std::string& w, std::size_t len) {
+  int m = 0;
+  bool prev_vowel = false;
+  for (std::size_t i = 0; i < len; ++i) {
+    const bool v = IsVowelAt(w, i);
+    if (prev_vowel && !v) ++m;
+    prev_vowel = v;
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i)
+    if (IsVowelAt(w, i)) return true;
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w) {
+  const std::size_t n = w.size();
+  if (n < 2) return false;
+  return w[n - 1] == w[n - 2] && !IsVowelAt(w, n - 1);
+}
+
+/// *o condition: stem ends cvc where the final c is not w, x or y.
+bool EndsCvc(const std::string& w, std::size_t len) {
+  if (len < 3) return false;
+  if (IsVowelAt(w, len - 1) || !IsVowelAt(w, len - 2) || IsVowelAt(w, len - 3))
+    return false;
+  const char c = w[len - 1];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool EndsWith(const std::string& w, std::string_view suffix) {
+  return w.size() >= suffix.size() &&
+         w.compare(w.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// If w ends with \p suffix and the remaining stem has measure > m_min,
+/// replaces the suffix and returns true.
+bool ReplaceIfMeasure(std::string* w, std::string_view suffix,
+                      std::string_view replacement, int m_min) {
+  if (!EndsWith(*w, suffix)) return false;
+  const std::size_t stem_len = w->size() - suffix.size();
+  if (Measure(*w, stem_len) <= m_min) return true;  // matched, no change
+  w->resize(stem_len);
+  w->append(replacement);
+  return true;
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  std::string w(word);
+  if (w.size() < 3) return w;
+
+  // ---- Step 1a: plurals.
+  if (EndsWith(w, "sses")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ies")) {
+    w.resize(w.size() - 2);
+  } else if (!EndsWith(w, "ss") && EndsWith(w, "s")) {
+    w.resize(w.size() - 1);
+  }
+
+  // ---- Step 1b: -ed / -ing.
+  bool step1b_cleanup = false;
+  if (EndsWith(w, "eed")) {
+    if (Measure(w, w.size() - 3) > 0) w.resize(w.size() - 1);
+  } else if (EndsWith(w, "ed") && ContainsVowel(w, w.size() - 2)) {
+    w.resize(w.size() - 2);
+    step1b_cleanup = true;
+  } else if (EndsWith(w, "ing") && ContainsVowel(w, w.size() - 3)) {
+    w.resize(w.size() - 3);
+    step1b_cleanup = true;
+  }
+  if (step1b_cleanup) {
+    if (EndsWith(w, "at") || EndsWith(w, "bl") || EndsWith(w, "iz")) {
+      w.push_back('e');
+    } else if (EndsWithDoubleConsonant(w) && !EndsWith(w, "l") &&
+               !EndsWith(w, "s") && !EndsWith(w, "z")) {
+      w.resize(w.size() - 1);
+    } else if (Measure(w, w.size()) == 1 && EndsCvc(w, w.size())) {
+      w.push_back('e');
+    }
+  }
+
+  // ---- Step 1c: terminal y -> i when the stem has a vowel.
+  if (EndsWith(w, "y") && ContainsVowel(w, w.size() - 1)) {
+    w.back() = 'i';
+  }
+
+  // ---- Step 2: double suffixes, m > 0.
+  static constexpr std::array<std::pair<std::string_view, std::string_view>,
+                              20>
+      kStep2 = {{{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+                 {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+                 {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+                 {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+                 {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+                 {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+                 {"iviti", "ive"},   {"biliti", "ble"}}};
+  for (const auto& [suffix, repl] : kStep2) {
+    if (ReplaceIfMeasure(&w, suffix, repl, 0)) break;
+  }
+
+  // ---- Step 3: -icate, -ful, -ness etc., m > 0.
+  static constexpr std::array<std::pair<std::string_view, std::string_view>,
+                              7>
+      kStep3 = {{{"icate", "ic"},
+                 {"ative", ""},
+                 {"alize", "al"},
+                 {"iciti", "ic"},
+                 {"ical", "ic"},
+                 {"ful", ""},
+                 {"ness", ""}}};
+  for (const auto& [suffix, repl] : kStep3) {
+    if (ReplaceIfMeasure(&w, suffix, repl, 0)) break;
+  }
+
+  // ---- Step 4: strip residual suffixes when m > 1.
+  static constexpr std::array<std::string_view, 19> kStep4 = {
+      "al",   "ance", "ence", "er",  "ic",  "able", "ible", "ant", "ement",
+      "ment", "ent",  "ou",   "ism", "ate", "iti",  "ous",  "ive", "ize",
+      "ion"};
+  for (std::string_view suffix : kStep4) {
+    if (!EndsWith(w, suffix)) continue;
+    const std::size_t stem_len = w.size() - suffix.size();
+    if (suffix == "ion" && stem_len > 0 && w[stem_len - 1] != 's' &&
+        w[stem_len - 1] != 't') {
+      break;
+    }
+    if (Measure(w, stem_len) > 1) w.resize(stem_len);
+    break;
+  }
+
+  // ---- Step 5a: drop terminal e.
+  if (EndsWith(w, "e")) {
+    const std::size_t stem_len = w.size() - 1;
+    const int m = Measure(w, stem_len);
+    if (m > 1 || (m == 1 && !EndsCvc(w, stem_len))) w.resize(stem_len);
+  }
+
+  // ---- Step 5b: -ll -> -l when m > 1.
+  if (EndsWith(w, "ll") && Measure(w, w.size()) > 1) w.resize(w.size() - 1);
+
+  return w;
+}
+
+}  // namespace figdb::text

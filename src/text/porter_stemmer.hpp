@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file porter_stemmer.hpp
+/// Classic Porter (1980) suffix-stripping stemmer.
+///
+/// The paper uses "a WordNet stemmer" to normalise tags; Porter stemming is
+/// the standard stand-in and produces the same effect for the pipeline:
+/// inflected tag variants ("hamsters", "eating") collapse to one vocabulary
+/// entry before frequency pruning.
+
+namespace figdb::text {
+
+/// Stateless; all methods are const and thread-compatible.
+class PorterStemmer {
+ public:
+  /// Returns the stem of an already lower-cased ASCII word. Words shorter
+  /// than 3 characters are returned unchanged (per the original algorithm).
+  std::string Stem(std::string_view word) const;
+};
+
+}  // namespace figdb::text

@@ -1,0 +1,50 @@
+#include "text/stopwords.hpp"
+
+#include <string>
+#include <unordered_set>
+
+namespace figdb::text {
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  // The snowball English stop-word list.
+  static const std::unordered_set<std::string> kSet = {
+      "i",          "me",      "my",       "myself",  "we",       "our",
+      "ours",       "ourselves", "you",    "your",    "yours",    "yourself",
+      "yourselves", "he",      "him",      "his",     "himself",  "she",
+      "her",        "hers",    "herself",  "it",      "its",      "itself",
+      "they",       "them",    "their",    "theirs",  "themselves", "what",
+      "which",      "who",     "whom",     "this",    "that",     "these",
+      "those",      "am",      "is",       "are",     "was",      "were",
+      "be",         "been",    "being",    "have",    "has",      "had",
+      "having",     "do",      "does",     "did",     "doing",    "would",
+      "should",     "could",   "ought",    "a",       "an",       "the",
+      "and",        "but",     "if",       "or",      "because",  "as",
+      "until",      "while",   "of",       "at",      "by",       "for",
+      "with",       "about",   "against",  "between", "into",     "through",
+      "during",     "before",  "after",    "above",   "below",    "to",
+      "from",       "up",      "down",     "in",      "out",      "on",
+      "off",        "over",    "under",    "again",   "further",  "then",
+      "once",       "here",    "there",    "when",    "where",    "why",
+      "how",        "all",     "any",      "both",    "each",     "few",
+      "more",       "most",    "other",    "some",    "such",     "no",
+      "nor",        "not",     "only",     "own",     "same",     "so",
+      "than",       "too",     "very",     "can",     "will",     "just",
+      "don",        "now",     "cannot",   "im",      "ive",      "id",
+      "youre",      "hes",     "shes",     "theyre",  "weve",     "isnt",
+      "arent",      "wasnt",   "werent",   "hasnt",   "havent",   "hadnt",
+      "doesnt",     "dont",    "didnt",    "wont",    "wouldnt",  "shouldnt",
+      "couldnt",    "lets",    "thats",    "whos",    "whats",    "heres",
+      "theres",     "whens",   "wheres",   "whys",    "hows"};
+  return kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+std::size_t StopwordCount() { return StopwordSet().size(); }
+
+}  // namespace figdb::text

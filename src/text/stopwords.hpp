@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string_view>
+
+/// \file stopwords.hpp
+/// Snowball-style English stop-word list (paper §5.1.3 eliminates stop words
+/// with "a snowball stop word list" before building the tag vocabulary).
+
+namespace figdb::text {
+
+/// Returns true if \p word (lower-cased) is on the embedded snowball English
+/// stop-word list.
+bool IsStopword(std::string_view word);
+
+/// Number of entries on the embedded list (for tests).
+std::size_t StopwordCount();
+
+}  // namespace figdb::text

@@ -1,0 +1,73 @@
+#include "text/taxonomy.hpp"
+
+#include "util/check.hpp"
+
+namespace figdb::text {
+
+NodeId Taxonomy::AddRoot(std::string name) {
+  FIGDB_CHECK_MSG(parent_.empty(), "root must be the first node");
+  parent_.push_back(kInvalidNode);
+  depth_.push_back(1);
+  name_.push_back(std::move(name));
+  return 0;
+}
+
+NodeId Taxonomy::AddChild(NodeId parent, std::string name) {
+  FIGDB_CHECK(parent < parent_.size());
+  const NodeId id = static_cast<NodeId>(parent_.size());
+  parent_.push_back(parent);
+  depth_.push_back(depth_[parent] + 1);
+  name_.push_back(std::move(name));
+  return id;
+}
+
+void Taxonomy::AttachTerm(std::uint32_t term_id, NodeId node) {
+  FIGDB_CHECK(node < parent_.size());
+  term_to_node_[term_id] = node;
+}
+
+NodeId Taxonomy::NodeOfTerm(std::uint32_t term_id) const {
+  auto it = term_to_node_.find(term_id);
+  return it == term_to_node_.end() ? kInvalidNode : it->second;
+}
+
+std::uint32_t Taxonomy::Depth(NodeId node) const {
+  FIGDB_CHECK(node < depth_.size());
+  return depth_[node];
+}
+
+const std::string& Taxonomy::Name(NodeId node) const {
+  FIGDB_CHECK(node < name_.size());
+  return name_[node];
+}
+
+NodeId Taxonomy::Parent(NodeId node) const {
+  FIGDB_CHECK(node < parent_.size());
+  return parent_[node];
+}
+
+NodeId Taxonomy::LowestCommonSubsumer(NodeId a, NodeId b) const {
+  FIGDB_CHECK(a < parent_.size() && b < parent_.size());
+  while (a != b) {
+    if (depth_[a] >= depth_[b]) {
+      a = parent_[a];
+    } else {
+      b = parent_[b];
+    }
+  }
+  return a;
+}
+
+double Taxonomy::Wup(NodeId a, NodeId b) const {
+  const NodeId lcs = LowestCommonSubsumer(a, b);
+  return 2.0 * depth_[lcs] / (double(depth_[a]) + double(depth_[b]));
+}
+
+double Taxonomy::WupTerms(std::uint32_t term_a, std::uint32_t term_b) const {
+  const NodeId na = NodeOfTerm(term_a);
+  const NodeId nb = NodeOfTerm(term_b);
+  if (na == kInvalidNode || nb == kInvalidNode) return 0.0;
+  return Wup(na, nb);
+}
+
+}  // namespace figdb::text

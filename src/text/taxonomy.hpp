@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file taxonomy.hpp
+/// Rooted IS-A hierarchy with Wu-Palmer (WUP) similarity.
+///
+/// The paper derives intra-textual correlation edges from WordNet using the
+/// WUP measure [26]: WUP(a, b) = 2*depth(LCS) / (depth(a) + depth(b)).
+/// WordNet itself is not redistributable here, so the corpus generator
+/// builds a synthetic hierarchy with the same structural properties (tags of
+/// one latent topic share low ancestors, unrelated tags only meet near the
+/// root). The WUP computation itself is exact.
+
+namespace figdb::text {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Taxonomy {
+ public:
+  /// Creates the (single) root. Must be called exactly once, first.
+  NodeId AddRoot(std::string name = "entity");
+
+  /// Adds a child of \p parent.
+  NodeId AddChild(NodeId parent, std::string name);
+
+  /// Associates a vocabulary term with a taxonomy node (many terms may map
+  /// to the same node; a term maps to at most one node).
+  void AttachTerm(std::uint32_t term_id, NodeId node);
+
+  /// Node for a term, or kInvalidNode if the term is unattached.
+  NodeId NodeOfTerm(std::uint32_t term_id) const;
+
+  std::size_t NodeCount() const { return parent_.size(); }
+
+  /// Depth with the root at depth 1 (the WUP convention, so the root is
+  /// never a zero-depth LCS).
+  std::uint32_t Depth(NodeId node) const;
+
+  const std::string& Name(NodeId node) const;
+  NodeId Parent(NodeId node) const;
+
+  /// Lowest common subsumer of two nodes.
+  NodeId LowestCommonSubsumer(NodeId a, NodeId b) const;
+
+  /// Wu-Palmer similarity in (0, 1]; 1 iff a == b.
+  double Wup(NodeId a, NodeId b) const;
+
+  /// WUP between the nodes of two terms; 0 if either is unattached.
+  double WupTerms(std::uint32_t term_a, std::uint32_t term_b) const;
+
+  /// All term -> node attachments (serialization / introspection).
+  const std::unordered_map<std::uint32_t, NodeId>& TermNodes() const {
+    return term_to_node_;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::string> name_;
+  std::unordered_map<std::uint32_t, NodeId> term_to_node_;
+};
+
+}  // namespace figdb::text

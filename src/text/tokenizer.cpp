@@ -1,0 +1,32 @@
+#include "text/tokenizer.hpp"
+
+#include <cctype>
+
+namespace figdb::text {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string current;
+  bool has_alpha = false;
+  auto flush = [&] {
+    if (current.size() >= options_.min_token_length &&
+        (!options_.require_alpha || has_alpha)) {
+      out.push_back(current);
+    }
+    current.clear();
+    has_alpha = false;
+  };
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      if (std::isalpha(c)) has_alpha = true;
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace figdb::text

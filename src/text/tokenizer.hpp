@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file tokenizer.hpp
+/// Tag/title tokenisation for the textual feature pipeline (paper §5.1.3).
+///
+/// The paper's pipeline is: tokenise free-style tags, stem with a WordNet
+/// stemmer, drop snowball stop words, and prune tags with corpus frequency
+/// below 5. Tokenizer implements the first step; see porter_stemmer.hpp,
+/// stopwords.hpp and vocabulary.hpp for the rest.
+
+namespace figdb::text {
+
+struct TokenizerOptions {
+  /// Drop tokens shorter than this after normalisation.
+  std::size_t min_token_length = 2;
+  /// Drop tokens that contain no alphabetic character (e.g. "2008").
+  bool require_alpha = true;
+};
+
+/// Splits free text into lower-cased alphanumeric tokens.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Tokenises \p textIntoLowercase word tokens, splitting on anything that
+  /// is not [a-z0-9].
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace figdb::text

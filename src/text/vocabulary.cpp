@@ -1,0 +1,54 @@
+#include "text/vocabulary.hpp"
+
+#include "util/check.hpp"
+
+namespace figdb::text {
+
+TermId Vocabulary::AddOccurrence(std::string_view term, std::uint32_t count) {
+  auto it = index_.find(std::string(term));
+  if (it == index_.end()) {
+    const TermId id = static_cast<TermId>(terms_.size());
+    terms_.emplace_back(term);
+    freq_.push_back(count);
+    index_.emplace(terms_.back(), id);
+    return id;
+  }
+  freq_[it->second] += count;
+  return it->second;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+const std::string& Vocabulary::TermOf(TermId id) const {
+  FIGDB_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+std::uint32_t Vocabulary::Frequency(TermId id) const {
+  FIGDB_CHECK(id < freq_.size());
+  return freq_[id];
+}
+
+std::vector<TermId> Vocabulary::Prune(std::uint32_t min_frequency) {
+  std::vector<TermId> remap(terms_.size(), kInvalidTerm);
+  std::vector<std::string> kept_terms;
+  std::vector<std::uint32_t> kept_freq;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (freq_[i] >= min_frequency) {
+      remap[i] = static_cast<TermId>(kept_terms.size());
+      kept_terms.push_back(std::move(terms_[i]));
+      kept_freq.push_back(freq_[i]);
+    }
+  }
+  terms_ = std::move(kept_terms);
+  freq_ = std::move(kept_freq);
+  index_.clear();
+  for (std::size_t i = 0; i < terms_.size(); ++i)
+    index_.emplace(terms_[i], static_cast<TermId>(i));
+  return remap;
+}
+
+}  // namespace figdb::text

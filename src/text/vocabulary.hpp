@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file vocabulary.hpp
+/// Term <-> id mapping with corpus-frequency pruning.
+///
+/// The paper prunes tags with corpus frequency below 5 ("generally noise or
+/// typo"), ending at ~60,000 textual dimensions. Vocabulary supports the
+/// same flow: intern terms while counting, then Prune(min_frequency) to get
+/// a compacted id space.
+
+namespace figdb::text {
+
+using TermId = std::uint32_t;
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+class Vocabulary {
+ public:
+  /// Interns \p term, bumping its corpus frequency by \p count.
+  TermId AddOccurrence(std::string_view term, std::uint32_t count = 1);
+
+  /// Returns the id of \p term or kInvalidTerm if unknown.
+  TermId Lookup(std::string_view term) const;
+
+  /// Inverse mapping; \p id must be valid.
+  const std::string& TermOf(TermId id) const;
+
+  std::uint32_t Frequency(TermId id) const;
+  std::size_t Size() const { return terms_.size(); }
+
+  /// Drops every term with frequency < \p min_frequency and compacts ids.
+  /// Returns old-id -> new-id (kInvalidTerm for dropped terms).
+  std::vector<TermId> Prune(std::uint32_t min_frequency);
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+  std::vector<std::uint32_t> freq_;
+};
+
+}  // namespace figdb::text

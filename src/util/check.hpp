@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.hpp
+/// Lightweight invariant-checking macros.
+///
+/// FIGDB_CHECK is always on (cheap conditions guarding API misuse);
+/// FIGDB_DCHECK compiles out in release builds and is meant for hot paths.
+
+#define FIGDB_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "FIGDB_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define FIGDB_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "FIGDB_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                  \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define FIGDB_DCHECK(cond) ((void)0)
+#else
+#define FIGDB_DCHECK(cond) FIGDB_CHECK(cond)
+#endif

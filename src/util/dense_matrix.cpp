@@ -1,0 +1,140 @@
+#include "util/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace figdb::util {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void DenseMatrix::FillGaussian(Rng* rng) {
+  for (auto& x : data_) x = rng->Gaussian();
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  FIGDB_CHECK(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.RowPtr(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::TransposeMultiply(const DenseMatrix& other) const {
+  FIGDB_CHECK(rows_ == other.rows_);
+  DenseMatrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* a = RowPtr(k);
+    const double* b = other.RowPtr(k);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double aki = a[i];
+      if (aki == 0.0) continue;
+      double* o = out.RowPtr(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  return out;
+}
+
+void DenseMatrix::OrthonormalizeColumns() {
+  for (std::size_t j = 0; j < cols_; ++j) {
+    // Subtract projections onto previous columns (modified Gram-Schmidt).
+    for (std::size_t k = 0; k < j; ++k) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < rows_; ++i) dot += At(i, k) * At(i, j);
+      for (std::size_t i = 0; i < rows_; ++i) At(i, j) -= dot * At(i, k);
+    }
+    double norm = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) norm += At(i, j) * At(i, j);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (std::size_t i = 0; i < rows_; ++i) At(i, j) = 0.0;
+    } else {
+      for (std::size_t i = 0; i < rows_; ++i) At(i, j) /= norm;
+    }
+  }
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+void SymmetricEigen(const DenseMatrix& m, std::vector<double>* eigvals,
+                    DenseMatrix* eigvecs) {
+  FIGDB_CHECK(m.Rows() == m.Cols());
+  const std::size_t n = m.Rows();
+  DenseMatrix a = m;
+  DenseMatrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v.At(i, i) = 1.0;
+
+  // Cyclic Jacobi sweeps; n is small (the LSA rank, <= a few hundred).
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a.At(p, q) * a.At(p, q);
+    if (off < 1e-20) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::fabs(apq) < 1e-15) continue;
+        const double app = a.At(p, p), aqq = a.At(q, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a.At(i, p), aiq = a.At(i, q);
+          a.At(i, p) = c * aip - s * aiq;
+          a.At(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = a.At(p, i), aqi = a.At(q, i);
+          a.At(p, i) = c * api - s * aqi;
+          a.At(q, i) = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v.At(i, p), viq = v.At(i, q);
+          v.At(i, p) = c * vip - s * viq;
+          v.At(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a.At(x, x) > a.At(y, y);
+  });
+  eigvals->resize(n);
+  *eigvecs = DenseMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    (*eigvals)[j] = a.At(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i)
+      eigvecs->At(i, j) = v.At(i, order[j]);
+  }
+}
+
+}  // namespace figdb::util

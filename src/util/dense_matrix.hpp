@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file dense_matrix.hpp
+/// Small dense linear algebra used by the LSA baseline's truncated SVD.
+///
+/// The LSA baseline (Wang et al. [22]) needs the leading singular
+/// subspace of a (features x objects) matrix. We compute it with randomised
+/// subspace iteration, which only needs dense matrix products, QR
+/// orthonormalisation and a tiny eigendecomposition — all implemented here.
+
+namespace figdb::util {
+
+class Rng;
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t Rows() const { return rows_; }
+  std::size_t Cols() const { return cols_; }
+
+  double& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* RowPtr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Fills every entry with i.i.d. standard normals.
+  void FillGaussian(Rng* rng);
+
+  /// this * other.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// this^T * other.
+  DenseMatrix TransposeMultiply(const DenseMatrix& other) const;
+
+  /// Returns the transpose.
+  DenseMatrix Transposed() const;
+
+  /// In-place modified Gram-Schmidt; columns become orthonormal. Columns
+  /// that collapse to (near-)zero norm are re-set to zero.
+  void OrthonormalizeColumns();
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Jacobi eigendecomposition of a small symmetric matrix.
+/// Eigenvalues are returned in descending order with matching eigenvectors
+/// as columns of \p eigvecs.
+void SymmetricEigen(const DenseMatrix& m, std::vector<double>* eigvals,
+                    DenseMatrix* eigvecs);
+
+}  // namespace figdb::util

@@ -1,0 +1,206 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace figdb::util {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  FIGDB_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  FIGDB_DCHECK(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  UniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformReal() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  return lo + (hi - lo) * UniformReal();
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformReal();
+  } while (u1 <= 1e-300);
+  const double u2 = UniformReal();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return UniformReal() < p; }
+
+int Rng::Poisson(double mean) {
+  FIGDB_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = Gaussian(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = UniformReal();
+  int n = 0;
+  while (prod > limit) {
+    prod *= UniformReal();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  FIGDB_DCHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return UniformInt(weights.size());
+  double x = UniformReal() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::Zipf(std::size_t n, double s) {
+  FIGDB_DCHECK(n > 0);
+  // Linear CDF walk; harmonic normalisation computed on the fly. Intended
+  // for corpus generation where n is at most a few hundred thousand and the
+  // walk almost always terminates within the first few ranks.
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / std::pow(double(i), s);
+  double x = UniformReal() * h;
+  for (std::size_t i = 1; i <= n; ++i) {
+    x -= 1.0 / std::pow(double(i), s);
+    if (x <= 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+double Rng::Gamma(double shape) {
+  FIGDB_DCHECK(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia-Tsang trick).
+    const double u = std::max(UniformReal(), 1e-300);
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = Gaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = UniformReal();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> Rng::Dirichlet(std::size_t k, double alpha) {
+  FIGDB_DCHECK(k > 0);
+  std::vector<double> out(k);
+  double total = 0.0;
+  for (auto& x : out) {
+    x = Gamma(alpha);
+    total += x;
+  }
+  if (total <= 0.0) {
+    for (auto& x : out) x = 1.0 / static_cast<double>(k);
+    return out;
+  }
+  for (auto& x : out) x /= total;
+  return out;
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  std::vector<std::size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    Shuffle(&out);
+    return out;
+  }
+  // Floyd's algorithm: k iterations, O(k) expected set operations.
+  std::unordered_set<std::size_t> seen;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = UniformInt(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  Shuffle(&out);
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace figdb::util

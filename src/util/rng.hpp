@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file rng.hpp
+/// Deterministic random number generation for corpus synthesis and training.
+///
+/// Everything in figdb that involves randomness (synthetic corpus generation,
+/// k-means seeding, query sampling, baseline initialisation) goes through
+/// Rng so that a single 64-bit seed reproduces an entire experiment bit-for-
+/// bit. The generator is xoshiro256** seeded via splitmix64, which is both
+/// fast and statistically strong enough for simulation workloads.
+
+namespace figdb::util {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+std::uint64_t SplitMix64(std::uint64_t* state);
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+class Rng {
+ public:
+  /// Constructs a generator whose whole stream is a function of \p seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit output.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). \p bound must be > 0.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformReal();
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli draw with success probability \p p.
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  int Poisson(double mean);
+
+  /// Samples an index according to non-negative \p weights (need not be
+  /// normalised). Returns weights.size()-1 if rounding leaves slack.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  /// Zipf-distributed rank in [0, n) with exponent \p s (rejection-free
+  /// inverse-CDF over precomputed table is the caller's job for hot loops;
+  /// this does a linear CDF walk and is fine for corpus generation).
+  std::size_t Zipf(std::size_t n, double s);
+
+  /// Dirichlet sample with symmetric concentration \p alpha over \p k bins.
+  std::vector<double> Dirichlet(std::size_t k, double alpha);
+
+  /// Gamma(shape, 1) via Marsaglia-Tsang.
+  double Gamma(double shape);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (std::size_t i = v->size() - 1; i > 0; --i) {
+      std::size_t j = UniformInt(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples \p k distinct indices from [0, n) (Floyd's algorithm); the
+  /// result is shuffled. If k >= n, returns the full permuted range.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// Forks a child generator whose stream is independent of this one; used
+  /// to give each corpus section / worker its own reproducible stream.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace figdb::util

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file serde.hpp
+/// Minimal binary serialization primitives for the persistence layer
+/// (index/storage.hpp): LEB128 varints, zig-zag signed encoding,
+/// length-prefixed strings and raw little-endian scalars, over an
+/// in-memory byte buffer.
+
+namespace figdb::util {
+
+class BinaryWriter {
+ public:
+  void PutU8(std::uint8_t v) { buffer_.push_back(char(v)); }
+
+  /// Unsigned LEB128.
+  void PutVarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buffer_.push_back(char(std::uint8_t(v) | 0x80));
+      v >>= 7;
+    }
+    buffer_.push_back(char(std::uint8_t(v)));
+  }
+
+  /// Zig-zag + LEB128 for signed values.
+  void PutSignedVarint(std::int64_t v) {
+    PutVarint((std::uint64_t(v) << 1) ^ std::uint64_t(v >> 63));
+  }
+
+  void PutDouble(double v) {
+    static_assert(sizeof(double) == 8);
+    const char* p = reinterpret_cast<const char*>(&v);
+    buffer_.append(p, 8);
+  }
+
+  void PutFloat(float v) {
+    static_assert(sizeof(float) == 4);
+    const char* p = reinterpret_cast<const char*>(&v);
+    buffer_.append(p, 4);
+  }
+
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    buffer_.append(s.data(), s.size());
+  }
+
+  /// Delta-varint encoding of a sorted id list (postings compression).
+  void PutSortedIds(const std::vector<std::uint32_t>& ids) {
+    PutVarint(ids.size());
+    std::uint32_t prev = 0;
+    for (std::uint32_t id : ids) {
+      PutVarint(id - prev);
+      prev = id;
+    }
+  }
+
+  const std::string& Buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  bool Ok() const { return ok_; }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  std::size_t Position() const { return pos_; }
+
+  std::uint8_t GetU8() {
+    if (pos_ >= data_.size()) return Fail<std::uint8_t>();
+    return std::uint8_t(data_[pos_++]);
+  }
+
+  std::uint64_t GetVarint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (pos_ < data_.size() && shift < 64) {
+      const std::uint8_t b = std::uint8_t(data_[pos_++]);
+      v |= std::uint64_t(b & 0x7f) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+    }
+    return Fail<std::uint64_t>();
+  }
+
+  std::int64_t GetSignedVarint() {
+    const std::uint64_t v = GetVarint();
+    return std::int64_t(v >> 1) ^ -std::int64_t(v & 1);
+  }
+
+  double GetDouble() {
+    if (pos_ + 8 > data_.size()) return Fail<double>();
+    double v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  float GetFloat() {
+    if (pos_ + 4 > data_.size()) return Fail<float>();
+    float v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  std::string GetString() {
+    const std::uint64_t n = GetVarint();
+    if (!ok_ || pos_ + n > data_.size()) return Fail<std::string>();
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::uint32_t> GetSortedIds() {
+    const std::uint64_t n = GetVarint();
+    std::vector<std::uint32_t> ids;
+    if (!ok_ || n > data_.size()) {  // n > remaining bytes => corrupt
+      Fail<int>();
+      return ids;
+    }
+    ids.reserve(n);
+    std::uint32_t prev = 0;
+    for (std::uint64_t i = 0; i < n && ok_; ++i) {
+      prev += std::uint32_t(GetVarint());
+      ids.push_back(prev);
+    }
+    return ids;
+  }
+
+ private:
+  template <typename T>
+  T Fail() {
+    ok_ = false;
+    return T{};
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace figdb::util

@@ -1,0 +1,105 @@
+#include "util/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace figdb::util {
+
+void SparseVector::Add(std::uint32_t dim, float value) {
+  terms_.push_back({dim, value});
+  finalized_ = false;
+}
+
+void SparseVector::Finalize() {
+  if (finalized_) return;
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return a.dim < b.dim; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms_.size();) {
+    std::uint32_t dim = terms_[i].dim;
+    float sum = 0.0f;
+    while (i < terms_.size() && terms_[i].dim == dim) {
+      sum += terms_[i].value;
+      ++i;
+    }
+    if (sum != 0.0f) terms_[out++] = {dim, sum};
+  }
+  terms_.resize(out);
+  finalized_ = true;
+}
+
+float SparseVector::Get(std::uint32_t dim) const {
+  FIGDB_DCHECK(finalized_);
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), dim,
+      [](const Term& t, std::uint32_t d) { return t.dim < d; });
+  if (it != terms_.end() && it->dim == dim) return it->value;
+  return 0.0f;
+}
+
+double SparseVector::Norm() const {
+  double s = 0.0;
+  for (const Term& t : terms_) s += double(t.value) * double(t.value);
+  return std::sqrt(s);
+}
+
+double SparseVector::Sum() const {
+  double s = 0.0;
+  for (const Term& t : terms_) s += t.value;
+  return s;
+}
+
+double SparseVector::Dot(const SparseVector& a, const SparseVector& b) {
+  FIGDB_DCHECK(a.finalized_ && b.finalized_);
+  double s = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.terms_.size() && j < b.terms_.size()) {
+    const std::uint32_t da = a.terms_[i].dim, db = b.terms_[j].dim;
+    if (da == db) {
+      s += double(a.terms_[i].value) * double(b.terms_[j].value);
+      ++i;
+      ++j;
+    } else if (da < db) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return s;
+}
+
+double SparseVector::Cosine(const SparseVector& a, const SparseVector& b) {
+  const double na = a.Norm(), nb = b.Norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void SparseVector::Scale(float factor) {
+  for (Term& t : terms_) t.value *= factor;
+}
+
+void SparseVector::AddScaled(const SparseVector& b, float s) {
+  FIGDB_DCHECK(finalized_ && b.finalized_);
+  std::vector<Term> merged;
+  merged.reserve(terms_.size() + b.terms_.size());
+  std::size_t i = 0, j = 0;
+  while (i < terms_.size() || j < b.terms_.size()) {
+    if (j >= b.terms_.size() ||
+        (i < terms_.size() && terms_[i].dim < b.terms_[j].dim)) {
+      merged.push_back(terms_[i++]);
+    } else if (i >= terms_.size() || b.terms_[j].dim < terms_[i].dim) {
+      merged.push_back({b.terms_[j].dim, s * b.terms_[j].value});
+      ++j;
+    } else {
+      const float v = terms_[i].value + s * b.terms_[j].value;
+      if (v != 0.0f) merged.push_back({terms_[i].dim, v});
+      ++i;
+      ++j;
+    }
+  }
+  terms_ = std::move(merged);
+}
+
+}  // namespace figdb::util

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file sparse_vector.hpp
+/// Sorted sparse vectors over 32-bit dimension ids.
+///
+/// Feature-occurrence vectors in figdb are extremely sparse (an image has a
+/// handful of tags out of ~60k, a few hundred visual words out of 1022, a
+/// few users out of ~270k), so all correlation statistics (Eq. 1, Eq. 8 of
+/// the paper) run on this representation.
+
+namespace figdb::util {
+
+/// Immutable-after-finalise sparse vector of (dimension, value) pairs kept
+/// sorted by dimension.
+class SparseVector {
+ public:
+  struct Term {
+    std::uint32_t dim;
+    float value;
+  };
+
+  SparseVector() = default;
+
+  /// Accumulates \p value onto dimension \p dim (duplicates are merged by
+  /// Finalize).
+  void Add(std::uint32_t dim, float value);
+
+  /// Sorts by dimension and merges duplicate dimensions by summing. Must be
+  /// called before any query method.
+  void Finalize();
+
+  std::size_t NonZeros() const { return terms_.size(); }
+  bool Empty() const { return terms_.empty(); }
+  const std::vector<Term>& Terms() const { return terms_; }
+
+  /// Value at \p dim, 0 if absent. O(log nnz).
+  float Get(std::uint32_t dim) const;
+
+  /// L2 norm.
+  double Norm() const;
+
+  /// Sum of values (L1 mass for non-negative vectors).
+  double Sum() const;
+
+  /// Dot product with another finalized vector. O(nnz_a + nnz_b).
+  static double Dot(const SparseVector& a, const SparseVector& b);
+
+  /// Cosine similarity; 0 when either vector is empty. This is exactly the
+  /// paper's Eq. 1 co-occurrence correlation when the vectors are feature
+  /// occurrence-count columns.
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+  /// In-place scale.
+  void Scale(float factor);
+
+  /// a += s * b (both finalized; result stays finalized).
+  void AddScaled(const SparseVector& b, float s);
+
+ private:
+  std::vector<Term> terms_;
+  bool finalized_ = true;  // an empty vector is trivially finalized
+};
+
+}  // namespace figdb::util

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file string_util.hpp
+/// Small string helpers shared by the text pipeline and report printers.
+
+namespace figdb::util {
+
+/// ASCII lower-casing (tags in the synthetic corpus are ASCII).
+std::string ToLower(std::string_view s);
+
+/// Splits on any character in \p delims, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, std::string_view delims);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace figdb::util

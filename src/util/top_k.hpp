@@ -1,0 +1,76 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+/// \file top_k.hpp
+/// Bounded top-k collector used by every retrieval path.
+
+namespace figdb::util {
+
+/// Keeps the k largest (score, id) pairs seen so far in a min-heap.
+///
+/// Ties on score are broken towards the smaller id so that every retrieval
+/// method in figdb produces a deterministic ranking.
+template <typename Id = std::uint32_t>
+class TopK {
+ public:
+  struct Entry {
+    double score;
+    Id id;
+  };
+
+  explicit TopK(std::size_t k) : k_(k) {}
+
+  /// Offers a candidate; O(log k) when it displaces the current minimum.
+  void Offer(double score, Id id) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({score, id});
+      std::push_heap(heap_.begin(), heap_.end(), Greater);
+      return;
+    }
+    if (Less(heap_.front(), Entry{score, id})) {
+      std::pop_heap(heap_.begin(), heap_.end(), Greater);
+      heap_.back() = {score, id};
+      std::push_heap(heap_.begin(), heap_.end(), Greater);
+    }
+  }
+
+  /// Current k-th best score, or -infinity while underfull. This is the TA
+  /// early-termination threshold.
+  double KthScore() const {
+    if (heap_.size() < k_) return -std::numeric_limits<double>::infinity();
+    return heap_.front().score;
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+  std::size_t Size() const { return heap_.size(); }
+  std::size_t Capacity() const { return k_; }
+
+  /// Extracts results best-first; the collector is left empty.
+  std::vector<Entry> Take() {
+    std::vector<Entry> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) { return Less(b, a); });
+    return out;
+  }
+
+ private:
+  // Strict ordering: higher score wins; on a tie the smaller id wins.
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.id > b.id;
+  }
+  static bool Greater(const Entry& a, const Entry& b) { return Less(b, a); }
+
+  std::size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace figdb::util

@@ -1,0 +1,91 @@
+#include "vision/block_features.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace figdb::vision {
+
+double DescriptorDistanceSquared(const Descriptor& a, const Descriptor& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < kDescriptorDim; ++i) {
+    const double d = double(a[i]) - double(b[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+Descriptor BlockFeatureExtractor::ExtractBlock(const Image& image,
+                                               std::size_t x0,
+                                               std::size_t y0) const {
+  FIGDB_CHECK(x0 + kBlockSize <= image.Width());
+  FIGDB_CHECK(y0 + kBlockSize <= image.Height());
+  Descriptor d{};
+
+  double sum = 0.0, sum_sq = 0.0;
+  double abs_dx = 0.0, abs_dy = 0.0;
+  double quadrant[4] = {0.0, 0.0, 0.0, 0.0};
+
+  for (std::size_t dy = 0; dy < kBlockSize; ++dy) {
+    for (std::size_t dx = 0; dx < kBlockSize; ++dx) {
+      const std::size_t x = x0 + dx, y = y0 + dy;
+      const float v = image.At(x, y);
+      sum += v;
+      sum_sq += double(v) * double(v);
+      quadrant[(dy / 8) * 2 + (dx / 8)] += v;
+
+      // Central-difference gradients, clamped to the block interior so the
+      // descriptor is a pure function of the block's pixels.
+      const float vxm = image.At(dx == 0 ? x : x - 1, y);
+      const float vxp = image.At(dx + 1 == kBlockSize ? x : x + 1, y);
+      const float vym = image.At(x, dy == 0 ? y : y - 1);
+      const float vyp = image.At(x, dy + 1 == kBlockSize ? y : y + 1);
+      const double gx = 0.5 * (double(vxp) - double(vxm));
+      const double gy = 0.5 * (double(vyp) - double(vym));
+      abs_dx += std::fabs(gx);
+      abs_dy += std::fabs(gy);
+
+      const double mag = std::sqrt(gx * gx + gy * gy);
+      if (mag > 1e-9) {
+        double angle = std::atan2(gy, gx);      // [-pi, pi]
+        if (angle < 0.0) angle += M_PI;          // orientation, [0, pi)
+        int bin = static_cast<int>(angle / M_PI * 8.0);
+        if (bin > 7) bin = 7;
+        d[bin] += static_cast<float>(mag);
+      }
+    }
+  }
+
+  constexpr double kPixels = double(kBlockSize * kBlockSize);
+  // Normalise the gradient histogram to unit L1 mass (when non-empty) so
+  // the descriptor scale is comparable across blocks.
+  double hist_mass = 0.0;
+  for (int i = 0; i < 8; ++i) hist_mass += d[i];
+  if (hist_mass > 1e-9) {
+    for (int i = 0; i < 8; ++i) d[i] = static_cast<float>(d[i] / hist_mass);
+  }
+  for (int q = 0; q < 4; ++q)
+    d[8 + q] = static_cast<float>(quadrant[q] / (kPixels / 4.0));
+  const double mean = sum / kPixels;
+  const double var = std::max(0.0, sum_sq / kPixels - mean * mean);
+  d[12] = static_cast<float>(mean);
+  d[13] = static_cast<float>(std::sqrt(var));
+  d[14] = static_cast<float>(abs_dx / kPixels);
+  d[15] = static_cast<float>(abs_dy / kPixels);
+  return d;
+}
+
+std::vector<Descriptor> BlockFeatureExtractor::Extract(
+    const Image& image) const {
+  std::vector<Descriptor> out;
+  if (image.Width() < kBlockSize || image.Height() < kBlockSize) return out;
+  const std::size_t nx = image.Width() / kBlockSize;
+  const std::size_t ny = image.Height() / kBlockSize;
+  out.reserve(nx * ny);
+  for (std::size_t by = 0; by < ny; ++by)
+    for (std::size_t bx = 0; bx < nx; ++bx)
+      out.push_back(ExtractBlock(image, bx * kBlockSize, by * kBlockSize));
+  return out;
+}
+
+}  // namespace figdb::vision

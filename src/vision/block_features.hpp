@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "vision/image.hpp"
+
+/// \file block_features.hpp
+/// 16-D raw block descriptors over 16x16-pixel blocks (paper §5.1.3).
+///
+/// The paper divides each image into uniformly distributed, equal-size
+/// 16x16-pixel blocks, extracts raw visual features per block, and clusters
+/// them into 1022 visual words. Our per-block descriptor is 16-D, matching
+/// the paper's statement that "each visual word is a 16-D feature vector":
+///   [0..7]   magnitude-weighted gradient-orientation histogram (8 bins)
+///   [8..11]  mean intensity of the four 8x8 quadrants
+///   [12]     block mean intensity
+///   [13]     block intensity standard deviation
+///   [14]     mean |dI/dx|  (horizontal texture energy)
+///   [15]     mean |dI/dy|  (vertical texture energy)
+
+namespace figdb::vision {
+
+inline constexpr std::size_t kBlockSize = 16;
+inline constexpr std::size_t kDescriptorDim = 16;
+
+using Descriptor = std::array<float, kDescriptorDim>;
+
+/// Squared Euclidean distance between two descriptors.
+double DescriptorDistanceSquared(const Descriptor& a, const Descriptor& b);
+
+/// Extracts one descriptor per non-overlapping 16x16 block; partial blocks
+/// at the right/bottom edges are dropped, as in the paper's uniform grid.
+class BlockFeatureExtractor {
+ public:
+  std::vector<Descriptor> Extract(const Image& image) const;
+
+  /// Descriptor of a single block anchored at (x0, y0); the block must lie
+  /// fully inside the image.
+  Descriptor ExtractBlock(const Image& image, std::size_t x0,
+                          std::size_t y0) const;
+};
+
+}  // namespace figdb::vision

@@ -1,0 +1,11 @@
+#include "vision/image.hpp"
+
+#include <algorithm>
+
+namespace figdb::vision {
+
+void Image::Clamp() {
+  for (float& p : pixels_) p = std::clamp(p, 0.0f, 1.0f);
+}
+
+}  // namespace figdb::vision

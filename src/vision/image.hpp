@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file image.hpp
+/// Minimal grayscale raster image.
+///
+/// The paper extracts visual words from Flickr photos; we have no photo
+/// corpus, so vision::Synthesizer (image_synth.hpp) renders procedural
+/// images whose texture statistics are topic-conditioned. This type is the
+/// raster those images are rendered into and the input to the block feature
+/// extractor — i.e. the role a cv::Mat would play.
+
+namespace figdb::vision {
+
+/// Row-major grayscale image with float pixels in [0, 1].
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height)
+      : width_(width), height_(height), pixels_(width * height, 0.0f) {}
+
+  std::size_t Width() const { return width_; }
+  std::size_t Height() const { return height_; }
+
+  float& At(std::size_t x, std::size_t y) { return pixels_[y * width_ + x]; }
+  float At(std::size_t x, std::size_t y) const {
+    return pixels_[y * width_ + x];
+  }
+
+  const std::vector<float>& Pixels() const { return pixels_; }
+
+  /// Clamps every pixel into [0, 1].
+  void Clamp();
+
+ private:
+  std::size_t width_ = 0, height_ = 0;
+  std::vector<float> pixels_;
+};
+
+}  // namespace figdb::vision

@@ -1,0 +1,66 @@
+#include "vision/image_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace figdb::vision {
+
+Synthesizer::Synthesizer(std::size_t num_topics, SynthesizerOptions options)
+    : options_(options) {
+  FIGDB_CHECK(num_topics > 0);
+  util::Rng rng(options_.seed);
+  textures_.resize(num_topics);
+  for (std::size_t t = 0; t < num_topics; ++t) {
+    textures_[t].resize(options_.textures_per_topic);
+    // Topics get a home orientation/frequency band; primitives jitter
+    // around it so intra-topic blocks are similar but not identical.
+    const double home_orientation = rng.UniformReal(0.0, M_PI);
+    const double home_frequency = rng.UniformReal(0.05, 0.45);
+    const double home_base = rng.UniformReal(0.3, 0.7);
+    for (auto& tex : textures_[t]) {
+      tex.orientation = home_orientation + rng.Gaussian(0.0, 0.15);
+      tex.frequency = std::max(0.02, home_frequency + rng.Gaussian(0.0, 0.04));
+      tex.base = std::clamp(home_base + rng.Gaussian(0.0, 0.05), 0.1, 0.9);
+      tex.contrast = rng.UniformReal(0.15, 0.35);
+      tex.phase = rng.UniformReal(0.0, 2.0 * M_PI);
+    }
+  }
+}
+
+Image Synthesizer::Render(const std::vector<double>& topic_weights,
+                          util::Rng* rng) const {
+  FIGDB_CHECK(topic_weights.size() == textures_.size());
+  Image img(options_.image_width, options_.image_height);
+  const std::size_t block = 16;
+  const std::size_t nx = std::max<std::size_t>(1, img.Width() / block);
+  const std::size_t ny = std::max<std::size_t>(1, img.Height() / block);
+
+  for (std::size_t by = 0; by < ny; ++by) {
+    for (std::size_t bx = 0; bx < nx; ++bx) {
+      const std::size_t topic = rng->Categorical(topic_weights);
+      const auto& prims = textures_[topic];
+      const Texture& tex = prims[rng->UniformInt(prims.size())];
+      const double cos_o = std::cos(tex.orientation);
+      const double sin_o = std::sin(tex.orientation);
+      for (std::size_t dy = 0; dy < block; ++dy) {
+        for (std::size_t dx = 0; dx < block; ++dx) {
+          const std::size_t x = bx * block + dx;
+          const std::size_t y = by * block + dy;
+          if (x >= img.Width() || y >= img.Height()) continue;
+          const double u = cos_o * double(x) + sin_o * double(y);
+          double v = tex.base +
+                     tex.contrast *
+                         std::sin(2.0 * M_PI * tex.frequency * u + tex.phase);
+          v += rng->Gaussian(0.0, options_.pixel_noise);
+          img.At(x, y) = static_cast<float>(v);
+        }
+      }
+    }
+  }
+  img.Clamp();
+  return img;
+}
+
+}  // namespace figdb::vision

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "vision/image.hpp"
+
+/// \file image_synth.hpp
+/// Procedural image synthesis conditioned on latent topics.
+///
+/// Substitution for the Flickr photo corpus: each latent topic owns a small
+/// family of texture primitives (oriented sinusoid gratings with
+/// topic-specific frequency, orientation, base brightness and contrast).
+/// An image for a topic mixture is rendered block-by-block: each 16x16
+/// block samples a topic from the mixture and draws that topic's texture
+/// plus pixel noise. The downstream pipeline (block descriptors -> k-means
+/// -> visual words) therefore sees topic-correlated but noisy visual
+/// features — the "semantic gap" the paper observes for the visual
+/// modality is controlled by \p pixel_noise and the per-topic texture
+/// overlap.
+
+namespace figdb::vision {
+
+struct SynthesizerOptions {
+  std::size_t image_width = 64;
+  std::size_t image_height = 64;
+  /// Texture primitives per topic; blocks of one topic sample among them.
+  std::size_t textures_per_topic = 3;
+  /// Additive Gaussian pixel noise (std dev); raises the semantic gap.
+  double pixel_noise = 0.08;
+  std::uint64_t seed = 7;
+};
+
+/// Renders topic-conditioned procedural images.
+class Synthesizer {
+ public:
+  Synthesizer(std::size_t num_topics, SynthesizerOptions options);
+
+  /// Renders an image for a topic mixture (weights over all topics, need
+  /// not be normalised). \p rng drives all sampling so rendering is
+  /// deterministic per call sequence.
+  Image Render(const std::vector<double>& topic_weights, util::Rng* rng) const;
+
+  std::size_t NumTopics() const { return textures_.size(); }
+
+ private:
+  struct Texture {
+    double orientation;  // radians
+    double frequency;    // cycles per pixel
+    double base;         // base intensity
+    double contrast;     // sinusoid amplitude
+    double phase;
+  };
+
+  SynthesizerOptions options_;
+  std::vector<std::vector<Texture>> textures_;  // [topic][primitive]
+};
+
+}  // namespace figdb::vision

@@ -1,0 +1,121 @@
+#include "vision/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace figdb::vision {
+namespace {
+
+double DistSq(const float* a, const float* b, std::size_t dim) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double d = double(a[i]) - double(b[i]);
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<float>& data, std::size_t dim,
+                    const KMeansOptions& options) {
+  FIGDB_CHECK(dim > 0);
+  FIGDB_CHECK(data.size() % dim == 0);
+  const std::size_t n = data.size() / dim;
+  const std::size_t k = std::min(options.k, n);
+  KMeansResult result;
+  if (n == 0 || k == 0) return result;
+
+  util::Rng rng(options.seed);
+
+  // ---- k-means++ seeding.
+  std::vector<std::size_t> seeds;
+  seeds.reserve(k);
+  seeds.push_back(rng.UniformInt(n));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (seeds.size() < k) {
+    const float* last = data.data() + seeds.back() * dim;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = DistSq(data.data() + i * dim, last, dim);
+      if (d < min_dist[i]) min_dist[i] = d;
+      total += min_dist[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen seeds; fill uniformly.
+      seeds.push_back(rng.UniformInt(n));
+      continue;
+    }
+    double x = rng.UniformReal() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      x -= min_dist[i];
+      if (x <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+
+  result.centroids.resize(k * dim);
+  for (std::size_t c = 0; c < k; ++c)
+    std::copy_n(data.data() + seeds[c] * dim, dim,
+                result.centroids.data() + c * dim);
+
+  // ---- Lloyd iterations.
+  result.assignments.assign(n, 0);
+  std::vector<double> sums(k * dim);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* p = data.data() + i * dim;
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = DistSq(p, result.centroids.data() + c * dim, dim);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = result.assignments[i];
+      const float* p = data.data() + i * dim;
+      double* s = sums.data() + std::size_t(c) * dim;
+      for (std::size_t j = 0; j < dim; ++j) s[j] += p[j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        const std::size_t p = rng.UniformInt(n);
+        std::copy_n(data.data() + p * dim, dim,
+                    result.centroids.data() + c * dim);
+        continue;
+      }
+      for (std::size_t j = 0; j < dim; ++j)
+        result.centroids[c * dim + j] =
+            static_cast<float>(sums[c * dim + j] / double(counts[c]));
+    }
+  }
+  return result;
+}
+
+}  // namespace figdb::vision

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+/// \file kmeans.hpp
+/// k-means clustering (k-means++ seeding + Lloyd iterations).
+///
+/// Used to build the 1022-word visual vocabulary from raw block features,
+/// exactly the clustering step the paper takes from Wu et al. [25]. The
+/// implementation is generic over the point dimensionality so tests can use
+/// small synthetic problems.
+
+namespace figdb::vision {
+
+struct KMeansOptions {
+  std::size_t k = 1022;
+  std::size_t max_iterations = 25;
+  /// Stop early when no assignment changes in an iteration.
+  std::uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  /// k * dim centroid coordinates, row-major.
+  std::vector<float> centroids;
+  /// Cluster index per input point.
+  std::vector<std::uint32_t> assignments;
+  /// Final sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Clusters \p n points of dimension \p dim stored row-major in \p data.
+/// If n < k, the result has exactly n singleton clusters.
+KMeansResult KMeans(const std::vector<float>& data, std::size_t dim,
+                    const KMeansOptions& options);
+
+}  // namespace figdb::vision

@@ -1,0 +1,69 @@
+#include "vision/visual_vocabulary.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace figdb::vision {
+
+VisualVocabulary VisualVocabulary::Build(
+    const std::vector<Descriptor>& descriptors, const KMeansOptions& options) {
+  std::vector<float> flat;
+  flat.reserve(descriptors.size() * kDescriptorDim);
+  for (const Descriptor& d : descriptors)
+    flat.insert(flat.end(), d.begin(), d.end());
+  const KMeansResult km = KMeans(flat, kDescriptorDim, options);
+
+  VisualVocabulary vocab;
+  const std::size_t k = km.centroids.size() / kDescriptorDim;
+  vocab.centroids_.resize(k);
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t j = 0; j < kDescriptorDim; ++j)
+      vocab.centroids_[c][j] = km.centroids[c * kDescriptorDim + j];
+  return vocab;
+}
+
+VisualVocabulary VisualVocabulary::FromCentroids(
+    std::vector<Descriptor> centroids) {
+  VisualVocabulary vocab;
+  vocab.centroids_ = std::move(centroids);
+  return vocab;
+}
+
+VisualWordId VisualVocabulary::Quantize(const Descriptor& d) const {
+  FIGDB_CHECK(!centroids_.empty());
+  double best = std::numeric_limits<double>::infinity();
+  VisualWordId best_w = 0;
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double dist = DescriptorDistanceSquared(d, centroids_[c]);
+    if (dist < best) {
+      best = dist;
+      best_w = static_cast<VisualWordId>(c);
+    }
+  }
+  return best_w;
+}
+
+std::vector<VisualWordId> VisualVocabulary::QuantizeAll(
+    const std::vector<Descriptor>& descriptors) const {
+  std::vector<VisualWordId> out;
+  out.reserve(descriptors.size());
+  for (const Descriptor& d : descriptors) out.push_back(Quantize(d));
+  return out;
+}
+
+const Descriptor& VisualVocabulary::Centroid(VisualWordId w) const {
+  FIGDB_CHECK(w < centroids_.size());
+  return centroids_[w];
+}
+
+double VisualVocabulary::Distance(VisualWordId a, VisualWordId b) const {
+  return std::sqrt(DescriptorDistanceSquared(Centroid(a), Centroid(b)));
+}
+
+double VisualVocabulary::Similarity(VisualWordId a, VisualWordId b) const {
+  return 1.0 / (1.0 + Distance(a, b));
+}
+
+}  // namespace figdb::vision

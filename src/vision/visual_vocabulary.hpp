@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vision/block_features.hpp"
+#include "vision/kmeans.hpp"
+
+/// \file visual_vocabulary.hpp
+/// Visual-word vocabulary: k-means centroids over block descriptors.
+///
+/// Matches §5.1.3 of the paper: raw 16x16 block features are clustered into
+/// 1022 visual words; each image is then represented by the bag of visual
+/// words of its blocks. Intra-visual correlation (§3.2) is derived from the
+/// Euclidean distance between word centroids.
+
+namespace figdb::vision {
+
+using VisualWordId = std::uint32_t;
+
+class VisualVocabulary {
+ public:
+  /// Clusters \p descriptors into at most \p options.k words.
+  static VisualVocabulary Build(const std::vector<Descriptor>& descriptors,
+                                const KMeansOptions& options);
+
+  /// Wraps pre-computed centroids (used by the corpus generator's fast path,
+  /// which assigns each visual word a synthetic topic-anchored centroid
+  /// instead of running the full image pipeline).
+  static VisualVocabulary FromCentroids(std::vector<Descriptor> centroids);
+
+  std::size_t WordCount() const { return centroids_.size(); }
+
+  /// Nearest centroid (ties to the lower id). Vocabulary must be non-empty.
+  VisualWordId Quantize(const Descriptor& d) const;
+
+  /// Quantizes every block of an image's descriptor list.
+  std::vector<VisualWordId> QuantizeAll(
+      const std::vector<Descriptor>& descriptors) const;
+
+  const Descriptor& Centroid(VisualWordId w) const;
+
+  /// Euclidean distance between two word centroids (§3.2's intra-visual
+  /// correlation signal).
+  double Distance(VisualWordId a, VisualWordId b) const;
+
+  /// Similarity in (0, 1]: 1 / (1 + distance). Monotone in -distance, so
+  /// thresholding it is equivalent to thresholding distance.
+  double Similarity(VisualWordId a, VisualWordId b) const;
+
+ private:
+  std::vector<Descriptor> centroids_;
+};
+
+}  // namespace figdb::vision

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "baselines/feature_vectors.hpp"
+#include "baselines/lsa.hpp"
+#include "baselines/rankboost.hpp"
+#include "baselines/tensor_product.hpp"
+#include "corpus/generator.hpp"
+#include "eval/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace figdb::baselines {
+namespace {
+
+using corpus::FeatureKey;
+using corpus::FeatureType;
+using corpus::MakeFeatureKey;
+using corpus::MediaObject;
+using corpus::ObjectId;
+
+FeatureKey Tag(std::uint32_t id) {
+  return MakeFeatureKey(FeatureType::kText, id);
+}
+FeatureKey Vw(std::uint32_t id) {
+  return MakeFeatureKey(FeatureType::kVisual, id);
+}
+FeatureKey User(std::uint32_t id) {
+  return MakeFeatureKey(FeatureType::kUser, id);
+}
+
+corpus::Corpus MakeHandCorpus() {
+  corpus::Corpus c;
+  auto add = [&](std::vector<corpus::FeatureOccurrence> f) {
+    MediaObject o;
+    o.features = std::move(f);
+    o.Normalize();
+    c.Add(std::move(o));
+  };
+  add({{Tag(0), 2}, {Vw(0), 1}, {User(0), 1}});
+  add({{Tag(0), 1}, {Tag(1), 1}, {User(0), 1}});
+  add({{Tag(2), 1}, {Vw(1), 2}});
+  add({{Tag(1), 3}, {Vw(0), 1}, {User(1), 1}});
+  return c;
+}
+
+// ----------------------------------------------------------- TypedVectors
+
+TEST(TypedVectorsTest, VectorsMatchObjects) {
+  const corpus::Corpus c = MakeHandCorpus();
+  const TypedVectors tv = TypedVectors::Build(c);
+  EXPECT_EQ(tv.NumObjects(), 4u);
+  EXPECT_FLOAT_EQ(tv.Vector(0, FeatureType::kText).Get(Tag(0)), 2.0f);
+  EXPECT_FLOAT_EQ(tv.Vector(0, FeatureType::kVisual).Get(Vw(0)), 1.0f);
+  EXPECT_TRUE(tv.Vector(2, FeatureType::kUser).Empty());
+  EXPECT_EQ(tv.FullVector(0).NonZeros(), 3u);
+}
+
+TEST(TypedVectorsTest, ToVectorFiltersModality) {
+  const corpus::Corpus c = MakeHandCorpus();
+  const auto v = TypedVectors::ToVector(c.Object(0), FeatureType::kText);
+  EXPECT_EQ(v.NonZeros(), 1u);
+  EXPECT_FLOAT_EQ(v.Get(Tag(0)), 2.0f);
+}
+
+TEST(TypedVectorsTest, CandidatesShareAFeature) {
+  const corpus::Corpus c = MakeHandCorpus();
+  const auto matrix = stats::FeatureMatrix::Build(c);
+  const auto candidates = TypedVectors::Candidates(c.Object(0), matrix);
+  // Object 0 shares Tag0 with 1, Vw0 with 3, User0 with 1; not object 2.
+  EXPECT_EQ(candidates, (std::vector<ObjectId>{0, 1, 3}));
+}
+
+// -------------------------------------------------------------------- LSA
+
+TEST(LsaTest, ExactDuplicateRetrievedFirst) {
+  corpus::GeneratorConfig config;
+  config.num_objects = 300;
+  config.num_topics = 6;
+  config.num_users = 100;
+  config.visual_words = 48;
+  config.seed = 2;
+  const corpus::Corpus c =
+      corpus::Generator(config).MakeRetrievalCorpus();
+  const LsaRetriever lsa(c, {.rank = 32});
+  for (ObjectId q : {3u, 42u, 137u}) {
+    const auto results = lsa.Search(c.Object(q), 3);
+    ASSERT_FALSE(results.empty());
+    // The object itself must be (or tie) the best match; the truncated
+    // rank loses a little self-similarity mass, hence the loose bound.
+    EXPECT_GT(results[0].score, 0.97);
+    bool self_found = false;
+    for (const auto& r : results)
+      if (r.object == q) self_found = true;
+    EXPECT_TRUE(self_found);
+  }
+}
+
+TEST(LsaTest, LowRankMatrixRecoveredAccurately) {
+  // Build a corpus whose object-feature matrix has rank 2 (two disjoint
+  // feature blocks); LSA with rank >= 2 must embed the two groups into
+  // clearly separated directions.
+  corpus::Corpus c;
+  for (int i = 0; i < 20; ++i) {
+    MediaObject o;
+    if (i % 2 == 0) {
+      o.features = {{Tag(0), 1}, {Tag(1), 1}};
+    } else {
+      o.features = {{Tag(2), 1}, {Tag(3), 1}};
+    }
+    o.Normalize();
+    c.Add(std::move(o));
+  }
+  const LsaRetriever lsa(c, {.rank = 2});
+  const auto results = lsa.Search(c.Object(0), 20);
+  ASSERT_EQ(results.size(), 20u);
+  // Top 10 must be the 10 even-indexed (same-group) objects.
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(results[i].object % 2, 0u) << "rank " << i;
+}
+
+TEST(LsaTest, EmbeddingDimensionEqualsRank) {
+  const corpus::Corpus c = MakeHandCorpus();
+  const LsaRetriever lsa(c, {.rank = 3});
+  EXPECT_EQ(lsa.LatentRank(), 3u);
+  EXPECT_EQ(lsa.Embed(c.Object(0)).size(), 3u);
+  EXPECT_EQ(lsa.SingularValues().size(), 3u);
+  // Singular values are returned descending.
+  for (std::size_t i = 1; i < lsa.SingularValues().size(); ++i)
+    EXPECT_GE(lsa.SingularValues()[i - 1], lsa.SingularValues()[i] - 1e-9);
+}
+
+TEST(LsaTest, RankClampsToMatrixSize) {
+  const corpus::Corpus c = MakeHandCorpus();  // 4 objects
+  const LsaRetriever lsa(c, {.rank = 100});
+  EXPECT_LE(lsa.LatentRank(), 4u);
+}
+
+TEST(LsaTest, UnknownQueryFeaturesIgnored) {
+  const corpus::Corpus c = MakeHandCorpus();
+  const LsaRetriever lsa(c, {.rank = 2});
+  MediaObject query;
+  query.features = {{Tag(999), 5}};  // never seen
+  query.Normalize();
+  const auto results = lsa.Search(query, 2);
+  for (const auto& r : results) EXPECT_EQ(r.score, 0.0);
+}
+
+// --------------------------------------------------------------------- TP
+
+class TpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = std::make_unique<corpus::Corpus>(MakeHandCorpus());
+    vectors_ = std::make_shared<TypedVectors>(TypedVectors::Build(*corpus_));
+    matrix_ = std::make_shared<stats::FeatureMatrix>(
+        stats::FeatureMatrix::Build(*corpus_));
+  }
+  std::unique_ptr<corpus::Corpus> corpus_;
+  std::shared_ptr<TypedVectors> vectors_;
+  std::shared_ptr<stats::FeatureMatrix> matrix_;
+};
+
+TEST_F(TpFixture, KernelMatchesHandComputation) {
+  const TensorProductRetriever tp(*corpus_, vectors_, matrix_);
+  // query = object 0 vs object 1:
+  //   kT = cos({t0:2}, {t0:1, t1:1}) = 2 / (2 * sqrt2) = 1/sqrt2
+  //   kV = 0 (object 1 has no visual), kU = 1 (identical {u0}).
+  const double kt = 1.0 / std::sqrt(2.0);
+  const double expected = (kt + 0.0 + 1.0) + (kt * 0.0 + kt * 1.0 + 0.0);
+  EXPECT_NEAR(tp.Similarity(corpus_->Object(0), 1), expected, 1e-9);
+}
+
+TEST_F(TpFixture, SelfSimilarityIsMaximal) {
+  const TensorProductRetriever tp(*corpus_, vectors_, matrix_);
+  const auto results = tp.Search(corpus_->Object(0), 4);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].object, 0u);
+  // Self: all three kernels 1 -> additive 3 + products 3 = 6.
+  EXPECT_NEAR(results[0].score, 6.0, 1e-9);
+}
+
+TEST_F(TpFixture, AdditiveTermsTogglable) {
+  const TensorProductRetriever products_only(
+      *corpus_, vectors_, matrix_, {.include_additive = false});
+  EXPECT_NEAR(products_only.Similarity(corpus_->Object(0), 0), 3.0, 1e-9);
+}
+
+TEST_F(TpFixture, SearchSkipsNonOverlappingObjects) {
+  const TensorProductRetriever tp(*corpus_, vectors_, matrix_);
+  const auto results = tp.Search(corpus_->Object(0), 10);
+  for (const auto& r : results) EXPECT_NE(r.object, 2u);
+}
+
+// -------------------------------------------------------------- RankBoost
+
+TEST(RankBoostTest, DefaultWeightsUsedUntrained) {
+  const corpus::Corpus c = MakeHandCorpus();
+  auto vectors = std::make_shared<TypedVectors>(TypedVectors::Build(c));
+  auto matrix = std::make_shared<stats::FeatureMatrix>(
+      stats::FeatureMatrix::Build(c));
+  const RankBoostRetriever rb(c, vectors, matrix);
+  ASSERT_EQ(rb.Weights().size(), corpus::kNumFeatureTypes);
+  EXPECT_GT(rb.Weights()[0], 0.0);
+}
+
+TEST(RankBoostTest, TrainingLearnsInformativeModality) {
+  // Synthetic corpus where ONLY the text modality carries the topic signal:
+  // visual words and users are uniformly random. RankBoost must end up
+  // weighting text far above the noise modalities.
+  util::Rng rng(77);
+  corpus::Corpus c;
+  for (int i = 0; i < 200; ++i) {
+    MediaObject o;
+    const std::uint32_t topic = i % 4;
+    o.topic = topic;
+    o.features.push_back({Tag(topic * 3 + std::uint32_t(rng.UniformInt(3))),
+                          1});
+    o.features.push_back({Tag(topic * 3 + std::uint32_t(rng.UniformInt(3))),
+                          1});
+    o.features.push_back({Vw(std::uint32_t(rng.UniformInt(30))), 1});
+    o.features.push_back({User(std::uint32_t(rng.UniformInt(30))), 1});
+    o.Normalize();
+    c.Add(std::move(o));
+  }
+  auto vectors = std::make_shared<TypedVectors>(TypedVectors::Build(c));
+  auto matrix = std::make_shared<stats::FeatureMatrix>(
+      stats::FeatureMatrix::Build(c));
+  RankBoostRetriever rb(c, vectors, matrix);
+
+  eval::TopicOracle oracle(&c);
+  std::vector<RankBoostTrainingQuery> queries;
+  for (ObjectId q : {0u, 1u, 2u, 3u, 10u, 11u}) {
+    RankBoostTrainingQuery tq;
+    tq.query = c.Object(q);
+    tq.relevant = oracle.RelevantSet(tq.query);
+    queries.push_back(std::move(tq));
+  }
+  rb.Train(queries);
+  const auto& w = rb.Weights();
+  EXPECT_GT(w[0], w[1]);  // text > visual
+  EXPECT_GT(w[0], w[2]);  // text > user
+}
+
+TEST(RankBoostTest, TrainedRetrievalBeatsNoiseModality) {
+  corpus::GeneratorConfig config;
+  config.num_objects = 400;
+  config.num_topics = 8;
+  config.num_users = 120;
+  config.visual_words = 48;
+  config.seed = 909;
+  const corpus::Corpus c =
+      corpus::Generator(config).MakeRetrievalCorpus();
+  auto vectors = std::make_shared<TypedVectors>(TypedVectors::Build(c));
+  auto matrix = std::make_shared<stats::FeatureMatrix>(
+      stats::FeatureMatrix::Build(c));
+  RankBoostRetriever rb(c, vectors, matrix);
+  eval::TopicOracle oracle(&c);
+
+  std::vector<RankBoostTrainingQuery> queries;
+  for (ObjectId q : {5u, 50u, 150u}) {
+    RankBoostTrainingQuery tq;
+    tq.query = c.Object(q);
+    tq.relevant = oracle.RelevantSet(tq.query);
+    queries.push_back(std::move(tq));
+  }
+  rb.Train(queries);
+
+  // Precision@5 on a held-out query should be well above the topic base
+  // rate (1/8).
+  const auto results = rb.Search(c.Object(200), 6);
+  std::size_t hits = 0;
+  for (const auto& r : results) {
+    if (r.object == 200u) continue;
+    if (oracle.Relevant(c.Object(200), r.object)) ++hits;
+  }
+  EXPECT_GE(hits, 2u);
+}
+
+TEST(RankBoostTest, RankOnExplicitCandidates) {
+  const corpus::Corpus c = MakeHandCorpus();
+  auto vectors = std::make_shared<TypedVectors>(TypedVectors::Build(c));
+  auto matrix = std::make_shared<stats::FeatureMatrix>(
+      stats::FeatureMatrix::Build(c));
+  const RankBoostRetriever rb(c, vectors, matrix);
+  const auto results = rb.Rank(c.Object(0), {1, 2, 3}, 3);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_GE(results[i - 1].score, results[i].score);
+}
+
+}  // namespace
+}  // namespace figdb::baselines

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "core/clique.hpp"
+#include "core/fig.hpp"
+#include "core/lambda_trainer.hpp"
+#include "core/potential.hpp"
+#include "core/similarity.hpp"
+#include "corpus/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace figdb::core {
+namespace {
+
+using corpus::FeatureKey;
+using corpus::FeatureType;
+using corpus::MakeFeatureKey;
+using corpus::MediaObject;
+
+FeatureKey Tag(std::uint32_t id) {
+  return MakeFeatureKey(FeatureType::kText, id);
+}
+FeatureKey Vw(std::uint32_t id) {
+  return MakeFeatureKey(FeatureType::kVisual, id);
+}
+FeatureKey User(std::uint32_t id) {
+  return MakeFeatureKey(FeatureType::kUser, id);
+}
+
+/// Fixture with a tiny corpus where the correlation structure is fully
+/// known: tags 0-1 siblings (WUP 2/3 >= threshold), tag 2 unrelated;
+/// visual words 0-1 near-identical; users 0-1 share a group.
+class CoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = std::make_unique<corpus::Corpus>();
+    corpus::Context& ctx = corpus_->MutableContext();
+    const auto root = ctx.taxonomy.AddRoot();
+    const auto animal = ctx.taxonomy.AddChild(root, "animal");
+    const auto thing = ctx.taxonomy.AddChild(root, "thing");
+    ctx.taxonomy.AttachTerm(0, ctx.taxonomy.AddChild(animal, "t0"));
+    ctx.taxonomy.AttachTerm(1, ctx.taxonomy.AddChild(animal, "t1"));
+    ctx.taxonomy.AttachTerm(
+        2, ctx.taxonomy.AddChild(ctx.taxonomy.AddChild(thing, "sub"), "t2"));
+    vision::Descriptor d0{}, d1{}, d2{};
+    d1[0] = 0.05f;
+    d2.fill(0.9f);
+    ctx.visual_vocabulary =
+        vision::VisualVocabulary::FromCentroids({d0, d1, d2});
+    for (int i = 0; i < 3; ++i) ctx.user_graph.AddUser();
+    const auto g = ctx.user_graph.AddGroup();
+    ctx.user_graph.AddMembership(0, g);
+    ctx.user_graph.AddMembership(1, g);
+
+    // Objects engineered so feature statistics are non-degenerate.
+    AddObject({{Tag(0), 1}, {Tag(1), 1}, {Vw(0), 2}, {User(0), 1}}, 0, 0);
+    AddObject({{Tag(0), 1}, {Vw(1), 1}, {User(1), 1}}, 0, 1);
+    AddObject({{Tag(2), 2}, {Vw(2), 1}, {User(2), 1}}, 1, 2);
+    AddObject({{Tag(1), 1}, {Tag(2), 1}, {Vw(0), 1}}, 1, 3);
+    AddObject({{Tag(0), 2}, {Tag(1), 1}, {User(0), 1}, {User(1), 1}}, 0, 4);
+
+    matrix_ = std::make_shared<stats::FeatureMatrix>(
+        stats::FeatureMatrix::Build(*corpus_));
+    correlations_ = std::make_shared<stats::CorrelationModel>(
+        corpus_->SharedContext(), matrix_);
+    cors_ = std::make_shared<stats::CorSCalculator>(matrix_);
+  }
+
+  void AddObject(std::vector<corpus::FeatureOccurrence> features,
+                 std::uint32_t topic, std::uint16_t month) {
+    MediaObject obj;
+    obj.features = std::move(features);
+    obj.topic = topic;
+    obj.month = month;
+    obj.Normalize();
+    corpus_->Add(std::move(obj));
+  }
+
+  std::shared_ptr<PotentialEvaluator> MakeEvaluator(MrfOptions options = {}) {
+    return std::make_shared<PotentialEvaluator>(correlations_, cors_,
+                                                options);
+  }
+
+  std::unique_ptr<corpus::Corpus> corpus_;
+  std::shared_ptr<stats::FeatureMatrix> matrix_;
+  std::shared_ptr<stats::CorrelationModel> correlations_;
+  std::shared_ptr<stats::CorSCalculator> cors_;
+};
+
+// ------------------------------------------------------------------- FIG
+
+TEST_F(CoreFixture, FigHasOneNodePerFeature) {
+  const auto fig = FeatureInteractionGraph::Build(corpus_->Object(0),
+                                                  *correlations_);
+  EXPECT_EQ(fig.NodeCount(), 4u);
+}
+
+TEST_F(CoreFixture, FigEdgesFollowCorrelationRules) {
+  const auto fig = FeatureInteractionGraph::Build(corpus_->Object(0),
+                                                  *correlations_);
+  // Node order = sorted features: Tag0, Tag1, Vw0, User0.
+  ASSERT_EQ(fig.NodeCount(), 4u);
+  EXPECT_TRUE(fig.HasEdge(0, 1));  // sibling tags, WUP 2/3
+  EXPECT_FALSE(fig.HasEdge(0, 0));
+}
+
+TEST_F(CoreFixture, FigTypeMaskRestrictsNodes) {
+  const auto fig = FeatureInteractionGraph::Build(
+      corpus_->Object(0), *correlations_, kTextMask);
+  EXPECT_EQ(fig.NodeCount(), 2u);
+  const auto fig2 = FeatureInteractionGraph::Build(
+      corpus_->Object(0), *correlations_, kTextMask | kUserMask);
+  EXPECT_EQ(fig2.NodeCount(), 3u);
+}
+
+TEST_F(CoreFixture, FigEdgeCountSymmetric) {
+  const auto fig = FeatureInteractionGraph::Build(corpus_->Object(4),
+                                                  *correlations_);
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < fig.NodeCount(); ++i)
+    for (std::size_t j = i + 1; j < fig.NodeCount(); ++j)
+      if (fig.HasEdge(i, j)) ++manual;
+  EXPECT_EQ(fig.EdgeCount(), manual);
+}
+
+// --------------------------------------------------------------- Cliques
+
+/// Brute-force reference: all subsets of nodes that are pairwise adjacent.
+std::set<std::vector<FeatureKey>> BruteForceCliques(
+    const FeatureInteractionGraph& fig, std::size_t max_features) {
+  std::set<std::vector<FeatureKey>> out;
+  const std::size_t n = fig.NodeCount();
+  for (std::size_t mask = 1; mask < (std::size_t(1) << n); ++mask) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask & (std::size_t(1) << i)) members.push_back(i);
+    if (members.size() > max_features) continue;
+    bool complete = true;
+    for (std::size_t a = 0; a < members.size() && complete; ++a)
+      for (std::size_t b = a + 1; b < members.size(); ++b)
+        if (!fig.HasEdge(members[a], members[b])) {
+          complete = false;
+          break;
+        }
+    if (!complete) continue;
+    std::vector<FeatureKey> features;
+    for (std::size_t i : members) features.push_back(fig.Node(i).feature);
+    std::sort(features.begin(), features.end());
+    out.insert(features);
+  }
+  return out;
+}
+
+TEST_F(CoreFixture, CliqueEnumerationMatchesBruteForce) {
+  for (corpus::ObjectId id = 0; id < corpus_->Size(); ++id) {
+    const auto fig =
+        FeatureInteractionGraph::Build(corpus_->Object(id), *correlations_);
+    const auto cliques = EnumerateCliques(fig, {.max_features = 3});
+    std::set<std::vector<FeatureKey>> got;
+    for (const Clique& c : cliques) got.insert(c.features);
+    EXPECT_EQ(got.size(), cliques.size()) << "duplicates for object " << id;
+    EXPECT_EQ(got, BruteForceCliques(fig, 3)) << "object " << id;
+  }
+}
+
+TEST(CliqueEnumerationTest, RandomGraphsMatchBruteForce) {
+  util::Rng rng(2024);
+  for (int round = 0; round < 30; ++round) {
+    FeatureInteractionGraph fig;
+    const std::size_t n = 2 + rng.UniformInt(9);
+    for (std::size_t i = 0; i < n; ++i)
+      fig.AddNode({Tag(std::uint32_t(i)), 1, 0});
+    fig.FinalizeNodes();
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (rng.Bernoulli(0.4)) fig.SetEdge(i, j);
+    const std::size_t max_features = 1 + rng.UniformInt(4);
+    const auto cliques = EnumerateCliques(fig, {.max_features = max_features});
+    std::set<std::vector<FeatureKey>> got;
+    for (const Clique& c : cliques) got.insert(c.features);
+    EXPECT_EQ(got.size(), cliques.size());
+    EXPECT_EQ(got, BruteForceCliques(fig, max_features));
+  }
+}
+
+TEST(CliqueEnumerationTest, MaxCliquesCapIsRespected) {
+  FeatureInteractionGraph fig;
+  for (std::uint32_t i = 0; i < 12; ++i) fig.AddNode({Tag(i), 1, 0});
+  fig.FinalizeNodes();
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = i + 1; j < 12; ++j) fig.SetEdge(i, j);
+  const auto cliques =
+      EnumerateCliques(fig, {.max_features = 4, .max_cliques = 50});
+  EXPECT_LE(cliques.size(), 50u);
+}
+
+TEST(CliqueEnumerationTest, MinFeaturesSkipsSingletons) {
+  FeatureInteractionGraph fig;
+  for (std::uint32_t i = 0; i < 3; ++i) fig.AddNode({Tag(i), 1, 0});
+  fig.FinalizeNodes();
+  fig.SetEdge(0, 1);
+  const auto cliques = EnumerateCliques(
+      fig, {.max_features = 3, .max_cliques = 100, .min_features = 2});
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].features.size(), 2u);
+}
+
+TEST_F(CoreFixture, CliqueMonthIsMaxOfMembers) {
+  FeatureInteractionGraph fig;
+  fig.AddNode({Tag(0), 1, 2});
+  fig.AddNode({Tag(1), 1, 5});
+  fig.FinalizeNodes();
+  fig.SetEdge(0, 1);
+  const auto cliques = EnumerateCliques(fig, {.max_features = 2});
+  for (const Clique& c : cliques) {
+    if (c.features.size() == 2) EXPECT_EQ(c.month, 5);
+  }
+}
+
+// ------------------------------------------------------------- Potential
+
+TEST_F(CoreFixture, JointProbabilityPureFrequencyWhenAlphaOne) {
+  auto eval = MakeEvaluator({.alpha = 1.0});
+  const MediaObject& obj = corpus_->Object(0);  // |O| = 1+1+2+1 = 5
+  EXPECT_DOUBLE_EQ(eval->JointProbability({Tag(0)}, obj), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(eval->JointProbability({Vw(0)}, obj), 2.0 / 5.0);
+  // min(freq) rule for multi-feature cliques.
+  EXPECT_DOUBLE_EQ(eval->JointProbability({Tag(0), Vw(0)}, obj), 1.0 / 5.0);
+  // Absent feature zeroes the frequency part.
+  EXPECT_DOUBLE_EQ(eval->JointProbability({Tag(2)}, obj), 0.0);
+}
+
+TEST_F(CoreFixture, SmoothingAddsCorrelationMass) {
+  auto pure = MakeEvaluator({.alpha = 1.0});
+  auto smooth = MakeEvaluator({.alpha = 0.5});
+  const MediaObject& obj = corpus_->Object(0);
+  // Tag(1) is correlated with Tag(0) which is in the object, so smoothing
+  // gives a clique over Tag(1) extra mass relative to the pure-frequency
+  // model (scaled by alpha).
+  const double p_pure = pure->JointProbability({Tag(1)}, obj);
+  const double p_smooth = smooth->JointProbability({Tag(1)}, obj);
+  EXPECT_GT(p_smooth, 0.5 * p_pure);
+}
+
+TEST_F(CoreFixture, JointProbabilityWithinUnitRange) {
+  auto eval = MakeEvaluator({.alpha = 0.7});
+  for (corpus::ObjectId id = 0; id < corpus_->Size(); ++id) {
+    const MediaObject& obj = corpus_->Object(id);
+    for (FeatureKey f : {Tag(0), Tag(1), Tag(2), Vw(0), User(0)}) {
+      const double p = eval->JointProbability({f}, obj);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST_F(CoreFixture, PhiZeroForNonContainedClique) {
+  auto eval = MakeEvaluator();
+  Clique c;
+  c.features = {Tag(2)};
+  EXPECT_DOUBLE_EQ(eval->Phi(c, corpus_->Object(0)), 0.0);
+}
+
+TEST_F(CoreFixture, PhiCountsPartialCliquesWhenEnabled) {
+  auto eval = MakeEvaluator({.alpha = 0.5, .count_partial_cliques = true});
+  Clique c;
+  c.features = {Tag(1)};  // absent from object 1 but correlated with Tag(0)
+  EXPECT_GT(eval->Phi(c, corpus_->Object(1)), 0.0);
+}
+
+TEST_F(CoreFixture, PhiScalesWithLambda) {
+  auto small = MakeEvaluator({.lambda = {0.5}});
+  auto large = MakeEvaluator({.lambda = {2.0}});
+  Clique c;
+  c.features = {Tag(0)};
+  const double a = small->Phi(c, corpus_->Object(0));
+  const double b = large->Phi(c, corpus_->Object(0));
+  EXPECT_NEAR(b, 4.0 * a, 1e-12);
+}
+
+TEST_F(CoreFixture, LambdaBucketsBySize) {
+  auto eval = MakeEvaluator({.lambda = {1.0, 0.5, 0.25}});
+  EXPECT_DOUBLE_EQ(eval->LambdaFor(1), 1.0);
+  EXPECT_DOUBLE_EQ(eval->LambdaFor(2), 0.5);
+  EXPECT_DOUBLE_EQ(eval->LambdaFor(3), 0.25);
+  EXPECT_DOUBLE_EQ(eval->LambdaFor(7), 0.25);  // clamps to last
+  EXPECT_DOUBLE_EQ(eval->LambdaFor(0), 0.0);
+}
+
+TEST_F(CoreFixture, CorsWeightTogglable) {
+  auto with = MakeEvaluator({.use_cors_weight = true});
+  auto without = MakeEvaluator({.use_cors_weight = false});
+  Clique c;
+  c.features = {Tag(0), Tag(1)};
+  EXPECT_DOUBLE_EQ(without->CliqueWeight(c), 1.0);
+  EXPECT_EQ(with->CliqueWeight(c), cors_->Compute(c.features));
+}
+
+// ---------------------------------------------------------------- Scorer
+
+TEST_F(CoreFixture, ScoreOfSelfIsHighAmongCorpus) {
+  auto eval = MakeEvaluator();
+  FigScorer scorer(eval);
+  const QueryModel qm = scorer.Compile(corpus_->Object(0));
+  const double self = scorer.Score(qm, corpus_->Object(0));
+  for (corpus::ObjectId id = 1; id < corpus_->Size(); ++id)
+    EXPECT_GE(self, scorer.Score(qm, corpus_->Object(id)));
+}
+
+TEST_F(CoreFixture, ScoreIsNonNegative) {
+  auto eval = MakeEvaluator();
+  FigScorer scorer(eval);
+  for (corpus::ObjectId q = 0; q < corpus_->Size(); ++q) {
+    const QueryModel qm = scorer.Compile(corpus_->Object(q));
+    for (corpus::ObjectId o = 0; o < corpus_->Size(); ++o)
+      EXPECT_GE(scorer.Score(qm, corpus_->Object(o)), 0.0);
+  }
+}
+
+TEST_F(CoreFixture, SequentialSearchOrdersByScore) {
+  auto eval = MakeEvaluator();
+  FigScorer scorer(eval);
+  const QueryModel qm = scorer.Compile(corpus_->Object(0));
+  const auto results = scorer.SequentialSearch(*corpus_, qm, 10);
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_GE(results[i - 1].score, results[i].score);
+}
+
+TEST_F(CoreFixture, TypeMaskChangesQueryModel) {
+  auto eval = MakeEvaluator();
+  FigScorer scorer(eval);
+  const QueryModel all = scorer.Compile(corpus_->Object(0));
+  const QueryModel text = scorer.Compile(corpus_->Object(0), kTextMask);
+  EXPECT_GT(all.cliques.size(), text.cliques.size());
+  for (const Clique& c : text.cliques)
+    for (FeatureKey f : c.features)
+      EXPECT_EQ(corpus::TypeOf(f), FeatureType::kText);
+}
+
+// --------------------------------------------------------- LambdaTrainer
+
+TEST(LambdaTrainerTest, FindsOptimumOfSimpleObjective) {
+  LambdaTrainerOptions options;
+  options.grid = {0.0, 0.25, 0.5, 0.75, 1.0};
+  options.sweeps = 3;
+  const LambdaTrainer trainer(options);
+  // Objective maximised at lambda = (1, 0.5, 0.75).
+  const auto best = trainer.Train({1.0, 0.0, 0.0}, [](const auto& l) {
+    return -(l[1] - 0.5) * (l[1] - 0.5) - (l[2] - 0.75) * (l[2] - 0.75);
+  });
+  ASSERT_EQ(best.size(), 3u);
+  EXPECT_DOUBLE_EQ(best[0], 1.0);  // pinned
+  EXPECT_DOUBLE_EQ(best[1], 0.5);
+  EXPECT_DOUBLE_EQ(best[2], 0.75);
+}
+
+TEST(LambdaTrainerTest, NeverReturnsWorseThanInitial) {
+  util::Rng rng(5);
+  const LambdaTrainer trainer;
+  auto noisy = [&rng](const std::vector<double>& l) {
+    return l[1] * (1.0 - l[1]) + rng.UniformReal() * 0.001;
+  };
+  const std::vector<double> initial = {1.0, 0.4};
+  // Re-evaluate both to compare on the same (stochastic) objective scale.
+  const auto best = trainer.Train(initial, noisy);
+  EXPECT_GE(best[1] * (1.0 - best[1]), initial[1] * (1.0 - initial[1]) - 0.01);
+}
+
+}  // namespace
+}  // namespace figdb::core

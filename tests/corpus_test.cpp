@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "corpus/corpus.hpp"
+#include "corpus/generator.hpp"
+#include "corpus/media_object.hpp"
+
+namespace figdb::corpus {
+namespace {
+
+// ----------------------------------------------------------- FeatureKey
+
+TEST(FeatureKeyTest, RoundTrip) {
+  for (auto type : {FeatureType::kText, FeatureType::kVisual,
+                    FeatureType::kUser}) {
+    for (std::uint32_t id : {0u, 1u, 999u, 0x3fffffffu}) {
+      const FeatureKey key = MakeFeatureKey(type, id);
+      EXPECT_EQ(TypeOf(key), type);
+      EXPECT_EQ(IdOf(key), id);
+    }
+  }
+}
+
+TEST(FeatureKeyTest, TypesAreDisjoint) {
+  EXPECT_NE(MakeFeatureKey(FeatureType::kText, 7),
+            MakeFeatureKey(FeatureType::kVisual, 7));
+  EXPECT_NE(MakeFeatureKey(FeatureType::kVisual, 7),
+            MakeFeatureKey(FeatureType::kUser, 7));
+}
+
+TEST(FeatureKeyTest, KeysSortByTypeFirst) {
+  EXPECT_LT(MakeFeatureKey(FeatureType::kText, 0x3fffffffu),
+            MakeFeatureKey(FeatureType::kVisual, 0u));
+  EXPECT_LT(MakeFeatureKey(FeatureType::kVisual, 0x3fffffffu),
+            MakeFeatureKey(FeatureType::kUser, 0u));
+}
+
+// ---------------------------------------------------------- MediaObject
+
+TEST(MediaObjectTest, NormalizeSortsAndMerges) {
+  MediaObject obj;
+  const FeatureKey a = MakeFeatureKey(FeatureType::kText, 5);
+  const FeatureKey b = MakeFeatureKey(FeatureType::kText, 2);
+  obj.features = {{a, 1}, {b, 2}, {a, 3}};
+  obj.Normalize();
+  ASSERT_EQ(obj.features.size(), 2u);
+  EXPECT_EQ(obj.features[0].feature, b);
+  EXPECT_EQ(obj.features[1].feature, a);
+  EXPECT_EQ(obj.FrequencyOf(a), 4u);
+  EXPECT_EQ(obj.FrequencyOf(b), 2u);
+  EXPECT_EQ(obj.TotalFrequency(), 6u);
+}
+
+TEST(MediaObjectTest, ContainsAndMissing) {
+  MediaObject obj;
+  const FeatureKey a = MakeFeatureKey(FeatureType::kUser, 1);
+  obj.features = {{a, 1}};
+  obj.Normalize();
+  EXPECT_TRUE(obj.Contains(a));
+  EXPECT_FALSE(obj.Contains(MakeFeatureKey(FeatureType::kUser, 2)));
+  EXPECT_EQ(obj.FrequencyOf(MakeFeatureKey(FeatureType::kText, 1)), 0u);
+}
+
+TEST(MediaObjectTest, FeaturesOfType) {
+  MediaObject obj;
+  obj.features = {{MakeFeatureKey(FeatureType::kText, 1), 1},
+                  {MakeFeatureKey(FeatureType::kVisual, 2), 3},
+                  {MakeFeatureKey(FeatureType::kText, 9), 1}};
+  obj.Normalize();
+  EXPECT_EQ(obj.FeaturesOfType(FeatureType::kText).size(), 2u);
+  EXPECT_EQ(obj.FeaturesOfType(FeatureType::kVisual).size(), 1u);
+  EXPECT_TRUE(obj.FeaturesOfType(FeatureType::kUser).empty());
+}
+
+// --------------------------------------------------------------- Corpus
+
+TEST(CorpusTest, AddAssignsSequentialIds) {
+  Corpus corpus;
+  EXPECT_EQ(corpus.Add(MediaObject{}), 0u);
+  EXPECT_EQ(corpus.Add(MediaObject{}), 1u);
+  EXPECT_EQ(corpus.Size(), 2u);
+  EXPECT_EQ(corpus.Object(1).id, 1u);
+}
+
+TEST(CorpusTest, PrefixSharesContext) {
+  Corpus corpus;
+  corpus.MutableContext().num_topics = 17;
+  for (int i = 0; i < 10; ++i) corpus.Add(MediaObject{});
+  const Corpus prefix = corpus.Prefix(4);
+  EXPECT_EQ(prefix.Size(), 4u);
+  EXPECT_EQ(prefix.GetContext().num_topics, 17u);
+  EXPECT_EQ(prefix.SharedContext().get(), corpus.SharedContext().get());
+  EXPECT_EQ(corpus.Prefix(100).Size(), 10u);
+}
+
+// ------------------------------------------------------------ Generator
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_objects = 400;
+  config.num_topics = 8;
+  config.num_users = 150;
+  config.visual_words = 64;
+  config.seed = 77;
+  return config;
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus(Generator(SmallConfig()).MakeRetrievalCorpus());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static Corpus* corpus_;
+};
+
+Corpus* GeneratorTest::corpus_ = nullptr;
+
+TEST_F(GeneratorTest, ProducesRequestedObjectCount) {
+  EXPECT_EQ(corpus_->Size(), 400u);
+}
+
+TEST_F(GeneratorTest, EveryObjectHasAllThreeModalitiesUsually) {
+  std::size_t with_text = 0, with_visual = 0, with_user = 0;
+  for (const MediaObject& obj : corpus_->Objects()) {
+    if (!obj.FeaturesOfType(FeatureType::kText).empty()) ++with_text;
+    if (!obj.FeaturesOfType(FeatureType::kVisual).empty()) ++with_visual;
+    if (!obj.FeaturesOfType(FeatureType::kUser).empty()) ++with_user;
+  }
+  EXPECT_GT(with_text, corpus_->Size() * 95 / 100);
+  EXPECT_EQ(with_visual, corpus_->Size());
+  EXPECT_EQ(with_user, corpus_->Size());
+}
+
+TEST_F(GeneratorTest, TopicsWithinRange) {
+  for (const MediaObject& obj : corpus_->Objects()) {
+    ASSERT_NE(obj.topic, MediaObject::kInvalidTopic);
+    EXPECT_LT(obj.topic, 8u);
+  }
+}
+
+TEST_F(GeneratorTest, MonthsWithinRange) {
+  for (const MediaObject& obj : corpus_->Objects())
+    EXPECT_LT(obj.month, SmallConfig().num_months);
+}
+
+TEST_F(GeneratorTest, FeatureIdsResolveInContext) {
+  const Context& ctx = corpus_->GetContext();
+  for (const MediaObject& obj : corpus_->Objects()) {
+    for (const FeatureOccurrence& f : obj.features) {
+      switch (TypeOf(f.feature)) {
+        case FeatureType::kText:
+          EXPECT_LT(IdOf(f.feature), ctx.vocabulary.Size());
+          break;
+        case FeatureType::kVisual:
+          EXPECT_LT(IdOf(f.feature), ctx.visual_vocabulary.WordCount());
+          break;
+        case FeatureType::kUser:
+          EXPECT_LT(IdOf(f.feature), ctx.user_graph.UserCount());
+          break;
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, VocabularyRespectsMinFrequency) {
+  const Context& ctx = corpus_->GetContext();
+  for (std::size_t id = 0; id < ctx.vocabulary.Size(); ++id) {
+    EXPECT_GE(ctx.vocabulary.Frequency(text::TermId(id)),
+              SmallConfig().min_tag_frequency);
+  }
+}
+
+TEST_F(GeneratorTest, EveryTermAttachedToTaxonomy) {
+  const Context& ctx = corpus_->GetContext();
+  for (std::size_t id = 0; id < ctx.vocabulary.Size(); ++id) {
+    EXPECT_NE(ctx.taxonomy.NodeOfTerm(std::uint32_t(id)),
+              text::kInvalidNode);
+  }
+}
+
+TEST_F(GeneratorTest, ObjectFeaturesAreNormalized) {
+  for (const MediaObject& obj : corpus_->Objects()) {
+    for (std::size_t i = 1; i < obj.features.size(); ++i)
+      EXPECT_LT(obj.features[i - 1].feature, obj.features[i].feature);
+  }
+}
+
+TEST_F(GeneratorTest, SameTopicObjectsShareMoreTags) {
+  // The central statistical property the FIG exploits.
+  double same = 0.0, cross = 0.0;
+  std::size_t same_n = 0, cross_n = 0;
+  const auto& objs = corpus_->Objects();
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = i + 1; j < 60; ++j) {
+      std::size_t shared = 0;
+      for (const FeatureOccurrence& f : objs[i].features)
+        if (TypeOf(f.feature) == FeatureType::kText &&
+            objs[j].Contains(f.feature)) {
+          ++shared;
+        }
+      if (objs[i].topic == objs[j].topic) {
+        same += double(shared);
+        ++same_n;
+      } else {
+        cross += double(shared);
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(cross_n, 0u);
+  EXPECT_GT(same / double(same_n), 2.0 * cross / double(cross_n));
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameCorpus) {
+  const Corpus a = Generator(SmallConfig()).MakeRetrievalCorpus();
+  const Corpus b = Generator(SmallConfig()).MakeRetrievalCorpus();
+  ASSERT_EQ(a.Size(), b.Size());
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    const MediaObject& oa = a.Object(ObjectId(i));
+    const MediaObject& ob = b.Object(ObjectId(i));
+    EXPECT_EQ(oa.topic, ob.topic);
+    EXPECT_EQ(oa.month, ob.month);
+    ASSERT_EQ(oa.features.size(), ob.features.size());
+    for (std::size_t f = 0; f < oa.features.size(); ++f) {
+      EXPECT_EQ(oa.features[f].feature, ob.features[f].feature);
+      EXPECT_EQ(oa.features[f].frequency, ob.features[f].frequency);
+    }
+  }
+}
+
+TEST(GeneratorDeterminismTest, DifferentSeedsDiffer) {
+  GeneratorConfig config = SmallConfig();
+  const Corpus a = Generator(config).MakeRetrievalCorpus();
+  config.seed = 78;
+  const Corpus b = Generator(config).MakeRetrievalCorpus();
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    if (a.Object(ObjectId(i)).topic != b.Object(ObjectId(i)).topic)
+      ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(GeneratorImagePipelineTest, FullPipelineProducesVisualWords) {
+  GeneratorConfig config = SmallConfig();
+  config.num_objects = 60;
+  config.use_image_pipeline = true;
+  config.visual_words = 32;
+  config.kmeans_training_images = 30;
+  const Corpus corpus = Generator(config).MakeRetrievalCorpus();
+  EXPECT_LE(corpus.GetContext().visual_vocabulary.WordCount(), 32u);
+  EXPECT_GT(corpus.GetContext().visual_vocabulary.WordCount(), 0u);
+  for (const MediaObject& obj : corpus.Objects()) {
+    const auto vis = obj.FeaturesOfType(FeatureType::kVisual);
+    EXPECT_FALSE(vis.empty());
+    std::uint32_t blocks = 0;
+    for (const auto& f : vis) blocks += f.frequency;
+    EXPECT_EQ(blocks, config.blocks_per_object);
+  }
+}
+
+// ------------------------------------------------- RecommendationDataset
+
+class RecDatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config = SmallConfig();
+    config.num_objects = 600;
+    RecommendationConfig rec;
+    rec.num_profile_users = 12;
+    rec.mean_favorites_per_month = 10.0;
+    dataset_ = new RecommendationDataset(
+        Generator(config).MakeRecommendationDataset(rec));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static RecommendationDataset* dataset_;
+};
+
+RecommendationDataset* RecDatasetTest::dataset_ = nullptr;
+
+TEST_F(RecDatasetTest, UsersHaveProfilesAndHeldOut) {
+  ASSERT_EQ(dataset_->users.size(), 12u);
+  for (const RecommendationUser& u : dataset_->users) {
+    EXPECT_FALSE(u.profile.empty());
+    EXPECT_FALSE(u.held_out.empty());
+  }
+}
+
+TEST_F(RecDatasetTest, ProfileObjectsAreInProfileWindow) {
+  for (const RecommendationUser& u : dataset_->users) {
+    for (ObjectId id : u.profile)
+      EXPECT_LT(dataset_->corpus.Object(id).month, dataset_->profile_months);
+    for (ObjectId id : u.held_out)
+      EXPECT_GE(dataset_->corpus.Object(id).month, dataset_->profile_months);
+  }
+}
+
+TEST_F(RecDatasetTest, HeldOutIsSubsetOfCandidates) {
+  const std::unordered_set<ObjectId> candidates(dataset_->candidates.begin(),
+                                                dataset_->candidates.end());
+  for (const RecommendationUser& u : dataset_->users)
+    for (ObjectId id : u.held_out) EXPECT_TRUE(candidates.count(id));
+}
+
+TEST_F(RecDatasetTest, FavoritesAreDistinctPerUser) {
+  for (const RecommendationUser& u : dataset_->users) {
+    std::set<ObjectId> all(u.profile.begin(), u.profile.end());
+    all.insert(u.held_out.begin(), u.held_out.end());
+    EXPECT_EQ(all.size(), u.profile.size() + u.held_out.size());
+  }
+}
+
+TEST_F(RecDatasetTest, CandidatesCoverEvaluationWindow) {
+  std::size_t eval_objects = 0;
+  for (const MediaObject& obj : dataset_->corpus.Objects())
+    if (obj.month >= dataset_->profile_months) ++eval_objects;
+  EXPECT_EQ(dataset_->candidates.size(), eval_objects);
+}
+
+}  // namespace
+}  // namespace figdb::corpus

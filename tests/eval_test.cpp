@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corpus/generator.hpp"
+#include "eval/harness.hpp"
+#include "eval/metrics.hpp"
+#include "eval/oracle.hpp"
+#include "eval/report.hpp"
+
+namespace figdb::eval {
+namespace {
+
+using core::SearchResult;
+using corpus::ObjectId;
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, PrecisionAtNCountsHits) {
+  const std::vector<SearchResult> results = {{1, 0.9}, {2, 0.8}, {3, 0.7},
+                                             {4, 0.6}};
+  auto relevant = [](ObjectId id) { return id % 2 == 1; };  // 1 and 3
+  EXPECT_DOUBLE_EQ(PrecisionAtN(results, 1, relevant), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(results, 2, relevant), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(results, 4, relevant), 0.5);
+}
+
+TEST(MetricsTest, PrecisionShortListCountsMissingAsMiss) {
+  const std::vector<SearchResult> results = {{1, 0.9}};
+  auto relevant = [](ObjectId) { return true; };
+  EXPECT_DOUBLE_EQ(PrecisionAtN(results, 4, relevant), 0.25);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({}, 4, relevant), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(results, 0, relevant), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecisionPerfectRanking) {
+  const std::vector<SearchResult> results = {{1, 3}, {2, 2}, {3, 1}};
+  auto relevant = [](ObjectId id) { return id <= 2; };
+  EXPECT_DOUBLE_EQ(AveragePrecision(results, 2, relevant), 1.0);
+}
+
+TEST(MetricsTest, AveragePrecisionPartial) {
+  // Relevant at positions 2 and 4 of 4, two relevant total:
+  // AP = (1/2 + 2/4) / 2 = 0.5.
+  const std::vector<SearchResult> results = {{9, 4}, {1, 3}, {8, 2}, {2, 1}};
+  auto relevant = [](ObjectId id) { return id <= 2; };
+  EXPECT_DOUBLE_EQ(AveragePrecision(results, 2, relevant), 0.5);
+  EXPECT_DOUBLE_EQ(AveragePrecision(results, 0, relevant), 0.0);
+}
+
+TEST(MetricsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+// ----------------------------------------------------------------- Oracle
+
+TEST(OracleTest, RelevanceIsTopicEquality) {
+  corpus::Corpus c;
+  corpus::MediaObject a, b, d;
+  a.topic = 1;
+  b.topic = 1;
+  d.topic = 2;
+  c.Add(a);
+  c.Add(b);
+  c.Add(d);
+  const TopicOracle oracle(&c);
+  EXPECT_TRUE(oracle.Relevant(c.Object(0), 1));
+  EXPECT_FALSE(oracle.Relevant(c.Object(0), 2));
+  const auto set = oracle.RelevantSet(c.Object(0));
+  EXPECT_EQ(set.size(), 1u);  // excludes self
+  EXPECT_TRUE(set.count(1));
+}
+
+TEST(OracleTest, InvalidTopicNeverRelevant) {
+  corpus::Corpus c;
+  corpus::MediaObject a, b;
+  a.topic = corpus::MediaObject::kInvalidTopic;
+  b.topic = corpus::MediaObject::kInvalidTopic;
+  c.Add(a);
+  c.Add(b);
+  const TopicOracle oracle(&c);
+  EXPECT_FALSE(oracle.Relevant(c.Object(0), 1));
+}
+
+TEST(OracleTest, SampleQueriesDeterministicAndDistinct) {
+  corpus::Corpus c;
+  for (int i = 0; i < 100; ++i) c.Add(corpus::MediaObject{});
+  const auto a = SampleQueries(c, 20, 9);
+  const auto b = SampleQueries(c, 20, 9);
+  EXPECT_EQ(a, b);
+  std::set<ObjectId> set(a.begin(), a.end());
+  EXPECT_EQ(set.size(), 20u);
+}
+
+// ---------------------------------------------------------------- Harness
+
+/// A retriever that always returns objects 0..k-1 in order.
+class FixedRetriever : public core::Retriever {
+ public:
+  std::string Name() const override { return "fixed"; }
+  std::vector<SearchResult> Search(const corpus::MediaObject&,
+                                   std::size_t k) const override {
+    std::vector<SearchResult> out;
+    for (std::size_t i = 0; i < k; ++i)
+      out.push_back({ObjectId(i), double(k - i)});
+    return out;
+  }
+  std::vector<SearchResult> Rank(const corpus::MediaObject&,
+                                 const std::vector<ObjectId>& candidates,
+                                 std::size_t k) const override {
+    std::vector<SearchResult> out;
+    for (std::size_t i = 0; i < std::min(k, candidates.size()); ++i)
+      out.push_back({candidates[i], double(k - i)});
+    return out;
+  }
+};
+
+TEST(HarnessTest, RetrievalEvalExcludesQuery) {
+  corpus::Corpus c;
+  for (int i = 0; i < 10; ++i) {
+    corpus::MediaObject o;
+    o.topic = std::uint32_t(i % 2);
+    c.Add(o);
+  }
+  const TopicOracle oracle(&c);
+  const FixedRetriever retriever;
+  RetrievalEvalOptions options;
+  options.cutoffs = {2};
+  // Query object 0 (topic 0). FixedRetriever returns 0,1,2 for k=3; after
+  // excluding the query we evaluate {1, 2}: object 2 relevant, 1 not.
+  const auto result =
+      EvaluateRetrieval(retriever, c, {0}, oracle, options);
+  EXPECT_EQ(result.num_queries, 1u);
+  EXPECT_DOUBLE_EQ(result.precision[0], 0.5);
+}
+
+TEST(HarnessTest, RecommendationEvalMatchesHeldOut) {
+  corpus::RecommendationDataset ds;
+  for (int i = 0; i < 8; ++i) ds.corpus.Add(corpus::MediaObject{});
+  corpus::RecommendationUser user;
+  user.profile = {0};
+  user.held_out = {4, 6};
+  ds.users.push_back(user);
+  ds.candidates = {4, 5, 6, 7};
+  RecommendationEvalOptions options;
+  options.cutoffs = {2, 4};
+  const auto result = EvaluateRecommendation(
+      ds,
+      [&](const corpus::RecommendationUser&, std::size_t k) {
+        std::vector<SearchResult> out;
+        for (std::size_t i = 0; i < std::min(k, ds.candidates.size()); ++i)
+          out.push_back({ds.candidates[i], double(k - i)});
+        return out;
+      },
+      options);
+  EXPECT_EQ(result.num_users, 1u);
+  EXPECT_DOUBLE_EQ(result.precision[0], 0.5);   // {4,5}: one hit
+  EXPECT_DOUBLE_EQ(result.precision[1], 0.5);   // {4,5,6,7}: two hits
+}
+
+TEST(HarnessTest, SkipsUsersWithoutHistory) {
+  corpus::RecommendationDataset ds;
+  ds.users.push_back({});  // empty profile and held_out
+  const auto result = EvaluateRecommendation(
+      ds, [](const corpus::RecommendationUser&, std::size_t) {
+        return std::vector<SearchResult>{};
+      });
+  EXPECT_EQ(result.num_users, 0u);
+}
+
+// ------------------------------------------------------------------ Table
+
+TEST(TableTest, PrintsAlignedRows) {
+  Table t("demo", {"P@3", "P@5"});
+  t.AddRow("FIG", {0.9, 0.85});
+  t.AddRow("LSA", {0.7, 0.65});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("FIG"), std::string::npos);
+  EXPECT_NE(s.find("0.9000"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t("demo", {"a", "b"});
+  t.AddRow("x", {1.0, 2.0});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "label,a,b\nx,1,2\n");
+}
+
+}  // namespace
+}  // namespace figdb::eval

@@ -1,0 +1,400 @@
+// Tests for the library extensions beyond the paper's core: binary
+// persistence, ad-hoc query building, NRA merging, incremental indexing,
+// significance testing, recommendation explanations and the co-occurrence
+// text-similarity strategy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "corpus/generator.hpp"
+#include "corpus/query_builder.hpp"
+#include "eval/significance.hpp"
+#include "index/retrieval_engine.hpp"
+#include "index/storage.hpp"
+#include "index/threshold_algorithm.hpp"
+#include "recsys/recommender.hpp"
+#include "recsys/user_profile.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace figdb {
+namespace {
+
+// ------------------------------------------------------------------ serde
+
+TEST(SerdeTest, VarintRoundTrip) {
+  util::BinaryWriter w;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20,
+                                  0xffffffffffffffffULL};
+  for (std::uint64_t v : values) w.PutVarint(v);
+  util::BinaryReader r(w.Buffer());
+  for (std::uint64_t v : values) EXPECT_EQ(r.GetVarint(), v);
+  EXPECT_TRUE(r.Ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, SignedVarintRoundTrip) {
+  util::BinaryWriter w;
+  const std::int64_t values[] = {0, -1, 1, -64, 64, -100000, 1LL << 40};
+  for (std::int64_t v : values) w.PutSignedVarint(v);
+  util::BinaryReader r(w.Buffer());
+  for (std::int64_t v : values) EXPECT_EQ(r.GetSignedVarint(), v);
+}
+
+TEST(SerdeTest, StringAndScalarRoundTrip) {
+  util::BinaryWriter w;
+  w.PutString("hamster");
+  w.PutDouble(3.25);
+  w.PutFloat(-0.5f);
+  w.PutU8(0xab);
+  util::BinaryReader r(w.Buffer());
+  EXPECT_EQ(r.GetString(), "hamster");
+  EXPECT_DOUBLE_EQ(r.GetDouble(), 3.25);
+  EXPECT_FLOAT_EQ(r.GetFloat(), -0.5f);
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_TRUE(r.Ok());
+}
+
+TEST(SerdeTest, SortedIdsDeltaRoundTrip) {
+  util::BinaryWriter w;
+  const std::vector<std::uint32_t> ids = {0, 1, 5, 5000, 5001, 1u << 30};
+  w.PutSortedIds(ids);
+  util::BinaryReader r(w.Buffer());
+  EXPECT_EQ(r.GetSortedIds(), ids);
+}
+
+TEST(SerdeTest, TruncationFailsGracefully) {
+  util::BinaryWriter w;
+  w.PutString("a long enough string");
+  const std::string full = w.Buffer();
+  util::BinaryReader r(std::string_view(full).substr(0, 4));
+  (void)r.GetString();
+  EXPECT_FALSE(r.Ok());
+}
+
+// ---------------------------------------------------------------- storage
+
+class StorageTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 250;
+    config.num_topics = 6;
+    config.num_users = 80;
+    config.visual_words = 32;
+    config.seed = 1212;
+    corpus_ = new corpus::Corpus(
+        corpus::Generator(config).MakeRetrievalCorpus());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static corpus::Corpus* corpus_;
+};
+
+corpus::Corpus* StorageTest::corpus_ = nullptr;
+
+TEST_F(StorageTest, SerializeDeserializeRoundTrip) {
+  const std::string bytes = index::SerializeCorpus(*corpus_);
+  const auto loaded = index::DeserializeCorpus(bytes);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->Size(), corpus_->Size());
+  for (corpus::ObjectId id = 0; id < corpus_->Size(); ++id) {
+    const auto& a = corpus_->Object(id);
+    const auto& b = loaded->Object(id);
+    EXPECT_EQ(a.topic, b.topic);
+    EXPECT_EQ(a.month, b.month);
+    ASSERT_EQ(a.features.size(), b.features.size());
+    for (std::size_t f = 0; f < a.features.size(); ++f) {
+      EXPECT_EQ(a.features[f].feature, b.features[f].feature);
+      EXPECT_EQ(a.features[f].frequency, b.features[f].frequency);
+    }
+  }
+}
+
+TEST_F(StorageTest, ContextSurvivesRoundTrip) {
+  const auto loaded =
+      index::DeserializeCorpus(index::SerializeCorpus(*corpus_));
+  ASSERT_TRUE(loaded.has_value());
+  const corpus::Context& a = corpus_->GetContext();
+  const corpus::Context& b = loaded->GetContext();
+  EXPECT_EQ(a.num_topics, b.num_topics);
+  ASSERT_EQ(a.vocabulary.Size(), b.vocabulary.Size());
+  for (std::size_t t = 0; t < a.vocabulary.Size(); ++t)
+    EXPECT_EQ(a.vocabulary.TermOf(text::TermId(t)),
+              b.vocabulary.TermOf(text::TermId(t)));
+  EXPECT_EQ(a.taxonomy.NodeCount(), b.taxonomy.NodeCount());
+  // WUP values must be identical (taxonomy structure preserved).
+  EXPECT_DOUBLE_EQ(a.taxonomy.WupTerms(0, 1), b.taxonomy.WupTerms(0, 1));
+  EXPECT_EQ(a.visual_vocabulary.WordCount(),
+            b.visual_vocabulary.WordCount());
+  EXPECT_DOUBLE_EQ(a.visual_vocabulary.Similarity(0, 1),
+                   b.visual_vocabulary.Similarity(0, 1));
+  EXPECT_EQ(a.user_graph.UserCount(), b.user_graph.UserCount());
+  EXPECT_EQ(a.user_graph.GroupCount(), b.user_graph.GroupCount());
+  for (std::size_t u = 0; u < a.user_graph.UserCount(); ++u)
+    EXPECT_EQ(a.user_graph.GroupsOf(social::UserId(u)),
+              b.user_graph.GroupsOf(social::UserId(u)));
+}
+
+TEST_F(StorageTest, ReloadedCorpusAnswersIdenticalQueries) {
+  const auto loaded =
+      index::DeserializeCorpus(index::SerializeCorpus(*corpus_));
+  ASSERT_TRUE(loaded.has_value());
+  const index::FigRetrievalEngine a(*corpus_, index::EngineOptions{});
+  const index::FigRetrievalEngine b(*loaded, index::EngineOptions{});
+  for (corpus::ObjectId q : {2u, 77u, 123u}) {
+    const auto ra = a.Search(corpus_->Object(q), 5);
+    const auto rb = b.Search(loaded->Object(q), 5);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].object, rb[i].object);
+      EXPECT_NEAR(ra[i].score, rb[i].score, 1e-12);
+    }
+  }
+}
+
+TEST_F(StorageTest, RejectsCorruptSnapshots) {
+  EXPECT_FALSE(index::DeserializeCorpus("").has_value());
+  EXPECT_FALSE(index::DeserializeCorpus("not a snapshot").has_value());
+  std::string bytes = index::SerializeCorpus(*corpus_);
+  // Truncate mid-stream.
+  EXPECT_FALSE(
+      index::DeserializeCorpus(std::string_view(bytes).substr(0, 50))
+          .has_value());
+}
+
+TEST_F(StorageTest, FileRoundTrip) {
+  const std::string path = "/tmp/figdb_storage_test.bin";
+  ASSERT_TRUE(index::SaveCorpus(*corpus_, path));
+  const auto loaded = index::LoadCorpus(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->Size(), corpus_->Size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(index::LoadCorpus("/nonexistent/nope.bin").has_value());
+}
+
+// ------------------------------------------------------------ QueryBuilder
+
+TEST_F(StorageTest, QueryBuilderResolvesKnownTags) {
+  const corpus::Context& ctx = corpus_->GetContext();
+  ASSERT_GT(ctx.vocabulary.Size(), 2u);
+  const std::string tag0 = ctx.vocabulary.TermOf(0);
+  const std::string tag1 = ctx.vocabulary.TermOf(1);
+
+  corpus::QueryBuilder builder(corpus_->SharedContext());
+  const corpus::MediaObject q = builder.AddText(tag0 + " " + tag1 + "s")
+                                    .AddText("the and")  // stop words
+                                    .AddUser(3)
+                                    .AddVisualWord(5)
+                                    .Build();
+  EXPECT_TRUE(q.Contains(corpus::MakeFeatureKey(
+      corpus::FeatureType::kText, 0)));
+  EXPECT_TRUE(q.Contains(corpus::MakeFeatureKey(
+      corpus::FeatureType::kText, 1)));
+  EXPECT_TRUE(q.Contains(corpus::MakeFeatureKey(
+      corpus::FeatureType::kUser, 3)));
+  EXPECT_TRUE(q.Contains(corpus::MakeFeatureKey(
+      corpus::FeatureType::kVisual, 5)));
+}
+
+TEST_F(StorageTest, QueryBuilderDropsUnknownInputs) {
+  corpus::QueryBuilder builder(corpus_->SharedContext());
+  const corpus::MediaObject q = builder.AddText("zzzzunknownzzzz")
+                                    .AddUser(999999)
+                                    .AddVisualWord(999999)
+                                    .Build();
+  EXPECT_TRUE(q.features.empty());
+}
+
+TEST_F(StorageTest, QueryBuilderQueriesRetrieveByTag) {
+  // Build a query from one object's tag strings; the source object should
+  // rank near the top.
+  const corpus::Context& ctx = corpus_->GetContext();
+  const corpus::MediaObject& source = corpus_->Object(11);
+  corpus::QueryBuilder builder(corpus_->SharedContext());
+  for (const corpus::FeatureOccurrence& f : source.features) {
+    if (corpus::TypeOf(f.feature) == corpus::FeatureType::kText)
+      builder.AddText(ctx.vocabulary.TermOf(corpus::IdOf(f.feature)));
+  }
+  const corpus::MediaObject q = builder.Build();
+  if (q.features.empty()) GTEST_SKIP() << "object 11 has no tags";
+  const index::FigRetrievalEngine engine(*corpus_, index::EngineOptions{});
+  const auto results = engine.Search(q, 10);
+  bool found = false;
+  for (const auto& r : results)
+    if (r.object == source.id) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(StorageTest, QueryBuilderImagePath) {
+  vision::Image img(32, 32);
+  for (std::size_t y = 0; y < 32; ++y)
+    for (std::size_t x = 0; x < 32; ++x)
+      img.At(x, y) = float((x + y) % 7) / 7.0f;
+  corpus::QueryBuilder builder(corpus_->SharedContext());
+  const corpus::MediaObject q = builder.AddImage(img).Build();
+  // 4 blocks, each quantised to a visual word.
+  std::uint32_t blocks = 0;
+  for (const auto& f : q.features) {
+    EXPECT_EQ(corpus::TypeOf(f.feature), corpus::FeatureType::kVisual);
+    blocks += f.frequency;
+  }
+  EXPECT_EQ(blocks, 4u);
+}
+
+// --------------------------------------------------------------------- NRA
+
+TEST(NraMergeTest, TopKSetMatchesExhaustive) {
+  util::Rng rng(777);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<index::ScoredList> lists(1 + rng.UniformInt(6));
+    for (auto& list : lists) {
+      const std::size_t n = rng.UniformInt(50);
+      std::set<corpus::ObjectId> used;
+      for (std::size_t i = 0; i < n; ++i) {
+        const corpus::ObjectId id = corpus::ObjectId(rng.UniformInt(30));
+        if (!used.insert(id).second) continue;
+        list.entries.push_back({id, rng.UniformReal(0.1, 2.0)});
+      }
+    }
+    const std::size_t k = 1 + rng.UniformInt(8);
+    const auto nra = index::NraMerge(lists, k);
+    const auto exact = index::ExhaustiveMerge(lists, k);
+    ASSERT_EQ(nra.size(), exact.size()) << "round " << round;
+    std::set<corpus::ObjectId> sa, sb;
+    for (const auto& e : nra) sa.insert(e.object);
+    for (const auto& e : exact) sb.insert(e.object);
+    EXPECT_EQ(sa, sb) << "round " << round;
+  }
+}
+
+TEST(NraMergeTest, EmptyInput) {
+  EXPECT_TRUE(index::NraMerge({}, 3).empty());
+}
+
+// ------------------------------------------------------- incremental index
+
+TEST_F(StorageTest, IncrementalIndexMatchesBulkBuild) {
+  const index::FigRetrievalEngine engine(*corpus_, index::EngineOptions{});
+  // Rebuild: bulk over the first half, then incremental AddObject.
+  index::CliqueIndexOptions options;
+  const corpus::Corpus half = corpus_->Prefix(corpus_->Size() / 2);
+  index::CliqueIndex incremental = index::CliqueIndex::Build(
+      half, *engine.Correlations(), options);
+  for (corpus::ObjectId id = corpus::ObjectId(corpus_->Size() / 2);
+       id < corpus_->Size(); ++id) {
+    incremental.AddObject(corpus_->Object(id), *engine.Correlations());
+  }
+  const index::CliqueIndex bulk = index::CliqueIndex::Build(
+      *corpus_, *engine.Correlations(), options);
+  EXPECT_EQ(incremental.DistinctCliques(), bulk.DistinctCliques());
+  EXPECT_EQ(incremental.TotalPostings(), bulk.TotalPostings());
+  // Spot-check a few posting lists through query cliques.
+  const auto qm = engine.Scorer().Compile(corpus_->Object(3));
+  for (std::size_t c = 0; c < std::min<std::size_t>(10, qm.cliques.size());
+       ++c) {
+    EXPECT_EQ(incremental.Lookup(qm.cliques[c].features),
+              bulk.Lookup(qm.cliques[c].features));
+  }
+}
+
+TEST_F(StorageTest, AddObjectIsIdempotent) {
+  const index::FigRetrievalEngine engine(*corpus_, index::EngineOptions{});
+  index::CliqueIndex idx = index::CliqueIndex::Build(
+      *corpus_, *engine.Correlations(), index::CliqueIndexOptions{});
+  const std::size_t postings = idx.TotalPostings();
+  idx.AddObject(corpus_->Object(5), *engine.Correlations());
+  EXPECT_EQ(idx.TotalPostings(), postings);
+}
+
+// ------------------------------------------------------------ significance
+
+TEST(SignificanceTest, ClearDifferenceIsSignificant) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(0.8 + 0.01 * (i % 3));
+    b.push_back(0.4 + 0.01 * (i % 5));
+  }
+  const auto r = eval::PairedBootstrap(a, b, 2000);
+  EXPECT_GT(r.mean_difference, 0.3);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_GT(eval::PairedTStatistic(a, b), 5.0);
+}
+
+TEST(SignificanceTest, NoDifferenceIsNotSignificant) {
+  util::Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.UniformReal();
+    a.push_back(base + rng.Gaussian(0.0, 0.05));
+    b.push_back(base + rng.Gaussian(0.0, 0.05));
+  }
+  const auto r = eval::PairedBootstrap(a, b, 2000);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(SignificanceTest, SymmetricInMeanDifference) {
+  const std::vector<double> a = {0.5, 0.6, 0.7};
+  const std::vector<double> b = {0.4, 0.5, 0.6};
+  const auto ab = eval::PairedBootstrap(a, b, 500);
+  const auto ba = eval::PairedBootstrap(b, a, 500);
+  EXPECT_DOUBLE_EQ(ab.mean_difference, -ba.mean_difference);
+}
+
+// ------------------------------------------------------------ explanations
+
+TEST_F(StorageTest, RecommenderExplainsContributions) {
+  const index::FigRetrievalEngine engine(*corpus_, index::EngineOptions{});
+  const recsys::ProfileBuilder builder(engine.Correlations());
+  const recsys::UserProfile profile =
+      builder.Build(*corpus_, {0, 1, 2, 3, 4});
+  const recsys::FigRecommender rec(*corpus_, engine.ExactPotential(),
+                                   engine.ExactPotential(), {.decay = 0.6});
+  // Explain against a profile member: contributions must exist, be sorted,
+  // and sum to at most the full score.
+  const auto explanations = rec.Explain(profile, corpus_->Object(1), 5, 3);
+  ASSERT_FALSE(explanations.empty());
+  EXPECT_LE(explanations.size(), 3u);
+  double previous = 1e300;
+  double total = 0.0;
+  for (const auto& e : explanations) {
+    EXPECT_FALSE(e.features.empty());
+    EXPECT_GT(e.contribution, 0.0);
+    EXPECT_LE(e.contribution, previous);
+    previous = e.contribution;
+    total += e.contribution;
+  }
+  EXPECT_LE(total, rec.Score(profile, corpus_->Object(1), 5) + 1e-9);
+}
+
+// ------------------------------------------------- co-occurrence text mode
+
+TEST_F(StorageTest, CooccurrenceTextSimilarityIsPluggable) {
+  auto matrix = std::make_shared<stats::FeatureMatrix>(
+      stats::FeatureMatrix::Build(*corpus_));
+  stats::CorrelationOptions options;
+  options.text_similarity = stats::TextSimilarity::kCooccurrence;
+  const stats::CorrelationModel model(corpus_->SharedContext(), matrix,
+                                      options);
+  const auto t0 = corpus::MakeFeatureKey(corpus::FeatureType::kText, 0);
+  const auto t1 = corpus::MakeFeatureKey(corpus::FeatureType::kText, 1);
+  // Under co-occurrence, intra-text equals the Eq. 1 cosine.
+  EXPECT_DOUBLE_EQ(model.Cor(t0, t1), matrix->Cosine(t0, t1));
+  EXPECT_DOUBLE_EQ(model.ThresholdFor(t0, t1),
+                   options.text_cooccurrence_threshold);
+  // And a co-occurrence engine still retrieves end-to-end.
+  index::EngineOptions eo;
+  eo.correlations = options;
+  const index::FigRetrievalEngine engine(*corpus_, eo);
+  const auto results = engine.Search(corpus_->Object(4), 5);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].object, 4u);
+}
+
+}  // namespace
+}  // namespace figdb

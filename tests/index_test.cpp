@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "corpus/generator.hpp"
+#include "index/clique_key.hpp"
+#include "index/inverted_index.hpp"
+#include "index/retrieval_engine.hpp"
+#include "index/threshold_algorithm.hpp"
+#include "util/rng.hpp"
+
+namespace figdb::index {
+namespace {
+
+using corpus::FeatureType;
+using corpus::MakeFeatureKey;
+
+// -------------------------------------------------------------- CliqueKey
+
+TEST(CliqueKeyTest, DeterministicAndDistinct) {
+  const std::vector<corpus::FeatureKey> a = {
+      MakeFeatureKey(FeatureType::kText, 1),
+      MakeFeatureKey(FeatureType::kText, 2)};
+  const std::vector<corpus::FeatureKey> b = {
+      MakeFeatureKey(FeatureType::kText, 1),
+      MakeFeatureKey(FeatureType::kText, 3)};
+  EXPECT_EQ(MakeCliqueKey(a), MakeCliqueKey(a));
+  EXPECT_NE(MakeCliqueKey(a), MakeCliqueKey(b));
+}
+
+TEST(CliqueKeyTest, SubsetsHaveDistinctKeys) {
+  const std::vector<corpus::FeatureKey> a = {
+      MakeFeatureKey(FeatureType::kText, 1)};
+  const std::vector<corpus::FeatureKey> ab = {
+      MakeFeatureKey(FeatureType::kText, 1),
+      MakeFeatureKey(FeatureType::kText, 2)};
+  EXPECT_NE(MakeCliqueKey(a), MakeCliqueKey(ab));
+}
+
+TEST(CliqueKeyTest, NoCollisionsOnRandomSets) {
+  util::Rng rng(31337);
+  std::set<CliqueKey> keys;
+  std::set<std::vector<corpus::FeatureKey>> sets;
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<corpus::FeatureKey> f;
+    const std::size_t n = 1 + rng.UniformInt(3);
+    while (f.size() < n) {
+      const auto k = MakeFeatureKey(FeatureType::kText,
+                                    std::uint32_t(rng.UniformInt(5000)));
+      if (std::find(f.begin(), f.end(), k) == f.end()) f.push_back(k);
+    }
+    std::sort(f.begin(), f.end());
+    if (sets.insert(f).second) keys.insert(MakeCliqueKey(f));
+  }
+  EXPECT_EQ(keys.size(), sets.size());
+}
+
+// ------------------------------------------------------ ThresholdAlgorithm
+
+ScoredList MakeList(std::initializer_list<core::SearchResult> entries) {
+  ScoredList l;
+  l.entries = entries;
+  return l;
+}
+
+TEST(ThresholdMergeTest, SimpleAggregation) {
+  std::vector<ScoredList> lists;
+  lists.push_back(MakeList({{1, 1.0}, {2, 0.5}}));
+  lists.push_back(MakeList({{2, 0.9}, {3, 0.2}}));
+  const auto r = ThresholdMerge(lists, 2);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].object, 2u);  // 1.4
+  EXPECT_DOUBLE_EQ(r[0].score, 1.4);
+  EXPECT_EQ(r[1].object, 1u);  // 1.0
+}
+
+TEST(ThresholdMergeTest, EmptyLists) {
+  EXPECT_TRUE(ThresholdMerge({}, 5).empty());
+  std::vector<ScoredList> lists;
+  lists.push_back(MakeList({}));
+  EXPECT_TRUE(ThresholdMerge(lists, 5).empty());
+}
+
+TEST(ThresholdMergeTest, MatchesExhaustiveOnRandomInputs) {
+  util::Rng rng(4242);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<ScoredList> lists(1 + rng.UniformInt(8));
+    for (auto& list : lists) {
+      const std::size_t n = rng.UniformInt(60);
+      for (std::size_t i = 0; i < n; ++i) {
+        list.entries.push_back({corpus::ObjectId(rng.UniformInt(40)),
+                                rng.UniformReal(0.0, 2.0)});
+      }
+      // An object may legitimately appear once per list only; dedup by
+      // keeping the max (the merge sums per list internally either way,
+      // but Algorithm 1 produces unique candidates per clique).
+      std::sort(list.entries.begin(), list.entries.end(),
+                [](const core::SearchResult& a, const core::SearchResult& b) {
+                  return a.object < b.object;
+                });
+      list.entries.erase(
+          std::unique(list.entries.begin(), list.entries.end(),
+                      [](const core::SearchResult& a,
+                         const core::SearchResult& b) {
+                        return a.object == b.object;
+                      }),
+          list.entries.end());
+    }
+    const std::size_t k = 1 + rng.UniformInt(10);
+    const auto ta = ThresholdMerge(lists, k);
+    const auto ex = ExhaustiveMerge(lists, k);
+    ASSERT_EQ(ta.size(), ex.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].object, ex[i].object) << "round " << round;
+      EXPECT_NEAR(ta[i].score, ex[i].score, 1e-9);
+    }
+  }
+}
+
+TEST(ThresholdMergeTest, EarlyTerminationStillExact) {
+  // One dominant list: TA should stop early yet return the right answer.
+  std::vector<ScoredList> lists;
+  ScoredList big;
+  for (int i = 0; i < 1000; ++i)
+    big.entries.push_back({corpus::ObjectId(i), 1000.0 - i});
+  lists.push_back(std::move(big));
+  lists.push_back(MakeList({{999, 0.5}}));
+  const auto r = ThresholdMerge(lists, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].object, 0u);
+  EXPECT_EQ(r[1].object, 1u);
+  EXPECT_EQ(r[2].object, 2u);
+}
+
+// ----------------------------------------------------- Index + Engine
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 500;
+    config.num_topics = 8;
+    config.num_users = 150;
+    config.visual_words = 64;
+    config.seed = 4040;
+    corpus_ = new corpus::Corpus(
+        corpus::Generator(config).MakeRetrievalCorpus());
+    engine_ = new FigRetrievalEngine(*corpus_, EngineOptions{});
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete corpus_;
+    engine_ = nullptr;
+    corpus_ = nullptr;
+  }
+  static corpus::Corpus* corpus_;
+  static FigRetrievalEngine* engine_;
+};
+
+corpus::Corpus* EngineFixture::corpus_ = nullptr;
+FigRetrievalEngine* EngineFixture::engine_ = nullptr;
+
+TEST_F(EngineFixture, IndexPostingsAreComplete) {
+  // Every object that contains a clique's features appears in its postings
+  // list; verify by recomputing for a few query cliques.
+  const auto qm = engine_->Scorer().Compile(corpus_->Object(3));
+  ASSERT_FALSE(qm.cliques.empty());
+  std::size_t checked = 0;
+  for (const core::Clique& c : qm.cliques) {
+    if (checked++ > 20) break;
+    const auto& postings = engine_->Index().Lookup(c.features);
+    // The query object itself contains all its cliques' features, so it
+    // must be present (it is object 3 of the indexed corpus).
+    EXPECT_TRUE(std::binary_search(postings.begin(), postings.end(),
+                                   corpus::ObjectId(3)))
+        << "missing source object in postings";
+    for (corpus::ObjectId id : postings) {
+      for (corpus::FeatureKey f : c.features)
+        EXPECT_TRUE(corpus_->Object(id).Contains(f));
+    }
+  }
+}
+
+TEST_F(EngineFixture, SearchMatchesSequentialReference) {
+  for (corpus::ObjectId q : {0u, 17u, 123u, 499u}) {
+    const auto fast = engine_->Search(corpus_->Object(q), 10);
+    const auto slow = engine_->SearchSequential(corpus_->Object(q), 10);
+    ASSERT_EQ(fast.size(), slow.size()) << "query " << q;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].object, slow[i].object) << "query " << q;
+      EXPECT_NEAR(fast[i].score, slow[i].score, 1e-9);
+    }
+  }
+}
+
+TEST_F(EngineFixture, ExhaustiveMergeModeAgreesWithTa) {
+  EngineOptions options;
+  options.merge = EngineOptions::MergeMode::kExhaustive;
+  FigRetrievalEngine exhaustive(*corpus_, options);
+  for (corpus::ObjectId q : {5u, 77u}) {
+    const auto a = engine_->Search(corpus_->Object(q), 8);
+    const auto b = exhaustive.Search(corpus_->Object(q), 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_EQ(a[i].object, b[i].object);
+  }
+}
+
+TEST_F(EngineFixture, SelfIsTopResult) {
+  for (corpus::ObjectId q : {1u, 50u, 321u}) {
+    const auto results = engine_->Search(corpus_->Object(q), 3);
+    ASSERT_FALSE(results.empty());
+    EXPECT_EQ(results[0].object, q);
+  }
+}
+
+TEST_F(EngineFixture, ResultsSortedByScore) {
+  const auto results = engine_->Search(corpus_->Object(9), 20);
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_GE(results[i - 1].score, results[i].score);
+}
+
+TEST_F(EngineFixture, RankRestrictsToCandidates) {
+  const std::vector<corpus::ObjectId> candidates = {10, 20, 30, 40};
+  const auto results = engine_->Rank(corpus_->Object(10), candidates, 4);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), r.object) !=
+                candidates.end());
+  }
+  EXPECT_EQ(results[0].object, 10u);  // self scores highest
+}
+
+TEST_F(EngineFixture, SetLambdaChangesScores) {
+  EngineOptions options;
+  FigRetrievalEngine engine(*corpus_, options);
+  const auto before = engine.Search(corpus_->Object(2), 5);
+  engine.SetLambda({1.0, 0.0, 0.0});  // unigram-only model
+  const auto after = engine.Search(corpus_->Object(2), 5);
+  ASSERT_FALSE(before.empty());
+  ASSERT_FALSE(after.empty());
+  // Scores must differ (higher-order cliques no longer contribute).
+  EXPECT_NE(before[0].score, after[0].score);
+}
+
+TEST_F(EngineFixture, TypeMaskEngineUsesOnlyThatModality) {
+  EngineOptions options;
+  options.type_mask = core::kTextMask;
+  FigRetrievalEngine text_engine(*corpus_, options);
+  const auto qm = text_engine.Scorer().Compile(corpus_->Object(4),
+                                               core::kTextMask);
+  for (const core::Clique& c : qm.cliques)
+    for (corpus::FeatureKey f : c.features)
+      EXPECT_EQ(corpus::TypeOf(f), FeatureType::kText);
+  const auto results = text_engine.Search(corpus_->Object(4), 5);
+  EXPECT_FALSE(results.empty());
+}
+
+TEST_F(EngineFixture, IndexStatisticsPopulated) {
+  EXPECT_GT(engine_->Index().DistinctCliques(), corpus_->Size());
+  EXPECT_GT(engine_->Index().TotalPostings(),
+            engine_->Index().DistinctCliques());
+}
+
+}  // namespace
+}  // namespace figdb::index

@@ -1,0 +1,205 @@
+// End-to-end integration tests: the full pipeline from corpus synthesis
+// through retrieval/recommendation quality, mirroring the paper's headline
+// claims at test scale.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/lsa.hpp"
+#include "baselines/rankboost.hpp"
+#include "baselines/tensor_product.hpp"
+#include "corpus/generator.hpp"
+#include "eval/harness.hpp"
+#include "eval/oracle.hpp"
+#include "eval/training.hpp"
+#include "index/retrieval_engine.hpp"
+#include "recsys/recommender.hpp"
+#include "recsys/user_profile.hpp"
+
+namespace figdb {
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 1500;
+    config.num_topics = 12;
+    config.num_users = 400;
+    config.visual_words = 96;
+    config.seed = 555;
+    // Mirror the benchmark harness's noise levels so no method saturates
+    // and the paper's ordering can show at test scale.
+    config.mean_tags_per_object = 5.0;
+    config.tags_per_topic = 45;
+    config.generic_tag_probability = 0.45;
+    config.user_topic_affinity = 0.6;
+    config.visual_topic_purity = 0.25;
+    corpus_ = new corpus::Corpus(
+        corpus::Generator(config).MakeRetrievalCorpus());
+    engine_ = new index::FigRetrievalEngine(*corpus_,
+                                            index::EngineOptions{});
+    oracle_ = new eval::TopicOracle(corpus_);
+    queries_ = eval::SampleQueries(*corpus_, 12, 42);
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete engine_;
+    delete corpus_;
+    oracle_ = nullptr;
+    engine_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static corpus::Corpus* corpus_;
+  static index::FigRetrievalEngine* engine_;
+  static eval::TopicOracle* oracle_;
+  static std::vector<corpus::ObjectId> queries_;
+};
+
+corpus::Corpus* PipelineFixture::corpus_ = nullptr;
+index::FigRetrievalEngine* PipelineFixture::engine_ = nullptr;
+eval::TopicOracle* PipelineFixture::oracle_ = nullptr;
+std::vector<corpus::ObjectId> PipelineFixture::queries_;
+
+TEST_F(PipelineFixture, FigPrecisionWellAboveTopicBaseRate) {
+  const auto r = eval::EvaluateRetrieval(*engine_, *corpus_, queries_,
+                                         *oracle_);
+  // Base rate = 1/12; expect an order of magnitude above it.
+  EXPECT_GT(r.precision[0], 0.5) << "P@3";
+  EXPECT_GT(r.precision[2], 0.4) << "P@10";
+}
+
+TEST_F(PipelineFixture, FullFigBeatsVisualOnly) {
+  index::EngineOptions visual_options;
+  visual_options.type_mask = core::kVisualMask;
+  index::FigRetrievalEngine visual(*corpus_, visual_options);
+  const auto full = eval::EvaluateRetrieval(*engine_, *corpus_, queries_,
+                                            *oracle_);
+  const auto vis = eval::EvaluateRetrieval(visual, *corpus_, queries_,
+                                           *oracle_);
+  EXPECT_GT(full.precision[2], vis.precision[2]);
+}
+
+TEST_F(PipelineFixture, FigBeatsEveryBaselineAtP10) {
+  const auto fig = eval::EvaluateRetrieval(*engine_, *corpus_, queries_,
+                                           *oracle_);
+
+  // LSA rank below the topic count, as in the benchmark harness (a rank
+  // >= #topics lets the latent space capture the synthetic corpus fully).
+  const baselines::LsaRetriever lsa(*corpus_, {.rank = 4});
+  auto vectors = std::make_shared<baselines::TypedVectors>(
+      baselines::TypedVectors::Build(*corpus_));
+  const baselines::TensorProductRetriever tp(*corpus_, vectors,
+                                             engine_->Matrix());
+  auto weighted = std::make_shared<baselines::TypedVectors>(
+      baselines::TypedVectors::Build(*corpus_, {.use_idf = true},
+                                     engine_->Matrix().get()));
+  baselines::RankBoostRetriever rb(*corpus_, weighted, engine_->Matrix());
+  const auto train = eval::SampleQueries(*corpus_, 6, 1234);
+  rb.Train(eval::MakeRankBoostQueries(*corpus_, train, *oracle_));
+
+  const auto lsa_r = eval::EvaluateRetrieval(lsa, *corpus_, queries_,
+                                             *oracle_);
+  const auto tp_r = eval::EvaluateRetrieval(tp, *corpus_, queries_,
+                                            *oracle_);
+  const auto rb_r = eval::EvaluateRetrieval(rb, *corpus_, queries_,
+                                            *oracle_);
+  EXPECT_GT(fig.precision[2], lsa_r.precision[2]);
+  EXPECT_GT(fig.precision[2], tp_r.precision[2]);
+  EXPECT_GE(fig.precision[2], rb_r.precision[2]);
+  // All methods are meaningfully above the 1/12 base rate.
+  EXPECT_GT(lsa_r.precision[2], 0.15);
+  EXPECT_GT(tp_r.precision[2], 0.15);
+  EXPECT_GT(rb_r.precision[2], 0.15);
+}
+
+TEST_F(PipelineFixture, LambdaTrainingDoesNotDegrade) {
+  index::FigRetrievalEngine engine(*corpus_, index::EngineOptions{});
+  const auto train = eval::SampleQueries(*corpus_, 6, 777);
+  eval::RetrievalEvalOptions eo;
+  eo.cutoffs = {10};
+  const auto before =
+      eval::EvaluateRetrieval(engine, *corpus_, train, *oracle_, eo);
+  eval::LambdaTrainingOptions options;
+  options.sweeps = 1;
+  const auto lambda =
+      eval::TrainEngineLambda(&engine, train, *oracle_, options);
+  EXPECT_EQ(lambda.size(), 3u);
+  const auto after =
+      eval::EvaluateRetrieval(engine, *corpus_, train, *oracle_, eo);
+  EXPECT_GE(after.precision[0], before.precision[0] - 1e-9);
+}
+
+TEST_F(PipelineFixture, PrefixCorporaScaleMonotonically) {
+  // Smaller database -> the same queries find fewer good matches; P@10
+  // should not be (much) higher than the full corpus. This is the Fig. 8
+  // trend at test scale.
+  const corpus::Corpus small = corpus_->Prefix(300);
+  index::FigRetrievalEngine small_engine(small, index::EngineOptions{});
+  std::vector<corpus::ObjectId> small_queries;
+  for (corpus::ObjectId q : queries_)
+    if (q < 300) small_queries.push_back(q);
+  ASSERT_FALSE(small_queries.empty());
+  const auto small_r = eval::EvaluateRetrieval(small_engine, small,
+                                               small_queries, *oracle_);
+  const auto full_r = eval::EvaluateRetrieval(*engine_, *corpus_,
+                                              small_queries, *oracle_);
+  EXPECT_GE(full_r.precision[2] + 0.15, small_r.precision[2]);
+}
+
+TEST(RecommendationIntegrationTest, FigVariantsBeatBaselines) {
+  corpus::GeneratorConfig config;
+  config.num_objects = 1800;
+  config.num_topics = 12;
+  config.num_users = 300;
+  config.visual_words = 96;
+  config.seed = 321;
+  corpus::RecommendationConfig rc;
+  rc.num_profile_users = 20;
+  rc.mean_favorites_per_month = 15.0;
+  const corpus::RecommendationDataset ds =
+      corpus::Generator(config).MakeRecommendationDataset(rc);
+
+  index::EngineOptions eo;
+  eo.build_index = false;
+  index::FigRetrievalEngine engine(ds.corpus, eo);
+  const recsys::ProfileBuilder builder(engine.Correlations());
+  const std::uint16_t now = std::uint16_t(config.num_months - 1);
+
+  eval::RecommendationEvalOptions options;
+  options.cutoffs = {10};
+
+  auto eval_fig = [&](double decay) {
+    const recsys::FigRecommender rec(ds.corpus, engine.ExactPotential(),
+                                     engine.Potential(), {.decay = decay});
+    return eval::EvaluateRecommendation(
+        ds,
+        [&](const corpus::RecommendationUser& user, std::size_t k) {
+          const recsys::UserProfile p = builder.Build(ds.corpus,
+                                                      user.profile);
+          return rec.Recommend(p, ds.candidates, k, now);
+        },
+        options);
+  };
+
+  const auto fig = eval_fig(1.0);
+  const auto fig_t = eval_fig(0.5);
+
+  const baselines::LsaRetriever lsa(ds.corpus, {.rank = 48});
+  const auto lsa_r = eval::EvaluateRecommendation(
+      ds,
+      [&](const corpus::RecommendationUser& user, std::size_t k) {
+        const recsys::UserProfile p = builder.Build(ds.corpus, user.profile);
+        return lsa.Rank(p.merged, ds.candidates, k);
+      },
+      options);
+
+  EXPECT_GT(fig.precision[0], 0.05);
+  EXPECT_GE(fig_t.precision[0], fig.precision[0]);
+  EXPECT_GT(fig_t.precision[0], lsa_r.precision[0]);
+}
+
+}  // namespace
+}  // namespace figdb

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/dense_matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace figdb::util {
+namespace {
+
+// ------------------------------------------------------------ DenseMatrix
+
+TEST(DenseMatrixTest, MultiplyKnownValues) {
+  DenseMatrix a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  double av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  for (int i = 0; i < 6; ++i) {
+    a.At(std::size_t(i) / 3, std::size_t(i) % 3) = av[i];
+    b.At(std::size_t(i) / 2, std::size_t(i) % 2) = bv[i];
+  }
+  const DenseMatrix c = a.Multiply(b);
+  ASSERT_EQ(c.Rows(), 2u);
+  ASSERT_EQ(c.Cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(DenseMatrixTest, TransposeMultiplyMatchesExplicitTranspose) {
+  Rng rng(3);
+  DenseMatrix a(5, 4), b(5, 3);
+  a.FillGaussian(&rng);
+  b.FillGaussian(&rng);
+  const DenseMatrix direct = a.TransposeMultiply(b);
+  const DenseMatrix via_transpose = a.Transposed().Multiply(b);
+  ASSERT_EQ(direct.Rows(), 4u);
+  ASSERT_EQ(direct.Cols(), 3u);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(direct.At(i, j), via_transpose.At(i, j), 1e-12);
+}
+
+TEST(DenseMatrixTest, TransposedInvolution) {
+  Rng rng(5);
+  DenseMatrix a(3, 7);
+  a.FillGaussian(&rng);
+  const DenseMatrix att = a.Transposed().Transposed();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 7; ++j)
+      EXPECT_DOUBLE_EQ(att.At(i, j), a.At(i, j));
+}
+
+TEST(DenseMatrixTest, OrthonormalizeProducesOrthonormalColumns) {
+  Rng rng(7);
+  DenseMatrix m(20, 6);
+  m.FillGaussian(&rng);
+  m.OrthonormalizeColumns();
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 20; ++i) dot += m.At(i, a) * m.At(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10) << a << "," << b;
+    }
+  }
+}
+
+TEST(DenseMatrixTest, OrthonormalizeZeroesDependentColumns) {
+  DenseMatrix m(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    m.At(i, 0) = double(i + 1);
+    m.At(i, 1) = 2.0 * double(i + 1);  // linearly dependent
+  }
+  m.OrthonormalizeColumns();
+  double norm1 = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) norm1 += m.At(i, 1) * m.At(i, 1);
+  EXPECT_NEAR(norm1, 0.0, 1e-12);
+}
+
+TEST(DenseMatrixTest, FrobeniusNorm) {
+  DenseMatrix m(2, 2);
+  m.At(0, 0) = 3.0;
+  m.At(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+// --------------------------------------------------------- SymmetricEigen
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  DenseMatrix m(3, 3);
+  m.At(0, 0) = 1.0;
+  m.At(1, 1) = 5.0;
+  m.At(2, 2) = 3.0;
+  std::vector<double> values;
+  DenseMatrix vectors;
+  SymmetricEigen(m, &values, &vectors);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_NEAR(values[0], 5.0, 1e-10);  // descending order
+  EXPECT_NEAR(values[1], 3.0, 1e-10);
+  EXPECT_NEAR(values[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  DenseMatrix m(2, 2);
+  m.At(0, 0) = 2.0;
+  m.At(0, 1) = 1.0;
+  m.At(1, 0) = 1.0;
+  m.At(1, 1) = 2.0;
+  std::vector<double> values;
+  DenseMatrix vectors;
+  SymmetricEigen(m, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(vectors.At(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::fabs(vectors.At(1, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(SymmetricEigenTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(11);
+  const std::size_t n = 8;
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j)
+      m.At(i, j) = m.At(j, i) = rng.Gaussian();
+  std::vector<double> values;
+  DenseMatrix v;
+  SymmetricEigen(m, &values, &v);
+  // Check M v_j = lambda_j v_j for every eigenpair.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double mv = 0.0;
+      for (std::size_t l = 0; l < n; ++l) mv += m.At(i, l) * v.At(l, j);
+      EXPECT_NEAR(mv, values[j] * v.At(i, j), 1e-8)
+          << "pair " << j << " row " << i;
+    }
+  }
+  // Eigenvalues descending.
+  for (std::size_t j = 1; j < n; ++j)
+    EXPECT_GE(values[j - 1], values[j] - 1e-12);
+}
+
+TEST(SymmetricEigenTest, TraceEqualsEigenvalueSum) {
+  Rng rng(13);
+  const std::size_t n = 6;
+  DenseMatrix m(n, n);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j)
+      m.At(i, j) = m.At(j, i) = rng.UniformReal(-1.0, 1.0);
+    trace += m.At(i, i);
+  }
+  std::vector<double> values;
+  DenseMatrix v;
+  SymmetricEigen(m, &values, &v);
+  double sum = 0.0;
+  for (double x : values) sum += x;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+// --------------------------------------------------------------- Stopwatch
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Burn a little CPU deterministically.
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x += std::sqrt(double(i));
+  const double t1 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(watch.ElapsedSeconds(), t1);  // monotone
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 1e3);  // consistent units
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), t1 + 1.0);
+}
+
+}  // namespace
+}  // namespace figdb::util

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "corpus/generator.hpp"
+#include "index/retrieval_engine.hpp"
+#include "recsys/recommender.hpp"
+#include "recsys/user_profile.hpp"
+
+namespace figdb::recsys {
+namespace {
+
+using corpus::FeatureKey;
+using corpus::FeatureType;
+using corpus::MakeFeatureKey;
+using corpus::MediaObject;
+using corpus::ObjectId;
+
+FeatureKey Tag(std::uint32_t id) {
+  return MakeFeatureKey(FeatureType::kText, id);
+}
+
+/// Hand-built corpus: tags 0-1 correlated (sibling taxonomy leaves), tag 2
+/// unrelated; objects with controlled months.
+class RecsysFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = std::make_unique<corpus::Corpus>();
+    corpus::Context& ctx = corpus_->MutableContext();
+    const auto root = ctx.taxonomy.AddRoot();
+    const auto a = ctx.taxonomy.AddChild(root, "a");
+    ctx.taxonomy.AttachTerm(0, ctx.taxonomy.AddChild(a, "t0"));
+    ctx.taxonomy.AttachTerm(1, ctx.taxonomy.AddChild(a, "t1"));
+    const auto b = ctx.taxonomy.AddChild(root, "b");
+    ctx.taxonomy.AttachTerm(2, ctx.taxonomy.AddChild(
+                                   ctx.taxonomy.AddChild(b, "sub"), "t2"));
+    ctx.visual_vocabulary = vision::VisualVocabulary::FromCentroids(
+        {vision::Descriptor{}});
+    ctx.user_graph.AddUser();
+
+    // Profile history: month 0 favours {t0,t1}; month 2 favours {t2}.
+    AddObject({{Tag(0), 1}, {Tag(1), 1}}, 0);  // id 0
+    AddObject({{Tag(2), 1}}, 2);               // id 1
+    // Candidates (month 4): one matching the OLD interest, one the NEW.
+    AddObject({{Tag(0), 1}, {Tag(1), 1}}, 4);  // id 2
+    AddObject({{Tag(2), 1}}, 4);               // id 3
+    // Padding objects so feature statistics are non-degenerate.
+    AddObject({{Tag(0), 1}}, 1);               // id 4
+    AddObject({{Tag(1), 1}}, 3);               // id 5
+    AddObject({{Tag(2), 2}}, 1);               // id 6
+
+    matrix_ = std::make_shared<stats::FeatureMatrix>(
+        stats::FeatureMatrix::Build(*corpus_));
+    correlations_ = std::make_shared<stats::CorrelationModel>(
+        corpus_->SharedContext(), matrix_);
+    cors_ = std::make_shared<stats::CorSCalculator>(matrix_);
+    potential_ = std::make_shared<core::PotentialEvaluator>(
+        correlations_, cors_, core::MrfOptions{});
+    builder_ = std::make_unique<ProfileBuilder>(correlations_);
+  }
+
+  void AddObject(std::vector<corpus::FeatureOccurrence> features,
+                 std::uint16_t month) {
+    MediaObject obj;
+    obj.features = std::move(features);
+    obj.month = month;
+    obj.Normalize();
+    corpus_->Add(std::move(obj));
+  }
+
+  std::unique_ptr<corpus::Corpus> corpus_;
+  std::shared_ptr<stats::FeatureMatrix> matrix_;
+  std::shared_ptr<stats::CorrelationModel> correlations_;
+  std::shared_ptr<stats::CorSCalculator> cors_;
+  std::shared_ptr<core::PotentialEvaluator> potential_;
+  std::unique_ptr<ProfileBuilder> builder_;
+};
+
+// -------------------------------------------------------------- Profiles
+
+TEST_F(RecsysFixture, MergedBigObjectUnionsFeatures) {
+  const UserProfile p = builder_->Build(*corpus_, {0, 1});
+  EXPECT_EQ(p.merged.features.size(), 3u);  // t0, t1, t2
+  EXPECT_TRUE(p.merged.Contains(Tag(0)));
+  EXPECT_TRUE(p.merged.Contains(Tag(2)));
+}
+
+TEST_F(RecsysFixture, MergedFrequenciesSum) {
+  const UserProfile p = builder_->Build(*corpus_, {0, 4});
+  EXPECT_EQ(p.merged.FrequencyOf(Tag(0)), 2u);  // once in each object
+}
+
+TEST_F(RecsysFixture, NoCrossObjectCliques) {
+  // §4: t0 (object 0) and t2 (object 1) must never form a clique even
+  // though both are in Hu.
+  const UserProfile p = builder_->Build(*corpus_, {0, 1});
+  for (const ProfileClique& c : p.cliques) {
+    const bool has_t0 = std::find(c.features.begin(), c.features.end(),
+                                  Tag(0)) != c.features.end();
+    const bool has_t2 = std::find(c.features.begin(), c.features.end(),
+                                  Tag(2)) != c.features.end();
+    EXPECT_FALSE(has_t0 && has_t2);
+  }
+  // But the intra-object pair {t0, t1} IS a clique (correlated siblings).
+  bool found_pair = false;
+  for (const ProfileClique& c : p.cliques)
+    if (c.features.size() == 2 && c.features[0] == Tag(0) &&
+        c.features[1] == Tag(1)) {
+      found_pair = true;
+    }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST_F(RecsysFixture, CliqueMonthsTrackSourceObjects) {
+  const UserProfile p = builder_->Build(*corpus_, {0, 1, 4});
+  for (const ProfileClique& c : p.cliques) {
+    if (c.features == std::vector<FeatureKey>{Tag(0)}) {
+      // t0 appears in object 0 (month 0) and object 4 (month 1).
+      std::multiset<std::uint16_t> months(c.months.begin(), c.months.end());
+      EXPECT_EQ(months, (std::multiset<std::uint16_t>{0, 1}));
+    }
+    if (c.features == std::vector<FeatureKey>{Tag(2)}) {
+      ASSERT_EQ(c.months.size(), 1u);
+      EXPECT_EQ(c.months[0], 2u);
+    }
+  }
+}
+
+TEST_F(RecsysFixture, TypeMaskFiltersProfile) {
+  ProfileBuilderOptions options;
+  options.type_mask = core::kUserMask;
+  ProfileBuilder user_only(correlations_, options);
+  const UserProfile p = user_only.Build(*corpus_, {0, 1});
+  EXPECT_TRUE(p.cliques.empty());  // no user features in these objects
+  EXPECT_TRUE(p.merged.features.empty());
+}
+
+// ------------------------------------------------------------ Recommender
+
+TEST_F(RecsysFixture, DecayOneCountsOccurrences) {
+  const UserProfile p = builder_->Build(*corpus_, {0, 4});
+  FigRecommender rec(*corpus_, potential_, potential_, {.decay = 1.0});
+  // Object 2 contains t0 and t1; t0 has two profile occurrences. The score
+  // with delta=1 equals sum over cliques of count * phi, so it must exceed
+  // the single-occurrence score of the same evaluation on history {0}.
+  const UserProfile p_single = builder_->Build(*corpus_, {0});
+  const double two = rec.Score(p, corpus_->Object(2), 4);
+  const double one = rec.Score(p_single, corpus_->Object(2), 4);
+  EXPECT_GT(two, one);
+}
+
+TEST_F(RecsysFixture, DecayDemotesOldInterests) {
+  const UserProfile p = builder_->Build(*corpus_, {0, 1});
+  FigRecommender no_decay(*corpus_, potential_, potential_, {.decay = 1.0});
+  FigRecommender heavy_decay(*corpus_, potential_, potential_,
+                             {.decay = 0.2});
+  const std::uint16_t now = 4;
+  // Old-interest candidate (id 2, matches month-0 history) loses score
+  // under decay much faster than the recent-interest candidate (id 3,
+  // matches month-2 history).
+  const double old_nd = no_decay.Score(p, corpus_->Object(2), now);
+  const double old_d = heavy_decay.Score(p, corpus_->Object(2), now);
+  const double new_nd = no_decay.Score(p, corpus_->Object(3), now);
+  const double new_d = heavy_decay.Score(p, corpus_->Object(3), now);
+  ASSERT_GT(old_nd, 0.0);
+  ASSERT_GT(new_nd, 0.0);
+  EXPECT_NEAR(old_d / old_nd, std::pow(0.2, 4), 1e-9);   // age 4
+  EXPECT_NEAR(new_d / new_nd, std::pow(0.2, 2), 1e-9);   // age 2
+  EXPECT_LT(old_d / old_nd, new_d / new_nd);
+}
+
+TEST_F(RecsysFixture, RecommendRanksCandidates) {
+  const UserProfile p = builder_->Build(*corpus_, {0, 1});
+  FigRecommender rec(*corpus_, potential_, potential_, {.decay = 0.5});
+  const auto results = rec.Recommend(p, {2, 3, 6}, 3, 4);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 1; i < results.size(); ++i)
+    EXPECT_GE(results[i - 1].score, results[i].score);
+}
+
+TEST_F(RecsysFixture, NameReflectsVariant) {
+  FigRecommender fig(*corpus_, potential_, potential_, {.decay = 1.0});
+  FigRecommender fig_t(*corpus_, potential_, potential_, {.decay = 0.6});
+  EXPECT_EQ(fig.Name(), "FIG");
+  EXPECT_EQ(fig_t.Name(), "FIG-T");
+}
+
+// --------------------------------------------- End-to-end drift behaviour
+
+TEST(RecommenderDriftTest, DecayHelpsOnDriftingUsers) {
+  // Generated recommendation dataset with interest drift: FIG-T (delta<1)
+  // must beat plain FIG on mean Precision@10. This is the paper's Fig. 10
+  // effect at test scale.
+  corpus::GeneratorConfig config;
+  config.num_objects = 1200;
+  config.num_topics = 10;
+  config.num_users = 200;
+  config.visual_words = 64;
+  config.seed = 606;
+  corpus::RecommendationConfig rc;
+  rc.num_profile_users = 15;
+  rc.mean_favorites_per_month = 12.0;
+  corpus::Generator gen(config);
+  const corpus::RecommendationDataset ds = gen.MakeRecommendationDataset(rc);
+
+  index::EngineOptions eo;
+  eo.build_index = false;
+  index::FigRetrievalEngine engine(ds.corpus, eo);
+  ProfileBuilder builder(engine.Correlations());
+
+  auto precision_at_10 = [&](double decay) {
+    FigRecommender rec(ds.corpus, engine.ExactPotential(), engine.Potential(),
+                       {.decay = decay});
+    double total = 0.0;
+    std::size_t n = 0;
+    const std::uint16_t now =
+        std::uint16_t(config.num_months - 1);
+    for (const corpus::RecommendationUser& u : ds.users) {
+      if (u.profile.empty() || u.held_out.empty()) continue;
+      const UserProfile p = builder.Build(ds.corpus, u.profile);
+      const auto results = rec.Recommend(p, ds.candidates, 10, now);
+      const std::set<ObjectId> truth(u.held_out.begin(), u.held_out.end());
+      std::size_t hits = 0;
+      for (const auto& r : results)
+        if (truth.count(r.object)) ++hits;
+      total += double(hits) / 10.0;
+      ++n;
+    }
+    return n ? total / double(n) : 0.0;
+  };
+
+  const double fig = precision_at_10(1.0);
+  const double fig_t = precision_at_10(0.5);
+  EXPECT_GT(fig_t, 0.0);
+  EXPECT_GE(fig_t, fig);
+}
+
+}  // namespace
+}  // namespace figdb::recsys

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "social/user_graph.hpp"
+
+namespace figdb::social {
+namespace {
+
+class UserGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) users_[i] = graph_.AddUser();
+    for (int i = 0; i < 3; ++i) groups_[i] = graph_.AddGroup();
+    graph_.AddMembership(users_[0], groups_[0]);
+    graph_.AddMembership(users_[0], groups_[1]);
+    graph_.AddMembership(users_[1], groups_[1]);
+    graph_.AddMembership(users_[2], groups_[2]);
+    // users_[3] joins nothing.
+  }
+  UserGraph graph_;
+  UserId users_[4];
+  GroupId groups_[3];
+};
+
+TEST_F(UserGraphTest, Counts) {
+  EXPECT_EQ(graph_.UserCount(), 4u);
+  EXPECT_EQ(graph_.GroupCount(), 3u);
+}
+
+TEST_F(UserGraphTest, MembershipIsRecordedBothWays) {
+  ASSERT_EQ(graph_.GroupsOf(users_[0]).size(), 2u);
+  EXPECT_EQ(graph_.GroupsOf(users_[0])[0], groups_[0]);
+  ASSERT_EQ(graph_.MembersOf(groups_[1]).size(), 2u);
+  EXPECT_EQ(graph_.MembersOf(groups_[1])[0], users_[0]);
+  EXPECT_EQ(graph_.MembersOf(groups_[1])[1], users_[1]);
+}
+
+TEST_F(UserGraphTest, MembershipIsIdempotent) {
+  graph_.AddMembership(users_[0], groups_[0]);
+  EXPECT_EQ(graph_.GroupsOf(users_[0]).size(), 2u);
+  EXPECT_EQ(graph_.MembersOf(groups_[0]).size(), 1u);
+}
+
+TEST_F(UserGraphTest, SharesGroupMatchesPaperRule) {
+  EXPECT_TRUE(graph_.SharesGroup(users_[0], users_[1]));   // via group 1
+  EXPECT_TRUE(graph_.SharesGroup(users_[1], users_[0]));   // symmetric
+  EXPECT_FALSE(graph_.SharesGroup(users_[0], users_[2]));  // disjoint
+  EXPECT_FALSE(graph_.SharesGroup(users_[0], users_[3]));  // empty side
+  EXPECT_FALSE(graph_.SharesGroup(users_[3], users_[3]));  // both empty
+}
+
+TEST_F(UserGraphTest, GroupJaccard) {
+  // users 0 {g0,g1}, user 1 {g1}: intersection 1, union 2.
+  EXPECT_DOUBLE_EQ(graph_.GroupJaccard(users_[0], users_[1]), 0.5);
+  EXPECT_DOUBLE_EQ(graph_.GroupJaccard(users_[0], users_[0]), 1.0);
+  EXPECT_DOUBLE_EQ(graph_.GroupJaccard(users_[0], users_[2]), 0.0);
+  EXPECT_DOUBLE_EQ(graph_.GroupJaccard(users_[3], users_[3]), 0.0);
+}
+
+TEST_F(UserGraphTest, GroupsAreSorted) {
+  UserId u = graph_.AddUser();
+  GroupId extra = graph_.AddGroup();
+  graph_.AddMembership(u, extra);
+  graph_.AddMembership(u, groups_[0]);
+  const auto& g = graph_.GroupsOf(u);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_LT(g[0], g[1]);
+}
+
+}  // namespace
+}  // namespace figdb::social

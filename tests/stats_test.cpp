@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "corpus/corpus.hpp"
+#include "corpus/generator.hpp"
+#include "stats/correlation.hpp"
+#include "stats/cors.hpp"
+#include "stats/feature_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace figdb::stats {
+namespace {
+
+using corpus::FeatureKey;
+using corpus::FeatureType;
+using corpus::MakeFeatureKey;
+using corpus::MediaObject;
+
+const FeatureKey kTagA = MakeFeatureKey(FeatureType::kText, 0);
+const FeatureKey kTagB = MakeFeatureKey(FeatureType::kText, 1);
+const FeatureKey kVw0 = MakeFeatureKey(FeatureType::kVisual, 0);
+const FeatureKey kUser0 = MakeFeatureKey(FeatureType::kUser, 0);
+const FeatureKey kMissing = MakeFeatureKey(FeatureType::kText, 999);
+
+/// objects: o0={A:2, V0:1}, o1={A:1, B:1, U0:1}, o2={B:3}.
+corpus::Corpus MakeTinyCorpus() {
+  corpus::Corpus c;
+  MediaObject o0;
+  o0.features = {{kTagA, 2}, {kVw0, 1}};
+  o0.Normalize();
+  c.Add(std::move(o0));
+  MediaObject o1;
+  o1.features = {{kTagA, 1}, {kTagB, 1}, {kUser0, 1}};
+  o1.Normalize();
+  c.Add(std::move(o1));
+  MediaObject o2;
+  o2.features = {{kTagB, 3}};
+  o2.Normalize();
+  c.Add(std::move(o2));
+  return c;
+}
+
+// --------------------------------------------------------- FeatureMatrix
+
+TEST(FeatureMatrixTest, PostingsAreSortedAndComplete) {
+  const corpus::Corpus c = MakeTinyCorpus();
+  const FeatureMatrix m = FeatureMatrix::Build(c);
+  EXPECT_EQ(m.NumObjects(), 3u);
+  const auto& pa = m.Postings(kTagA);
+  ASSERT_EQ(pa.size(), 2u);
+  EXPECT_EQ(pa[0].object, 0u);
+  EXPECT_EQ(pa[0].frequency, 2u);
+  EXPECT_EQ(pa[1].object, 1u);
+  EXPECT_TRUE(m.Postings(kMissing).empty());
+  EXPECT_EQ(m.DocumentFrequency(kTagB), 2u);
+}
+
+TEST(FeatureMatrixTest, MeanOverAllObjects) {
+  const FeatureMatrix m = FeatureMatrix::Build(MakeTinyCorpus());
+  // kTagA frequencies over D: {2, 1, 0} -> mean 1.
+  EXPECT_DOUBLE_EQ(m.Mean(kTagA), 1.0);
+  EXPECT_DOUBLE_EQ(m.Mean(kMissing), 0.0);
+}
+
+TEST(FeatureMatrixTest, VarianceMatchesDefinition) {
+  const FeatureMatrix m = FeatureMatrix::Build(MakeTinyCorpus());
+  // kTagA: E[x^2] = (4+1)/3, mean 1 -> var = 5/3 - 1 = 2/3.
+  EXPECT_NEAR(m.Variance(kTagA), 2.0 / 3.0, 1e-12);
+  // kTagB: {0,1,3}: mean 4/3, E[x^2] = 10/3, var = 10/3 - 16/9 = 14/9.
+  EXPECT_NEAR(m.Variance(kTagB), 14.0 / 9.0, 1e-12);
+}
+
+TEST(FeatureMatrixTest, CosineEquationOne) {
+  const FeatureMatrix m = FeatureMatrix::Build(MakeTinyCorpus());
+  // A = (2,1,0), B = (0,1,3): dot = 1, |A| = sqrt5, |B| = sqrt10.
+  EXPECT_NEAR(m.Cosine(kTagA, kTagB), 1.0 / std::sqrt(50.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.Cosine(kTagA, kMissing), 0.0);
+  EXPECT_NEAR(m.Cosine(kTagA, kTagA), 1.0, 1e-12);
+  EXPECT_NEAR(m.Cosine(kTagA, kTagB), m.Cosine(kTagB, kTagA), 1e-15);
+}
+
+// ------------------------------------------------------ CorrelationModel
+
+class CorrelationModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = std::make_unique<corpus::Corpus>(MakeTinyCorpus());
+    corpus::Context& ctx = corpus_->MutableContext();
+    // Taxonomy: root -> animal -> {a, b}; terms 0 and 1 are siblings.
+    const auto root = ctx.taxonomy.AddRoot();
+    const auto animal = ctx.taxonomy.AddChild(root, "animal");
+    ctx.taxonomy.AttachTerm(0, ctx.taxonomy.AddChild(animal, "a"));
+    ctx.taxonomy.AttachTerm(1, ctx.taxonomy.AddChild(animal, "b"));
+    // Two visual words: identical centroid 0/1 except one coordinate.
+    vision::Descriptor d0{}, d1{};
+    d1[0] = 0.1f;
+    ctx.visual_vocabulary =
+        vision::VisualVocabulary::FromCentroids({d0, d1});
+    // Users 0 and 1 share a group; user 2 is isolated.
+    for (int i = 0; i < 3; ++i) ctx.user_graph.AddUser();
+    const auto g = ctx.user_graph.AddGroup();
+    ctx.user_graph.AddMembership(0, g);
+    ctx.user_graph.AddMembership(1, g);
+
+    matrix_ = std::make_shared<FeatureMatrix>(FeatureMatrix::Build(*corpus_));
+    model_ = std::make_unique<CorrelationModel>(corpus_->SharedContext(),
+                                                matrix_);
+  }
+  std::unique_ptr<corpus::Corpus> corpus_;
+  std::shared_ptr<FeatureMatrix> matrix_;
+  std::unique_ptr<CorrelationModel> model_;
+};
+
+TEST_F(CorrelationModelTest, SelfCorrelationIsOne) {
+  EXPECT_DOUBLE_EQ(model_->Cor(kTagA, kTagA), 1.0);
+}
+
+TEST_F(CorrelationModelTest, IntraTextUsesWup) {
+  // siblings at depth 3: 2*2/(3+3) = 2/3.
+  EXPECT_NEAR(model_->Cor(kTagA, kTagB), 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(model_->Correlated(kTagA, kTagB));  // above 0.55 default
+}
+
+TEST_F(CorrelationModelTest, IntraVisualUsesCentroidSimilarity) {
+  const FeatureKey v1 = MakeFeatureKey(FeatureType::kVisual, 1);
+  EXPECT_NEAR(model_->Cor(kVw0, v1), 1.0 / 1.1, 1e-7);
+  EXPECT_TRUE(model_->Correlated(kVw0, v1));
+}
+
+TEST_F(CorrelationModelTest, IntraUserSharedGroupRule) {
+  const FeatureKey u1 = MakeFeatureKey(FeatureType::kUser, 1);
+  const FeatureKey u2 = MakeFeatureKey(FeatureType::kUser, 2);
+  EXPECT_GT(model_->Cor(kUser0, u1), 0.0);
+  EXPECT_TRUE(model_->Correlated(kUser0, u1));
+  EXPECT_DOUBLE_EQ(model_->Cor(kUser0, u2), 0.0);
+  EXPECT_FALSE(model_->Correlated(kUser0, u2));
+}
+
+TEST_F(CorrelationModelTest, InterTypeUsesCosine) {
+  // kTagA = (2,1,0), kVw0 = (1,0,0): cos = 2/sqrt(5).
+  EXPECT_NEAR(model_->Cor(kTagA, kVw0), 2.0 / std::sqrt(5.0), 1e-12);
+  // Symmetry through the cache.
+  EXPECT_DOUBLE_EQ(model_->Cor(kTagA, kVw0), model_->Cor(kVw0, kTagA));
+}
+
+TEST_F(CorrelationModelTest, InterTypeNoCooccurrence) {
+  // kVw0 only in o0, kUser0 only in o1: disjoint supports.
+  EXPECT_DOUBLE_EQ(model_->Cor(kVw0, kUser0), 0.0);
+  EXPECT_FALSE(model_->Correlated(kVw0, kUser0));
+}
+
+TEST_F(CorrelationModelTest, ThresholdsPerKind) {
+  const CorrelationOptions& o = model_->Options();
+  EXPECT_DOUBLE_EQ(model_->ThresholdFor(kTagA, kTagB),
+                   o.text_text_threshold);
+  EXPECT_DOUBLE_EQ(model_->ThresholdFor(kTagA, kVw0),
+                   o.inter_type_threshold);
+  EXPECT_DOUBLE_EQ(model_->ThresholdFor(kUser0, kUser0),
+                   o.user_user_threshold);
+}
+
+// ------------------------------------------------------------------ CorS
+
+class CorSTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A random corpus with heavy feature reuse so intersections are
+    // non-trivial.
+    util::Rng rng(99);
+    for (int i = 0; i < 40; ++i) {
+      MediaObject obj;
+      const int n = 1 + int(rng.UniformInt(6));
+      for (int f = 0; f < n; ++f) {
+        obj.features.push_back(
+            {MakeFeatureKey(FeatureType::kText,
+                            std::uint32_t(rng.UniformInt(10))),
+             std::uint32_t(1 + rng.UniformInt(3))});
+      }
+      obj.Normalize();
+      corpus_.Add(std::move(obj));
+    }
+    matrix_ = std::make_shared<FeatureMatrix>(FeatureMatrix::Build(corpus_));
+    calc_ = std::make_unique<CorSCalculator>(matrix_);
+  }
+  corpus::Corpus corpus_;
+  std::shared_ptr<FeatureMatrix> matrix_;
+  std::unique_ptr<CorSCalculator> calc_;
+};
+
+TEST_F(CorSTest, SingleFeatureIsOne) {
+  EXPECT_DOUBLE_EQ(calc_->Compute({kTagA}), 1.0);
+  EXPECT_DOUBLE_EQ(calc_->ComputeBrute({kTagA}), 1.0);
+}
+
+TEST_F(CorSTest, FastMatchesBruteForPairs) {
+  for (std::uint32_t a = 0; a < 10; ++a) {
+    for (std::uint32_t b = a + 1; b < 10; ++b) {
+      const std::vector<FeatureKey> f = {
+          MakeFeatureKey(FeatureType::kText, a),
+          MakeFeatureKey(FeatureType::kText, b)};
+      EXPECT_NEAR(calc_->Compute(f), calc_->ComputeBrute(f), 1e-9)
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST_F(CorSTest, FastMatchesBruteForTriples) {
+  util::Rng rng(123);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<FeatureKey> f;
+    while (f.size() < 3) {
+      const FeatureKey k =
+          MakeFeatureKey(FeatureType::kText, std::uint32_t(rng.UniformInt(10)));
+      if (std::find(f.begin(), f.end(), k) == f.end()) f.push_back(k);
+    }
+    EXPECT_NEAR(calc_->Compute(f), calc_->ComputeBrute(f), 1e-9);
+  }
+}
+
+TEST_F(CorSTest, PairEqualsPearsonCorrelation) {
+  // For m=2 the normalised Eq. 8 is the Pearson correlation of the two
+  // occurrence vectors (clamped at 0); verify against a direct computation.
+  const std::vector<FeatureKey> f = {kTagA, kTagB};
+  std::vector<double> xa(corpus_.Size(), 0.0), xb(corpus_.Size(), 0.0);
+  for (const Posting& p : matrix_->Postings(kTagA))
+    xa[p.object] = p.frequency;
+  for (const Posting& p : matrix_->Postings(kTagB))
+    xb[p.object] = p.frequency;
+  const double n = double(corpus_.Size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < corpus_.Size(); ++i) {
+    ma += xa[i];
+    mb += xb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < corpus_.Size(); ++i) {
+    cov += (xa[i] - ma) * (xb[i] - mb);
+    va += (xa[i] - ma) * (xa[i] - ma);
+    vb += (xb[i] - mb) * (xb[i] - mb);
+  }
+  const double pearson = cov / std::sqrt(va * vb);
+  EXPECT_NEAR(calc_->Compute(f), std::max(0.0, pearson), 1e-9);
+}
+
+TEST_F(CorSTest, NonNegativeAndOrderInsensitive) {
+  const std::vector<FeatureKey> f1 = {kTagA, kTagB};
+  const std::vector<FeatureKey> f2 = {kTagB, kTagA};
+  EXPECT_GE(calc_->Compute(f1), 0.0);
+  EXPECT_DOUBLE_EQ(calc_->Compute(f1), calc_->Compute(f2));
+}
+
+TEST_F(CorSTest, ConstantFeatureGivesZero) {
+  // A feature present in EVERY object with the same frequency has zero
+  // variance -> weight 0.
+  corpus::Corpus c;
+  for (int i = 0; i < 5; ++i) {
+    MediaObject obj;
+    obj.features = {{kTagA, 1}, {kTagB, std::uint32_t(1 + i % 2)}};
+    obj.Normalize();
+    c.Add(std::move(obj));
+  }
+  auto m = std::make_shared<FeatureMatrix>(FeatureMatrix::Build(c));
+  CorSCalculator calc(m);
+  EXPECT_DOUBLE_EQ(calc.Compute({kTagA, kTagB}), 0.0);
+}
+
+TEST_F(CorSTest, PerfectlyCorrelatedPairIsOne) {
+  corpus::Corpus c;
+  for (int i = 0; i < 6; ++i) {
+    MediaObject obj;
+    if (i % 2 == 0) obj.features = {{kTagA, 1}, {kTagB, 1}};
+    obj.Normalize();
+    c.Add(std::move(obj));
+  }
+  auto m = std::make_shared<FeatureMatrix>(FeatureMatrix::Build(c));
+  CorSCalculator calc(m);
+  EXPECT_NEAR(calc.Compute({kTagA, kTagB}), 1.0, 1e-9);
+}
+
+TEST_F(CorSTest, AntiCorrelatedPairClampsToZero) {
+  corpus::Corpus c;
+  for (int i = 0; i < 6; ++i) {
+    MediaObject obj;
+    if (i % 2 == 0) {
+      obj.features = {{kTagA, 1}};
+    } else {
+      obj.features = {{kTagB, 1}};
+    }
+    obj.Normalize();
+    c.Add(std::move(obj));
+  }
+  auto m = std::make_shared<FeatureMatrix>(FeatureMatrix::Build(c));
+  CorSCalculator calc(m);
+  EXPECT_DOUBLE_EQ(calc.Compute({kTagA, kTagB}), 0.0);
+}
+
+TEST_F(CorSTest, CacheGrowsOncePerCliqueSet) {
+  calc_->Compute({kTagA, kTagB});
+  const std::size_t size = calc_->CacheSize();
+  calc_->Compute({kTagB, kTagA});
+  EXPECT_EQ(calc_->CacheSize(), size);
+}
+
+}  // namespace
+}  // namespace figdb::stats

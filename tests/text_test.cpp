@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "text/porter_stemmer.hpp"
+#include "text/stopwords.hpp"
+#include "text/taxonomy.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
+
+namespace figdb::text {
+namespace {
+
+// ----------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("Hamster, eating BROCCOLI!");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hamster");
+  EXPECT_EQ(tokens[1], "eating");
+  EXPECT_EQ(tokens[2], "broccoli");
+}
+
+TEST(TokenizerTest, DropsPureNumbersByDefault) {
+  Tokenizer t;
+  const auto tokens = t.Tokenize("sunset 2008 4x4");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "sunset");
+  EXPECT_EQ(tokens[1], "4x4");
+}
+
+TEST(TokenizerTest, KeepsNumbersWhenConfigured) {
+  Tokenizer t({.require_alpha = false});
+  EXPECT_EQ(t.Tokenize("2008").size(), 1u);
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  Tokenizer t({.min_token_length = 4});
+  const auto tokens = t.Tokenize("cat hamster dog bird");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "hamster");
+  EXPECT_EQ(tokens[1], "bird");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  ,.!  ").empty());
+}
+
+// -------------------------------------------------------------- Porter
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterStemmerParamTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerParamTest, KnownStems) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem(GetParam().word), GetParam().stem);
+}
+
+// Reference pairs from Porter's published vocabulary output.
+INSTANTIATE_TEST_SUITE_P(
+    Vocabulary, PorterStemmerParamTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication",
+                                                        "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti",
+                                                    "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti",
+                                                  "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous",
+                                                    "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize",
+                                                  "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("at"), "at");
+  EXPECT_EQ(stemmer.Stem("by"), "by");
+}
+
+TEST(PorterStemmerTest, PluralCollapsesToSingular) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("hamsters"), stemmer.Stem("hamster"));
+  EXPECT_EQ(stemmer.Stem("sunsets"), stemmer.Stem("sunset"));
+}
+
+// ----------------------------------------------------------- Stopwords
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("with"));
+  EXPECT_TRUE(IsStopword("very"));
+}
+
+TEST(StopwordsTest, ContentWordsAreNot) {
+  EXPECT_FALSE(IsStopword("hamster"));
+  EXPECT_FALSE(IsStopword("sunset"));
+  EXPECT_FALSE(IsStopword(""));
+}
+
+TEST(StopwordsTest, ListIsSubstantial) {
+  EXPECT_GE(StopwordCount(), 150u);
+}
+
+// ---------------------------------------------------------- Vocabulary
+
+TEST(VocabularyTest, InterningAndFrequency) {
+  Vocabulary v;
+  const TermId a = v.AddOccurrence("sunset");
+  const TermId b = v.AddOccurrence("beach");
+  const TermId a2 = v.AddOccurrence("sunset", 3);
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Frequency(a), 4u);
+  EXPECT_EQ(v.Frequency(b), 1u);
+  EXPECT_EQ(v.TermOf(a), "sunset");
+  EXPECT_EQ(v.Lookup("beach"), b);
+  EXPECT_EQ(v.Lookup("missing"), kInvalidTerm);
+}
+
+TEST(VocabularyTest, PruneDropsRareTerms) {
+  Vocabulary v;
+  v.AddOccurrence("common", 10);
+  v.AddOccurrence("rare", 2);
+  v.AddOccurrence("medium", 5);
+  const auto remap = v.Prune(5);
+  ASSERT_EQ(remap.size(), 3u);
+  EXPECT_NE(remap[0], kInvalidTerm);
+  EXPECT_EQ(remap[1], kInvalidTerm);
+  EXPECT_NE(remap[2], kInvalidTerm);
+  EXPECT_EQ(v.Size(), 2u);
+  EXPECT_EQ(v.Lookup("rare"), kInvalidTerm);
+  EXPECT_EQ(v.TermOf(v.Lookup("medium")), "medium");
+  EXPECT_EQ(v.Frequency(v.Lookup("common")), 10u);
+}
+
+TEST(VocabularyTest, PruneKeepsIdsDense) {
+  Vocabulary v;
+  for (int i = 0; i < 10; ++i)
+    v.AddOccurrence("t" + std::to_string(i), i % 2 == 0 ? 10 : 1);
+  v.Prune(5);
+  EXPECT_EQ(v.Size(), 5u);
+  for (TermId id = 0; id < 5; ++id) EXPECT_FALSE(v.TermOf(id).empty());
+}
+
+// ------------------------------------------------------------ Taxonomy
+
+class TaxonomyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = tax_.AddRoot();
+    animal_ = tax_.AddChild(root_, "animal");
+    plant_ = tax_.AddChild(root_, "plant");
+    rodent_ = tax_.AddChild(animal_, "rodent");
+    hamster_ = tax_.AddChild(rodent_, "hamster");
+    mouse_ = tax_.AddChild(rodent_, "mouse");
+    tree_ = tax_.AddChild(plant_, "tree");
+  }
+  Taxonomy tax_;
+  NodeId root_, animal_, plant_, rodent_, hamster_, mouse_, tree_;
+};
+
+TEST_F(TaxonomyTest, Depths) {
+  EXPECT_EQ(tax_.Depth(root_), 1u);
+  EXPECT_EQ(tax_.Depth(animal_), 2u);
+  EXPECT_EQ(tax_.Depth(hamster_), 4u);
+}
+
+TEST_F(TaxonomyTest, LcsSiblings) {
+  EXPECT_EQ(tax_.LowestCommonSubsumer(hamster_, mouse_), rodent_);
+  EXPECT_EQ(tax_.LowestCommonSubsumer(hamster_, tree_), root_);
+  EXPECT_EQ(tax_.LowestCommonSubsumer(hamster_, hamster_), hamster_);
+  EXPECT_EQ(tax_.LowestCommonSubsumer(hamster_, animal_), animal_);
+}
+
+TEST_F(TaxonomyTest, WupIdentityIsOne) {
+  EXPECT_DOUBLE_EQ(tax_.Wup(hamster_, hamster_), 1.0);
+}
+
+TEST_F(TaxonomyTest, WupKnownValues) {
+  // Siblings under rodent (depth 3): 2*3 / (4+4).
+  EXPECT_DOUBLE_EQ(tax_.Wup(hamster_, mouse_), 0.75);
+  // Across domains: LCS is the root (depth 1): 2*1 / (4+3).
+  EXPECT_DOUBLE_EQ(tax_.Wup(hamster_, tree_), 2.0 / 7.0);
+}
+
+TEST_F(TaxonomyTest, WupCloserPairsScoreHigher) {
+  EXPECT_GT(tax_.Wup(hamster_, mouse_), tax_.Wup(hamster_, tree_));
+  EXPECT_GT(tax_.Wup(hamster_, rodent_), tax_.Wup(hamster_, animal_));
+}
+
+TEST_F(TaxonomyTest, WupSymmetric) {
+  EXPECT_DOUBLE_EQ(tax_.Wup(hamster_, tree_), tax_.Wup(tree_, hamster_));
+}
+
+TEST_F(TaxonomyTest, TermAttachment) {
+  tax_.AttachTerm(42, hamster_);
+  EXPECT_EQ(tax_.NodeOfTerm(42), hamster_);
+  EXPECT_EQ(tax_.NodeOfTerm(43), kInvalidNode);
+  EXPECT_DOUBLE_EQ(tax_.WupTerms(42, 42), 1.0);
+  EXPECT_DOUBLE_EQ(tax_.WupTerms(42, 43), 0.0);
+  tax_.AttachTerm(43, mouse_);
+  EXPECT_DOUBLE_EQ(tax_.WupTerms(42, 43), 0.75);
+}
+
+}  // namespace
+}  // namespace figdb::text

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/sparse_vector.hpp"
+#include "util/string_util.hpp"
+#include "util/top_k.hpp"
+
+namespace figdb::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.Next() == b.Next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsSane) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(17);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.Poisson(6.5);
+  EXPECT_NEAR(total / n, 6.5, 0.15);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(17);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(19);
+  double total = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) total += rng.Poisson(200.0);
+  EXPECT_NEAR(total / n, 200.0, 2.0);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(double(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowRanks) {
+  Rng rng(29);
+  int low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t r = rng.Zipf(100, 1.0);
+    EXPECT_LT(r, 100u);
+    if (r < 10) ++low;
+    if (r >= 90) ++high;
+  }
+  EXPECT_GT(low, 5 * high);
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(31);
+  for (double alpha : {0.1, 1.0, 10.0}) {
+    const auto v = rng.Dirichlet(6, alpha);
+    ASSERT_EQ(v.size(), 6u);
+    double total = 0.0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(RngTest, GammaMeanEqualsShape) {
+  Rng rng(37);
+  for (double shape : {0.5, 2.0, 9.0}) {
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) total += rng.Gamma(shape);
+    EXPECT_NEAR(total / n, shape, 0.1 * shape + 0.05);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  const auto s = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  std::set<std::size_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 30u);
+  for (std::size_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(43);
+  const auto s = rng.SampleWithoutReplacement(10, 25);
+  ASSERT_EQ(s.size(), 10u);
+  std::set<std::size_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng child = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.Next() == child.Next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+// ---------------------------------------------------------------- TopK
+
+TEST(TopKTest, KeepsLargest) {
+  TopK<std::uint32_t> topk(3);
+  for (std::uint32_t i = 0; i < 10; ++i) topk.Offer(double(i), i);
+  const auto r = topk.Take();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].id, 9u);
+  EXPECT_EQ(r[1].id, 8u);
+  EXPECT_EQ(r[2].id, 7u);
+}
+
+TEST(TopKTest, TieBreaksTowardsSmallerId) {
+  TopK<std::uint32_t> topk(2);
+  topk.Offer(1.0, 5);
+  topk.Offer(1.0, 3);
+  topk.Offer(1.0, 9);
+  const auto r = topk.Take();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].id, 3u);
+  EXPECT_EQ(r[1].id, 5u);
+}
+
+TEST(TopKTest, KthScoreIsThreshold) {
+  TopK<std::uint32_t> topk(2);
+  EXPECT_EQ(topk.KthScore(), -std::numeric_limits<double>::infinity());
+  topk.Offer(5.0, 1);
+  EXPECT_EQ(topk.KthScore(), -std::numeric_limits<double>::infinity());
+  topk.Offer(3.0, 2);
+  EXPECT_DOUBLE_EQ(topk.KthScore(), 3.0);
+  topk.Offer(4.0, 3);
+  EXPECT_DOUBLE_EQ(topk.KthScore(), 4.0);
+}
+
+TEST(TopKTest, ZeroCapacity) {
+  TopK<std::uint32_t> topk(0);
+  topk.Offer(1.0, 1);
+  EXPECT_TRUE(topk.Take().empty());
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomInput) {
+  Rng rng(61);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.UniformInt(200);
+    const std::size_t k = 1 + rng.UniformInt(20);
+    std::vector<std::pair<double, std::uint32_t>> items;
+    TopK<std::uint32_t> topk(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Coarse scores force ties to exercise the tie-break rule.
+      const double s = double(rng.UniformInt(10));
+      items.push_back({s, std::uint32_t(i)});
+      topk.Offer(s, std::uint32_t(i));
+    }
+    std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    const auto r = topk.Take();
+    ASSERT_EQ(r.size(), std::min(k, n));
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      EXPECT_DOUBLE_EQ(r[i].score, items[i].first);
+      EXPECT_EQ(r[i].id, items[i].second);
+    }
+  }
+}
+
+// -------------------------------------------------------- SparseVector
+
+TEST(SparseVectorTest, FinalizeMergesDuplicates) {
+  SparseVector v;
+  v.Add(3, 1.0f);
+  v.Add(1, 2.0f);
+  v.Add(3, 4.0f);
+  v.Finalize();
+  EXPECT_EQ(v.NonZeros(), 2u);
+  EXPECT_FLOAT_EQ(v.Get(3), 5.0f);
+  EXPECT_FLOAT_EQ(v.Get(1), 2.0f);
+  EXPECT_FLOAT_EQ(v.Get(2), 0.0f);
+}
+
+TEST(SparseVectorTest, FinalizeDropsZeroSums) {
+  SparseVector v;
+  v.Add(2, 1.0f);
+  v.Add(2, -1.0f);
+  v.Finalize();
+  EXPECT_TRUE(v.Empty());
+}
+
+TEST(SparseVectorTest, DotDisjointIsZero) {
+  SparseVector a, b;
+  a.Add(1, 1.0f);
+  b.Add(2, 1.0f);
+  a.Finalize();
+  b.Finalize();
+  EXPECT_DOUBLE_EQ(SparseVector::Dot(a, b), 0.0);
+}
+
+TEST(SparseVectorTest, CosineSelfIsOne) {
+  SparseVector a;
+  a.Add(1, 3.0f);
+  a.Add(7, 4.0f);
+  a.Finalize();
+  EXPECT_NEAR(SparseVector::Cosine(a, a), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, CosineBounds) {
+  Rng rng(67);
+  for (int round = 0; round < 50; ++round) {
+    SparseVector a, b;
+    for (int i = 0; i < 20; ++i) {
+      a.Add(std::uint32_t(rng.UniformInt(30)),
+            float(rng.UniformReal(0.0, 5.0)));
+      b.Add(std::uint32_t(rng.UniformInt(30)),
+            float(rng.UniformReal(0.0, 5.0)));
+    }
+    a.Finalize();
+    b.Finalize();
+    const double c = SparseVector::Cosine(a, b);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    EXPECT_NEAR(c, SparseVector::Cosine(b, a), 1e-12);
+  }
+}
+
+TEST(SparseVectorTest, EmptyCosineIsZero) {
+  SparseVector a, b;
+  a.Add(1, 1.0f);
+  a.Finalize();
+  EXPECT_DOUBLE_EQ(SparseVector::Cosine(a, b), 0.0);
+}
+
+TEST(SparseVectorTest, AddScaledMatchesDense) {
+  Rng rng(71);
+  SparseVector a, b;
+  double dense_a[40] = {0}, dense_b[40] = {0};
+  for (int i = 0; i < 15; ++i) {
+    const std::uint32_t da = std::uint32_t(rng.UniformInt(40));
+    const std::uint32_t db = std::uint32_t(rng.UniformInt(40));
+    const float va = float(rng.UniformReal(-2.0, 2.0));
+    const float vb = float(rng.UniformReal(-2.0, 2.0));
+    a.Add(da, va);
+    dense_a[da] += va;
+    b.Add(db, vb);
+    dense_b[db] += vb;
+  }
+  a.Finalize();
+  b.Finalize();
+  a.AddScaled(b, 2.5f);
+  for (std::uint32_t d = 0; d < 40; ++d)
+    EXPECT_NEAR(a.Get(d), dense_a[d] + 2.5 * dense_b[d], 1e-5);
+}
+
+TEST(SparseVectorTest, NormAndSum) {
+  SparseVector v;
+  v.Add(0, 3.0f);
+  v.Add(9, 4.0f);
+  v.Finalize();
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), 7.0);
+}
+
+// --------------------------------------------------------- StringUtil
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("HaMsTeR 42!"), "hamster 42!");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  const auto parts = Split("a,,b, c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(Format("%d-%s", 7, "ok"), "7-ok");
+}
+
+}  // namespace
+}  // namespace figdb::util

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "vision/block_features.hpp"
+#include "vision/image.hpp"
+#include "vision/image_synth.hpp"
+#include "vision/kmeans.hpp"
+#include "vision/visual_vocabulary.hpp"
+
+namespace figdb::vision {
+namespace {
+
+Image MakeConstantImage(std::size_t w, std::size_t h, float value) {
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x) img.At(x, y) = value;
+  return img;
+}
+
+// ----------------------------------------------------------------- Image
+
+TEST(ImageTest, ClampBoundsPixels) {
+  Image img(4, 4);
+  img.At(0, 0) = -2.0f;
+  img.At(1, 1) = 3.0f;
+  img.Clamp();
+  EXPECT_FLOAT_EQ(img.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.At(1, 1), 1.0f);
+}
+
+// -------------------------------------------------------- BlockFeatures
+
+TEST(BlockFeaturesTest, ConstantBlockHasNoTexture) {
+  const Image img = MakeConstantImage(16, 16, 0.5f);
+  BlockFeatureExtractor ex;
+  const Descriptor d = ex.ExtractBlock(img, 0, 0);
+  for (int i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(d[i], 0.0f);  // no gradients
+  EXPECT_NEAR(d[12], 0.5, 1e-6);                            // mean
+  EXPECT_NEAR(d[13], 0.0, 1e-6);                            // stddev
+  EXPECT_NEAR(d[14], 0.0, 1e-6);
+  EXPECT_NEAR(d[15], 0.0, 1e-6);
+}
+
+TEST(BlockFeaturesTest, HorizontalGradientShowsInDx) {
+  Image img(16, 16);
+  for (std::size_t y = 0; y < 16; ++y)
+    for (std::size_t x = 0; x < 16; ++x)
+      img.At(x, y) = float(x) / 15.0f;
+  BlockFeatureExtractor ex;
+  const Descriptor d = ex.ExtractBlock(img, 0, 0);
+  EXPECT_GT(d[14], 5.0 * std::max(1e-9f, d[15]));  // |dx| dominates |dy|
+}
+
+TEST(BlockFeaturesTest, VerticalGradientShowsInDy) {
+  Image img(16, 16);
+  for (std::size_t y = 0; y < 16; ++y)
+    for (std::size_t x = 0; x < 16; ++x)
+      img.At(x, y) = float(y) / 15.0f;
+  BlockFeatureExtractor ex;
+  const Descriptor d = ex.ExtractBlock(img, 0, 0);
+  EXPECT_GT(d[15], 5.0 * std::max(1e-9f, d[14]));
+}
+
+TEST(BlockFeaturesTest, GradientHistogramIsNormalized) {
+  util::Rng rng(5);
+  Image img(16, 16);
+  for (std::size_t y = 0; y < 16; ++y)
+    for (std::size_t x = 0; x < 16; ++x)
+      img.At(x, y) = float(rng.UniformReal());
+  BlockFeatureExtractor ex;
+  const Descriptor d = ex.ExtractBlock(img, 0, 0);
+  double mass = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GE(d[i], 0.0f);
+    mass += d[i];
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-5);
+}
+
+TEST(BlockFeaturesTest, QuadrantMeansSeparate) {
+  Image img(16, 16);
+  for (std::size_t y = 0; y < 16; ++y)
+    for (std::size_t x = 0; x < 16; ++x)
+      img.At(x, y) = (x < 8 && y < 8) ? 1.0f : 0.0f;
+  BlockFeatureExtractor ex;
+  const Descriptor d = ex.ExtractBlock(img, 0, 0);
+  EXPECT_NEAR(d[8], 1.0, 1e-6);   // top-left quadrant
+  EXPECT_NEAR(d[9], 0.0, 1e-6);
+  EXPECT_NEAR(d[10], 0.0, 1e-6);
+  EXPECT_NEAR(d[11], 0.0, 1e-6);
+}
+
+TEST(BlockFeaturesTest, GridCountAndEdgeDrop) {
+  BlockFeatureExtractor ex;
+  EXPECT_EQ(ex.Extract(MakeConstantImage(64, 48, 0.1f)).size(), 4u * 3u);
+  EXPECT_EQ(ex.Extract(MakeConstantImage(70, 70, 0.1f)).size(), 4u * 4u);
+  EXPECT_TRUE(ex.Extract(MakeConstantImage(8, 8, 0.1f)).empty());
+}
+
+TEST(BlockFeaturesTest, Deterministic) {
+  const Image img = MakeConstantImage(32, 32, 0.3f);
+  BlockFeatureExtractor ex;
+  const auto a = ex.Extract(img);
+  const auto b = ex.Extract(img);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(0.0, DescriptorDistanceSquared(a[i], b[i]));
+}
+
+// ---------------------------------------------------------------- KMeans
+
+std::vector<float> MakeThreeClusters(std::size_t per_cluster,
+                                     std::size_t dim, util::Rng* rng) {
+  std::vector<float> data;
+  const double centers[3] = {0.0, 10.0, 20.0};
+  for (int c = 0; c < 3; ++c)
+    for (std::size_t i = 0; i < per_cluster; ++i)
+      for (std::size_t d = 0; d < dim; ++d)
+        data.push_back(float(centers[c] + rng->Gaussian(0.0, 0.3)));
+  return data;
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  util::Rng rng(3);
+  const auto data = MakeThreeClusters(50, 4, &rng);
+  const KMeansResult r = KMeans(data, 4, {.k = 3, .max_iterations = 30});
+  ASSERT_EQ(r.assignments.size(), 150u);
+  // All points of one true cluster share an assignment.
+  for (int c = 0; c < 3; ++c) {
+    const std::uint32_t label = r.assignments[c * 50];
+    for (int i = 0; i < 50; ++i)
+      EXPECT_EQ(r.assignments[c * 50 + i], label);
+  }
+  // The three labels are distinct.
+  EXPECT_NE(r.assignments[0], r.assignments[50]);
+  EXPECT_NE(r.assignments[50], r.assignments[100]);
+  EXPECT_NE(r.assignments[0], r.assignments[100]);
+}
+
+TEST(KMeansTest, AssignmentsPointToNearestCentroid) {
+  util::Rng rng(5);
+  std::vector<float> data;
+  for (int i = 0; i < 200; ++i)
+    data.push_back(float(rng.UniformReal(0.0, 1.0)));
+  const KMeansResult r = KMeans(data, 2, {.k = 5, .max_iterations = 20});
+  const std::size_t k = r.centroids.size() / 2;
+  for (std::size_t i = 0; i < 100; ++i) {
+    double best = 1e300;
+    std::uint32_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      double s = 0.0;
+      for (int d = 0; d < 2; ++d) {
+        const double diff = data[i * 2 + d] - r.centroids[c * 2 + d];
+        s += diff * diff;
+      }
+      if (s < best) {
+        best = s;
+        best_c = std::uint32_t(c);
+      }
+    }
+    EXPECT_EQ(r.assignments[i], best_c);
+  }
+}
+
+TEST(KMeansTest, FewerPointsThanK) {
+  std::vector<float> data = {0.0f, 1.0f, 2.0f};  // 3 points, dim 1
+  const KMeansResult r = KMeans(data, 1, {.k = 10, .max_iterations = 5});
+  EXPECT_EQ(r.centroids.size(), 3u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, EmptyInput) {
+  const KMeansResult r = KMeans({}, 4, {.k = 3});
+  EXPECT_TRUE(r.centroids.empty());
+  EXPECT_TRUE(r.assignments.empty());
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  util::Rng rng(7);
+  const auto data = MakeThreeClusters(30, 3, &rng);
+  const KMeansResult a = KMeans(data, 3, {.k = 4, .seed = 11});
+  const KMeansResult b = KMeans(data, 3, {.k = 4, .seed = 11});
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeansTest, MoreIterationsNeverWorsenInertia) {
+  util::Rng rng(9);
+  std::vector<float> data;
+  for (int i = 0; i < 600; ++i) data.push_back(float(rng.Gaussian()));
+  const KMeansResult one = KMeans(data, 3, {.k = 8, .max_iterations = 1,
+                                            .seed = 2});
+  const KMeansResult many = KMeans(data, 3, {.k = 8, .max_iterations = 20,
+                                             .seed = 2});
+  EXPECT_LE(many.inertia, one.inertia + 1e-9);
+}
+
+// ----------------------------------------------------- VisualVocabulary
+
+TEST(VisualVocabularyTest, QuantizeReturnsNearest) {
+  Descriptor a{}, b{};
+  a.fill(0.0f);
+  b.fill(1.0f);
+  const VisualVocabulary vocab = VisualVocabulary::FromCentroids({a, b});
+  Descriptor probe{};
+  probe.fill(0.2f);
+  EXPECT_EQ(vocab.Quantize(probe), 0u);
+  probe.fill(0.8f);
+  EXPECT_EQ(vocab.Quantize(probe), 1u);
+}
+
+TEST(VisualVocabularyTest, SimilarityProperties) {
+  Descriptor a{}, b{};
+  a.fill(0.0f);
+  b.fill(1.0f);
+  const VisualVocabulary vocab = VisualVocabulary::FromCentroids({a, b});
+  EXPECT_DOUBLE_EQ(vocab.Similarity(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(vocab.Similarity(0, 1), vocab.Similarity(1, 0));
+  EXPECT_LT(vocab.Similarity(0, 1), 1.0);
+  EXPECT_GT(vocab.Similarity(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(vocab.Distance(0, 1), 4.0);  // sqrt(16 * 1)
+}
+
+TEST(VisualVocabularyTest, BuildFromDescriptors) {
+  util::Rng rng(13);
+  std::vector<Descriptor> descriptors;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      Descriptor d{};
+      for (auto& x : d)
+        x = float(c * 2.0 + rng.Gaussian(0.0, 0.05));
+      descriptors.push_back(d);
+    }
+  }
+  const VisualVocabulary vocab = VisualVocabulary::Build(
+      descriptors, {.k = 3, .max_iterations = 20});
+  EXPECT_EQ(vocab.WordCount(), 3u);
+  // Same-cluster descriptors quantise to the same word.
+  EXPECT_EQ(vocab.Quantize(descriptors[0]), vocab.Quantize(descriptors[10]));
+  EXPECT_NE(vocab.Quantize(descriptors[0]), vocab.Quantize(descriptors[50]));
+}
+
+// ------------------------------------------------------------ Synthesizer
+
+TEST(SynthesizerTest, RendersRequestedSize) {
+  Synthesizer synth(4, {.image_width = 64, .image_height = 48});
+  util::Rng rng(1);
+  const Image img = synth.Render({1.0, 0.0, 0.0, 0.0}, &rng);
+  EXPECT_EQ(img.Width(), 64u);
+  EXPECT_EQ(img.Height(), 48u);
+}
+
+TEST(SynthesizerTest, PixelsWithinRange) {
+  Synthesizer synth(2, {});
+  util::Rng rng(2);
+  const Image img = synth.Render({0.5, 0.5}, &rng);
+  for (float p : img.Pixels()) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(SynthesizerTest, SameTopicImagesCloserThanCrossTopic) {
+  // The whole point of the substrate: descriptors of same-topic images are
+  // nearer (on average) than descriptors of different-topic images.
+  Synthesizer synth(2, {.pixel_noise = 0.02, .seed = 3});
+  BlockFeatureExtractor ex;
+  util::Rng rng(4);
+  auto mean_descriptor = [&](const std::vector<double>& weights) {
+    Descriptor acc{};
+    const Image img = synth.Render(weights, &rng);
+    const auto ds = ex.Extract(img);
+    for (const Descriptor& d : ds)
+      for (std::size_t i = 0; i < kDescriptorDim; ++i) acc[i] += d[i];
+    for (auto& x : acc) x /= float(ds.size());
+    return acc;
+  };
+  const Descriptor t0a = mean_descriptor({1.0, 0.0});
+  const Descriptor t0b = mean_descriptor({1.0, 0.0});
+  const Descriptor t1 = mean_descriptor({0.0, 1.0});
+  EXPECT_LT(DescriptorDistanceSquared(t0a, t0b),
+            DescriptorDistanceSquared(t0a, t1));
+}
+
+}  // namespace
+}  // namespace figdb::vision
