@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_decay_parameter.dir/fig10_decay_parameter.cpp.o"
+  "CMakeFiles/fig10_decay_parameter.dir/fig10_decay_parameter.cpp.o.d"
+  "fig10_decay_parameter"
+  "fig10_decay_parameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_decay_parameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_decay_parameter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_recommendation.dir/fig11_recommendation.cpp.o"
+  "CMakeFiles/fig11_recommendation.dir/fig11_recommendation.cpp.o.d"
+  "fig11_recommendation"
+  "fig11_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_feature_combinations.cpp" "bench/CMakeFiles/fig5_feature_combinations.dir/fig5_feature_combinations.cpp.o" "gcc" "bench/CMakeFiles/fig5_feature_combinations.dir/fig5_feature_combinations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/figdb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/figdb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/figdb_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/figdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/figdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/figdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/figdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/figdb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/figdb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/figdb_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/figdb_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/figdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

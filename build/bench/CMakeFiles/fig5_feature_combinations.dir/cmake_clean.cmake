@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_feature_combinations.dir/fig5_feature_combinations.cpp.o"
+  "CMakeFiles/fig5_feature_combinations.dir/fig5_feature_combinations.cpp.o.d"
+  "fig5_feature_combinations"
+  "fig5_feature_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_feature_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

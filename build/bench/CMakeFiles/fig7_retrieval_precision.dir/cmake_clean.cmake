@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_retrieval_precision.dir/fig7_retrieval_precision.cpp.o"
+  "CMakeFiles/fig7_retrieval_precision.dir/fig7_retrieval_precision.cpp.o.d"
+  "fig7_retrieval_precision"
+  "fig7_retrieval_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_retrieval_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/figdb_bench_common.dir/bench_common.cpp.o.d"
+  "libfigdb_bench_common.a"
+  "libfigdb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_shell.dir/figdb_shell.cpp.o"
+  "CMakeFiles/figdb_shell.dir/figdb_shell.cpp.o.d"
+  "figdb_shell"
+  "figdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

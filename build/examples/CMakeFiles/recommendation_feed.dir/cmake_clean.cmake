@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommendation_feed.dir/recommendation_feed.cpp.o"
+  "CMakeFiles/recommendation_feed.dir/recommendation_feed.cpp.o.d"
+  "recommendation_feed"
+  "recommendation_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommendation_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

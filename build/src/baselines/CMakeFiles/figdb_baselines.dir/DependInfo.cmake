@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/feature_vectors.cpp" "src/baselines/CMakeFiles/figdb_baselines.dir/feature_vectors.cpp.o" "gcc" "src/baselines/CMakeFiles/figdb_baselines.dir/feature_vectors.cpp.o.d"
+  "/root/repo/src/baselines/lsa.cpp" "src/baselines/CMakeFiles/figdb_baselines.dir/lsa.cpp.o" "gcc" "src/baselines/CMakeFiles/figdb_baselines.dir/lsa.cpp.o.d"
+  "/root/repo/src/baselines/rankboost.cpp" "src/baselines/CMakeFiles/figdb_baselines.dir/rankboost.cpp.o" "gcc" "src/baselines/CMakeFiles/figdb_baselines.dir/rankboost.cpp.o.d"
+  "/root/repo/src/baselines/tensor_product.cpp" "src/baselines/CMakeFiles/figdb_baselines.dir/tensor_product.cpp.o" "gcc" "src/baselines/CMakeFiles/figdb_baselines.dir/tensor_product.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/figdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/figdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/figdb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/figdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/figdb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/figdb_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/figdb_social.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_baselines.dir/feature_vectors.cpp.o"
+  "CMakeFiles/figdb_baselines.dir/feature_vectors.cpp.o.d"
+  "CMakeFiles/figdb_baselines.dir/lsa.cpp.o"
+  "CMakeFiles/figdb_baselines.dir/lsa.cpp.o.d"
+  "CMakeFiles/figdb_baselines.dir/rankboost.cpp.o"
+  "CMakeFiles/figdb_baselines.dir/rankboost.cpp.o.d"
+  "CMakeFiles/figdb_baselines.dir/tensor_product.cpp.o"
+  "CMakeFiles/figdb_baselines.dir/tensor_product.cpp.o.d"
+  "libfigdb_baselines.a"
+  "libfigdb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

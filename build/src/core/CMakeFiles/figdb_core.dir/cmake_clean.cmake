@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_core.dir/clique.cpp.o"
+  "CMakeFiles/figdb_core.dir/clique.cpp.o.d"
+  "CMakeFiles/figdb_core.dir/fig.cpp.o"
+  "CMakeFiles/figdb_core.dir/fig.cpp.o.d"
+  "CMakeFiles/figdb_core.dir/lambda_trainer.cpp.o"
+  "CMakeFiles/figdb_core.dir/lambda_trainer.cpp.o.d"
+  "CMakeFiles/figdb_core.dir/potential.cpp.o"
+  "CMakeFiles/figdb_core.dir/potential.cpp.o.d"
+  "CMakeFiles/figdb_core.dir/similarity.cpp.o"
+  "CMakeFiles/figdb_core.dir/similarity.cpp.o.d"
+  "libfigdb_core.a"
+  "libfigdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

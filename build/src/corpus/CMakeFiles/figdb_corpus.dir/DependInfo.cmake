@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cpp" "src/corpus/CMakeFiles/figdb_corpus.dir/corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/figdb_corpus.dir/corpus.cpp.o.d"
+  "/root/repo/src/corpus/generator.cpp" "src/corpus/CMakeFiles/figdb_corpus.dir/generator.cpp.o" "gcc" "src/corpus/CMakeFiles/figdb_corpus.dir/generator.cpp.o.d"
+  "/root/repo/src/corpus/media_object.cpp" "src/corpus/CMakeFiles/figdb_corpus.dir/media_object.cpp.o" "gcc" "src/corpus/CMakeFiles/figdb_corpus.dir/media_object.cpp.o.d"
+  "/root/repo/src/corpus/query_builder.cpp" "src/corpus/CMakeFiles/figdb_corpus.dir/query_builder.cpp.o" "gcc" "src/corpus/CMakeFiles/figdb_corpus.dir/query_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/figdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/figdb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/figdb_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/figdb_social.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/figdb_corpus.dir/corpus.cpp.o.d"
+  "CMakeFiles/figdb_corpus.dir/generator.cpp.o"
+  "CMakeFiles/figdb_corpus.dir/generator.cpp.o.d"
+  "CMakeFiles/figdb_corpus.dir/media_object.cpp.o"
+  "CMakeFiles/figdb_corpus.dir/media_object.cpp.o.d"
+  "CMakeFiles/figdb_corpus.dir/query_builder.cpp.o"
+  "CMakeFiles/figdb_corpus.dir/query_builder.cpp.o.d"
+  "libfigdb_corpus.a"
+  "libfigdb_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/harness.cpp" "src/eval/CMakeFiles/figdb_eval.dir/harness.cpp.o" "gcc" "src/eval/CMakeFiles/figdb_eval.dir/harness.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/figdb_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/figdb_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/oracle.cpp" "src/eval/CMakeFiles/figdb_eval.dir/oracle.cpp.o" "gcc" "src/eval/CMakeFiles/figdb_eval.dir/oracle.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/figdb_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/figdb_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/significance.cpp" "src/eval/CMakeFiles/figdb_eval.dir/significance.cpp.o" "gcc" "src/eval/CMakeFiles/figdb_eval.dir/significance.cpp.o.d"
+  "/root/repo/src/eval/training.cpp" "src/eval/CMakeFiles/figdb_eval.dir/training.cpp.o" "gcc" "src/eval/CMakeFiles/figdb_eval.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/figdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/figdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/figdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/figdb_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/figdb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/figdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/figdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/figdb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/figdb_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/figdb_social.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_eval.dir/harness.cpp.o"
+  "CMakeFiles/figdb_eval.dir/harness.cpp.o.d"
+  "CMakeFiles/figdb_eval.dir/metrics.cpp.o"
+  "CMakeFiles/figdb_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/figdb_eval.dir/oracle.cpp.o"
+  "CMakeFiles/figdb_eval.dir/oracle.cpp.o.d"
+  "CMakeFiles/figdb_eval.dir/report.cpp.o"
+  "CMakeFiles/figdb_eval.dir/report.cpp.o.d"
+  "CMakeFiles/figdb_eval.dir/significance.cpp.o"
+  "CMakeFiles/figdb_eval.dir/significance.cpp.o.d"
+  "CMakeFiles/figdb_eval.dir/training.cpp.o"
+  "CMakeFiles/figdb_eval.dir/training.cpp.o.d"
+  "libfigdb_eval.a"
+  "libfigdb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/inverted_index.cpp" "src/index/CMakeFiles/figdb_index.dir/inverted_index.cpp.o" "gcc" "src/index/CMakeFiles/figdb_index.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/index/retrieval_engine.cpp" "src/index/CMakeFiles/figdb_index.dir/retrieval_engine.cpp.o" "gcc" "src/index/CMakeFiles/figdb_index.dir/retrieval_engine.cpp.o.d"
+  "/root/repo/src/index/storage.cpp" "src/index/CMakeFiles/figdb_index.dir/storage.cpp.o" "gcc" "src/index/CMakeFiles/figdb_index.dir/storage.cpp.o.d"
+  "/root/repo/src/index/threshold_algorithm.cpp" "src/index/CMakeFiles/figdb_index.dir/threshold_algorithm.cpp.o" "gcc" "src/index/CMakeFiles/figdb_index.dir/threshold_algorithm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/figdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/figdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/figdb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/figdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/figdb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/figdb_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/figdb_social.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

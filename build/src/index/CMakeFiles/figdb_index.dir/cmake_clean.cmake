@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_index.dir/inverted_index.cpp.o"
+  "CMakeFiles/figdb_index.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/figdb_index.dir/retrieval_engine.cpp.o"
+  "CMakeFiles/figdb_index.dir/retrieval_engine.cpp.o.d"
+  "CMakeFiles/figdb_index.dir/storage.cpp.o"
+  "CMakeFiles/figdb_index.dir/storage.cpp.o.d"
+  "CMakeFiles/figdb_index.dir/threshold_algorithm.cpp.o"
+  "CMakeFiles/figdb_index.dir/threshold_algorithm.cpp.o.d"
+  "libfigdb_index.a"
+  "libfigdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_recsys.dir/recommender.cpp.o"
+  "CMakeFiles/figdb_recsys.dir/recommender.cpp.o.d"
+  "CMakeFiles/figdb_recsys.dir/user_profile.cpp.o"
+  "CMakeFiles/figdb_recsys.dir/user_profile.cpp.o.d"
+  "libfigdb_recsys.a"
+  "libfigdb_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

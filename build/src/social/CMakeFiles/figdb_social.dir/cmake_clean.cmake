@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_social.dir/user_graph.cpp.o"
+  "CMakeFiles/figdb_social.dir/user_graph.cpp.o.d"
+  "libfigdb_social.a"
+  "libfigdb_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfigdb_social.a"
+)

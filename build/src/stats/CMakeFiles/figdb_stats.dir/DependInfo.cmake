@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/figdb_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/figdb_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/cors.cpp" "src/stats/CMakeFiles/figdb_stats.dir/cors.cpp.o" "gcc" "src/stats/CMakeFiles/figdb_stats.dir/cors.cpp.o.d"
+  "/root/repo/src/stats/feature_matrix.cpp" "src/stats/CMakeFiles/figdb_stats.dir/feature_matrix.cpp.o" "gcc" "src/stats/CMakeFiles/figdb_stats.dir/feature_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/figdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/figdb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/figdb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/figdb_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/figdb_social.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

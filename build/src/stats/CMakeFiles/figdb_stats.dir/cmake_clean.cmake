@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_stats.dir/correlation.cpp.o"
+  "CMakeFiles/figdb_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/figdb_stats.dir/cors.cpp.o"
+  "CMakeFiles/figdb_stats.dir/cors.cpp.o.d"
+  "CMakeFiles/figdb_stats.dir/feature_matrix.cpp.o"
+  "CMakeFiles/figdb_stats.dir/feature_matrix.cpp.o.d"
+  "libfigdb_stats.a"
+  "libfigdb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

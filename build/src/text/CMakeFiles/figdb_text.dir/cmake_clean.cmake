@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_text.dir/porter_stemmer.cpp.o"
+  "CMakeFiles/figdb_text.dir/porter_stemmer.cpp.o.d"
+  "CMakeFiles/figdb_text.dir/stopwords.cpp.o"
+  "CMakeFiles/figdb_text.dir/stopwords.cpp.o.d"
+  "CMakeFiles/figdb_text.dir/taxonomy.cpp.o"
+  "CMakeFiles/figdb_text.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/figdb_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/figdb_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/figdb_text.dir/vocabulary.cpp.o"
+  "CMakeFiles/figdb_text.dir/vocabulary.cpp.o.d"
+  "libfigdb_text.a"
+  "libfigdb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

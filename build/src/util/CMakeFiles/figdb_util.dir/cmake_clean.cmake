@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_util.dir/dense_matrix.cpp.o"
+  "CMakeFiles/figdb_util.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/figdb_util.dir/rng.cpp.o"
+  "CMakeFiles/figdb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/figdb_util.dir/sparse_vector.cpp.o"
+  "CMakeFiles/figdb_util.dir/sparse_vector.cpp.o.d"
+  "CMakeFiles/figdb_util.dir/string_util.cpp.o"
+  "CMakeFiles/figdb_util.dir/string_util.cpp.o.d"
+  "libfigdb_util.a"
+  "libfigdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/block_features.cpp" "src/vision/CMakeFiles/figdb_vision.dir/block_features.cpp.o" "gcc" "src/vision/CMakeFiles/figdb_vision.dir/block_features.cpp.o.d"
+  "/root/repo/src/vision/image.cpp" "src/vision/CMakeFiles/figdb_vision.dir/image.cpp.o" "gcc" "src/vision/CMakeFiles/figdb_vision.dir/image.cpp.o.d"
+  "/root/repo/src/vision/image_synth.cpp" "src/vision/CMakeFiles/figdb_vision.dir/image_synth.cpp.o" "gcc" "src/vision/CMakeFiles/figdb_vision.dir/image_synth.cpp.o.d"
+  "/root/repo/src/vision/kmeans.cpp" "src/vision/CMakeFiles/figdb_vision.dir/kmeans.cpp.o" "gcc" "src/vision/CMakeFiles/figdb_vision.dir/kmeans.cpp.o.d"
+  "/root/repo/src/vision/visual_vocabulary.cpp" "src/vision/CMakeFiles/figdb_vision.dir/visual_vocabulary.cpp.o" "gcc" "src/vision/CMakeFiles/figdb_vision.dir/visual_vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/figdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

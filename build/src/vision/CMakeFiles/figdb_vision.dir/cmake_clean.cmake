@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_vision.dir/block_features.cpp.o"
+  "CMakeFiles/figdb_vision.dir/block_features.cpp.o.d"
+  "CMakeFiles/figdb_vision.dir/image.cpp.o"
+  "CMakeFiles/figdb_vision.dir/image.cpp.o.d"
+  "CMakeFiles/figdb_vision.dir/image_synth.cpp.o"
+  "CMakeFiles/figdb_vision.dir/image_synth.cpp.o.d"
+  "CMakeFiles/figdb_vision.dir/kmeans.cpp.o"
+  "CMakeFiles/figdb_vision.dir/kmeans.cpp.o.d"
+  "CMakeFiles/figdb_vision.dir/visual_vocabulary.cpp.o"
+  "CMakeFiles/figdb_vision.dir/visual_vocabulary.cpp.o.d"
+  "libfigdb_vision.a"
+  "libfigdb_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/figdb_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/figdb_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/figdb_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/figdb_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/figdb_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/index_test.cpp" "tests/CMakeFiles/figdb_tests.dir/index_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/index_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/figdb_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/linalg_test.cpp" "tests/CMakeFiles/figdb_tests.dir/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/linalg_test.cpp.o.d"
+  "/root/repo/tests/recsys_test.cpp" "tests/CMakeFiles/figdb_tests.dir/recsys_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/recsys_test.cpp.o.d"
+  "/root/repo/tests/social_test.cpp" "tests/CMakeFiles/figdb_tests.dir/social_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/social_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/figdb_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/text_test.cpp" "tests/CMakeFiles/figdb_tests.dir/text_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/text_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/figdb_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/vision_test.cpp" "tests/CMakeFiles/figdb_tests.dir/vision_test.cpp.o" "gcc" "tests/CMakeFiles/figdb_tests.dir/vision_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/figdb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/figdb_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/figdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/figdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/figdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/figdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/figdb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/figdb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/figdb_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/figdb_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/figdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figdb_tests.dir/baselines_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/baselines_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/core_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/corpus_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/corpus_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/eval_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/eval_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/index_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/index_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/linalg_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/linalg_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/recsys_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/recsys_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/social_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/social_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/stats_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/stats_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/text_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/text_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/util_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/util_test.cpp.o.d"
+  "CMakeFiles/figdb_tests.dir/vision_test.cpp.o"
+  "CMakeFiles/figdb_tests.dir/vision_test.cpp.o.d"
+  "figdb_tests"
+  "figdb_tests.pdb"
+  "figdb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figdb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
