@@ -23,6 +23,8 @@
 #include "corpus/query_builder.hpp"
 #include "index/retrieval_engine.hpp"
 #include "index/storage.hpp"
+#include "util/query_budget.hpp"
+#include "util/status.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -32,6 +34,9 @@ using namespace figdb;
 struct Shell {
   std::optional<corpus::Corpus> db;
   std::unique_ptr<index::FigRetrievalEngine> engine;
+  /// Per-query budget, settable via the `budget` command. Unlimited by
+  /// default so the shell behaves exactly like the raw engine.
+  util::QueryBudget budget;
 
   bool Ready() const { return db.has_value() && engine != nullptr; }
 
@@ -85,6 +90,28 @@ struct Shell {
     }
   }
 
+  /// Runs a budget-aware search, surfacing the Status and truncation
+  /// state to the user instead of silently dropping them.
+  void RunSearch(const corpus::MediaObject& q, std::size_t k,
+                 corpus::ObjectId skip, const char* what) {
+    util::Stopwatch watch;
+    const auto response = engine->TrySearch(q, k, budget);
+    if (!response.ok()) {
+      std::printf("%s failed: %s\n", what,
+                  response.status().ToString().c_str());
+      return;
+    }
+    std::printf("%zu %s in %.1f ms%s%s\n", response->results.size(), what,
+                watch.ElapsedMillis(),
+                response->truncated
+                    ? " [TRUNCATED: budget exhausted, best-effort results]"
+                    : "",
+                !response->reranked && response->truncated
+                    ? " [rerank shed: exact stage-1 scores]"
+                    : "");
+    PrintResults(response->results, skip);
+  }
+
   void Query(const std::string& text) {
     corpus::QueryBuilder builder(db->SharedContext());
     const corpus::MediaObject q = builder.AddText(text).Build();
@@ -92,11 +119,7 @@ struct Shell {
       std::printf("no query tags matched the vocabulary\n");
       return;
     }
-    util::Stopwatch watch;
-    const auto results = engine->Search(q, 8);
-    std::printf("%zu results in %.1f ms\n", results.size(),
-                watch.ElapsedMillis());
-    PrintResults(results, corpus::kInvalidObject);
+    RunSearch(q, 8, corpus::kInvalidObject, "results");
   }
 
   void Similar(corpus::ObjectId id) {
@@ -104,10 +127,29 @@ struct Shell {
       std::printf("no object #%u (database has %zu)\n", id, db->Size());
       return;
     }
-    util::Stopwatch watch;
-    const auto results = engine->Search(db->Object(id), 9);
-    std::printf("neighbours of #%u in %.1f ms\n", id, watch.ElapsedMillis());
-    PrintResults(results, id);
+    RunSearch(db->Object(id), 9, id, "neighbours");
+  }
+
+  void SetBudget(double ms, std::size_t max_candidates) {
+    budget = util::QueryBudget{};
+    if (ms > 0) budget.wall_limit_seconds = ms / 1e3;
+    if (max_candidates > 0) budget.max_scored_candidates = max_candidates;
+    // Report the budget actually in force, not the raw arguments (negative
+    // or unparseable input falls back to "unlimited" per component).
+    if (budget.Unlimited()) {
+      std::printf("query budget: unlimited\n");
+      return;
+    }
+    std::printf("query budget:");
+    if (budget.wall_limit_seconds > 0)
+      std::printf(" %.3f ms deadline", budget.wall_limit_seconds * 1e3);
+    else
+      std::printf(" no deadline");
+    if (budget.max_scored_candidates != util::QueryBudget::kUnlimitedCandidates)
+      std::printf(", %zu max scored candidates\n",
+                  budget.max_scored_candidates);
+    else
+      std::printf(", unlimited candidates\n");
   }
 
   void Show(corpus::ObjectId id) const {
@@ -135,6 +177,9 @@ void Help() {
       "  query <tags...>   free-text tag search (QueryBuilder pipeline)\n"
       "  similar <id>      FIG neighbours of a database object\n"
       "  show <id>         dump one object's features\n"
+      "  budget <ms> <max_candidates>   per-query budget (0 0 = unlimited);\n"
+      "                    over-budget queries return best-effort results\n"
+      "                    tagged TRUNCATED\n"
       "  quit\n");
 }
 
@@ -165,8 +210,11 @@ int main() {
       std::string path;
       in >> path;
       auto loaded = index::LoadCorpus(path);
-      if (!loaded) {
-        std::printf("could not load '%s'\n", path.c_str());
+      if (!loaded.ok()) {
+        // Surface the precise reason (corrupt section, CRC mismatch,
+        // version skew, missing file) — a bare "could not load" hides
+        // exactly the information an operator needs.
+        std::printf("load failed: %s\n", loaded.status().ToString().c_str());
         continue;
       }
       shell.db = std::move(*loaded);
@@ -181,9 +229,16 @@ int main() {
     if (cmd == "save") {
       std::string path;
       in >> path;
-      std::printf(index::SaveCorpus(*shell.db, path) ? "saved to %s\n"
-                                                     : "save FAILED: %s\n",
-                  path.c_str());
+      const util::Status saved = index::SaveCorpus(*shell.db, path);
+      if (saved.ok())
+        std::printf("saved to %s\n", path.c_str());
+      else
+        std::printf("save FAILED: %s\n", saved.ToString().c_str());
+    } else if (cmd == "budget") {
+      double ms = 0;
+      std::size_t cand = 0;
+      in >> ms >> cand;
+      shell.SetBudget(ms, cand);
     } else if (cmd == "stats") {
       shell.Stats();
     } else if (cmd == "query") {

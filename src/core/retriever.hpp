@@ -20,6 +20,22 @@ struct SearchResult {
   double score;
 };
 
+/// Result of a budget-aware query (TrySearch / TryRank / TryRecommend).
+/// A query that ran out of budget is NOT an error as long as it produced
+/// anything: it returns best-so-far results tagged `truncated` so callers
+/// can distinguish "the true top-k" from "the best we could afford".
+struct SearchResponse {
+  std::vector<SearchResult> results;
+  /// True when any shedding happened: the rerank stage was dropped,
+  /// candidates were cut by the budget, or the index itself is degraded.
+  bool truncated = false;
+  /// False when the stage-2 full-model rerank was shed (or disabled):
+  /// scores are then exact-clique stage-1 scores.
+  bool reranked = false;
+  /// Candidates charged against the budget (0 when unbudgeted).
+  std::size_t scored_candidates = 0;
+};
+
 class Retriever {
  public:
   virtual ~Retriever() = default;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.hpp"
+
 namespace figdb::index {
 
 CliqueIndex CliqueIndex::Build(const corpus::Corpus& corpus,
@@ -9,8 +11,16 @@ CliqueIndex CliqueIndex::Build(const corpus::Corpus& corpus,
                                const CliqueIndexOptions& options) {
   CliqueIndex idx;
   idx.options_ = options;
-  for (const corpus::MediaObject& obj : corpus.Objects())
+  for (const corpus::MediaObject& obj : corpus.Objects()) {
+    // Fault injection: resource exhaustion mid-build. The already-indexed
+    // prefix stays valid; the index is marked degraded so query paths can
+    // tag their answers as best-effort.
+    if (FIGDB_FAILPOINT("index/build_truncated")) {
+      idx.degraded_ = true;
+      break;
+    }
     idx.AddObject(obj, correlations);
+  }
   return idx;
 }
 

@@ -49,10 +49,17 @@ class CliqueIndex {
   std::size_t TotalPostings() const { return total_postings_; }
   const CliqueIndexOptions& Options() const { return options_; }
 
+  /// True when the build was cut short (the `index/build_truncated`
+  /// fail-point models resource exhaustion mid-build): the index still
+  /// serves lookups, but posting lists may be missing later objects, so
+  /// query answers over it are best-effort and tagged truncated.
+  bool Degraded() const { return degraded_; }
+
  private:
   CliqueIndexOptions options_;
   std::unordered_map<CliqueKey, std::vector<corpus::ObjectId>> postings_;
   std::size_t total_postings_ = 0;
+  bool degraded_ = false;
   std::vector<corpus::ObjectId> empty_;
 };
 

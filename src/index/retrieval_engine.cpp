@@ -5,6 +5,25 @@
 #include "util/top_k.hpp"
 
 namespace figdb::index {
+namespace {
+
+using util::BudgetTracker;
+using util::QueryBudget;
+using util::Status;
+using util::StatusOr;
+
+std::vector<core::SearchResult> TakeResults(
+    util::TopK<corpus::ObjectId>* topk) {
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk->Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+/// Deadline poll stride for the rerank loop: full-model Score is expensive
+/// enough that a clock read every few candidates is noise.
+constexpr std::size_t kRerankDeadlineStride = 8;
+
+}  // namespace
 
 FigRetrievalEngine::FigRetrievalEngine(const corpus::Corpus& corpus,
                                        EngineOptions options)
@@ -40,11 +59,19 @@ void FigRetrievalEngine::SetLambda(const std::vector<double>& lambda) {
 }
 
 std::vector<ScoredList> FigRetrievalEngine::BuildScoredLists(
-    const core::QueryModel& qm) const {
+    const core::QueryModel& qm, util::BudgetTracker* budget,
+    bool* truncated) const {
   FIGDB_CHECK_MSG(index_ != nullptr, "engine built without an index");
   std::vector<ScoredList> lists;
   lists.reserve(qm.cliques.size());
   for (const core::Clique& c : qm.cliques) {
+    // Deadline pressure during list construction sheds the TRAILING query
+    // cliques: every list already built is complete, so the scores the
+    // merge produces are exact for the cliques that were evaluated.
+    if (budget != nullptr && budget->CheckDeadline()) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
     ScoredList list;
     for (corpus::ObjectId id : index_->Lookup(c.features)) {
       const double phi = exact_potential_->Phi(c, corpus_->Object(id));
@@ -55,26 +82,126 @@ std::vector<ScoredList> FigRetrievalEngine::BuildScoredLists(
   return lists;
 }
 
-std::vector<core::SearchResult> FigRetrievalEngine::Search(
-    const corpus::MediaObject& query, std::size_t k) const {
-  const core::QueryModel qm = scorer_->Compile(query, options_.type_mask);
-  std::vector<ScoredList> lists = BuildScoredLists(qm);
+core::SearchResponse FigRetrievalEngine::SearchWithBudget(
+    const core::QueryModel& qm, std::size_t k,
+    util::BudgetTracker* budget) const {
+  core::SearchResponse resp;
+  if (index_ != nullptr && index_->Degraded()) resp.truncated = true;
+  std::vector<ScoredList> lists =
+      BuildScoredLists(qm, budget, &resp.truncated);
   const std::size_t stage1_k =
       options_.rerank_candidates == 0
           ? k
           : std::max(k, options_.rerank_candidates);
   std::vector<core::SearchResult> merged =
       options_.merge == EngineOptions::MergeMode::kThresholdAlgorithm
-          ? ThresholdMerge(std::move(lists), stage1_k)
-          : ExhaustiveMerge(lists, stage1_k);
-  if (options_.rerank_candidates == 0) return merged;
-  // Stage 2: full-model re-scoring (smoothing credits partial cliques).
-  util::TopK<corpus::ObjectId> topk(k);
-  for (const core::SearchResult& r : merged)
-    topk.Offer(scorer_->Score(qm, corpus_->Object(r.object)), r.object);
-  std::vector<core::SearchResult> out;
-  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
-  return out;
+          ? ThresholdMerge(std::move(lists), stage1_k, budget,
+                           &resp.truncated)
+          : ExhaustiveMerge(lists, stage1_k, budget, &resp.truncated);
+  if (options_.rerank_candidates == 0) {
+    // Single-stage engine: stage-1 scores ARE the final scores.
+    resp.results = std::move(merged);
+    if (budget != nullptr)
+      resp.scored_candidates = budget->ScoredCandidates();
+    return resp;
+  }
+
+  // Shedding decision: the stage-2 rerank is dropped BEFORE any candidate
+  // would be — when the budget is already exhausted, the deadline has
+  // passed, or the candidate allowance cannot cover re-scoring every
+  // merged candidate.
+  bool shed_rerank =
+      budget != nullptr &&
+      (budget->Exhausted() || budget->CheckDeadline() ||
+       !budget->HasCandidateAllowance(merged.size()));
+
+  if (!shed_rerank) {
+    // Stage 2: full-model re-scoring (smoothing credits partial cliques).
+    util::TopK<corpus::ObjectId> topk(k);
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      if (budget != nullptr) {
+        if (i % kRerankDeadlineStride == 0 && budget->CheckDeadline()) {
+          // Mid-rerank expiry: mixing stage-1 and stage-2 scores would
+          // produce an inconsistent ranking, so the whole stage is shed.
+          shed_rerank = true;
+          break;
+        }
+        budget->ChargeScored();
+      }
+      topk.Offer(scorer_->Score(qm, corpus_->Object(merged[i].object)),
+                 merged[i].object);
+    }
+    if (!shed_rerank) {
+      resp.results = TakeResults(&topk);
+      resp.reranked = true;
+    }
+  }
+  if (shed_rerank) {
+    // Fall back to exact-clique stage-1 scores (merge output is already
+    // sorted best-first).
+    if (merged.size() > k) merged.resize(k);
+    resp.results = std::move(merged);
+    resp.truncated = true;
+  }
+  if (budget != nullptr) resp.scored_candidates = budget->ScoredCandidates();
+  return resp;
+}
+
+std::vector<core::SearchResult> FigRetrievalEngine::Search(
+    const corpus::MediaObject& query, std::size_t k) const {
+  const core::QueryModel qm = scorer_->Compile(query, options_.type_mask);
+  return SearchWithBudget(qm, k, /*budget=*/nullptr).results;
+}
+
+util::Status FigRetrievalEngine::ValidateQuery(
+    const corpus::MediaObject& query, std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (query.features.empty())
+    return Status::InvalidArgument("query has no features");
+  const corpus::Context& ctx = corpus_->GetContext();
+  for (const corpus::FeatureOccurrence& f : query.features) {
+    const std::uint32_t id = corpus::IdOf(f.feature);
+    bool known = false;
+    const char* modality = "unknown";
+    switch (corpus::TypeOf(f.feature)) {
+      case corpus::FeatureType::kText:
+        known = id < ctx.vocabulary.Size();
+        modality = "text";
+        break;
+      case corpus::FeatureType::kVisual:
+        known = id < ctx.visual_vocabulary.WordCount();
+        modality = "visual";
+        break;
+      case corpus::FeatureType::kUser:
+        known = id < ctx.user_graph.UserCount();
+        modality = "user";
+        break;
+    }
+    if (!known)
+      return Status::InvalidArgument(
+          "out-of-vocabulary " + std::string(modality) + " feature id " +
+          std::to_string(id));
+    if (f.frequency == 0)
+      return Status::InvalidArgument("zero-frequency feature id " +
+                                     std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+StatusOr<core::SearchResponse> FigRetrievalEngine::TrySearch(
+    const corpus::MediaObject& query, std::size_t k,
+    const QueryBudget& budget) const {
+  FIGDB_RETURN_IF_ERROR(ValidateQuery(query, k));
+  if (index_ == nullptr)
+    return Status::Unavailable("engine was built without an inverted index");
+  const core::QueryModel qm = scorer_->Compile(query, options_.type_mask);
+  BudgetTracker tracker(budget);
+  core::SearchResponse resp = SearchWithBudget(
+      qm, k, budget.Unlimited() ? nullptr : &tracker);
+  if (resp.results.empty() && tracker.Exhausted())
+    return Status::DeadlineExceeded(
+        "query budget exhausted before any result was produced");
+  return resp;
 }
 
 std::vector<core::SearchResult> FigRetrievalEngine::Rank(
@@ -84,9 +211,46 @@ std::vector<core::SearchResult> FigRetrievalEngine::Rank(
   util::TopK<corpus::ObjectId> topk(k);
   for (corpus::ObjectId id : candidates)
     topk.Offer(scorer_->Score(qm, corpus_->Object(id)), id);
-  std::vector<core::SearchResult> out;
-  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
-  return out;
+  return TakeResults(&topk);
+}
+
+StatusOr<core::SearchResponse> FigRetrievalEngine::TryRank(
+    const corpus::MediaObject& query,
+    const std::vector<corpus::ObjectId>& candidates, std::size_t k,
+    const QueryBudget& budget) const {
+  FIGDB_RETURN_IF_ERROR(ValidateQuery(query, k));
+  for (corpus::ObjectId id : candidates) {
+    if (id >= corpus_->Size())
+      return Status::NotFound("candidate object id " + std::to_string(id) +
+                              " past the corpus end (" +
+                              std::to_string(corpus_->Size()) + " objects)");
+  }
+  const core::QueryModel qm = scorer_->Compile(query, options_.type_mask);
+  BudgetTracker tracker(budget);
+  BudgetTracker* bt = budget.Unlimited() ? nullptr : &tracker;
+  core::SearchResponse resp;
+  resp.reranked = true;  // Rank always scores with the full model
+  util::TopK<corpus::ObjectId> topk(k);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (bt != nullptr) {
+      if (i % kRerankDeadlineStride == 0 && bt->CheckDeadline()) {
+        resp.truncated = true;
+        break;
+      }
+      if (!bt->ChargeScored()) {
+        resp.truncated = true;
+        break;
+      }
+    }
+    topk.Offer(scorer_->Score(qm, corpus_->Object(candidates[i])),
+               candidates[i]);
+  }
+  resp.results = TakeResults(&topk);
+  if (bt != nullptr) resp.scored_candidates = bt->ScoredCandidates();
+  if (resp.results.empty() && tracker.Exhausted() && !candidates.empty())
+    return Status::DeadlineExceeded(
+        "query budget exhausted before any candidate was scored");
+  return resp;
 }
 
 std::vector<core::SearchResult> FigRetrievalEngine::SearchSequential(
@@ -100,9 +264,7 @@ std::vector<core::SearchResult> FigRetrievalEngine::SearchSequential(
     if (exact_scorer.Score(qm, obj) <= 0.0) continue;
     topk.Offer(scorer_->Score(qm, obj), obj.id);
   }
-  std::vector<core::SearchResult> out;
-  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
-  return out;
+  return TakeResults(&topk);
 }
 
 }  // namespace figdb::index

@@ -11,6 +11,8 @@
 #include "stats/correlation.hpp"
 #include "stats/cors.hpp"
 #include "stats/feature_matrix.hpp"
+#include "util/query_budget.hpp"
+#include "util/status.hpp"
 
 /// \file retrieval_engine.hpp
 /// End-to-end FIG retrieval (paper Fig. 3 + Algorithm 1).
@@ -62,6 +64,27 @@ class FigRetrievalEngine : public core::Retriever {
       const std::vector<corpus::ObjectId>& candidates,
       std::size_t k) const override;
 
+  /// Validating, budget-aware Search. Rejects malformed requests with a
+  /// Status instead of aborting:
+  ///   kInvalidArgument   empty query, k = 0, out-of-vocabulary feature
+  ///   kUnavailable       engine was built without an inverted index
+  ///   kDeadlineExceeded  the budget expired before ANY result was produced
+  /// With an unlimited budget the results are bit-identical to Search().
+  /// Under budget pressure it degrades gracefully (best-so-far results
+  /// tagged truncated), shedding the stage-2 rerank before shedding
+  /// candidates; see DESIGN.md "Error handling, deadlines & degraded modes".
+  util::StatusOr<core::SearchResponse> TrySearch(
+      const corpus::MediaObject& query, std::size_t k,
+      const util::QueryBudget& budget = {}) const;
+
+  /// Validating, budget-aware Rank. Adds kNotFound for candidate ids past
+  /// the corpus end. Candidates are scored in the given order; on budget
+  /// exhaustion the unscored tail is shed and the response is `truncated`.
+  util::StatusOr<core::SearchResponse> TryRank(
+      const corpus::MediaObject& query,
+      const std::vector<corpus::ObjectId>& candidates, std::size_t k,
+      const util::QueryBudget& budget = {}) const;
+
   /// Sequential reference retrieval (§3.5 pre-index baseline): applies the
   /// same two-stage semantics (candidates = objects containing at least one
   /// query clique, scored with the full model) by brute force. Agrees with
@@ -97,7 +120,17 @@ class FigRetrievalEngine : public core::Retriever {
   }
 
  private:
-  std::vector<ScoredList> BuildScoredLists(const core::QueryModel& qm) const;
+  std::vector<ScoredList> BuildScoredLists(const core::QueryModel& qm,
+                                           util::BudgetTracker* budget,
+                                           bool* truncated) const;
+  /// Shared Search core: both Search (null budget) and TrySearch run this,
+  /// so unbudgeted TrySearch is bit-identical to Search by construction.
+  core::SearchResponse SearchWithBudget(const core::QueryModel& qm,
+                                        std::size_t k,
+                                        util::BudgetTracker* budget) const;
+  /// Validates query features against the corpus context's vocabularies.
+  util::Status ValidateQuery(const corpus::MediaObject& query,
+                             std::size_t k) const;
 
   const corpus::Corpus* corpus_;
   EngineOptions options_;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
 #include "util/serde.hpp"
 #include "vision/block_features.hpp"
 
@@ -10,6 +12,12 @@ namespace {
 
 using util::BinaryReader;
 using util::BinaryWriter;
+using util::Status;
+using util::StatusOr;
+
+Status Corrupt(const char* section, const std::string& why) {
+  return Status::DataLoss(std::string(section) + " section: " + why);
+}
 
 void WriteVocabulary(const text::Vocabulary& vocab, BinaryWriter* w) {
   w->PutVarint(vocab.Size());
@@ -19,16 +27,19 @@ void WriteVocabulary(const text::Vocabulary& vocab, BinaryWriter* w) {
   }
 }
 
-bool ReadVocabulary(BinaryReader* r, text::Vocabulary* vocab) {
+Status ReadVocabulary(BinaryReader* r, text::Vocabulary* vocab) {
   const std::uint64_t n = r->GetVarint();
   for (std::uint64_t i = 0; i < n && r->Ok(); ++i) {
     const std::string term = r->GetString();
     const std::uint32_t freq = std::uint32_t(r->GetVarint());
-    if (!r->Ok()) return false;
+    if (!r->Ok()) break;
     // Ids are assigned sequentially, so insertion order restores them.
-    if (vocab->AddOccurrence(term, freq) != text::TermId(i)) return false;
+    if (vocab->AddOccurrence(term, freq) != text::TermId(i))
+      return Corrupt("vocabulary",
+                     "duplicate term at entry " + std::to_string(i));
   }
-  return r->Ok();
+  if (!r->Ok()) return Corrupt("vocabulary", "truncated entry");
+  return Status::Ok();
 }
 
 void WriteTaxonomy(const text::Taxonomy& tax, BinaryWriter* w) {
@@ -46,27 +57,35 @@ void WriteTaxonomy(const text::Taxonomy& tax, BinaryWriter* w) {
   }
 }
 
-bool ReadTaxonomy(BinaryReader* r, text::Taxonomy* tax) {
+Status ReadTaxonomy(BinaryReader* r, text::Taxonomy* tax) {
   const std::uint64_t nodes = r->GetVarint();
   for (std::uint64_t n = 0; n < nodes && r->Ok(); ++n) {
     const text::NodeId parent = text::NodeId(r->GetVarint());
     std::string name = r->GetString();
-    if (!r->Ok()) return false;
+    if (!r->Ok()) break;
     if (n == 0) {
       tax->AddRoot(std::move(name));
     } else {
-      if (parent >= n) return false;  // children always follow parents
+      if (parent >= n)  // children always follow parents
+        return Corrupt("taxonomy", "dangling parent id " +
+                                       std::to_string(parent) + " at node " +
+                                       std::to_string(n));
       tax->AddChild(parent, std::move(name));
     }
   }
+  if (!r->Ok()) return Corrupt("taxonomy", "truncated node list");
   const std::uint64_t terms = r->GetVarint();
   for (std::uint64_t i = 0; i < terms && r->Ok(); ++i) {
     const std::uint32_t term = std::uint32_t(r->GetVarint());
     const text::NodeId node = text::NodeId(r->GetVarint());
-    if (!r->Ok() || node >= tax->NodeCount()) return false;
+    if (!r->Ok()) break;
+    if (node >= tax->NodeCount())
+      return Corrupt("taxonomy",
+                     "term attached to dangling node " + std::to_string(node));
     tax->AttachTerm(term, node);
   }
-  return r->Ok();
+  if (!r->Ok()) return Corrupt("taxonomy", "truncated term map");
+  return Status::Ok();
 }
 
 void WriteVisualVocabulary(const vision::VisualVocabulary& vocab,
@@ -76,19 +95,22 @@ void WriteVisualVocabulary(const vision::VisualVocabulary& vocab,
     for (float x : vocab.Centroid(vision::VisualWordId(c))) w->PutFloat(x);
 }
 
-bool ReadVisualVocabulary(BinaryReader* r,
-                          vision::VisualVocabulary* vocab) {
+Status ReadVisualVocabulary(BinaryReader* r,
+                            vision::VisualVocabulary* vocab) {
   const std::uint64_t n = r->GetVarint();
+  // Centroids are fixed-size float blocks; bound the claim before reserving.
+  if (!r->Ok() || n > r->Remaining())
+    return Corrupt("visual vocabulary", "implausible centroid count");
   std::vector<vision::Descriptor> centroids;
-  centroids.reserve(n);
+  centroids.reserve(std::size_t(n));
   for (std::uint64_t c = 0; c < n && r->Ok(); ++c) {
     vision::Descriptor d{};
     for (auto& x : d) x = r->GetFloat();
     centroids.push_back(d);
   }
-  if (!r->Ok()) return false;
+  if (!r->Ok()) return Corrupt("visual vocabulary", "truncated centroids");
   *vocab = vision::VisualVocabulary::FromCentroids(std::move(centroids));
-  return true;
+  return Status::Ok();
 }
 
 void WriteUserGraph(const social::UserGraph& graph, BinaryWriter* w) {
@@ -98,19 +120,24 @@ void WriteUserGraph(const social::UserGraph& graph, BinaryWriter* w) {
     w->PutSortedIds(graph.GroupsOf(social::UserId(u)));
 }
 
-bool ReadUserGraph(BinaryReader* r, social::UserGraph* graph) {
+Status ReadUserGraph(BinaryReader* r, social::UserGraph* graph) {
   const std::uint64_t users = r->GetVarint();
   const std::uint64_t groups = r->GetVarint();
-  if (!r->Ok()) return false;
+  // Every user costs at least one membership-count byte.
+  if (!r->Ok() || users > r->Remaining())
+    return Corrupt("user graph", "implausible user count");
   for (std::uint64_t u = 0; u < users; ++u) graph->AddUser();
   for (std::uint64_t g = 0; g < groups; ++g) graph->AddGroup();
   for (std::uint64_t u = 0; u < users && r->Ok(); ++u) {
     for (std::uint32_t g : r->GetSortedIds()) {
-      if (g >= groups) return false;
+      if (g >= groups)
+        return Corrupt("user graph", "membership in dangling group " +
+                                         std::to_string(g));
       graph->AddMembership(social::UserId(u), social::GroupId(g));
     }
   }
-  return r->Ok();
+  if (!r->Ok()) return Corrupt("user graph", "truncated membership lists");
+  return Status::Ok();
 }
 
 void WriteObject(const corpus::MediaObject& obj, BinaryWriter* w) {
@@ -125,20 +152,77 @@ void WriteObject(const corpus::MediaObject& obj, BinaryWriter* w) {
   }
 }
 
-bool ReadObject(BinaryReader* r, corpus::MediaObject* obj) {
+Status ReadObject(BinaryReader* r, corpus::MediaObject* obj,
+                  std::uint64_t index) {
   obj->month = std::uint16_t(r->GetVarint());
   obj->topic = std::uint32_t(r->GetVarint());
   const std::uint64_t n = r->GetVarint();
-  if (!r->Ok()) return false;
-  obj->features.reserve(n);
+  // Each feature occurrence costs at least two encoded bytes.
+  if (!r->Ok() || n > r->Remaining())
+    return Corrupt("objects", "implausible feature count in object " +
+                                  std::to_string(index));
+  obj->features.reserve(std::size_t(n));
   corpus::FeatureKey prev = 0;
   for (std::uint64_t i = 0; i < n && r->Ok(); ++i) {
     prev += corpus::FeatureKey(r->GetVarint());
     const std::uint32_t freq = std::uint32_t(r->GetVarint());
-    if (freq == 0) return false;
+    if (freq == 0)
+      return Corrupt("objects", "zero-frequency feature in object " +
+                                    std::to_string(index));
     obj->features.push_back({prev, freq});
   }
-  return r->Ok();
+  if (!r->Ok())
+    return Corrupt("objects", "truncated object " + std::to_string(index));
+  return Status::Ok();
+}
+
+// ------------------------------------------------------- section framing
+//
+// Each section is written as: varint payload size, fixed32 CRC32 of the
+// payload, payload bytes. The reader validates length then checksum before
+// handing the payload to the section parser, so corruption is attributed to
+// a named section with a truncation-vs-bit-rot distinction.
+
+void WriteSection(const BinaryWriter& payload, BinaryWriter* out) {
+  const std::string& bytes = payload.Buffer();
+  out->PutVarint(bytes.size());
+  out->PutFixed32(util::Crc32(bytes));
+  out->PutRaw(bytes);
+}
+
+/// Opens the next section: length + CRC checks, then returns a reader over
+/// exactly the payload bytes via \p section_reader.
+Status OpenSection(const char* name, BinaryReader* r,
+                   std::string_view* payload) {
+  const std::uint64_t size = r->GetVarint();
+  const std::uint32_t stored_crc = r->GetFixed32();
+  if (!r->Ok() || size > r->Remaining() ||
+      FIGDB_FAILPOINT("storage/section_truncated"))
+    return Corrupt(name, "truncated (snapshot ends mid-section)");
+  *payload = r->GetRaw(size);
+  const std::uint32_t computed_crc = util::Crc32(*payload);
+  if (computed_crc != stored_crc || FIGDB_FAILPOINT("storage/section_crc")) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "CRC mismatch (stored %08x, computed %08x)", stored_crc,
+                  computed_crc);
+    return Corrupt(name, buf);
+  }
+  return Status::Ok();
+}
+
+/// Runs \p parse on the named section's payload and insists the parser
+/// consumed every byte (trailing garbage inside a checksummed section means
+/// a writer/reader version skew, which must not pass silently).
+template <typename ParseFn>
+Status ReadSection(const char* name, BinaryReader* r, ParseFn&& parse) {
+  std::string_view payload;
+  FIGDB_RETURN_IF_ERROR(OpenSection(name, r, &payload));
+  BinaryReader section(payload);
+  FIGDB_RETURN_IF_ERROR(parse(&section));
+  if (!section.Ok()) return Corrupt(name, "malformed payload");
+  if (!section.AtEnd()) return Corrupt(name, "trailing bytes in section");
+  return Status::Ok();
 }
 
 }  // namespace
@@ -148,56 +232,118 @@ std::string SerializeCorpus(const corpus::Corpus& corpus) {
   w.PutVarint(kSnapshotMagic);
   w.PutVarint(kSnapshotVersion);
   const corpus::Context& ctx = corpus.GetContext();
-  w.PutVarint(ctx.num_topics);
-  WriteVocabulary(ctx.vocabulary, &w);
-  WriteTaxonomy(ctx.taxonomy, &w);
-  WriteVisualVocabulary(ctx.visual_vocabulary, &w);
-  WriteUserGraph(ctx.user_graph, &w);
-  w.PutVarint(corpus.Size());
-  for (const corpus::MediaObject& obj : corpus.Objects())
-    WriteObject(obj, &w);
+  {
+    BinaryWriter meta;
+    meta.PutVarint(ctx.num_topics);
+    WriteSection(meta, &w);
+  }
+  {
+    BinaryWriter s;
+    WriteVocabulary(ctx.vocabulary, &s);
+    WriteSection(s, &w);
+  }
+  {
+    BinaryWriter s;
+    WriteTaxonomy(ctx.taxonomy, &s);
+    WriteSection(s, &w);
+  }
+  {
+    BinaryWriter s;
+    WriteVisualVocabulary(ctx.visual_vocabulary, &s);
+    WriteSection(s, &w);
+  }
+  {
+    BinaryWriter s;
+    WriteUserGraph(ctx.user_graph, &s);
+    WriteSection(s, &w);
+  }
+  {
+    BinaryWriter s;
+    s.PutVarint(corpus.Size());
+    for (const corpus::MediaObject& obj : corpus.Objects())
+      WriteObject(obj, &s);
+    WriteSection(s, &w);
+  }
   return w.Take();
 }
 
-std::optional<corpus::Corpus> DeserializeCorpus(std::string_view bytes) {
+StatusOr<corpus::Corpus> DeserializeCorpus(std::string_view bytes) {
   BinaryReader r(bytes);
-  if (r.GetVarint() != kSnapshotMagic) return std::nullopt;
-  if (r.GetVarint() != kSnapshotVersion) return std::nullopt;
+  const std::uint64_t magic = r.GetVarint();
+  if (!r.Ok() || magic != kSnapshotMagic)
+    return Status::InvalidArgument("not a figdb snapshot (bad magic)");
+  const std::uint64_t version = r.GetVarint();
+  if (!r.Ok() || version != kSnapshotVersion)
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (expected " + std::to_string(kSnapshotVersion) + ")");
+
   corpus::Corpus out;
   corpus::Context& ctx = out.MutableContext();
-  ctx.num_topics = std::size_t(r.GetVarint());
-  if (!r.Ok()) return std::nullopt;
-  if (!ReadVocabulary(&r, &ctx.vocabulary)) return std::nullopt;
-  if (!ReadTaxonomy(&r, &ctx.taxonomy)) return std::nullopt;
-  if (!ReadVisualVocabulary(&r, &ctx.visual_vocabulary)) return std::nullopt;
-  if (!ReadUserGraph(&r, &ctx.user_graph)) return std::nullopt;
-  const std::uint64_t objects = r.GetVarint();
-  for (std::uint64_t i = 0; i < objects && r.Ok(); ++i) {
-    corpus::MediaObject obj;
-    if (!ReadObject(&r, &obj)) return std::nullopt;
-    out.Add(std::move(obj));
-  }
-  if (!r.Ok()) return std::nullopt;
+  FIGDB_RETURN_IF_ERROR(ReadSection("meta", &r, [&](BinaryReader* s) {
+    ctx.num_topics = std::size_t(s->GetVarint());
+    return Status::Ok();
+  }));
+  FIGDB_RETURN_IF_ERROR(ReadSection("vocabulary", &r, [&](BinaryReader* s) {
+    return ReadVocabulary(s, &ctx.vocabulary);
+  }));
+  FIGDB_RETURN_IF_ERROR(ReadSection("taxonomy", &r, [&](BinaryReader* s) {
+    return ReadTaxonomy(s, &ctx.taxonomy);
+  }));
+  FIGDB_RETURN_IF_ERROR(
+      ReadSection("visual vocabulary", &r, [&](BinaryReader* s) {
+        return ReadVisualVocabulary(s, &ctx.visual_vocabulary);
+      }));
+  FIGDB_RETURN_IF_ERROR(ReadSection("user graph", &r, [&](BinaryReader* s) {
+    return ReadUserGraph(s, &ctx.user_graph);
+  }));
+  FIGDB_RETURN_IF_ERROR(ReadSection("objects", &r, [&](BinaryReader* s) {
+    const std::uint64_t objects = s->GetVarint();
+    if (!s->Ok() || objects > s->Remaining())
+      return Corrupt("objects", "implausible object count");
+    for (std::uint64_t i = 0; i < objects; ++i) {
+      corpus::MediaObject obj;
+      FIGDB_RETURN_IF_ERROR(ReadObject(s, &obj, i));
+      out.Add(std::move(obj));
+    }
+    return Status::Ok();
+  }));
+  if (!r.AtEnd())
+    return Status::DataLoss("trailing bytes after the last section");
   return out;
 }
 
-bool SaveCorpus(const corpus::Corpus& corpus, const std::string& path) {
+Status SaveCorpus(const corpus::Corpus& corpus, const std::string& path) {
   const std::string bytes = SerializeCorpus(corpus);
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const bool ok =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  return std::fclose(f) == 0 && ok;
+  if (f == nullptr)
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  const std::size_t written =
+      FIGDB_FAILPOINT("storage/save_io")
+          ? bytes.size() - 1  // injected short write
+          : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size())
+    return Status::Unavailable("short write to '" + path + "' (" +
+                               std::to_string(written) + " of " +
+                               std::to_string(bytes.size()) + " bytes)");
+  if (!closed) return Status::Unavailable("close failed for '" + path + "'");
+  return Status::Ok();
 }
 
-std::optional<corpus::Corpus> LoadCorpus(const std::string& path) {
+StatusOr<corpus::Corpus> LoadCorpus(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return std::nullopt;
+  if (f == nullptr)
+    return Status::NotFound("cannot open '" + path + "' for reading");
   std::string bytes;
   char buf[1 << 16];
   std::size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  const bool read_error =
+      std::ferror(f) != 0 || FIGDB_FAILPOINT("storage/load_io");
   std::fclose(f);
+  if (read_error)
+    return Status::Unavailable("read error on '" + path + "'");
   return DeserializeCorpus(bytes);
 }
 

@@ -1,9 +1,9 @@
 #pragma once
 
-#include <optional>
 #include <string>
 
 #include "corpus/corpus.hpp"
+#include "util/status.hpp"
 
 /// \file storage.hpp
 /// Binary persistence for a figdb database.
@@ -16,6 +16,19 @@
 /// versioned and magic-tagged so corrupt or foreign files are rejected
 /// rather than misread.
 ///
+/// Format v2 wraps every section (meta, vocabulary, taxonomy, visual
+/// vocabulary, user graph, objects) in a length prefix + CRC32, so a load
+/// failure names the corrupt section and distinguishes truncation from bit
+/// rot. All load/save entry points return util::Status / StatusOr with a
+/// precise reason instead of an unexplained nullopt — a long-running server
+/// must be able to log WHY a snapshot was rejected.
+///
+/// Fail-points (util/failpoint.hpp) for fault-injection tests:
+///   storage/save_io           IO write failure inside SaveCorpus
+///   storage/load_io           IO read failure inside LoadCorpus
+///   storage/section_truncated section length check fails mid-parse
+///   storage/section_crc       section checksum comparison fails
+///
 /// The inverted clique index is deliberately NOT serialised: it is a pure
 /// function of the corpus and the correlation options, and rebuilding it is
 /// cheaper and safer than keeping two versioned formats consistent.
@@ -23,18 +36,24 @@
 namespace figdb::index {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0xf19db001;
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// v2: per-section CRC32 + length framing (v1 snapshots are rejected with
+/// a version error; regenerate them — the corpus generator is deterministic).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Serialises the corpus (with its full context) to a byte buffer.
 std::string SerializeCorpus(const corpus::Corpus& corpus);
 
-/// Parses a snapshot produced by SerializeCorpus. Returns std::nullopt on
-/// any structural corruption (bad magic/version, truncation, dangling ids).
-std::optional<corpus::Corpus> DeserializeCorpus(std::string_view bytes);
+/// Parses a snapshot produced by SerializeCorpus.
+///   kInvalidArgument  not a figdb snapshot / unsupported version
+///   kDataLoss         truncation, CRC mismatch, or structural corruption
+///                     (the message names the section and the reason)
+util::StatusOr<corpus::Corpus> DeserializeCorpus(std::string_view bytes);
 
-/// Convenience file wrappers. Save returns false on IO failure; Load
-/// returns std::nullopt on IO failure or corruption.
-bool SaveCorpus(const corpus::Corpus& corpus, const std::string& path);
-std::optional<corpus::Corpus> LoadCorpus(const std::string& path);
+/// File wrappers. Save reports IO failures as kUnavailable; Load adds
+/// kNotFound (missing file) and kUnavailable (read error) to the
+/// DeserializeCorpus error space.
+util::Status SaveCorpus(const corpus::Corpus& corpus,
+                        const std::string& path);
+util::StatusOr<corpus::Corpus> LoadCorpus(const std::string& path);
 
 }  // namespace figdb::index

@@ -4,10 +4,22 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/failpoint.hpp"
 #include "util/top_k.hpp"
 
 namespace figdb::index {
 namespace {
+
+/// True when the merge must stop for deadline reasons: either the real
+/// clock expired or the `ta/deadline` fail-point injected expiry.
+bool DeadlineHit(util::BudgetTracker* budget) {
+  if (budget == nullptr) return false;
+  if (FIGDB_FAILPOINT("ta/deadline")) {
+    budget->ForceDeadline();
+    return true;
+  }
+  return budget->CheckDeadline();
+}
 
 void SortDescending(std::vector<core::SearchResult>* entries) {
   std::sort(entries->begin(), entries->end(),
@@ -27,13 +39,32 @@ std::vector<core::SearchResult> TakeTopK(
 }  // namespace
 
 std::vector<core::SearchResult> ExhaustiveMerge(
-    const std::vector<ScoredList>& lists, std::size_t k) {
+    const std::vector<ScoredList>& lists, std::size_t k,
+    util::BudgetTracker* budget, bool* truncated) {
   std::unordered_map<corpus::ObjectId, double> totals;
   for (const ScoredList& list : lists)
     for (const core::SearchResult& e : list.entries)
       totals[e.object] += e.score;
   util::TopK<corpus::ObjectId> topk(k);
-  for (const auto& [object, score] : totals) topk.Offer(score, object);
+  if (budget == nullptr) {
+    for (const auto& [object, score] : totals) topk.Offer(score, object);
+    return TakeTopK(&topk);
+  }
+  // Budgeted path: aggregation above is always complete (scores stay
+  // exact); the budget caps how many distinct candidates are offered, in
+  // deterministic first-encounter order.
+  std::unordered_set<corpus::ObjectId> offered;
+  offered.reserve(totals.size());
+  for (const ScoredList& list : lists) {
+    for (const core::SearchResult& e : list.entries) {
+      if (!offered.insert(e.object).second) continue;
+      if (!budget->ChargeScored()) {
+        if (truncated != nullptr) *truncated = true;
+        return TakeTopK(&topk);
+      }
+      topk.Offer(totals[e.object], e.object);
+    }
+  }
   return TakeTopK(&topk);
 }
 
@@ -94,7 +125,9 @@ std::vector<core::SearchResult> NraMerge(std::vector<ScoredList> lists,
 }
 
 std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
-                                               std::size_t k) {
+                                               std::size_t k,
+                                               util::BudgetTracker* budget,
+                                               bool* truncated) {
   // Per-list random-access maps + sorted lists.
   std::vector<std::unordered_map<corpus::ObjectId, double>> maps(
       lists.size());
@@ -110,6 +143,10 @@ std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
   util::TopK<corpus::ObjectId> topk(k);
   std::unordered_set<corpus::ObjectId> seen;
   for (std::size_t depth = 0; depth < max_len; ++depth) {
+    if (DeadlineHit(budget)) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
     double threshold = 0.0;
     for (std::size_t l = 0; l < lists.size(); ++l) {
       const auto& entries = lists[l].entries;
@@ -117,6 +154,12 @@ std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
         threshold += entries[depth].score;
         const corpus::ObjectId obj = entries[depth].object;
         if (seen.insert(obj).second) {
+          if (budget != nullptr && !budget->ChargeScored()) {
+            // Candidate budget exhausted: return best-so-far. Every result
+            // already offered carries its exact full aggregate.
+            if (truncated != nullptr) *truncated = true;
+            return TakeTopK(&topk);
+          }
           // Random access: aggregate the object's score across all lists.
           double total = 0.0;
           for (const auto& m : maps) {

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/retriever.hpp"
+#include "util/query_budget.hpp"
 
 /// \file threshold_algorithm.hpp
 /// Top-k merge of per-clique candidate lists (Algorithm 1, line 13).
@@ -27,12 +28,26 @@ struct ScoredList {
 };
 
 /// Fagin TA with early termination. Ties broken towards smaller object id.
-std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
-                                               std::size_t k);
+///
+/// When \p budget is non-null the merge degrades gracefully under pressure:
+/// every candidate admitted via random access charges one scoring unit, the
+/// wall-clock deadline is polled once per sorted-access depth, and on
+/// exhaustion the loop stops and returns best-so-far (setting *truncated).
+/// Returned scores are always EXACT full aggregates (random access sums the
+/// object across all lists), so truncation sheds candidates, never corrupts
+/// scores. The `ta/deadline` fail-point injects deadline expiry at the top
+/// of the depth loop for deterministic fault testing.
+std::vector<core::SearchResult> ThresholdMerge(
+    std::vector<ScoredList> lists, std::size_t k,
+    util::BudgetTracker* budget = nullptr, bool* truncated = nullptr);
 
-/// Hash-aggregation over all entries (reference implementation).
+/// Hash-aggregation over all entries (reference implementation). Always
+/// aggregates fully (exact scores); a candidate budget caps how many
+/// distinct objects are offered to the top-k, in deterministic
+/// first-encounter order (list order, then entry order).
 std::vector<core::SearchResult> ExhaustiveMerge(
-    const std::vector<ScoredList>& lists, std::size_t k);
+    const std::vector<ScoredList>& lists, std::size_t k,
+    util::BudgetTracker* budget = nullptr, bool* truncated = nullptr);
 
 /// Fagin's No-Random-Access (NRA) variant: sorted access only, maintaining
 /// per-object [lower, upper] score bounds, terminating when the k-th lower

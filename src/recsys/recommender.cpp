@@ -85,13 +85,60 @@ std::vector<core::SearchResult> FigRecommender::Recommend(
     const UserProfile& profile,
     const std::vector<corpus::ObjectId>& candidates, std::size_t k,
     std::uint16_t current_month) const {
+  return RecommendWithBudget(profile, candidates, k, current_month,
+                             /*budget=*/nullptr)
+      .results;
+}
+
+util::StatusOr<core::SearchResponse> FigRecommender::TryRecommend(
+    const UserProfile& profile,
+    const std::vector<corpus::ObjectId>& candidates, std::size_t k,
+    std::uint16_t current_month, const util::QueryBudget& budget) const {
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  for (corpus::ObjectId id : candidates) {
+    if (id >= corpus_->Size())
+      return util::Status::NotFound(
+          "candidate object id " + std::to_string(id) +
+          " past the corpus end (" + std::to_string(corpus_->Size()) +
+          " objects)");
+  }
+  util::BudgetTracker tracker(budget);
+  core::SearchResponse resp =
+      RecommendWithBudget(profile, candidates, k, current_month,
+                          budget.Unlimited() ? nullptr : &tracker);
+  if (resp.results.empty() && tracker.Exhausted() && !candidates.empty())
+    return util::Status::DeadlineExceeded(
+        "recommendation budget exhausted before any candidate was scored");
+  return resp;
+}
+
+core::SearchResponse FigRecommender::RecommendWithBudget(
+    const UserProfile& profile,
+    const std::vector<corpus::ObjectId>& candidates, std::size_t k,
+    std::uint16_t current_month, util::BudgetTracker* budget) const {
+  constexpr std::size_t kDeadlineStride = 8;
+  core::SearchResponse resp;
   if (options_.rerank_candidates == 0) {
+    // Single-stage mode: every candidate already gets the full model.
+    resp.reranked = true;
     util::TopK<corpus::ObjectId> topk(k);
-    for (corpus::ObjectId id : candidates)
-      topk.Offer(Score(profile, corpus_->Object(id), current_month), id);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (budget != nullptr &&
+          ((i % kDeadlineStride == 0 && budget->CheckDeadline()) ||
+           !budget->ChargeScored())) {
+        resp.truncated = true;
+        break;
+      }
+      topk.Offer(Score(profile, corpus_->Object(candidates[i]),
+                       current_month),
+                 candidates[i]);
+    }
     std::vector<core::SearchResult> out;
     for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
-    return out;
+    resp.results = std::move(out);
+    if (budget != nullptr)
+      resp.scored_candidates = budget->ScoredCandidates();
+    return resp;
   }
 
   // ---- Stage 1: containment matching through a feature -> clique map
@@ -122,7 +169,15 @@ std::vector<core::SearchResult> FigRecommender::Recommend(
   std::vector<std::uint32_t> touched;
   util::TopK<corpus::ObjectId> stage1(
       std::max(k, options_.rerank_candidates));
-  for (corpus::ObjectId id : candidates) {
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    const corpus::ObjectId id = candidates[ci];
+    if (budget != nullptr &&
+        ((ci % kDeadlineStride == 0 && budget->CheckDeadline()) ||
+         !budget->ChargeScored())) {
+      // Budget exhausted mid-stage-1: shed the unscored candidate tail.
+      resp.truncated = true;
+      break;
+    }
     const corpus::MediaObject& obj = corpus_->Object(id);
     touched.clear();
     for (const corpus::FeatureOccurrence& f : obj.features) {
@@ -148,13 +203,43 @@ std::vector<core::SearchResult> FigRecommender::Recommend(
   }
 
   // ---- Stage 2: full-model re-scoring of the survivors (Eq. 10 with the
-  // smoothing component, partial singleton cliques included).
-  util::TopK<corpus::ObjectId> topk(k);
-  for (const auto& e : stage1.Take())
-    topk.Offer(Score(profile, corpus_->Object(e.id), current_month), e.id);
-  std::vector<core::SearchResult> out;
-  for (const auto& e : topk.Take()) out.push_back({e.id, e.score});
-  return out;
+  // smoothing component, partial singleton cliques included). Under budget
+  // pressure this stage is shed FIRST: the caller then gets stage-1
+  // containment scores rather than fewer candidates.
+  const auto survivors = stage1.Take();
+  bool shed_rerank =
+      budget != nullptr &&
+      (budget->Exhausted() || budget->CheckDeadline() ||
+       !budget->HasCandidateAllowance(survivors.size()));
+  if (!shed_rerank) {
+    util::TopK<corpus::ObjectId> topk(k);
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      if (budget != nullptr) {
+        if (i % kDeadlineStride == 0 && budget->CheckDeadline()) {
+          // Mid-rerank expiry: shed the whole stage rather than mix
+          // stage-1 and stage-2 scores in one ranking.
+          shed_rerank = true;
+          break;
+        }
+        budget->ChargeScored();
+      }
+      topk.Offer(Score(profile, corpus_->Object(survivors[i].id),
+                       current_month),
+                 survivors[i].id);
+    }
+    if (!shed_rerank) {
+      resp.reranked = true;
+      for (const auto& e : topk.Take())
+        resp.results.push_back({e.id, e.score});
+    }
+  }
+  if (shed_rerank) {
+    resp.truncated = true;
+    for (std::size_t i = 0; i < survivors.size() && i < k; ++i)
+      resp.results.push_back({survivors[i].id, survivors[i].score});
+  }
+  if (budget != nullptr) resp.scored_candidates = budget->ScoredCandidates();
+  return resp;
 }
 
 }  // namespace figdb::recsys

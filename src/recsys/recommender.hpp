@@ -8,6 +8,8 @@
 #include "core/retriever.hpp"
 #include "corpus/corpus.hpp"
 #include "recsys/user_profile.hpp"
+#include "util/query_budget.hpp"
+#include "util/status.hpp"
 
 /// \file recommender.hpp
 /// The FIG / FIG-T recommender of paper §4.
@@ -54,6 +56,20 @@ class FigRecommender {
       const std::vector<corpus::ObjectId>& candidates, std::size_t k,
       std::uint16_t current_month) const;
 
+  /// Validating, budget-aware Recommend, mirroring the retrieval engine's
+  /// TrySearch contract:
+  ///   kInvalidArgument   k = 0
+  ///   kNotFound          a candidate id past the corpus end
+  ///   kDeadlineExceeded  budget expired before any candidate was scored
+  /// Under budget pressure the stage-2 full-model rerank is shed first
+  /// (falling back to stage-1 containment scores), then the unscored
+  /// candidate tail; partial answers come back tagged `truncated`.
+  util::StatusOr<core::SearchResponse> TryRecommend(
+      const UserProfile& profile,
+      const std::vector<corpus::ObjectId>& candidates, std::size_t k,
+      std::uint16_t current_month,
+      const util::QueryBudget& budget = {}) const;
+
   /// Full-model score of a single candidate (exposed for tests/ablations).
   double Score(const UserProfile& profile, const corpus::MediaObject& obj,
                std::uint16_t current_month) const;
@@ -83,6 +99,13 @@ class FigRecommender {
                    const UserProfile& profile,
                    const corpus::MediaObject& obj,
                    std::uint16_t current_month) const;
+
+  /// Shared Recommend core; Recommend runs it with a null budget, so the
+  /// unbudgeted TryRecommend is identical to Recommend by construction.
+  core::SearchResponse RecommendWithBudget(
+      const UserProfile& profile,
+      const std::vector<corpus::ObjectId>& candidates, std::size_t k,
+      std::uint16_t current_month, util::BudgetTracker* budget) const;
 
   const corpus::Corpus* corpus_;
   std::shared_ptr<const core::PotentialEvaluator> exact_;

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte buffers.
+/// Used by the snapshot format for per-section integrity: a flipped bit in a
+/// stored corpus must surface as a precise kDataLoss error, not as a silently
+/// mis-scored database. Table-based, one table generated at static init.
+
+namespace figdb::util {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC-32 of \p bytes, optionally continuing from a previous value
+/// (pass the prior result as \p seed to checksum in chunks).
+inline std::uint32_t Crc32(std::string_view bytes, std::uint32_t seed = 0) {
+  const auto& table = detail::Crc32Table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char b : bytes)
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace figdb::util

@@ -1,0 +1,84 @@
+#include "util/failpoint.hpp"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace figdb::util {
+namespace {
+
+struct FailPointState {
+  FailPointSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  bool active = false;  // stays in the map after deactivation (keeps hits)
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, FailPointState> points;
+  std::uint64_t active = 0;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t> FailPoints::active_count_{0};
+
+void FailPoints::Activate(std::string_view name, FailPointSpec spec) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  FailPointState& state = reg.points[std::string(name)];
+  if (!state.active) ++reg.active;
+  state = FailPointState{spec, /*hits=*/0, /*fires=*/0, /*active=*/true};
+  active_count_.store(reg.active, std::memory_order_relaxed);
+}
+
+void FailPoints::Deactivate(std::string_view name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(std::string(name));
+  if (it == reg.points.end() || !it->second.active) return;
+  it->second.active = false;
+  --reg.active;
+  active_count_.store(reg.active, std::memory_order_relaxed);
+}
+
+void FailPoints::DeactivateAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, state] : reg.points) state.active = false;
+  reg.active = 0;
+  active_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FailPoints::Fire(std::string_view name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(std::string(name));
+  if (it == reg.points.end() || !it->second.active) return false;
+  FailPointState& state = it->second;
+  const std::uint64_t hit = state.hits++;
+  if (hit < state.spec.skip_hits) return false;
+  if (state.fires >= state.spec.max_fires) return false;
+  ++state.fires;
+  if (state.fires >= state.spec.max_fires) {
+    state.active = false;
+    --reg.active;
+    active_count_.store(reg.active, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+std::uint64_t FailPoints::HitCount(std::string_view name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(std::string(name));
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+}  // namespace figdb::util

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file failpoint.hpp
+/// Deterministic fail-point registry for fault-injection testing.
+///
+/// A fail-point is a named site in production code (storage IO, snapshot
+/// parsing, index build, the TA merge loop) where a test can deterministically
+/// inject a failure — truncation, corruption, IO error, deadline pressure —
+/// without mocks or build-time seams. Sites call FIGDB_FAILPOINT("name"),
+/// which is zero-cost when nothing is activated: a single relaxed atomic load
+/// of the global activation count guards the (slow, locked) name lookup.
+///
+/// Activation supports fire-after-N-hits counters so tests can target e.g.
+/// "the third section read" or "the fifth TA depth", and a bounded fire
+/// count ("fail once, then recover") for retry-path testing. The registry is
+/// process-global and thread-safe; tests use ScopedFailPoint so activation
+/// never leaks across test cases.
+
+namespace figdb::util {
+
+struct FailPointSpec {
+  /// The point fires on hit number (skip_hits + 1); earlier hits pass.
+  std::uint64_t skip_hits = 0;
+  /// Number of firings before the point deactivates itself;
+  /// kForever = fire on every eligible hit.
+  std::uint64_t max_fires = kForever;
+
+  static constexpr std::uint64_t kForever = ~std::uint64_t{0};
+};
+
+class FailPoints {
+ public:
+  /// (Re-)activates \p name with \p spec, resetting its hit counter.
+  static void Activate(std::string_view name, FailPointSpec spec = {});
+  static void Deactivate(std::string_view name);
+  static void DeactivateAll();
+
+  /// True iff the point is active and this hit should inject the failure.
+  /// Every call counts one hit against the point's counters.
+  static bool Fire(std::string_view name);
+
+  /// Hits recorded against \p name since activation (0 if inactive).
+  /// Lets tests assert a site was actually reached.
+  static std::uint64_t HitCount(std::string_view name);
+
+  /// Fast path: true iff any point is active anywhere in the process.
+  static bool AnyActive() {
+    return active_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  static std::atomic<std::uint64_t> active_count_;
+};
+
+/// RAII activation for tests: active for the scope's lifetime.
+class ScopedFailPoint {
+ public:
+  explicit ScopedFailPoint(std::string name, FailPointSpec spec = {})
+      : name_(std::move(name)) {
+    FailPoints::Activate(name_, spec);
+  }
+  ~ScopedFailPoint() { FailPoints::Deactivate(name_); }
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+  std::uint64_t HitCount() const { return FailPoints::HitCount(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace figdb::util
+
+/// Evaluates to true when the named fail-point should inject its failure.
+/// Zero-cost (one relaxed atomic load) while no point is active.
+#define FIGDB_FAILPOINT(name)           \
+  (::figdb::util::FailPoints::AnyActive() && \
+   ::figdb::util::FailPoints::Fire(name))

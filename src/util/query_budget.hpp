@@ -1,0 +1,123 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+/// \file query_budget.hpp
+/// Per-query work budget: a wall-clock deadline plus a cap on scored
+/// candidates, threaded through Search, the TA merge loop and the stage-2
+/// rerank. The paper's pitch for the inverted clique index + Threshold
+/// Algorithm is bounded query latency at scale; the budget makes the bound
+/// explicit and enforceable. On exhaustion the query path degrades
+/// gracefully instead of failing: it returns best-so-far results tagged
+/// `truncated`, shedding the rerank stage first (falling back to exact
+/// stage-1 scores) before shedding candidates.
+
+namespace figdb::util {
+
+/// The caller-facing budget spec. Default-constructed = unlimited, so every
+/// pre-existing call site keeps its exact behaviour.
+struct QueryBudget {
+  static constexpr std::size_t kUnlimitedCandidates =
+      static_cast<std::size_t>(-1);
+
+  /// Wall-clock limit for the whole query; <= 0 means no deadline.
+  double wall_limit_seconds = 0.0;
+  /// Maximum number of candidates that may be scored across all stages
+  /// (stage-1 potential evaluations + rerank evaluations). Note 0 is a
+  /// legal value meaning "no scoring work at all".
+  std::size_t max_scored_candidates = kUnlimitedCandidates;
+
+  bool Unlimited() const {
+    return wall_limit_seconds <= 0.0 &&
+           max_scored_candidates == kUnlimitedCandidates;
+  }
+
+  static QueryBudget Deadline(double seconds) {
+    QueryBudget b;
+    b.wall_limit_seconds = seconds;
+    return b;
+  }
+  static QueryBudget Candidates(std::size_t max_scored) {
+    QueryBudget b;
+    b.max_scored_candidates = max_scored;
+    return b;
+  }
+};
+
+/// Mutable execution-side state of one query's budget. Created at the top
+/// of Search/Rank/Recommend and passed down by pointer; a null tracker means
+/// unlimited everywhere.
+class BudgetTracker {
+ public:
+  enum class Cause : std::uint8_t { kNone, kDeadline, kCandidates };
+
+  explicit BudgetTracker(const QueryBudget& budget)
+      : budget_(budget), start_(Clock::now()) {}
+
+  /// Charges \p n candidate-scoring units. Returns false — and latches the
+  /// exhaustion cause — once the candidate cap is exceeded or the deadline
+  /// has passed (the clock is polled every kDeadlineStride charges to keep
+  /// the hot loop cheap).
+  bool ChargeScored(std::size_t n = 1) {
+    if (cause_ != Cause::kNone) return false;
+    if (budget_.max_scored_candidates != QueryBudget::kUnlimitedCandidates &&
+        scored_ + n > budget_.max_scored_candidates) {
+      cause_ = Cause::kCandidates;
+      return false;
+    }
+    scored_ += n;
+    if ((scored_ & (kDeadlineStride - 1)) == 0 && DeadlinePassed()) {
+      cause_ = Cause::kDeadline;
+      return false;
+    }
+    return true;
+  }
+
+  /// Explicit deadline poll (used once per TA depth / rerank candidate,
+  /// where a syscall-ish clock read per iteration is acceptable).
+  bool CheckDeadline() {
+    if (cause_ != Cause::kNone) return cause_ == Cause::kDeadline;
+    if (DeadlinePassed()) {
+      cause_ = Cause::kDeadline;
+      return true;
+    }
+    return false;
+  }
+
+  /// Marks the deadline as expired regardless of the clock — the hook the
+  /// `ta/deadline` fail-point uses to inject deadline pressure
+  /// deterministically.
+  void ForceDeadline() { cause_ = Cause::kDeadline; }
+
+  /// Could \p n more units be charged? (No side effects; the stage-shedding
+  /// planner uses this to drop the rerank BEFORE dropping candidates.)
+  bool HasCandidateAllowance(std::size_t n) const {
+    if (cause_ != Cause::kNone) return false;
+    if (budget_.max_scored_candidates == QueryBudget::kUnlimitedCandidates)
+      return true;
+    return scored_ + n <= budget_.max_scored_candidates;
+  }
+
+  bool Exhausted() const { return cause_ != Cause::kNone; }
+  Cause ExhaustionCause() const { return cause_; }
+  std::size_t ScoredCandidates() const { return scored_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kDeadlineStride = 32;  // power of two
+
+  bool DeadlinePassed() const {
+    if (budget_.wall_limit_seconds <= 0.0) return false;
+    return std::chrono::duration<double>(Clock::now() - start_).count() >
+           budget_.wall_limit_seconds;
+  }
+
+  QueryBudget budget_;
+  Clock::time_point start_;
+  std::size_t scored_ = 0;
+  Cause cause_ = Cause::kNone;
+};
+
+}  // namespace figdb::util

@@ -11,6 +11,12 @@
 /// (index/storage.hpp): LEB128 varints, zig-zag signed encoding,
 /// length-prefixed strings and raw little-endian scalars, over an
 /// in-memory byte buffer.
+///
+/// The reader is hardened against adversarial input: every length claim is
+/// validated against the remaining bytes BEFORE any allocation (a corrupt
+/// 8-byte length prefix must produce a clean decode failure, not a
+/// std::bad_alloc), varints reject overlong (> 10 byte) encodings and
+/// high-bit overflow, and arithmetic on claimed sizes cannot wrap.
 
 namespace figdb::util {
 
@@ -44,10 +50,19 @@ class BinaryWriter {
     buffer_.append(p, 4);
   }
 
+  /// Raw little-endian 32-bit word (used for section checksums, where a
+  /// fixed width keeps the checksum outside its own coverage trivially).
+  void PutFixed32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buffer_.push_back(char(v >> (8 * i)));
+  }
+
   void PutString(std::string_view s) {
     PutVarint(s.size());
     buffer_.append(s.data(), s.size());
   }
+
+  /// Appends pre-encoded bytes verbatim (section framing).
+  void PutRaw(std::string_view s) { buffer_.append(s.data(), s.size()); }
 
   /// Delta-varint encoding of a sorted id list (postings compression).
   void PutSortedIds(const std::vector<std::uint32_t>& ids) {
@@ -73,6 +88,8 @@ class BinaryReader {
   bool Ok() const { return ok_; }
   bool AtEnd() const { return pos_ >= data_.size(); }
   std::size_t Position() const { return pos_; }
+  /// Bytes left to read. pos_ never exceeds size, so this cannot wrap.
+  std::size_t Remaining() const { return data_.size() - pos_; }
 
   std::uint8_t GetU8() {
     if (pos_ >= data_.size()) return Fail<std::uint8_t>();
@@ -84,6 +101,9 @@ class BinaryReader {
     int shift = 0;
     while (pos_ < data_.size() && shift < 64) {
       const std::uint8_t b = std::uint8_t(data_[pos_++]);
+      // The 10th byte holds bits 63..69 of which only bit 63 exists:
+      // anything above it means the encoded value overflows 64 bits.
+      if (shift == 63 && (b & 0x7e)) return Fail<std::uint64_t>();
       v |= std::uint64_t(b & 0x7f) << shift;
       if (!(b & 0x80)) return v;
       shift += 7;
@@ -114,20 +134,42 @@ class BinaryReader {
 
   std::string GetString() {
     const std::uint64_t n = GetVarint();
-    if (!ok_ || pos_ + n > data_.size()) return Fail<std::string>();
-    std::string s(data_.substr(pos_, n));
-    pos_ += n;
+    // Compare against Remaining() rather than pos_ + n: a corrupt length
+    // near 2^64 would wrap pos_ + n and slip past the bound check.
+    if (!ok_ || n > Remaining()) return Fail<std::string>();
+    std::string s(data_.substr(pos_, std::size_t(n)));
+    pos_ += std::size_t(n);
     return s;
+  }
+
+  /// A raw view of the next \p n bytes (no copy); fails cleanly when the
+  /// claim exceeds the remaining input. Used for checksummed sections.
+  std::string_view GetRaw(std::uint64_t n) {
+    if (!ok_ || n > Remaining()) return Fail<std::string_view>();
+    std::string_view s = data_.substr(pos_, std::size_t(n));
+    pos_ += std::size_t(n);
+    return s;
+  }
+
+  std::uint32_t GetFixed32() {
+    if (Remaining() < 4) return Fail<std::uint32_t>();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= std::uint32_t(std::uint8_t(data_[pos_++])) << (8 * i);
+    return v;
   }
 
   std::vector<std::uint32_t> GetSortedIds() {
     const std::uint64_t n = GetVarint();
     std::vector<std::uint32_t> ids;
-    if (!ok_ || n > data_.size()) {  // n > remaining bytes => corrupt
+    // Each id costs at least one encoded byte, so a count above the
+    // remaining byte count is corrupt — reject BEFORE reserving, or a
+    // hostile length claim turns into a multi-gigabyte allocation.
+    if (!ok_ || n > Remaining()) {
       Fail<int>();
       return ids;
     }
-    ids.reserve(n);
+    ids.reserve(std::size_t(n));
     std::uint32_t prev = 0;
     for (std::uint64_t i = 0; i < n && ok_; ++i) {
       prev += std::uint32_t(GetVarint());

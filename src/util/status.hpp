@@ -1,0 +1,155 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/check.hpp"
+
+/// \file status.hpp
+/// Error taxonomy for the hardened query and storage paths.
+///
+/// A long-running figdb server cannot afford the seed-era failure semantics
+/// (abort on API misuse, unexplained std::nullopt on corruption). Status
+/// carries a small canonical error code plus a human-readable message with
+/// the precise reason ("vocabulary section CRC mismatch (stored 0x1234,
+/// computed 0x5678)"); StatusOr<T> is the value-or-error return used by the
+/// storage layer and the validating TrySearch/TryRank/TryRecommend entry
+/// points. The taxonomy deliberately mirrors the canonical gRPC subset the
+/// service tier would map these to.
+
+namespace figdb::util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  /// The caller's request is malformed regardless of system state
+  /// (empty query, k = 0, out-of-vocabulary feature, bad option value).
+  kInvalidArgument = 1,
+  /// A referenced entity does not exist (object id past the corpus end,
+  /// snapshot file missing).
+  kNotFound = 2,
+  /// Stored bytes are unrecoverably corrupt (bad magic, CRC mismatch,
+  /// truncated section, dangling internal id).
+  kDataLoss = 3,
+  /// The query budget expired before any result could be produced.
+  /// (Partial results are NOT an error: they come back `truncated`.)
+  kDeadlineExceeded = 4,
+  /// An explicit resource limit was hit (allocation guard, list cap).
+  kResourceExhausted = 5,
+  /// A dependency is down or an IO operation failed; retrying may help.
+  kUnavailable = 6,
+};
+
+inline std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "DATA_LOSS: vocabulary section CRC mismatch" — for logs and shells.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status. Accessors FIGDB_CHECK on misuse (asking for the value
+/// of an error, or the status of a value is fine — status() is kOk then).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    FIGDB_CHECK_MSG(!status_.ok(),
+                    "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  /// Alias so StatusOr drops into std::optional-shaped call sites.
+  bool has_value() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FIGDB_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    FIGDB_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    FIGDB_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // kOk iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace figdb::util
+
+/// Propagates a non-OK status to the caller (storage-layer idiom).
+#define FIGDB_RETURN_IF_ERROR(expr)                    \
+  do {                                                 \
+    ::figdb::util::Status figdb_status_ = (expr);      \
+    if (!figdb_status_.ok()) return figdb_status_;     \
+  } while (0)

@@ -170,7 +170,7 @@ TEST_F(StorageTest, RejectsCorruptSnapshots) {
 
 TEST_F(StorageTest, FileRoundTrip) {
   const std::string path = "/tmp/figdb_storage_test.bin";
-  ASSERT_TRUE(index::SaveCorpus(*corpus_, path));
+  ASSERT_TRUE(index::SaveCorpus(*corpus_, path).ok());
   const auto loaded = index::LoadCorpus(path);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->Size(), corpus_->Size());

@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "corpus/generator.hpp"
+#include "index/retrieval_engine.hpp"
+#include "index/storage.hpp"
+#include "recsys/recommender.hpp"
+#include "recsys/user_profile.hpp"
+#include "util/failpoint.hpp"
+#include "util/query_budget.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+/// \file robustness_test.cpp
+/// The hardened-query-path suite: fault injection via fail-points alone (no
+/// mocks), corruption fuzzing of the snapshot format, and degraded-mode
+/// correctness of the budget-aware TrySearch/TryRank/TryRecommend entry
+/// points. The invariant under test throughout: malformed input and injected
+/// faults produce precise util::Status errors or `truncated` best-effort
+/// results — never an abort, crash or silent wrong answer.
+
+namespace figdb::index {
+namespace {
+
+using corpus::FeatureType;
+using corpus::MakeFeatureKey;
+using util::FailPoints;
+using util::QueryBudget;
+using util::ScopedFailPoint;
+using util::StatusCode;
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 220;
+    config.num_topics = 6;
+    config.num_users = 70;
+    config.visual_words = 32;
+    config.seed = 4242;
+    corpus_ = new corpus::Corpus(
+        corpus::Generator(config).MakeRetrievalCorpus());
+    EngineOptions two_stage;
+    two_stage.rerank_candidates = 48;
+    engine_ = new FigRetrievalEngine(*corpus_, two_stage);
+    EngineOptions stage1_only;
+    stage1_only.rerank_candidates = 0;
+    stage1_engine_ = new FigRetrievalEngine(*corpus_, stage1_only);
+    snapshot_ = new std::string(SerializeCorpus(*corpus_));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete stage1_engine_;
+    delete snapshot_;
+    delete corpus_;
+    engine_ = nullptr;
+    stage1_engine_ = nullptr;
+    snapshot_ = nullptr;
+    corpus_ = nullptr;
+  }
+  void TearDown() override { FailPoints::DeactivateAll(); }
+
+  /// A query object that produces a healthy number of cliques.
+  const corpus::MediaObject& Query() const { return corpus_->Object(17); }
+
+  static corpus::Corpus* corpus_;
+  static FigRetrievalEngine* engine_;
+  static FigRetrievalEngine* stage1_engine_;
+  static std::string* snapshot_;
+};
+
+corpus::Corpus* RobustnessTest::corpus_ = nullptr;
+FigRetrievalEngine* RobustnessTest::engine_ = nullptr;
+FigRetrievalEngine* RobustnessTest::stage1_engine_ = nullptr;
+std::string* RobustnessTest::snapshot_ = nullptr;
+
+// ------------------------------------------- fault injection: storage IO
+
+TEST_F(RobustnessTest, SaveCorpusIoFailureIsUnavailable) {
+  ScopedFailPoint fp("storage/save_io");
+  const util::Status s = SaveCorpus(*corpus_, "/tmp/figdb_robust_save.bin");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.message().find("short write"), std::string::npos);
+  std::remove("/tmp/figdb_robust_save.bin");
+}
+
+TEST_F(RobustnessTest, LoadCorpusIoFailureIsUnavailable) {
+  const std::string path = "/tmp/figdb_robust_load.bin";
+  ASSERT_TRUE(SaveCorpus(*corpus_, path).ok());
+  {
+    ScopedFailPoint fp("storage/load_io");
+    const auto loaded = LoadCorpus(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+  }
+  // The fail-point is scoped: the same file loads fine afterwards.
+  EXPECT_TRUE(LoadCorpus(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(RobustnessTest, MissingSnapshotFileIsNotFound) {
+  const auto loaded = LoadCorpus("/nonexistent/figdb.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------- fault injection: snapshot parse
+
+TEST_F(RobustnessTest, InjectedTruncationMidSectionIsDataLoss) {
+  // skip_hits = 2: the meta and vocabulary sections open cleanly, the
+  // taxonomy section reports truncation.
+  ScopedFailPoint fp("storage/section_truncated",
+                     {.skip_hits = 2});
+  const auto loaded = DeserializeCorpus(*snapshot_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("taxonomy"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, InjectedCrcMismatchIsDataLoss) {
+  ScopedFailPoint fp("storage/section_crc", {.skip_hits = 1});
+  const auto loaded = DeserializeCorpus(*snapshot_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("vocabulary"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("CRC mismatch"),
+            std::string::npos);
+}
+
+TEST_F(RobustnessTest, RealBitFlipIsCaughtBySectionCrc) {
+  std::string bytes = *snapshot_;
+  bytes[bytes.size() / 2] ^= 0x10;  // deep inside some section's payload
+  const auto loaded = DeserializeCorpus(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(RobustnessTest, ForeignAndOldSnapshotsAreInvalidArgument) {
+  const auto foreign = DeserializeCorpus("definitely not a snapshot");
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------- corruption fuzzing
+
+TEST_F(RobustnessTest, CorruptionFuzz500Seeds) {
+  // Smaller corpus: the fuzz loop deserializes 500 mutants.
+  corpus::GeneratorConfig config;
+  config.num_objects = 60;
+  config.num_topics = 4;
+  config.num_users = 30;
+  config.visual_words = 16;
+  config.seed = 99;
+  const corpus::Corpus small =
+      corpus::Generator(config).MakeRetrievalCorpus();
+  const std::string bytes = SerializeCorpus(small);
+  ASSERT_TRUE(DeserializeCorpus(bytes).ok());
+
+  util::Rng rng(20260807);
+  for (int seed = 0; seed < 500; ++seed) {
+    std::string mutant = bytes;
+    if (seed % 3 == 0) {
+      // Truncate at a random point (drop at least one byte).
+      mutant.resize(rng.UniformInt(mutant.size()));
+    } else {
+      // Flip 1-4 random bytes with random non-zero masks.
+      const std::size_t flips = 1 + rng.UniformInt(4);
+      for (std::size_t f = 0; f < flips; ++f)
+        mutant[rng.UniformInt(mutant.size())] ^=
+            char(1 + rng.UniformInt(255));
+    }
+    const auto result = DeserializeCorpus(mutant);  // must not crash/throw
+    ASSERT_FALSE(result.ok()) << "seed " << seed
+                              << ": corrupt snapshot was accepted";
+    const StatusCode code = result.status().code();
+    EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                code == StatusCode::kInvalidArgument)
+        << "seed " << seed << ": unexpected " << result.status().ToString();
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+// ------------------------------------------------- TrySearch validation
+
+TEST_F(RobustnessTest, TrySearchRejectsMalformedRequests) {
+  const auto empty = engine_->TrySearch(corpus::MediaObject{}, 5);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  const auto zero_k = engine_->TrySearch(Query(), 0);
+  ASSERT_FALSE(zero_k.ok());
+  EXPECT_EQ(zero_k.status().code(), StatusCode::kInvalidArgument);
+
+  corpus::MediaObject oov;
+  oov.features = {{MakeFeatureKey(FeatureType::kText,
+                                  std::uint32_t(corpus_->GetContext()
+                                                    .vocabulary.Size()) +
+                                      7),
+                   1}};
+  const auto bad = engine_->TrySearch(oov, 5);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("out-of-vocabulary"),
+            std::string::npos);
+}
+
+TEST_F(RobustnessTest, TryRankRejectsDanglingCandidates) {
+  const auto r = engine_->TryRank(
+      Query(), {0, 1, corpus::ObjectId(corpus_->Size() + 3)}, 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RobustnessTest, TrySearchWithoutIndexIsUnavailable) {
+  EngineOptions opts;
+  opts.build_index = false;
+  const FigRetrievalEngine no_index(*corpus_, opts);
+  const auto r = no_index.TrySearch(Query(), 5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+// ------------------------------------------- budgets & graceful shedding
+
+TEST_F(RobustnessTest, GenerousBudgetIsBitIdenticalToSearch) {
+  for (corpus::ObjectId q : {3u, 17u, 101u, 219u}) {
+    const auto reference = engine_->Search(corpus_->Object(q), 10);
+    QueryBudget generous;
+    generous.wall_limit_seconds = 3600.0;
+    generous.max_scored_candidates = 1u << 20;
+    const auto response =
+        engine_->TrySearch(corpus_->Object(q), 10, generous);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_FALSE(response->truncated);
+    EXPECT_TRUE(response->reranked);
+    ASSERT_EQ(response->results.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(response->results[i].object, reference[i].object);
+      EXPECT_EQ(response->results[i].score, reference[i].score);  // bitwise
+    }
+  }
+}
+
+TEST_F(RobustnessTest, ZeroCandidateBudgetIsDeadlineExceededNotAbort) {
+  const auto r =
+      engine_->TrySearch(Query(), 10, QueryBudget::Candidates(0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(RobustnessTest, TightBudgetShedsRerankBeforeCandidates) {
+  // Enough allowance for the TA to admit candidates but not to re-score
+  // them: the rerank stage must be shed, giving stage-1 scores.
+  const auto full = engine_->TrySearch(Query(), 10);
+  ASSERT_TRUE(full.ok());
+  const std::size_t stage1_spent = full->scored_candidates;  // 0 (unbudgeted)
+  (void)stage1_spent;
+
+  const auto r = engine_->TrySearch(Query(), 10, QueryBudget::Candidates(20));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->truncated);
+  EXPECT_FALSE(r->reranked);
+  EXPECT_LE(r->scored_candidates, 20u);
+  ASSERT_FALSE(r->results.empty());
+}
+
+TEST_F(RobustnessTest, DegradedResultsKeepExactStage1Scores) {
+  // Reference: the same engine geometry without a rerank stage, unbudgeted.
+  // Budget-truncated results must be score-consistent with it: truncation
+  // sheds candidates, never corrupts the scores of what is returned.
+  const auto reference = stage1_engine_->Search(Query(), 200);
+  std::unordered_map<corpus::ObjectId, double> truth;
+  for (const auto& e : reference) truth[e.object] = e.score;
+
+  for (std::size_t cap : {5u, 12u, 25u, 60u}) {
+    const auto r =
+        stage1_engine_->TrySearch(Query(), 10, QueryBudget::Candidates(cap));
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+      continue;
+    }
+    // Order must be descending and every returned id must carry its exact
+    // unbudgeted score.
+    for (std::size_t i = 0; i + 1 < r->results.size(); ++i)
+      EXPECT_GE(r->results[i].score, r->results[i + 1].score);
+    for (const auto& e : r->results) {
+      auto it = truth.find(e.object);
+      ASSERT_NE(it, truth.end()) << "budgeted run invented candidate "
+                                 << e.object;
+      EXPECT_DOUBLE_EQ(e.score, it->second);
+    }
+  }
+}
+
+TEST_F(RobustnessTest, MergeModesAgreeUnbudgetedAndStayConsistentBudgeted) {
+  EngineOptions exhaustive_opts;
+  exhaustive_opts.rerank_candidates = 0;
+  exhaustive_opts.merge = EngineOptions::MergeMode::kExhaustive;
+  const FigRetrievalEngine exhaustive(*corpus_, exhaustive_opts);
+
+  for (corpus::ObjectId q : {5u, 42u, 150u}) {
+    // No budget: TA and exhaustive merges must agree exactly.
+    const auto ta = stage1_engine_->Search(corpus_->Object(q), 10);
+    const auto ex = exhaustive.Search(corpus_->Object(q), 10);
+    ASSERT_EQ(ta.size(), ex.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_EQ(ta[i].object, ex[i].object);
+      EXPECT_NEAR(ta[i].score, ex[i].score, 1e-12);
+    }
+    // Budgeted exhaustive merge: still exact scores for returned ids.
+    std::unordered_map<corpus::ObjectId, double> truth;
+    for (const auto& e : exhaustive.Search(corpus_->Object(q), 500))
+      truth[e.object] = e.score;
+    const auto budgeted = exhaustive.TrySearch(corpus_->Object(q), 10,
+                                               QueryBudget::Candidates(15));
+    if (budgeted.ok()) {
+      for (const auto& e : budgeted->results) {
+        auto it = truth.find(e.object);
+        ASSERT_NE(it, truth.end());
+        EXPECT_DOUBLE_EQ(e.score, it->second);
+      }
+    }
+  }
+}
+
+// --------------------------------------- fault injection: TA & index build
+
+TEST_F(RobustnessTest, InjectedDeadlineInTaLoopTruncatesGracefully) {
+  // Let the TA run a few sorted-access depths, then expire the deadline
+  // from inside the loop. Best-so-far results must come back `truncated`
+  // with exact stage-1 scores; no abort, no hang.
+  const auto reference = stage1_engine_->Search(Query(), 200);
+  std::unordered_map<corpus::ObjectId, double> truth;
+  for (const auto& e : reference) truth[e.object] = e.score;
+
+  constexpr std::uint64_t kSkip = 1;  // fire on the second TA depth
+  ScopedFailPoint fp("ta/deadline", {.skip_hits = kSkip});
+  const auto r = stage1_engine_->TrySearch(Query(), 10,
+                                           QueryBudget::Deadline(3600.0));
+  ASSERT_GT(fp.HitCount(), kSkip)
+      << "the TA terminated before the injection depth; lower skip_hits";
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+    return;
+  }
+  EXPECT_TRUE(r->truncated);
+  for (const auto& e : r->results) {
+    auto it = truth.find(e.object);
+    ASSERT_NE(it, truth.end());
+    EXPECT_DOUBLE_EQ(e.score, it->second);
+  }
+}
+
+TEST_F(RobustnessTest, InjectedDeadlineShedsRerankOnTwoStageEngine) {
+  // On the two-stage engine an expiry injected after some TA progress must
+  // fall back to stage-1 scores (rerank shed) rather than mixing stages.
+  ScopedFailPoint fp("ta/deadline", {.skip_hits = 1});
+  const auto r =
+      engine_->TrySearch(Query(), 10, QueryBudget::Deadline(3600.0));
+  ASSERT_GT(fp.HitCount(), 1u);
+  if (!r.ok()) {
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+    return;
+  }
+  EXPECT_TRUE(r->truncated);
+  EXPECT_FALSE(r->reranked);
+}
+
+TEST_F(RobustnessTest, TruncatedIndexBuildYieldsDegradedEngine) {
+  ScopedFailPoint fp("index/build_truncated", {.skip_hits = 100});
+  EngineOptions opts;
+  opts.rerank_candidates = 0;
+  const FigRetrievalEngine degraded(*corpus_, opts);
+  EXPECT_TRUE(degraded.Index().Degraded());
+  // The engine still serves; answers are flagged as best-effort.
+  const auto r = degraded.TrySearch(Query(), 5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->truncated);
+}
+
+// ------------------------------------------------- recommender statuses
+
+TEST_F(RobustnessTest, TryRecommendValidatesAndDegrades) {
+  // Build a profile from a couple of corpus objects, recommend over a
+  // candidate window.
+  recsys::ProfileBuilder builder(engine_->Correlations());
+  const recsys::UserProfile profile =
+      builder.Build(*corpus_, {Query().id, corpus::ObjectId(18)});
+  std::vector<corpus::ObjectId> candidates;
+  for (corpus::ObjectId id = 100; id < 180; ++id) candidates.push_back(id);
+  recsys::FigRecommender rec(*corpus_, engine_->ExactPotential(),
+                             engine_->Potential(), {});
+
+  // Dangling candidate id.
+  const auto dangling = rec.TryRecommend(
+      profile, {corpus::ObjectId(corpus_->Size() + 1)}, 5, 4);
+  ASSERT_FALSE(dangling.ok());
+  EXPECT_EQ(dangling.status().code(), StatusCode::kNotFound);
+
+  // k = 0.
+  const auto zero_k = rec.TryRecommend(profile, candidates, 0, 4);
+  ASSERT_FALSE(zero_k.ok());
+  EXPECT_EQ(zero_k.status().code(), StatusCode::kInvalidArgument);
+
+  // Unbudgeted TryRecommend matches Recommend exactly.
+  const auto reference = rec.Recommend(profile, candidates, 10, 4);
+  const auto unbudgeted = rec.TryRecommend(profile, candidates, 10, 4);
+  ASSERT_TRUE(unbudgeted.ok());
+  EXPECT_FALSE(unbudgeted->truncated);
+  ASSERT_EQ(unbudgeted->results.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(unbudgeted->results[i].object, reference[i].object);
+    EXPECT_EQ(unbudgeted->results[i].score, reference[i].score);
+  }
+
+  // A candidate budget below the candidate count sheds work gracefully.
+  const auto tight =
+      rec.TryRecommend(profile, candidates, 10, 4, QueryBudget::Candidates(30));
+  ASSERT_TRUE(tight.ok()) << tight.status().ToString();
+  EXPECT_TRUE(tight->truncated);
+  EXPECT_FALSE(tight->reranked);
+  EXPECT_LE(tight->scored_candidates, 30u);
+
+  // Zero budget: error, not a hang or abort.
+  const auto zero =
+      rec.TryRecommend(profile, candidates, 10, 4, QueryBudget::Candidates(0));
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace figdb::index

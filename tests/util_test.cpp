@@ -5,7 +5,12 @@
 #include <numeric>
 #include <set>
 
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+#include "util/query_budget.hpp"
 #include "util/rng.hpp"
+#include "util/serde.hpp"
+#include "util/status.hpp"
 #include "util/sparse_vector.hpp"
 #include "util/string_util.hpp"
 #include "util/top_k.hpp"
@@ -362,6 +367,236 @@ TEST(StringUtilTest, Trim) {
 
 TEST(StringUtilTest, Format) {
   EXPECT_EQ(Format("%d-%s", 7, "ok"), "7-ok");
+}
+
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  const Status s = Status::DataLoss("vocabulary section CRC mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: vocabulary section CRC mismatch");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kDataLoss, StatusCode::kDeadlineExceeded,
+        StatusCode::kResourceExhausted, StatusCode::kUnavailable})
+    EXPECT_NE(StatusCodeName(c), "UNKNOWN");
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+
+  StatusOr<int> e(Status::NotFound("nope"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MovesValueOut) {
+  StatusOr<std::string> s(std::string(100, 'x'));
+  const std::string moved = *std::move(s);
+  EXPECT_EQ(moved.size(), 100u);
+}
+
+// ------------------------------------------------------------ FailPoints
+
+TEST(FailPointTest, InactiveByDefault) {
+  EXPECT_FALSE(FailPoints::AnyActive());
+  EXPECT_FALSE(FailPoints::Fire("test/never_activated"));
+}
+
+TEST(FailPointTest, FiresWhileActive) {
+  {
+    ScopedFailPoint fp("test/basic");
+    EXPECT_TRUE(FailPoints::AnyActive());
+    EXPECT_TRUE(FailPoints::Fire("test/basic"));
+    EXPECT_TRUE(FailPoints::Fire("test/basic"));
+    EXPECT_EQ(fp.HitCount(), 2u);
+  }
+  EXPECT_FALSE(FailPoints::AnyActive());
+  EXPECT_FALSE(FailPoints::Fire("test/basic"));
+}
+
+TEST(FailPointTest, FireAfterNHits) {
+  ScopedFailPoint fp("test/after_n", {.skip_hits = 3});
+  EXPECT_FALSE(FailPoints::Fire("test/after_n"));  // hit 1
+  EXPECT_FALSE(FailPoints::Fire("test/after_n"));  // hit 2
+  EXPECT_FALSE(FailPoints::Fire("test/after_n"));  // hit 3
+  EXPECT_TRUE(FailPoints::Fire("test/after_n"));   // hit 4 fires
+  EXPECT_TRUE(FailPoints::Fire("test/after_n"));
+}
+
+TEST(FailPointTest, BoundedFireCountAutoDeactivates) {
+  ScopedFailPoint fp("test/once", {.skip_hits = 0, .max_fires = 1});
+  EXPECT_TRUE(FailPoints::Fire("test/once"));
+  EXPECT_FALSE(FailPoints::Fire("test/once"));  // spent
+  EXPECT_FALSE(FailPoints::AnyActive());        // auto-deactivated
+}
+
+TEST(FailPointTest, ReactivationResetsCounters) {
+  ScopedFailPoint fp("test/reset", {.skip_hits = 1});
+  EXPECT_FALSE(FailPoints::Fire("test/reset"));
+  EXPECT_TRUE(FailPoints::Fire("test/reset"));
+  FailPoints::Activate("test/reset", {.skip_hits = 1});
+  EXPECT_FALSE(FailPoints::Fire("test/reset"));  // counter restarted
+  EXPECT_TRUE(FailPoints::Fire("test/reset"));
+}
+
+TEST(FailPointTest, MacroIsInertWhenNothingActive) {
+  // The macro must not even do a registry lookup (zero-cost guarantee is
+  // behavioural here: it evaluates to false with no point active).
+  EXPECT_FALSE(FIGDB_FAILPOINT("test/macro_inert"));
+  ScopedFailPoint fp("test/macro_inert");
+  EXPECT_TRUE(FIGDB_FAILPOINT("test/macro_inert"));
+}
+
+// ------------------------------------------------------------------ Crc32
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32 ("check" value of the IEEE polynomial).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, ChunkedMatchesWhole) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = Crc32(data);
+  const std::uint32_t chunked =
+      Crc32(data.substr(20), Crc32(data.substr(0, 20)));
+  EXPECT_EQ(chunked, whole);
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::string data = "payload payload payload";
+  const std::uint32_t before = Crc32(data);
+  data[7] ^= 0x20;
+  EXPECT_NE(Crc32(data), before);
+}
+
+// ----------------------------------------------------- serde hardening
+
+TEST(SerdeHardeningTest, StringLengthBeyondInputFailsCleanly) {
+  BinaryWriter w;
+  w.PutVarint(1ULL << 40);  // claims a 1 TiB string
+  w.PutString("tiny");
+  BinaryReader r(w.Buffer());
+  EXPECT_TRUE(r.GetString().empty());
+  EXPECT_FALSE(r.Ok());
+}
+
+TEST(SerdeHardeningTest, StringLengthNearUint64MaxDoesNotWrap) {
+  BinaryWriter w;
+  w.PutVarint(~std::uint64_t{0} - 2);  // pos + n would wrap
+  BinaryReader r(w.Buffer());
+  EXPECT_TRUE(r.GetString().empty());
+  EXPECT_FALSE(r.Ok());
+}
+
+TEST(SerdeHardeningTest, SortedIdCountBeyondInputFailsBeforeAllocating) {
+  BinaryWriter w;
+  w.PutVarint(1ULL << 50);  // would reserve petabytes
+  BinaryReader r(w.Buffer());
+  EXPECT_TRUE(r.GetSortedIds().empty());
+  EXPECT_FALSE(r.Ok());
+}
+
+TEST(SerdeHardeningTest, OverlongVarintRejected) {
+  // 11 continuation bytes: no terminator within the 64-bit range.
+  const std::string overlong(11, char(0x80));
+  BinaryReader r(overlong);
+  r.GetVarint();
+  EXPECT_FALSE(r.Ok());
+}
+
+TEST(SerdeHardeningTest, VarintHighBitOverflowRejected)
+{
+  // 10-byte varint whose final byte sets bits above bit 63.
+  std::string bytes(9, char(0xff));
+  bytes.push_back(char(0x7e));
+  BinaryReader r(bytes);
+  r.GetVarint();
+  EXPECT_FALSE(r.Ok());
+}
+
+TEST(SerdeHardeningTest, MaxUint64RoundTrips) {
+  BinaryWriter w;
+  w.PutVarint(~std::uint64_t{0});
+  BinaryReader r(w.Buffer());
+  EXPECT_EQ(r.GetVarint(), ~std::uint64_t{0});
+  EXPECT_TRUE(r.Ok());
+}
+
+TEST(SerdeHardeningTest, Fixed32RoundTrips) {
+  BinaryWriter w;
+  w.PutFixed32(0xDEADBEEFu);
+  BinaryReader r(w.Buffer());
+  EXPECT_EQ(r.GetFixed32(), 0xDEADBEEFu);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// ----------------------------------------------------------- QueryBudget
+
+TEST(QueryBudgetTest, DefaultIsUnlimited) {
+  QueryBudget b;
+  EXPECT_TRUE(b.Unlimited());
+  BudgetTracker t(b);
+  for (int i = 0; i < 100000; ++i) EXPECT_TRUE(t.ChargeScored());
+  EXPECT_FALSE(t.Exhausted());
+}
+
+TEST(QueryBudgetTest, CandidateCapLatches) {
+  BudgetTracker t(QueryBudget::Candidates(3));
+  EXPECT_TRUE(t.ChargeScored());
+  EXPECT_TRUE(t.ChargeScored());
+  EXPECT_TRUE(t.ChargeScored());
+  EXPECT_FALSE(t.ChargeScored());
+  EXPECT_TRUE(t.Exhausted());
+  EXPECT_EQ(t.ExhaustionCause(), BudgetTracker::Cause::kCandidates);
+  EXPECT_EQ(t.ScoredCandidates(), 3u);
+  EXPECT_FALSE(t.ChargeScored());  // stays exhausted
+}
+
+TEST(QueryBudgetTest, ZeroCandidateBudgetRejectsFirstCharge) {
+  BudgetTracker t(QueryBudget::Candidates(0));
+  EXPECT_FALSE(t.ChargeScored());
+  EXPECT_TRUE(t.Exhausted());
+}
+
+TEST(QueryBudgetTest, AllowanceQueryHasNoSideEffects) {
+  BudgetTracker t(QueryBudget::Candidates(5));
+  EXPECT_TRUE(t.HasCandidateAllowance(5));
+  EXPECT_FALSE(t.HasCandidateAllowance(6));
+  EXPECT_EQ(t.ScoredCandidates(), 0u);
+}
+
+TEST(QueryBudgetTest, ForcedDeadlineLatches) {
+  BudgetTracker t(QueryBudget::Deadline(3600.0));
+  EXPECT_FALSE(t.CheckDeadline());
+  t.ForceDeadline();
+  EXPECT_TRUE(t.CheckDeadline());
+  EXPECT_EQ(t.ExhaustionCause(), BudgetTracker::Cause::kDeadline);
+}
+
+TEST(QueryBudgetTest, ExpiredDeadlineDetected) {
+  BudgetTracker t(QueryBudget::Deadline(1e-9));
+  // Burn enough wall clock that even a coarse timer has advanced.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_TRUE(t.CheckDeadline());
 }
 
 }  // namespace
