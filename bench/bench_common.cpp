@@ -6,10 +6,17 @@
 #include <string_view>
 
 #include "eval/training.hpp"
+#include "util/failpoint.hpp"
 
 namespace figdb::bench {
 
 Args Args::Parse(int argc, char** argv) {
+  // Fault drills without recompiling: FIGDB_FAILPOINTS=name[:skip[:fires]],…
+  // (see DESIGN.md §7) — lets any bench measure degraded-mode throughput.
+  const std::size_t drills = util::FailPoints::ActivateFromEnv();
+  if (drills > 0)
+    std::fprintf(stderr, "bench: %zu fail-point(s) active from FIGDB_FAILPOINTS\n",
+                 drills);
   Args args;
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];

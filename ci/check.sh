@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build + test the plain tree AND an ASan+UBSan tree,
+# so the crash-recovery / fault-injection matrix always runs under
+# sanitizers instead of that being a manual step.
+#
+#   ci/check.sh            both trees (the default)
+#   ci/check.sh plain      plain tree only
+#   ci/check.sh asan       sanitizer tree only
+#
+# Environment:
+#   JOBS=N         parallelism (default: nproc)
+#   CTEST_ARGS=... extra ctest arguments (e.g. -R Robustness)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+run_tree() {
+  local dir="$1"; shift
+  local label="$1"; shift
+  echo "==== [$label] configure ($dir) ===="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "==== [$label] build ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$label] ctest ===="
+  # ASAN_OPTIONS: the suites intentionally exercise OOM-adjacent and
+  # IO-failure paths; keep odr/leak strictness so real bugs still fail.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
+}
+
+case "$MODE" in
+  plain)
+    run_tree build ci-plain
+    ;;
+  asan)
+    run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
+    ;;
+  all)
+    run_tree build ci-plain
+    run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
+    ;;
+  *)
+    echo "usage: ci/check.sh [all|plain|asan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==== all checks passed ===="

@@ -1,15 +1,22 @@
 // Interactive shell over a figdb database: generate or load a corpus, save
 // snapshots, run tag/user queries through QueryBuilder, find neighbours of
-// database objects and inspect them. Exercises the full public API the way
-// a downstream integrator would.
+// database objects and inspect them — plus a crash-safe live store (attach,
+// ingest, remove, checkpoint, recover). Exercises the full public API the
+// way a downstream integrator would.
 //
 //   ./build/examples/figdb_shell
 //   figdb> gen 3000
 //   figdb> query sunset beach
 //   figdb> similar 42
-//   figdb> save /tmp/db.figdb
+//   figdb> attach /tmp/figdb_store
+//   figdb> ingest sunset beach holiday
+//   figdb> checkpoint
 //
 // Also usable non-interactively:  echo "gen 500\nstats" | figdb_shell
+//
+// Fault drills without recompiling: FIGDB_FAILPOINTS=name[:skip[:fires]],…
+// activates fail-points at startup, e.g.
+//   FIGDB_FAILPOINTS=wal/torn_tail:2 figdb_shell
 
 #include <cstdio>
 #include <iostream>
@@ -21,8 +28,10 @@
 
 #include "corpus/generator.hpp"
 #include "corpus/query_builder.hpp"
+#include "index/figdb_store.hpp"
 #include "index/retrieval_engine.hpp"
 #include "index/storage.hpp"
+#include "util/failpoint.hpp"
 #include "util/query_budget.hpp"
 #include "util/status.hpp"
 #include "util/stopwatch.hpp"
@@ -34,18 +43,156 @@ using namespace figdb;
 struct Shell {
   std::optional<corpus::Corpus> db;
   std::unique_ptr<index::FigRetrievalEngine> engine;
+  /// Attached crash-safe store (see `attach`); mutations go through its WAL.
+  std::optional<index::FigDbStore> store;
+  std::string store_dir;
+  /// Set when the store's corpus has drifted from the query engine; the
+  /// engine is rebuilt lazily before the next query instead of per-ingest.
+  bool engine_stale = false;
   /// Per-query budget, settable via the `budget` command. Unlimited by
   /// default so the shell behaves exactly like the raw engine.
   util::QueryBudget budget;
 
-  bool Ready() const { return db.has_value() && engine != nullptr; }
+  bool Ready() const { return db.has_value(); }
 
   void RebuildEngine() {
     util::Stopwatch watch;
     engine = std::make_unique<index::FigRetrievalEngine>(
         *db, index::EngineOptions{});
+    engine_stale = false;
     std::printf("engine ready in %.2fs (%zu cliques indexed)\n",
                 watch.ElapsedSeconds(), engine->Index().DistinctCliques());
+  }
+
+  /// Rebuilds the engine if the database changed since the last build.
+  void EnsureEngine() {
+    if (engine == nullptr || engine_stale) RebuildEngine();
+  }
+
+  /// Refreshes the query-side database from the store after a mutation or
+  /// recovery. The engine keeps a pointer into `db`, so it must not be used
+  /// again until rebuilt.
+  void SyncFromStore() {
+    engine.reset();
+    db = store->GetCorpus();
+    engine_stale = true;
+  }
+
+  void PrintStoreStats(const char* verb) const {
+    std::printf(
+        "%s: %zu live objects (%zu removed slots) | wal: %llu records, "
+        "%llu bytes | lsn %llu (checkpoint at %llu)%s\n",
+        verb, store->LiveObjects(), store->RemovedObjects(),
+        (unsigned long long)store->WalRecords(),
+        (unsigned long long)store->WalBytes(),
+        (unsigned long long)store->LastLsn(),
+        (unsigned long long)store->CheckpointLsn(),
+        store->Wounded() ? " [WOUNDED: mutations refused until recover]"
+                         : "");
+  }
+
+  void PrintRecovery() const {
+    const index::FigDbStore::RecoveryInfo& info = store->Info();
+    std::printf(
+        "recovered: checkpoint lsn %llu, %llu wal record(s) replayed, "
+        "%llu already in checkpoint (skipped)\n",
+        (unsigned long long)info.checkpoint_lsn,
+        (unsigned long long)info.replayed_records,
+        (unsigned long long)info.skipped_records);
+    if (info.torn_tail)
+      std::printf(
+          "WARNING: torn final WAL record (crash mid-append) — dropped as a "
+          "clean end-of-log; every record before it was replayed\n");
+  }
+
+  void Attach(const std::string& dir) {
+    auto recovered = index::FigDbStore::Recover(dir);
+    if (recovered.ok()) {
+      store = std::move(*recovered);
+      store_dir = dir;
+      PrintRecovery();
+      SyncFromStore();
+      PrintStoreStats("attached");
+      return;
+    }
+    if (recovered.status().code() != util::StatusCode::kNotFound) {
+      std::printf("recover failed: %s\n",
+                  recovered.status().ToString().c_str());
+      return;
+    }
+    // No store there yet: create one from the current database.
+    if (!Ready()) {
+      std::printf(
+          "'%s' holds no store and there is no database to seed one — "
+          "use 'gen <n>' or 'load <path>' first\n",
+          dir.c_str());
+      return;
+    }
+    auto created = index::FigDbStore::Create(dir, *db);
+    if (!created.ok()) {
+      std::printf("create failed: %s\n", created.status().ToString().c_str());
+      return;
+    }
+    store = std::move(*created);
+    store_dir = dir;
+    std::printf("created store in %s from the current database\n",
+                dir.c_str());
+    PrintStoreStats("attached");
+  }
+
+  void Ingest(const std::string& text) {
+    corpus::QueryBuilder builder(store->GetCorpus().SharedContext());
+    corpus::MediaObject obj = builder.AddText(text).Build();
+    if (builder.DroppedCount() > 0)
+      std::printf("note: %zu unknown tag(s) dropped\n",
+                  builder.DroppedCount());
+    const auto id = store->Ingest(std::move(obj));
+    if (!id.ok()) {
+      std::printf("ingest failed: %s\n", id.status().ToString().c_str());
+      return;
+    }
+    std::printf("ingested object #%u (wal-logged before apply)\n", *id);
+    SyncFromStore();
+    PrintStoreStats("store");
+  }
+
+  void Remove(corpus::ObjectId id) {
+    const util::Status removed = store->Remove(id);
+    if (!removed.ok()) {
+      std::printf("remove failed: %s\n", removed.ToString().c_str());
+      return;
+    }
+    std::printf("removed object #%u (id stays reserved; %zu index "
+                "tombstone(s) pending)\n",
+                id, store->Index().TombstoneCount());
+    SyncFromStore();
+    PrintStoreStats("store");
+  }
+
+  void Checkpoint() {
+    util::Stopwatch watch;
+    const util::Status ok = store->Checkpoint();
+    if (!ok.ok()) {
+      std::printf("checkpoint failed: %s\n", ok.ToString().c_str());
+      PrintStoreStats("store");
+      return;
+    }
+    std::printf("checkpoint written atomically in %.2fs, wal truncated\n",
+                watch.ElapsedSeconds());
+    PrintStoreStats("store");
+  }
+
+  void Recover() {
+    auto recovered = index::FigDbStore::Recover(store_dir);
+    if (!recovered.ok()) {
+      std::printf("recover failed: %s\n",
+                  recovered.status().ToString().c_str());
+      return;
+    }
+    store = std::move(*recovered);
+    PrintRecovery();
+    SyncFromStore();
+    PrintStoreStats("recovered");
   }
 
   void Generate(std::size_t n) {
@@ -180,12 +327,26 @@ void Help() {
       "  budget <ms> <max_candidates>   per-query budget (0 0 = unlimited);\n"
       "                    over-budget queries return best-effort results\n"
       "                    tagged TRUNCATED\n"
-      "  quit\n");
+      "crash-safe store (WAL + atomic checkpoints):\n"
+      "  attach <dir>      recover the store in <dir>, or create one there\n"
+      "                    from the current database\n"
+      "  ingest <tags...>  add an object durably (WAL-logged before apply)\n"
+      "  remove <id>       tombstone an object durably\n"
+      "  checkpoint        fold the WAL into an atomically-replaced snapshot\n"
+      "  recover           re-run crash recovery on the attached directory\n"
+      "  quit\n"
+      "env: FIGDB_FAILPOINTS=name[:skip[:fires]],…  activates fault drills\n"
+      "     (e.g. wal/fsync, checkpoint/rename) at startup\n");
 }
 
 }  // namespace
 
 int main() {
+  const std::size_t drills = util::FailPoints::ActivateFromEnv();
+  if (drills > 0)
+    std::printf("fault drill: %zu fail-point(s) active from "
+                "FIGDB_FAILPOINTS\n",
+                drills);
   Shell shell;
   std::printf("figdb shell — 'help' for commands, 'gen 2000' to start\n");
   std::string line;
@@ -222,6 +383,36 @@ int main() {
       std::printf("loaded %zu objects\n", shell.db->Size());
       continue;
     }
+    if (cmd == "attach") {
+      std::string dir;
+      in >> dir;
+      if (dir.empty())
+        std::printf("usage: attach <dir>\n");
+      else
+        shell.Attach(dir);
+      continue;
+    }
+    if (cmd == "ingest" || cmd == "remove" || cmd == "checkpoint" ||
+        cmd == "recover") {
+      if (!shell.store.has_value()) {
+        std::printf("no store attached — use 'attach <dir>' first\n");
+        continue;
+      }
+      if (cmd == "ingest") {
+        std::string rest;
+        std::getline(in, rest);
+        shell.Ingest(rest);
+      } else if (cmd == "remove") {
+        corpus::ObjectId id = corpus::kInvalidObject;
+        in >> id;
+        shell.Remove(id);
+      } else if (cmd == "checkpoint") {
+        shell.Checkpoint();
+      } else {
+        shell.Recover();
+      }
+      continue;
+    }
     if (!shell.Ready()) {
       std::printf("no database yet — use 'gen <n>' or 'load <path>'\n");
       continue;
@@ -240,14 +431,17 @@ int main() {
       in >> ms >> cand;
       shell.SetBudget(ms, cand);
     } else if (cmd == "stats") {
+      shell.EnsureEngine();
       shell.Stats();
     } else if (cmd == "query") {
       std::string rest;
       std::getline(in, rest);
+      shell.EnsureEngine();
       shell.Query(rest);
     } else if (cmd == "similar") {
       corpus::ObjectId id = 0;
       in >> id;
+      shell.EnsureEngine();
       shell.Similar(id);
     } else if (cmd == "show") {
       corpus::ObjectId id = 0;

@@ -31,6 +31,11 @@ const MediaObject& Corpus::Object(ObjectId id) const {
   return objects_[id];
 }
 
+MediaObject& Corpus::MutableObject(ObjectId id) {
+  FIGDB_CHECK(id < objects_.size());
+  return objects_[id];
+}
+
 Corpus Corpus::Prefix(std::size_t n) const {
   Corpus out;
   out.context_ = context_;

@@ -48,6 +48,11 @@ class Corpus {
   const MediaObject& Object(ObjectId id) const;
   const std::vector<MediaObject>& Objects() const { return objects_; }
 
+  /// Mutable access for the live store's tombstoning (index/figdb_store):
+  /// removing an object clears its slot in place so every surviving id —
+  /// and therefore every posting list and score — stays stable.
+  MediaObject& MutableObject(ObjectId id);
+
   /// A corpus restricted to the first \p n objects, sharing this corpus's
   /// context. Used by the scalability experiments (paper Figs. 8-9).
   Corpus Prefix(std::size_t n) const;

@@ -1,0 +1,345 @@
+#include "index/figdb_store.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "index/storage.hpp"
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+#include "util/serde.hpp"
+
+namespace figdb::index {
+namespace {
+
+using util::BinaryReader;
+using util::BinaryWriter;
+using util::Status;
+using util::StatusOr;
+
+/// A removed object's slot: no features, no topic, no month. Slots like
+/// this contribute nothing to statistics, the index, or query answers, so
+/// the serialized corpus needs no separate removed-id list.
+bool IsTombstoneSlot(const corpus::MediaObject& obj) {
+  return obj.features.empty();
+}
+
+Status ReadFileBytes(const std::string& path, std::string* bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes->append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error)
+    return Status::Unavailable("read error on '" + path + "': " +
+                               std::strerror(errno));
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::string FigDbStore::CheckpointPath(const std::string& dir) {
+  return dir + "/checkpoint.figdb";
+}
+
+std::string FigDbStore::WalPath(const std::string& dir) {
+  return dir + "/wal.figdb";
+}
+
+void FigDbStore::RebuildDerivedState() {
+  matrix_ = std::make_shared<stats::FeatureMatrix>(
+      stats::FeatureMatrix::Build(corpus_));
+  correlations_ = std::make_shared<stats::CorrelationModel>(
+      corpus_.SharedContext(), matrix_, options_.correlations);
+  index_ = CliqueIndex::Build(corpus_, *correlations_, options_.index);
+  removed_.clear();
+  for (const corpus::MediaObject& obj : corpus_.Objects())
+    if (IsTombstoneSlot(obj)) removed_.insert(obj.id);
+}
+
+Status FigDbStore::ValidateIngest(const corpus::MediaObject& obj) const {
+  if (obj.features.empty())
+    return Status::InvalidArgument("ingested object has no features");
+  const corpus::Context& ctx = corpus_.GetContext();
+  corpus::FeatureKey prev = 0;
+  bool first = true;
+  for (const corpus::FeatureOccurrence& f : obj.features) {
+    if (!first && f.feature <= prev)
+      return Status::InvalidArgument(
+          "ingested object is not normalized (features unsorted or "
+          "duplicated); call MediaObject::Normalize first");
+    first = false;
+    prev = f.feature;
+    if (f.frequency == 0)
+      return Status::InvalidArgument("zero-frequency feature " +
+                                     ctx.DescribeFeature(f.feature));
+    const std::uint32_t id = corpus::IdOf(f.feature);
+    bool known = false;
+    switch (corpus::TypeOf(f.feature)) {
+      case corpus::FeatureType::kText:
+        known = id < ctx.vocabulary.Size();
+        break;
+      case corpus::FeatureType::kVisual:
+        known = id < ctx.visual_vocabulary.WordCount();
+        break;
+      case corpus::FeatureType::kUser:
+        known = id < ctx.user_graph.UserCount();
+        break;
+    }
+    if (!known)
+      return Status::InvalidArgument("out-of-vocabulary feature " +
+                                     ctx.DescribeFeature(f.feature));
+  }
+  return Status::Ok();
+}
+
+Status FigDbStore::Apply(const WalRecord& record, bool replay) {
+  switch (record.type) {
+    case WalRecord::Type::kAddObject: {
+      if (record.object_id != corpus_.Size())
+        return Status::DataLoss(
+            "WAL lsn " + std::to_string(record.lsn) + " adds object " +
+            std::to_string(record.object_id) + " but the next id is " +
+            std::to_string(corpus_.Size()) +
+            (replay ? " (checkpoint/WAL divergence)" : ""));
+      if (replay) {
+        // The frame CRC passed, so a bad object here means writer/reader
+        // version skew or a checkpoint from a different store lineage.
+        Status valid = ValidateIngest(record.object);
+        if (!valid.ok())
+          return Status::DataLoss("WAL lsn " + std::to_string(record.lsn) +
+                                  ": " + valid.message());
+      }
+      const corpus::ObjectId id = corpus_.Add(record.object);
+      // During replay the index does not exist yet — it is rebuilt from the
+      // fully recovered corpus afterwards.
+      if (correlations_ != nullptr)
+        index_.AddObject(corpus_.Object(id), *correlations_);
+      return Status::Ok();
+    }
+    case WalRecord::Type::kRemoveObject: {
+      if (record.object_id >= corpus_.Size() ||
+          IsTombstoneSlot(corpus_.Object(record.object_id))) {
+        const std::string what =
+            "remove of " +
+            std::string(record.object_id >= corpus_.Size() ? "unknown"
+                                                           : "already removed") +
+            " object " + std::to_string(record.object_id);
+        return replay ? Status::DataLoss("WAL lsn " +
+                                         std::to_string(record.lsn) + ": " +
+                                         what)
+                      : Status::NotFound(what);
+      }
+      corpus::MediaObject& slot = corpus_.MutableObject(record.object_id);
+      slot.features.clear();
+      slot.topic = corpus::MediaObject::kInvalidTopic;
+      slot.month = 0;
+      removed_.insert(record.object_id);
+      if (correlations_ != nullptr) index_.RemoveObject(record.object_id);
+      return Status::Ok();
+    }
+  }
+  return Status::DataLoss("WAL lsn " + std::to_string(record.lsn) +
+                          ": unknown record type");
+}
+
+Status FigDbStore::WriteCheckpoint(std::uint64_t applied_lsn) const {
+  BinaryWriter payload;
+  payload.PutVarint(applied_lsn);
+  payload.PutRaw(SerializeCorpus(corpus_));
+  BinaryWriter file;
+  file.PutFixed32(kCheckpointMagic);
+  file.PutFixed32(kCheckpointVersion);
+  file.PutFixed32(util::Crc32(payload.Buffer()));
+  file.PutRaw(payload.Buffer());
+  return util::AtomicWriteFile(CheckpointPath(dir_), file.Buffer(),
+                               {.write_io = "checkpoint/write_io",
+                                .fsync = "checkpoint/fsync",
+                                .rename = "checkpoint/rename"});
+}
+
+StatusOr<FigDbStore> FigDbStore::Create(const std::string& dir,
+                                        const corpus::Corpus& base,
+                                        Options options) {
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+    return Status::Unavailable("cannot create store directory '" + dir +
+                               "': " + std::strerror(errno));
+  if (FileExists(CheckpointPath(dir)))
+    return Status::FailedPrecondition(
+        "'" + dir + "' already holds a figdb store; use Recover");
+
+  FigDbStore store;
+  store.dir_ = dir;
+  store.options_ = options;
+  store.corpus_ = base;
+
+  // WAL first, checkpoint second: if we crash between the two, the
+  // directory has no checkpoint and Create never reported success, so
+  // the half-made store is simply re-created.
+  auto wal = WriteAheadLog::Open(WalPath(dir));
+  if (!wal.ok()) return wal.status();
+  store.wal_ = std::move(*wal);
+  if (store.wal_.SizeBytes() > 8) {
+    // Leftover log from an aborted Create: start from a clean slate.
+    FIGDB_RETURN_IF_ERROR(store.wal_.Reset());
+  }
+  FIGDB_RETURN_IF_ERROR(store.WriteCheckpoint(/*applied_lsn=*/0));
+  store.RebuildDerivedState();
+  return store;
+}
+
+StatusOr<FigDbStore> FigDbStore::Recover(const std::string& dir,
+                                         Options options) {
+  FigDbStore store;
+  store.dir_ = dir;
+  store.options_ = options;
+
+  // ---- 1. The last good checkpoint.
+  std::string bytes;
+  FIGDB_RETURN_IF_ERROR(ReadFileBytes(CheckpointPath(dir), &bytes));
+  BinaryReader r(bytes);
+  const std::uint32_t magic = r.GetFixed32();
+  const std::uint32_t version = r.GetFixed32();
+  if (!r.Ok() || magic != kCheckpointMagic)
+    return Status::InvalidArgument("'" + CheckpointPath(dir) +
+                                   "' is not a figdb checkpoint");
+  if (version != kCheckpointVersion)
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) +
+        " (expected " + std::to_string(kCheckpointVersion) + ")");
+  const std::uint32_t stored_crc = r.GetFixed32();
+  const std::string_view payload_bytes = r.GetRaw(r.Remaining());
+  if (!r.Ok() || util::Crc32(payload_bytes) != stored_crc)
+    return Status::DataLoss("checkpoint '" + CheckpointPath(dir) +
+                            "': CRC mismatch (the write path is atomic, so "
+                            "this is bit rot, not a torn write)");
+  BinaryReader payload(payload_bytes);
+  const std::uint64_t applied_lsn = payload.GetVarint();
+  if (!payload.Ok())
+    return Status::DataLoss("checkpoint '" + CheckpointPath(dir) +
+                            "': truncated metadata");
+  auto loaded = DeserializeCorpus(payload_bytes.substr(payload.Position()));
+  if (!loaded.ok()) return loaded.status();
+  store.corpus_ = std::move(*loaded);
+  store.checkpoint_lsn_ = applied_lsn;
+  store.recovery_.checkpoint_lsn = applied_lsn;
+
+  // ---- 2. Replay the WAL tail.
+  auto replay = WriteAheadLog::Replay(WalPath(dir));
+  if (!replay.ok()) {
+    if (replay.status().code() == util::StatusCode::kNotFound)
+      return Status::DataLoss("store '" + dir +
+                              "' has a checkpoint but no WAL");
+    return replay.status();
+  }
+  store.recovery_.torn_tail = replay->torn_tail;
+  std::uint64_t last_lsn = applied_lsn;
+  for (const WalRecord& record : replay->records) {
+    if (record.lsn <= applied_lsn) {
+      // Already folded into the checkpoint: the crash window between the
+      // checkpoint rename and the WAL truncation.
+      ++store.recovery_.skipped_records;
+      continue;
+    }
+    FIGDB_RETURN_IF_ERROR(store.Apply(record, /*replay=*/true));
+    last_lsn = record.lsn;
+    ++store.recovery_.replayed_records;
+  }
+  if (replay->torn_tail) {
+    // Drop the torn bytes so post-recovery appends never land after
+    // garbage (replay would then misread them as mid-log corruption).
+    FIGDB_RETURN_IF_ERROR(
+        WriteAheadLog::TruncateTail(WalPath(dir), replay->valid_bytes));
+  }
+
+  // ---- 3. Rebuild derived state and reopen the log.
+  store.next_lsn_ = last_lsn + 1;
+  store.RebuildDerivedState();
+  auto wal = WriteAheadLog::Open(WalPath(dir));
+  if (!wal.ok()) return wal.status();
+  store.wal_ = std::move(*wal);
+  store.wal_.NoteExistingRecords(replay->records.size());
+  return store;
+}
+
+StatusOr<corpus::ObjectId> FigDbStore::Ingest(corpus::MediaObject object) {
+  if (wounded_)
+    return Status::FailedPrecondition(
+        "store is wounded by an earlier durability failure; run Recover "
+        "(or Checkpoint to re-anchor) before mutating");
+  FIGDB_RETURN_IF_ERROR(ValidateIngest(object));
+
+  WalRecord record;
+  record.lsn = next_lsn_;
+  record.type = WalRecord::Type::kAddObject;
+  record.object_id = corpus::ObjectId(corpus_.Size());
+  record.object = std::move(object);
+  Status logged = wal_.Append(record);
+  if (!logged.ok()) {
+    // The mutation was NOT applied; whether its bytes reached the disk is
+    // unknown (short write, failed fsync). The in-memory state is still the
+    // last acknowledged state, but the WAL tail may be torn — stop
+    // accepting writes until recovery or a checkpoint re-anchors.
+    wounded_ = true;
+    return logged;
+  }
+  FIGDB_RETURN_IF_ERROR(Apply(record, /*replay=*/false));
+  ++next_lsn_;
+  return record.object_id;
+}
+
+Status FigDbStore::Remove(corpus::ObjectId id) {
+  if (wounded_)
+    return Status::FailedPrecondition(
+        "store is wounded by an earlier durability failure; run Recover "
+        "(or Checkpoint to re-anchor) before mutating");
+  if (id >= corpus_.Size() || removed_.count(id) != 0)
+    return Status::NotFound("remove of " +
+                            std::string(id >= corpus_.Size()
+                                            ? "unknown"
+                                            : "already removed") +
+                            " object " + std::to_string(id));
+
+  WalRecord record;
+  record.lsn = next_lsn_;
+  record.type = WalRecord::Type::kRemoveObject;
+  record.object_id = id;
+  Status logged = wal_.Append(record);
+  if (!logged.ok()) {
+    wounded_ = true;
+    return logged;
+  }
+  FIGDB_RETURN_IF_ERROR(Apply(record, /*replay=*/false));
+  ++next_lsn_;
+  return Status::Ok();
+}
+
+Status FigDbStore::Checkpoint() {
+  // Tombstones are about to become irrelevant: the checkpoint serializes
+  // the corpus, and removed slots are already empty there.
+  index_.CompactAll();
+  FIGDB_RETURN_IF_ERROR(WriteCheckpoint(LastLsn()));
+  checkpoint_lsn_ = LastLsn();
+  // The rename landed: every mutation up to LastLsn() is durable in the
+  // checkpoint. Truncating the WAL is an optimisation, not a correctness
+  // step — if it fails, recovery skips the stale records by LSN. But a
+  // wounded store may carry a torn WAL tail, and appending after torn bytes
+  // would read as mid-log corruption, so healing REQUIRES the truncation.
+  Status reset = wal_.Reset();
+  if (!reset.ok()) return reset;
+  wounded_ = false;
+  return Status::Ok();
+}
+
+}  // namespace figdb::index

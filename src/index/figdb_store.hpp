@@ -1,0 +1,159 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "corpus/corpus.hpp"
+#include "index/inverted_index.hpp"
+#include "index/wal.hpp"
+#include "stats/correlation.hpp"
+#include "stats/feature_matrix.hpp"
+#include "util/status.hpp"
+
+/// \file figdb_store.hpp
+/// Crash-safe live-ingestion store: corpus + clique index + durability.
+///
+/// The paper's Fig. 3 pipeline treats preprocessing as one-shot, but the
+/// service we are growing ingests continuously. FigDbStore owns the corpus
+/// and its CliqueIndex and keeps them durable through two artifacts in a
+/// store directory:
+///
+///   <dir>/wal.figdb         write-ahead log (wal.hpp): every mutation is
+///                           CRC-framed, appended and fsynced BEFORE it is
+///                           applied in memory;
+///   <dir>/checkpoint.figdb  the last checkpoint: the full corpus snapshot
+///                           (storage.hpp format) plus the LSN of the last
+///                           mutation folded in, written via write-temp →
+///                           fsync → atomic-rename (util/atomic_file.hpp);
+///                           the WAL is truncated only AFTER the rename
+///                           lands.
+///
+/// Crash-atomicity invariant: after a crash at ANY instant, Recover()
+/// returns a store whose logical state equals the state after some prefix
+/// of the acknowledged mutations — each individual mutation is wholly
+/// present or wholly absent, never half-applied. A torn final WAL record
+/// (the append that was in flight) is a clean end-of-log; anything before
+/// it replays exactly. Recovery rebuilds statistics and the clique index
+/// from the recovered corpus, so a recovered store answers queries
+/// bit-identically to an engine freshly built over the same logical corpus.
+///
+/// Removal keeps ids stable: the object's slot is tombstoned in place
+/// (features cleared, topic invalidated) and its id is tombstoned in the
+/// index's posting lists; ids are never reused. The correlation model is
+/// pinned at Create/Recover time — the live index invariant is
+///   store.Index() == CliqueIndex::Build(store.GetCorpus(),
+///                                       *store.Correlations(), options)
+/// which the robustness suite asserts posting-for-posting.
+///
+/// Fail-points on the write path (see wal.hpp for the WAL's own):
+///   checkpoint/write_io   short write into checkpoint.figdb.tmp
+///   checkpoint/fsync      temp-file fsync failure
+///   checkpoint/rename     rename(tmp, checkpoint) failure
+///   wal/truncate          post-rename WAL truncation failure
+
+namespace figdb::index {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0xf19dbc01;
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+class FigDbStore {
+ public:
+  struct Options {
+    CliqueIndexOptions index;
+    stats::CorrelationOptions correlations;
+  };
+
+  /// What Recover found on disk — surfaced by the shell's `recover`.
+  struct RecoveryInfo {
+    std::uint64_t checkpoint_lsn = 0;   ///< last LSN inside the checkpoint
+    std::uint64_t replayed_records = 0; ///< WAL records applied on top
+    std::uint64_t skipped_records = 0;  ///< WAL records <= checkpoint LSN
+    bool torn_tail = false;             ///< final WAL record was torn
+  };
+
+  /// Initialises \p dir (created if missing) with an empty WAL and a
+  /// checkpoint of \p base, then returns the live store. Fails with
+  /// kFailedPrecondition if \p dir already holds a store.
+  static util::StatusOr<FigDbStore> Create(const std::string& dir,
+                                           const corpus::Corpus& base,
+                                           Options options = {});
+
+  /// Loads the last good checkpoint and replays the WAL tail. See the
+  /// crash-atomicity invariant above; `Info()` reports what was found.
+  static util::StatusOr<FigDbStore> Recover(const std::string& dir,
+                                            Options options = {});
+
+  /// Logs then applies one AddObject. The object must be normalized,
+  /// non-empty, and every feature must exist in the store's context
+  /// (kInvalidArgument otherwise); its id is assigned by the store.
+  /// On a durability failure the store is wounded: the in-memory state no
+  /// longer provably matches the disk, so further mutations are refused
+  /// with kFailedPrecondition until Recover() is run on the directory.
+  util::StatusOr<corpus::ObjectId> Ingest(corpus::MediaObject object);
+
+  /// Logs then applies one RemoveObject. kNotFound for ids past the end or
+  /// already removed. Same wounding contract as Ingest.
+  util::Status Remove(corpus::ObjectId id);
+
+  /// Compacts the index, atomically replaces the checkpoint, then truncates
+  /// the WAL. A failure before the rename aborts cleanly (old checkpoint +
+  /// full WAL still cover every mutation); a truncation failure after the
+  /// rename leaves a stale WAL whose records recovery skips by LSN.
+  util::Status Checkpoint();
+
+  const corpus::Corpus& GetCorpus() const { return corpus_; }
+  const CliqueIndex& Index() const { return index_; }
+  std::shared_ptr<const stats::CorrelationModel> Correlations() const {
+    return correlations_;
+  }
+  const Options& GetOptions() const { return options_; }
+  const RecoveryInfo& Info() const { return recovery_; }
+
+  /// Objects present and not removed.
+  std::size_t LiveObjects() const { return corpus_.Size() - removed_.size(); }
+  std::size_t RemovedObjects() const { return removed_.size(); }
+  bool IsRemoved(corpus::ObjectId id) const { return removed_.count(id); }
+
+  std::uint64_t WalRecords() const { return wal_.RecordsAppended(); }
+  std::uint64_t WalBytes() const { return wal_.SizeBytes(); }
+  /// LSN of the last applied mutation (0 = none since the store was born).
+  std::uint64_t LastLsn() const { return next_lsn_ - 1; }
+  std::uint64_t CheckpointLsn() const { return checkpoint_lsn_; }
+
+  /// True after a durability failure: mutations are refused, reads still
+  /// serve the last consistent in-memory state.
+  bool Wounded() const { return wounded_; }
+
+  static std::string CheckpointPath(const std::string& dir);
+  static std::string WalPath(const std::string& dir);
+
+ private:
+  FigDbStore() = default;
+
+  /// Builds matrix, correlations and index from the current corpus.
+  void RebuildDerivedState();
+  /// Validates an ingest candidate against the store context.
+  util::Status ValidateIngest(const corpus::MediaObject& object) const;
+  /// Applies a logged mutation to corpus + index (shared by the live write
+  /// path and WAL replay). \p replay relaxes nothing — it only changes the
+  /// error wording.
+  util::Status Apply(const WalRecord& record, bool replay);
+  /// Serialises checkpoint metadata + corpus and writes it atomically.
+  util::Status WriteCheckpoint(std::uint64_t applied_lsn) const;
+
+  std::string dir_;
+  Options options_;
+  corpus::Corpus corpus_;
+  std::shared_ptr<const stats::FeatureMatrix> matrix_;
+  std::shared_ptr<const stats::CorrelationModel> correlations_;
+  CliqueIndex index_;
+  WriteAheadLog wal_;
+  std::unordered_set<corpus::ObjectId> removed_;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t checkpoint_lsn_ = 0;
+  RecoveryInfo recovery_;
+  bool wounded_ = false;
+};
+
+}  // namespace figdb::index

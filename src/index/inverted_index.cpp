@@ -32,26 +32,72 @@ void CliqueIndex::AddObject(const corpus::MediaObject& obj,
   const std::vector<core::Clique> cliques =
       core::EnumerateCliques(fig, options_.cliques);
   for (const core::Clique& c : cliques) {
-    auto& list = postings_[MakeCliqueKey(c.features)];
+    auto [it, inserted] = postings_.try_emplace(MakeCliqueKey(c.features));
+    PostingList& list = it->second;
+    // A fresh list has nothing to compact: mark it current so the first
+    // Lookup does not pay a pointless sweep.
+    if (inserted) list.compacted_at = tombstone_generation_;
+    auto& ids = list.ids;
     // Fast path: in-order bulk build appends; out-of-order insertion keeps
     // the list sorted and duplicate-free.
-    if (list.empty() || list.back() < obj.id) {
-      list.push_back(obj.id);
+    if (ids.empty() || ids.back() < obj.id) {
+      ids.push_back(obj.id);
       ++total_postings_;
     } else {
-      auto it = std::lower_bound(list.begin(), list.end(), obj.id);
-      if (it == list.end() || *it != obj.id) {
-        list.insert(it, obj.id);
+      auto pos = std::lower_bound(ids.begin(), ids.end(), obj.id);
+      if (pos == ids.end() || *pos != obj.id) {
+        ids.insert(pos, obj.id);
         ++total_postings_;
       }
     }
   }
 }
 
+void CliqueIndex::RemoveObject(corpus::ObjectId id) {
+  if (tombstones_.insert(id).second) ++tombstone_generation_;
+}
+
+void CliqueIndex::CompactList(PostingList* list) const {
+  if (list->compacted_at == tombstone_generation_) return;
+  if (!tombstones_.empty()) {
+    auto dead = [this](corpus::ObjectId id) {
+      return tombstones_.count(id) != 0;
+    };
+    const auto first_dead =
+        std::remove_if(list->ids.begin(), list->ids.end(), dead);
+    total_postings_ -= std::size_t(list->ids.end() - first_dead);
+    list->ids.erase(first_dead, list->ids.end());
+  }
+  list->compacted_at = tombstone_generation_;
+}
+
+void CliqueIndex::CompactAll() {
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    CompactList(&it->second);
+    it = it->second.ids.empty() ? postings_.erase(it) : std::next(it);
+  }
+  tombstones_.clear();
+}
+
+std::vector<std::pair<CliqueKey, std::vector<corpus::ObjectId>>>
+CliqueIndex::DumpPostings() const {
+  std::vector<std::pair<CliqueKey, std::vector<corpus::ObjectId>>> out;
+  out.reserve(postings_.size());
+  for (auto& [key, list] : postings_) {
+    CompactList(&list);
+    if (!list.ids.empty()) out.emplace_back(key, list.ids);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 const std::vector<corpus::ObjectId>& CliqueIndex::Lookup(
     const std::vector<corpus::FeatureKey>& sorted_features) const {
   auto it = postings_.find(MakeCliqueKey(sorted_features));
-  return it == postings_.end() ? empty_ : it->second;
+  if (it == postings_.end()) return empty_;
+  CompactList(&it->second);
+  return it->second.ids;
 }
 
 }  // namespace figdb::index

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/clique.hpp"
@@ -18,6 +20,14 @@
 /// containing that clique. At query time the index answers "which objects
 /// share clique c with the query" in O(1) + output size — the candidate
 /// generation step of Algorithm 1.
+///
+/// The index is mutable in both directions for live ingestion
+/// (figdb_store.hpp): AddObject indexes one new object incrementally, and
+/// RemoveObject retires one via posting-list tombstones — an O(1) mark in a
+/// removed-id set, paid down lazily the first time each affected posting
+/// list is read (and wholesale by CompactAll at checkpoint time). A
+/// mutation-maintained index is always equal, posting for posting, to
+/// CliqueIndex::Build over the same corpus and correlation model.
 
 namespace figdb::index {
 
@@ -36,6 +46,8 @@ class CliqueIndex {
                            const CliqueIndexOptions& options);
 
   /// Objects containing the clique (sorted by id); empty if unknown.
+  /// Compacts the hit list against pending tombstones before returning, so
+  /// removed objects are never surfaced as candidates.
   const std::vector<corpus::ObjectId>& Lookup(
       const std::vector<corpus::FeatureKey>& sorted_features) const;
 
@@ -45,6 +57,27 @@ class CliqueIndex {
   void AddObject(const corpus::MediaObject& object,
                  const stats::CorrelationModel& correlations);
 
+  /// Retires an object in O(1) by tombstoning its id: every posting list is
+  /// purged of tombstoned ids lazily on its next Lookup. Ids are never
+  /// reused by the store, so a tombstone is permanent until compaction.
+  void RemoveObject(corpus::ObjectId id);
+
+  /// Eagerly purges every posting list of tombstoned ids, drops lists that
+  /// became empty, and clears the tombstone set. Called at checkpoint time
+  /// so the tombstone set stays bounded by the removals per checkpoint
+  /// interval.
+  void CompactAll();
+
+  /// Pending (not yet fully compacted) removed ids.
+  std::size_t TombstoneCount() const { return tombstones_.size(); }
+
+  /// Full contents as sorted (clique key, sorted live ids) pairs, with
+  /// tombstones applied. For equivalence tests and debug tooling — O(index).
+  std::vector<std::pair<CliqueKey, std::vector<corpus::ObjectId>>>
+  DumpPostings() const;
+
+  /// Counts include lists not yet compacted, so between a RemoveObject and
+  /// the next CompactAll they are upper bounds on the live values.
   std::size_t DistinctCliques() const { return postings_.size(); }
   std::size_t TotalPostings() const { return total_postings_; }
   const CliqueIndexOptions& Options() const { return options_; }
@@ -56,9 +89,23 @@ class CliqueIndex {
   bool Degraded() const { return degraded_; }
 
  private:
+  struct PostingList {
+    std::vector<corpus::ObjectId> ids;
+    /// Tombstone generation this list was last compacted against.
+    std::uint64_t compacted_at = 0;
+  };
+
+  /// Applies pending tombstones to one list (no-op when already current).
+  void CompactList(PostingList* list) const;
+
   CliqueIndexOptions options_;
-  std::unordered_map<CliqueKey, std::vector<corpus::ObjectId>> postings_;
-  std::size_t total_postings_ = 0;
+  // Lazily compacted via const Lookup — mutable, single-threaded like the
+  // rest of the query path.
+  mutable std::unordered_map<CliqueKey, PostingList> postings_;
+  mutable std::size_t total_postings_ = 0;
+  std::unordered_set<corpus::ObjectId> tombstones_;
+  /// Bumped on every RemoveObject; lists lag behind until compacted.
+  std::uint64_t tombstone_generation_ = 0;
   bool degraded_ = false;
   std::vector<corpus::ObjectId> empty_;
 };

@@ -1,7 +1,11 @@
 #include "index/storage.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
+#include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
 #include "util/serde.hpp"
@@ -50,8 +54,15 @@ void WriteTaxonomy(const text::Taxonomy& tax, BinaryWriter* w) {
     w->PutVarint(parent);
     w->PutString(tax.Name(text::NodeId(n)));
   }
-  w->PutVarint(tax.TermNodes().size());
-  for (const auto& [term, node] : tax.TermNodes()) {
+  // Sorted by term id: the snapshot must be a pure function of the logical
+  // taxonomy, not of hash-map iteration order, so that equal corpora always
+  // serialize to equal bytes (the crash-recovery suite compares states
+  // byte-for-byte, and reproducible snapshots diff cleanly).
+  std::vector<std::pair<std::uint32_t, text::NodeId>> terms(
+      tax.TermNodes().begin(), tax.TermNodes().end());
+  std::sort(terms.begin(), terms.end());
+  w->PutVarint(terms.size());
+  for (const auto& [term, node] : terms) {
     w->PutVarint(term);
     w->PutVarint(node);
   }
@@ -140,42 +151,6 @@ Status ReadUserGraph(BinaryReader* r, social::UserGraph* graph) {
   return Status::Ok();
 }
 
-void WriteObject(const corpus::MediaObject& obj, BinaryWriter* w) {
-  w->PutVarint(obj.month);
-  w->PutVarint(obj.topic);
-  w->PutVarint(obj.features.size());
-  corpus::FeatureKey prev = 0;
-  for (const corpus::FeatureOccurrence& f : obj.features) {
-    w->PutVarint(f.feature - prev);  // features are sorted; delta-encode
-    prev = f.feature;
-    w->PutVarint(f.frequency);
-  }
-}
-
-Status ReadObject(BinaryReader* r, corpus::MediaObject* obj,
-                  std::uint64_t index) {
-  obj->month = std::uint16_t(r->GetVarint());
-  obj->topic = std::uint32_t(r->GetVarint());
-  const std::uint64_t n = r->GetVarint();
-  // Each feature occurrence costs at least two encoded bytes.
-  if (!r->Ok() || n > r->Remaining())
-    return Corrupt("objects", "implausible feature count in object " +
-                                  std::to_string(index));
-  obj->features.reserve(std::size_t(n));
-  corpus::FeatureKey prev = 0;
-  for (std::uint64_t i = 0; i < n && r->Ok(); ++i) {
-    prev += corpus::FeatureKey(r->GetVarint());
-    const std::uint32_t freq = std::uint32_t(r->GetVarint());
-    if (freq == 0)
-      return Corrupt("objects", "zero-frequency feature in object " +
-                                    std::to_string(index));
-    obj->features.push_back({prev, freq});
-  }
-  if (!r->Ok())
-    return Corrupt("objects", "truncated object " + std::to_string(index));
-  return Status::Ok();
-}
-
 // ------------------------------------------------------- section framing
 //
 // Each section is written as: varint payload size, fixed32 CRC32 of the
@@ -227,6 +202,42 @@ Status ReadSection(const char* name, BinaryReader* r, ParseFn&& parse) {
 
 }  // namespace
 
+void WriteMediaObject(const corpus::MediaObject& obj, BinaryWriter* w) {
+  w->PutVarint(obj.month);
+  w->PutVarint(obj.topic);
+  w->PutVarint(obj.features.size());
+  corpus::FeatureKey prev = 0;
+  for (const corpus::FeatureOccurrence& f : obj.features) {
+    w->PutVarint(f.feature - prev);  // features are sorted; delta-encode
+    prev = f.feature;
+    w->PutVarint(f.frequency);
+  }
+}
+
+Status ReadMediaObject(BinaryReader* r, corpus::MediaObject* obj,
+                       std::uint64_t label) {
+  obj->month = std::uint16_t(r->GetVarint());
+  obj->topic = std::uint32_t(r->GetVarint());
+  const std::uint64_t n = r->GetVarint();
+  // Each feature occurrence costs at least two encoded bytes.
+  if (!r->Ok() || n > r->Remaining())
+    return Corrupt("objects", "implausible feature count in object " +
+                                  std::to_string(label));
+  obj->features.reserve(std::size_t(n));
+  corpus::FeatureKey prev = 0;
+  for (std::uint64_t i = 0; i < n && r->Ok(); ++i) {
+    prev += corpus::FeatureKey(r->GetVarint());
+    const std::uint32_t freq = std::uint32_t(r->GetVarint());
+    if (freq == 0)
+      return Corrupt("objects", "zero-frequency feature in object " +
+                                    std::to_string(label));
+    obj->features.push_back({prev, freq});
+  }
+  if (!r->Ok())
+    return Corrupt("objects", "truncated object " + std::to_string(label));
+  return Status::Ok();
+}
+
 std::string SerializeCorpus(const corpus::Corpus& corpus) {
   BinaryWriter w;
   w.PutVarint(kSnapshotMagic);
@@ -261,7 +272,7 @@ std::string SerializeCorpus(const corpus::Corpus& corpus) {
     BinaryWriter s;
     s.PutVarint(corpus.Size());
     for (const corpus::MediaObject& obj : corpus.Objects())
-      WriteObject(obj, &s);
+      WriteMediaObject(obj, &s);
     WriteSection(s, &w);
   }
   return w.Take();
@@ -303,7 +314,7 @@ StatusOr<corpus::Corpus> DeserializeCorpus(std::string_view bytes) {
       return Corrupt("objects", "implausible object count");
     for (std::uint64_t i = 0; i < objects; ++i) {
       corpus::MediaObject obj;
-      FIGDB_RETURN_IF_ERROR(ReadObject(s, &obj, i));
+      FIGDB_RETURN_IF_ERROR(ReadMediaObject(s, &obj, i));
       out.Add(std::move(obj));
     }
     return Status::Ok();
@@ -314,21 +325,12 @@ StatusOr<corpus::Corpus> DeserializeCorpus(std::string_view bytes) {
 }
 
 Status SaveCorpus(const corpus::Corpus& corpus, const std::string& path) {
-  const std::string bytes = SerializeCorpus(corpus);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr)
-    return Status::Unavailable("cannot open '" + path + "' for writing");
-  const std::size_t written =
-      FIGDB_FAILPOINT("storage/save_io")
-          ? bytes.size() - 1  // injected short write
-          : std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != bytes.size())
-    return Status::Unavailable("short write to '" + path + "' (" +
-                               std::to_string(written) + " of " +
-                               std::to_string(bytes.size()) + " bytes)");
-  if (!closed) return Status::Unavailable("close failed for '" + path + "'");
-  return Status::Ok();
+  // Temp-file + fsync + atomic-rename: a crash mid-save leaves the previous
+  // snapshot at `path` intact (the temp file is the only casualty).
+  return util::AtomicWriteFile(path, SerializeCorpus(corpus),
+                               {.write_io = "storage/save_io",
+                                .fsync = "storage/save_fsync",
+                                .rename = "storage/save_rename"});
 }
 
 StatusOr<corpus::Corpus> LoadCorpus(const std::string& path) {

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "corpus/corpus.hpp"
+#include "util/serde.hpp"
 #include "util/status.hpp"
 
 /// \file storage.hpp
@@ -23,8 +24,15 @@
 /// precise reason instead of an unexplained nullopt — a long-running server
 /// must be able to log WHY a snapshot was rejected.
 ///
+/// SaveCorpus goes through util::AtomicWriteFile (write `<path>.tmp`,
+/// fsync, atomic rename), so a crash mid-save can never destroy the
+/// previous snapshot at \p path — the durability contract the live-store
+/// checkpoints (figdb_store.hpp) rely on as well.
+///
 /// Fail-points (util/failpoint.hpp) for fault-injection tests:
-///   storage/save_io           IO write failure inside SaveCorpus
+///   storage/save_io           short write inside SaveCorpus
+///   storage/save_fsync        temp-file fsync failure inside SaveCorpus
+///   storage/save_rename       rename failure inside SaveCorpus
 ///   storage/load_io           IO read failure inside LoadCorpus
 ///   storage/section_truncated section length check fails mid-parse
 ///   storage/section_crc       section checksum comparison fails
@@ -42,6 +50,19 @@ inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Serialises the corpus (with its full context) to a byte buffer.
 std::string SerializeCorpus(const corpus::Corpus& corpus);
+
+/// Single-object serde, shared between the snapshot objects section and the
+/// write-ahead log (wal.hpp): month, topic, then delta-varint feature pairs.
+/// The object's id is NOT encoded — it is positional in snapshots and
+/// carried by the framing record in the WAL.
+void WriteMediaObject(const corpus::MediaObject& object,
+                      util::BinaryWriter* w);
+
+/// Parses one object; \p label names the object in error messages (its
+/// snapshot position or WAL sequence number).
+util::Status ReadMediaObject(util::BinaryReader* r,
+                             corpus::MediaObject* object,
+                             std::uint64_t label);
 
 /// Parses a snapshot produced by SerializeCorpus.
 ///   kInvalidArgument  not a figdb snapshot / unsupported version

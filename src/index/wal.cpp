@@ -1,0 +1,284 @@
+#include "index/wal.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "index/storage.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+#include "util/serde.hpp"
+
+namespace figdb::index {
+namespace {
+
+using util::BinaryReader;
+using util::BinaryWriter;
+using util::Status;
+using util::StatusOr;
+
+/// fixed32 magic + fixed32 version.
+constexpr std::uint64_t kHeaderBytes = 8;
+/// fixed32 payload size + fixed32 payload CRC.
+constexpr std::uint64_t kFrameBytes = 8;
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Unavailable(what + " '" + path + "': " +
+                             std::strerror(errno));
+}
+
+std::string EncodeHeader() {
+  BinaryWriter w;
+  w.PutFixed32(kWalMagic);
+  w.PutFixed32(kWalVersion);
+  return w.Take();
+}
+
+std::string EncodePayload(const WalRecord& record) {
+  BinaryWriter w;
+  w.PutVarint(record.lsn);
+  w.PutU8(std::uint8_t(record.type));
+  w.PutVarint(record.object_id);
+  if (record.type == WalRecord::Type::kAddObject)
+    WriteMediaObject(record.object, &w);
+  return w.Take();
+}
+
+Status DecodePayload(std::string_view payload, WalRecord* record) {
+  BinaryReader r(payload);
+  record->lsn = r.GetVarint();
+  const std::uint8_t type = r.GetU8();
+  record->object_id = corpus::ObjectId(r.GetVarint());
+  if (!r.Ok())
+    return Status::DataLoss("WAL record: truncated payload head");
+  switch (type) {
+    case std::uint8_t(WalRecord::Type::kAddObject): {
+      record->type = WalRecord::Type::kAddObject;
+      Status parsed = ReadMediaObject(&r, &record->object, record->lsn);
+      if (!parsed.ok())
+        return Status::DataLoss("WAL record lsn " +
+                                std::to_string(record->lsn) + ": " +
+                                parsed.message());
+      record->object.id = record->object_id;
+      break;
+    }
+    case std::uint8_t(WalRecord::Type::kRemoveObject):
+      record->type = WalRecord::Type::kRemoveObject;
+      break;
+    default:
+      return Status::DataLoss("WAL record lsn " +
+                              std::to_string(record->lsn) +
+                              ": unknown record type " +
+                              std::to_string(type));
+  }
+  if (!r.AtEnd())
+    return Status::DataLoss("WAL record lsn " + std::to_string(record->lsn) +
+                            ": trailing bytes in payload");
+  return Status::Ok();
+}
+
+Status WriteAndSync(std::FILE* f, std::string_view bytes,
+                    const std::string& path) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size())
+    return IoError("short write to", path);
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0)
+    return IoError("fsync failed for", path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    appended_ = other.appended_;
+    size_bytes_ = other.size_bytes_;
+  }
+  return *this;
+}
+
+void WriteAheadLog::Close() {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+StatusOr<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
+  // Probe for an existing log so a foreign or damaged header is rejected
+  // instead of appended to.
+  std::uint64_t existing_bytes = 0;
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+    char header[kHeaderBytes];
+    const std::size_t n = std::fread(header, 1, sizeof(header), probe);
+    std::fseek(probe, 0, SEEK_END);
+    const long end = std::ftell(probe);
+    std::fclose(probe);
+    if (n != sizeof(header))
+      return Status::DataLoss("WAL '" + path + "': truncated header");
+    BinaryReader r(std::string_view(header, sizeof(header)));
+    const std::uint32_t magic = r.GetFixed32();
+    const std::uint32_t version = r.GetFixed32();
+    if (magic != kWalMagic)
+      return Status::InvalidArgument("'" + path + "' is not a figdb WAL");
+    if (version != kWalVersion)
+      return Status::InvalidArgument(
+          "unsupported WAL version " + std::to_string(version) +
+          " (expected " + std::to_string(kWalVersion) + ")");
+    existing_bytes = std::uint64_t(end);
+  }
+
+  WriteAheadLog wal;
+  wal.path_ = path;
+  wal.file_ = std::fopen(path.c_str(), "ab");
+  if (wal.file_ == nullptr)
+    return IoError("cannot open WAL for append", path);
+  wal.size_bytes_ = existing_bytes;
+  if (existing_bytes == 0) {
+    Status header = WriteAndSync(wal.file_, EncodeHeader(), path);
+    if (!header.ok()) return header;
+    wal.size_bytes_ = kHeaderBytes;
+  }
+  return wal;
+}
+
+Status WriteAheadLog::Append(const WalRecord& record) {
+  if (file_ == nullptr)
+    return Status::FailedPrecondition("WAL is not open");
+  if (FIGDB_FAILPOINT("wal/append_io"))
+    return Status::Unavailable("injected WAL append failure (no bytes hit '" +
+                               path_ + "')");
+
+  const std::string payload = EncodePayload(record);
+  BinaryWriter frame;
+  frame.PutFixed32(std::uint32_t(payload.size()));
+  frame.PutFixed32(util::Crc32(payload));
+  frame.PutRaw(payload);
+  const std::string& bytes = frame.Buffer();
+
+  if (FIGDB_FAILPOINT("wal/torn_tail")) {
+    // Simulated crash mid-append: a strict prefix of the frame reaches the
+    // disk. Replay must treat it as a clean end-of-log.
+    const std::string_view torn(bytes.data(), bytes.size() / 2);
+    (void)WriteAndSync(file_, torn, path_);
+    size_bytes_ += torn.size();
+    return Status::Unavailable("injected torn WAL append on '" + path_ +
+                               "'");
+  }
+
+  Status written = WriteAndSync(file_, bytes, path_);
+  if (FIGDB_FAILPOINT("wal/fsync") && written.ok()) {
+    // The frame is fully on disk but the caller must assume it may not be:
+    // durability of this record is unknown after an fsync failure.
+    size_bytes_ += bytes.size();
+    return Status::Unavailable("injected WAL fsync failure on '" + path_ +
+                               "'");
+  }
+  if (!written.ok()) return written;
+  size_bytes_ += bytes.size();
+  ++appended_;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Reset() {
+  if (file_ == nullptr)
+    return Status::FailedPrecondition("WAL is not open");
+  if (FIGDB_FAILPOINT("wal/truncate"))
+    return Status::Unavailable("injected WAL truncation failure on '" +
+                               path_ + "'");
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) return IoError("cannot reopen WAL", path_);
+  Status header = WriteAndSync(file_, EncodeHeader(), path_);
+  if (!header.ok()) return header;
+  size_bytes_ = kHeaderBytes;
+  appended_ = 0;
+  return Status::Ok();
+}
+
+Status WriteAheadLog::TruncateTail(const std::string& path,
+                                   std::uint64_t bytes) {
+  if (::truncate(path.c_str(), off_t(bytes)) != 0)
+    return IoError("cannot truncate torn tail of", path);
+  return Status::Ok();
+}
+
+StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::NotFound("cannot open WAL '" + path + "' for reading");
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return IoError("read error on WAL", path);
+
+  if (bytes.size() < kHeaderBytes)
+    return Status::DataLoss("WAL '" + path + "': truncated header");
+  BinaryReader header(std::string_view(bytes).substr(0, kHeaderBytes));
+  const std::uint32_t magic = header.GetFixed32();
+  const std::uint32_t version = header.GetFixed32();
+  if (magic != kWalMagic)
+    return Status::InvalidArgument("'" + path + "' is not a figdb WAL");
+  if (version != kWalVersion)
+    return Status::InvalidArgument(
+        "unsupported WAL version " + std::to_string(version) + " (expected " +
+        std::to_string(kWalVersion) + ")");
+
+  ReplayResult result;
+  result.valid_bytes = kHeaderBytes;
+  std::uint64_t offset = kHeaderBytes;
+  std::uint64_t last_lsn = 0;
+  while (offset < bytes.size()) {
+    const std::uint64_t remaining = bytes.size() - offset;
+    if (remaining < kFrameBytes) {
+      result.torn_tail = true;  // incomplete frame header
+      break;
+    }
+    BinaryReader frame(std::string_view(bytes).substr(offset, kFrameBytes));
+    const std::uint32_t size = frame.GetFixed32();
+    const std::uint32_t stored_crc = frame.GetFixed32();
+    if (std::uint64_t(size) > remaining - kFrameBytes) {
+      // The payload never fully landed (or the size word itself is the torn
+      // part) — either way nothing after this point is trustworthy, and a
+      // complete record cannot follow a short one: clean end-of-log.
+      result.torn_tail = true;
+      break;
+    }
+    const std::string_view payload =
+        std::string_view(bytes).substr(offset + kFrameBytes, size);
+    if (util::Crc32(payload) != stored_crc) {
+      const bool is_final_record =
+          offset + kFrameBytes + size == bytes.size();
+      if (is_final_record) {
+        // A pre-allocated-then-torn final frame: full length, garbage bytes.
+        result.torn_tail = true;
+        break;
+      }
+      return Status::DataLoss(
+          "WAL '" + path + "': CRC mismatch at offset " +
+          std::to_string(offset) +
+          " with further records after it (mid-log corruption, not a torn "
+          "tail)");
+    }
+    WalRecord record;
+    Status parsed = DecodePayload(payload, &record);
+    if (!parsed.ok()) return parsed;
+    if (record.lsn <= last_lsn && !result.records.empty())
+      return Status::DataLoss(
+          "WAL '" + path + "': LSN " + std::to_string(record.lsn) +
+          " does not increase over " + std::to_string(last_lsn));
+    last_lsn = record.lsn;
+    result.records.push_back(std::move(record));
+    offset += kFrameBytes + size;
+    result.valid_bytes = offset;
+  }
+  return result;
+}
+
+}  // namespace figdb::index

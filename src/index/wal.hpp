@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "corpus/media_object.hpp"
+#include "util/status.hpp"
+
+/// \file wal.hpp
+/// Append-only, CRC32-framed write-ahead log for live ingestion.
+///
+/// Every mutation (AddObject / RemoveObject) is logged BEFORE it is applied
+/// to the in-memory store, so a crash at any instant loses at most the
+/// mutation whose append was in flight — never the database. The file is
+///
+///   header  = fixed32 magic, fixed32 version
+///   record* = fixed32 payload_size, fixed32 crc32(payload), payload
+///   payload = varint lsn, u8 record type, varint object id,
+///             [kAddObject: serialized MediaObject (storage.hpp serde)]
+///
+/// Fixed-width framing makes torn tails unambiguous: an append that died
+/// mid-write leaves either an incomplete frame or a final frame whose CRC
+/// does not match. Replay treats exactly that — a damaged FINAL record — as
+/// a clean end-of-log (`torn_tail` in the result); a damaged record with
+/// more log after it cannot be a torn append and is reported as kDataLoss.
+/// Everything before the damage replays exactly.
+///
+/// LSNs are assigned by the store, strictly increasing across the store's
+/// whole life (they survive checkpoints), which makes replay idempotent: a
+/// checkpoint records the last LSN folded into it, and recovery skips WAL
+/// records at or below it — the crash-between-rename-and-truncate window
+/// double-applies nothing.
+///
+/// Fail-points (util/failpoint.hpp):
+///   wal/append_io  append fails before any byte reaches the file
+///   wal/torn_tail  append writes a partial frame then "crashes"
+///   wal/fsync      the frame is fully written but the fsync fails
+///   wal/truncate   post-checkpoint truncation fails before doing anything
+
+namespace figdb::index {
+
+inline constexpr std::uint32_t kWalMagic = 0xf19dba17;
+inline constexpr std::uint32_t kWalVersion = 1;
+
+struct WalRecord {
+  enum class Type : std::uint8_t { kAddObject = 1, kRemoveObject = 2 };
+
+  std::uint64_t lsn = 0;
+  Type type = Type::kAddObject;
+  /// For kAddObject: the id the store will assign (validated on replay).
+  /// For kRemoveObject: the id being removed.
+  corpus::ObjectId object_id = corpus::kInvalidObject;
+  /// Payload for kAddObject; ignored for kRemoveObject.
+  corpus::MediaObject object;
+};
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog() { Close(); }
+  WriteAheadLog(WriteAheadLog&& other) noexcept { *this = std::move(other); }
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens \p path for appending, creating an empty (header-only) log if it
+  /// does not exist. An existing file must carry a valid header.
+  static util::StatusOr<WriteAheadLog> Open(const std::string& path);
+
+  /// Frames, writes and fsyncs one record. On failure the in-memory store
+  /// must treat the mutation as not applied; the on-disk tail may be torn
+  /// (replay handles it).
+  util::Status Append(const WalRecord& record);
+
+  /// Truncates the log back to header-only — called after a checkpoint
+  /// rename lands, making the logged mutations redundant.
+  util::Status Reset();
+
+  bool IsOpen() const { return file_ != nullptr; }
+  const std::string& Path() const { return path_; }
+  /// Records in the log: those appended through this handle, plus any a
+  /// caller seeded via NoteExistingRecords after replaying the file.
+  std::uint64_t RecordsAppended() const { return appended_; }
+  /// Seeds the record counter after a Replay-then-Open sequence, so
+  /// RecordsAppended reflects the records already on disk rather than
+  /// resetting to zero across a recovery.
+  void NoteExistingRecords(std::uint64_t n) { appended_ = n; }
+  std::uint64_t SizeBytes() const { return size_bytes_; }
+
+  struct ReplayResult {
+    std::vector<WalRecord> records;
+    /// The final record was torn (incomplete frame or CRC-damaged tail);
+    /// the log ended cleanly at `valid_bytes`.
+    bool torn_tail = false;
+    /// Byte length of the prefix that parsed cleanly (header + whole
+    /// records). Recovery truncates a torn file back to this length before
+    /// appending again, so fresh records never land after garbage.
+    std::uint64_t valid_bytes = 0;
+  };
+
+  /// Reads and validates the whole log.
+  ///   kNotFound         the file does not exist
+  ///   kInvalidArgument  not a figdb WAL / unsupported version
+  ///   kDataLoss         mid-log corruption, malformed payload inside a
+  ///                     CRC-valid record, or non-increasing LSNs
+  static util::StatusOr<ReplayResult> Replay(const std::string& path);
+
+  /// Truncates \p path to \p bytes (drops a torn tail found by Replay).
+  static util::Status TruncateTail(const std::string& path,
+                                   std::uint64_t bytes);
+
+ private:
+  void Close();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t appended_ = 0;
+  std::uint64_t size_bytes_ = 0;
+};
+
+}  // namespace figdb::index

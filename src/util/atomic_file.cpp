@@ -1,0 +1,79 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/failpoint.hpp"
+
+namespace figdb::util {
+namespace {
+
+Status Unavailable(const std::string& what, const std::string& path) {
+  return Status::Unavailable(what + " '" + path + "': " +
+                             std::strerror(errno));
+}
+
+/// Fires \p name when it is a registered injection site.
+bool InjectedFault(const char* name) {
+  return name != nullptr && FIGDB_FAILPOINT(name);
+}
+
+}  // namespace
+
+Status SyncParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Unavailable("cannot open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  // EINVAL: the filesystem does not support directory fsync (e.g. some
+  // overlay/network mounts) — the rename is still atomic, just not yet
+  // guaranteed durable; treat as best-effort rather than failing the save.
+  if (rc != 0 && errno != EINVAL)
+    return Unavailable("fsync failed for directory", dir);
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       const AtomicWriteFailPoints& fail_points) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Unavailable("cannot open temp file", tmp);
+
+  const std::size_t written =
+      InjectedFault(fail_points.write_io)
+          ? (bytes.empty() ? 0 : bytes.size() - 1)  // injected short write
+          : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  if (written != bytes.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::Unavailable("short write to '" + tmp + "' (" +
+                               std::to_string(written) + " of " +
+                               std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0 ||
+      InjectedFault(fail_points.fsync)) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Unavailable("fsync failed for", tmp);
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Unavailable("close failed for", tmp);
+  }
+  if (InjectedFault(fail_points.rename) ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Unavailable("rename failed for", path);
+  }
+  return SyncParentDirectory(path);
+}
+
+}  // namespace figdb::util

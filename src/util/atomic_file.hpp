@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+/// \file atomic_file.hpp
+/// Crash-safe whole-file replacement: write-temp → fsync → atomic-rename.
+///
+/// Every durable artifact figdb produces (corpus snapshots, store
+/// checkpoints) goes through AtomicWriteFile so that a crash at ANY point
+/// leaves either the complete previous file or the complete new file on
+/// disk — never a torn hybrid. The sequence is the classic one:
+///
+///   1. write the full payload to `<path>.tmp`;
+///   2. fsync the temp file (contents durable before the name flips);
+///   3. rename(tmp, path)   — atomic on POSIX filesystems;
+///   4. fsync the parent directory (the rename itself durable).
+///
+/// On any failure the temp file is removed and the previous `path` is left
+/// untouched.
+///
+/// Fault injection: callers pass their own fail-point names so the same
+/// helper serves `storage/save_*` and `checkpoint/*` drills without the
+/// sites colliding. A null name disables that injection site.
+
+namespace figdb::util {
+
+/// Fail-point names for the three failure classes of an atomic write.
+/// Null members mean "no injection site here".
+struct AtomicWriteFailPoints {
+  const char* write_io = nullptr;  ///< short write into the temp file
+  const char* fsync = nullptr;     ///< temp-file fsync failure
+  const char* rename = nullptr;    ///< rename(tmp, path) failure
+};
+
+/// Atomically replaces \p path with \p bytes via `<path>.tmp`.
+/// Returns kUnavailable (with the failing step named) on any IO error;
+/// the previous file at \p path survives every failure mode.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       const AtomicWriteFailPoints& fail_points = {});
+
+/// fsyncs the directory containing \p path (making a rename durable).
+/// Best-effort on filesystems that reject directory fsync; real IO errors
+/// are reported as kUnavailable.
+Status SyncParentDirectory(const std::string& path);
+
+}  // namespace figdb::util

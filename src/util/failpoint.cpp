@@ -1,8 +1,11 @@
 #include "util/failpoint.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace figdb::util {
 namespace {
@@ -72,6 +75,51 @@ bool FailPoints::Fire(std::string_view name) {
     active_count_.store(reg.active, std::memory_order_relaxed);
   }
   return true;
+}
+
+std::size_t FailPoints::ActivateFromEnv(const char* spec) {
+  if (spec == nullptr) spec = std::getenv("FIGDB_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return 0;
+  std::size_t activated = 0;
+  const std::string all(spec);
+  std::size_t start = 0;
+  while (start <= all.size()) {
+    std::size_t end = all.find(',', start);
+    if (end == std::string::npos) end = all.size();
+    const std::string entry = all.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    // Split "name[:skip_hits[:max_fires]]" — names contain '/' but no ':'.
+    std::vector<std::string> parts;
+    std::size_t p = 0;
+    while (p <= entry.size()) {
+      std::size_t q = entry.find(':', p);
+      if (q == std::string::npos) q = entry.size();
+      parts.push_back(entry.substr(p, q - p));
+      p = q + 1;
+    }
+    FailPointSpec fp;
+    bool ok = !parts[0].empty() && parts.size() <= 3;
+    char* parse_end = nullptr;
+    if (ok && parts.size() >= 2) {
+      fp.skip_hits = std::strtoull(parts[1].c_str(), &parse_end, 10);
+      ok = parse_end != nullptr && *parse_end == '\0' && !parts[1].empty();
+    }
+    if (ok && parts.size() == 3) {
+      fp.max_fires = std::strtoull(parts[2].c_str(), &parse_end, 10);
+      ok = parse_end != nullptr && *parse_end == '\0' && !parts[2].empty();
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "FIGDB_FAILPOINTS: skipping malformed entry '%s' "
+                   "(want name[:skip_hits[:max_fires]])\n",
+                   entry.c_str());
+      continue;
+    }
+    Activate(parts[0], fp);
+    ++activated;
+  }
+  return activated;
 }
 
 std::uint64_t FailPoints::HitCount(std::string_view name) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -52,6 +53,14 @@ class FailPoints {
   static bool AnyActive() {
     return active_count_.load(std::memory_order_relaxed) != 0;
   }
+
+  /// Activates every fail-point named in \p spec, a comma-separated list of
+  ///   name[:skip_hits[:max_fires]]
+  /// entries, e.g. "wal/fsync,checkpoint/rename:2:1". Passing nullptr reads
+  /// the FIGDB_FAILPOINTS environment variable, so binaries (shell, benches)
+  /// can run fault drills without recompiling. Returns the number of points
+  /// activated; malformed entries are skipped with a warning on stderr.
+  static std::size_t ActivateFromEnv(const char* spec = nullptr);
 
  private:
   static std::atomic<std::uint64_t> active_count_;

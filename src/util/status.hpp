@@ -39,6 +39,10 @@ enum class StatusCode : int {
   kResourceExhausted = 5,
   /// A dependency is down or an IO operation failed; retrying may help.
   kUnavailable = 6,
+  /// The system is in a state where the operation can never succeed until
+  /// the caller fixes it (mutating a wounded store that needs recovery,
+  /// appending to a closed WAL). Retrying the same call will not help.
+  kFailedPrecondition = 7,
 };
 
 inline std::string_view StatusCodeName(StatusCode code) {
@@ -50,6 +54,7 @@ inline std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
   }
   return "UNKNOWN";
 }
@@ -78,6 +83,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

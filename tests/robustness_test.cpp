@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "corpus/generator.hpp"
+#include "index/figdb_store.hpp"
 #include "index/retrieval_engine.hpp"
 #include "index/storage.hpp"
+#include "index/wal.hpp"
 #include "recsys/recommender.hpp"
 #include "recsys/user_profile.hpp"
 #include "util/failpoint.hpp"
@@ -432,6 +436,585 @@ TEST_F(RobustnessTest, TryRecommendValidatesAndDegrades) {
       rec.TryRecommend(profile, candidates, 10, 4, QueryBudget::Candidates(0));
   ASSERT_FALSE(zero.ok());
   EXPECT_EQ(zero.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ======================================================================
+// Durability: FigDbStore, the WAL, and the crash matrix.
+// ======================================================================
+
+class FigDbStoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 36;
+    config.num_topics = 4;
+    config.num_users = 20;
+    config.visual_words = 16;
+    config.seed = 777;
+    base_ = new corpus::Corpus(
+        corpus::Generator(config).MakeRetrievalCorpus());
+  }
+  static void TearDownTestSuite() {
+    delete base_;
+    base_ = nullptr;
+  }
+  void TearDown() override { FailPoints::DeactivateAll(); }
+
+  /// A fresh, empty directory under the system temp dir.
+  static std::string StoreDir(const std::string& name) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / ("figdb_store_" + name);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+  }
+
+  /// An ingest candidate: a copy of a base object's content (its features
+  /// are guaranteed in-vocabulary for the store's context).
+  static corpus::MediaObject Donor(corpus::ObjectId source) {
+    corpus::MediaObject obj = base_->Object(source);
+    obj.id = corpus::kInvalidObject;  // the store assigns the real id
+    return obj;
+  }
+
+  /// Applies "remove" the way the store does: tombstone the slot in place.
+  static void ShadowRemove(corpus::Corpus* shadow, corpus::ObjectId id) {
+    corpus::MediaObject& slot = shadow->MutableObject(id);
+    slot.features.clear();
+    slot.topic = corpus::MediaObject::kInvalidTopic;
+    slot.month = 0;
+  }
+
+  enum class StepKind { kIngest, kRemove, kCheckpoint };
+  struct Step {
+    StepKind kind;
+    /// Donor object for kIngest, victim id for kRemove, unused otherwise.
+    corpus::ObjectId target = 0;
+  };
+
+  /// The scripted workload behind the crash matrix: 13 mutations (8 ingests,
+  /// 5 removes — one of them of an object ingested earlier this run) with 4
+  /// interleaved checkpoints. Every WAL fail-point sees >= 13 hits per run
+  /// and every checkpoint fail-point sees 4, which the matrix skips against.
+  static std::vector<Step> Script() {
+    const auto first_new = corpus::ObjectId(base_->Size());
+    return {{StepKind::kIngest, 0},      {StepKind::kIngest, 7},
+            {StepKind::kRemove, 2},      {StepKind::kIngest, 12},
+            {StepKind::kCheckpoint},     {StepKind::kRemove, first_new},
+            {StepKind::kIngest, 3},      {StepKind::kRemove, 5},
+            {StepKind::kIngest, 19},     {StepKind::kCheckpoint},
+            {StepKind::kIngest, 9},      {StepKind::kRemove, 9},
+            {StepKind::kIngest, 23},     {StepKind::kCheckpoint},
+            {StepKind::kRemove, 11},     {StepKind::kIngest, 15},
+            {StepKind::kCheckpoint}};
+  }
+
+  /// Serialized logical state after each mutation prefix of Script():
+  /// states[k] = the corpus once k mutations have been applied.
+  static std::vector<std::string> ShadowStates() {
+    std::vector<std::string> states;
+    corpus::Corpus shadow = *base_;
+    states.push_back(SerializeCorpus(shadow));
+    for (const Step& step : Script()) {
+      if (step.kind == StepKind::kCheckpoint) continue;
+      if (step.kind == StepKind::kIngest)
+        shadow.Add(Donor(step.target));
+      else
+        ShadowRemove(&shadow, step.target);
+      states.push_back(SerializeCorpus(shadow));
+    }
+    return states;
+  }
+
+  struct ScriptOutcome {
+    std::size_t acked = 0;  ///< mutations acknowledged before the failure
+    bool failed = false;
+    bool failed_on_mutation = false;  ///< vs. on a checkpoint
+    util::Status status = util::Status::Ok();
+  };
+
+  /// Drives Script() against a live store, stopping at the first failure —
+  /// the simulated crash instant.
+  static ScriptOutcome RunScript(FigDbStore* store) {
+    ScriptOutcome out;
+    for (const Step& step : Script()) {
+      util::Status s = util::Status::Ok();
+      bool mutation = true;
+      switch (step.kind) {
+        case StepKind::kIngest: {
+          const auto id = store->Ingest(Donor(step.target));
+          if (!id.ok()) s = id.status();
+          break;
+        }
+        case StepKind::kRemove:
+          s = store->Remove(step.target);
+          break;
+        case StepKind::kCheckpoint:
+          mutation = false;
+          s = store->Checkpoint();
+          break;
+      }
+      if (!s.ok()) {
+        out.failed = true;
+        out.failed_on_mutation = mutation;
+        out.status = s;
+        return out;
+      }
+      if (mutation) ++out.acked;
+    }
+    return out;
+  }
+
+  /// Search results over \p corpus from a freshly built engine, for the
+  /// bit-identity half of the crash-matrix assertion.
+  static std::vector<core::SearchResult> FreshSearch(
+      const corpus::Corpus& corpus, const corpus::MediaObject& query) {
+    EngineOptions opts;
+    opts.rerank_candidates = 0;
+    return FigRetrievalEngine(corpus, opts).Search(query, 8);
+  }
+
+  static corpus::Corpus* base_;
+};
+
+corpus::Corpus* FigDbStoreTest::base_ = nullptr;
+
+// ------------------------------------------------ store happy-path basics
+
+TEST_F(FigDbStoreTest, IngestRemoveCheckpointRecoverRoundTrip) {
+  const std::string dir = StoreDir("roundtrip");
+  auto store = FigDbStore::Create(dir, *base_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const ScriptOutcome outcome = RunScript(&*store);
+  ASSERT_FALSE(outcome.failed) << outcome.status.ToString();
+  EXPECT_EQ(outcome.acked, 13u);
+  EXPECT_EQ(store->LiveObjects(), base_->Size() + 8 - 5);
+  EXPECT_EQ(store->RemovedObjects(), 5u);
+  EXPECT_TRUE(store->IsRemoved(2));
+  EXPECT_FALSE(store->IsRemoved(0));
+  // The script ends on a checkpoint: the WAL is empty again.
+  EXPECT_EQ(store->WalRecords(), 0u);
+  EXPECT_EQ(store->CheckpointLsn(), 13u);
+
+  auto recovered = FigDbStore::Recover(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->Info().replayed_records, 0u);
+  EXPECT_FALSE(recovered->Info().torn_tail);
+  EXPECT_EQ(SerializeCorpus(recovered->GetCorpus()),
+            SerializeCorpus(store->GetCorpus()));
+  // LSNs survive the checkpoint: the next mutation continues the sequence
+  // instead of reusing logged numbers.
+  ASSERT_TRUE(recovered->Ingest(Donor(6)).ok());
+  EXPECT_EQ(recovered->LastLsn(), 14u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FigDbStoreTest, LiveIndexEqualsBatchBuildThroughoutTheScript) {
+  // The headline index invariant: a mutation-maintained CliqueIndex is equal,
+  // posting for posting, to CliqueIndex::Build over the same corpus and the
+  // store's own (pinned) correlation model — including while tombstones are
+  // still pending compaction.
+  const std::string dir = StoreDir("live_vs_batch");
+  auto store = FigDbStore::Create(dir, *base_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  std::size_t step_no = 0;
+  bool saw_pending_tombstones = false;
+  for (const Step& step : Script()) {
+    switch (step.kind) {
+      case StepKind::kIngest:
+        ASSERT_TRUE(store->Ingest(Donor(step.target)).ok());
+        break;
+      case StepKind::kRemove:
+        ASSERT_TRUE(store->Remove(step.target).ok());
+        break;
+      case StepKind::kCheckpoint:
+        ASSERT_TRUE(store->Checkpoint().ok());
+        // CompactAll ran: the tombstone set must be empty again.
+        EXPECT_EQ(store->Index().TombstoneCount(), 0u);
+        break;
+    }
+    saw_pending_tombstones |= store->Index().TombstoneCount() > 0;
+    const CliqueIndex batch =
+        CliqueIndex::Build(store->GetCorpus(), *store->Correlations(),
+                           store->GetOptions().index);
+    ASSERT_EQ(store->Index().DumpPostings(), batch.DumpPostings())
+        << "incremental index diverged from batch build after step "
+        << step_no;
+    ++step_no;
+  }
+  EXPECT_TRUE(saw_pending_tombstones)
+      << "the script never exercised lazy tombstones";
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FigDbStoreTest, IngestValidatesAgainstStoreContext) {
+  const std::string dir = StoreDir("validate");
+  auto store = FigDbStore::Create(dir, *base_);
+  ASSERT_TRUE(store.ok());
+
+  // Empty object.
+  auto empty = store->Ingest(corpus::MediaObject{});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  // Out-of-vocabulary feature.
+  corpus::MediaObject oov;
+  oov.features = {{MakeFeatureKey(FeatureType::kText,
+                                  std::uint32_t(base_->GetContext()
+                                                    .vocabulary.Size()) +
+                                      1),
+                   1}};
+  auto bad = store->Ingest(oov);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("out-of-vocabulary"),
+            std::string::npos);
+
+  // Unnormalized (duplicate feature keys).
+  corpus::MediaObject dup = Donor(0);
+  dup.features.push_back(dup.features.front());
+  auto unnorm = store->Ingest(dup);
+  ASSERT_FALSE(unnorm.ok());
+  EXPECT_EQ(unnorm.status().code(), StatusCode::kInvalidArgument);
+
+  // Rejections never consume an LSN or touch the WAL.
+  EXPECT_EQ(store->WalRecords(), 0u);
+  EXPECT_EQ(store->LastLsn(), 0u);
+
+  // Remove of a bogus / double-removed id.
+  EXPECT_EQ(store->Remove(corpus::ObjectId(base_->Size() + 5)).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(store->Remove(1).ok());
+  EXPECT_EQ(store->Remove(1).code(), StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FigDbStoreTest, CreateRefusesAnExistingStoreAndRecoverNeedsOne) {
+  const std::string dir = StoreDir("create_twice");
+  ASSERT_TRUE(FigDbStore::Create(dir, *base_).ok());
+  const auto second = FigDbStore::Create(dir, *base_);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+
+  const auto nowhere = FigDbStore::Recover(StoreDir("never_created"));
+  ASSERT_FALSE(nowhere.ok());
+  EXPECT_EQ(nowhere.status().code(), StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FigDbStoreTest, CheckpointBitRotAndMissingWalAreDataLoss) {
+  const std::string dir = StoreDir("bitrot");
+  {
+    auto store = FigDbStore::Create(dir, *base_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Ingest(Donor(4)).ok());
+  }
+  // Flip one byte deep inside the checkpoint payload.
+  {
+    const std::string path = FigDbStore::CheckpointPath(dir);
+    std::string bytes;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      ASSERT_NE(f, nullptr);
+      char buf[1 << 16];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+      std::fclose(f);
+    }
+    std::string rotted = bytes;
+    rotted[rotted.size() / 2] ^= 0x40;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      std::fwrite(rotted.data(), 1, rotted.size(), f);
+      std::fclose(f);
+    }
+    const auto recovered = FigDbStore::Recover(dir);
+    ASSERT_FALSE(recovered.ok());
+    EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+    // Restore the good bytes: recovery must succeed again.
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    ASSERT_TRUE(FigDbStore::Recover(dir).ok());
+  }
+  // A checkpoint without any WAL is a structurally broken store.
+  std::filesystem::remove(FigDbStore::WalPath(dir));
+  const auto no_wal = FigDbStore::Recover(dir);
+  ASSERT_FALSE(no_wal.ok());
+  EXPECT_EQ(no_wal.status().code(), StatusCode::kDataLoss);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FigDbStoreTest, WoundedStoreRefusesMutationsUntilHealed) {
+  const std::string dir = StoreDir("wounded");
+  auto store = FigDbStore::Create(dir, *base_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Ingest(Donor(0)).ok());
+
+  {
+    ScopedFailPoint fp("wal/append_io", {.max_fires = 1});
+    const auto failed = store->Ingest(Donor(1));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_TRUE(store->Wounded());
+  // Reads still serve the last consistent state; writes are refused.
+  EXPECT_EQ(store->LiveObjects(), base_->Size() + 1);
+  const auto refused = store->Ingest(Donor(1));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store->Remove(0).code(), StatusCode::kFailedPrecondition);
+
+  // A successful checkpoint re-anchors durability (fresh snapshot + fresh
+  // WAL) and heals the store.
+  ASSERT_TRUE(store->Checkpoint().ok());
+  EXPECT_FALSE(store->Wounded());
+  EXPECT_TRUE(store->Ingest(Donor(1)).ok());
+
+  // And the healed store's disk state is coherent.
+  const auto recovered = FigDbStore::Recover(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(SerializeCorpus(recovered->GetCorpus()),
+            SerializeCorpus(store->GetCorpus()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FigDbStoreTest, StaleWalAfterTruncationFailureIsSkippedByLsn) {
+  // The crash window between the checkpoint rename and the WAL truncation:
+  // the stale WAL records are already folded into the checkpoint, and
+  // recovery must skip them by LSN rather than double-apply.
+  const std::string dir = StoreDir("stale_wal");
+  auto store = FigDbStore::Create(dir, *base_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Ingest(Donor(0)).ok());
+  ASSERT_TRUE(store->Remove(3).ok());
+  {
+    ScopedFailPoint fp("wal/truncate");
+    const util::Status s = store->Checkpoint();
+    ASSERT_FALSE(s.ok());  // rename landed, truncation "crashed"
+  }
+  const auto recovered = FigDbStore::Recover(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->Info().skipped_records, 2u);
+  EXPECT_EQ(recovered->Info().replayed_records, 0u);
+  EXPECT_EQ(recovered->Info().checkpoint_lsn, 2u);
+  EXPECT_EQ(SerializeCorpus(recovered->GetCorpus()),
+            SerializeCorpus(store->GetCorpus()));
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------- the crash matrix
+
+TEST_F(FigDbStoreTest, CrashMatrixRecoveryIsAtomicAndBitIdentical) {
+  // Kills the scripted write path at 52 distinct (site, occurrence) crash
+  // points. For every point: Recover() must succeed, the recovered corpus
+  // must byte-equal the state after some acknowledged mutation prefix (the
+  // in-flight mutation wholly present or wholly absent, never a hybrid),
+  // and search over the recovered store must be bit-identical to a freshly
+  // built engine over that same logical corpus.
+  struct Site {
+    const char* name;
+    std::uint64_t occurrences;  ///< how many distinct skip_hits to test
+    bool in_flight_may_survive;  ///< fsync-uncertainty: record may be durable
+  };
+  // 3 WAL sites x 12 + 4 checkpoint-path sites x 4 = 52 crash points.
+  const Site sites[] = {
+      {"wal/append_io", 12, false},
+      {"wal/torn_tail", 12, false},
+      {"wal/fsync", 12, true},
+      {"checkpoint/write_io", 4, false},
+      {"checkpoint/fsync", 4, false},
+      {"checkpoint/rename", 4, false},
+      {"wal/truncate", 4, false},
+  };
+
+  const std::vector<std::string> states = ShadowStates();
+  std::size_t points = 0;
+  for (const Site& site : sites) {
+    for (std::uint64_t skip = 0; skip < site.occurrences; ++skip) {
+      SCOPED_TRACE(std::string(site.name) + " skip=" +
+                   std::to_string(skip));
+      ++points;
+      const std::string dir =
+          StoreDir(std::string("matrix_") + std::to_string(points));
+
+      ScriptOutcome outcome;
+      {
+        auto store = FigDbStore::Create(dir, *base_);
+        ASSERT_TRUE(store.ok()) << store.status().ToString();
+        ScopedFailPoint fp(site.name, {.skip_hits = skip});
+        outcome = RunScript(&*store);
+        ASSERT_TRUE(outcome.failed)
+            << "the script survived — the crash point never fired";
+        ASSERT_GT(fp.HitCount(), skip);
+        // The store object goes out of scope here: the "crash".
+      }
+
+      auto recovered = FigDbStore::Recover(dir);
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      const std::string got = SerializeCorpus(recovered->GetCorpus());
+
+      // Atomicity: the recovered corpus is EXACTLY a legal prefix state.
+      std::size_t matched = states.size();
+      if (got == states[outcome.acked]) {
+        matched = outcome.acked;
+      } else if (site.in_flight_may_survive && outcome.failed_on_mutation &&
+                 got == states[outcome.acked + 1]) {
+        // The fsync "failed" after the frame reached the file: the
+        // unacknowledged mutation was durable after all. Allowed — the
+        // contract is pre- OR post-mutation state.
+        matched = outcome.acked + 1;
+      }
+      ASSERT_NE(matched, states.size())
+          << "recovered state is a hybrid: neither pre- nor post-mutation "
+          << "(acked=" << outcome.acked << ")";
+      if (!outcome.failed_on_mutation) {
+        // Checkpoint-path crashes change no logical state at all.
+        EXPECT_EQ(matched, outcome.acked);
+      }
+      if (std::string(site.name) == "wal/torn_tail") {
+        EXPECT_TRUE(recovered->Info().torn_tail)
+            << "the half-written frame was not reported as a torn tail";
+      }
+
+      // Bit-identity: a fresh engine over the recovered corpus vs. one over
+      // the independently computed logical state.
+      auto expected = DeserializeCorpus(states[matched]);
+      ASSERT_TRUE(expected.ok());
+      const corpus::MediaObject& probe = base_->Object(17);
+      const auto got_results = FreshSearch(recovered->GetCorpus(), probe);
+      const auto want_results = FreshSearch(*expected, probe);
+      ASSERT_EQ(got_results.size(), want_results.size());
+      for (std::size_t i = 0; i < want_results.size(); ++i) {
+        EXPECT_EQ(got_results[i].object, want_results[i].object);
+        EXPECT_EQ(got_results[i].score, want_results[i].score);  // bitwise
+      }
+
+      // Liveness: the recovered store accepts new writes (in particular
+      // after a torn tail was truncated away).
+      auto post = recovered->Ingest(Donor(1));
+      ASSERT_TRUE(post.ok()) << post.status().ToString();
+      EXPECT_FALSE(recovered->Wounded());
+
+      std::filesystem::remove_all(dir);
+    }
+  }
+  EXPECT_GE(points, 50u);
+}
+
+// -------------------------------------------------------- WAL internals
+
+TEST_F(FigDbStoreTest, WalTornTailVariantsEndTheLogCleanly) {
+  const std::string path = StoreDir("wal_torn") + ".wal";
+  std::filesystem::remove(path);
+  // Three records; then damage the tail in every possible shape.
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (std::uint64_t lsn = 1; lsn <= 3; ++lsn) {
+      WalRecord r;
+      r.lsn = lsn;
+      r.type = WalRecord::Type::kAddObject;
+      r.object_id = corpus::ObjectId(base_->Size() + lsn - 1);
+      r.object = Donor(corpus::ObjectId(lsn));
+      ASSERT_TRUE(wal->Append(r).ok());
+    }
+  }
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+  const auto full = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->records.size(), 3u);
+  EXPECT_FALSE(full->torn_tail);
+  EXPECT_EQ(full->valid_bytes, bytes.size());
+  // Where does record 3 start? After replaying 2 records.
+  std::uint64_t two_records = 0;
+  {
+    // Truncate to drop record 3 entirely, replay, and read valid_bytes.
+    const std::string tmp = path + ".probe";
+    std::filesystem::copy_file(path, tmp);
+    // Chop one byte off the end: a torn tail within record 3.
+    ASSERT_TRUE(
+        WriteAheadLog::TruncateTail(tmp, bytes.size() - 1).ok());
+    const auto torn = WriteAheadLog::Replay(tmp);
+    ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+    EXPECT_TRUE(torn->torn_tail);
+    ASSERT_EQ(torn->records.size(), 2u);
+    two_records = torn->valid_bytes;
+    std::filesystem::remove(tmp);
+  }
+  // Every cut inside record 3 — frame header, payload, a single byte in —
+  // must yield the same clean two-record log.
+  for (const std::uint64_t cut :
+       {two_records + 1, two_records + 4, two_records + 8,
+        two_records + 11, std::uint64_t(bytes.size() - 3)}) {
+    const std::string tmp = path + ".cut";
+    std::filesystem::remove(tmp);
+    std::filesystem::copy_file(path, tmp);
+    ASSERT_TRUE(WriteAheadLog::TruncateTail(tmp, cut).ok());
+    const auto torn = WriteAheadLog::Replay(tmp);
+    ASSERT_TRUE(torn.ok()) << "cut at " << cut << ": "
+                           << torn.status().ToString();
+    EXPECT_TRUE(torn->torn_tail) << "cut at " << cut;
+    EXPECT_EQ(torn->records.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(torn->valid_bytes, two_records) << "cut at " << cut;
+    std::filesystem::remove(tmp);
+  }
+  // A garbage FINAL record of full length (pre-allocated-then-torn) is a
+  // torn tail; the same damage mid-log is hard corruption.
+  {
+    std::string garbled = bytes;
+    garbled[garbled.size() - 2] ^= 0x21;  // inside record 3's payload
+    const std::string tmp = path + ".garble";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(garbled.data(), 1, garbled.size(), f);
+    std::fclose(f);
+    const auto torn = WriteAheadLog::Replay(tmp);
+    ASSERT_TRUE(torn.ok());
+    EXPECT_TRUE(torn->torn_tail);
+    EXPECT_EQ(torn->records.size(), 2u);
+    std::filesystem::remove(tmp);
+  }
+  {
+    std::string garbled = bytes;
+    garbled[two_records / 2] ^= 0x21;  // inside an EARLIER record
+    const std::string tmp = path + ".midlog";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(garbled.data(), 1, garbled.size(), f);
+    std::fclose(f);
+    const auto damaged = WriteAheadLog::Replay(tmp);
+    ASSERT_FALSE(damaged.ok());
+    EXPECT_EQ(damaged.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(damaged.status().message().find("mid-log"),
+              std::string::npos);
+    std::filesystem::remove(tmp);
+  }
+  // A foreign file is neither.
+  {
+    const std::string tmp = path + ".foreign";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a wal, not even close", f);
+    std::fclose(f);
+    const auto foreign = WriteAheadLog::Replay(tmp);
+    ASSERT_FALSE(foreign.ok());
+    EXPECT_EQ(foreign.status().code(), StatusCode::kInvalidArgument);
+    std::filesystem::remove(tmp);
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <numeric>
 #include <set>
 
+#include "corpus/media_object.hpp"
+#include "index/wal.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
 #include "util/query_budget.hpp"
@@ -597,6 +600,151 @@ TEST(QueryBudgetTest, ExpiredDeadlineDetected) {
   volatile double sink = 0;
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_TRUE(t.CheckDeadline());
+}
+
+TEST(QueryBudgetTest, ZeroDeadlineMeansNoDeadlineNotInstantExpiry) {
+  const QueryBudget zero = QueryBudget::Deadline(0.0);
+  EXPECT_TRUE(zero.Unlimited());
+  BudgetTracker t(zero);
+  EXPECT_FALSE(t.CheckDeadline());
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(t.ChargeScored());
+  EXPECT_FALSE(t.Exhausted());
+  // Negative limits are "no deadline" too, not "expired before it began".
+  BudgetTracker negative(QueryBudget::Deadline(-3.0));
+  EXPECT_FALSE(negative.CheckDeadline());
+  EXPECT_TRUE(negative.ChargeScored());
+}
+
+TEST(QueryBudgetTest, ZeroCandidateCapComposesWithZeroDeadline) {
+  // Both edges at once: no deadline but zero scoring allowance. This is a
+  // bounded budget (not unlimited) that rejects the very first charge with
+  // the candidate cause — the deadline never enters the picture.
+  QueryBudget b;
+  b.wall_limit_seconds = 0.0;
+  b.max_scored_candidates = 0;
+  EXPECT_FALSE(b.Unlimited());
+  BudgetTracker t(b);
+  EXPECT_FALSE(t.ChargeScored());
+  EXPECT_TRUE(t.Exhausted());
+  EXPECT_EQ(t.ExhaustionCause(), BudgetTracker::Cause::kCandidates);
+  EXPECT_EQ(t.ScoredCandidates(), 0u);
+}
+
+TEST(TopKTest, KLargerThanNReturnsEverythingSorted) {
+  TopK<std::uint32_t> topk(10);
+  topk.Offer(2.0, 4);
+  topk.Offer(5.0, 1);
+  topk.Offer(3.0, 2);
+  EXPECT_FALSE(topk.Full());
+  // Underfull: the threshold must stay -infinity, never a real score.
+  EXPECT_EQ(topk.KthScore(), -std::numeric_limits<double>::infinity());
+  const auto r = topk.Take();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].id, 1u);
+  EXPECT_EQ(r[1].id, 2u);
+  EXPECT_EQ(r[2].id, 4u);
+}
+
+TEST(TopKTest, AllTiedKeepsSmallestIdsInIdOrder) {
+  TopK<std::uint32_t> topk(3);
+  for (const std::uint32_t id : {9u, 2u, 7u, 5u, 1u}) topk.Offer(1.0, id);
+  const auto r = topk.Take();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].id, 1u);
+  EXPECT_EQ(r[1].id, 2u);
+  EXPECT_EQ(r[2].id, 5u);
+}
+
+// ------------------------------------------------------------ WAL fuzz
+
+TEST(WalFuzzTest, RoundTrips200RandomMutationSequences) {
+  namespace fs = std::filesystem;
+  using index::WalRecord;
+  using index::WriteAheadLog;
+  Rng rng(20260807);
+  const std::string path =
+      (fs::temp_directory_path() / "figdb_wal_fuzz.bin").string();
+
+  for (int seq = 0; seq < 200; ++seq) {
+    fs::remove(path);
+    std::vector<WalRecord> written;
+    {
+      auto wal = WriteAheadLog::Open(path);
+      ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+      const std::size_t count = 1 + rng.UniformInt(12);
+      // Arbitrary starting LSN with gaps: replay only requires a strictly
+      // increasing sequence, not a dense one.
+      std::uint64_t lsn = 1 + rng.UniformInt(1000);
+      for (std::size_t i = 0; i < count; ++i) {
+        WalRecord r;
+        r.lsn = lsn;
+        lsn += 1 + rng.UniformInt(3);
+        r.object_id = corpus::ObjectId(rng.UniformInt(500));
+        if (rng.UniformInt(4) == 0) {
+          r.type = WalRecord::Type::kRemoveObject;
+        } else {
+          r.type = WalRecord::Type::kAddObject;
+          r.object.month = std::uint16_t(rng.UniformInt(120));
+          r.object.topic = std::uint32_t(rng.UniformInt(64));
+          const std::size_t feats = 1 + rng.UniformInt(8);
+          std::uint32_t id = 0;
+          for (std::size_t f = 0; f < feats; ++f) {
+            id += 1 + std::uint32_t(rng.UniformInt(50));
+            r.object.features.push_back(
+                {corpus::MakeFeatureKey(corpus::FeatureType::kText, id),
+                 1 + std::uint32_t(rng.UniformInt(5))});
+          }
+        }
+        ASSERT_TRUE(wal->Append(r).ok()) << "seq " << seq << " record " << i;
+        written.push_back(std::move(r));
+      }
+    }
+
+    // Full round trip: every record comes back field-for-field.
+    const auto replay = WriteAheadLog::Replay(path);
+    ASSERT_TRUE(replay.ok()) << "seq " << seq << ": "
+                             << replay.status().ToString();
+    EXPECT_FALSE(replay->torn_tail);
+    EXPECT_EQ(replay->valid_bytes, fs::file_size(path));
+    ASSERT_EQ(replay->records.size(), written.size()) << "seq " << seq;
+    for (std::size_t i = 0; i < written.size(); ++i) {
+      const WalRecord& want = written[i];
+      const WalRecord& got = replay->records[i];
+      EXPECT_EQ(got.lsn, want.lsn);
+      EXPECT_EQ(got.type, want.type);
+      EXPECT_EQ(got.object_id, want.object_id);
+      if (want.type == WalRecord::Type::kAddObject) {
+        EXPECT_EQ(got.object.month, want.object.month);
+        EXPECT_EQ(got.object.topic, want.object.topic);
+        ASSERT_EQ(got.object.features.size(), want.object.features.size());
+        for (std::size_t f = 0; f < want.object.features.size(); ++f) {
+          EXPECT_EQ(got.object.features[f].feature,
+                    want.object.features[f].feature);
+          EXPECT_EQ(got.object.features[f].frequency,
+                    want.object.features[f].frequency);
+        }
+      }
+    }
+
+    // Chop the file at a random point past the header: replay must still
+    // succeed with a whole-record prefix — a cut mid-record is a torn tail,
+    // a cut on a record boundary is a clean shorter log, and nothing in
+    // between is ever invented.
+    const std::uint64_t size = fs::file_size(path);
+    const std::uint64_t cut = 8 + rng.UniformInt(size - 8);
+    ASSERT_TRUE(WriteAheadLog::TruncateTail(path, cut).ok());
+    const auto chopped = WriteAheadLog::Replay(path);
+    ASSERT_TRUE(chopped.ok()) << "seq " << seq << " cut " << cut << ": "
+                              << chopped.status().ToString();
+    ASSERT_LE(chopped->records.size(), written.size());
+    EXPECT_LE(chopped->valid_bytes, cut);
+    EXPECT_EQ(chopped->torn_tail, chopped->valid_bytes != cut);
+    for (std::size_t i = 0; i < chopped->records.size(); ++i) {
+      EXPECT_EQ(chopped->records[i].lsn, written[i].lsn);
+      EXPECT_EQ(chopped->records[i].type, written[i].type);
+    }
+  }
+  fs::remove(path);
 }
 
 }  // namespace
