@@ -1,0 +1,198 @@
+// Concurrent serving throughput: QPS and latency percentiles of the
+// snapshot-isolated serving layer vs. executor worker count, with and
+// without a concurrent ingesting writer.
+//
+//   ./build/bench/serve_throughput [--objects=N] [--seed=N]
+//
+// For each worker count in {1, 2, 4, 8} a fresh ServingStore is built over
+// the standard generated corpus and hammered by 4 reader threads for a
+// fixed wall interval; the with-ingest pass adds a writer thread ingesting
+// durable mutations and publishing a new epoch every 8 of them, so readers
+// continuously cross epoch boundaries while measuring. Each configuration
+// emits one machine-readable line:
+//
+//   BENCH {"bench":"serve_throughput","workers":W,"ingest":B,...}
+//
+// including the host's core count — on a single-core host the worker
+// sweep measures overhead, not speedup, and downstream tooling must read
+// "cores" before comparing QPS across workers.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "index/figdb_store.hpp"
+#include "serve/serving_store.hpp"
+#include "util/stopwatch.hpp"
+
+namespace figdb::bench {
+namespace {
+
+constexpr int kReaders = 4;
+constexpr double kMeasureSeconds = 1.5;
+constexpr std::size_t kTopK = 10;
+
+struct RunResult {
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t ingested = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double Percentile(std::vector<double>* sorted_ms, double p) {
+  if (sorted_ms->empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms->size() - 1));
+  return (*sorted_ms)[idx];
+}
+
+RunResult Measure(serve::ServingStore* serving, const corpus::Corpus& base,
+                  bool with_ingest) {
+  using Clock = std::chrono::steady_clock;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies_ms(kReaders);
+  std::vector<std::uint64_t> completed(kReaders, 0);
+  std::vector<std::uint64_t> rejected(kReaders, 0);
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t turn = static_cast<std::size_t>(r) * 131;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const corpus::ObjectId q =
+            corpus::ObjectId((turn * 37 + 11) % base.Size());
+        ++turn;
+        const auto t0 = Clock::now();
+        const auto result = serving->Search(base.Object(q), kTopK);
+        const auto t1 = Clock::now();
+        if (result.ok()) {
+          latencies_ms[r].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+          ++completed[r];
+        } else {
+          ++rejected[r];
+        }
+      }
+    });
+  }
+
+  std::atomic<std::uint64_t> ingested{0};
+  std::thread writer;
+  if (with_ingest) {
+    writer = std::thread([&] {
+      std::size_t donor = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        corpus::MediaObject obj = base.Object(
+            corpus::ObjectId(donor++ % base.Size()));
+        obj.id = corpus::kInvalidObject;
+        if (serving->Ingest(std::move(obj)).ok())
+          ingested.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  util::Stopwatch watch;
+  while (watch.ElapsedSeconds() < kMeasureSeconds)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  if (writer.joinable()) writer.join();
+
+  RunResult out;
+  out.seconds = watch.ElapsedSeconds();
+  out.ingested = ingested.load();
+  std::vector<double> all_ms;
+  for (int r = 0; r < kReaders; ++r) {
+    out.completed += completed[r];
+    out.rejected += rejected[r];
+    all_ms.insert(all_ms.end(), latencies_ms[r].begin(),
+                  latencies_ms[r].end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  out.p50_ms = Percentile(&all_ms, 0.50);
+  out.p99_ms = Percentile(&all_ms, 0.99);
+  return out;
+}
+
+int Run(const Args& args) {
+  corpus::GeneratorConfig config = MakeRetrievalConfig(args);
+  std::printf("# generating %zu objects (seed %llu)\n", config.num_objects,
+              (unsigned long long)args.seed);
+  const corpus::Corpus base =
+      corpus::Generator(config).MakeRetrievalCorpus();
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("# %u hardware threads, %d reader threads, %.1fs per config\n",
+              cores, kReaders, kMeasureSeconds);
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    for (const bool with_ingest : {false, true}) {
+      const std::string dir =
+          (std::filesystem::temp_directory_path() /
+           ("figdb_serve_bench_w" + std::to_string(workers) +
+            (with_ingest ? "_ingest" : "_ro")))
+              .string();
+      std::filesystem::remove_all(dir);
+      auto store = index::FigDbStore::Create(dir, base);
+      if (!store.ok()) {
+        std::fprintf(stderr, "store create failed: %s\n",
+                     store.status().ToString().c_str());
+        return 1;
+      }
+      serve::ServeOptions options;
+      options.executor.workers = workers;
+      // Pin admission thresholds so every config runs the SAME work per
+      // query. The defaults scale with the worker count (2x / 4x workers),
+      // which would let the workers=1 config silently degrade most queries
+      // (rerank shed) under 4 readers and report inflated QPS.
+      options.executor.degrade_concurrent = kReaders * 4;
+      options.executor.max_concurrent = kReaders * 8;
+      options.publish_every = 8;
+      {
+        serve::ServingStore serving(std::move(*store), options);
+        const RunResult r = Measure(&serving, base, with_ingest);
+        const auto stats = serving.Stats();
+        std::printf(
+            "workers=%zu ingest=%d  %7.0f qps  p50 %7.3f ms  p99 %7.3f ms  "
+            "(%llu queries, %llu rejected, %llu degraded, %llu ingested, "
+            "%llu epochs)\n",
+            workers, with_ingest ? 1 : 0, r.completed / r.seconds, r.p50_ms,
+            r.p99_ms, (unsigned long long)r.completed,
+            (unsigned long long)r.rejected,
+            (unsigned long long)stats.executor.degraded,
+            (unsigned long long)r.ingested,
+            (unsigned long long)stats.epochs_published);
+        std::printf(
+            "BENCH {\"bench\":\"serve_throughput\",\"workers\":%zu,"
+            "\"ingest\":%s,\"readers\":%d,\"cores\":%u,\"objects\":%zu,"
+            "\"seconds\":%.3f,\"queries\":%llu,\"rejected\":%llu,"
+            "\"degraded\":%llu,\"ingested\":%llu,\"epochs\":%llu,"
+            "\"qps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f}\n",
+            workers, with_ingest ? "true" : "false", kReaders, cores,
+            base.Size(), r.seconds, (unsigned long long)r.completed,
+            (unsigned long long)r.rejected,
+            (unsigned long long)stats.executor.degraded,
+            (unsigned long long)r.ingested,
+            (unsigned long long)stats.epochs_published,
+            r.completed / r.seconds, r.p50_ms, r.p99_ms);
+      }
+      std::filesystem::remove_all(dir);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace figdb::bench
+
+int main(int argc, char** argv) {
+  return figdb::bench::Run(figdb::bench::Args::Parse(argc, argv));
+}

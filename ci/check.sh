@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build + test the plain tree AND an ASan+UBSan tree,
-# so the crash-recovery / fault-injection matrix always runs under
-# sanitizers instead of that being a manual step.
+# Full pre-merge check: build + test the plain tree, an ASan+UBSan tree
+# (crash-recovery / fault-injection matrix under sanitizers), and a TSan
+# tree that runs the concurrency suites (thread pool, epoch reclamation,
+# the parallel query executor and the serving-store stress tests) — the
+# data-race proof for the serving layer.
 #
-#   ci/check.sh            both trees (the default)
+#   ci/check.sh            all three trees (the default)
 #   ci/check.sh plain      plain tree only
-#   ci/check.sh asan       sanitizer tree only
+#   ci/check.sh asan       ASan+UBSan tree only
+#   ci/check.sh tsan       ThreadSanitizer tree only
 #
 # Environment:
 #   JOBS=N         parallelism (default: nproc)
@@ -32,6 +35,20 @@ run_tree() {
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
 }
 
+# TSan is mutually exclusive with ASan, so it gets its own tree. Only the
+# concurrency suites run there: the sequential suites gain nothing from it
+# and TSan's ~10x slowdown would dominate the check otherwise.
+run_tsan_tree() {
+  cmake -B build-tsan -S . -DFIGDB_SANITIZE="thread" >/dev/null
+  echo "==== [ci-tsan] build ===="
+  cmake --build build-tsan -j "$JOBS"
+  echo "==== [ci-tsan] ctest (concurrency suites) ===="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+      -R 'ThreadPool|EpochReclaimer|MemoCache|CompactionContract|QueryExecutor|ServingStore' \
+      ${CTEST_ARGS:-}
+}
+
 case "$MODE" in
   plain)
     run_tree build ci-plain
@@ -39,12 +56,16 @@ case "$MODE" in
   asan)
     run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
     ;;
+  tsan)
+    run_tsan_tree
+    ;;
   all)
     run_tree build ci-plain
     run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
+    run_tsan_tree
     ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|tsan]" >&2
     exit 2
     ;;
 esac

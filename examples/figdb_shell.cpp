@@ -18,12 +18,15 @@
 // activates fail-points at startup, e.g.
 //   FIGDB_FAILPOINTS=wal/torn_tail:2 figdb_shell
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "corpus/generator.hpp"
@@ -31,6 +34,7 @@
 #include "index/figdb_store.hpp"
 #include "index/retrieval_engine.hpp"
 #include "index/storage.hpp"
+#include "serve/serving_store.hpp"
 #include "util/failpoint.hpp"
 #include "util/query_budget.hpp"
 #include "util/status.hpp"
@@ -299,6 +303,84 @@ struct Shell {
       std::printf(", unlimited candidates\n");
   }
 
+  /// Concurrent serving drill: wraps the attached store in a ServingStore,
+  /// hammers it with reader threads while the shell's own thread keeps
+  /// ingesting and publishing epochs, then hands the store back and prints
+  /// the serving-layer statistics. This is the shell-level proof of the
+  /// snapshot-isolation contract: readers never block on the writer and
+  /// every answer is computed against one published epoch.
+  void Serve(double seconds, std::size_t readers, std::size_t workers) {
+    serve::ServeOptions options;
+    options.executor.workers = workers;
+    options.publish_every = 4;
+    serve::ServingStore serving(std::move(*store), options);
+    store.reset();
+    std::printf(
+        "serving for %.1fs: %zu reader thread(s), %zu pool worker(s), "
+        "publish every %zu mutation(s)...\n",
+        seconds, readers, workers, options.publish_every);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::uint64_t> served(readers, 0);
+    std::vector<std::uint64_t> failed(readers, 0);
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        std::size_t turn = r * 977;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto& q = db->Object(
+              corpus::ObjectId((turn++ * 31 + 7) % db->Size()));
+          if (q.features.empty()) continue;  // removed slot
+          if (serving.Search(q, 8, budget).ok())
+            ++served[r];
+          else
+            ++failed[r];
+        }
+      });
+    }
+
+    // The shell's thread IS the single writer: durable ingests of clones of
+    // existing objects, auto-published every few mutations.
+    util::Stopwatch watch;
+    std::uint64_t ingested = 0;
+    std::size_t donor = 0;
+    while (watch.ElapsedSeconds() < seconds) {
+      corpus::MediaObject obj =
+          db->Object(corpus::ObjectId(donor++ % db->Size()));
+      if (obj.features.empty()) continue;
+      obj.id = corpus::kInvalidObject;
+      if (serving.Ingest(std::move(obj)).ok()) ++ingested;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stop.store(true);
+    for (auto& t : threads) t.join();
+
+    const serve::ServeStats stats = serving.Stats();
+    std::uint64_t total_served = 0, total_failed = 0;
+    for (std::size_t r = 0; r < readers; ++r) {
+      total_served += served[r];
+      total_failed += failed[r];
+    }
+    std::printf(
+        "served %llu queries (%.0f qps), %llu rejected/expired | "
+        "%llu ingested | epochs: %llu published, %llu retired, "
+        "%llu reclaimed, %zu pending | executor: %llu admitted, "
+        "%llu degraded, %llu rejected\n",
+        (unsigned long long)total_served,
+        total_served / watch.ElapsedSeconds(),
+        (unsigned long long)total_failed, (unsigned long long)ingested,
+        (unsigned long long)stats.epochs_published,
+        (unsigned long long)stats.epochs_retired,
+        (unsigned long long)stats.epochs_reclaimed, stats.pending_retired,
+        (unsigned long long)stats.executor.admitted,
+        (unsigned long long)stats.executor.degraded,
+        (unsigned long long)stats.executor.rejected);
+
+    store = std::move(serving).Release();
+    SyncFromStore();
+    PrintStoreStats("store");
+  }
+
   void Show(corpus::ObjectId id) const {
     if (id >= db->Size()) {
       std::printf("no object #%u\n", id);
@@ -334,6 +416,10 @@ void Help() {
       "  remove <id>       tombstone an object durably\n"
       "  checkpoint        fold the WAL into an atomically-replaced snapshot\n"
       "  recover           re-run crash recovery on the attached directory\n"
+      "  serve [secs] [readers] [workers]\n"
+      "                    concurrent serving drill: reader threads search\n"
+      "                    snapshot-isolated epochs while the shell ingests\n"
+      "                    and publishes; prints epoch + admission stats\n"
       "  quit\n"
       "env: FIGDB_FAILPOINTS=name[:skip[:fires]],…  activates fault drills\n"
       "     (e.g. wal/fsync, checkpoint/rename) at startup\n");
@@ -390,6 +476,19 @@ int main() {
         std::printf("usage: attach <dir>\n");
       else
         shell.Attach(dir);
+      continue;
+    }
+    if (cmd == "serve") {
+      if (!shell.store.has_value()) {
+        std::printf("no store attached — use 'attach <dir>' first\n");
+        continue;
+      }
+      double seconds = 3.0;
+      std::size_t readers = 4, workers = 4;
+      in >> seconds >> readers >> workers;
+      shell.Serve(std::min(std::max(seconds, 0.2), 60.0),
+                  std::min<std::size_t>(std::max<std::size_t>(readers, 1), 16),
+                  std::min<std::size_t>(workers, 16));
       continue;
     }
     if (cmd == "ingest" || cmd == "remove" || cmd == "checkpoint" ||

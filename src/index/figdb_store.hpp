@@ -104,8 +104,15 @@ class FigDbStore {
 
   const corpus::Corpus& GetCorpus() const { return corpus_; }
   const CliqueIndex& Index() const { return index_; }
+  /// Writer-side mutable index access (serving-path eager compaction).
+  CliqueIndex& MutableIndex() { return index_; }
   std::shared_ptr<const stats::CorrelationModel> Correlations() const {
     return correlations_;
+  }
+  /// The pinned feature statistics backing Correlations() — shared with
+  /// serving snapshots so epoch publication never rebuilds them.
+  std::shared_ptr<const stats::FeatureMatrix> Matrix() const {
+    return matrix_;
   }
   const Options& GetOptions() const { return options_; }
   const RecoveryInfo& Info() const { return recovery_; }

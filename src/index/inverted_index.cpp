@@ -96,7 +96,11 @@ const std::vector<corpus::ObjectId>& CliqueIndex::Lookup(
     const std::vector<corpus::FeatureKey>& sorted_features) const {
   auto it = postings_.find(MakeCliqueKey(sorted_features));
   if (it == postings_.end()) return empty_;
-  CompactList(&it->second);
+  // Pure-read fast path: with no tombstones pending every list is already
+  // current (CompactAll stamps them; fresh inserts start current), so skip
+  // CompactList entirely rather than proving it a no-op — this is what
+  // makes concurrent Lookup over a fully compacted index race-free.
+  if (!tombstones_.empty()) CompactList(&it->second);
   return it->second.ids;
 }
 

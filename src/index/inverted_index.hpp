@@ -28,6 +28,20 @@
 /// list is read (and wholesale by CompactAll at checkpoint time). A
 /// mutation-maintained index is always equal, posting for posting, to
 /// CliqueIndex::Build over the same corpus and correlation model.
+///
+/// Concurrency contract (the serving layer depends on this — serve/):
+///
+///   * SINGLE WRITER. AddObject / RemoveObject / CompactAll may only be
+///     called by one thread with no concurrent access of any kind. This is
+///     the store's writer thread.
+///   * CONCURRENT READERS require a FULLY COMPACTED index. Lazy tombstone
+///     compaction writes through const Lookup (the posting map is mutable),
+///     so Lookup is only safe to call from multiple threads when no
+///     tombstones are pending: Lookup then takes a pure-read path that
+///     never touches the mutable state. The serving layer guarantees this
+///     by compacting eagerly at snapshot-publish time and handing readers
+///     immutable, fully compacted snapshot copies; FullyCompacted() is the
+///     queryable invariant.
 
 namespace figdb::index {
 
@@ -47,7 +61,10 @@ class CliqueIndex {
 
   /// Objects containing the clique (sorted by id); empty if unknown.
   /// Compacts the hit list against pending tombstones before returning, so
-  /// removed objects are never surfaced as candidates.
+  /// removed objects are never surfaced as candidates. When no tombstones
+  /// are pending the call is a pure read (no mutable state touched) and is
+  /// safe from concurrent reader threads — see the concurrency contract in
+  /// the file comment.
   const std::vector<corpus::ObjectId>& Lookup(
       const std::vector<corpus::FeatureKey>& sorted_features) const;
 
@@ -70,6 +87,11 @@ class CliqueIndex {
 
   /// Pending (not yet fully compacted) removed ids.
   std::size_t TombstoneCount() const { return tombstones_.size(); }
+
+  /// True when no tombstones are pending: every posting list is current and
+  /// Lookup is concurrency-safe (pure reads). Established by CompactAll and
+  /// required of every serving snapshot.
+  bool FullyCompacted() const { return tombstones_.empty(); }
 
   /// Full contents as sorted (clique key, sorted live ids) pairs, with
   /// tombstones applied. For equivalence tests and debug tooling — O(index).
@@ -99,8 +121,9 @@ class CliqueIndex {
   void CompactList(PostingList* list) const;
 
   CliqueIndexOptions options_;
-  // Lazily compacted via const Lookup — mutable, single-threaded like the
-  // rest of the query path.
+  // Lazily compacted via const Lookup — mutable, and therefore only safe
+  // to share across reader threads while FullyCompacted() holds (Lookup
+  // then never touches these through its const path; see file comment).
   mutable std::unordered_map<CliqueKey, PostingList> postings_;
   mutable std::size_t total_postings_ = 0;
   std::unordered_set<corpus::ObjectId> tombstones_;

@@ -25,6 +25,19 @@ constexpr std::size_t kRerankDeadlineStride = 8;
 
 }  // namespace
 
+void FigRetrievalEngine::BuildScoringStack() {
+  cors_ = std::make_shared<stats::CorSCalculator>(matrix_);
+  core::MrfOptions exact_options = options_.mrf;
+  exact_options.count_partial_cliques = false;
+  exact_potential_ = std::make_shared<core::PotentialEvaluator>(
+      correlations_, cors_, exact_options);
+  core::MrfOptions full_options = options_.mrf;
+  full_options.count_partial_cliques = true;
+  full_potential_ = std::make_shared<core::PotentialEvaluator>(
+      correlations_, cors_, full_options);
+  scorer_ = std::make_unique<core::FigScorer>(full_potential_);
+}
+
 FigRetrievalEngine::FigRetrievalEngine(const corpus::Corpus& corpus,
                                        EngineOptions options)
     : corpus_(&corpus), options_(options) {
@@ -37,25 +50,46 @@ FigRetrievalEngine::FigRetrievalEngine(const corpus::Corpus& corpus,
       stats::FeatureMatrix::Build(corpus));
   correlations_ = std::make_shared<stats::CorrelationModel>(
       corpus.SharedContext(), matrix_, options_.correlations);
-  cors_ = std::make_shared<stats::CorSCalculator>(matrix_);
-  core::MrfOptions exact_options = options_.mrf;
-  exact_options.count_partial_cliques = false;
-  exact_potential_ = std::make_shared<core::PotentialEvaluator>(
-      correlations_, cors_, exact_options);
-  core::MrfOptions full_options = options_.mrf;
-  full_options.count_partial_cliques = true;
-  full_potential_ = std::make_shared<core::PotentialEvaluator>(
-      correlations_, cors_, full_options);
-  scorer_ = std::make_unique<core::FigScorer>(full_potential_);
+  BuildScoringStack();
   if (options_.build_index) {
     index_ = std::make_unique<CliqueIndex>(
         CliqueIndex::Build(corpus, *correlations_, options_.index));
   }
 }
 
+FigRetrievalEngine::FigRetrievalEngine(
+    const corpus::Corpus& corpus, EngineOptions options,
+    std::shared_ptr<const stats::FeatureMatrix> matrix,
+    std::shared_ptr<const stats::CorrelationModel> correlations,
+    CliqueIndex index)
+    : corpus_(&corpus), options_(options) {
+  options_.index = index.Options();
+  options_.type_mask = options_.index.type_mask;
+  options_.mrf.cliques.max_features = options_.index.cliques.max_features;
+  FIGDB_CHECK_MSG(matrix != nullptr && correlations != nullptr,
+                  "adopted substrates must be non-null");
+  FIGDB_CHECK_MSG(index.FullyCompacted(),
+                  "serving snapshot requires a fully compacted index");
+  matrix_ = std::move(matrix);
+  correlations_ = std::move(correlations);
+  BuildScoringStack();
+  index_ = std::make_unique<CliqueIndex>(std::move(index));
+}
+
 void FigRetrievalEngine::SetLambda(const std::vector<double>& lambda) {
   exact_potential_->SetLambda(lambda);
   full_potential_->SetLambda(lambda);
+}
+
+ScoredList FigRetrievalEngine::BuildCliqueList(
+    const core::Clique& clique) const {
+  FIGDB_CHECK_MSG(index_ != nullptr, "engine built without an index");
+  ScoredList list;
+  for (corpus::ObjectId id : index_->Lookup(clique.features)) {
+    const double phi = exact_potential_->Phi(clique, corpus_->Object(id));
+    if (phi > 0.0) list.entries.push_back({id, phi});
+  }
+  return list;
 }
 
 std::vector<ScoredList> FigRetrievalEngine::BuildScoredLists(
@@ -72,11 +106,7 @@ std::vector<ScoredList> FigRetrievalEngine::BuildScoredLists(
       if (truncated != nullptr) *truncated = true;
       break;
     }
-    ScoredList list;
-    for (corpus::ObjectId id : index_->Lookup(c.features)) {
-      const double phi = exact_potential_->Phi(c, corpus_->Object(id));
-      if (phi > 0.0) list.entries.push_back({id, phi});
-    }
+    ScoredList list = BuildCliqueList(c);
     if (!list.entries.empty()) lists.push_back(std::move(list));
   }
   return lists;

@@ -52,6 +52,19 @@ class FigRetrievalEngine : public core::Retriever {
   /// Preprocessing stage; \p corpus must outlive the engine.
   FigRetrievalEngine(const corpus::Corpus& corpus, EngineOptions options);
 
+  /// Serving-snapshot constructor: adopts pre-built substrates instead of
+  /// recomputing them — \p matrix and \p correlations are the store's
+  /// pinned statistics (shared across every snapshot of that store) and
+  /// \p index is a fully compacted copy of the store's live index. Cost is
+  /// O(1) beyond what the caller already paid, versus the full statistics
+  /// rebuild of the primary constructor; this is what makes frequent epoch
+  /// publication affordable. \p index must satisfy FullyCompacted() (the
+  /// concurrent-Lookup precondition, FIGDB_CHECKed here).
+  FigRetrievalEngine(const corpus::Corpus& corpus, EngineOptions options,
+                     std::shared_ptr<const stats::FeatureMatrix> matrix,
+                     std::shared_ptr<const stats::CorrelationModel> correlations,
+                     CliqueIndex index);
+
   std::string Name() const override { return "FIG"; }
 
   /// Algorithm 1: index-accelerated top-k retrieval.
@@ -93,9 +106,27 @@ class FigRetrievalEngine : public core::Retriever {
   std::vector<core::SearchResult> SearchSequential(
       const corpus::MediaObject& query, std::size_t k) const;
 
-  /// Updates the MRF λ parameters (used by the trainer).
+  /// Updates the MRF λ parameters (used by the trainer). NOT safe while
+  /// concurrent readers are scoring; the serving layer never calls it on a
+  /// published snapshot.
   void SetLambda(const std::vector<double>& lambda);
 
+  /// Stage-1 candidate list for ONE query clique: inverted-list lookup +
+  /// exact-containment scoring. This is the unit the serving layer shards
+  /// across worker threads; BuildScoredLists is exactly a loop over this,
+  /// so a parallel per-clique build followed by an in-clique-order merge
+  /// reproduces the sequential lists bit for bit. Thread-safe under the
+  /// index concurrency contract (fully compacted index, no writer).
+  ScoredList BuildCliqueList(const core::Clique& clique) const;
+
+  /// Validates \p query and \p k exactly as TrySearch does (public so the
+  /// serving layer can reject malformed requests before admission).
+  util::Status ValidateQuery(const corpus::MediaObject& query,
+                             std::size_t k) const;
+
+  /// False for engines built with build_index = false; Index() must not be
+  /// called on them (the serving layer checks before dereferencing).
+  bool HasIndex() const { return index_ != nullptr; }
   const CliqueIndex& Index() const { return *index_; }
   const core::FigScorer& Scorer() const { return *scorer_; }
   const corpus::Corpus& GetCorpus() const { return *corpus_; }
@@ -128,9 +159,9 @@ class FigRetrievalEngine : public core::Retriever {
   core::SearchResponse SearchWithBudget(const core::QueryModel& qm,
                                         std::size_t k,
                                         util::BudgetTracker* budget) const;
-  /// Validates query features against the corpus context's vocabularies.
-  util::Status ValidateQuery(const corpus::MediaObject& query,
-                             std::size_t k) const;
+  /// Shared tail of both constructors: builds the potential evaluators and
+  /// scorer over the already-set matrix/correlations.
+  void BuildScoringStack();
 
   const corpus::Corpus* corpus_;
   EngineOptions options_;

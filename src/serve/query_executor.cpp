@@ -1,0 +1,249 @@
+#include "serve/query_executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "index/threshold_algorithm.hpp"
+#include "util/failpoint.hpp"
+#include "util/top_k.hpp"
+
+namespace figdb::serve {
+namespace {
+
+using util::BudgetTracker;
+using util::QueryBudget;
+using util::Status;
+using util::StatusOr;
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<core::SearchResult> TakeResults(
+    util::TopK<corpus::ObjectId>* topk) {
+  std::vector<core::SearchResult> out;
+  for (const auto& e : topk->Take()) out.push_back({e.id, e.score});
+  return out;
+}
+
+/// RAII in-flight counter: registered before the admission check, released
+/// on every exit path, so the count the NEXT query observes is exact.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(std::atomic<std::size_t>* in_flight)
+      : in_flight_(in_flight),
+        count_(in_flight->fetch_add(1, std::memory_order_acq_rel) + 1) {}
+  ~AdmissionTicket() {
+    in_flight_->fetch_sub(1, std::memory_order_acq_rel);
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  /// Concurrency level including this query, at admission time.
+  std::size_t Count() const { return count_; }
+
+ private:
+  std::atomic<std::size_t>* in_flight_;
+  std::size_t count_;
+};
+
+/// Thread-safe deadline shared by the shards of one query's parallel
+/// stages. A BudgetTracker is single-threaded by design, so the parallel
+/// sections poll a precomputed monotonic time point instead and latch
+/// expiry into a relaxed atomic flag; the caller folds the flag back into
+/// the tracker (ForceDeadline) once the stage has joined.
+struct SharedDeadline {
+  explicit SharedDeadline(const QueryBudget& budget) {
+    if (budget.wall_limit_seconds > 0.0) {
+      armed = true;
+      at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  budget.wall_limit_seconds));
+    }
+  }
+
+  /// One poll from inside a shard. The serve/slow_worker fail-point makes a
+  /// shard observe expiry deterministically (simulating a stalled worker).
+  bool ExpiredNow() {
+    if (FIGDB_FAILPOINT("serve/slow_worker"))
+      expired.store(true, std::memory_order_relaxed);
+    if (expired.load(std::memory_order_relaxed)) return true;
+    if (armed && Clock::now() > at) {
+      expired.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool Expired() const { return expired.load(std::memory_order_relaxed); }
+
+  bool armed = false;
+  Clock::time_point at{};
+  std::atomic<bool> expired{false};
+};
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(ExecutorOptions options)
+    : options_(options), pool_(options.workers) {}
+
+std::size_t QueryExecutor::MaxConcurrent() const {
+  if (options_.max_concurrent != 0) return options_.max_concurrent;
+  return 4 * std::max<std::size_t>(1, options_.workers);
+}
+
+std::size_t QueryExecutor::DegradeConcurrent() const {
+  if (options_.degrade_concurrent != 0) return options_.degrade_concurrent;
+  return 2 * std::max<std::size_t>(1, options_.workers);
+}
+
+ExecutorStats QueryExecutor::Stats() const {
+  ExecutorStats s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+StatusOr<core::SearchResponse> QueryExecutor::Search(
+    const index::FigRetrievalEngine& engine, const corpus::MediaObject& query,
+    std::size_t k, const QueryBudget& budget) const {
+  // Malformed requests are rejected before they consume capacity; same
+  // taxonomy and same checks as the sequential TrySearch.
+  FIGDB_RETURN_IF_ERROR(engine.ValidateQuery(query, k));
+  if (!engine.HasIndex())
+    return Status::Unavailable("engine was built without an inverted index");
+
+  AdmissionTicket ticket(&in_flight_);
+  if (ticket.Count() > MaxConcurrent() || FIGDB_FAILPOINT("serve/overload")) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "serving layer over capacity (" + std::to_string(ticket.Count() - 1) +
+        " queries in flight, cap " + std::to_string(MaxConcurrent()) + ")");
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  const bool degrade = ticket.Count() > DegradeConcurrent();
+  if (degrade) degraded_.fetch_add(1, std::memory_order_relaxed);
+
+  QueryBudget effective = budget;
+  if (effective.wall_limit_seconds <= 0.0 &&
+      options_.default_deadline_seconds > 0.0)
+    effective.wall_limit_seconds = options_.default_deadline_seconds;
+
+  const core::QueryModel qm =
+      engine.Scorer().Compile(query, engine.Options().type_mask);
+  BudgetTracker tracker(effective);
+  core::SearchResponse resp =
+      RunParallel(engine, qm, k, effective.Unlimited() ? nullptr : &tracker,
+                  effective, degrade);
+  if (resp.results.empty() && tracker.Exhausted())
+    return Status::DeadlineExceeded(
+        "query budget exhausted before any result was produced");
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return resp;
+}
+
+core::SearchResponse QueryExecutor::RunParallel(
+    const index::FigRetrievalEngine& engine, const core::QueryModel& qm,
+    std::size_t k, BudgetTracker* bt, const QueryBudget& budget,
+    bool degrade) const {
+  const index::EngineOptions& opts = engine.Options();
+  core::SearchResponse resp;
+  if (engine.Index().Degraded()) resp.truncated = true;
+
+  SharedDeadline deadline(budget);
+
+  // Stage 1, sharded per query clique. Each shard builds its clique's
+  // complete list into the slot for that clique, so collecting the
+  // non-empty slots in clique order reproduces the sequential
+  // BuildScoredLists output exactly. A shard that observes deadline expiry
+  // drops its WHOLE list (complete-or-absent, like the sequential
+  // trailing-clique shed; under parallel scheduling the shed set is an
+  // arbitrary subset rather than a suffix, but every surviving list is
+  // exact, so scores remain exact for the cliques that were evaluated).
+  const std::size_t n_cliques = qm.cliques.size();
+  std::vector<index::ScoredList> slots(n_cliques);
+  std::vector<std::uint8_t> shed_slot(n_cliques, 0);
+  pool_.ParallelFor(n_cliques, [&](std::size_t i) {
+    if (deadline.ExpiredNow()) {
+      shed_slot[i] = 1;
+      return;
+    }
+    slots[i] = engine.BuildCliqueList(qm.cliques[i]);
+  });
+  if (deadline.Expired()) {
+    resp.truncated = true;
+    if (bt != nullptr) bt->ForceDeadline();
+  }
+  std::vector<index::ScoredList> lists;
+  lists.reserve(n_cliques);
+  for (std::size_t i = 0; i < n_cliques; ++i)
+    if (!shed_slot[i] && !slots[i].entries.empty())
+      lists.push_back(std::move(slots[i]));
+
+  // The TA merge stays sequential: its frontier walk is inherently ordered
+  // and cheap next to potential evaluation, and running it on the caller's
+  // thread lets it share the query's BudgetTracker unchanged.
+  const std::size_t stage1_k =
+      opts.rerank_candidates == 0 ? k : std::max(k, opts.rerank_candidates);
+  std::vector<core::SearchResult> merged =
+      opts.merge == index::EngineOptions::MergeMode::kThresholdAlgorithm
+          ? index::ThresholdMerge(std::move(lists), stage1_k, bt,
+                                  &resp.truncated)
+          : index::ExhaustiveMerge(lists, stage1_k, bt, &resp.truncated);
+  if (opts.rerank_candidates == 0) {
+    resp.results = std::move(merged);
+    if (bt != nullptr) resp.scored_candidates = bt->ScoredCandidates();
+    return resp;
+  }
+
+  // Same shedding ladder as the sequential path, with admission-control
+  // degradation joining at the top: an overloaded executor sheds the rerank
+  // of every admitted-but-degraded query before rejecting anything.
+  bool shed_rerank =
+      degrade ||
+      (bt != nullptr &&
+       (bt->Exhausted() || bt->CheckDeadline() ||
+        !bt->HasCandidateAllowance(merged.size())));
+
+  if (!shed_rerank && bt != nullptr && !bt->ChargeScored(merged.size())) {
+    // The allowance covered the candidates, so a bulk charge can only fail
+    // on the deadline poll.
+    shed_rerank = true;
+  }
+
+  if (!shed_rerank) {
+    // Stage 2, sharded per candidate: full-model scores land in slots
+    // indexed by merge position; the top-k offers then happen sequentially
+    // in merge order, which reproduces the sequential rerank's tie-breaking
+    // bit for bit.
+    std::vector<double> scores(merged.size(), 0.0);
+    pool_.ParallelFor(merged.size(), [&](std::size_t i) {
+      if (deadline.ExpiredNow()) return;
+      scores[i] =
+          engine.Scorer().Score(qm, engine.GetCorpus().Object(merged[i].object));
+    });
+    if (deadline.Expired()) {
+      // Mid-rerank expiry: some slots were never scored, and mixing stage-1
+      // and stage-2 scores would corrupt the ranking — shed the whole stage
+      // (sequential semantics).
+      shed_rerank = true;
+      if (bt != nullptr) bt->ForceDeadline();
+    } else {
+      util::TopK<corpus::ObjectId> topk(k);
+      for (std::size_t i = 0; i < merged.size(); ++i)
+        topk.Offer(scores[i], merged[i].object);
+      resp.results = TakeResults(&topk);
+      resp.reranked = true;
+    }
+  }
+  if (shed_rerank) {
+    if (merged.size() > k) merged.resize(k);
+    resp.results = std::move(merged);
+    resp.truncated = true;
+  }
+  if (bt != nullptr) resp.scored_candidates = bt->ScoredCandidates();
+  return resp;
+}
+
+}  // namespace figdb::serve

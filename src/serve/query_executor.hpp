@@ -1,0 +1,119 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/retriever.hpp"
+#include "corpus/media_object.hpp"
+#include "index/retrieval_engine.hpp"
+#include "util/query_budget.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file query_executor.hpp
+/// Admission-controlled parallel execution of Algorithm 1.
+///
+/// The executor runs the same three-stage plan as FigRetrievalEngine's
+/// sequential TrySearch — per-clique candidate generation, Threshold
+/// Algorithm merge, full-model rerank — but shards the two embarrassingly
+/// parallel stages over a fixed worker pool:
+///
+///   stage 1  one shard per query clique; each shard builds that clique's
+///            complete scored list (engine.BuildCliqueList), written into a
+///            slot indexed by clique position, then merged in clique order
+///            — the exact list sequence the sequential path builds;
+///   stage TA sequential (the merge's frontier walk is inherently ordered
+///            and cheap next to scoring);
+///   stage 2  one shard per merged candidate; full-model scores land in
+///            slots indexed by candidate position and are offered to the
+///            top-k collector in sequential order.
+///
+/// Because every parallel stage writes only position-indexed slots and all
+/// cross-candidate ordering decisions happen sequentially afterwards, the
+/// unbudgeted result is BIT-IDENTICAL to engine.TrySearch on the same
+/// snapshot regardless of worker count or scheduling (asserted across seeds
+/// by the serve test suite).
+///
+/// Admission control: at most max_concurrent queries execute at once;
+/// beyond that, Search returns RESOURCE_EXHAUSTED immediately — callers are
+/// never queued unboundedly. Between degrade_concurrent and the hard cap,
+/// queries are admitted but degrade gracefully by shedding the stage-2
+/// rerank first (exact stage-1 scores, tagged truncated), mirroring the
+/// budget-pressure shedding order of DESIGN.md §7.
+///
+/// Deadlines reuse util::QueryBudget. Sequential sections charge a
+/// BudgetTracker exactly as TrySearch does; parallel sections poll a
+/// shared monotonic deadline through a relaxed atomic expiry flag (a
+/// BudgetTracker is single-threaded by design). On expiry mid-stage the
+/// executor degrades exactly like the sequential path: complete-or-dropped
+/// clique lists (never partial), whole-stage rerank shedding, DEADLINE_
+/// EXCEEDED only when nothing at all was produced.
+///
+/// Fail-points:
+///   serve/overload     admission rejects as if over the hard cap
+///   serve/slow_worker  a worker shard observes deadline expiry, driving
+///                      the degradation paths deterministically
+
+namespace figdb::serve {
+
+struct ExecutorOptions {
+  /// Worker threads in the pool. 0 = run shards inline on the caller (the
+  /// sequential baseline; still goes through admission control).
+  std::size_t workers = 4;
+  /// Hard admission cap on concurrently executing queries.
+  /// 0 = 4 * max(1, workers).
+  std::size_t max_concurrent = 0;
+  /// Soft cap: admitted queries above this concurrency shed their rerank
+  /// stage (degradation before rejection). 0 = 2 * max(1, workers).
+  std::size_t degrade_concurrent = 0;
+  /// Deadline applied to queries whose budget has none. <= 0 = none.
+  double default_deadline_seconds = 0.0;
+};
+
+/// Monotonic counters, readable while serving.
+struct ExecutorStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;   ///< RESOURCE_EXHAUSTED at admission
+  std::uint64_t degraded = 0;   ///< admitted with rerank shed (soft cap)
+  std::uint64_t completed = 0;  ///< returned OK
+};
+
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(ExecutorOptions options);
+
+  /// Parallel Algorithm 1 over \p engine (normally a snapshot's engine).
+  /// Unbudgeted, un-degraded results are bit-identical to
+  /// engine.TrySearch(query, k). Error taxonomy = TrySearch's, plus
+  /// RESOURCE_EXHAUSTED when admission rejects.
+  util::StatusOr<core::SearchResponse> Search(
+      const index::FigRetrievalEngine& engine,
+      const corpus::MediaObject& query, std::size_t k,
+      const util::QueryBudget& budget = {}) const;
+
+  std::size_t Workers() const { return pool_.Workers(); }
+  std::size_t MaxConcurrent() const;
+  std::size_t DegradeConcurrent() const;
+  std::size_t InFlight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  ExecutorStats Stats() const;
+
+ private:
+  core::SearchResponse RunParallel(const index::FigRetrievalEngine& engine,
+                                   const core::QueryModel& qm, std::size_t k,
+                                   util::BudgetTracker* bt,
+                                   const util::QueryBudget& budget,
+                                   bool degrade) const;
+
+  ExecutorOptions options_;
+  mutable util::ThreadPool pool_;
+  mutable std::atomic<std::size_t> in_flight_{0};
+  mutable std::atomic<std::uint64_t> admitted_{0};
+  mutable std::atomic<std::uint64_t> rejected_{0};
+  mutable std::atomic<std::uint64_t> degraded_{0};
+  mutable std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace figdb::serve

@@ -1,0 +1,121 @@
+#include "serve/serving_store.hpp"
+
+#include <utility>
+
+namespace figdb::serve {
+
+using util::Status;
+using util::StatusOr;
+
+ServingStore::ServingStore(index::FigDbStore store, ServeOptions options)
+    : store_(std::move(store)),
+      options_(options),
+      executor_(options.executor) {
+  // A ServingStore is searchable from birth: epoch 1 is the store's state
+  // as handed in (Create/Recover both yield a healthy store).
+  PublishLocked();
+}
+
+ServingStore::~ServingStore() {
+  // Readers must have drained by now (EpochReclaimer's destructor CHECKs
+  // it). The current snapshot was never retired, so free it here; the
+  // graveyard and the reclaimer free their own.
+  delete current_.exchange(nullptr, std::memory_order_seq_cst);
+}
+
+void ServingStore::PublishLocked() {
+  // Eager compaction at the publish boundary: the snapshot copies a
+  // tombstone-free index, so every concurrent Lookup against it takes the
+  // pure-read path (the serving half of inverted_index.hpp's contract).
+  store_.MutableIndex().CompactAll();
+  const StoreSnapshot* next =
+      StoreSnapshot::Capture(store_, next_epoch_++).release();
+  const StoreSnapshot* prev =
+      current_.exchange(next, std::memory_order_seq_cst);
+  epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  mutations_since_publish_ = 0;
+  if (prev == nullptr) return;
+  epochs_retired_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.retain_retired) {
+    // Parked, not freed: still-pinned readers stay valid trivially, and
+    // tests can re-query any historical epoch afterwards.
+    graveyard_.emplace_back(prev);
+  } else {
+    ebr_.Retire([prev] { delete prev; });
+  }
+}
+
+Status ServingStore::Publish() {
+  if (store_.Wounded())
+    return Status::FailedPrecondition(
+        "store is wounded: refusing to publish a snapshot of unprovable "
+        "state; run Recover()");
+  PublishLocked();
+  return Status::Ok();
+}
+
+void ServingStore::MaybeAutoPublish() {
+  if (options_.publish_every == 0) return;
+  if (mutations_since_publish_ >= options_.publish_every) PublishLocked();
+}
+
+StatusOr<corpus::ObjectId> ServingStore::Ingest(corpus::MediaObject object) {
+  StatusOr<corpus::ObjectId> id = store_.Ingest(std::move(object));
+  if (id.ok()) {
+    ++mutations_since_publish_;
+    MaybeAutoPublish();
+  }
+  return id;
+}
+
+Status ServingStore::Remove(corpus::ObjectId id) {
+  Status s = store_.Remove(id);
+  if (s.ok()) {
+    ++mutations_since_publish_;
+    MaybeAutoPublish();
+  }
+  return s;
+}
+
+Status ServingStore::Checkpoint() { return store_.Checkpoint(); }
+
+StatusOr<ServeResult> ServingStore::Search(const corpus::MediaObject& query,
+                                           std::size_t k,
+                                           const util::QueryBudget& budget) const {
+  // Pin first, load second: once the guard has published its epoch, any
+  // snapshot the subsequent load can observe is protected from reclamation
+  // (the writer's min-scan sees the pin before it frees anything newer).
+  util::EpochReclaimer::ReadGuard guard(ebr_);
+  const StoreSnapshot* snap = current_.load(std::memory_order_seq_cst);
+  StatusOr<core::SearchResponse> resp =
+      executor_.Search(snap->Engine(), query, k, budget);
+  if (!resp.ok()) return resp.status();
+  return ServeResult{std::move(*resp), snap->Epoch(), snap->Lsn()};
+}
+
+ServingStore::SnapshotHandle ServingStore::Acquire() const {
+  auto guard = std::make_unique<util::EpochReclaimer::ReadGuard>(ebr_);
+  const StoreSnapshot* snap = current_.load(std::memory_order_seq_cst);
+  return SnapshotHandle(std::move(guard), snap);
+}
+
+std::uint64_t ServingStore::CurrentEpoch() const {
+  return current_.load(std::memory_order_seq_cst)->Epoch();
+}
+
+ServeStats ServingStore::Stats() const {
+  // Opportunistic sweep: retirement only reclaims at the NEXT retire, so
+  // without this a drained system would report stale pending counts forever.
+  // TryReclaim is mutex-serialized and safe from any thread.
+  ebr_.TryReclaim();
+  ServeStats s;
+  s.epochs_published = epochs_published_.load(std::memory_order_relaxed);
+  s.epochs_retired = epochs_retired_.load(std::memory_order_relaxed);
+  s.epochs_reclaimed = ebr_.TotalReclaimed();
+  s.pending_retired = ebr_.PendingRetired();
+  s.active_readers = ebr_.ActiveReaders();
+  s.executor = executor_.Stats();
+  return s;
+}
+
+}  // namespace figdb::serve

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "corpus/media_object.hpp"
+#include "index/figdb_store.hpp"
+#include "serve/query_executor.hpp"
+#include "serve/snapshot.hpp"
+#include "util/epoch.hpp"
+#include "util/query_budget.hpp"
+#include "util/status.hpp"
+
+/// \file serving_store.hpp
+/// Snapshot-isolated concurrent serving over a live FigDbStore.
+///
+/// ServingStore splits the store's roles across threads:
+///
+///   ONE WRITER thread mutates the live store (Ingest / Remove /
+///   Checkpoint) and periodically PUBLISHes: it eagerly compacts the live
+///   index, captures an immutable StoreSnapshot stamped with the next
+///   epoch, swaps it into the serving pointer, and retires the previous
+///   snapshot through an EpochReclaimer — the old epoch is freed only when
+///   the last reader pinning it drains, so readers never block the writer
+///   and the writer never frees under a reader.
+///
+///   ANY NUMBER of reader threads call Search(): pin the current epoch
+///   (lock-free ReadGuard), load the snapshot pointer, and run the parallel
+///   Algorithm 1 executor against it. Every result a reader returns is
+///   computed entirely against ONE published epoch — never a hybrid of two
+///   store states — and carries that epoch + LSN so callers can reason
+///   about staleness.
+///
+/// Mutations taken between publishes are invisible to readers until the
+/// next Publish() — snapshot isolation with writer-chosen visibility
+/// points, the classic read-copy-update shape. The writer API is strictly
+/// single-threaded (the store's own single-writer contract); the reader API
+/// is thread-safe and lock-free on the pin path.
+
+namespace figdb::serve {
+
+struct ServeOptions {
+  ExecutorOptions executor;
+  /// Auto-publish after this many applied mutations (0 = explicit
+  /// Publish() only).
+  std::size_t publish_every = 0;
+  /// Keep retired snapshots alive (in RetainedEpochs()) instead of freeing
+  /// them. Serving memory then grows with every publish — for tests that
+  /// verify per-epoch results after the fact and for epoch archaeology,
+  /// never for production serving.
+  bool retain_retired = false;
+};
+
+/// A search answer plus the epoch it was computed against.
+struct ServeResult {
+  core::SearchResponse response;
+  std::uint64_t epoch = 0;  ///< publish sequence number of the snapshot
+  std::uint64_t lsn = 0;    ///< last store mutation folded into it
+};
+
+/// Serving-side monotonic counters.
+struct ServeStats {
+  std::uint64_t epochs_published = 0;
+  std::uint64_t epochs_retired = 0;
+  std::uint64_t epochs_reclaimed = 0;  ///< retired AND freed
+  std::size_t pending_retired = 0;     ///< retired, still pinned by readers
+  std::size_t active_readers = 0;
+  ExecutorStats executor;
+};
+
+class ServingStore {
+ public:
+  /// Takes ownership of \p store and immediately publishes epoch 1, so the
+  /// store is searchable from birth.
+  explicit ServingStore(index::FigDbStore store, ServeOptions options = {});
+  ~ServingStore();
+
+  ServingStore(const ServingStore&) = delete;
+  ServingStore& operator=(const ServingStore&) = delete;
+
+  // ---------------------------------------------------------------- readers
+  // Thread-safe; any number of concurrent callers.
+
+  /// Pin the current epoch and run the parallel Algorithm 1 against it.
+  /// Error taxonomy = QueryExecutor::Search (invalid argument, deadline,
+  /// RESOURCE_EXHAUSTED under overload).
+  util::StatusOr<ServeResult> Search(const corpus::MediaObject& query,
+                                     std::size_t k,
+                                     const util::QueryBudget& budget = {}) const;
+
+  /// RAII pin on the current snapshot for direct engine access (tests,
+  /// stats, sequential-vs-parallel comparisons). The snapshot stays alive —
+  /// across later publishes — for the handle's lifetime.
+  class SnapshotHandle {
+   public:
+    const StoreSnapshot& operator*() const { return *snapshot_; }
+    const StoreSnapshot* operator->() const { return snapshot_; }
+    const StoreSnapshot* get() const { return snapshot_; }
+
+   private:
+    friend class ServingStore;
+    SnapshotHandle(std::unique_ptr<util::EpochReclaimer::ReadGuard> guard,
+                   const StoreSnapshot* snapshot)
+        : guard_(std::move(guard)), snapshot_(snapshot) {}
+
+    std::unique_ptr<util::EpochReclaimer::ReadGuard> guard_;
+    const StoreSnapshot* snapshot_;
+  };
+  SnapshotHandle Acquire() const;
+
+  // ----------------------------------------------------------------- writer
+  // Single-threaded by contract (the live store's own invariant).
+
+  /// Forwarded to FigDbStore; counts towards publish_every.
+  util::StatusOr<corpus::ObjectId> Ingest(corpus::MediaObject object);
+  /// Forwarded to FigDbStore; counts towards publish_every.
+  util::Status Remove(corpus::ObjectId id);
+  /// Forwarded to FigDbStore (durability only; does not publish).
+  util::Status Checkpoint();
+
+  /// Compacts the live index, captures the next epoch, swaps it in and
+  /// retires the previous snapshot. kFailedPrecondition if the store is
+  /// wounded (a snapshot of unprovable state must never be published).
+  util::Status Publish();
+
+  /// The live store (writer-side state: LSNs, WAL stats, wound flag).
+  /// Readers must not touch it — they have Acquire()/Search().
+  const index::FigDbStore& Store() const { return store_; }
+
+  /// Tears serving down and hands the live store back (the shell's `serve`
+  /// drill wraps a store temporarily). Every reader must have drained and
+  /// every SnapshotHandle must be gone; the ServingStore is dead afterwards.
+  index::FigDbStore Release() && { return std::move(store_); }
+
+  std::uint64_t CurrentEpoch() const;
+  ServeStats Stats() const;
+  const QueryExecutor& Executor() const { return executor_; }
+
+  /// Retired-but-retained snapshots, oldest first (retain_retired only).
+  /// Writer-thread access only while readers are running.
+  const std::vector<std::unique_ptr<const StoreSnapshot>>& RetainedEpochs()
+      const {
+    return graveyard_;
+  }
+
+ private:
+  void PublishLocked();  // capture + swap + retire (store must be healthy)
+  void MaybeAutoPublish();
+
+  index::FigDbStore store_;
+  ServeOptions options_;
+  mutable QueryExecutor executor_;
+  mutable util::EpochReclaimer ebr_;
+
+  /// Current snapshot. seq_cst on both sides: the writer's swap must be
+  /// globally ordered against the readers' slot-publish / pointer-load
+  /// sequence or a reader could pin an epoch the writer's min-scan missed.
+  std::atomic<const StoreSnapshot*> current_{nullptr};
+
+  std::uint64_t next_epoch_ = 1;
+  std::uint64_t mutations_since_publish_ = 0;
+  std::atomic<std::uint64_t> epochs_published_{0};
+  std::atomic<std::uint64_t> epochs_retired_{0};
+
+  /// retain_retired: retired snapshots parked here (still readable).
+  std::vector<std::unique_ptr<const StoreSnapshot>> graveyard_;
+};
+
+}  // namespace figdb::serve

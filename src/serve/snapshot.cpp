@@ -1,0 +1,29 @@
+#include "serve/snapshot.hpp"
+
+namespace figdb::serve {
+
+std::unique_ptr<const StoreSnapshot> StoreSnapshot::Capture(
+    const index::FigDbStore& store, std::uint64_t epoch) {
+  auto snap = std::unique_ptr<StoreSnapshot>(new StoreSnapshot());
+  snap->epoch_ = epoch;
+  snap->lsn_ = store.LastLsn();
+  snap->live_objects_ = store.LiveObjects();
+  snap->corpus_ = store.GetCorpus();
+
+  // Eager compaction at publish time: the snapshot's index must satisfy
+  // FullyCompacted() so concurrent Lookups never write through the lazy
+  // tombstone path (the serving half of the single-writer contract in
+  // inverted_index.hpp).
+  index::CliqueIndex idx = store.Index();
+  idx.CompactAll();
+
+  index::EngineOptions options;
+  options.index = store.GetOptions().index;
+  options.correlations = store.GetOptions().correlations;
+  snap->engine_ = std::make_unique<index::FigRetrievalEngine>(
+      snap->corpus_, options, store.Matrix(), store.Correlations(),
+      std::move(idx));
+  return snap;
+}
+
+}  // namespace figdb::serve

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "corpus/corpus.hpp"
+#include "index/figdb_store.hpp"
+#include "index/retrieval_engine.hpp"
+
+/// \file snapshot.hpp
+/// One immutable, epoch-stamped view of a FigDbStore for lock-free reads.
+///
+/// The serving layer never lets readers touch the live store: the writer
+/// CAPTUREs the store's state into a StoreSnapshot — a deep copy of the
+/// corpus plus a fully compacted copy of the live clique index, wrapped in
+/// a query engine that adopts the store's pinned statistics — and publishes
+/// it through ServingStore. After construction a snapshot is never written
+/// again, so any number of reader threads may run Algorithm 1 against it
+/// concurrently (the engine's scoring substrates memoise through internally
+/// locked caches; the compacted index takes Lookup's pure-read path).
+///
+/// Capture cost is O(corpus copy + index copy), NOT O(statistics rebuild):
+/// the feature matrix and correlation model are pinned per store lineage
+/// (figdb_store.hpp) and shared by every snapshot, which is what makes
+/// per-batch epoch publication affordable next to the seconds-scale full
+/// engine rebuild.
+
+namespace figdb::serve {
+
+class StoreSnapshot {
+ public:
+  /// Captures the store's current state as epoch \p epoch. Writer-side only
+  /// (reads the live corpus and index, which must not be mutating).
+  static std::unique_ptr<const StoreSnapshot> Capture(
+      const index::FigDbStore& store, std::uint64_t epoch);
+
+  /// The query engine over this snapshot. Const access only; safe for
+  /// concurrent TrySearch / parallel execution.
+  const index::FigRetrievalEngine& Engine() const { return *engine_; }
+
+  std::uint64_t Epoch() const { return epoch_; }
+  /// LSN of the last store mutation folded into this snapshot.
+  std::uint64_t Lsn() const { return lsn_; }
+  std::size_t LiveObjects() const { return live_objects_; }
+
+ private:
+  StoreSnapshot() = default;
+
+  std::uint64_t epoch_ = 0;
+  std::uint64_t lsn_ = 0;
+  std::size_t live_objects_ = 0;
+  /// Owned copy — the engine points into it, so corpus_ must outlive
+  /// engine_ (declaration order gives reverse destruction order).
+  corpus::Corpus corpus_;
+  std::unique_ptr<index::FigRetrievalEngine> engine_;
+};
+
+}  // namespace figdb::serve

@@ -16,7 +16,8 @@ CorrelationModel::CorrelationModel(
     std::shared_ptr<const FeatureMatrix> matrix, CorrelationOptions options)
     : context_(std::move(context)),
       matrix_(std::move(matrix)),
-      options_(options) {
+      options_(options),
+      cache_(options.cache_capacity) {
   FIGDB_CHECK(context_ != nullptr);
   FIGDB_CHECK(matrix_ != nullptr);
 }
@@ -84,10 +85,10 @@ double CorrelationModel::IntraUser(std::uint32_t a, std::uint32_t b) const {
 double CorrelationModel::InterType(FeatureKey a, FeatureKey b) const {
   const std::uint64_t key =
       (std::uint64_t(std::min(a, b)) << 32) | std::uint64_t(std::max(a, b));
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  const double v = matrix_->Cosine(a, b);
-  if (cache_.size() < options_.cache_capacity) cache_.emplace(key, v);
+  double v;
+  if (cache_.Lookup(key, &v)) return v;
+  v = matrix_->Cosine(a, b);
+  cache_.Insert(key, v);  // capacity-capped internally
   return v;
 }
 

@@ -2,11 +2,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "corpus/corpus.hpp"
 #include "corpus/media_object.hpp"
 #include "stats/feature_matrix.hpp"
+#include "util/memo_cache.hpp"
 
 /// \file correlation.hpp
 /// The Cor(·,·) feature-correlation function of paper §3.2.
@@ -74,8 +74,10 @@ class CorrelationModel {
   std::shared_ptr<const FeatureMatrix> matrix_;
   CorrelationOptions options_;
 
-  // Memo for inter-type cosines (the only expensive kind).
-  mutable std::unordered_map<std::uint64_t, double> cache_;
+  // Memo for inter-type cosines (the only expensive kind). Sharded and
+  // internally locked: the model is shared by every serving snapshot, so
+  // concurrent readers memoise through it in parallel.
+  mutable util::ShardedMemoCache cache_;
 };
 
 }  // namespace figdb::stats

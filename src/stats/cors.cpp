@@ -79,10 +79,10 @@ double CorSCalculator::Compute(
   std::vector<corpus::FeatureKey> sorted = features;
   std::sort(sorted.begin(), sorted.end());
   const std::uint64_t key = HashFeatures(sorted);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  const double v = ComputeUncached(std::move(sorted));
-  cache_.emplace(key, v);
+  double v;
+  if (cache_.Lookup(key, &v)) return v;
+  v = ComputeUncached(std::move(sorted));
+  cache_.Insert(key, v);
   return v;
 }
 

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "corpus/media_object.hpp"
 #include "stats/feature_matrix.hpp"
+#include "util/memo_cache.hpp"
 
 /// \file cors.hpp
 /// The CorS(n1, ..., nm) correlation-strength clique weight of paper Eq. 8:
@@ -44,19 +44,21 @@ class CorSCalculator {
  public:
   explicit CorSCalculator(std::shared_ptr<const FeatureMatrix> matrix);
 
-  /// CorS of a clique's feature set (sorted or not). Memoised.
+  /// CorS of a clique's feature set (sorted or not). Memoised; safe to call
+  /// from concurrent serving readers (the memo is internally sharded and
+  /// locked — see util/memo_cache.hpp).
   double Compute(const std::vector<corpus::FeatureKey>& features) const;
 
   /// O(m * |D|) reference implementation (test oracle).
   double ComputeBrute(const std::vector<corpus::FeatureKey>& features) const;
 
-  std::size_t CacheSize() const { return cache_.size(); }
+  std::size_t CacheSize() const { return cache_.Size(); }
 
  private:
   double ComputeUncached(std::vector<corpus::FeatureKey> features) const;
 
   std::shared_ptr<const FeatureMatrix> matrix_;
-  mutable std::unordered_map<std::uint64_t, double> cache_;
+  mutable util::ShardedMemoCache cache_;
 };
 
 }  // namespace figdb::stats

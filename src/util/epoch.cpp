@@ -1,0 +1,98 @@
+#include "util/epoch.hpp"
+
+#include "util/check.hpp"
+
+namespace figdb::util {
+
+EpochReclaimer::EpochReclaimer() : slots_(kMaxReaders) {
+  for (auto& s : slots_) s.store(kIdle, std::memory_order_relaxed);
+}
+
+EpochReclaimer::~EpochReclaimer() {
+  FIGDB_CHECK_MSG(ActiveReaders() == 0,
+                  "EpochReclaimer destroyed with active readers");
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  for (Retired& r : retired_) r.free_fn();
+  retired_.clear();
+}
+
+EpochReclaimer::ReadGuard::ReadGuard(EpochReclaimer& r) : reclaimer_(&r) {
+  // Claim a slot, then publish the epoch we are entering under. seq_cst on
+  // the slot store orders it against the writer's subsequent min-scan: by
+  // the time Retire() tags an object, either this reader's epoch is visible
+  // (blocking the free) or the reader entered after the tag epoch advanced
+  // (and can only load the NEW pointer).
+  for (std::size_t i = 0;; i = (i + 1) % kMaxReaders) {
+    std::uint64_t idle = kIdle;
+    // Reserve the slot with the epoch placeholder 0 (below any real epoch)
+    // so a concurrent reclaim can never free under us between the claim and
+    // the epoch publish.
+    if (reclaimer_->slots_[i].compare_exchange_weak(
+            idle, 0, std::memory_order_seq_cst,
+            std::memory_order_relaxed)) {
+      slot_ = i;
+      break;
+    }
+  }
+  reclaimer_->slots_[slot_].store(
+      reclaimer_->epoch_.load(std::memory_order_seq_cst),
+      std::memory_order_seq_cst);
+}
+
+EpochReclaimer::ReadGuard::~ReadGuard() {
+  reclaimer_->slots_[slot_].store(kIdle, std::memory_order_release);
+}
+
+std::uint64_t EpochReclaimer::MinActiveEpoch() const {
+  std::uint64_t min_epoch = kIdle;
+  for (const auto& s : slots_) {
+    const std::uint64_t e = s.load(std::memory_order_seq_cst);
+    if (e < min_epoch) min_epoch = e;
+  }
+  return min_epoch;
+}
+
+void EpochReclaimer::Retire(std::function<void()> free_fn) {
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    retired_.push_back(
+        {epoch_.load(std::memory_order_relaxed), std::move(free_fn)});
+  }
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  TryReclaim();
+}
+
+std::size_t EpochReclaimer::TryReclaim() {
+  std::vector<std::function<void()>> to_free;
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    const std::uint64_t min_active = MinActiveEpoch();
+    std::size_t kept = 0;
+    for (Retired& r : retired_) {
+      // A reader pinned at epoch e may hold any pointer retired at >= e.
+      if (r.epoch < min_active)
+        to_free.push_back(std::move(r.free_fn));
+      else
+        retired_[kept++] = std::move(r);
+    }
+    retired_.resize(kept);
+  }
+  // Run deleters outside the lock: snapshot destructors are heavy.
+  for (auto& fn : to_free) fn();
+  reclaimed_.fetch_add(to_free.size(), std::memory_order_relaxed);
+  return to_free.size();
+}
+
+std::size_t EpochReclaimer::PendingRetired() const {
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  return retired_.size();
+}
+
+std::size_t EpochReclaimer::ActiveReaders() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_)
+    if (s.load(std::memory_order_acquire) != kIdle) ++n;
+  return n;
+}
+
+}  // namespace figdb::util

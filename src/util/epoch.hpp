@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+/// \file epoch.hpp
+/// Epoch-based reclamation for the serving layer's snapshot lifecycle.
+///
+/// The serving store publishes immutable snapshots through an atomic
+/// pointer. Readers must be able to pin the snapshot they loaded without
+/// taking a lock, and the single writer must be able to free a replaced
+/// snapshot only after every reader that could still see it has drained.
+/// That is exactly epoch-based reclamation:
+///
+///   * a global epoch counter advances on every retirement;
+///   * a reader ENTERs by publishing the current epoch into one of a fixed
+///     array of slots (lock-free: one CAS to claim a slot, one store to
+///     publish the epoch), reads the shared pointer, and EXITs by clearing
+///     the slot;
+///   * the writer tags each retired object with the epoch at retirement and
+///     frees it once min(active reader epochs) has moved PAST the tag — a
+///     reader pinned at epoch e blocks every retirement tagged >= e, which
+///     over-approximates "might still hold the old pointer" safely.
+///
+/// Reader enter/exit is wait-free apart from the slot-claim CAS loop, which
+/// only contends when more than kMaxReaders threads read simultaneously
+/// (enter then spins; sized generously above any sane reader count).
+/// Retire/TryReclaim are writer-side and serialized by a mutex — the
+/// serving store has a single writer, so this is never contended.
+
+namespace figdb::util {
+
+class EpochReclaimer {
+ public:
+  static constexpr std::size_t kMaxReaders = 64;
+
+  EpochReclaimer();
+  ~EpochReclaimer();  // frees everything still pending (no readers may
+                      // be active at destruction)
+
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+  /// RAII reader pin. While alive, no object retired at or after the epoch
+  /// observed at construction is freed.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(EpochReclaimer& r);
+    ~ReadGuard();
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    EpochReclaimer* reclaimer_;
+    std::size_t slot_;
+  };
+
+  /// Writer-side: schedules \p free_fn to run once every reader active at
+  /// (or before) this instant has drained; advances the global epoch and
+  /// opportunistically reclaims whatever is already safe.
+  void Retire(std::function<void()> free_fn);
+
+  /// Frees every retired object no active reader can still see. Returns the
+  /// number freed. Called internally by Retire; exposed so the writer can
+  /// sweep without retiring (e.g. on an idle tick).
+  std::size_t TryReclaim();
+
+  std::uint64_t CurrentEpoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  std::size_t PendingRetired() const;
+  std::size_t ActiveReaders() const;
+  std::uint64_t TotalReclaimed() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  /// min over active reader slots (kIdle when no reader is active).
+  std::uint64_t MinActiveEpoch() const;
+
+  struct Retired {
+    std::uint64_t epoch;
+    std::function<void()> free_fn;
+  };
+
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> reclaimed_{0};
+  std::vector<std::atomic<std::uint64_t>> slots_;
+
+  mutable std::mutex retired_mutex_;
+  std::vector<Retired> retired_;
+};
+
+}  // namespace figdb::util

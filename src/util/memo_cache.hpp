@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+/// \file memo_cache.hpp
+/// Thread-safe memoisation cache for the scoring substrates.
+///
+/// CorrelationModel and CorSCalculator memoise expensive per-feature-set
+/// values lazily during scoring. Pre-serving, those memos were plain
+/// mutable maps — a data race the moment two snapshot readers score
+/// concurrently (both substrates are shared across snapshots by design:
+/// the store pins them at Create/Recover). This cache makes the memo safe
+/// without serialising the hot path: the key space is sharded over
+/// independently-locked maps, reads take a shared lock, and misses upgrade
+/// to an exclusive lock only on their own shard.
+///
+/// Value semantics: Insert is last-writer-wins. Two threads missing on the
+/// same key both compute the value; the computations are deterministic
+/// functions of immutable inputs, so either insert stores the same value
+/// and lookups never observe torn or divergent entries.
+
+namespace figdb::util {
+
+class ShardedMemoCache {
+ public:
+  /// \p capacity caps TOTAL entries across shards (approximately: each
+  /// shard holds at most capacity / kShards). 0 = unlimited.
+  explicit ShardedMemoCache(std::size_t capacity = 0)
+      : per_shard_capacity_(capacity == 0 ? 0 : (capacity / kShards) + 1) {}
+
+  bool Lookup(std::uint64_t key, double* value) const {
+    const Shard& shard = shards_[ShardOf(key)];
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    *value = it->second;
+    return true;
+  }
+
+  void Insert(std::uint64_t key, double value) {
+    Shard& shard = shards_[ShardOf(key)];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (per_shard_capacity_ != 0 && shard.map.size() >= per_shard_capacity_ &&
+        shard.map.find(key) == shard.map.end())
+      return;  // full: keep serving, just stop memoising
+    shard.map[key] = value;
+  }
+
+  std::size_t Size() const {
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      n += shard.map.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  static std::size_t ShardOf(std::uint64_t key) {
+    // Fibonacci scramble so sequential keys spread across shards.
+    return std::size_t((key * 0x9e3779b97f4a7c15ULL) >> 60) & (kShards - 1);
+  }
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, double> map;
+  };
+
+  std::size_t per_shard_capacity_;
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace figdb::util

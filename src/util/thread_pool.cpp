@@ -1,0 +1,92 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace figdb::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t shards,
+                             const std::function<void(std::size_t)>& fn) {
+  if (shards == 0) return;
+  if (threads_.empty() || shards == 1) {
+    for (std::size_t i = 0; i < shards; ++i) fn(i);
+    return;
+  }
+
+  // One shared cursor; helpers and the caller race to claim shards, and the
+  // caller waits for SHARD COMPLETIONS, not for helper exits. The
+  // distinction matters on an oversubscribed host: a helper that was
+  // enqueued but never scheduled must not hold the caller hostage — if the
+  // caller drained every shard itself it returns immediately, and the stale
+  // helper later claims past the end and exits without touching anything.
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done_count{0};
+    std::mutex done_mutex;
+    std::condition_variable done;
+  };
+  auto batch = std::make_shared<Batch>();
+  // `fn` is captured by reference. That is safe because a helper only
+  // dereferences it after claiming a shard index < shards, and an
+  // unfinished shard keeps the caller (and therefore `fn`) alive: the
+  // caller cannot pass its done_count wait until every claimed shard ran.
+  auto drain = [batch, shards, &fn] {
+    for (;;) {
+      const std::size_t i =
+          batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shards) return;
+      fn(i);
+      if (batch->done_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          shards) {
+        std::lock_guard<std::mutex> lock(batch->done_mutex);
+        batch->done.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(threads_.size(), shards - 1);
+  for (std::size_t h = 0; h < helpers; ++h) Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(batch->done_mutex);
+  batch->done.wait(lock, [&] {
+    return batch->done_count.load(std::memory_order_acquire) == shards;
+  });
+}
+
+}  // namespace figdb::util

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool for the concurrent serving layer (serve/).
+///
+/// The pool is deliberately minimal: a bounded set of threads draining one
+/// FIFO task queue. The serving layer's unit of work is a *shard* of one
+/// query stage (per-clique candidate generation, per-candidate rerank
+/// scoring), and shards are dispatched through ParallelFor, which
+/// dynamically load-balances via an atomic cursor while writing results
+/// into caller-owned slots indexed by shard — so the OUTPUT of a parallel
+/// stage never depends on which worker ran which shard.
+///
+/// Blocking discipline (deadlock safety): pool workers only ever run leaf
+/// tasks — they never call ParallelFor themselves, and nothing a worker
+/// runs blocks on another task. External reader threads call ParallelFor
+/// and participate in the loop, so a fully saturated pool still makes
+/// progress on the caller's thread.
+
+namespace figdb::util {
+
+class ThreadPool {
+ public:
+  /// \p workers may be 0: every ParallelFor then runs inline on the caller
+  /// (the sequential baseline, used by tests and the workers=1-vs-N bench).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t Workers() const { return threads_.size(); }
+
+  /// Enqueues one task. Tasks must not block on other pool tasks.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, shards), spreading shards over the pool
+  /// workers AND the calling thread; returns when all shards completed.
+  /// Shard order is unspecified; callers own determinism by writing shard
+  /// results into slots indexed by i. Must not be called from a pool worker.
+  void ParallelFor(std::size_t shards,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace figdb::util

@@ -1,0 +1,720 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "index/figdb_store.hpp"
+#include "index/retrieval_engine.hpp"
+#include "serve/query_executor.hpp"
+#include "serve/serving_store.hpp"
+#include "serve/snapshot.hpp"
+#include "util/epoch.hpp"
+#include "util/failpoint.hpp"
+#include "util/memo_cache.hpp"
+#include "util/query_budget.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file serve_test.cpp
+/// The concurrent-serving suite: the util substrate (thread pool, epoch
+/// reclamation, sharded memo cache), the parallel query executor's
+/// bit-identity with the sequential engine, admission control and its
+/// fail-points, and the ServingStore's snapshot-isolation contract under a
+/// real multi-threaded reader/writer workload. Run under
+/// ci/check.sh tsan (ThreadSanitizer) these tests double as the data-race
+/// proof for the whole serving path.
+
+namespace figdb::serve {
+namespace {
+
+using core::SearchResponse;
+using util::FailPoints;
+using util::QueryBudget;
+using util::ScopedFailPoint;
+using util::StatusCode;
+
+// ======================================================================
+// util substrate
+// ======================================================================
+
+TEST(ThreadPoolTest, ParallelForCoversEveryShardExactlyOnce) {
+  util::ThreadPool pool(3);
+  constexpr std::size_t kShards = 997;
+  std::vector<std::atomic<int>> hits(kShards);
+  pool.ParallelFor(kShards, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kShards; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "shard " << i;
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnTheCaller) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.Workers(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::size_t ran = 0;
+  pool.ParallelFor(16, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++ran;  // no atomics needed: everything is on one thread
+  });
+  EXPECT_EQ(ran, 16u);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersAreIndependent) {
+  util::ThreadPool pool(2);
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kShards = 64;
+  std::vector<std::atomic<std::size_t>> done(kCallers);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 8; ++round) {
+        std::vector<std::atomic<int>> hits(kShards);
+        pool.ParallelFor(kShards, [&](std::size_t i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < kShards; ++i)
+          if (hits[i].load() != 1) return;  // leaves done short => failure
+        done[c].fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) EXPECT_EQ(done[c].load(), 8u);
+}
+
+TEST(EpochReclaimerTest, RetireWithoutReadersFreesImmediately) {
+  util::EpochReclaimer ebr;
+  bool freed = false;
+  ebr.Retire([&] { freed = true; });
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(ebr.PendingRetired(), 0u);
+  EXPECT_EQ(ebr.TotalReclaimed(), 1u);
+}
+
+TEST(EpochReclaimerTest, PinnedReaderBlocksReclamationUntilDrained) {
+  util::EpochReclaimer ebr;
+  bool freed = false;
+  {
+    util::EpochReclaimer::ReadGuard pin(ebr);
+    EXPECT_EQ(ebr.ActiveReaders(), 1u);
+    ebr.Retire([&] { freed = true; });
+    EXPECT_FALSE(freed) << "freed under an active reader";
+    EXPECT_EQ(ebr.PendingRetired(), 1u);
+    EXPECT_EQ(ebr.TryReclaim(), 0u);
+  }
+  EXPECT_EQ(ebr.ActiveReaders(), 0u);
+  EXPECT_EQ(ebr.TryReclaim(), 1u);
+  EXPECT_TRUE(freed);
+}
+
+TEST(EpochReclaimerTest, ConcurrentPinRetireSmoke) {
+  util::EpochReclaimer ebr;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> freed{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        util::EpochReclaimer::ReadGuard pin(ebr);
+        std::this_thread::yield();
+      }
+    });
+  }
+  constexpr std::uint64_t kRetired = 300;
+  for (std::uint64_t i = 0; i < kRetired; ++i)
+    ebr.Retire([&] { freed.fetch_add(1, std::memory_order_relaxed); });
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  ebr.TryReclaim();
+  EXPECT_EQ(freed.load(), kRetired);
+  EXPECT_EQ(ebr.PendingRetired(), 0u);
+}
+
+TEST(MemoCacheTest, InsertThenLookup) {
+  util::ShardedMemoCache cache(0);
+  double v = 0.0;
+  EXPECT_FALSE(cache.Lookup(42, &v));
+  cache.Insert(42, 6.5);
+  ASSERT_TRUE(cache.Lookup(42, &v));
+  EXPECT_EQ(v, 6.5);
+  EXPECT_EQ(cache.Size(), 1u);
+}
+
+TEST(MemoCacheTest, CapacityBoundsEveryShard) {
+  constexpr std::size_t kCapacity = 64;
+  util::ShardedMemoCache cache(kCapacity);
+  for (std::uint64_t k = 0; k < 10000; ++k)
+    cache.Insert(k, static_cast<double>(k));
+  // Per-shard caps make the bound approximate but hard: at most one extra
+  // entry per shard.
+  EXPECT_LE(cache.Size(), kCapacity + 16);
+}
+
+TEST(MemoCacheTest, ConcurrentInsertLookupIsCoherent) {
+  util::ShardedMemoCache cache(0);
+  auto value_of = [](std::uint64_t k) { return static_cast<double>(k) * 1.5; };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t k = 0; k < 2000; ++k) {
+        double v = 0.0;
+        if (cache.Lookup(k, &v)) {
+          // A hit must be the value some thread inserted for k — the cache
+          // may drop entries, never corrupt them.
+          if (v != value_of(k)) {
+            ADD_FAILURE() << "corrupt cache value for key " << k;
+            return;
+          }
+        } else {
+          cache.Insert(k, value_of(k));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double v = 0.0;
+  ASSERT_TRUE(cache.Lookup(1234, &v));
+  EXPECT_EQ(v, value_of(1234));
+}
+
+// ======================================================================
+// CliqueIndex serving contract: eager compaction makes Lookup a pure read
+// ======================================================================
+
+TEST(CompactionContractTest, FullyCompactedLifecycleAndConcurrentLookups) {
+  corpus::GeneratorConfig config;
+  config.num_objects = 50;
+  config.num_topics = 4;
+  config.num_users = 20;
+  config.visual_words = 16;
+  config.seed = 808;
+  const corpus::Corpus corpus =
+      corpus::Generator(config).MakeRetrievalCorpus();
+  const index::FigRetrievalEngine engine(corpus, index::EngineOptions{});
+  index::CliqueIndex idx = index::CliqueIndex::Build(
+      corpus, *engine.Correlations(), index::CliqueIndexOptions{});
+
+  EXPECT_TRUE(idx.FullyCompacted());
+  idx.RemoveObject(7);
+  EXPECT_FALSE(idx.FullyCompacted()) << "removal must leave tombstones";
+  idx.CompactAll();
+  EXPECT_TRUE(idx.FullyCompacted());
+
+  // With the index fully compacted, Lookup is a pure read: hammer it from
+  // four threads (TSan proves the absence of the old lazy-compaction race).
+  const auto qm = engine.Scorer().Compile(corpus.Object(3));
+  ASSERT_FALSE(qm.cliques.empty());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 200; ++round) {
+        for (const auto& clique : qm.cliques) {
+          for (corpus::ObjectId id : idx.Lookup(clique.features))
+            ASSERT_NE(id, corpus::ObjectId(7)) << "tombstone resurfaced";
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// ======================================================================
+// Parallel executor: bit-identity with the sequential engine
+// ======================================================================
+
+class QueryExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 160;
+    config.num_topics = 5;
+    config.num_users = 50;
+    config.visual_words = 24;
+    config.seed = 9291;
+    corpus_ = new corpus::Corpus(
+        corpus::Generator(config).MakeRetrievalCorpus());
+    index::EngineOptions two_stage;
+    two_stage.rerank_candidates = 48;
+    engine_ = new index::FigRetrievalEngine(*corpus_, two_stage);
+    index::EngineOptions stage1_only;
+    stage1_only.rerank_candidates = 0;
+    stage1_engine_ = new index::FigRetrievalEngine(*corpus_, stage1_only);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete stage1_engine_;
+    delete corpus_;
+    engine_ = nullptr;
+    stage1_engine_ = nullptr;
+    corpus_ = nullptr;
+  }
+  void TearDown() override { FailPoints::DeactivateAll(); }
+
+  static void ExpectBitIdentical(const SearchResponse& parallel,
+                                 const SearchResponse& sequential) {
+    ASSERT_EQ(parallel.results.size(), sequential.results.size());
+    for (std::size_t i = 0; i < parallel.results.size(); ++i) {
+      EXPECT_EQ(parallel.results[i].object, sequential.results[i].object)
+          << "rank " << i;
+      // Exact equality on purpose: the parallel plan must reproduce the
+      // sequential arithmetic bit for bit, not approximately.
+      EXPECT_EQ(parallel.results[i].score, sequential.results[i].score)
+          << "rank " << i;
+    }
+    EXPECT_EQ(parallel.truncated, sequential.truncated);
+    EXPECT_EQ(parallel.reranked, sequential.reranked);
+  }
+
+  static corpus::Corpus* corpus_;
+  static index::FigRetrievalEngine* engine_;
+  static index::FigRetrievalEngine* stage1_engine_;
+};
+
+corpus::Corpus* QueryExecutorTest::corpus_ = nullptr;
+index::FigRetrievalEngine* QueryExecutorTest::engine_ = nullptr;
+index::FigRetrievalEngine* QueryExecutorTest::stage1_engine_ = nullptr;
+
+TEST_F(QueryExecutorTest, BitIdenticalToSequentialAcrossWorkerCounts) {
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    QueryExecutor executor({.workers = workers});
+    for (corpus::ObjectId q : {3u, 17u, 42u, 77u, 101u, 133u}) {
+      const auto seq = engine_->TrySearch(corpus_->Object(q), 10);
+      ASSERT_TRUE(seq.ok());
+      const auto par = executor.Search(*engine_, corpus_->Object(q), 10);
+      ASSERT_TRUE(par.ok()) << par.status().ToString();
+      ExpectBitIdentical(*par, *seq);
+    }
+  }
+}
+
+TEST_F(QueryExecutorTest, BitIdenticalAcrossSeeds) {
+  for (std::uint64_t seed : {11u, 29u, 43u}) {
+    corpus::GeneratorConfig config;
+    config.num_objects = 90;
+    config.num_topics = 4;
+    config.num_users = 30;
+    config.visual_words = 16;
+    config.seed = seed;
+    const corpus::Corpus corpus =
+        corpus::Generator(config).MakeRetrievalCorpus();
+    index::EngineOptions options;
+    options.rerank_candidates = 32;
+    const index::FigRetrievalEngine engine(corpus, options);
+    QueryExecutor executor({.workers = 4});
+    for (corpus::ObjectId q = 0; q < 90; q += 19) {
+      const auto seq = engine.TrySearch(corpus.Object(q), 7);
+      ASSERT_TRUE(seq.ok());
+      const auto par = executor.Search(engine, corpus.Object(q), 7);
+      ASSERT_TRUE(par.ok()) << par.status().ToString();
+      ExpectBitIdentical(*par, *seq);
+    }
+  }
+}
+
+TEST_F(QueryExecutorTest, StageOneOnlyEngineMatchesSequential) {
+  QueryExecutor executor({.workers = 2});
+  const auto seq = stage1_engine_->TrySearch(corpus_->Object(17), 10);
+  ASSERT_TRUE(seq.ok());
+  const auto par = executor.Search(*stage1_engine_, corpus_->Object(17), 10);
+  ASSERT_TRUE(par.ok());
+  ExpectBitIdentical(*par, *seq);
+  EXPECT_FALSE(par->reranked);
+}
+
+TEST_F(QueryExecutorTest, ValidationMatchesSequentialTaxonomy) {
+  QueryExecutor executor({.workers = 2});
+  const auto before = executor.Stats();
+
+  const auto empty = executor.Search(*engine_, corpus::MediaObject{}, 10);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  const auto zero_k = executor.Search(*engine_, corpus_->Object(3), 0);
+  ASSERT_FALSE(zero_k.ok());
+  EXPECT_EQ(zero_k.status().code(), StatusCode::kInvalidArgument);
+
+  // Malformed requests are rejected BEFORE admission: no capacity charged.
+  const auto after = executor.Stats();
+  EXPECT_EQ(after.admitted, before.admitted);
+  EXPECT_EQ(after.rejected, before.rejected);
+}
+
+TEST_F(QueryExecutorTest, OverloadFailPointRejectsWithResourceExhausted) {
+  QueryExecutor executor({.workers = 2});
+  {
+    ScopedFailPoint fp("serve/overload");
+    const auto rejected = executor.Search(*engine_, corpus_->Object(17), 10);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(executor.Stats().rejected, 1u);
+  // Scoped: the very next query is served normally.
+  EXPECT_TRUE(executor.Search(*engine_, corpus_->Object(17), 10).ok());
+  EXPECT_EQ(executor.InFlight(), 0u);
+}
+
+TEST_F(QueryExecutorTest, SlowWorkerDuringRerankShedsToStageOneScores) {
+  QueryExecutor executor({.workers = 2});
+  const corpus::MediaObject& query = corpus_->Object(17);
+  const core::QueryModel qm =
+      engine_->Scorer().Compile(query, engine_->Options().type_mask);
+  ASSERT_GT(qm.cliques.size(), 0u);
+
+  // Skip one deadline poll per stage-1 shard so the fail-point fires on the
+  // first rerank shard: stage 1 completes exactly, the rerank is shed.
+  ScopedFailPoint fp("serve/slow_worker", {.skip_hits = qm.cliques.size()});
+  const auto shed = executor.Search(*engine_, query, 10,
+                                    QueryBudget::Deadline(3600.0));
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_TRUE(shed->truncated);
+  EXPECT_FALSE(shed->reranked);
+  ASSERT_FALSE(shed->results.empty());
+
+  // The degraded answer is the exact stage-1 ranking (what a rerank-free
+  // engine would have returned).
+  const auto stage1 = stage1_engine_->TrySearch(query, 10);
+  ASSERT_TRUE(stage1.ok());
+  ASSERT_EQ(shed->results.size(), stage1->results.size());
+  for (std::size_t i = 0; i < shed->results.size(); ++i) {
+    EXPECT_EQ(shed->results[i].object, stage1->results[i].object);
+    EXPECT_EQ(shed->results[i].score, stage1->results[i].score);
+  }
+}
+
+TEST_F(QueryExecutorTest, SlowWorkerAtStageOneIsDeadlineExceeded) {
+  QueryExecutor executor({.workers = 2});
+  // Fires on the first stage-1 poll: every clique list is shed, nothing is
+  // produced, and an empty truncated answer must surface as an error.
+  ScopedFailPoint fp("serve/slow_worker");
+  const auto starved = executor.Search(*engine_, corpus_->Object(17), 10,
+                                       QueryBudget::Deadline(3600.0));
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(QueryExecutorTest, ConcurrencyAboveSoftCapDegradesGracefully) {
+  // degrade_concurrent = 1: whenever two queries overlap, the later one
+  // sheds its rerank. Overlap is scheduler-dependent, so drive rounds of
+  // synchronized reader threads until it happens (every round that does NOT
+  // overlap still asserts the accounting invariants).
+  QueryExecutor executor(
+      {.workers = 2, .max_concurrent = 64, .degrade_concurrent = 1});
+  std::atomic<std::uint64_t> not_reranked{0};
+  std::atomic<std::uint64_t> ok_count{0};
+  for (int round = 0; round < 50 && executor.Stats().degraded == 0; ++round) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (corpus::ObjectId q : {17u, 42u, 77u}) {
+          const auto resp = executor.Search(*engine_, corpus_->Object(q), 10);
+          if (!resp.ok()) return;
+          ok_count.fetch_add(1);
+          if (!resp->reranked) not_reranked.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto stats = executor.Stats();
+  EXPECT_GT(stats.degraded, 0u) << "no overlap in 50 synchronized rounds";
+  EXPECT_EQ(stats.rejected, 0u) << "soft cap must degrade, not reject";
+  EXPECT_EQ(stats.completed, ok_count.load());
+  // Every degraded admission is visible to its caller as a non-reranked,
+  // truncated answer.
+  EXPECT_EQ(stats.degraded, not_reranked.load());
+  EXPECT_EQ(executor.InFlight(), 0u);
+}
+
+// ======================================================================
+// ServingStore: snapshot isolation under concurrent readers + writer
+// ======================================================================
+
+class ServingStoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 60;
+    config.num_topics = 4;
+    config.num_users = 24;
+    config.visual_words = 16;
+    config.seed = 515;
+    base_ = new corpus::Corpus(
+        corpus::Generator(config).MakeRetrievalCorpus());
+  }
+  static void TearDownTestSuite() {
+    delete base_;
+    base_ = nullptr;
+  }
+  void TearDown() override { FailPoints::DeactivateAll(); }
+
+  static std::string StoreDir(const std::string& name) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / ("figdb_serve_" + name);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+  }
+
+  static corpus::MediaObject Donor(corpus::ObjectId source) {
+    corpus::MediaObject obj = base_->Object(source);
+    obj.id = corpus::kInvalidObject;
+    return obj;
+  }
+
+  static ServingStore MakeServing(const std::string& dir,
+                                  ServeOptions options) {
+    auto store = index::FigDbStore::Create(dir, *base_);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return ServingStore(std::move(*store), options);
+  }
+
+  static corpus::Corpus* base_;
+};
+
+corpus::Corpus* ServingStoreTest::base_ = nullptr;
+
+TEST_F(ServingStoreTest, PublishMakesMutationsVisibleAtomically) {
+  const std::string dir = StoreDir("visibility");
+  ServeOptions options;
+  options.executor.workers = 2;
+  ServingStore serving = MakeServing(dir, options);
+
+  EXPECT_EQ(serving.CurrentEpoch(), 1u);
+  EXPECT_EQ(serving.Acquire()->LiveObjects(), base_->Size());
+
+  // Mutations land in the live store but stay invisible to readers...
+  ASSERT_TRUE(serving.Ingest(Donor(7)).ok());
+  ASSERT_TRUE(serving.Ingest(Donor(12)).ok());
+  ASSERT_TRUE(serving.Remove(3).ok());
+  EXPECT_EQ(serving.CurrentEpoch(), 1u);
+  EXPECT_EQ(serving.Acquire()->LiveObjects(), base_->Size());
+
+  // ...until the writer publishes, which flips them all at once.
+  ASSERT_TRUE(serving.Publish().ok());
+  EXPECT_EQ(serving.CurrentEpoch(), 2u);
+  EXPECT_EQ(serving.Acquire()->LiveObjects(), base_->Size() + 1);
+
+  const auto result = serving.Search(base_->Object(7), 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->epoch, 2u);
+  EXPECT_EQ(result->lsn, serving.Store().LastLsn());
+  EXPECT_FALSE(result->response.results.empty());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServingStoreTest, AutoPublishEveryNMutations) {
+  const std::string dir = StoreDir("autopublish");
+  ServeOptions options;
+  options.executor.workers = 0;
+  options.publish_every = 2;
+  ServingStore serving = MakeServing(dir, options);
+
+  ASSERT_TRUE(serving.Ingest(Donor(1)).ok());
+  EXPECT_EQ(serving.CurrentEpoch(), 1u);
+  ASSERT_TRUE(serving.Ingest(Donor(2)).ok());
+  EXPECT_EQ(serving.CurrentEpoch(), 2u);
+  ASSERT_TRUE(serving.Remove(5).ok());
+  ASSERT_TRUE(serving.Ingest(Donor(3)).ok());
+  EXPECT_EQ(serving.CurrentEpoch(), 3u);
+  EXPECT_EQ(serving.Stats().epochs_published, 3u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServingStoreTest, SearchAgainstSnapshotMatchesSequentialEngine) {
+  const std::string dir = StoreDir("parity");
+  ServeOptions options;
+  options.executor.workers = 4;
+  ServingStore serving = MakeServing(dir, options);
+  ASSERT_TRUE(serving.Ingest(Donor(9)).ok());
+  ASSERT_TRUE(serving.Publish().ok());
+
+  const auto pinned = serving.Acquire();
+  for (corpus::ObjectId q : {2u, 17u, 33u}) {
+    const auto seq = pinned->Engine().TrySearch(base_->Object(q), 8);
+    ASSERT_TRUE(seq.ok());
+    const auto par = serving.Search(base_->Object(q), 8);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    ASSERT_EQ(par->response.results.size(), seq->results.size());
+    for (std::size_t i = 0; i < seq->results.size(); ++i) {
+      EXPECT_EQ(par->response.results[i].object, seq->results[i].object);
+      EXPECT_EQ(par->response.results[i].score, seq->results[i].score);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServingStoreTest, WoundedStoreRefusesPublishButKeepsServing) {
+  const std::string dir = StoreDir("wounded");
+  ServeOptions options;
+  options.executor.workers = 0;
+  ServingStore serving = MakeServing(dir, options);
+
+  {
+    ScopedFailPoint fp("wal/append_io", {.max_fires = 1});
+    const auto failed = serving.Ingest(Donor(1));
+    ASSERT_FALSE(failed.ok());
+  }
+  ASSERT_TRUE(serving.Store().Wounded());
+
+  const auto refused = serving.Publish();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+
+  // The last published epoch keeps serving reads.
+  EXPECT_EQ(serving.CurrentEpoch(), 1u);
+  EXPECT_TRUE(serving.Search(base_->Object(4), 5).ok());
+
+  std::filesystem::remove_all(dir);
+}
+
+/// THE snapshot-isolation stress test: readers search concurrently with a
+/// writer that ingests, removes, checkpoints and publishes in a loop. Every
+/// recorded answer must be bit-identical to a sequential TrySearch against
+/// the SNAPSHOT OF THE EPOCH IT REPORTS — i.e. every result set matches some
+/// published store state in its entirety and is never a hybrid of two.
+TEST_F(ServingStoreTest, ConcurrentResultsMatchSomePublishedEpochNeverAHybrid) {
+  const std::string dir = StoreDir("stress");
+  ServeOptions options;
+  options.executor.workers = 4;
+  options.publish_every = 3;
+  options.retain_retired = true;  // keep every epoch for the audit below
+  ServingStore serving = MakeServing(dir, options);
+
+  const std::vector<corpus::ObjectId> query_ids = {2, 9, 17, 25, 33, 41};
+  struct Recorded {
+    std::uint64_t epoch;
+    corpus::ObjectId query;
+    SearchResponse response;
+  };
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<Recorded>> recorded(kReaders);
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t turn = static_cast<std::size_t>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const corpus::ObjectId q = query_ids[turn++ % query_ids.size()];
+        const auto result = serving.Search(base_->Object(q), 8);
+        if (!result.ok()) {
+          // RESOURCE_EXHAUSTED under momentary overload is legal; anything
+          // else is not.
+          EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+              << result.status().ToString();
+          continue;
+        }
+        recorded[r].push_back({result->epoch, q, result->response});
+      }
+    });
+  }
+
+  // The writer: ingest / remove / checkpoint, auto-publishing every 3
+  // mutations. Removes target objects ingested this run, so the base query
+  // objects stay live throughout.
+  std::vector<corpus::ObjectId> ingested;
+  for (int round = 0; round < 12; ++round) {
+    const auto id = serving.Ingest(Donor((round * 7) % base_->Size()));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ingested.push_back(*id);
+    ASSERT_TRUE(serving.Ingest(Donor((round * 11 + 3) % base_->Size())).ok());
+    if (round % 3 == 2) {
+      ASSERT_TRUE(serving.Remove(ingested[ingested.size() / 2]).ok());
+      ingested.erase(ingested.begin() + ingested.size() / 2);
+    }
+    if (round % 4 == 3) {
+      ASSERT_TRUE(serving.Checkpoint().ok());
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  // Audit: map every published epoch to its (retained) snapshot.
+  std::unordered_map<std::uint64_t, const StoreSnapshot*> epochs;
+  for (const auto& snap : serving.RetainedEpochs())
+    epochs[snap->Epoch()] = snap.get();
+  const auto current = serving.Acquire();
+  epochs[current->Epoch()] = current.get();
+
+  std::size_t audited = 0;
+  for (const auto& per_reader : recorded) {
+    for (const Recorded& rec : per_reader) {
+      const auto it = epochs.find(rec.epoch);
+      ASSERT_NE(it, epochs.end())
+          << "result reports epoch " << rec.epoch << " which was never "
+          << "published";
+      const auto seq =
+          it->second->Engine().TrySearch(base_->Object(rec.query), 8);
+      ASSERT_TRUE(seq.ok());
+      ASSERT_EQ(rec.response.results.size(), seq->results.size())
+          << "epoch " << rec.epoch << " query " << rec.query;
+      for (std::size_t i = 0; i < seq->results.size(); ++i) {
+        ASSERT_EQ(rec.response.results[i].object, seq->results[i].object)
+            << "epoch " << rec.epoch << " query " << rec.query << " rank "
+            << i << ": result is a hybrid of store states";
+        ASSERT_EQ(rec.response.results[i].score, seq->results[i].score)
+            << "epoch " << rec.epoch << " query " << rec.query << " rank "
+            << i;
+      }
+      ++audited;
+    }
+  }
+  EXPECT_GT(audited, 0u) << "readers never completed a search";
+  EXPECT_GT(serving.Stats().epochs_published, 4u);
+
+  std::filesystem::remove_all(dir);
+}
+
+/// Epoch-reclamation stress: same reader/writer shape but with snapshots
+/// actually freed behind the drained readers. ASan/TSan turn any
+/// use-after-free or data race on this path into a hard failure; the stats
+/// assertions pin the accounting.
+TEST_F(ServingStoreTest, RetiredEpochsAreReclaimedBehindReaders) {
+  const std::string dir = StoreDir("reclaim");
+  ServeOptions options;
+  options.executor.workers = 2;
+  options.publish_every = 2;
+  ServingStore serving = MakeServing(dir, options);
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto result = serving.Search(base_->Object(17), 6);
+        if (result.ok()) served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(serving.Ingest(Donor(round % base_->Size())).ok());
+    ASSERT_TRUE(serving.Ingest(Donor((round + 13) % base_->Size())).ok());
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  const ServeStats stats = serving.Stats();
+  EXPECT_EQ(stats.epochs_published, 21u);  // birth + 20 auto-publishes
+  EXPECT_EQ(stats.epochs_retired, stats.epochs_published - 1);
+  EXPECT_EQ(stats.epochs_reclaimed + stats.pending_retired,
+            stats.epochs_retired);
+  EXPECT_EQ(stats.active_readers, 0u);
+  EXPECT_GT(served.load(), 0u);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace figdb::serve
