@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build + test the plain tree, an ASan+UBSan tree
-# (crash-recovery / fault-injection matrix under sanitizers), and a TSan
-# tree that runs the concurrency suites (thread pool, epoch reclamation,
-# the parallel query executor and the serving-store stress tests) — the
-# data-race proof for the serving layer.
+# (crash-recovery / fault-injection matrix under sanitizers), a TSan tree
+# that runs the `concurrency`-labeled suites (thread pool, epoch
+# reclamation, the parallel query executor and the serving-store stress
+# tests), the figdb lint pass, and clang-tidy when available.
 #
-#   ci/check.sh            all three trees (the default)
+#   ci/check.sh            everything (the default)
 #   ci/check.sh plain      plain tree only
 #   ci/check.sh asan       ASan+UBSan tree only
 #   ci/check.sh tsan       ThreadSanitizer tree only
+#   ci/check.sh lint       figdb-lint self-test + repo invariants
+#   ci/check.sh tidy       clang-tidy over the compilation database
+#                          (skips with a notice if clang-tidy is absent)
+#
+# The Clang Thread Safety Analysis build is not a mode here because it
+# needs clang++; see DESIGN.md §10 for the -DFIGDB_THREAD_SAFETY=ON
+# recipe and its deliberate-violation canary.
 #
 # Environment:
 #   JOBS=N         parallelism (default: nproc)
@@ -36,17 +43,48 @@ run_tree() {
 }
 
 # TSan is mutually exclusive with ASan, so it gets its own tree. Only the
-# concurrency suites run there: the sequential suites gain nothing from it
-# and TSan's ~10x slowdown would dominate the check otherwise.
+# `concurrency`-labeled suites run there (tests/CMakeLists.txt assigns the
+# label at discovery time): the sequential suites gain nothing from it and
+# TSan's ~10x slowdown would dominate the check otherwise.
 run_tsan_tree() {
   cmake -B build-tsan -S . -DFIGDB_SANITIZE="thread" >/dev/null
   echo "==== [ci-tsan] build ===="
   cmake --build build-tsan -j "$JOBS"
-  echo "==== [ci-tsan] ctest (concurrency suites) ===="
+  echo "==== [ci-tsan] ctest (-L concurrency) ===="
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'ThreadPool|EpochReclaimer|MemoCache|CompactionContract|QueryExecutor|ServingStore' \
-      ${CTEST_ARGS:-}
+      -L concurrency ${CTEST_ARGS:-}
+}
+
+# figdb-lint needs a compilation database for the TU universe; any
+# configured tree provides one (CMAKE_EXPORT_COMPILE_COMMANDS is always
+# on). The self-test seeds one violation per rule and fails unless each
+# is detected, so a broken rule cannot pass vacuously.
+run_lint() {
+  if [ ! -f build/compile_commands.json ]; then
+    echo "==== [ci-lint] configure (build) ===="
+    cmake -B build -S . >/dev/null
+  fi
+  echo "==== [ci-lint] figdb-lint self-test ===="
+  python3 tools/lint/figdb_lint.py --self-test
+  echo "==== [ci-lint] figdb-lint ===="
+  python3 tools/lint/figdb_lint.py -p build
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "==== [ci-tidy] clang-tidy not installed; skipping ===="
+    return 0
+  fi
+  if [ ! -f build/compile_commands.json ]; then
+    echo "==== [ci-tidy] configure (build) ===="
+    cmake -B build -S . >/dev/null
+  fi
+  echo "==== [ci-tidy] clang-tidy (.clang-tidy config) ===="
+  # Project sources only: dependencies and generated code are not ours to
+  # tidy. -quiet keeps the output to actual diagnostics.
+  git ls-files 'src/**/*.cpp' 'tools/lint/*.cpp' \
+    | xargs -r clang-tidy -p build -quiet
 }
 
 case "$MODE" in
@@ -59,13 +97,21 @@ case "$MODE" in
   tsan)
     run_tsan_tree
     ;;
+  lint)
+    run_lint
+    ;;
+  tidy)
+    run_tidy
+    ;;
   all)
     run_tree build ci-plain
     run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
     run_tsan_tree
+    run_lint
+    run_tidy
     ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|tsan]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|tsan|lint|tidy]" >&2
     exit 2
     ;;
 esac

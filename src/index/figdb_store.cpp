@@ -105,6 +105,9 @@ Status FigDbStore::ValidateIngest(const corpus::MediaObject& obj) const {
 }
 
 Status FigDbStore::Apply(const WalRecord& record, bool replay) {
+  // Apply runs on the store's writer thread (the store-level single-writer
+  // contract), which entitles it to the index writer role.
+  util::ScopedRole writer(index_.WriterCap());
   switch (record.type) {
     case WalRecord::Type::kAddObject: {
       if (record.object_id != corpus_.Size())
@@ -211,9 +214,15 @@ StatusOr<FigDbStore> FigDbStore::Recover(const std::string& dir,
   BinaryReader r(bytes);
   const std::uint32_t magic = r.GetFixed32();
   const std::uint32_t version = r.GetFixed32();
-  if (!r.Ok() || magic != kCheckpointMagic)
-    return Status::InvalidArgument("'" + CheckpointPath(dir) +
-                                   "' is not a figdb checkpoint");
+  if (!r.Ok() || magic != kCheckpointMagic) {
+    // Built up with += (not one operator+ chain): the `const char* +
+    // string&&` rvalue-append overload trips a GCC 12 -Wrestrict false
+    // positive inside char_traits when inlined here.
+    std::string msg = "'";
+    msg += CheckpointPath(dir);
+    msg += "' is not a figdb checkpoint";
+    return Status::InvalidArgument(std::move(msg));
+  }
   if (version != kCheckpointVersion)
     return Status::InvalidArgument(
         "unsupported checkpoint version " + std::to_string(version) +
@@ -327,7 +336,9 @@ Status FigDbStore::Remove(corpus::ObjectId id) {
 
 Status FigDbStore::Checkpoint() {
   // Tombstones are about to become irrelevant: the checkpoint serializes
-  // the corpus, and removed slots are already empty there.
+  // the corpus, and removed slots are already empty there. Checkpoint runs
+  // on the store's writer thread, which holds the index writer role.
+  util::ScopedRole writer(index_.WriterCap());
   index_.CompactAll();
   FIGDB_RETURN_IF_ERROR(WriteCheckpoint(LastLsn()));
   checkpoint_lsn_ = LastLsn();

@@ -10,6 +10,9 @@ CliqueIndex CliqueIndex::Build(const corpus::Corpus& corpus,
                                const stats::CorrelationModel& correlations,
                                const CliqueIndexOptions& options) {
   CliqueIndex idx;
+  // The index under construction is function-local: this thread is
+  // trivially its single writer.
+  util::ScopedRole writer(idx.WriterCap());
   idx.options_ = options;
   for (const corpus::MediaObject& obj : corpus.Objects()) {
     // Fault injection: resource exhaustion mid-build. The already-indexed

@@ -11,6 +11,7 @@
 #include "corpus/corpus.hpp"
 #include "index/clique_key.hpp"
 #include "stats/correlation.hpp"
+#include "util/thread_annotations.hpp"
 
 /// \file inverted_index.hpp
 /// The inverted list on cliques of paper §3.5 / Fig. 3.
@@ -33,7 +34,12 @@
 ///
 ///   * SINGLE WRITER. AddObject / RemoveObject / CompactAll may only be
 ///     called by one thread with no concurrent access of any kind. This is
-///     the store's writer thread.
+///     the store's writer thread. The contract is expressed as an annotated
+///     capability: the mutators FIGDB_REQUIRES(WriterCap()), so (under the
+///     FIGDB_THREAD_SAFETY build) they are unreachable except through an
+///     explicit util::ScopedRole claim — the claim sites enumerate every
+///     place the single-writer obligation is assumed, and a refactor that
+///     mutates the index from a new code path fails the build.
 ///   * CONCURRENT READERS require a FULLY COMPACTED index. Lazy tombstone
 ///     compaction writes through const Lookup (the posting map is mutable),
 ///     so Lookup is only safe to call from multiple threads when no
@@ -72,18 +78,26 @@ class CliqueIndex {
   /// continuously ("the number increases by approximately 2 million per
   /// day", paper §1). Postings stay sorted for any insertion order.
   void AddObject(const corpus::MediaObject& object,
-                 const stats::CorrelationModel& correlations);
+                 const stats::CorrelationModel& correlations)
+      FIGDB_REQUIRES(writer_cap_);
 
   /// Retires an object in O(1) by tombstoning its id: every posting list is
   /// purged of tombstoned ids lazily on its next Lookup. Ids are never
   /// reused by the store, so a tombstone is permanent until compaction.
-  void RemoveObject(corpus::ObjectId id);
+  void RemoveObject(corpus::ObjectId id) FIGDB_REQUIRES(writer_cap_);
 
   /// Eagerly purges every posting list of tombstoned ids, drops lists that
   /// became empty, and clears the tombstone set. Called at checkpoint time
   /// so the tombstone set stays bounded by the removals per checkpoint
   /// interval.
-  void CompactAll();
+  void CompactAll() FIGDB_REQUIRES(writer_cap_);
+
+  /// The single-writer role capability. Mutators require it; claim it with
+  /// `util::ScopedRole writer(index.WriterCap());` from the one thread
+  /// entitled to mutate (see the file-comment contract).
+  util::RoleCapability& WriterCap() const FIGDB_RETURN_CAPABILITY(writer_cap_) {
+    return writer_cap_;
+  }
 
   /// Pending (not yet fully compacted) removed ids.
   std::size_t TombstoneCount() const { return tombstones_.size(); }
@@ -131,6 +145,9 @@ class CliqueIndex {
   std::uint64_t tombstone_generation_ = 0;
   bool degraded_ = false;
   std::vector<corpus::ObjectId> empty_;
+  /// Zero-cost single-writer capability (copies get a fresh, unclaimed
+  /// role). Mutable so const holders can hand out the capability to claim.
+  mutable util::RoleCapability writer_cap_;
 };
 
 }  // namespace figdb::index

@@ -60,21 +60,22 @@ void WriteMediaObject(const corpus::MediaObject& object,
 
 /// Parses one object; \p label names the object in error messages (its
 /// snapshot position or WAL sequence number).
-util::Status ReadMediaObject(util::BinaryReader* r,
-                             corpus::MediaObject* object,
-                             std::uint64_t label);
+[[nodiscard]] util::Status ReadMediaObject(util::BinaryReader* r,
+                                           corpus::MediaObject* object,
+                                           std::uint64_t label);
 
 /// Parses a snapshot produced by SerializeCorpus.
 ///   kInvalidArgument  not a figdb snapshot / unsupported version
 ///   kDataLoss         truncation, CRC mismatch, or structural corruption
 ///                     (the message names the section and the reason)
-util::StatusOr<corpus::Corpus> DeserializeCorpus(std::string_view bytes);
+[[nodiscard]] util::StatusOr<corpus::Corpus> DeserializeCorpus(
+    std::string_view bytes);
 
 /// File wrappers. Save reports IO failures as kUnavailable; Load adds
 /// kNotFound (missing file) and kUnavailable (read error) to the
 /// DeserializeCorpus error space.
-util::Status SaveCorpus(const corpus::Corpus& corpus,
-                        const std::string& path);
-util::StatusOr<corpus::Corpus> LoadCorpus(const std::string& path);
+[[nodiscard]] util::Status SaveCorpus(const corpus::Corpus& corpus,
+                                      const std::string& path);
+[[nodiscard]] util::StatusOr<corpus::Corpus> LoadCorpus(const std::string& path);
 
 }  // namespace figdb::index

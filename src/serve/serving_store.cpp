@@ -13,6 +13,7 @@ ServingStore::ServingStore(index::FigDbStore store, ServeOptions options)
       executor_(options.executor) {
   // A ServingStore is searchable from birth: epoch 1 is the store's state
   // as handed in (Create/Recover both yield a healthy store).
+  util::MutexLock lock(writer_mutex_);
   PublishLocked();
 }
 
@@ -27,6 +28,8 @@ void ServingStore::PublishLocked() {
   // Eager compaction at the publish boundary: the snapshot copies a
   // tombstone-free index, so every concurrent Lookup against it takes the
   // pure-read path (the serving half of inverted_index.hpp's contract).
+  // Holding writer_mutex_ entitles this thread to the index writer role.
+  util::ScopedRole writer(store_.MutableIndex().WriterCap());
   store_.MutableIndex().CompactAll();
   const StoreSnapshot* next =
       StoreSnapshot::Capture(store_, next_epoch_++).release();
@@ -46,6 +49,7 @@ void ServingStore::PublishLocked() {
 }
 
 Status ServingStore::Publish() {
+  util::MutexLock lock(writer_mutex_);
   if (store_.Wounded())
     return Status::FailedPrecondition(
         "store is wounded: refusing to publish a snapshot of unprovable "
@@ -60,6 +64,7 @@ void ServingStore::MaybeAutoPublish() {
 }
 
 StatusOr<corpus::ObjectId> ServingStore::Ingest(corpus::MediaObject object) {
+  util::MutexLock lock(writer_mutex_);
   StatusOr<corpus::ObjectId> id = store_.Ingest(std::move(object));
   if (id.ok()) {
     ++mutations_since_publish_;
@@ -69,6 +74,7 @@ StatusOr<corpus::ObjectId> ServingStore::Ingest(corpus::MediaObject object) {
 }
 
 Status ServingStore::Remove(corpus::ObjectId id) {
+  util::MutexLock lock(writer_mutex_);
   Status s = store_.Remove(id);
   if (s.ok()) {
     ++mutations_since_publish_;
@@ -77,7 +83,10 @@ Status ServingStore::Remove(corpus::ObjectId id) {
   return s;
 }
 
-Status ServingStore::Checkpoint() { return store_.Checkpoint(); }
+Status ServingStore::Checkpoint() {
+  util::MutexLock lock(writer_mutex_);
+  return store_.Checkpoint();
+}
 
 StatusOr<ServeResult> ServingStore::Search(const corpus::MediaObject& query,
                                            std::size_t k,

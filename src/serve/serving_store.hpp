@@ -14,6 +14,7 @@
 #include "util/epoch.hpp"
 #include "util/query_budget.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 /// \file serving_store.hpp
 /// Snapshot-isolated concurrent serving over a live FigDbStore.
@@ -40,6 +41,14 @@
 /// points, the classic read-copy-update shape. The writer API is strictly
 /// single-threaded (the store's own single-writer contract); the reader API
 /// is thread-safe and lock-free on the pin path.
+///
+/// The single-writer contract is a machine-checked capability, not prose:
+/// every writer entry point serializes on writer_mutex_, all writer-only
+/// state is FIGDB_GUARDED_BY it, and the internal publish path REQUIRES it
+/// — under the FIGDB_THREAD_SAFETY build a refactor that reaches writer
+/// state without the capability fails to compile, and at runtime the
+/// (uncontended-in-correct-usage) mutex turns an accidental second writer
+/// from a data race into mutual exclusion.
 
 namespace figdb::serve {
 
@@ -116,16 +125,17 @@ class ServingStore {
   // Single-threaded by contract (the live store's own invariant).
 
   /// Forwarded to FigDbStore; counts towards publish_every.
-  util::StatusOr<corpus::ObjectId> Ingest(corpus::MediaObject object);
+  util::StatusOr<corpus::ObjectId> Ingest(corpus::MediaObject object)
+      FIGDB_EXCLUDES(writer_mutex_);
   /// Forwarded to FigDbStore; counts towards publish_every.
-  util::Status Remove(corpus::ObjectId id);
+  util::Status Remove(corpus::ObjectId id) FIGDB_EXCLUDES(writer_mutex_);
   /// Forwarded to FigDbStore (durability only; does not publish).
-  util::Status Checkpoint();
+  util::Status Checkpoint() FIGDB_EXCLUDES(writer_mutex_);
 
   /// Compacts the live index, captures the next epoch, swaps it in and
   /// retires the previous snapshot. kFailedPrecondition if the store is
   /// wounded (a snapshot of unprovable state must never be published).
-  util::Status Publish();
+  util::Status Publish() FIGDB_EXCLUDES(writer_mutex_);
 
   /// The live store (writer-side state: LSNs, WAL stats, wound flag).
   /// Readers must not touch it — they have Acquire()/Search().
@@ -141,15 +151,23 @@ class ServingStore {
   const QueryExecutor& Executor() const { return executor_; }
 
   /// Retired-but-retained snapshots, oldest first (retain_retired only).
-  /// Writer-thread access only while readers are running.
+  /// Writer-thread access only while readers are running: the returned
+  /// reference is to writer-guarded state and outlives the internal lock,
+  /// which is sound only under the single-writer contract.
   const std::vector<std::unique_ptr<const StoreSnapshot>>& RetainedEpochs()
-      const {
+      const FIGDB_EXCLUDES(writer_mutex_) {
+    util::MutexLock lock(writer_mutex_);
     return graveyard_;
   }
 
  private:
-  void PublishLocked();  // capture + swap + retire (store must be healthy)
-  void MaybeAutoPublish();
+  // capture + swap + retire (store must be healthy)
+  void PublishLocked() FIGDB_REQUIRES(writer_mutex_);
+  void MaybeAutoPublish() FIGDB_REQUIRES(writer_mutex_);
+
+  /// The writer capability: serializes Ingest/Remove/Checkpoint/Publish and
+  /// guards all writer-only state. Uncontended when the contract is obeyed.
+  mutable util::Mutex writer_mutex_;
 
   index::FigDbStore store_;
   ServeOptions options_;
@@ -161,13 +179,14 @@ class ServingStore {
   /// sequence or a reader could pin an epoch the writer's min-scan missed.
   std::atomic<const StoreSnapshot*> current_{nullptr};
 
-  std::uint64_t next_epoch_ = 1;
-  std::uint64_t mutations_since_publish_ = 0;
+  std::uint64_t next_epoch_ FIGDB_GUARDED_BY(writer_mutex_) = 1;
+  std::uint64_t mutations_since_publish_ FIGDB_GUARDED_BY(writer_mutex_) = 0;
   std::atomic<std::uint64_t> epochs_published_{0};
   std::atomic<std::uint64_t> epochs_retired_{0};
 
   /// retain_retired: retired snapshots parked here (still readable).
-  std::vector<std::unique_ptr<const StoreSnapshot>> graveyard_;
+  std::vector<std::unique_ptr<const StoreSnapshot>> graveyard_
+      FIGDB_GUARDED_BY(writer_mutex_);
 };
 
 }  // namespace figdb::serve

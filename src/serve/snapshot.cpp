@@ -4,6 +4,7 @@ namespace figdb::serve {
 
 std::unique_ptr<const StoreSnapshot> StoreSnapshot::Capture(
     const index::FigDbStore& store, std::uint64_t epoch) {
+  // figdb-lint: allow(raw-new): make_unique cannot reach the private ctor
   auto snap = std::unique_ptr<StoreSnapshot>(new StoreSnapshot());
   snap->epoch_ = epoch;
   snap->lsn_ = store.LastLsn();
@@ -14,7 +15,11 @@ std::unique_ptr<const StoreSnapshot> StoreSnapshot::Capture(
   // FullyCompacted() so concurrent Lookups never write through the lazy
   // tombstone path (the serving half of the single-writer contract in
   // inverted_index.hpp).
+  // The copy is function-local (copies carry a fresh, unclaimed writer
+  // role): this thread is trivially its single writer until it is frozen
+  // into the engine below.
   index::CliqueIndex idx = store.Index();
+  util::ScopedRole writer(idx.WriterCap());
   idx.CompactAll();
 
   index::EngineOptions options;

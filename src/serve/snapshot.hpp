@@ -24,6 +24,15 @@
 /// (figdb_store.hpp) and shared by every snapshot, which is what makes
 /// per-batch epoch publication affordable next to the seconds-scale full
 /// engine rebuild.
+///
+/// Immutability is machine-checked at the type level and by lint, because
+/// thread-safety annotations cannot express "write-once then frozen":
+/// Capture is the only writer (private constructor, members written before
+/// the unique_ptr<const StoreSnapshot> escapes), the public surface is
+/// const-only, and figdb-lint's `snapshot-immutability` rule rejects any
+/// `friend` declaration in this header and any `const_cast` in serve/ —
+/// the two C++ escape hatches that could reintroduce mutation behind the
+/// const wall. See DESIGN.md §10.
 
 namespace figdb::serve {
 

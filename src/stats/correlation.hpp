@@ -76,7 +76,10 @@ class CorrelationModel {
 
   // Memo for inter-type cosines (the only expensive kind). Sharded and
   // internally locked: the model is shared by every serving snapshot, so
-  // concurrent readers memoise through it in parallel.
+  // concurrent readers memoise through it in parallel. This is the one
+  // mutable member reachable from the const read path; its lock
+  // discipline lives (annotated, per shard) in util/memo_cache.hpp, so
+  // this class carries no capability of its own.
   mutable util::ShardedMemoCache cache_;
 };
 

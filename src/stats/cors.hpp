@@ -58,6 +58,8 @@ class CorSCalculator {
   double ComputeUncached(std::vector<corpus::FeatureKey> features) const;
 
   std::shared_ptr<const FeatureMatrix> matrix_;
+  // The only mutable state on the const scoring path; thread safety is
+  // the annotated per-shard locking inside util/memo_cache.hpp.
   mutable util::ShardedMemoCache cache_;
 };
 

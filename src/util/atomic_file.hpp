@@ -38,12 +38,13 @@ struct AtomicWriteFailPoints {
 /// Atomically replaces \p path with \p bytes via `<path>.tmp`.
 /// Returns kUnavailable (with the failing step named) on any IO error;
 /// the previous file at \p path survives every failure mode.
-Status AtomicWriteFile(const std::string& path, std::string_view bytes,
-                       const AtomicWriteFailPoints& fail_points = {});
+[[nodiscard]] Status AtomicWriteFile(
+    const std::string& path, std::string_view bytes,
+    const AtomicWriteFailPoints& fail_points = {});
 
 /// fsyncs the directory containing \p path (making a rename durable).
 /// Best-effort on filesystems that reject directory fsync; real IO errors
 /// are reported as kUnavailable.
-Status SyncParentDirectory(const std::string& path);
+[[nodiscard]] Status SyncParentDirectory(const std::string& path);
 
 }  // namespace figdb::util

@@ -11,7 +11,7 @@ EpochReclaimer::EpochReclaimer() : slots_(kMaxReaders) {
 EpochReclaimer::~EpochReclaimer() {
   FIGDB_CHECK_MSG(ActiveReaders() == 0,
                   "EpochReclaimer destroyed with active readers");
-  std::lock_guard<std::mutex> lock(retired_mutex_);
+  MutexLock lock(retired_mutex_);
   for (Retired& r : retired_) r.free_fn();
   retired_.clear();
 }
@@ -54,7 +54,7 @@ std::uint64_t EpochReclaimer::MinActiveEpoch() const {
 
 void EpochReclaimer::Retire(std::function<void()> free_fn) {
   {
-    std::lock_guard<std::mutex> lock(retired_mutex_);
+    MutexLock lock(retired_mutex_);
     retired_.push_back(
         {epoch_.load(std::memory_order_relaxed), std::move(free_fn)});
   }
@@ -65,7 +65,7 @@ void EpochReclaimer::Retire(std::function<void()> free_fn) {
 std::size_t EpochReclaimer::TryReclaim() {
   std::vector<std::function<void()>> to_free;
   {
-    std::lock_guard<std::mutex> lock(retired_mutex_);
+    MutexLock lock(retired_mutex_);
     const std::uint64_t min_active = MinActiveEpoch();
     std::size_t kept = 0;
     for (Retired& r : retired_) {
@@ -84,7 +84,7 @@ std::size_t EpochReclaimer::TryReclaim() {
 }
 
 std::size_t EpochReclaimer::PendingRetired() const {
-  std::lock_guard<std::mutex> lock(retired_mutex_);
+  MutexLock lock(retired_mutex_);
   return retired_.size();
 }
 

@@ -4,8 +4,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 /// \file epoch.hpp
 /// Epoch-based reclamation for the serving layer's snapshot lifecycle.
@@ -62,12 +63,12 @@ class EpochReclaimer {
   /// Writer-side: schedules \p free_fn to run once every reader active at
   /// (or before) this instant has drained; advances the global epoch and
   /// opportunistically reclaims whatever is already safe.
-  void Retire(std::function<void()> free_fn);
+  void Retire(std::function<void()> free_fn) FIGDB_EXCLUDES(retired_mutex_);
 
   /// Frees every retired object no active reader can still see. Returns the
   /// number freed. Called internally by Retire; exposed so the writer can
   /// sweep without retiring (e.g. on an idle tick).
-  std::size_t TryReclaim();
+  std::size_t TryReclaim() FIGDB_EXCLUDES(retired_mutex_);
 
   std::uint64_t CurrentEpoch() const {
     return epoch_.load(std::memory_order_acquire);
@@ -93,8 +94,8 @@ class EpochReclaimer {
   std::atomic<std::uint64_t> reclaimed_{0};
   std::vector<std::atomic<std::uint64_t>> slots_;
 
-  mutable std::mutex retired_mutex_;
-  std::vector<Retired> retired_;
+  mutable Mutex retired_mutex_;
+  std::vector<Retired> retired_ FIGDB_GUARDED_BY(retired_mutex_);
 };
 
 }  // namespace figdb::util

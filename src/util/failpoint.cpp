@@ -2,10 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/failpoint_sites.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace figdb::util {
 namespace {
@@ -18,9 +20,9 @@ struct FailPointState {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, FailPointState> points;
-  std::uint64_t active = 0;
+  Mutex mu;
+  std::unordered_map<std::string, FailPointState> points FIGDB_GUARDED_BY(mu);
+  std::uint64_t active FIGDB_GUARDED_BY(mu) = 0;
 };
 
 Registry& GetRegistry() {
@@ -34,7 +36,7 @@ std::atomic<std::uint64_t> FailPoints::active_count_{0};
 
 void FailPoints::Activate(std::string_view name, FailPointSpec spec) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   FailPointState& state = reg.points[std::string(name)];
   if (!state.active) ++reg.active;
   state = FailPointState{spec, /*hits=*/0, /*fires=*/0, /*active=*/true};
@@ -43,7 +45,7 @@ void FailPoints::Activate(std::string_view name, FailPointSpec spec) {
 
 void FailPoints::Deactivate(std::string_view name) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   auto it = reg.points.find(std::string(name));
   if (it == reg.points.end() || !it->second.active) return;
   it->second.active = false;
@@ -53,7 +55,7 @@ void FailPoints::Deactivate(std::string_view name) {
 
 void FailPoints::DeactivateAll() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   for (auto& [name, state] : reg.points) state.active = false;
   reg.active = 0;
   active_count_.store(0, std::memory_order_relaxed);
@@ -61,7 +63,7 @@ void FailPoints::DeactivateAll() {
 
 bool FailPoints::Fire(std::string_view name) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   auto it = reg.points.find(std::string(name));
   if (it == reg.points.end() || !it->second.active) return false;
   FailPointState& state = it->second;
@@ -116,6 +118,17 @@ std::size_t FailPoints::ActivateFromEnv(const char* spec) {
                    entry.c_str());
       continue;
     }
+    // A typo'd site name would activate a point nothing ever fires — the
+    // drill silently injects no faults. Env activation therefore only
+    // accepts names from the canonical site list (failpoint_sites.hpp);
+    // programmatic Activate() stays unvalidated for test scratch names.
+    if (!IsKnownFailPointSite(parts[0])) {
+      std::fprintf(stderr,
+                   "FIGDB_FAILPOINTS: skipping unknown site '%s' "
+                   "(not in util/failpoint_sites.hpp)\n",
+                   parts[0].c_str());
+      continue;
+    }
     Activate(parts[0], fp);
     ++activated;
   }
@@ -124,7 +137,7 @@ std::size_t FailPoints::ActivateFromEnv(const char* spec) {
 
 std::uint64_t FailPoints::HitCount(std::string_view name) {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   auto it = reg.points.find(std::string(name));
   return it == reg.points.end() ? 0 : it->second.hits;
 }

@@ -59,7 +59,9 @@ class FailPoints {
   /// entries, e.g. "wal/fsync,checkpoint/rename:2:1". Passing nullptr reads
   /// the FIGDB_FAILPOINTS environment variable, so binaries (shell, benches)
   /// can run fault drills without recompiling. Returns the number of points
-  /// activated; malformed entries are skipped with a warning on stderr.
+  /// activated; malformed entries AND names not in the canonical site list
+  /// (util/failpoint_sites.hpp) are skipped with a warning on stderr, so a
+  /// typo'd drill fails loudly instead of silently injecting nothing.
   static std::size_t ActivateFromEnv(const char* spec = nullptr);
 
  private:

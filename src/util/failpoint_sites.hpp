@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+/// \file failpoint_sites.hpp
+/// The canonical registry of every fail-point site in the tree.
+///
+/// Fail-point names are stringly-typed at the injection site
+/// (FIGDB_FAILPOINT("wal/fsync"), AtomicWriteFailPoints{...}), which makes
+/// two failure modes silent: a typo'd activation never fires, and a site
+/// added in code but absent here is invisible to operators reading the
+/// list. Both are closed mechanically:
+///
+///   * figdb-lint's `failpoint-registry` rule extracts every site literal
+///     from src/ and fails CI unless the extracted set and kFailPointSites
+///     are EXACTLY equal (no unlisted sites, no stale list entries);
+///   * FailPoints::ActivateFromEnv rejects (with a stderr warning) any
+///     FIGDB_FAILPOINTS entry whose name is not in this list, so a typo'd
+///     fault drill fails loudly at activation instead of silently never
+///     injecting. Programmatic Activate()/ScopedFailPoint are NOT
+///     validated — tests may use scratch names.
+///
+/// Keep the list sorted; the lint reports diffs against it by name.
+
+namespace figdb::util {
+
+inline constexpr std::string_view kFailPointSites[] = {
+    "checkpoint/fsync",           // FigDbStore checkpoint temp-file fsync
+    "checkpoint/rename",          // checkpoint rename(tmp, final)
+    "checkpoint/write_io",        // short write into checkpoint temp file
+    "index/build_truncated",      // CliqueIndex build cut short (OOM model)
+    "serve/overload",             // executor admission rejects as if at cap
+    "serve/slow_worker",          // a worker shard observes deadline expiry
+    "storage/load_io",            // read error inside LoadCorpus
+    "storage/save_fsync",         // SaveCorpus temp-file fsync failure
+    "storage/save_io",            // short write inside SaveCorpus
+    "storage/save_rename",        // SaveCorpus rename failure
+    "storage/section_crc",        // snapshot section CRC mismatch
+    "storage/section_truncated",  // snapshot section truncated
+    "ta/deadline",                // TA merge loop observes deadline expiry
+    "wal/append_io",              // WAL append IO error
+    "wal/fsync",                  // WAL fsync failure after append
+    "wal/torn_tail",              // WAL append writes a torn partial frame
+    "wal/truncate",               // WAL post-checkpoint reset failure
+};
+
+inline constexpr std::size_t kFailPointSiteCount =
+    sizeof(kFailPointSites) / sizeof(kFailPointSites[0]);
+
+/// True iff \p name is a registered injection site.
+inline constexpr bool IsKnownFailPointSite(std::string_view name) {
+  for (std::string_view site : kFailPointSites)
+    if (site == name) return true;
+  return false;
+}
+
+}  // namespace figdb::util

@@ -3,9 +3,9 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
+
+#include "util/thread_annotations.hpp"
 
 /// \file memo_cache.hpp
 /// Thread-safe memoisation cache for the scoring substrates.
@@ -35,7 +35,7 @@ class ShardedMemoCache {
 
   bool Lookup(std::uint64_t key, double* value) const {
     const Shard& shard = shards_[ShardOf(key)];
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    SharedLock lock(shard.mutex);
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) return false;
     *value = it->second;
@@ -44,7 +44,7 @@ class ShardedMemoCache {
 
   void Insert(std::uint64_t key, double value) {
     Shard& shard = shards_[ShardOf(key)];
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    SharedMutexLock lock(shard.mutex);
     if (per_shard_capacity_ != 0 && shard.map.size() >= per_shard_capacity_ &&
         shard.map.find(key) == shard.map.end())
       return;  // full: keep serving, just stop memoising
@@ -54,7 +54,7 @@ class ShardedMemoCache {
   std::size_t Size() const {
     std::size_t n = 0;
     for (const Shard& shard : shards_) {
-      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      SharedLock lock(shard.mutex);
       n += shard.map.size();
     }
     return n;
@@ -69,8 +69,8 @@ class ShardedMemoCache {
   }
 
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<std::uint64_t, double> map;
+    mutable SharedMutex mutex;
+    std::unordered_map<std::uint64_t, double> map FIGDB_GUARDED_BY(mutex);
   };
 
   std::size_t per_shard_capacity_;

@@ -155,9 +155,16 @@ class [[nodiscard]] StatusOr {
 
 }  // namespace figdb::util
 
-/// Propagates a non-OK status to the caller (storage-layer idiom).
-#define FIGDB_RETURN_IF_ERROR(expr)                    \
-  do {                                                 \
-    ::figdb::util::Status figdb_status_ = (expr);      \
-    if (!figdb_status_.ok()) return figdb_status_;     \
+/// Propagates a non-OK status to the caller (storage-layer idiom). The
+/// macro local is line-unique so a RETURN_IF_ERROR inside a lambda that is
+/// itself an argument of an outer RETURN_IF_ERROR does not shadow
+/// (-Wshadow-clean under the strict-warnings targets).
+#define FIGDB_STATUS_CONCAT_INNER_(a, b) a##b
+#define FIGDB_STATUS_CONCAT_(a, b) FIGDB_STATUS_CONCAT_INNER_(a, b)
+#define FIGDB_RETURN_IF_ERROR(expr)                                         \
+  do {                                                                      \
+    ::figdb::util::Status FIGDB_STATUS_CONCAT_(figdb_status_, __LINE__) =   \
+        (expr);                                                             \
+    if (!FIGDB_STATUS_CONCAT_(figdb_status_, __LINE__).ok())                \
+      return FIGDB_STATUS_CONCAT_(figdb_status_, __LINE__);                 \
   } while (0)

@@ -1,0 +1,234 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// \file thread_annotations.hpp
+/// Compile-time concurrency contracts: Clang Thread Safety Analysis.
+///
+/// The serving layer's load-bearing invariants — which mutex guards which
+/// member, which functions may only run while holding it, which APIs are
+/// writer-thread-only — used to live in comments and in TSan tests that
+/// must happen to provoke the race. These macros turn them into machine-
+/// checked contracts: under Clang with -Wthread-safety (the
+/// FIGDB_THREAD_SAFETY CMake option), reading a FIGDB_GUARDED_BY member
+/// without its lock, or calling a FIGDB_REQUIRES function without the
+/// capability, is a BUILD FAILURE. Under every other compiler the macros
+/// expand to nothing and the wrappers below compile to the std primitives
+/// they wrap — zero cost, zero behaviour change.
+///
+/// Two kinds of capability are expressed:
+///
+///   LOCKS   `Mutex` / `SharedMutex` wrap std::mutex / std::shared_mutex as
+///           annotated capabilities, with scoped `MutexLock` / `SharedLock`
+///           acquirers. The std RAII types (std::scoped_lock,
+///           std::unique_lock) defeat the analysis — they are not
+///           SCOPED_CAPABILITY types over an annotated capability — which
+///           is why figdb code uses these wrappers instead (the figdb-lint
+///           `raw-mutex` rule enforces it outside src/util).
+///
+///   ROLES   `RoleCapability` is a zero-cost capability that represents an
+///           exclusive *role* rather than a lock — e.g. "the store's single
+///           writer thread". Functions annotated FIGDB_REQUIRES(role) can
+///           only be reached from code that explicitly claims the role with
+///           a ScopedRole, so the claim sites enumerate exactly where the
+///           contract's obligation is assumed, and a refactor that reaches
+///           a writer-only API from a new code path fails the analysis
+///           build instead of failing a stress test.
+///
+/// Macro vocabulary (mirrors the Clang TSA attribute set):
+///   FIGDB_CAPABILITY(name)      class is a capability (lock, role)
+///   FIGDB_SCOPED_CAPABILITY     RAII type acquiring in ctor / releasing in dtor
+///   FIGDB_GUARDED_BY(c)         member access requires holding c
+///   FIGDB_PT_GUARDED_BY(c)      pointee access requires holding c
+///   FIGDB_REQUIRES(c...)        caller must hold c exclusively
+///   FIGDB_REQUIRES_SHARED(c...) caller must hold c at least shared
+///   FIGDB_ACQUIRE(c...)         function acquires c (exclusive)
+///   FIGDB_ACQUIRE_SHARED(c...)  function acquires c (shared)
+///   FIGDB_RELEASE(c...)         function releases c
+///   FIGDB_RELEASE_SHARED(c...)  function releases shared c
+///   FIGDB_TRY_ACQUIRE(b, c...)  try-lock returning b on success
+///   FIGDB_EXCLUDES(c...)        caller must NOT hold c (deadlock guard)
+///   FIGDB_ASSERT_CAPABILITY(c)  runtime assertion that c is held
+///   FIGDB_RETURN_CAPABILITY(c)  function returns a reference to c
+///   FIGDB_NO_THREAD_SAFETY_ANALYSIS  opt-out (reason required in comment)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FIGDB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FIGDB_THREAD_ANNOTATION
+#define FIGDB_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define FIGDB_CAPABILITY(x) FIGDB_THREAD_ANNOTATION(capability(x))
+#define FIGDB_SCOPED_CAPABILITY FIGDB_THREAD_ANNOTATION(scoped_lockable)
+#define FIGDB_GUARDED_BY(x) FIGDB_THREAD_ANNOTATION(guarded_by(x))
+#define FIGDB_PT_GUARDED_BY(x) FIGDB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FIGDB_REQUIRES(...) \
+  FIGDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FIGDB_REQUIRES_SHARED(...) \
+  FIGDB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define FIGDB_ACQUIRE(...) \
+  FIGDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FIGDB_ACQUIRE_SHARED(...) \
+  FIGDB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define FIGDB_RELEASE(...) \
+  FIGDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FIGDB_RELEASE_SHARED(...) \
+  FIGDB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define FIGDB_TRY_ACQUIRE(...) \
+  FIGDB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FIGDB_EXCLUDES(...) FIGDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FIGDB_ASSERT_CAPABILITY(x) \
+  FIGDB_THREAD_ANNOTATION(assert_capability(x))
+#define FIGDB_RETURN_CAPABILITY(x) FIGDB_THREAD_ANNOTATION(lock_returned(x))
+#define FIGDB_NO_THREAD_SAFETY_ANALYSIS \
+  FIGDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace figdb::util {
+
+class CondVar;
+
+/// std::mutex as an annotated capability. Lock with MutexLock (scoped) —
+/// the bare lock()/unlock() exist for the wrappers and for
+/// std::unique_lock-shaped interop, but scoped acquisition is the idiom.
+class FIGDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FIGDB_ACQUIRE() { mu_.lock(); }
+  void unlock() FIGDB_RELEASE() { mu_.unlock(); }
+  bool try_lock() FIGDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex as an annotated capability (reader/writer memo locks).
+class FIGDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() FIGDB_ACQUIRE() { mu_.lock(); }
+  void unlock() FIGDB_RELEASE() { mu_.unlock(); }
+  void lock_shared() FIGDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() FIGDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex (the annotated std::scoped_lock).
+class FIGDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FIGDB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FIGDB_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock on a SharedMutex (writer side).
+class FIGDB_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) FIGDB_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~SharedMutexLock() FIGDB_RELEASE() { mu_.unlock(); }
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared lock on a SharedMutex (reader side).
+class FIGDB_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) FIGDB_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() FIGDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Wait() takes the held
+/// MutexLock: the capability is held (from the analysis' point of view)
+/// across the wait, exactly matching the caller's invariant reasoning —
+/// the runtime release/reacquire inside std::condition_variable is an
+/// implementation detail the analysis need not see. Callers use the manual
+/// loop form (`while (!pred) cv.Wait(lock);`) so the predicate reads of
+/// guarded members stay inside the annotated critical section instead of
+/// inside an unanalyzable lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) {
+    // Adopt the already-held std::mutex for the duration of the wait; the
+    // release() afterwards hands ownership straight back to the MutexLock.
+    std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();
+  }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A zero-cost capability expressing an exclusive ROLE rather than a lock:
+/// "the single writer thread" of a CliqueIndex or FigDbStore. Acquire and
+/// Release are no-ops at runtime — the point is purely static: a function
+/// annotated FIGDB_REQUIRES(role) is unreachable (under the analysis build)
+/// except through an explicit ScopedRole claim, so the claim sites are a
+/// greppable, compiler-verified enumeration of every place the single-
+/// writer obligation is assumed. The role does NOT provide mutual
+/// exclusion; it documents and checks who must.
+class FIGDB_CAPABILITY("role") RoleCapability {
+ public:
+  RoleCapability() = default;
+  /// Copying or assigning an object that embeds a role yields an
+  /// INDEPENDENT role on the destination — claims never transfer with the
+  /// data (a snapshot's copied index has its own writer role).
+  RoleCapability(const RoleCapability&) {}
+  RoleCapability& operator=(const RoleCapability&) { return *this; }
+
+  void Acquire() FIGDB_ACQUIRE() {}
+  void Release() FIGDB_RELEASE() {}
+};
+
+/// Scoped claim of a RoleCapability ("this scope runs as the writer").
+class FIGDB_SCOPED_CAPABILITY ScopedRole {
+ public:
+  explicit ScopedRole(RoleCapability& role) FIGDB_ACQUIRE(role)
+      : role_(role) {
+    role_.Acquire();
+  }
+  ~ScopedRole() FIGDB_RELEASE() { role_.Release(); }
+  ScopedRole(const ScopedRole&) = delete;
+  ScopedRole& operator=(const ScopedRole&) = delete;
+
+ private:
+  RoleCapability& role_;
+};
+
+}  // namespace figdb::util

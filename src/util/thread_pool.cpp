@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <memory>
 
 namespace figdb::util {
 
@@ -12,27 +13,27 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) wake_.Wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -58,8 +59,8 @@ void ThreadPool::ParallelFor(std::size_t shards,
   struct Batch {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done_count{0};
-    std::mutex done_mutex;
-    std::condition_variable done;
+    Mutex done_mutex;
+    CondVar done;
   };
   auto batch = std::make_shared<Batch>();
   // `fn` is captured by reference. That is safe because a helper only
@@ -74,8 +75,8 @@ void ThreadPool::ParallelFor(std::size_t shards,
       fn(i);
       if (batch->done_count.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           shards) {
-        std::lock_guard<std::mutex> lock(batch->done_mutex);
-        batch->done.notify_all();
+        MutexLock lock(batch->done_mutex);
+        batch->done.NotifyAll();
       }
     }
   };
@@ -83,10 +84,9 @@ void ThreadPool::ParallelFor(std::size_t shards,
   const std::size_t helpers = std::min(threads_.size(), shards - 1);
   for (std::size_t h = 0; h < helpers; ++h) Submit(drain);
   drain();
-  std::unique_lock<std::mutex> lock(batch->done_mutex);
-  batch->done.wait(lock, [&] {
-    return batch->done_count.load(std::memory_order_acquire) == shards;
-  });
+  MutexLock lock(batch->done_mutex);
+  while (batch->done_count.load(std::memory_order_acquire) != shards)
+    batch->done.Wait(lock);
 }
 
 }  // namespace figdb::util

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 /// \file thread_pool.hpp
 /// Fixed-size worker pool for the concurrent serving layer (serve/).
@@ -40,7 +40,7 @@ class ThreadPool {
   std::size_t Workers() const { return threads_.size(); }
 
   /// Enqueues one task. Tasks must not block on other pool tasks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) FIGDB_EXCLUDES(mutex_);
 
   /// Runs fn(i) for every i in [0, shards), spreading shards over the pool
   /// workers AND the calling thread; returns when all shards completed.
@@ -50,13 +50,14 @@ class ThreadPool {
                    const std::function<void(std::size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() FIGDB_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ FIGDB_GUARDED_BY(mutex_);
+  /// Written only by the constructor, before any worker exists; const after.
   std::vector<std::thread> threads_;
-  bool stopping_ = false;
+  bool stopping_ FIGDB_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace figdb::util

@@ -286,6 +286,7 @@ TEST_F(StorageTest, IncrementalIndexMatchesBulkBuild) {
   const corpus::Corpus half = corpus_->Prefix(corpus_->Size() / 2);
   index::CliqueIndex incremental = index::CliqueIndex::Build(
       half, *engine.Correlations(), options);
+  util::ScopedRole writer(incremental.WriterCap());
   for (corpus::ObjectId id = corpus::ObjectId(corpus_->Size() / 2);
        id < corpus_->Size(); ++id) {
     incremental.AddObject(corpus_->Object(id), *engine.Correlations());
@@ -308,6 +309,7 @@ TEST_F(StorageTest, AddObjectIsIdempotent) {
   index::CliqueIndex idx = index::CliqueIndex::Build(
       *corpus_, *engine.Correlations(), index::CliqueIndexOptions{});
   const std::size_t postings = idx.TotalPostings();
+  util::ScopedRole writer(idx.WriterCap());
   idx.AddObject(corpus_->Object(5), *engine.Correlations());
   EXPECT_EQ(idx.TotalPostings(), postings);
 }

@@ -203,9 +203,13 @@ TEST(CompactionContractTest, FullyCompactedLifecycleAndConcurrentLookups) {
       corpus, *engine.Correlations(), index::CliqueIndexOptions{});
 
   EXPECT_TRUE(idx.FullyCompacted());
-  idx.RemoveObject(7);
-  EXPECT_FALSE(idx.FullyCompacted()) << "removal must leave tombstones";
-  idx.CompactAll();
+  {
+    // This thread is the index's single writer for the mutation phase.
+    util::ScopedRole writer(idx.WriterCap());
+    idx.RemoveObject(7);
+    EXPECT_FALSE(idx.FullyCompacted()) << "removal must leave tombstones";
+    idx.CompactAll();
+  }
   EXPECT_TRUE(idx.FullyCompacted());
 
   // With the index fully compacted, Lookup is a pure read: hammer it from

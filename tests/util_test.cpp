@@ -467,6 +467,68 @@ TEST(FailPointTest, MacroIsInertWhenNothingActive) {
   EXPECT_TRUE(FIGDB_FAILPOINT("test/macro_inert"));
 }
 
+// ActivateFromEnv parses operator-supplied text, so its edge cases are
+// the interesting ones. The specs below use real site names from
+// util/failpoint_sites.hpp: env activation rejects anything else.
+
+class ActivateFromEnvTest : public ::testing::Test {
+ protected:
+  ~ActivateFromEnvTest() override { FailPoints::DeactivateAll(); }
+};
+
+TEST_F(ActivateFromEnvTest, EmptyAndSeparatorOnlySpecsActivateNothing) {
+  EXPECT_EQ(FailPoints::ActivateFromEnv(""), 0u);
+  EXPECT_EQ(FailPoints::ActivateFromEnv(","), 0u);
+  EXPECT_EQ(FailPoints::ActivateFromEnv(",,,"), 0u);
+  EXPECT_FALSE(FailPoints::AnyActive());
+}
+
+TEST_F(ActivateFromEnvTest, TrailingSeparatorIsNotAMalformedEntry) {
+  EXPECT_EQ(FailPoints::ActivateFromEnv("wal/fsync,"), 1u);
+  EXPECT_TRUE(FailPoints::Fire("wal/fsync"));
+}
+
+TEST_F(ActivateFromEnvTest, UnknownSiteNamesAreSkipped) {
+  // A typo'd name must not create a point nothing ever fires — the whole
+  // drill would silently inject no faults (see failpoint_sites.hpp).
+  EXPECT_EQ(FailPoints::ActivateFromEnv("wal/fzync"), 0u);
+  EXPECT_FALSE(FailPoints::AnyActive());
+  // ...and a typo must not poison the valid entries next to it.
+  EXPECT_EQ(FailPoints::ActivateFromEnv("bogus/site,wal/truncate"), 1u);
+  EXPECT_TRUE(FailPoints::Fire("wal/truncate"));
+  EXPECT_FALSE(FailPoints::Fire("bogus/site"));
+}
+
+TEST_F(ActivateFromEnvTest, DuplicateSitesLastSpecWins) {
+  // Both entries parse (activated counts entries, not distinct sites);
+  // the second Activate replaces the first spec wholesale, so the
+  // skip_hits=2 of the first entry must NOT survive.
+  EXPECT_EQ(FailPoints::ActivateFromEnv("wal/fsync:2,wal/fsync"), 2u);
+  EXPECT_TRUE(FailPoints::Fire("wal/fsync"));  // no skips left over
+}
+
+TEST_F(ActivateFromEnvTest, MalformedEntriesAreSkippedOthersActivate) {
+  // Non-numeric skip count.
+  EXPECT_EQ(FailPoints::ActivateFromEnv("wal/fsync:x,checkpoint/rename"),
+            1u);
+  EXPECT_FALSE(FailPoints::Fire("wal/fsync"));
+  EXPECT_TRUE(FailPoints::Fire("checkpoint/rename"));
+  // Trailing colons make empty numeric fields: malformed, not zeros.
+  EXPECT_EQ(FailPoints::ActivateFromEnv("wal/fsync::"), 0u);
+  // Too many fields.
+  EXPECT_EQ(FailPoints::ActivateFromEnv("wal/fsync:1:2:3"), 0u);
+  // A lone separator with no name.
+  EXPECT_EQ(FailPoints::ActivateFromEnv(":3"), 0u);
+}
+
+TEST_F(ActivateFromEnvTest, SkipAndFireBudgetsParse) {
+  EXPECT_EQ(FailPoints::ActivateFromEnv("storage/load_io:1:1"), 1u);
+  EXPECT_FALSE(FailPoints::Fire("storage/load_io"));  // skipped hit
+  EXPECT_TRUE(FailPoints::Fire("storage/load_io"));   // the one fire
+  EXPECT_FALSE(FailPoints::Fire("storage/load_io"));  // budget spent
+  EXPECT_FALSE(FailPoints::AnyActive());              // auto-deactivated
+}
+
 // ------------------------------------------------------------------ Crc32
 
 TEST(Crc32Test, KnownVectors) {

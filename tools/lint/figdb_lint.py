@@ -1,0 +1,629 @@
+#!/usr/bin/env python3
+"""figdb-lint: machine-checked repo invariants over compile_commands.json.
+
+The Clang Thread Safety build (-DFIGDB_THREAD_SAFETY=ON) proves lock
+discipline, but several figdb contracts live outside what a compiler
+attribute can express. This checker enforces those, with file:line
+diagnostics and a non-zero exit on any finding:
+
+  discarded-status       No discarded Try*/Status-returning call results
+                         outside tests — including `(void)` silencing,
+                         which the [[nodiscard]] attribute cannot catch.
+  raw-mutex              No raw std::mutex/lock/condition_variable outside
+                         src/util: concurrency primitives must be the
+                         annotated wrappers in util/thread_annotations.hpp,
+                         or Thread Safety Analysis silently sees nothing.
+  raw-new                No raw `new` outside src/util: ownership is
+                         make_unique/containers everywhere else.
+  snapshot-immutability  StoreSnapshot immutability is type-level const;
+                         the two escape hatches — a `friend` in
+                         snapshot.hpp or a `const_cast` in src/serve/ —
+                         are banned (snapshot.hpp documents the contract).
+  atomic-file-io         Truncating writes (fopen "w" modes, std::ofstream)
+                         route through util/atomic_file so every durable
+                         file keeps its crash-safety story.
+  failpoint-registry     The fail-point sites used in code and the
+                         canonical list in util/failpoint_sites.hpp are
+                         EXACTLY equal as sets, so FIGDB_FAILPOINTS env
+                         validation and the fault drills never disagree
+                         with reality.
+
+Waivers: a justified exception carries, on the same line or the line
+above:   // figdb-lint: allow(<rule-id>): <reason>
+The reason is mandatory; a waiver without one is itself a finding.
+
+Usage:
+  tools/lint/figdb_lint.py [-p BUILD_DIR] [--self-test]
+
+The compilation database (BUILD_DIR/compile_commands.json, default
+build/) supplies the translation-unit universe; headers under src/ are
+added by walk since compile databases do not list them. --self-test runs
+every rule against seeded violations in a temp tree and fails unless each
+one is detected — proof the teeth are real, run by ci/check.sh lint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+RULES = (
+    "discarded-status",
+    "raw-mutex",
+    "raw-new",
+    "snapshot-immutability",
+    "atomic-file-io",
+    "failpoint-registry",
+)
+
+WAIVER_RE = re.compile(r"figdb-lint:\s*allow\(([A-Za-z0-9_-]+)\)(:?\s*\S?)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = os.path.relpath(self.path, REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str, keep_strings: bool) -> str:
+    """Blanks comments (and optionally string/char literals) while
+    preserving every newline, so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j, n - 1)
+            literal = text[i : j + 1]
+            if keep_strings:
+                out.append(literal)
+            else:
+                out.append(quote + " " * max(0, len(literal) - 2) + quote)
+                out.append("\n" * literal.count("\n"))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """One file plus its comment-stripped views and waiver map."""
+
+    def __init__(self, path: str):
+        self.path = path
+        with open(path, encoding="utf-8", errors="replace") as f:
+            self.raw = f.read()
+        self.code = strip_comments(self.raw, keep_strings=False)
+        self.code_with_strings = strip_comments(self.raw, keep_strings=True)
+        self.waivers: dict[int, set[str]] = {}
+        self.bad_waivers: list[int] = []
+        raw_lines = self.raw.splitlines()
+        code_lines = self.code.splitlines()
+        for lineno, line in enumerate(raw_lines, start=1):
+            m = WAIVER_RE.search(line)
+            if not m:
+                continue
+            if not m.group(2).startswith(":") or not m.group(2).strip(": \t"):
+                self.bad_waivers.append(lineno)
+            self.waivers.setdefault(lineno, set()).add(m.group(1))
+            # A waiver inside a comment block covers the code line the
+            # block precedes, however many comment lines the reason takes.
+            landing = lineno
+            while landing < len(raw_lines):
+                code = code_lines[landing] if landing < len(code_lines) else ""
+                if code.strip():
+                    break
+                landing += 1
+            self.waivers.setdefault(landing + 1, set()).add(m.group(1))
+
+    def waived(self, line: int, rule: str) -> bool:
+        return rule in self.waivers.get(line, set()) or rule in self.waivers.get(
+            line - 1, set()
+        )
+
+    def rel(self) -> str:
+        return os.path.relpath(self.path, REPO).replace(os.sep, "/")
+
+
+def grep(
+    sf: SourceFile, pattern: re.Pattern, rule: str, message: str, with_strings=False
+) -> list[Finding]:
+    text = sf.code_with_strings if with_strings else sf.code
+    found = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if pattern.search(line) and not sf.waived(lineno, rule):
+            found.append(Finding(sf.path, lineno, rule, message))
+    return found
+
+
+# --------------------------------------------------------------------------
+# File universe
+# --------------------------------------------------------------------------
+
+
+def load_universe(build_dir: str, root: str) -> list[SourceFile]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    paths: set[str] = set()
+    if os.path.exists(db_path):
+        with open(db_path, encoding="utf-8") as f:
+            for entry in json.load(f):
+                p = os.path.normpath(
+                    os.path.join(entry.get("directory", ""), entry["file"])
+                )
+                if p.startswith(os.path.join(root, "")) and p.endswith(".cpp"):
+                    paths.add(p)
+    else:
+        print(
+            f"figdb-lint: note: no {db_path}; falling back to a source walk "
+            "(configure a build tree for the exact TU universe)",
+            file=sys.stderr,
+        )
+    # Headers never appear in a compilation database; benches/examples do.
+    # Walk the interesting roots for anything the database missed.
+    for sub in ("src", "examples", "bench", "tests", "tools"):
+        base = os.path.join(root, sub)
+        for dirpath, _, names in os.walk(base):
+            for name in names:
+                if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    paths.add(os.path.join(dirpath, name))
+    return [SourceFile(p) for p in sorted(paths)]
+
+
+def rel_of(path: str, root: str) -> str:
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def in_dir(rel: str, prefix: str) -> bool:
+    return rel.startswith(prefix + "/")
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+STATUS_DECL_RE = re.compile(
+    r"\b(?:util::)?(?:Status|StatusOr<[^;{}()=]*>)\s+([A-Z]\w*)\s*\("
+)
+
+
+def collect_status_functions(files: list[SourceFile], root: str) -> set[str]:
+    """Names of functions declared (in src/ headers) to return Status or
+    StatusOr — the set whose results must never be dropped."""
+    names: set[str] = set()
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if not in_dir(rel, "src") or not rel.endswith(".hpp"):
+            continue
+        # Join wrapped declarations so `StatusOr<T>\n  Name(...)` matches.
+        joined = re.sub(r"\s*\n\s*", " ", sf.code)
+        names.update(STATUS_DECL_RE.findall(joined))
+    return names
+
+
+def rule_discarded_status(files: list[SourceFile], root: str) -> list[Finding]:
+    names = collect_status_functions(files, root)
+    if not names:
+        return []
+    found = []
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if in_dir(rel, "tests") or in_dir(rel, "tools"):
+            continue  # tests assert on statuses their own way
+        if not rel.endswith((".cpp", ".cc")):
+            continue
+        # A file-local `void Name(...)` definition shadows a same-named
+        # Status-returning API (e.g. a demo Shell::Ingest wrapping
+        # ServingStore::Ingest): drop those names for this file.
+        local_void = set(
+            re.findall(r"\bvoid\s+([A-Z]\w*)\s*\(", sf.code)
+        )
+        file_names = names - local_void
+        if not file_names:
+            continue
+        alt = "|".join(sorted(file_names))
+        # A whole-line expression statement whose call target is a
+        # Status-returning name: `obj.Sync();`, `wal->Append(rec);`,
+        # `util::SyncParentDirectory(p);`. The receiver prefix is a chain
+        # of plain identifiers only, so a wrapping macro or function call
+        # (`FIGDB_RETURN_IF_ERROR(store.Reset());`) never matches.
+        stmt = re.compile(
+            r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*(?:"
+            + alt
+            + r")\s*\(.*\)\s*;\s*$"
+        )
+        # `(void)` defeats [[nodiscard]] — the compiler cannot catch this.
+        voided = re.compile(
+            r"\(\s*void\s*\)\s*[\w\.\->:]*(?:" + alt + r")\s*\("
+        )
+        lines = sf.code.splitlines()
+        prev_code = ""  # last non-blank stripped line before the current
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            # Continuation lines (previous line left an expression open)
+            # are arguments, not discarded statements.
+            is_continuation = prev_code.endswith(
+                ("=", "(", ",", "+", "-", "*", "/", "<", ">", "&", "|", "?", ":", "return")
+            )
+            if stripped:
+                prev_code = stripped
+            if is_continuation:
+                continue
+            if stmt.search(line) and not sf.waived(lineno, "discarded-status"):
+                found.append(
+                    Finding(
+                        sf.path,
+                        lineno,
+                        "discarded-status",
+                        "result of a Status-returning call is discarded "
+                        "(handle it or FIGDB_RETURN_IF_ERROR it)",
+                    )
+                )
+            elif voided.search(line) and not sf.waived(lineno, "discarded-status"):
+                found.append(
+                    Finding(
+                        sf.path,
+                        lineno,
+                        "discarded-status",
+                        "(void)-cast silences a [[nodiscard]] Status "
+                        "outside tests",
+                    )
+                )
+    return found
+
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|shared_)?mutex\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+    r"|\bstd::(?:lock_guard|scoped_lock|unique_lock|shared_lock)\b"
+)
+
+
+def rule_raw_mutex(files: list[SourceFile], root: str) -> list[Finding]:
+    found = []
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if not in_dir(rel, "src") or in_dir(rel, "src/util"):
+            continue
+        found += grep(
+            sf,
+            RAW_MUTEX_RE,
+            "raw-mutex",
+            "raw std synchronization primitive outside src/util — use the "
+            "annotated wrappers in util/thread_annotations.hpp so Thread "
+            "Safety Analysis can see the lock",
+        )
+    return found
+
+
+RAW_NEW_RE = re.compile(r"(?:^|[^\w.])new\b(?!\s*\()")
+
+
+def rule_raw_new(files: list[SourceFile], root: str) -> list[Finding]:
+    found = []
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if not in_dir(rel, "src") or in_dir(rel, "src/util"):
+            continue
+        found += grep(
+            sf,
+            RAW_NEW_RE,
+            "raw-new",
+            "raw `new` outside src/util — use std::make_unique or a "
+            "container (waiver requires a justified allow comment)",
+        )
+    return found
+
+
+def rule_snapshot_immutability(files: list[SourceFile], root: str) -> list[Finding]:
+    found = []
+    friend_re = re.compile(r"\bfriend\b")
+    const_cast_re = re.compile(r"\bconst_cast\b")
+    mutable_re = re.compile(r"\bmutable\b")
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if rel == "src/serve/snapshot.hpp":
+            found += grep(
+                sf,
+                friend_re,
+                "snapshot-immutability",
+                "`friend` in snapshot.hpp would let another type mutate a "
+                "published StoreSnapshot behind its const interface",
+            )
+            found += grep(
+                sf,
+                mutable_re,
+                "snapshot-immutability",
+                "`mutable` member in snapshot.hpp breaks the frozen-after-"
+                "Capture contract",
+            )
+        if in_dir(rel, "src/serve"):
+            found += grep(
+                sf,
+                const_cast_re,
+                "snapshot-immutability",
+                "const_cast in the serving layer can unfreeze a published "
+                "snapshot — forbidden",
+            )
+    return found
+
+
+FOPEN_WRITE_RE = re.compile(r"\bfopen\s*\([^;]*?,\s*\"w[^\"]*\"")
+OFSTREAM_RE = re.compile(r"\bstd::ofstream\b|\bstd::fstream\b")
+
+
+def rule_atomic_file_io(files: list[SourceFile], root: str) -> list[Finding]:
+    found = []
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if not in_dir(rel, "src") or rel.startswith("src/util/atomic_file"):
+            continue
+        msg = (
+            "truncating file write outside util/atomic_file — a crash "
+            "mid-write leaves a torn file; route through AtomicWriteFile"
+        )
+        found += grep(sf, FOPEN_WRITE_RE, "atomic-file-io", msg, with_strings=True)
+        found += grep(sf, OFSTREAM_RE, "atomic-file-io", msg)
+    return found
+
+
+FAILPOINT_USE_RE = re.compile(r"FIGDB_FAILPOINT\(\s*\"([^\"]+)\"\s*\)")
+FAILPOINT_FIELD_RE = re.compile(r"\.(?:write_io|fsync|rename)\s*=\s*\"([^\"]+)\"")
+SITE_LIST_RE = re.compile(r"^\s*\"([^\"]+)\"")
+
+
+def rule_failpoint_registry(files: list[SourceFile], root: str) -> list[Finding]:
+    canonical: dict[str, tuple[str, int]] = {}
+    used: dict[str, tuple[str, int]] = {}
+    sites_hpp = None
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if not in_dir(rel, "src"):
+            continue
+        lines = sf.code_with_strings.splitlines()
+        if rel == "src/util/failpoint_sites.hpp":
+            sites_hpp = sf
+            in_list = False
+            for lineno, line in enumerate(lines, start=1):
+                if "kFailPointSites[]" in line:
+                    in_list = True
+                if in_list:
+                    m = SITE_LIST_RE.match(line)
+                    if m:
+                        canonical[m.group(1)] = (sf.path, lineno)
+                    if "};" in line:
+                        in_list = False
+            continue
+        for lineno, line in enumerate(lines, start=1):
+            for m in FAILPOINT_USE_RE.finditer(line):
+                used.setdefault(m.group(1), (sf.path, lineno))
+            for m in FAILPOINT_FIELD_RE.finditer(line):
+                used.setdefault(m.group(1), (sf.path, lineno))
+    found = []
+    if sites_hpp is None:
+        # No canonical list at all — every use is unregistered.
+        anchor = next(iter(used.values()), (os.path.join(root, "src"), 1))
+        found.append(
+            Finding(
+                anchor[0],
+                anchor[1],
+                "failpoint-registry",
+                "util/failpoint_sites.hpp not found: fail-point sites have "
+                "no canonical registry",
+            )
+        )
+        return found
+    for name, (path, lineno) in sorted(used.items()):
+        if name not in canonical:
+            found.append(
+                Finding(
+                    path,
+                    lineno,
+                    "failpoint-registry",
+                    f"fail-point site '{name}' is not in "
+                    "util/failpoint_sites.hpp — add it so FIGDB_FAILPOINTS "
+                    "env validation knows it exists",
+                )
+            )
+    for name, (path, lineno) in sorted(canonical.items()):
+        if name not in used:
+            found.append(
+                Finding(
+                    path,
+                    lineno,
+                    "failpoint-registry",
+                    f"registered fail-point site '{name}' has no code site — "
+                    "remove it or re-add the injection point",
+                )
+            )
+    return found
+
+
+def rule_bad_waivers(files: list[SourceFile], root: str) -> list[Finding]:
+    found = []
+    for sf in files:
+        for lineno in sf.bad_waivers:
+            found.append(
+                Finding(
+                    sf.path,
+                    lineno,
+                    "waiver",
+                    "figdb-lint waiver without a reason — write "
+                    "`// figdb-lint: allow(rule): why this is safe`",
+                )
+            )
+        for lineno, rules in sf.waivers.items():
+            for rule in rules - set(RULES):
+                found.append(
+                    Finding(
+                        sf.path,
+                        lineno,
+                        "waiver",
+                        f"waiver names unknown rule '{rule}' "
+                        f"(known: {', '.join(RULES)})",
+                    )
+                )
+    return found
+
+
+ALL_RULES = (
+    rule_discarded_status,
+    rule_raw_mutex,
+    rule_raw_new,
+    rule_snapshot_immutability,
+    rule_atomic_file_io,
+    rule_failpoint_registry,
+    rule_bad_waivers,
+)
+
+
+def run_all(files: list[SourceFile], root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        findings += rule(files, root)
+    findings.sort(key=lambda f: (f.path, f.line))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: seed one violation per rule in a temp tree and require the
+# checker to flag every one. ci/check.sh lint runs this before the real
+# pass, so a silently broken rule fails CI instead of passing vacuously.
+# --------------------------------------------------------------------------
+
+SEEDS = {
+    "src/index/seeded.cpp": """\
+#include <fstream>
+#include <mutex>
+namespace figdb {
+std::mutex naked_mutex;                       // raw-mutex
+void Seeded() {
+  int* leak = new int(7);                     // raw-new
+  (void)leak;
+  std::ofstream torn("out.bin");              // atomic-file-io
+  if (FIGDB_FAILPOINT("seeded/unregistered")) // failpoint-registry
+    return;
+}
+void Discards() {
+  SaveCorpus(nullptr, "x");                   // discarded-status
+}
+}  // namespace figdb
+""",
+    "src/index/seeded.hpp": """\
+namespace figdb {
+Status SaveCorpus(void* corpus, const char* path);
+}  // namespace figdb
+""",
+    "src/serve/snapshot.hpp": """\
+class StoreSnapshot {
+  friend class Backdoor;                      // snapshot-immutability
+  mutable int oops_;                          // snapshot-immutability
+};
+""",
+    "src/serve/evil.cpp": """\
+void Unfreeze(const int* frozen) {
+  *const_cast<int*>(frozen) = 1;              // snapshot-immutability
+}
+""",
+    "src/util/failpoint_sites.hpp": """\
+inline constexpr const char* kFailPointSites[] = {
+    "seeded/never_used",
+};
+""",
+}
+
+EXPECT_SEEDED = {
+    ("src/index/seeded.cpp", "raw-mutex"),
+    ("src/index/seeded.cpp", "raw-new"),
+    ("src/index/seeded.cpp", "atomic-file-io"),
+    ("src/index/seeded.cpp", "failpoint-registry"),  # unregistered use
+    ("src/index/seeded.cpp", "discarded-status"),
+    ("src/serve/snapshot.hpp", "snapshot-immutability"),
+    ("src/serve/evil.cpp", "snapshot-immutability"),
+    ("src/util/failpoint_sites.hpp", "failpoint-registry"),  # dead entry
+}
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory(prefix="figdb-lint-selftest-") as tmp:
+        for rel, content in SEEDS.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        files = [
+            SourceFile(os.path.join(dirpath, name))
+            for dirpath, _, names in os.walk(tmp)
+            for name in sorted(names)
+        ]
+        findings = run_all(files, tmp)
+        got = {(rel_of(f.path, tmp), f.rule) for f in findings}
+        missing = EXPECT_SEEDED - got
+        if missing:
+            print("figdb-lint: SELF-TEST FAILED — seeded violations not detected:")
+            for rel, rule in sorted(missing):
+                print(f"  {rel}: expected a [{rule}] finding")
+            return 1
+        print(
+            f"figdb-lint: self-test ok ({len(findings)} seeded findings, "
+            f"all {len(EXPECT_SEEDED)} expectations hit)"
+        )
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "-p",
+        "--build-dir",
+        default=os.path.join(REPO, "build"),
+        help="build tree holding compile_commands.json (default: build/)",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify every rule fires on seeded violations, then exit",
+    )
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    files = load_universe(args.build_dir, REPO)
+    findings = run_all(files, REPO)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"figdb-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"figdb-lint: clean ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+// Deliberate Thread Safety Analysis violations — a canary, not shipped code.
+//
+// This translation unit is attached to the EXCLUDE_FROM_ALL target
+// `figdb_tsa_violation`. It never builds as part of `all`; its one job is
+// to prove that the analysis in a -DFIGDB_THREAD_SAFETY=ON tree has teeth:
+//
+//   cmake -B build-tsa -DCMAKE_CXX_COMPILER=clang++ -DFIGDB_THREAD_SAFETY=ON
+//   cmake --build build-tsa --target figdb_tsa_violation   # MUST FAIL
+//
+// If that build ever succeeds, the annotation plumbing is broken (macros
+// expanding to nothing under Clang, -Wthread-safety dropped from the
+// flags, ...) and every annotation in the tree is verifying nothing.
+// DESIGN.md §10 documents this repro as the acceptance check.
+//
+// Under GCC the attributes are no-ops, so this file also compiles quietly
+// there — which is exactly why the target is excluded from `all`: it is
+// meaningful only as a Clang analysis failure.
+
+#include "util/thread_annotations.hpp"
+
+namespace figdb::lint_canary {
+
+class Violations {
+ public:
+  // Violation 1: reads a FIGDB_GUARDED_BY member with no lock held.
+  // Clang: warning: reading variable 'counter_' requires holding mutex 'mu_'
+  int ReadWithoutLock() const { return counter_; }
+
+  // Violation 2: calls a FIGDB_REQUIRES function without the capability.
+  // Clang: warning: calling function 'BumpLocked' requires holding mutex
+  // 'mu_' exclusively
+  void BumpWithoutLock() { BumpLocked(); }
+
+  // Violation 3: acquires a mutex annotated FIGDB_EXCLUDES on entry.
+  // Clang: warning: acquiring mutex 'mu_' requires negative capability
+  void DoubleAcquire() FIGDB_EXCLUDES(mu_) {
+    util::MutexLock outer(mu_);
+    Reentrant();  // Reentrant() EXCLUDES(mu_), but mu_ is held here
+  }
+
+ private:
+  void BumpLocked() FIGDB_REQUIRES(mu_) { ++counter_; }
+  void Reentrant() FIGDB_EXCLUDES(mu_) { util::MutexLock lock(mu_); }
+
+  mutable util::Mutex mu_;
+  int counter_ FIGDB_GUARDED_BY(mu_) = 0;
+};
+
+int Run() {
+  Violations v;
+  v.BumpWithoutLock();
+  v.DoubleAcquire();
+  return v.ReadWithoutLock();
+}
+
+}  // namespace figdb::lint_canary
+
+int main() { return figdb::lint_canary::Run(); }
