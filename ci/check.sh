@@ -5,21 +5,30 @@
 # reclamation, the parallel query executor and the serving-store stress
 # tests), the figdb lint pass, and clang-tidy when available.
 #
-#   ci/check.sh            everything (the default)
+#   ci/check.sh            everything (the default; includes the
+#                          fuzz_regression corpus-replay ctest cases)
 #   ci/check.sh plain      plain tree only
 #   ci/check.sh asan       ASan+UBSan tree only
+#   ci/check.sh ubsan      UBSan-only tree (halt_on_error; catches UB that
+#                          ASan interactions can mask)
 #   ci/check.sh tsan       ThreadSanitizer tree only
+#   ci/check.sh fuzz       coverage-guided libFuzzer run over every fuzz/
+#                          target (needs clang++; otherwise falls back to
+#                          corpus replay, `ctest -L fuzz_regression`)
 #   ci/check.sh lint       figdb-lint self-test + repo invariants
 #   ci/check.sh tidy       clang-tidy over the compilation database
 #                          (skips with a notice if clang-tidy is absent)
+#   ci/check.sh help       modes, environment knobs, corpus maintenance
 #
 # The Clang Thread Safety Analysis build is not a mode here because it
 # needs clang++; see DESIGN.md §10 for the -DFIGDB_THREAD_SAFETY=ON
-# recipe and its deliberate-violation canary.
+# recipe and its deliberate-violation canary. DESIGN.md §11 covers the
+# fuzzing layer.
 #
 # Environment:
-#   JOBS=N         parallelism (default: nproc)
-#   CTEST_ARGS=... extra ctest arguments (e.g. -R Robustness)
+#   JOBS=N          parallelism (default: nproc)
+#   CTEST_ARGS=...  extra ctest arguments (e.g. -R Robustness)
+#   FUZZ_SECONDS=N  per-target budget for the fuzz mode (default: 15)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,8 +46,10 @@ run_tree() {
   echo "==== [$label] ctest ===="
   # ASAN_OPTIONS: the suites intentionally exercise OOM-adjacent and
   # IO-failure paths; keep odr/leak strictness so real bugs still fail.
+  # halt_on_error: without it UBSan prints and keeps going, and a ctest
+  # run full of passed-but-poisoned tests reads as green.
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
 }
 
@@ -71,6 +82,65 @@ run_lint() {
   python3 tools/lint/figdb_lint.py -p build
 }
 
+# Coverage-guided fuzzing needs Clang (libFuzzer is a Clang runtime).
+# Without it the exact same harness logic still runs: the plain tree
+# builds every fuzz/ target as a corpus-replay binary registered under
+# the ctest label `fuzz_regression`, so the committed corpus and any
+# checked-in regression inputs are exercised on every compiler.
+run_fuzz() {
+  local secs="${FUZZ_SECONDS:-15}"
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "==== [ci-fuzz] clang++ not found: libFuzzer unavailable ===="
+    echo "==== [ci-fuzz] falling back to corpus replay (ctest -L fuzz_regression) ===="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS"
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+      ctest --test-dir build --output-on-failure -j "$JOBS" \
+        -L fuzz_regression ${CTEST_ARGS:-}
+    return 0
+  fi
+  echo "==== [ci-fuzz] configure (build-fuzz: clang++, libFuzzer+ASan+UBSan) ===="
+  cmake -B build-fuzz -S . \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DFIGDB_FUZZ=ON -DFIGDB_BUILD_TESTS=OFF >/dev/null
+  echo "==== [ci-fuzz] build ===="
+  cmake --build build-fuzz -j "$JOBS"
+  local failed=""
+  local bin name scratch
+  for bin in build-fuzz/fuzz/fuzz_*; do
+    [ -x "$bin" ] || continue
+    name="$(basename "$bin")"
+    # libFuzzer grows its first corpus dir in place; run on a scratch copy
+    # so the committed seeds stay pristine. Promote inputs the run found
+    # with -merge=1 by hand (see `ci/check.sh help`).
+    scratch="build-fuzz/corpus/$name"
+    rm -rf "$scratch"
+    mkdir -p "$scratch" "build-fuzz/artifacts/$name"
+    if [ -d "fuzz/corpus/$name" ]; then
+      cp -r "fuzz/corpus/$name/." "$scratch/"
+    fi
+    echo "==== [ci-fuzz] $name (${secs}s budget) ===="
+    if ! ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+         UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+         "$bin" -max_total_time="$secs" -max_len=4096 -timeout=30 \
+           -print_final_stats=1 \
+           -artifact_prefix="build-fuzz/artifacts/$name/" \
+           "$scratch" "fuzz/regressions/$name" \
+           2> "build-fuzz/$name.log"; then
+      failed="$failed $name"
+      tail -n 40 "build-fuzz/$name.log"
+    fi
+  done
+  if [ -n "$failed" ]; then
+    echo "==== [ci-fuzz] FAILED:$failed ===="
+    echo "crashing inputs (reproduce with: <binary> <artifact>, then commit"
+    echo "the input to fuzz/regressions/<target>/ so the replay tests pin it):"
+    find build-fuzz/artifacts -type f | sed 's/^/  /'
+    return 1
+  fi
+  echo "==== [ci-fuzz] all targets survived their budget ===="
+}
+
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "==== [ci-tidy] clang-tidy not installed; skipping ===="
@@ -94,8 +164,14 @@ case "$MODE" in
   asan)
     run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
     ;;
+  ubsan)
+    run_tree build-ubsan ci-ubsan -DFIGDB_SANITIZE="undefined"
+    ;;
   tsan)
     run_tsan_tree
+    ;;
+  fuzz)
+    run_fuzz
     ;;
   lint)
     run_lint
@@ -110,8 +186,49 @@ case "$MODE" in
     run_lint
     run_tidy
     ;;
+  help)
+    cat <<'EOF'
+usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|lint|tidy|help]
+
+modes
+  all    plain + asan + tsan + lint + tidy (the default). The plain tree
+         registers every fuzz/ target as a corpus-replay ctest case
+         (label `fuzz_regression`), so the checked-in corpus is part of
+         the default gate on any compiler.
+  plain  build + full ctest, no sanitizers
+  asan   AddressSanitizer + UndefinedBehaviorSanitizer tree
+  ubsan  UBSan-only tree; halt_on_error=1 turns any UB report into a
+         test failure instead of a log line
+  tsan   ThreadSanitizer tree, `concurrency`-labeled suites only
+  fuzz   coverage-guided libFuzzer run of all fuzz/ targets under
+         clang++ (FUZZ_SECONDS per target, default 15); without clang++
+         it degrades to the corpus-replay ctest cases
+  lint   figdb-lint self-test + repo invariants
+  tidy   clang-tidy over the compilation database (skips if absent)
+
+environment
+  JOBS=N          build/test parallelism (default: nproc)
+  CTEST_ARGS=...  extra ctest arguments (e.g. -R Robustness)
+  FUZZ_SECONDS=N  fuzz-mode per-target time budget (default: 15)
+
+corpus maintenance
+  A fuzz run mutates a scratch copy under build-fuzz/corpus/<target>/;
+  the committed seeds in fuzz/corpus/<target>/ never change by
+  themselves. To promote coverage the run discovered, merge the scratch
+  corpus back minimized:
+
+    build-fuzz/fuzz/<target> -merge=1 fuzz/corpus/<target> \
+        build-fuzz/corpus/<target>
+
+  -merge=1 copies only inputs that add coverage, so the checked-in
+  corpus stays small. Crashing inputs land in build-fuzz/artifacts/;
+  after fixing the bug, commit the input to fuzz/regressions/<target>/
+  so the plain-tree replay tests pin the fix forever.
+EOF
+    exit 0
+    ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|tsan|lint|tidy]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|lint|tidy|help]" >&2
     exit 2
     ;;
 esac

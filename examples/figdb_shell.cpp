@@ -24,11 +24,11 @@
 #include <iostream>
 #include <memory>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cli/shell_command.hpp"
 #include "corpus/generator.hpp"
 #include "corpus/query_builder.hpp"
 #include "index/figdb_store.hpp"
@@ -438,25 +438,27 @@ int main() {
   std::string line;
   while (std::printf("figdb> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string cmd;
-    in >> cmd;
-    if (cmd.empty()) continue;
-    if (cmd == "quit" || cmd == "exit") break;
-    if (cmd == "help") {
+    // All line → command translation lives in cli::ParseShellCommand (the
+    // same entry point fuzz_shell_command hammers); the REPL only dispatches
+    // on the validated, pre-clamped result.
+    const auto parsed = cli::ParseShellCommand(line);
+    if (!parsed.ok()) {
+      std::printf("%s\n", parsed.status().message().c_str());
+      continue;
+    }
+    const cli::ShellCommand& cmd = *parsed;
+    if (cmd.verb == cli::ShellVerb::kNone) continue;
+    if (cmd.verb == cli::ShellVerb::kQuit) break;
+    if (cmd.verb == cli::ShellVerb::kHelp) {
       Help();
       continue;
     }
-    if (cmd == "gen") {
-      std::size_t n = 2000;
-      in >> n;
-      shell.Generate(std::max<std::size_t>(50, n));
+    if (cmd.verb == cli::ShellVerb::kGen) {
+      shell.Generate(cmd.count);
       continue;
     }
-    if (cmd == "load") {
-      std::string path;
-      in >> path;
-      auto loaded = index::LoadCorpus(path);
+    if (cmd.verb == cli::ShellVerb::kLoad) {
+      auto loaded = index::LoadCorpus(cmd.text);
       if (!loaded.ok()) {
         // Surface the precise reason (corrupt section, CRC mismatch,
         // version skew, missing file) — a bare "could not load" hides
@@ -469,46 +471,36 @@ int main() {
       std::printf("loaded %zu objects\n", shell.db->Size());
       continue;
     }
-    if (cmd == "attach") {
-      std::string dir;
-      in >> dir;
-      if (dir.empty())
-        std::printf("usage: attach <dir>\n");
-      else
-        shell.Attach(dir);
+    if (cmd.verb == cli::ShellVerb::kAttach) {
+      shell.Attach(cmd.text);
       continue;
     }
-    if (cmd == "serve") {
+    if (cmd.verb == cli::ShellVerb::kServe ||
+        cmd.verb == cli::ShellVerb::kIngest ||
+        cmd.verb == cli::ShellVerb::kRemove ||
+        cmd.verb == cli::ShellVerb::kCheckpoint ||
+        cmd.verb == cli::ShellVerb::kRecover) {
       if (!shell.store.has_value()) {
         std::printf("no store attached — use 'attach <dir>' first\n");
         continue;
       }
-      double seconds = 3.0;
-      std::size_t readers = 4, workers = 4;
-      in >> seconds >> readers >> workers;
-      shell.Serve(std::min(std::max(seconds, 0.2), 60.0),
-                  std::min<std::size_t>(std::max<std::size_t>(readers, 1), 16),
-                  std::min<std::size_t>(workers, 16));
-      continue;
-    }
-    if (cmd == "ingest" || cmd == "remove" || cmd == "checkpoint" ||
-        cmd == "recover") {
-      if (!shell.store.has_value()) {
-        std::printf("no store attached — use 'attach <dir>' first\n");
-        continue;
-      }
-      if (cmd == "ingest") {
-        std::string rest;
-        std::getline(in, rest);
-        shell.Ingest(rest);
-      } else if (cmd == "remove") {
-        corpus::ObjectId id = corpus::kInvalidObject;
-        in >> id;
-        shell.Remove(id);
-      } else if (cmd == "checkpoint") {
-        shell.Checkpoint();
-      } else {
-        shell.Recover();
+      switch (cmd.verb) {
+        case cli::ShellVerb::kServe:
+          shell.Serve(cmd.serve_seconds, cmd.serve_readers,
+                      cmd.serve_workers);
+          break;
+        case cli::ShellVerb::kIngest:
+          shell.Ingest(cmd.text);
+          break;
+        case cli::ShellVerb::kRemove:
+          shell.Remove(cmd.id);
+          break;
+        case cli::ShellVerb::kCheckpoint:
+          shell.Checkpoint();
+          break;
+        default:
+          shell.Recover();
+          break;
       }
       continue;
     }
@@ -516,38 +508,35 @@ int main() {
       std::printf("no database yet — use 'gen <n>' or 'load <path>'\n");
       continue;
     }
-    if (cmd == "save") {
-      std::string path;
-      in >> path;
-      const util::Status saved = index::SaveCorpus(*shell.db, path);
-      if (saved.ok())
-        std::printf("saved to %s\n", path.c_str());
-      else
-        std::printf("save FAILED: %s\n", saved.ToString().c_str());
-    } else if (cmd == "budget") {
-      double ms = 0;
-      std::size_t cand = 0;
-      in >> ms >> cand;
-      shell.SetBudget(ms, cand);
-    } else if (cmd == "stats") {
-      shell.EnsureEngine();
-      shell.Stats();
-    } else if (cmd == "query") {
-      std::string rest;
-      std::getline(in, rest);
-      shell.EnsureEngine();
-      shell.Query(rest);
-    } else if (cmd == "similar") {
-      corpus::ObjectId id = 0;
-      in >> id;
-      shell.EnsureEngine();
-      shell.Similar(id);
-    } else if (cmd == "show") {
-      corpus::ObjectId id = 0;
-      in >> id;
-      shell.Show(id);
-    } else {
-      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    switch (cmd.verb) {
+      case cli::ShellVerb::kSave: {
+        const util::Status saved = index::SaveCorpus(*shell.db, cmd.text);
+        if (saved.ok())
+          std::printf("saved to %s\n", cmd.text.c_str());
+        else
+          std::printf("save FAILED: %s\n", saved.ToString().c_str());
+        break;
+      }
+      case cli::ShellVerb::kBudget:
+        shell.SetBudget(cmd.budget_ms, cmd.budget_candidates);
+        break;
+      case cli::ShellVerb::kStats:
+        shell.EnsureEngine();
+        shell.Stats();
+        break;
+      case cli::ShellVerb::kQuery:
+        shell.EnsureEngine();
+        shell.Query(cmd.text);
+        break;
+      case cli::ShellVerb::kSimilar:
+        shell.EnsureEngine();
+        shell.Similar(cmd.id);
+        break;
+      case cli::ShellVerb::kShow:
+        shell.Show(cmd.id);
+        break;
+      default:
+        break;  // unreachable: every other verb was dispatched above
     }
   }
   return 0;

@@ -1,0 +1,74 @@
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+/// \file driver_main.cpp
+/// Plain-main replay driver for fuzz targets built WITHOUT libFuzzer.
+///
+/// Linked into every fuzz target when FIGDB_FUZZ is off, so the checked-in
+/// corpora and regression inputs replay as ordinary ctest cases (label
+/// `fuzz_regression`) on any compiler. Usage mirrors libFuzzer's: each
+/// argument is a corpus file or a directory of corpus files; every input is
+/// fed to LLVMFuzzerTestOneInput once. A contract violation aborts via
+/// FIGDB_CHECK, which ctest reports as a failure — exactly what libFuzzer
+/// would report as a crash.
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool ReadFile(const std::filesystem::path& path, std::string* out) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The empty input first — libFuzzer always probes it, so the regression
+  // replay must survive it too.
+  LLVMFuzzerTestOneInput(nullptr, 0);
+  std::size_t replayed = 1;
+
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg, ec))
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+    } else if (std::filesystem::is_regular_file(arg, ec)) {
+      inputs.push_back(arg);
+    } else {
+      // A missing regressions/ directory is normal until the first crash
+      // is triaged into it; say so instead of failing the replay.
+      std::fprintf(stderr, "note: skipping missing corpus path %s\n",
+                   arg.string().c_str());
+    }
+  }
+  // Deterministic replay order regardless of directory enumeration.
+  std::sort(inputs.begin(), inputs.end());
+
+  std::string bytes;
+  for (const auto& path : inputs) {
+    if (!ReadFile(path, &bytes)) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.string().c_str());
+      return 1;
+    }
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %zu inputs, all contracts held\n", replayed);
+  return 0;
+}

@@ -1,0 +1,862 @@
+#include "fuzz_util.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+
+#include "cli/shell_command.hpp"
+#include "corpus/generator.hpp"
+#include "index/figdb_store.hpp"
+#include "index/retrieval_engine.hpp"
+#include "index/storage.hpp"
+#include "index/wal.hpp"
+#include "serve/query_executor.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+#include "util/serde.hpp"
+
+namespace figdb::fuzz {
+namespace {
+
+using util::BinaryReader;
+using util::BinaryWriter;
+using util::Status;
+using util::StatusCode;
+
+/// Per-process scratch directory for harnesses that must exercise the real
+/// file paths (WAL append, store checkpoints). Created lazily, reused for
+/// every input — libFuzzer and the replay driver are single-threaded, and
+/// each harness clears its own sub-path before use.
+const std::string& TempRoot() {
+  static const std::string root = [] {
+    std::string templ =
+        (std::filesystem::temp_directory_path() / "figdb_fuzz_XXXXXX")
+            .string();
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const char* made = ::mkdtemp(buf.data());
+    FIGDB_CHECK_MSG(made != nullptr, "cannot create fuzz temp dir");
+    return std::string(made);
+  }();
+  return root;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  FIGDB_CHECK_MSG(f != nullptr, path.c_str());
+  std::string bytes;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+/// The canonical single-object encoding (storage.hpp serde) — the
+/// comparison currency for "the same object" across store/WAL harnesses.
+std::string EncodeObject(const corpus::MediaObject& obj) {
+  BinaryWriter w;
+  index::WriteMediaObject(obj, &w);
+  return w.Take();
+}
+
+std::uint64_t BitsOf(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void PatchFixed32(std::string* bytes, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) (*bytes)[pos + std::size_t(i)] = char(v >> (8 * i));
+}
+
+/// Reads one LEB128 varint out of \p bytes at \p pos (advancing it);
+/// false when the bytes run out or the encoding exceeds 10 bytes.
+bool WalkVarint(std::string_view bytes, std::size_t* pos,
+                std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*pos < bytes.size() && shift < 70) {
+    const std::uint8_t b = std::uint8_t(bytes[(*pos)++]);
+    v |= std::uint64_t(b & 0x7f) << (shift < 63 ? shift : 63);
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ DataProvider
+
+std::uint64_t DataProvider::ConsumeIntegralInRange(std::uint64_t lo,
+                                                   std::uint64_t hi) {
+  FIGDB_CHECK(lo <= hi);
+  const std::uint64_t range = hi - lo;
+  std::uint64_t raw = 0;
+  std::uint64_t width = range;
+  while (width > 0) {
+    raw = (raw << 8) | ConsumeByte();
+    width >>= 8;
+  }
+  if (range == ~std::uint64_t{0}) return raw;
+  return lo + raw % (range + 1);
+}
+
+std::string DataProvider::ConsumeBytes(std::size_t n) {
+  const std::size_t take = std::min(n, remaining());
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), take);
+  pos_ += take;
+  return out;
+}
+
+std::string DataProvider::ConsumeRemaining() {
+  return ConsumeBytes(remaining());
+}
+
+// --------------------------------------------------------------- CRC fixup
+
+bool FixupSnapshotCrcs(std::string* bytes) {
+  std::string_view view(*bytes);
+  std::size_t pos = 0;
+  std::uint64_t magic = 0, version = 0;
+  if (!WalkVarint(view, &pos, &magic) || !WalkVarint(view, &pos, &version))
+    return false;
+  bool patched = false;
+  while (pos < view.size()) {
+    std::uint64_t size = 0;
+    if (!WalkVarint(view, &pos, &size)) break;
+    if (view.size() - pos < 4) break;
+    const std::size_t crc_pos = pos;
+    pos += 4;
+    if (view.size() - pos < size) break;
+    PatchFixed32(bytes, crc_pos,
+                 util::Crc32(view.substr(pos, std::size_t(size))));
+    pos += std::size_t(size);
+    patched = true;
+  }
+  return patched;
+}
+
+bool FixupWalCrcs(std::string* bytes) {
+  constexpr std::size_t kHeader = 8, kFrame = 8;
+  if (bytes->size() < kHeader) return false;
+  std::string_view view(*bytes);
+  std::size_t pos = kHeader;
+  bool patched = false;
+  while (view.size() - pos >= kFrame) {
+    std::uint32_t size = 0;
+    for (int i = 3; i >= 0; --i)
+      size = (size << 8) | std::uint8_t(view[pos + std::size_t(i)]);
+    if (view.size() - pos - kFrame < size) break;
+    PatchFixed32(bytes, pos + 4, util::Crc32(view.substr(pos + kFrame, size)));
+    pos += kFrame + size;
+    patched = true;
+  }
+  return patched;
+}
+
+std::string MutateBytes(util::Rng* rng, std::string_view bytes,
+                        bool truncate) {
+  std::string mutant(bytes);
+  if (mutant.empty()) return mutant;
+  if (truncate) {
+    mutant.resize(std::size_t(rng->UniformInt(mutant.size())));
+  } else {
+    const std::size_t flips = std::size_t(1 + rng->UniformInt(4));
+    for (std::size_t f = 0; f < flips; ++f)
+      mutant[std::size_t(rng->UniformInt(mutant.size()))] ^=
+          char(1 + rng->UniformInt(255));
+  }
+  return mutant;
+}
+
+// ------------------------------------------------------------ seed builders
+
+corpus::Corpus BuildTinyCorpus(std::uint64_t seed, std::size_t objects) {
+  corpus::GeneratorConfig config;
+  config.num_objects = objects;
+  config.num_topics = 4;
+  config.num_users = 30;
+  config.visual_words = 16;
+  config.seed = seed;
+  return corpus::Generator(config).MakeRetrievalCorpus();
+}
+
+std::string BuildSnapshotSeed(std::uint64_t seed, std::size_t objects) {
+  return index::SerializeCorpus(BuildTinyCorpus(seed, objects));
+}
+
+std::string BuildWalSeed(std::uint64_t seed, std::size_t records) {
+  util::Rng rng(seed);
+  BinaryWriter out;
+  out.PutFixed32(index::kWalMagic);
+  out.PutFixed32(index::kWalVersion);
+  std::uint64_t lsn = 0;
+  for (std::size_t i = 0; i < records; ++i) {
+    lsn += 1 + rng.UniformInt(5);
+    BinaryWriter payload;
+    payload.PutVarint(lsn);
+    const bool remove = rng.UniformInt(4) == 0;
+    payload.PutU8(remove ? 2 : 1);
+    payload.PutVarint(rng.UniformInt(400));
+    if (!remove) {
+      corpus::MediaObject obj;
+      obj.month = std::uint16_t(rng.UniformInt(12));
+      obj.topic = std::uint32_t(rng.UniformInt(8));
+      const std::size_t features = std::size_t(rng.UniformInt(6));
+      corpus::FeatureKey key = 0;
+      for (std::size_t f = 0; f < features; ++f) {
+        key += corpus::FeatureKey(1 + rng.UniformInt(40));
+        obj.features.push_back({key, std::uint32_t(1 + rng.UniformInt(5))});
+      }
+      index::WriteMediaObject(obj, &payload);
+    }
+    const std::string& body = payload.Buffer();
+    out.PutFixed32(std::uint32_t(body.size()));
+    out.PutFixed32(util::Crc32(body));
+    out.PutRaw(body);
+  }
+  return out.Take();
+}
+
+// ----------------------------------------------------- section surgery
+
+bool SplitSnapshotSections(std::string_view bytes, SnapshotSections* out) {
+  std::size_t pos = 0;
+  std::uint64_t magic = 0, version = 0;
+  if (!WalkVarint(bytes, &pos, &magic) || !WalkVarint(bytes, &pos, &version))
+    return false;
+  out->magic_and_version = std::string(bytes.substr(0, pos));
+  out->payloads.clear();
+  while (pos < bytes.size()) {
+    std::uint64_t size = 0;
+    if (!WalkVarint(bytes, &pos, &size)) return false;
+    if (bytes.size() - pos < 4) return false;
+    pos += 4;  // stored CRC — recomputed on rebuild
+    if (bytes.size() - pos < size) return false;
+    out->payloads.emplace_back(bytes.substr(pos, std::size_t(size)));
+    pos += std::size_t(size);
+  }
+  return true;
+}
+
+std::string BuildSnapshot(const SnapshotSections& sections) {
+  BinaryWriter w;
+  w.PutRaw(sections.magic_and_version);
+  for (const std::string& payload : sections.payloads) {
+    w.PutVarint(payload.size());
+    w.PutFixed32(util::Crc32(payload));
+    w.PutRaw(payload);
+  }
+  return w.Take();
+}
+
+// ------------------------------------------------------- snapshot harness
+
+ParseOutcome CheckSnapshotOneInput(const std::uint8_t* data,
+                                   std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const auto parsed = index::DeserializeCorpus(input);
+  ParseOutcome outcome;
+  outcome.accepted = parsed.ok();
+  outcome.code = parsed.ok() ? StatusCode::kOk : parsed.status().code();
+  if (!parsed.ok()) {
+    // Documented decode taxonomy: magic/version skew is the caller's
+    // mistake, everything else is damage — and a load error without a
+    // message is useless to an operator.
+    FIGDB_CHECK(outcome.code == StatusCode::kInvalidArgument ||
+                outcome.code == StatusCode::kDataLoss);
+    FIGDB_CHECK(!parsed.status().message().empty());
+    return outcome;
+  }
+  // Accepted inputs need not be canonical (overlong varints re-encode
+  // shorter), but ONE serialize must reach the fixed point: parse(s1) must
+  // succeed and re-serialize to exactly s1.
+  const std::string s1 = index::SerializeCorpus(*parsed);
+  const auto reparsed = index::DeserializeCorpus(s1);
+  FIGDB_CHECK_MSG(reparsed.ok(), "serialize(parse(x)) failed to re-parse");
+  const std::string s2 = index::SerializeCorpus(*reparsed);
+  FIGDB_CHECK_MSG(s1 == s2, "snapshot serialization is not idempotent");
+  return outcome;
+}
+
+// ------------------------------------------------------------ WAL harness
+
+ParseOutcome CheckWalFileOneInput(const std::uint8_t* data,
+                                  std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const auto replayed =
+      index::WriteAheadLog::ReplayBytes(input, "<fuzz input>");
+  ParseOutcome outcome;
+  outcome.accepted = replayed.ok();
+  outcome.code = replayed.ok() ? StatusCode::kOk : replayed.status().code();
+  if (!replayed.ok()) {
+    FIGDB_CHECK(outcome.code == StatusCode::kInvalidArgument ||
+                outcome.code == StatusCode::kDataLoss);
+    FIGDB_CHECK(!replayed.status().message().empty());
+    return outcome;
+  }
+  const auto& result = *replayed;
+  FIGDB_CHECK(result.valid_bytes >= 8);
+  FIGDB_CHECK(result.valid_bytes <= size);
+  // The torn-tail flag IS the statement "some suffix did not parse".
+  FIGDB_CHECK(result.torn_tail == (result.valid_bytes != size));
+  for (std::size_t i = 1; i < result.records.size(); ++i)
+    FIGDB_CHECK(result.records[i].lsn > result.records[i - 1].lsn);
+  // Replaying the valid prefix must be stable: same records, no torn tail.
+  const auto again = index::WriteAheadLog::ReplayBytes(
+      input.substr(0, std::size_t(result.valid_bytes)), "<fuzz prefix>");
+  FIGDB_CHECK_MSG(again.ok(), "valid WAL prefix failed to re-replay");
+  FIGDB_CHECK(!again->torn_tail);
+  FIGDB_CHECK(again->valid_bytes == result.valid_bytes);
+  FIGDB_CHECK(again->records.size() == result.records.size());
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const auto& a = result.records[i];
+    const auto& b = again->records[i];
+    FIGDB_CHECK(a.lsn == b.lsn && a.type == b.type &&
+                a.object_id == b.object_id);
+    FIGDB_CHECK(EncodeObject(a.object) == EncodeObject(b.object));
+  }
+  return outcome;
+}
+
+void CheckWalRoundTripOneInput(const std::uint8_t* data, std::size_t size) {
+  DataProvider script(data, size);
+  const std::string path = TempRoot() + "/wal_roundtrip.figdb";
+  std::remove(path.c_str());
+
+  // Build scripted records and append them through the real WAL path.
+  std::vector<index::WalRecord> written;
+  {
+    auto opened = index::WriteAheadLog::Open(path);
+    FIGDB_CHECK(opened.ok());
+    index::WriteAheadLog wal = std::move(*opened);
+    const std::size_t records =
+        std::size_t(1 + script.ConsumeIntegralInRange(0, 11));
+    std::uint64_t lsn = 0;
+    for (std::size_t i = 0; i < records; ++i) {
+      index::WalRecord record;
+      lsn += 1 + script.ConsumeIntegralInRange(0, 6);
+      record.lsn = lsn;
+      record.object_id =
+          corpus::ObjectId(script.ConsumeIntegralInRange(0, 500));
+      if (script.ConsumeIntegralInRange(0, 3) == 0) {
+        record.type = index::WalRecord::Type::kRemoveObject;
+      } else {
+        record.type = index::WalRecord::Type::kAddObject;
+        record.object.month =
+            std::uint16_t(script.ConsumeIntegralInRange(0, 11));
+        record.object.topic =
+            std::uint32_t(script.ConsumeIntegralInRange(0, 7));
+        const std::size_t features =
+            std::size_t(script.ConsumeIntegralInRange(0, 6));
+        corpus::FeatureKey key = 0;
+        for (std::size_t f = 0; f < features; ++f) {
+          key += corpus::FeatureKey(1 + script.ConsumeIntegralInRange(0, 30));
+          record.object.features.push_back(
+              {key, std::uint32_t(1 + script.ConsumeIntegralInRange(0, 4))});
+        }
+        record.object.id = record.object_id;
+      }
+      const Status appended = wal.Append(record);
+      FIGDB_CHECK(appended.ok());
+      written.push_back(std::move(record));
+    }
+  }
+
+  // Full replay: every field must come back exactly.
+  const std::string bytes = ReadFileBytes(path);
+  const auto replayed = index::WriteAheadLog::Replay(path);
+  FIGDB_CHECK(replayed.ok());
+  FIGDB_CHECK(!replayed->torn_tail);
+  FIGDB_CHECK(replayed->valid_bytes == bytes.size());
+  FIGDB_CHECK(replayed->records.size() == written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    const auto& w = written[i];
+    const auto& r = replayed->records[i];
+    FIGDB_CHECK(w.lsn == r.lsn && w.type == r.type &&
+                w.object_id == r.object_id);
+    if (w.type == index::WalRecord::Type::kAddObject)
+      FIGDB_CHECK(EncodeObject(w.object) == EncodeObject(r.object));
+  }
+
+  // Chop anywhere after the header: replay must discriminate torn-tail
+  // (anything mid-frame) from clean cuts at record boundaries, and the
+  // surviving records must be a prefix of what was written.
+  const std::uint64_t cut =
+      8 + script.ConsumeIntegralInRange(0, bytes.size() - 8);
+  const auto chopped = index::WriteAheadLog::ReplayBytes(
+      std::string_view(bytes).substr(0, std::size_t(cut)), "<chopped>");
+  FIGDB_CHECK(chopped.ok());
+  FIGDB_CHECK(chopped->torn_tail == (chopped->valid_bytes != cut));
+  FIGDB_CHECK(chopped->records.size() <= written.size());
+  for (std::size_t i = 0; i < chopped->records.size(); ++i)
+    FIGDB_CHECK(chopped->records[i].lsn == written[i].lsn);
+
+  // TruncateTail to the valid prefix and replay the FILE: recovery's
+  // actual torn-tail repair sequence must converge (no torn tail left).
+  const Status truncated =
+      index::WriteAheadLog::TruncateTail(path, chopped->valid_bytes);
+  FIGDB_CHECK(truncated.ok());
+  const auto repaired = index::WriteAheadLog::Replay(path);
+  FIGDB_CHECK(repaired.ok());
+  FIGDB_CHECK(!repaired->torn_tail);
+  FIGDB_CHECK(repaired->records.size() == chopped->records.size());
+}
+
+// ----------------------------------------------------------- serde harness
+
+void CheckSerdeOneInput(const std::uint8_t* data, std::size_t size) {
+  DataProvider script(data, size);
+  if (!script.ConsumeBool()) {
+    // Round-trip property: whatever the script writes must read back
+    // exactly, and consume the buffer completely.
+    struct Op {
+      std::uint8_t kind;
+      std::uint64_t u64 = 0;
+      std::int64_t i64 = 0;
+      std::string str;
+      std::vector<std::uint32_t> ids;
+    };
+    std::vector<Op> ops;
+    BinaryWriter w;
+    while (!script.Empty() && ops.size() < 64) {
+      Op op;
+      op.kind = std::uint8_t(script.ConsumeIntegralInRange(0, 6));
+      switch (op.kind) {
+        case 0:
+          op.u64 = script.ConsumeIntegralInRange(0, ~std::uint64_t{0});
+          w.PutVarint(op.u64);
+          break;
+        case 1:
+          op.i64 = std::int64_t(
+              script.ConsumeIntegralInRange(0, ~std::uint64_t{0}));
+          w.PutSignedVarint(op.i64);
+          break;
+        case 2:
+          op.str = script.ConsumeBytes(
+              std::size_t(script.ConsumeIntegralInRange(0, 24)));
+          w.PutString(op.str);
+          break;
+        case 3:
+          op.u64 = script.ConsumeIntegralInRange(0, 255);
+          w.PutU8(std::uint8_t(op.u64));
+          break;
+        case 4:
+          op.u64 = script.ConsumeIntegralInRange(0, 0xffffffffu);
+          w.PutFixed32(std::uint32_t(op.u64));
+          break;
+        case 5:
+          // Arbitrary bit pattern, NaNs included: PutDouble/GetDouble are
+          // raw copies, so the comparison is on bits, not FP semantics.
+          op.u64 = script.ConsumeIntegralInRange(0, ~std::uint64_t{0});
+          {
+            double d;
+            std::memcpy(&d, &op.u64, sizeof(d));
+            w.PutDouble(d);
+          }
+          break;
+        default: {
+          const std::size_t n =
+              std::size_t(script.ConsumeIntegralInRange(0, 8));
+          std::uint32_t id = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            id += std::uint32_t(script.ConsumeIntegralInRange(0, 1000));
+            op.ids.push_back(id);
+          }
+          w.PutSortedIds(op.ids);
+          break;
+        }
+      }
+      ops.push_back(std::move(op));
+    }
+    BinaryReader r(w.Buffer());
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case 0:
+          FIGDB_CHECK(r.GetVarint() == op.u64);
+          break;
+        case 1:
+          FIGDB_CHECK(r.GetSignedVarint() == op.i64);
+          break;
+        case 2:
+          FIGDB_CHECK(r.GetString() == op.str);
+          break;
+        case 3:
+          FIGDB_CHECK(r.GetU8() == std::uint8_t(op.u64));
+          break;
+        case 4:
+          FIGDB_CHECK(r.GetFixed32() == std::uint32_t(op.u64));
+          break;
+        case 5:
+          FIGDB_CHECK(BitsOf(r.GetDouble()) == op.u64);
+          break;
+        default:
+          FIGDB_CHECK(r.GetSortedIds() == op.ids);
+          break;
+      }
+      FIGDB_CHECK(r.Ok());
+    }
+    FIGDB_CHECK(r.AtEnd());
+    return;
+  }
+
+  // Adversarial decode: scripted Get* sequence over raw fuzzer bytes.
+  // The reader must never read past the buffer, length claims must be
+  // validated before they produce data, and failure must be sticky.
+  const std::size_t op_count =
+      std::size_t(script.ConsumeIntegralInRange(0, 32));
+  std::vector<std::uint8_t> ops;
+  for (std::size_t i = 0; i < op_count; ++i)
+    ops.push_back(std::uint8_t(script.ConsumeIntegralInRange(0, 7)));
+  const std::string payload = script.ConsumeRemaining();
+  BinaryReader r(payload);
+  bool failed = false;
+  for (const std::uint8_t op : ops) {
+    const std::size_t before = r.Remaining();
+    switch (op) {
+      case 0:
+        (void)r.GetVarint();
+        break;
+      case 1:
+        (void)r.GetSignedVarint();
+        break;
+      case 2: {
+        const std::string s = r.GetString();
+        FIGDB_CHECK(s.size() <= payload.size());
+        break;
+      }
+      case 3:
+        (void)r.GetU8();
+        break;
+      case 4:
+        (void)r.GetFixed32();
+        break;
+      case 5:
+        (void)r.GetDouble();
+        break;
+      case 6: {
+        const std::vector<std::uint32_t> ids = r.GetSortedIds();
+        FIGDB_CHECK(ids.size() <= payload.size());
+        break;
+      }
+      default: {
+        const std::string_view raw = r.GetRaw(before / 2 + 1);
+        FIGDB_CHECK(raw.size() <= payload.size());
+        break;
+      }
+    }
+    FIGDB_CHECK(r.Remaining() <= before);
+    if (failed) FIGDB_CHECK(!r.Ok());  // failure is sticky
+    failed = !r.Ok();
+  }
+}
+
+// -------------------------------------------------------- taxonomy harness
+
+ParseOutcome CheckTaxonomyOneInput(const std::uint8_t* data,
+                                   std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  BinaryReader r(input);
+  text::Taxonomy tax;
+  const Status parsed = index::ReadTaxonomySection(&r, &tax);
+  ParseOutcome outcome;
+  outcome.accepted = parsed.ok();
+  outcome.code = parsed.ok() ? StatusCode::kOk : parsed.code();
+  if (!parsed.ok()) {
+    FIGDB_CHECK(outcome.code == StatusCode::kDataLoss);
+    FIGDB_CHECK(!parsed.message().empty());
+    return outcome;
+  }
+  if (tax.NodeCount() == 0) return outcome;
+  // WUP invariants over whatever hierarchy survived validation. Query
+  // targets are derived deterministically from the input so replay is
+  // exact.
+  util::Rng rng(util::Crc32(input));
+  const std::uint64_t n = tax.NodeCount();
+  for (int i = 0; i < 8; ++i) {
+    const auto a = text::NodeId(rng.UniformInt(n));
+    const auto b = text::NodeId(rng.UniformInt(n));
+    const double w = tax.Wup(a, b);
+    FIGDB_CHECK(w > 0.0 && w <= 1.0);
+    FIGDB_CHECK(tax.Wup(b, a) == w);
+    FIGDB_CHECK(tax.Wup(a, a) == 1.0);
+    const text::NodeId lcs = tax.LowestCommonSubsumer(a, b);
+    FIGDB_CHECK(tax.Depth(lcs) <= std::min(tax.Depth(a), tax.Depth(b)));
+    const double wt = tax.WupTerms(std::uint32_t(rng.UniformInt(1 << 16)),
+                                   std::uint32_t(rng.UniformInt(1 << 16)));
+    FIGDB_CHECK(wt == 0.0 || (wt > 0.0 && wt <= 1.0));
+  }
+  return outcome;
+}
+
+// ------------------------------------------------------ failpoint harness
+
+void CheckFailPointSpecOneInput(const std::uint8_t* data, std::size_t size) {
+  // Specs come from an environment variable in production — cap the length
+  // accordingly instead of letting the fuzzer grow megabyte strings.
+  const std::string spec(reinterpret_cast<const char*>(data),
+                         std::min<std::size_t>(size, 512));
+  const std::size_t entries =
+      1 + std::size_t(std::count(spec.begin(), spec.end(), ','));
+  util::FailPoints::DeactivateAll();
+  const std::size_t activated =
+      util::FailPoints::ActivateFromEnv(spec.c_str(), /*quiet=*/true);
+  FIGDB_CHECK(activated <= entries);
+  FIGDB_CHECK((activated > 0) == util::FailPoints::AnyActive());
+  util::FailPoints::DeactivateAll();
+  FIGDB_CHECK(!util::FailPoints::AnyActive());
+}
+
+// -------------------------------------------------- shell-command harness
+
+void CheckShellCommandOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  std::size_t start = 0, lines = 0;
+  while (start <= input.size() && lines++ < 64) {
+    std::size_t end = input.find('\n', start);
+    if (end == std::string_view::npos) end = input.size();
+    const std::string_view line = input.substr(start, end - start);
+    start = end + 1;
+    if (line.size() > 1024) continue;
+    const auto parsed = cli::ParseShellCommand(line);
+    if (!parsed.ok()) {
+      // Every rejection is a printable usage/unknown-command message.
+      FIGDB_CHECK(parsed.status().code() == StatusCode::kInvalidArgument);
+      FIGDB_CHECK(!parsed.status().message().empty());
+      continue;
+    }
+    // Accepted commands carry the documented clamp invariants — the shell
+    // dispatches on these values without re-validating.
+    const cli::ShellCommand& cmd = *parsed;
+    switch (cmd.verb) {
+      case cli::ShellVerb::kGen:
+        FIGDB_CHECK(cmd.count >= cli::kMinGenObjects);
+        break;
+      case cli::ShellVerb::kServe:
+        FIGDB_CHECK(std::isfinite(cmd.serve_seconds));
+        FIGDB_CHECK(cmd.serve_seconds >= cli::kMinServeSeconds &&
+                    cmd.serve_seconds <= cli::kMaxServeSeconds);
+        FIGDB_CHECK(cmd.serve_readers >= 1 &&
+                    cmd.serve_readers <= cli::kMaxServeThreads);
+        FIGDB_CHECK(cmd.serve_workers <= cli::kMaxServeThreads);
+        break;
+      case cli::ShellVerb::kLoad:
+      case cli::ShellVerb::kSave:
+      case cli::ShellVerb::kAttach:
+        FIGDB_CHECK(!cmd.text.empty());
+        break;
+      case cli::ShellVerb::kBudget:
+        FIGDB_CHECK(std::isfinite(cmd.budget_ms));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// ------------------------------------------------------- store-ops harness
+
+void CheckStoreOpsOneInput(const std::uint8_t* data, std::size_t size) {
+  static const corpus::Corpus* base = [] {
+    auto* c = new corpus::Corpus(BuildTinyCorpus(4242, 40));
+    for (const corpus::MediaObject& obj : c->Objects())
+      FIGDB_CHECK_MSG(!obj.features.empty(),
+                      "store-ops base corpus must have no empty objects");
+    return c;
+  }();
+
+  DataProvider script(data, size);
+  const std::string dir = TempRoot() + "/store_ops";
+  std::filesystem::remove_all(dir);
+
+  // The in-memory model: one entry per id ever assigned, in the canonical
+  // object encoding. The store must match it after every recovery.
+  struct Slot {
+    bool live;
+    std::string bytes;
+  };
+  std::vector<Slot> model;
+  model.reserve(base->Size());
+  for (const corpus::MediaObject& obj : base->Objects())
+    model.push_back({true, EncodeObject(obj)});
+
+  auto created = index::FigDbStore::Create(dir, *base);
+  FIGDB_CHECK(created.ok());
+  std::optional<index::FigDbStore> store(std::move(*created));
+
+  const std::size_t ops = std::size_t(script.ConsumeIntegralInRange(0, 24));
+  for (std::size_t i = 0; i < ops; ++i) {
+    switch (script.ConsumeIntegralInRange(0, 4)) {
+      case 0:
+      case 1: {  // ingest a clone of a base object
+        corpus::MediaObject donor = base->Object(
+            corpus::ObjectId(script.ConsumeIntegralInRange(0, base->Size() - 1)));
+        donor.id = corpus::kInvalidObject;
+        const std::string encoded = EncodeObject(donor);
+        const auto id = store->Ingest(std::move(donor));
+        FIGDB_CHECK_MSG(id.ok(), "valid ingest must succeed");
+        FIGDB_CHECK(*id == corpus::ObjectId(model.size()));
+        model.push_back({true, encoded});
+        break;
+      }
+      case 2: {  // remove (valid or dangling — the script decides)
+        const auto id = corpus::ObjectId(
+            script.ConsumeIntegralInRange(0, model.size() + 2));
+        const Status removed = store->Remove(id);
+        const bool was_live = id < model.size() && model[id].live;
+        FIGDB_CHECK(removed.ok() == was_live);
+        if (!removed.ok())
+          FIGDB_CHECK(removed.code() == StatusCode::kNotFound);
+        if (was_live) model[id].live = false;
+        break;
+      }
+      case 3: {  // checkpoint
+        const Status checkpointed = store->Checkpoint();
+        FIGDB_CHECK(checkpointed.ok());
+        break;
+      }
+      default: {  // crash (drop the store mid-life) + recover
+        store.reset();
+        auto recovered = index::FigDbStore::Recover(dir);
+        FIGDB_CHECK_MSG(recovered.ok(), "crash recovery must succeed");
+        store.emplace(std::move(*recovered));
+        break;
+      }
+    }
+    FIGDB_CHECK(!store->Wounded());
+    FIGDB_CHECK(store->GetCorpus().Size() == model.size());
+  }
+
+  // Final verdict: recover from disk one last time and compare the store
+  // to the model object-for-object. Every acknowledged mutation was
+  // WAL-logged before being applied, so nothing acked may be missing and
+  // nothing unacked may appear.
+  store.reset();
+  auto final_store = index::FigDbStore::Recover(dir);
+  FIGDB_CHECK(final_store.ok());
+  const corpus::Corpus& got = final_store->GetCorpus();
+  FIGDB_CHECK_MSG(got.Size() == model.size(),
+                  "recovered store lost or invented objects");
+  for (std::size_t id = 0; id < model.size(); ++id) {
+    FIGDB_CHECK_MSG(
+        final_store->IsRemoved(corpus::ObjectId(id)) == !model[id].live,
+        "recovered tombstone state diverged from the model");
+    if (model[id].live)
+      FIGDB_CHECK_MSG(
+          EncodeObject(got.Object(corpus::ObjectId(id))) == model[id].bytes,
+          "recovered object bytes diverged from the model");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------- query-identity harness
+
+namespace {
+
+struct QueryWorld {
+  corpus::Corpus corpus;
+  std::unique_ptr<index::FigRetrievalEngine> full;  ///< TA + stage-2 rerank
+  std::unique_ptr<index::FigRetrievalEngine> ta;    ///< stage-1 only, TA
+  std::unique_ptr<index::FigRetrievalEngine> ex;    ///< stage-1, exhaustive
+};
+
+const QueryWorld& GetQueryWorld(std::size_t which) {
+  static QueryWorld* worlds[2] = {nullptr, nullptr};
+  QueryWorld*& world = worlds[which & 1];
+  if (world == nullptr) {
+    world = new QueryWorld;
+    world->corpus =
+        BuildTinyCorpus((which & 1) == 0 ? 7 : 99, (which & 1) == 0 ? 100 : 140);
+    index::EngineOptions full_opts;
+    world->full =
+        std::make_unique<index::FigRetrievalEngine>(world->corpus, full_opts);
+    index::EngineOptions ta_opts;
+    ta_opts.rerank_candidates = 0;
+    world->ta =
+        std::make_unique<index::FigRetrievalEngine>(world->corpus, ta_opts);
+    index::EngineOptions ex_opts;
+    ex_opts.rerank_candidates = 0;
+    ex_opts.merge = index::EngineOptions::MergeMode::kExhaustive;
+    world->ex =
+        std::make_unique<index::FigRetrievalEngine>(world->corpus, ex_opts);
+  }
+  return *world;
+}
+
+const serve::QueryExecutor& GetExecutor(std::size_t which) {
+  static constexpr std::size_t kWorkers[4] = {0, 1, 2, 4};
+  static serve::QueryExecutor* executors[4] = {nullptr, nullptr, nullptr,
+                                               nullptr};
+  serve::QueryExecutor*& executor = executors[which & 3];
+  if (executor == nullptr) {
+    serve::ExecutorOptions options;
+    options.workers = kWorkers[which & 3];
+    executor = new serve::QueryExecutor(options);
+  }
+  return *executor;
+}
+
+}  // namespace
+
+void CheckQueryIdentityOneInput(const std::uint8_t* data, std::size_t size) {
+  DataProvider script(data, size);
+  int rounds = 0;
+  while (!script.Empty() && rounds++ < 3) {
+    const QueryWorld& world = GetQueryWorld(script.ConsumeIntegralInRange(0, 1));
+    const corpus::MediaObject& query = world.corpus.Object(corpus::ObjectId(
+        script.ConsumeIntegralInRange(0, world.corpus.Size() - 1)));
+    const std::size_t k = std::size_t(1 + script.ConsumeIntegralInRange(0, 11));
+    const serve::QueryExecutor& executor =
+        GetExecutor(script.ConsumeIntegralInRange(0, 3));
+
+    // Paper-critical invariant (DESIGN.md §9): the parallel executor is
+    // BIT-identical to sequential TrySearch, for any worker count.
+    const auto seq = world.full->TrySearch(query, k);
+    const auto par = executor.Search(*world.full, query, k);
+    FIGDB_CHECK(seq.ok() == par.ok());
+    if (!seq.ok()) {
+      FIGDB_CHECK(seq.status().code() == par.status().code());
+    } else {
+      FIGDB_CHECK(seq->results.size() == par->results.size());
+      for (std::size_t i = 0; i < seq->results.size(); ++i) {
+        FIGDB_CHECK(seq->results[i].object == par->results[i].object);
+        FIGDB_CHECK_MSG(
+            BitsOf(seq->results[i].score) == BitsOf(par->results[i].score),
+            "parallel score is not bit-identical to sequential");
+      }
+      FIGDB_CHECK(seq->truncated == par->truncated);
+      FIGDB_CHECK(seq->reranked == par->reranked);
+      FIGDB_CHECK(seq->scored_candidates == par->scored_candidates);
+    }
+
+    // TA vs exhaustive merge on the stage-1 engines: same objects in the
+    // same order; scores agree to accumulation-order tolerance.
+    const auto ta = world.ta->TrySearch(query, k);
+    const auto ex = world.ex->TrySearch(query, k);
+    FIGDB_CHECK(ta.ok() == ex.ok());
+    if (ta.ok()) {
+      FIGDB_CHECK(ta->results.size() == ex->results.size());
+      for (std::size_t i = 0; i < ta->results.size(); ++i) {
+        FIGDB_CHECK_MSG(ta->results[i].object == ex->results[i].object,
+                        "TA returned different objects than exhaustive");
+        FIGDB_CHECK(std::fabs(ta->results[i].score - ex->results[i].score) <=
+                    1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace figdb::fuzz

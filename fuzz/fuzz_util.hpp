@@ -1,0 +1,196 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+/// \file fuzz_util.hpp
+/// Shared harness layer for the figdb fuzzing subsystem.
+///
+/// Every untrusted-input surface gets exactly ONE harness entry point
+/// (`Check*OneInput`), and every consumer drives that entry point:
+///
+///   * the libFuzzer targets under fuzz/targets/ (FIGDB_FUZZ builds) call
+///     it from LLVMFuzzerTestOneInput;
+///   * the same targets compiled WITHOUT Clang replay the checked-in
+///     corpora through it via fuzz/driver_main.cpp (ctest label
+///     `fuzz_regression`);
+///   * the in-tree randomized loops (robustness_test's corruption fuzz,
+///     util_test's WAL round-trip fuzz) synthesize inputs with util::Rng
+///     and feed them to the identical harness.
+///
+/// A harness NEVER asserts "the input is valid" — fuzz inputs are mostly
+/// garbage. It asserts the *contract*: a parser either accepts and then
+/// behaves (round-trip idempotence, queryable result), or rejects with the
+/// documented Status taxonomy and a non-empty message. Contract violations
+/// abort via FIGDB_CHECK, which is what libFuzzer and the replay driver
+/// both report as a crash.
+///
+/// Structure-aware mutation support (CRC fixup, frame walking) lives here
+/// too so custom mutators and seed builders share one view of the framing.
+
+namespace figdb::fuzz {
+
+// ---------------------------------------------------------------------------
+// DataProvider: carve typed values out of a fuzzer byte string.
+//
+// The action-script harnesses (store ops, query identity, WAL round-trip)
+// interpret the fuzzer's bytes as a program; this provider is the decoder.
+// It is deliberately total: running out of bytes yields zeros/lows, never
+// an error, so every byte string is a valid script.
+class DataProvider {
+ public:
+  DataProvider(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool Empty() const { return pos_ >= size_; }
+
+  std::uint8_t ConsumeByte() {
+    return pos_ < size_ ? data_[pos_++] : 0;
+  }
+
+  bool ConsumeBool() { return (ConsumeByte() & 1) != 0; }
+
+  /// Uniform-ish integral in [lo, hi] (inclusive); lo when exhausted.
+  std::uint64_t ConsumeIntegralInRange(std::uint64_t lo, std::uint64_t hi);
+
+  /// Up to \p n raw bytes (fewer when the input runs out).
+  std::string ConsumeBytes(std::size_t n);
+
+  /// Everything left, as raw bytes.
+  std::string ConsumeRemaining();
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Structure-aware mutation: CRC fixup.
+//
+// Both persistent formats checksum their payloads, so a dumb mutator's
+// flips die at the CRC gate and coverage never reaches the section/record
+// parsers. These walkers re-stamp every reachable checksum after a
+// mutation, letting mutated *payloads* through while the framing stays
+// valid. They repair as much of the file as is walkable and return true if
+// at least one checksum was patched; unwalkable prefixes are left alone
+// (those inputs still probe the framing validators, which is also wanted).
+
+/// Snapshot v2: varint magic, varint version, then per section
+/// (varint payload size, fixed32 CRC, payload).
+bool FixupSnapshotCrcs(std::string* bytes);
+
+/// WAL: 8-byte header, then per frame (fixed32 size, fixed32 CRC, payload).
+bool FixupWalCrcs(std::string* bytes);
+
+/// The corruption model the robustness suite has used since PR 1: either
+/// truncate to a random prefix (seed % 3 == 0 style callers pick), or flip
+/// 1-4 random bytes with random non-zero XOR masks. Deterministic in \p rng.
+std::string MutateBytes(util::Rng* rng, std::string_view bytes,
+                        bool truncate);
+
+// ---------------------------------------------------------------------------
+// Seed-corpus builders.
+
+/// Small deterministic corpus (text + visual + user features) for seeds and
+/// differential harness worlds; ~\p objects objects, everything derived
+/// from \p seed.
+corpus::Corpus BuildTinyCorpus(std::uint64_t seed, std::size_t objects);
+
+/// Serialized snapshot of BuildTinyCorpus — a valid seed for fuzz_snapshot.
+std::string BuildSnapshotSeed(std::uint64_t seed, std::size_t objects);
+
+/// A valid WAL image: header + \p records add/remove records with strictly
+/// increasing LSNs — a seed for fuzz_wal.
+std::string BuildWalSeed(std::uint64_t seed, std::size_t records);
+
+// ---------------------------------------------------------------------------
+// Snapshot section surgery (edge-case tests + structure-aware seeds).
+
+/// A snapshot split at its section joints. Only valid snapshots (walkable
+/// framing) split; the payloads are the *unframed* section bodies.
+struct SnapshotSections {
+  std::string magic_and_version;       ///< the two leading varints, raw
+  std::vector<std::string> payloads;   ///< one per section, in file order
+};
+
+/// Splits \p bytes; false if the framing is not walkable end-to-end.
+bool SplitSnapshotSections(std::string_view bytes, SnapshotSections* out);
+
+/// Reassembles a snapshot from parts, framing each payload with a correct
+/// length + CRC. The inverse of SplitSnapshotSections for valid files —
+/// and the way tests build CRC-valid-but-semantically-invalid snapshots:
+/// split a good file, splice a poisoned payload, rebuild.
+std::string BuildSnapshot(const SnapshotSections& sections);
+
+// ---------------------------------------------------------------------------
+// Harness entry points — one per untrusted-input surface.
+
+/// What a decode harness saw, for callers that assert accept/reject on top
+/// of the harness's own contract checks (e.g. "every corrupted mutant must
+/// be rejected").
+struct ParseOutcome {
+  bool accepted = false;
+  util::StatusCode code = util::StatusCode::kOk;
+};
+
+/// Snapshot loader (index::DeserializeCorpus). Accepted inputs must
+/// re-serialize idempotently (serialize→parse→serialize is a fixed point);
+/// rejected inputs must carry kInvalidArgument or kDataLoss and a message.
+ParseOutcome CheckSnapshotOneInput(const std::uint8_t* data,
+                                   std::size_t size);
+
+/// WAL image decode (WriteAheadLog::ReplayBytes). Checks the error
+/// taxonomy, torn-tail ⇔ trailing-bytes equivalence, strictly increasing
+/// LSNs, and that the valid prefix replays to the same records again.
+ParseOutcome CheckWalFileOneInput(const std::uint8_t* data,
+                                  std::size_t size);
+
+/// WAL write→replay→chop differential, driven by an action script: builds
+/// a log from scripted records through the real Append path, replays it
+/// (must match field-for-field), chops the file at a scripted offset and
+/// checks the torn-tail discrimination plus prefix-replay stability.
+void CheckWalRoundTripOneInput(const std::uint8_t* data, std::size_t size);
+
+/// Serde primitives: scripted write→read round-trips must be exact, and
+/// adversarial decode sequences must fail cleanly (no crash, sticky
+/// failure state, no over-long reads).
+void CheckSerdeOneInput(const std::uint8_t* data, std::size_t size);
+
+/// Taxonomy section decode (index::ReadTaxonomySection) followed by WUP
+/// queries over whatever survives: WUP ∈ (0, 1], symmetric, self = 1, and
+/// the LCS is never deeper than either argument.
+ParseOutcome CheckTaxonomyOneInput(const std::uint8_t* data,
+                                   std::size_t size);
+
+/// FIGDB_FAILPOINTS spec parsing (FailPoints::ActivateFromEnv, quiet).
+/// Activation count is bounded by the entry count, AnyActive() agrees with
+/// it, and DeactivateAll always restores the inactive state.
+void CheckFailPointSpecOneInput(const std::uint8_t* data, std::size_t size);
+
+/// Shell command parsing (cli::ParseShellCommand), one line per input
+/// line: accepted commands must satisfy the documented clamp invariants,
+/// rejected ones must carry a printable message.
+void CheckShellCommandOneInput(const std::uint8_t* data, std::size_t size);
+
+/// Differential store fuzz: the script drives ingest/remove/checkpoint/
+/// crash/recover against a real FigDbStore while a plain in-memory model
+/// shadows it; after the final recovery the store must equal the model
+/// object-for-object (crash-atomicity, end to end).
+void CheckStoreOpsOneInput(const std::uint8_t* data, std::size_t size);
+
+/// Differential query fuzz: scripted (corpus, query, k, worker count)
+/// tuples; the parallel QueryExecutor must be bit-identical to sequential
+/// TrySearch for workers {0,1,2,4}, and TA must match exhaustive merge on
+/// the stage-1 engines.
+void CheckQueryIdentityOneInput(const std::uint8_t* data, std::size_t size);
+
+}  // namespace figdb::fuzz

@@ -1,0 +1,128 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+/// \file seedgen.cpp
+/// Regenerates the checked-in seed corpora under fuzz/corpus/<target>/.
+///
+/// Every seed is deterministic (fixed util::Rng seeds, fixed corpus
+/// generator seeds), so `fuzz_seedgen fuzz/corpus` reproduces the committed
+/// files byte-for-byte — a format change that alters the seeds shows up as
+/// a git diff, which is exactly when the corpora NEED regenerating.
+///
+/// Structured formats (snapshot, WAL) get valid images plus structurally
+/// interesting variants (truncated, CRC-refreshed mutants); text surfaces
+/// (shell, fail-point specs) get representative grammar coverage; action
+/// scripts (store ops, query identity, serde, WAL round-trip) get fixed
+/// pseudo-random byte programs long enough to reach every op.
+
+namespace {
+
+void WriteSeed(const std::filesystem::path& dir, const std::string& name,
+               const std::string& bytes) {
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = dir / name;
+  std::FILE* f = std::fopen(path.string().c_str(), "wb");
+  FIGDB_CHECK_MSG(f != nullptr, path.string().c_str());
+  if (!bytes.empty())
+    FIGDB_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size());
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), bytes.size());
+}
+
+/// A fixed pseudo-random byte program for the action-script harnesses.
+std::string ScriptBytes(std::uint64_t seed, std::size_t n) {
+  figdb::util::Rng rng(seed);
+  std::string bytes;
+  bytes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    bytes.push_back(char(rng.UniformInt(256)));
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fuzz = figdb::fuzz;
+  const std::filesystem::path root = argc > 1 ? argv[1] : "fuzz/corpus";
+
+  // fuzz_snapshot: two valid snapshots, a truncated one, and a mutant with
+  // refreshed CRCs (valid framing, damaged payload) to pre-seed the deep
+  // section-parser paths.
+  {
+    const std::string small = fuzz::BuildSnapshotSeed(5, 20);
+    const std::string tiny = fuzz::BuildSnapshotSeed(11, 8);
+    WriteSeed(root / "fuzz_snapshot", "valid_small.bin", small);
+    WriteSeed(root / "fuzz_snapshot", "valid_tiny.bin", tiny);
+    WriteSeed(root / "fuzz_snapshot", "truncated.bin",
+              small.substr(0, small.size() / 3));
+    figdb::util::Rng rng(20260807);
+    std::string mutant = fuzz::MutateBytes(&rng, small, /*truncate=*/false);
+    fuzz::FixupSnapshotCrcs(&mutant);
+    WriteSeed(root / "fuzz_snapshot", "crc_fixed_mutant.bin", mutant);
+  }
+
+  // fuzz_wal: valid logs, a header-only log, and a torn tail.
+  {
+    const std::string log = fuzz::BuildWalSeed(3, 6);
+    WriteSeed(root / "fuzz_wal", "valid_six_records.bin", log);
+    WriteSeed(root / "fuzz_wal", "valid_one_record.bin",
+              fuzz::BuildWalSeed(9, 1));
+    WriteSeed(root / "fuzz_wal", "header_only.bin", log.substr(0, 8));
+    WriteSeed(root / "fuzz_wal", "torn_tail.bin",
+              log.substr(0, log.size() - 3));
+  }
+
+  // fuzz_serde: byte programs for both modes (round-trip and adversarial).
+  WriteSeed(root / "fuzz_serde", "roundtrip_script.bin",
+            std::string(1, '\0') + ScriptBytes(101, 96));
+  WriteSeed(root / "fuzz_serde", "adversarial_script.bin",
+            std::string(1, '\x01') + ScriptBytes(102, 96));
+
+  // fuzz_taxonomy: the taxonomy section payload of a valid snapshot
+  // (section order: meta, vocabulary, taxonomy, ...), plus a truncation.
+  {
+    fuzz::SnapshotSections sections;
+    FIGDB_CHECK(
+        fuzz::SplitSnapshotSections(fuzz::BuildSnapshotSeed(5, 20), &sections));
+    FIGDB_CHECK(sections.payloads.size() == 6);
+    const std::string& taxonomy = sections.payloads[2];
+    WriteSeed(root / "fuzz_taxonomy", "valid_section.bin", taxonomy);
+    WriteSeed(root / "fuzz_taxonomy", "truncated_section.bin",
+              taxonomy.substr(0, taxonomy.size() / 2));
+  }
+
+  // fuzz_failpoint_spec: grammar coverage — plain names, counters, bounded
+  // fires, unknown names, malformed counters, empties.
+  WriteSeed(root / "fuzz_failpoint_spec", "valid_two_points.txt",
+            "wal/fsync,checkpoint/rename:2:1");
+  WriteSeed(root / "fuzz_failpoint_spec", "mixed_good_bad.txt",
+            "storage/save_io:0:1,bogus/name,wal/append_io:x,serve/overload");
+  WriteSeed(root / "fuzz_failpoint_spec", "degenerate.txt", ",,::,name:,:3");
+
+  // fuzz_shell_command: every verb, clamps, and error paths.
+  WriteSeed(root / "fuzz_shell_command", "verbs.txt",
+            "help\ngen 5000\ngen 3\nload /tmp/db.figdb\nsave out.figdb\n"
+            "stats\nquery sunset beach\nsimilar 12\nshow 0\nbudget 250 64\n"
+            "budget\nattach /tmp/store\ningest sunset crowd\nremove 7\n"
+            "checkpoint\nrecover\nserve 1.5 8 2\nserve 999 99 99\nserve\n"
+            "quit\n");
+  WriteSeed(root / "fuzz_shell_command", "errors.txt",
+            "frobnicate\ngen many\nload\nremove nineteen\nsimilar -4\n"
+            "budget fast\nserve soon\n\n   \n");
+
+  // Action-script harnesses: fixed byte programs.
+  WriteSeed(root / "fuzz_store_ops", "script_a.bin", ScriptBytes(201, 48));
+  WriteSeed(root / "fuzz_store_ops", "script_b.bin", ScriptBytes(202, 48));
+  WriteSeed(root / "fuzz_query_identity", "script_a.bin",
+            ScriptBytes(301, 24));
+  WriteSeed(root / "fuzz_query_identity", "script_b.bin",
+            ScriptBytes(302, 24));
+
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include <cstdint>
+
+#include "fuzz_util.hpp"
+
+/// Fuzzes FIGDB_FAILPOINTS spec parsing (FailPoints::ActivateFromEnv in
+/// quiet mode): the activation count is bounded by the entry count,
+/// AnyActive() agrees with it, and DeactivateAll restores a clean slate.
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  figdb::fuzz::CheckFailPointSpecOneInput(data, size);
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include <cstdint>
+
+#include "fuzz_util.hpp"
+
+/// Differential query fuzz: the input bytes script (corpus, query, k,
+/// worker-count) tuples; the parallel QueryExecutor must be BIT-identical
+/// to sequential TrySearch for workers {0, 1, 2, 4}, and the Threshold
+/// Algorithm merge must agree with exhaustive merge on stage-1 engines.
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  figdb::fuzz::CheckQueryIdentityOneInput(data, size);
+  return 0;
+}

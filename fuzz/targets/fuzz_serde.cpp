@@ -1,0 +1,13 @@
+#include <cstdint>
+
+#include "fuzz_util.hpp"
+
+/// Fuzzes the serde primitives (util::BinaryWriter/BinaryReader): scripted
+/// write→read round-trips must be exact; adversarial decode sequences must
+/// fail cleanly with sticky state and no over-long reads or allocations.
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  figdb::fuzz::CheckSerdeOneInput(data, size);
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include <cstdint>
+
+#include "fuzz_util.hpp"
+
+/// Fuzzes the shell line parser (cli::ParseShellCommand), one command per
+/// input line: accepted commands must already carry the shell's documented
+/// clamps, rejections must carry a printable usage message.
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  figdb::fuzz::CheckShellCommandOneInput(data, size);
+  return 0;
+}

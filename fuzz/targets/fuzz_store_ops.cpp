@@ -1,0 +1,15 @@
+#include <cstdint>
+
+#include "fuzz_util.hpp"
+
+/// Differential store fuzz: the input bytes script an
+/// ingest/remove/checkpoint/crash/recover sequence against a real
+/// FigDbStore while an in-memory model shadows every acknowledged
+/// mutation; after the final recovery the store must equal the model
+/// object-for-object (the crash-atomicity invariant, end to end).
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  figdb::fuzz::CheckStoreOpsOneInput(data, size);
+  return 0;
+}

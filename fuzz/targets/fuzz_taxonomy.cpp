@@ -1,0 +1,14 @@
+#include <cstdint>
+
+#include "fuzz_util.hpp"
+
+/// Fuzzes the taxonomy section decoder (index::ReadTaxonomySection) and
+/// then runs WUP similarity queries over whatever hierarchy survives
+/// validation: WUP ∈ (0, 1], symmetric, self-similarity 1, and the lowest
+/// common subsumer never deeper than either argument.
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  figdb::fuzz::CheckTaxonomyOneInput(data, size);
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "fuzz_util.hpp"
+
+/// Fuzzes the WAL image decoder (WriteAheadLog::ReplayBytes): the
+/// torn-tail-vs-mid-log-corruption discrimination, LSN monotonicity, and
+/// valid-prefix replay stability. The custom mutator re-stamps frame CRCs
+/// after each generic mutation so mutated *payloads* reach the record
+/// parser and the replay state machine.
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  figdb::fuzz::CheckWalFileOneInput(data, size);
+  return 0;
+}
+
+#ifdef FIGDB_FUZZ_BUILD
+extern "C" std::size_t LLVMFuzzerMutate(std::uint8_t* data, std::size_t size,
+                                        std::size_t max_size);
+
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned int seed) {
+  (void)seed;
+  const std::size_t new_size = LLVMFuzzerMutate(data, size, max_size);
+  std::string bytes(reinterpret_cast<const char*>(data), new_size);
+  figdb::fuzz::FixupWalCrcs(&bytes);
+  std::copy(bytes.begin(), bytes.end(), reinterpret_cast<char*>(data));
+  return new_size;
+}
+#endif  // FIGDB_FUZZ_BUILD

@@ -1,0 +1,154 @@
+#include "cli/shell_command.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace figdb::cli {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+Status Usage(const std::string& usage) {
+  return Status::InvalidArgument("usage: " + usage);
+}
+
+/// Extracts one whitespace-delimited token; empty when the line ran out.
+std::string NextToken(std::istringstream* in) {
+  std::string token;
+  *in >> token;
+  return token;
+}
+
+/// The rest of the line after the verb, with leading whitespace trimmed —
+/// free text for query/ingest.
+std::string RestOfLine(std::istringstream* in) {
+  std::string rest;
+  std::getline(*in, rest);
+  const std::size_t first = rest.find_first_not_of(" \t\r");
+  return first == std::string::npos ? std::string() : rest.substr(first);
+}
+
+bool ParseU64(const std::string& token, std::uint64_t* out) {
+  if (token.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = std::uint64_t(c - '0');
+    if (v > (~std::uint64_t{0} - digit) / 10) return false;  // overflow
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  std::istringstream in(token);
+  double v = 0;
+  in >> v;
+  if (in.fail() || !in.eof()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<ShellCommand> ParseShellCommand(std::string_view line) {
+  std::istringstream in{std::string(line)};
+  ShellCommand cmd;
+  const std::string verb = NextToken(&in);
+  if (verb.empty()) return cmd;  // blank line: kNone
+
+  if (verb == "quit" || verb == "exit") {
+    cmd.verb = ShellVerb::kQuit;
+  } else if (verb == "help") {
+    cmd.verb = ShellVerb::kHelp;
+  } else if (verb == "stats") {
+    cmd.verb = ShellVerb::kStats;
+  } else if (verb == "checkpoint") {
+    cmd.verb = ShellVerb::kCheckpoint;
+  } else if (verb == "recover") {
+    cmd.verb = ShellVerb::kRecover;
+  } else if (verb == "gen") {
+    cmd.verb = ShellVerb::kGen;
+    const std::string token = NextToken(&in);
+    if (!token.empty()) {
+      std::uint64_t n = 0;
+      if (!ParseU64(token, &n)) return Usage("gen <n>");
+      cmd.count = std::size_t(n);
+    }
+    cmd.count = std::max(cmd.count, kMinGenObjects);
+  } else if (verb == "load" || verb == "save" || verb == "attach") {
+    cmd.verb = verb == "load"   ? ShellVerb::kLoad
+               : verb == "save" ? ShellVerb::kSave
+                                : ShellVerb::kAttach;
+    cmd.text = NextToken(&in);
+    if (cmd.text.empty()) return Usage(verb + " <path>");
+  } else if (verb == "query" || verb == "ingest") {
+    cmd.verb = verb == "query" ? ShellVerb::kQuery : ShellVerb::kIngest;
+    cmd.text = RestOfLine(&in);
+  } else if (verb == "similar" || verb == "show" || verb == "remove") {
+    cmd.verb = verb == "similar" ? ShellVerb::kSimilar
+               : verb == "show"  ? ShellVerb::kShow
+                                 : ShellVerb::kRemove;
+    std::uint64_t id = 0;
+    if (!ParseU64(NextToken(&in), &id) ||
+        id > std::uint64_t(corpus::kInvalidObject))
+      return Usage(verb + " <id>");
+    cmd.id = corpus::ObjectId(id);
+  } else if (verb == "budget") {
+    cmd.verb = ShellVerb::kBudget;
+    // Lenient by contract: "budget 0 0" and a bare "budget" both mean
+    // unlimited; only a present-but-garbage token is an error.
+    const std::string ms = NextToken(&in);
+    if (!ms.empty()) {
+      if (!ParseDouble(ms, &cmd.budget_ms) || !std::isfinite(cmd.budget_ms))
+        return Usage("budget <ms> <max_candidates>");
+      const std::string cand = NextToken(&in);
+      if (!cand.empty()) {
+        std::uint64_t c = 0;
+        if (!ParseU64(cand, &c)) return Usage("budget <ms> <max_candidates>");
+        cmd.budget_candidates = std::size_t(c);
+      }
+    }
+  } else if (verb == "serve") {
+    cmd.verb = ShellVerb::kServe;
+    // Optional positional arguments; parsing stops at the first absent one.
+    // Every accepted value is clamped to the drill's safety envelope so a
+    // hostile script cannot request an hour-long or thousand-thread drill.
+    const std::string secs = NextToken(&in);
+    if (!secs.empty()) {
+      double s = 0;
+      if (!ParseDouble(secs, &s) || !std::isfinite(s))
+        return Usage("serve [secs] [readers] [workers]");
+      cmd.serve_seconds = s;
+      const std::string readers = NextToken(&in);
+      std::uint64_t n = 0;
+      if (!readers.empty()) {
+        if (!ParseU64(readers, &n))
+          return Usage("serve [secs] [readers] [workers]");
+        cmd.serve_readers = std::size_t(n);
+        const std::string workers = NextToken(&in);
+        if (!workers.empty()) {
+          if (!ParseU64(workers, &n))
+            return Usage("serve [secs] [readers] [workers]");
+          cmd.serve_workers = std::size_t(n);
+        }
+      }
+    }
+    cmd.serve_seconds =
+        std::min(std::max(cmd.serve_seconds, kMinServeSeconds),
+                 kMaxServeSeconds);
+    cmd.serve_readers = std::min(std::max<std::size_t>(cmd.serve_readers, 1),
+                                 kMaxServeThreads);
+    cmd.serve_workers = std::min(cmd.serve_workers, kMaxServeThreads);
+  } else {
+    return Status::InvalidArgument("unknown command '" + verb +
+                                   "' — try 'help'");
+  }
+  return cmd;
+}
+
+}  // namespace figdb::cli

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "corpus/media_object.hpp"
+#include "util/status.hpp"
+
+/// \file shell_command.hpp
+/// Parsing of figdb shell command lines into typed commands.
+///
+/// The interactive shell (examples/figdb_shell.cpp) reads untrusted text —
+/// from a terminal, a piped script, or (in the fuzzing layer) from a
+/// coverage-guided fuzzer. Pulling the line → command translation out of the
+/// shell's REPL loop gives that surface a single, testable entry point:
+/// ParseShellCommand either returns a fully-validated ShellCommand whose
+/// numeric fields already carry the shell's documented clamps, or a precise
+/// kInvalidArgument whose message is exactly what the shell prints.
+///
+/// Invariants on any OK result (machine-checked by fuzz_shell_command):
+///   kGen      count >= kMinGenObjects
+///   kServe    seconds in [kMinServeSeconds, kMaxServeSeconds], finite;
+///             readers in [1, kMaxServeThreads]; workers <= kMaxServeThreads
+///   kLoad/kSave/kAttach  non-empty path
+///   kRemove/kSimilar/kShow  id parsed from a real integer token
+
+namespace figdb::cli {
+
+enum class ShellVerb {
+  kNone,  ///< blank line — the REPL just re-prompts
+  kHelp,
+  kQuit,
+  kGen,
+  kLoad,
+  kSave,
+  kStats,
+  kQuery,
+  kSimilar,
+  kShow,
+  kBudget,
+  kAttach,
+  kIngest,
+  kRemove,
+  kCheckpoint,
+  kRecover,
+  kServe,
+};
+
+inline constexpr std::size_t kMinGenObjects = 50;
+inline constexpr double kMinServeSeconds = 0.2;
+inline constexpr double kMaxServeSeconds = 60.0;
+inline constexpr std::size_t kMaxServeThreads = 16;
+
+struct ShellCommand {
+  ShellVerb verb = ShellVerb::kNone;
+
+  /// Free text for kQuery/kIngest (may be empty: "no tags matched" is a
+  /// semantic answer, not a parse error); the path for kLoad/kSave/kAttach.
+  std::string text;
+
+  /// Object id for kSimilar/kShow/kRemove.
+  corpus::ObjectId id = corpus::kInvalidObject;
+
+  /// Database size for kGen (clamped to >= kMinGenObjects).
+  std::size_t count = 2000;
+
+  /// kBudget: 0 = unlimited for either component (the documented contract).
+  double budget_ms = 0.0;
+  std::size_t budget_candidates = 0;
+
+  /// kServe drill parameters, pre-clamped to the shell's safety bounds.
+  double serve_seconds = 3.0;
+  std::size_t serve_readers = 4;
+  std::size_t serve_workers = 4;
+};
+
+/// Parses one shell line. Never throws; unknown verbs, missing required
+/// arguments and unparseable numbers come back as kInvalidArgument with a
+/// printable usage message.
+[[nodiscard]] util::StatusOr<ShellCommand> ParseShellCommand(
+    std::string_view line);
+
+}  // namespace figdb::cli

@@ -238,6 +238,10 @@ Status ReadMediaObject(BinaryReader* r, corpus::MediaObject* obj,
   return Status::Ok();
 }
 
+Status ReadTaxonomySection(BinaryReader* r, text::Taxonomy* tax) {
+  return ReadTaxonomy(r, tax);
+}
+
 std::string SerializeCorpus(const corpus::Corpus& corpus) {
   BinaryWriter w;
   w.PutVarint(kSnapshotMagic);

@@ -64,6 +64,14 @@ void WriteMediaObject(const corpus::MediaObject& object,
                                            corpus::MediaObject* object,
                                            std::uint64_t label);
 
+/// Parses the taxonomy section body (the bytes inside the "taxonomy"
+/// length+CRC frame) into \p tax, validating structure: children must
+/// follow their parents and every node index must be in range. Exposed so
+/// fuzz_taxonomy can drive the exact decoder DeserializeCorpus uses and
+/// then run WUP similarity queries over whatever survives validation.
+[[nodiscard]] util::Status ReadTaxonomySection(util::BinaryReader* r,
+                                               text::Taxonomy* tax);
+
 /// Parses a snapshot produced by SerializeCorpus.
 ///   kInvalidArgument  not a figdb snapshot / unsupported version
 ///   kDataLoss         truncation, CRC mismatch, or structural corruption

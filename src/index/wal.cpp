@@ -220,14 +220,18 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
   const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
   if (read_error) return IoError("read error on WAL", path);
+  return ReplayBytes(bytes, "'" + path + "'");
+}
 
+StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::ReplayBytes(
+    std::string_view bytes, const std::string& label) {
   if (bytes.size() < kHeaderBytes)
-    return Status::DataLoss("WAL '" + path + "': truncated header");
-  BinaryReader header(std::string_view(bytes).substr(0, kHeaderBytes));
+    return Status::DataLoss("WAL " + label + ": truncated header");
+  BinaryReader header(bytes.substr(0, kHeaderBytes));
   const std::uint32_t magic = header.GetFixed32();
   const std::uint32_t version = header.GetFixed32();
   if (magic != kWalMagic)
-    return Status::InvalidArgument("'" + path + "' is not a figdb WAL");
+    return Status::InvalidArgument(label + " is not a figdb WAL");
   if (version != kWalVersion)
     return Status::InvalidArgument(
         "unsupported WAL version " + std::to_string(version) + " (expected " +
@@ -243,7 +247,7 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
       result.torn_tail = true;  // incomplete frame header
       break;
     }
-    BinaryReader frame(std::string_view(bytes).substr(offset, kFrameBytes));
+    BinaryReader frame(bytes.substr(offset, kFrameBytes));
     const std::uint32_t size = frame.GetFixed32();
     const std::uint32_t stored_crc = frame.GetFixed32();
     if (std::uint64_t(size) > remaining - kFrameBytes) {
@@ -253,8 +257,7 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
       result.torn_tail = true;
       break;
     }
-    const std::string_view payload =
-        std::string_view(bytes).substr(offset + kFrameBytes, size);
+    const std::string_view payload = bytes.substr(offset + kFrameBytes, size);
     if (util::Crc32(payload) != stored_crc) {
       const bool is_final_record =
           offset + kFrameBytes + size == bytes.size();
@@ -264,7 +267,7 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
         break;
       }
       return Status::DataLoss(
-          "WAL '" + path + "': CRC mismatch at offset " +
+          "WAL " + label + ": CRC mismatch at offset " +
           std::to_string(offset) +
           " with further records after it (mid-log corruption, not a torn "
           "tail)");
@@ -274,7 +277,7 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
     if (!parsed.ok()) return parsed;
     if (record.lsn <= last_lsn && !result.records.empty())
       return Status::DataLoss(
-          "WAL '" + path + "': LSN " + std::to_string(record.lsn) +
+          "WAL " + label + ": LSN " + std::to_string(record.lsn) +
           " does not increase over " + std::to_string(last_lsn));
     last_lsn = record.lsn;
     result.records.push_back(std::move(record));

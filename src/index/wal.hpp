@@ -106,6 +106,15 @@ class WriteAheadLog {
   ///                     CRC-valid record, or non-increasing LSNs
   static util::StatusOr<ReplayResult> Replay(const std::string& path);
 
+  /// The parsing core of Replay over an in-memory image of the log file —
+  /// the single untrusted-bytes entry point that the file path, the in-tree
+  /// WAL fuzz loop, and the fuzz_wal libFuzzer target all share. \p label
+  /// (e.g. "'/path/to/wal'") prefixes error messages so file-based callers
+  /// keep their path diagnostics. Same status taxonomy as Replay minus
+  /// kNotFound.
+  static util::StatusOr<ReplayResult> ReplayBytes(std::string_view bytes,
+                                                  const std::string& label);
+
   /// Truncates \p path to \p bytes (drops a torn tail found by Replay).
   static util::Status TruncateTail(const std::string& path,
                                    std::uint64_t bytes);

@@ -79,7 +79,7 @@ bool FailPoints::Fire(std::string_view name) {
   return true;
 }
 
-std::size_t FailPoints::ActivateFromEnv(const char* spec) {
+std::size_t FailPoints::ActivateFromEnv(const char* spec, bool quiet) {
   if (spec == nullptr) spec = std::getenv("FIGDB_FAILPOINTS");
   if (spec == nullptr || *spec == '\0') return 0;
   std::size_t activated = 0;
@@ -112,10 +112,11 @@ std::size_t FailPoints::ActivateFromEnv(const char* spec) {
       ok = parse_end != nullptr && *parse_end == '\0' && !parts[2].empty();
     }
     if (!ok) {
-      std::fprintf(stderr,
-                   "FIGDB_FAILPOINTS: skipping malformed entry '%s' "
-                   "(want name[:skip_hits[:max_fires]])\n",
-                   entry.c_str());
+      if (!quiet)
+        std::fprintf(stderr,
+                     "FIGDB_FAILPOINTS: skipping malformed entry '%s' "
+                     "(want name[:skip_hits[:max_fires]])\n",
+                     entry.c_str());
       continue;
     }
     // A typo'd site name would activate a point nothing ever fires — the
@@ -123,10 +124,11 @@ std::size_t FailPoints::ActivateFromEnv(const char* spec) {
     // accepts names from the canonical site list (failpoint_sites.hpp);
     // programmatic Activate() stays unvalidated for test scratch names.
     if (!IsKnownFailPointSite(parts[0])) {
-      std::fprintf(stderr,
-                   "FIGDB_FAILPOINTS: skipping unknown site '%s' "
-                   "(not in util/failpoint_sites.hpp)\n",
-                   parts[0].c_str());
+      if (!quiet)
+        std::fprintf(stderr,
+                     "FIGDB_FAILPOINTS: skipping unknown site '%s' "
+                     "(not in util/failpoint_sites.hpp)\n",
+                     parts[0].c_str());
       continue;
     }
     Activate(parts[0], fp);

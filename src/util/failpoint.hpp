@@ -62,7 +62,11 @@ class FailPoints {
   /// activated; malformed entries AND names not in the canonical site list
   /// (util/failpoint_sites.hpp) are skipped with a warning on stderr, so a
   /// typo'd drill fails loudly instead of silently injecting nothing.
-  static std::size_t ActivateFromEnv(const char* spec = nullptr);
+  /// \p quiet suppresses those warnings — for harnesses (fuzz_failpoint_spec)
+  /// that feed adversarial specs by the thousand and only care about the
+  /// return value.
+  static std::size_t ActivateFromEnv(const char* spec = nullptr,
+                                     bool quiet = false);
 
  private:
   static std::atomic<std::uint64_t> active_count_;

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz_util.hpp"
+#include "index/storage.hpp"
+#include "index/wal.hpp"
+#include "util/crc32.hpp"
+#include "util/serde.hpp"
+#include "util/status.hpp"
+
+/// \file fuzz_edge_test.cpp
+/// Named regression tests for the decode edge cases the fuzzing layer
+/// hunts: zero-length sections, maximum-length varint size claims, and
+/// CRC-valid-but-semantically-invalid payloads (duplicate vocabulary terms,
+/// dangling taxonomy parents, zero-frequency features, dangling group
+/// memberships). Every crafted input also runs through the shared fuzz
+/// harness entry point, so a contract regression aborts here exactly as it
+/// would under the fuzzer.
+
+namespace figdb::index {
+namespace {
+
+using util::BinaryWriter;
+using util::StatusCode;
+
+void ExpectMessageContains(const util::Status& status, const char* needle) {
+  EXPECT_NE(status.message().find(needle), std::string::npos)
+      << "message was: " << status.message();
+}
+
+// ------------------------------------------------------- snapshot edges
+
+class SnapshotEdgeTest : public ::testing::Test {
+ protected:
+  // Section order: meta, vocabulary, taxonomy, visual vocabulary,
+  // user graph, objects.
+  static constexpr std::size_t kMeta = 0, kVocabulary = 1, kTaxonomy = 2;
+  static constexpr std::size_t kUserGraph = 4, kObjects = 5;
+
+  void SetUp() override {
+    bytes_ = fuzz::BuildSnapshotSeed(5, 20);
+    ASSERT_TRUE(fuzz::SplitSnapshotSections(bytes_, &sections_));
+    ASSERT_EQ(sections_.payloads.size(), 6u);
+    ASSERT_TRUE(DeserializeCorpus(bytes_).ok());
+  }
+
+  /// Rebuilds the snapshot with one section payload replaced; the framing
+  /// (length + CRC) is regenerated correctly, so the corruption is purely
+  /// semantic and must be caught by the section PARSER, not the checksum.
+  std::string WithSection(std::size_t index, std::string payload) const {
+    fuzz::SnapshotSections spliced = sections_;
+    spliced.payloads[index] = std::move(payload);
+    return fuzz::BuildSnapshot(spliced);
+  }
+
+  /// Deserializes and routes the same bytes through the fuzz harness (which
+  /// FIGDB_CHECKs the full decode contract) — both views must agree.
+  util::StatusOr<corpus::Corpus> Load(const std::string& bytes) const {
+    const auto outcome = fuzz::CheckSnapshotOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    auto parsed = DeserializeCorpus(bytes);
+    EXPECT_EQ(outcome.accepted, parsed.ok());
+    return parsed;
+  }
+
+  std::string bytes_;
+  fuzz::SnapshotSections sections_;
+};
+
+TEST_F(SnapshotEdgeTest, ZeroLengthVocabularySectionIsDataLoss) {
+  const auto loaded = Load(WithSection(kVocabulary, ""));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "vocabulary");
+}
+
+TEST_F(SnapshotEdgeTest, ZeroLengthMetaSectionIsDataLoss) {
+  const auto loaded = Load(WithSection(kMeta, ""));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "meta");
+}
+
+TEST_F(SnapshotEdgeTest, MaximumLengthVarintSizeClaimIsTruncation) {
+  // A 10-byte varint claiming a 2^63-byte meta section: the length check
+  // must reject it before any allocation happens.
+  BinaryWriter w;
+  w.PutRaw(sections_.magic_and_version);
+  w.PutVarint(std::uint64_t{1} << 63);
+  const auto loaded = Load(w.Take());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "truncated");
+}
+
+TEST_F(SnapshotEdgeTest, OverlongVarintMagicIsInvalidArgument) {
+  // Eleven continuation bytes: past the 10-byte LEB128 limit, the reader
+  // must fail the varint rather than keep shifting.
+  const auto loaded = Load(std::string(11, '\x80'));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotEdgeTest, DuplicateVocabularyTermIsRejectedDespiteValidCrc) {
+  BinaryWriter payload;
+  payload.PutVarint(2);
+  payload.PutString("sunset");
+  payload.PutVarint(5);
+  payload.PutString("sunset");  // same term again: ids can't be sequential
+  payload.PutVarint(3);
+  const auto loaded = Load(WithSection(kVocabulary, payload.Take()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "duplicate term");
+}
+
+TEST_F(SnapshotEdgeTest, DanglingTaxonomyParentIsRejectedDespiteValidCrc) {
+  BinaryWriter payload;
+  payload.PutVarint(2);   // two nodes
+  payload.PutVarint(0);   // root (parent = self)
+  payload.PutString("entity");
+  payload.PutVarint(5);   // child's parent id 5 does not precede it
+  payload.PutString("orphan");
+  payload.PutVarint(0);   // no term attachments
+  const auto loaded = Load(WithSection(kTaxonomy, payload.Take()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "dangling parent");
+}
+
+TEST_F(SnapshotEdgeTest, TermAttachedToDanglingNodeIsRejected) {
+  BinaryWriter payload;
+  payload.PutVarint(1);  // just the root
+  payload.PutVarint(0);
+  payload.PutString("entity");
+  payload.PutVarint(1);  // one term attachment...
+  payload.PutVarint(3);  // term 3
+  payload.PutVarint(7);  // ...to node 7, which does not exist
+  const auto loaded = Load(WithSection(kTaxonomy, payload.Take()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "dangling node");
+}
+
+TEST_F(SnapshotEdgeTest, ZeroFrequencyFeatureIsRejectedDespiteValidCrc) {
+  BinaryWriter payload;
+  payload.PutVarint(1);  // one object
+  payload.PutVarint(0);  // month
+  payload.PutVarint(0);  // topic
+  payload.PutVarint(1);  // one feature...
+  payload.PutVarint(9);  // feature delta
+  payload.PutVarint(0);  // ...with frequency zero
+  const auto loaded = Load(WithSection(kObjects, payload.Take()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "zero-frequency");
+}
+
+TEST_F(SnapshotEdgeTest, DanglingGroupMembershipIsRejected) {
+  BinaryWriter payload;
+  payload.PutVarint(1);  // one user
+  payload.PutVarint(1);  // one group
+  payload.PutVarint(1);  // the user's membership list: one entry...
+  payload.PutVarint(3);  // ...group 3, out of range
+  const auto loaded = Load(WithSection(kUserGraph, payload.Take()));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "dangling group");
+}
+
+TEST_F(SnapshotEdgeTest, TrailingBytesInsideSectionAreDataLoss) {
+  const auto loaded =
+      Load(WithSection(kVocabulary, sections_.payloads[kVocabulary] + '\0'));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "trailing bytes in section");
+}
+
+TEST_F(SnapshotEdgeTest, TrailingBytesAfterLastSectionAreDataLoss) {
+  const auto loaded = Load(bytes_ + "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  ExpectMessageContains(loaded.status(), "trailing bytes after");
+}
+
+TEST_F(SnapshotEdgeTest, SectionSurgeryRoundTripsUnchanged) {
+  // Split + rebuild with no edits must be byte-identical — the guarantee
+  // the splice-based tests above and the structure-aware seeds rely on.
+  EXPECT_EQ(fuzz::BuildSnapshot(sections_), bytes_);
+}
+
+// ------------------------------------------------------------ WAL edges
+
+class WalEdgeTest : public ::testing::Test {
+ protected:
+  /// Frames \p payloads as WAL records with correct CRCs after a valid
+  /// header — semantic corruption only, same idea as WithSection above.
+  static std::string MakeWal(const std::vector<std::string>& payloads) {
+    BinaryWriter w;
+    w.PutFixed32(kWalMagic);
+    w.PutFixed32(kWalVersion);
+    for (const std::string& p : payloads) {
+      w.PutFixed32(std::uint32_t(p.size()));
+      w.PutFixed32(util::Crc32(p));
+      w.PutRaw(p);
+    }
+    return w.Take();
+  }
+
+  static std::string RecordPayload(std::uint64_t lsn, std::uint8_t type,
+                                   std::uint64_t id) {
+    BinaryWriter p;
+    p.PutVarint(lsn);
+    p.PutU8(type);
+    p.PutVarint(id);
+    return p.Take();
+  }
+
+  /// Routes the bytes through the fuzz harness (FIGDB_CHECKs the full
+  /// replay contract) and returns the replay result for local asserts.
+  static util::StatusOr<WriteAheadLog::ReplayResult> Replay(
+      const std::string& bytes) {
+    const auto outcome = fuzz::CheckWalFileOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    auto replayed = WriteAheadLog::ReplayBytes(bytes, "'edge'");
+    EXPECT_EQ(outcome.accepted, replayed.ok());
+    return replayed;
+  }
+};
+
+TEST_F(WalEdgeTest, HeaderOnlyLogReplaysEmpty) {
+  const auto replayed = Replay(MakeWal({}));
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(replayed->records.empty());
+  EXPECT_FALSE(replayed->torn_tail);
+  EXPECT_EQ(replayed->valid_bytes, 8u);
+}
+
+TEST_F(WalEdgeTest, PartialFrameAfterHeaderIsTornTail) {
+  const auto replayed = Replay(MakeWal({}) + "\x03\x00");
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(replayed->records.empty());
+  EXPECT_TRUE(replayed->torn_tail);
+  EXPECT_EQ(replayed->valid_bytes, 8u);
+}
+
+TEST_F(WalEdgeTest, CrcDamageOnFinalRecordIsTornTail) {
+  std::string bytes = fuzz::BuildWalSeed(3, 2);
+  bytes.back() = char(bytes.back() ^ 0x40);  // damage the LAST record
+  const auto replayed = Replay(bytes);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(replayed->torn_tail);
+  EXPECT_EQ(replayed->records.size(), 1u);
+}
+
+TEST_F(WalEdgeTest, CrcDamageMidLogIsDataLoss) {
+  std::string bytes = fuzz::BuildWalSeed(3, 3);
+  bytes[16] = char(bytes[16] ^ 0x40);  // first payload byte of record 1
+  const auto replayed = Replay(bytes);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalEdgeTest, NonIncreasingLsnIsDataLossDespiteValidCrcs) {
+  const auto replayed = Replay(MakeWal({RecordPayload(5, 2, 0),
+                                        RecordPayload(5, 2, 1)}));
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalEdgeTest, ZeroFrequencyFeatureInAddRecordIsDataLoss) {
+  BinaryWriter p;
+  p.PutVarint(1);  // lsn
+  p.PutU8(1);      // kAddObject
+  p.PutVarint(0);  // object id
+  p.PutVarint(0);  // month
+  p.PutVarint(0);  // topic
+  p.PutVarint(1);  // one feature...
+  p.PutVarint(4);  // delta
+  p.PutVarint(0);  // ...frequency zero
+  const auto replayed = Replay(MakeWal({p.Take()}));
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalEdgeTest, MaximumLengthVarintFeatureCountIsRejected) {
+  BinaryWriter p;
+  p.PutVarint(1);                       // lsn
+  p.PutU8(1);                           // kAddObject
+  p.PutVarint(0);                       // object id
+  p.PutVarint(0);                       // month
+  p.PutVarint(0);                       // topic
+  p.PutVarint(std::uint64_t{1} << 63);  // 2^63 features claimed
+  const auto replayed = Replay(MakeWal({p.Take()}));
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalEdgeTest, ForeignMagicIsInvalidArgument) {
+  BinaryWriter w;
+  w.PutFixed32(0xdeadbeef);
+  w.PutFixed32(kWalVersion);
+  const auto replayed = Replay(w.Take());
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace figdb::index

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "corpus/media_object.hpp"
+#include "fuzz_util.hpp"
 #include "index/wal.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
@@ -720,93 +721,19 @@ TEST(TopKTest, AllTiedKeepsSmallestIdsInIdOrder) {
 // ------------------------------------------------------------ WAL fuzz
 
 TEST(WalFuzzTest, RoundTrips200RandomMutationSequences) {
-  namespace fs = std::filesystem;
-  using index::WalRecord;
-  using index::WriteAheadLog;
+  // The whole write->replay->chop->truncate->replay differential lives in
+  // the shared fuzz harness (fuzz/fuzz_util.hpp): the same
+  // CheckWalRoundTripOneInput the fuzz_wal regression corpus replays and a
+  // coverage-guided fuzzer explores. This loop drives it with 200
+  // deterministic pseudo-random action scripts; any contract violation
+  // (lost record, wrong torn-tail verdict, unstable prefix) aborts inside
+  // the harness via FIGDB_CHECK.
   Rng rng(20260807);
-  const std::string path =
-      (fs::temp_directory_path() / "figdb_wal_fuzz.bin").string();
-
   for (int seq = 0; seq < 200; ++seq) {
-    fs::remove(path);
-    std::vector<WalRecord> written;
-    {
-      auto wal = WriteAheadLog::Open(path);
-      ASSERT_TRUE(wal.ok()) << wal.status().ToString();
-      const std::size_t count = 1 + rng.UniformInt(12);
-      // Arbitrary starting LSN with gaps: replay only requires a strictly
-      // increasing sequence, not a dense one.
-      std::uint64_t lsn = 1 + rng.UniformInt(1000);
-      for (std::size_t i = 0; i < count; ++i) {
-        WalRecord r;
-        r.lsn = lsn;
-        lsn += 1 + rng.UniformInt(3);
-        r.object_id = corpus::ObjectId(rng.UniformInt(500));
-        if (rng.UniformInt(4) == 0) {
-          r.type = WalRecord::Type::kRemoveObject;
-        } else {
-          r.type = WalRecord::Type::kAddObject;
-          r.object.month = std::uint16_t(rng.UniformInt(120));
-          r.object.topic = std::uint32_t(rng.UniformInt(64));
-          const std::size_t feats = 1 + rng.UniformInt(8);
-          std::uint32_t id = 0;
-          for (std::size_t f = 0; f < feats; ++f) {
-            id += 1 + std::uint32_t(rng.UniformInt(50));
-            r.object.features.push_back(
-                {corpus::MakeFeatureKey(corpus::FeatureType::kText, id),
-                 1 + std::uint32_t(rng.UniformInt(5))});
-          }
-        }
-        ASSERT_TRUE(wal->Append(r).ok()) << "seq " << seq << " record " << i;
-        written.push_back(std::move(r));
-      }
-    }
-
-    // Full round trip: every record comes back field-for-field.
-    const auto replay = WriteAheadLog::Replay(path);
-    ASSERT_TRUE(replay.ok()) << "seq " << seq << ": "
-                             << replay.status().ToString();
-    EXPECT_FALSE(replay->torn_tail);
-    EXPECT_EQ(replay->valid_bytes, fs::file_size(path));
-    ASSERT_EQ(replay->records.size(), written.size()) << "seq " << seq;
-    for (std::size_t i = 0; i < written.size(); ++i) {
-      const WalRecord& want = written[i];
-      const WalRecord& got = replay->records[i];
-      EXPECT_EQ(got.lsn, want.lsn);
-      EXPECT_EQ(got.type, want.type);
-      EXPECT_EQ(got.object_id, want.object_id);
-      if (want.type == WalRecord::Type::kAddObject) {
-        EXPECT_EQ(got.object.month, want.object.month);
-        EXPECT_EQ(got.object.topic, want.object.topic);
-        ASSERT_EQ(got.object.features.size(), want.object.features.size());
-        for (std::size_t f = 0; f < want.object.features.size(); ++f) {
-          EXPECT_EQ(got.object.features[f].feature,
-                    want.object.features[f].feature);
-          EXPECT_EQ(got.object.features[f].frequency,
-                    want.object.features[f].frequency);
-        }
-      }
-    }
-
-    // Chop the file at a random point past the header: replay must still
-    // succeed with a whole-record prefix — a cut mid-record is a torn tail,
-    // a cut on a record boundary is a clean shorter log, and nothing in
-    // between is ever invented.
-    const std::uint64_t size = fs::file_size(path);
-    const std::uint64_t cut = 8 + rng.UniformInt(size - 8);
-    ASSERT_TRUE(WriteAheadLog::TruncateTail(path, cut).ok());
-    const auto chopped = WriteAheadLog::Replay(path);
-    ASSERT_TRUE(chopped.ok()) << "seq " << seq << " cut " << cut << ": "
-                              << chopped.status().ToString();
-    ASSERT_LE(chopped->records.size(), written.size());
-    EXPECT_LE(chopped->valid_bytes, cut);
-    EXPECT_EQ(chopped->torn_tail, chopped->valid_bytes != cut);
-    for (std::size_t i = 0; i < chopped->records.size(); ++i) {
-      EXPECT_EQ(chopped->records[i].lsn, written[i].lsn);
-      EXPECT_EQ(chopped->records[i].type, written[i].type);
-    }
+    std::vector<std::uint8_t> script(64);
+    for (auto& b : script) b = std::uint8_t(rng.UniformInt(256));
+    fuzz::CheckWalRoundTripOneInput(script.data(), script.size());
   }
-  fs::remove(path);
 }
 
 }  // namespace

@@ -27,6 +27,14 @@ diagnostics and a non-zero exit on any finding:
                          EXACTLY equal as sets, so FIGDB_FAILPOINTS env
                          validation and the fault drills never disagree
                          with reality.
+  raw-randomness         No rand(), std::random_device, or unseeded
+                         std::mt19937 outside util/rng and fuzz/: every
+                         random sequence in figdb flows from util::Rng so
+                         a failing seed reproduces exactly.
+  fuzz-entrypoint        Every LLVMFuzzerTestOneInput definition routes
+                         through a shared fuzz::Check*OneInput harness in
+                         fuzz_util — a target with private decode logic
+                         would drift from the in-tree regression tests.
 
 Waivers: a justified exception carries, on the same line or the line
 above:   // figdb-lint: allow(<rule-id>): <reason>
@@ -60,6 +68,8 @@ RULES = (
     "snapshot-immutability",
     "atomic-file-io",
     "failpoint-registry",
+    "raw-randomness",
+    "fuzz-entrypoint",
 )
 
 WAIVER_RE = re.compile(r"figdb-lint:\s*allow\(([A-Za-z0-9_-]+)\)(:?\s*\S?)")
@@ -188,7 +198,7 @@ def load_universe(build_dir: str, root: str) -> list[SourceFile]:
         )
     # Headers never appear in a compilation database; benches/examples do.
     # Walk the interesting roots for anything the database missed.
-    for sub in ("src", "examples", "bench", "tests", "tools"):
+    for sub in ("src", "examples", "bench", "tests", "tools", "fuzz"):
         base = os.path.join(root, sub)
         for dirpath, _, names in os.walk(base):
             for name in names:
@@ -466,6 +476,86 @@ def rule_failpoint_registry(files: list[SourceFile], root: str) -> list[Finding]
     return found
 
 
+# `\brand\s*\(` keeps identifiers like operand()/strand() safe (no word
+# boundary before their 'r'); srand( is caught deliberately — a global
+# reseed is exactly the reproducibility leak the rule exists to stop.
+RAW_RAND_CALL_RE = re.compile(r"\bs?rand\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\bstd::random_device\b")
+UNSEEDED_MT_RE = re.compile(r"\bstd::mt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\})")
+
+
+def rule_raw_randomness(files: list[SourceFile], root: str) -> list[Finding]:
+    """Randomness outside util::Rng breaks replayability: a fuzz harness
+    or randomized test that mixes in rand()/random_device state cannot be
+    re-run from its printed seed. util/rng owns entropy; fuzz/ is exempt
+    because libFuzzer owns the byte stream there."""
+    found = []
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if rel.startswith("src/util/rng") or in_dir(rel, "fuzz"):
+            continue
+        msg = (
+            "raw randomness outside util/rng — draw from util::Rng so the "
+            "sequence replays from a single seed"
+        )
+        found += grep(sf, RAW_RAND_CALL_RE, "raw-randomness", msg)
+        found += grep(sf, RANDOM_DEVICE_RE, "raw-randomness", msg)
+        found += grep(
+            sf,
+            UNSEEDED_MT_RE,
+            "raw-randomness",
+            "default-constructed std::mt19937 has an implementation-defined "
+            "seed — construct util::Rng with an explicit seed instead",
+        )
+    return found
+
+
+FUZZ_ENTRY_RE = re.compile(r"\bLLVMFuzzerTestOneInput\s*\(")
+FUZZ_HARNESS_CALL_RE = re.compile(r"\bfuzz::Check\w+OneInput\s*\(")
+
+
+def rule_fuzz_entrypoint(files: list[SourceFile], root: str) -> list[Finding]:
+    """Every libFuzzer entry point must be a thin wrapper over a shared
+    fuzz::Check*OneInput harness. Only definitions-with-body count: the
+    replay driver's `extern "C" ... ;` declaration is fine."""
+    found = []
+    for sf in files:
+        if not rel_of(sf.path, root).endswith((".cpp", ".cc")):
+            continue
+        lines = sf.code.splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            m = FUZZ_ENTRY_RE.search(line)
+            if not m:
+                continue
+            # Walk forward from the match until the declarator resolves:
+            # `;` → declaration (ignore), `{` → definition (check body).
+            tail = line[m.end() :] + "\n" + "\n".join(lines[lineno:])
+            is_definition = False
+            for ch in tail:
+                if ch == ";":
+                    break
+                if ch == "{":
+                    is_definition = True
+                    break
+            if not is_definition:
+                continue
+            if not FUZZ_HARNESS_CALL_RE.search(tail) and not sf.waived(
+                lineno, "fuzz-entrypoint"
+            ):
+                found.append(
+                    Finding(
+                        sf.path,
+                        lineno,
+                        "fuzz-entrypoint",
+                        "LLVMFuzzerTestOneInput does not route through a "
+                        "shared fuzz::Check*OneInput harness — private "
+                        "decode logic drifts from the regression replay "
+                        "tests (see fuzz/fuzz_util.hpp)",
+                    )
+                )
+    return found
+
+
 def rule_bad_waivers(files: list[SourceFile], root: str) -> list[Finding]:
     found = []
     for sf in files:
@@ -500,6 +590,8 @@ ALL_RULES = (
     rule_snapshot_immutability,
     rule_atomic_file_io,
     rule_failpoint_registry,
+    rule_raw_randomness,
+    rule_fuzz_entrypoint,
     rule_bad_waivers,
 )
 
@@ -534,6 +626,12 @@ void Seeded() {
 void Discards() {
   SaveCorpus(nullptr, "x");                   // discarded-status
 }
+void Entropy() {
+  int dice = rand() % 6;                      // raw-randomness
+  (void)dice;
+  std::random_device rd;                      // raw-randomness
+  std::mt19937 unseeded;                      // raw-randomness
+}
 }  // namespace figdb
 """,
     "src/index/seeded.hpp": """\
@@ -557,6 +655,27 @@ inline constexpr const char* kFailPointSites[] = {
     "seeded/never_used",
 };
 """,
+    # Rolls its own decode loop instead of a fuzz::Check* harness.
+    "fuzz/targets/fuzz_rogue.cpp": """\
+extern "C" int LLVMFuzzerTestOneInput(const unsigned char* data,
+                                      unsigned long size) {  // fuzz-entrypoint
+  return data && size ? 0 : 0;
+}
+""",
+    # Negative controls: a conforming target and a declaration-only
+    # driver must both stay clean, or the rule is shooting bystanders.
+    "fuzz/targets/fuzz_conforming.cpp": """\
+extern "C" int LLVMFuzzerTestOneInput(const unsigned char* data,
+                                      unsigned long size) {
+  fuzz::CheckSnapshotOneInput(data, size);
+  return 0;
+}
+""",
+    "fuzz/driver_decl_only.cpp": """\
+extern "C" int LLVMFuzzerTestOneInput(const unsigned char* data,
+                                      unsigned long size);
+int Replay() { return 0; }
+""",
 }
 
 EXPECT_SEEDED = {
@@ -568,6 +687,14 @@ EXPECT_SEEDED = {
     ("src/serve/snapshot.hpp", "snapshot-immutability"),
     ("src/serve/evil.cpp", "snapshot-immutability"),
     ("src/util/failpoint_sites.hpp", "failpoint-registry"),  # dead entry
+    ("src/index/seeded.cpp", "raw-randomness"),
+    ("fuzz/targets/fuzz_rogue.cpp", "fuzz-entrypoint"),
+}
+
+# Seeds that must NOT produce the paired finding — false-positive guards.
+EXPECT_CLEAN = {
+    ("fuzz/targets/fuzz_conforming.cpp", "fuzz-entrypoint"),
+    ("fuzz/driver_decl_only.cpp", "fuzz-entrypoint"),
 }
 
 
@@ -586,10 +713,13 @@ def self_test() -> int:
         findings = run_all(files, tmp)
         got = {(rel_of(f.path, tmp), f.rule) for f in findings}
         missing = EXPECT_SEEDED - got
-        if missing:
-            print("figdb-lint: SELF-TEST FAILED — seeded violations not detected:")
+        false_positives = EXPECT_CLEAN & got
+        if missing or false_positives:
+            print("figdb-lint: SELF-TEST FAILED")
             for rel, rule in sorted(missing):
-                print(f"  {rel}: expected a [{rule}] finding")
+                print(f"  {rel}: expected a [{rule}] finding, got none")
+            for rel, rule in sorted(false_positives):
+                print(f"  {rel}: unexpected [{rule}] finding on a clean seed")
             return 1
         print(
             f"figdb-lint: self-test ok ({len(findings)} seeded findings, "
