@@ -33,6 +33,8 @@ Args Args::Parse(int argc, char** argv) {
       args.queries = std::size_t(value("--queries="));
     } else if (a.rfind("--seed=", 0) == 0) {
       args.seed = std::uint64_t(value("--seed="));
+    } else if (a.rfind("--shards=", 0) == 0) {
+      args.shards = std::size_t(value("--shards="));
     } else if (a == "--train-lambda") {
       args.train_lambda = true;
     } else if (a == "--paper-scale") {
@@ -43,7 +45,7 @@ Args Args::Parse(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--objects=N] [--topics=N] [--users=N] "
-                   "[--queries=N] [--seed=N] [--train-lambda] "
+                   "[--queries=N] [--seed=N] [--shards=N] [--train-lambda] "
                    "[--paper-scale] [--csv]\n",
                    argv[0]);
       std::exit(2);

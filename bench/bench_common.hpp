@@ -32,6 +32,10 @@ struct Args {
   std::size_t queries = 20;  // as in the paper (§5.1.4)
   std::size_t train_queries = 8;
   std::uint64_t seed = 20100611;
+  /// Shard sweep ceiling for the scatter-gather benches: fig8 appends a
+  /// shard-count sweep (powers of two up to this) when non-zero, and
+  /// shard_scaleout replaces its default {1,2,4,8} sweep with it.
+  std::size_t shards = 0;
   bool train_lambda = false;
   bool paper_scale = false;
   bool csv = false;

@@ -6,10 +6,13 @@
 // larger corpus holds more well-matched objects), FIG on top throughout.
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "eval/report.hpp"
+#include "sharded_retriever.hpp"
 
 int main(int argc, char** argv) {
   using namespace figdb;
@@ -58,5 +61,55 @@ int main(int argc, char** argv) {
     table.AddRow(names[m], rows[m]);
   table.Print();
   if (args.csv) table.PrintCsv(std::cout);
+
+  if (args.shards != 0) {
+    // Shard-count sweep over the FULL corpus: scatter-gather answers are
+    // bit-identical to the unsharded engine (asserted by the shard test
+    // suite), so the precision column must be flat — this sweep is the
+    // latency trajectory as the same workload fans out. Untrained default
+    // λ on purpose: SetLambda mutates a live engine, and the sharded
+    // snapshots pin their own. Core count matters (ROADMAP's single-core
+    // caveat), so it is printed with the table.
+    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+    eval::Table sharded_table(
+        "Figure 8b: FIG Precision@10 / ms-per-query vs shard count (" +
+            std::to_string(cores) + " cores)",
+        {"P@10", "ms/query", "shards answered"});
+    const auto queries = bench::EvalQueries(full, args);
+    const eval::TopicOracle oracle(&full);
+    eval::RetrievalEvalOptions eo;
+    eo.cutoffs = {10};
+    for (std::size_t n = 1; n <= args.shards; n *= 2) {
+      const std::string dir =
+          (std::filesystem::temp_directory_path() /
+           ("figdb_fig8_shards_" + std::to_string(n)))
+              .string();
+      std::filesystem::remove_all(dir);
+      shard::ShardedStore::Options sopts;
+      sopts.num_shards = std::uint32_t(n);
+      auto store = shard::ShardedStore::Create(dir, full, sopts);
+      if (!store.ok()) {
+        std::fprintf(stderr, "[fig8] shard create failed: %s\n",
+                     store.status().ToString().c_str());
+        return 1;
+      }
+      {
+        const bench::ShardedFigRetriever sharded(
+            &*store,
+            shard::RouterOptions{.workers = std::min<std::size_t>(n, cores)});
+        const auto r =
+            eval::EvaluateRetrieval(sharded, full, queries, oracle, eo);
+        const auto stats = sharded.Router().Stats();
+        sharded_table.AddRow(
+            std::to_string(n) + " shard(s)",
+            {r.precision[0], r.seconds_per_query * 1000.0,
+             double(stats.completed - stats.partial) / double(stats.completed)});
+      }
+      std::filesystem::remove_all(dir);
+      std::printf("[fig8] shard sweep %zu done\n", n);
+    }
+    sharded_table.Print();
+    if (args.csv) sharded_table.PrintCsv(std::cout);
+  }
   return 0;
 }

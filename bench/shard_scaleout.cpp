@@ -1,0 +1,182 @@
+// Scatter-gather scale-out: query latency of the sharded store as the
+// shard count grows, against the unsharded engine as the 1x reference.
+//
+// Expected shape: per-shard stage-1 work shrinks with the shard count, so
+// with enough cores the scatter-gather latency drops below the unsharded
+// engine once per-query fan-out costs are amortised; on a starved box the
+// router overhead dominates instead. That is why the emitted JSON records
+// the CORE COUNT next to every row (ROADMAP's single-core caveat): a
+// scale-out number without the core count is not comparable across runs.
+//
+// Every sweep point is also verified bit-identical to the unsharded
+// TrySearch — a scale-out benchmark of wrong answers measures nothing.
+//
+// Output: a human table on stdout plus machine-readable
+// BENCH_shard_scaleout.json in the working directory.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+#include "shard/shard_router.hpp"
+#include "shard/sharded_store.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+struct SweepRow {
+  std::uint32_t shards = 1;
+  std::size_t workers = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double qps = 0.0;
+  bool identical = true;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t i = std::min(
+      sorted.size() - 1, std::size_t(p * double(sorted.size() - 1) + 0.5));
+  return sorted[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace figdb;
+  const bench::Args args = bench::Args::Parse(argc, argv);
+  const std::size_t k = 10;
+  const std::size_t passes = 3;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("[scaleout] generating corpus (%zu objects)...\n",
+              args.objects);
+  const corpus::Corpus corpus =
+      corpus::Generator(bench::MakeRetrievalConfig(args))
+          .MakeRetrievalCorpus();
+  const index::EngineOptions eopts;
+  const index::FigRetrievalEngine baseline(corpus, eopts);
+  const std::vector<corpus::ObjectId> queries =
+      bench::EvalQueries(corpus, args);
+
+  std::vector<std::uint32_t> counts = {1, 2, 4, 8};
+  if (args.shards != 0) {
+    counts.clear();
+    for (std::uint32_t n = 1; n <= args.shards; n *= 2) counts.push_back(n);
+  }
+
+  std::vector<SweepRow> rows;
+  for (std::uint32_t n : counts) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("figdb_bench_scaleout_" + std::to_string(n)))
+            .string();
+    std::filesystem::remove_all(dir);
+    shard::ShardedStore::Options sopts;
+    sopts.num_shards = n;
+    sopts.engine = eopts;
+    auto store = shard::ShardedStore::Create(dir, corpus, sopts);
+    if (!store.ok()) {
+      std::fprintf(stderr, "[scaleout] create failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+
+    SweepRow row;
+    row.shards = n;
+    row.workers = std::min<std::size_t>(n, cores);
+    {
+      shard::ShardRouter router(
+          shard::RouterOptions{.workers = row.workers});
+
+      // Warm-up pass doubles as the correctness gate.
+      for (corpus::ObjectId qid : queries) {
+        auto got = router.Search(*store, corpus.Object(qid), k);
+        auto want = baseline.TrySearch(corpus.Object(qid), k);
+        if (!got.ok() || !want.ok() || !got->Complete() ||
+            got->response.results.size() != want->results.size()) {
+          row.identical = false;
+          continue;
+        }
+        for (std::size_t i = 0; i < want->results.size(); ++i)
+          if (got->response.results[i].object != want->results[i].object ||
+              got->response.results[i].score != want->results[i].score)
+            row.identical = false;
+      }
+
+      std::vector<double> latencies;
+      latencies.reserve(passes * queries.size());
+      util::Stopwatch wall;
+      for (std::size_t pass = 0; pass < passes; ++pass) {
+        for (corpus::ObjectId qid : queries) {
+          util::Stopwatch watch;
+          auto got = router.Search(*store, corpus.Object(qid), k);
+          latencies.push_back(watch.ElapsedMillis());
+          if (!got.ok()) row.identical = false;
+        }
+      }
+      const double total_s = wall.ElapsedSeconds();
+      double sum = 0.0;
+      for (double l : latencies) sum += l;
+      std::sort(latencies.begin(), latencies.end());
+      row.mean_ms = sum / double(latencies.size());
+      row.p50_ms = Percentile(latencies, 0.50);
+      row.p95_ms = Percentile(latencies, 0.95);
+      row.qps = double(latencies.size()) / total_s;
+      // Router (and its pool) dies here, before the store it queries.
+    }
+    rows.push_back(row);
+    std::printf("[scaleout] %u shard(s) done (%.2f ms mean)\n", n,
+                row.mean_ms);
+    std::filesystem::remove_all(dir);
+  }
+
+  eval::Table table("Shard scale-out: scatter-gather latency (" +
+                        std::to_string(cores) + " cores)",
+                    {"workers", "mean ms", "p50 ms", "p95 ms", "qps",
+                     "identical"});
+  for (const SweepRow& r : rows)
+    table.AddRow(std::to_string(r.shards) + " shard(s)",
+                 {double(r.workers), r.mean_ms, r.p50_ms, r.p95_ms, r.qps,
+                  r.identical ? 1.0 : 0.0});
+  table.Print();
+
+  const char* path = "BENCH_shard_scaleout.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[scaleout] cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"shard_scaleout\",\n"
+               "  \"objects\": %zu,\n"
+               "  \"queries\": %zu,\n"
+               "  \"passes\": %zu,\n"
+               "  \"k\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"cores\": %u,\n"
+               "  \"sweep\": [\n",
+               args.objects, queries.size(), passes, k,
+               (unsigned long long)args.seed, cores);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"shards\": %u, \"workers\": %zu, "
+                 "\"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+                 "\"qps\": %.2f, \"identical_to_unsharded\": %s}%s\n",
+                 r.shards, r.workers, r.mean_ms, r.p50_ms, r.p95_ms, r.qps,
+                 r.identical ? "true" : "false",
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("[scaleout] wrote %s\n", path);
+  return 0;
+}

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/retriever.hpp"
+#include "shard/shard_router.hpp"
+#include "shard/sharded_store.hpp"
+
+/// \file sharded_retriever.hpp
+/// core::Retriever facade over ShardedStore + ShardRouter so the eval
+/// harness and the figure benches can score scatter-gather retrieval
+/// exactly like any other method. Bench-only: production callers use the
+/// router's StatusOr API directly to see PARTIAL/error distinctions.
+
+namespace figdb::bench {
+
+class ShardedFigRetriever : public core::Retriever {
+ public:
+  /// \p store must outlive the retriever; the retriever owns its router
+  /// (and therefore the scatter pool), so it must be destroyed first.
+  ShardedFigRetriever(const shard::ShardedStore* store,
+                      shard::RouterOptions options)
+      : store_(store), router_(options) {}
+
+  std::string Name() const override {
+    return "FIG/" + std::to_string(store_->NumShards()) + "sh";
+  }
+
+  std::vector<core::SearchResult> Search(const corpus::MediaObject& query,
+                                         std::size_t k) const override {
+    auto result = router_.Search(*store_, query, k);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sharded search failed: %s\n",
+                   result.status().ToString().c_str());
+      return {};
+    }
+    // Completeness is part of the answer: a PARTIAL result in a fault-free
+    // bench means a shard silently dropped out — say so instead of letting
+    // the precision column quietly absorb it.
+    if (!result->Complete())
+      std::fprintf(stderr, "sharded search PARTIAL: %zu/%zu shards\n",
+                   result->shards_answered, result->shards_total);
+    return std::move(result->response.results);
+  }
+
+  std::vector<core::SearchResult> Rank(
+      const corpus::MediaObject&, const std::vector<corpus::ObjectId>&,
+      std::size_t) const override {
+    // The recommendation task is not routed through shards in this layer;
+    // the retrieval harness never calls Rank.
+    return {};
+  }
+
+  const shard::ShardRouter& Router() const { return router_; }
+
+ private:
+  const shard::ShardedStore* store_;
+  shard::ShardRouter router_;
+};
+
+}  // namespace figdb::bench

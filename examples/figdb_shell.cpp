@@ -35,6 +35,8 @@
 #include "index/retrieval_engine.hpp"
 #include "index/storage.hpp"
 #include "serve/serving_store.hpp"
+#include "shard/shard_router.hpp"
+#include "shard/sharded_store.hpp"
 #include "util/failpoint.hpp"
 #include "util/query_budget.hpp"
 #include "util/status.hpp"
@@ -50,6 +52,12 @@ struct Shell {
   /// Attached crash-safe store (see `attach`); mutations go through its WAL.
   std::optional<index::FigDbStore> store;
   std::string store_dir;
+  /// Attached sharded store + its router (see `shard attach`). Declaration
+  /// order matters: the router must be destroyed BEFORE the store it
+  /// queries (its pool joins any straggler legs), so `sharded` comes first.
+  std::unique_ptr<shard::ShardedStore> sharded;
+  std::unique_ptr<shard::ShardRouter> router;
+  std::string sharded_dir;
   /// Set when the store's corpus has drifted from the query engine; the
   /// engine is rebuilt lazily before the next query instead of per-ingest.
   bool engine_stale = false;
@@ -103,10 +111,33 @@ struct Shell {
         (unsigned long long)info.checkpoint_lsn,
         (unsigned long long)info.replayed_records,
         (unsigned long long)info.skipped_records);
+    // Both damage classes, with their counts, every time: a recovery that
+    // SUCCEEDED can only have seen a torn tail (mid-log corruption fails
+    // replay, see PrintRecoveryFailure), so the corrupt-record count here
+    // is definitionally zero — printing it makes the distinction visible.
+    std::printf(
+        "wal damage: %llu torn-tail byte(s) truncated, 0 mid-log corrupt "
+        "record(s)\n",
+        (unsigned long long)info.torn_bytes);
     if (info.torn_tail)
       std::printf(
           "WARNING: torn final WAL record (crash mid-append) — dropped as a "
           "clean end-of-log; every record before it was replayed\n");
+  }
+
+  /// A failed recovery must tell the operator WHICH damage class it hit:
+  /// a torn tail is routine (the in-flight append) and recovers on its
+  /// own, so a recovery that still failed with kDataLoss is the other
+  /// class — damage with intact records after it — and needs a backup.
+  static void PrintRecoveryFailure(const util::Status& st) {
+    if (st.code() == util::StatusCode::kDataLoss)
+      std::printf(
+          "recover failed: MID-LOG CORRUPTION (not a torn tail — records "
+          "follow the damage, so truncation would lose acknowledged "
+          "mutations; restore from checkpoint/backup): %s\n",
+          st.ToString().c_str());
+    else
+      std::printf("recover failed: %s\n", st.ToString().c_str());
   }
 
   void Attach(const std::string& dir) {
@@ -120,8 +151,7 @@ struct Shell {
       return;
     }
     if (recovered.status().code() != util::StatusCode::kNotFound) {
-      std::printf("recover failed: %s\n",
-                  recovered.status().ToString().c_str());
+      PrintRecoveryFailure(recovered.status());
       return;
     }
     // No store there yet: create one from the current database.
@@ -189,14 +219,127 @@ struct Shell {
   void Recover() {
     auto recovered = index::FigDbStore::Recover(store_dir);
     if (!recovered.ok()) {
-      std::printf("recover failed: %s\n",
-                  recovered.status().ToString().c_str());
+      PrintRecoveryFailure(recovered.status());
       return;
     }
     store = std::move(*recovered);
     PrintRecovery();
     SyncFromStore();
     PrintStoreStats("recovered");
+  }
+
+  // ------------------------------------------------------------- sharded
+  void PrintShardStatus() const {
+    const shard::ShardManifest& m = sharded->Manifest();
+    std::printf(
+        "sharded store: generation %llu, %u shard(s), %zu objects "
+        "(%zu live)%s\n",
+        (unsigned long long)m.generation, m.num_shards,
+        sharded->TotalObjects(), sharded->LiveObjects(),
+        sharded->AnyWounded() ? " [WOUNDED shard(s): recover before "
+                                "mutating or rebalancing]"
+                              : "");
+    for (std::uint32_t s = 0; s < sharded->NumShards(); ++s) {
+      const index::FigDbStore& ss = sharded->ShardStore(s);
+      std::printf("  shard %-3u %zu object(s), %zu live, lsn %llu%s\n", s,
+                  ss.GetCorpus().Size(), ss.LiveObjects(),
+                  (unsigned long long)ss.LastLsn(),
+                  ss.Wounded() ? " [WOUNDED]" : "");
+    }
+    const shard::RouterStats rs = router->Stats();
+    std::printf(
+        "  router: %llu admitted, %llu completed (%llu PARTIAL — some "
+        "shards unanswered), %llu rejected, %llu retries, %llu "
+        "stragglers abandoned\n",
+        (unsigned long long)rs.admitted, (unsigned long long)rs.completed,
+        (unsigned long long)rs.partial, (unsigned long long)rs.rejected,
+        (unsigned long long)rs.retries, (unsigned long long)rs.stragglers);
+  }
+
+  void ShardAttach(const std::string& dir, std::size_t num_shards) {
+    router.reset();  // before the store it queries
+    sharded.reset();
+    auto recovered = shard::ShardedStore::Recover(dir);
+    if (recovered.ok()) {
+      sharded = std::make_unique<shard::ShardedStore>(std::move(*recovered));
+      sharded_dir = dir;
+      router = std::make_unique<shard::ShardRouter>();
+      std::printf("recovered sharded store from %s\n", dir.c_str());
+      PrintShardStatus();
+      return;
+    }
+    if (recovered.status().code() != util::StatusCode::kNotFound) {
+      std::printf("shard recover failed: %s\n",
+                  recovered.status().ToString().c_str());
+      return;
+    }
+    if (!Ready()) {
+      std::printf(
+          "'%s' holds no sharded store and there is no database to seed "
+          "one — use 'gen <n>' or 'load <path>' first\n",
+          dir.c_str());
+      return;
+    }
+    shard::ShardedStore::Options options;
+    options.num_shards = std::uint32_t(num_shards);
+    auto created = shard::ShardedStore::Create(dir, *db, options);
+    if (!created.ok()) {
+      std::printf("shard create failed: %s\n",
+                  created.status().ToString().c_str());
+      return;
+    }
+    sharded = std::make_unique<shard::ShardedStore>(std::move(*created));
+    sharded_dir = dir;
+    router = std::make_unique<shard::ShardRouter>();
+    std::printf("created %zu-shard store in %s from the current database\n",
+                num_shards, dir.c_str());
+    PrintShardStatus();
+  }
+
+  void ShardRebalance(std::size_t num_shards) {
+    const util::Status st =
+        sharded->Rebalance(std::uint32_t(num_shards));
+    if (!st.ok()) {
+      std::printf(
+          "rebalance failed: %s\n(the directory stays consistent — 'shard "
+          "attach %s' re-runs recovery and lands on the old or the new "
+          "placement, never a mix)\n",
+          st.ToString().c_str(), sharded_dir.c_str());
+      return;
+    }
+    std::printf("rebalanced onto %zu shard(s)\n", num_shards);
+    PrintShardStatus();
+  }
+
+  /// Scatter-gather query across the shards. The completeness annotation
+  /// is part of the answer contract (shard::ShardedSearchResult): a
+  /// degraded result is labelled PARTIAL with shards_answered/shards_total
+  /// — never passed off as complete.
+  void ShardQuery(const std::string& text) {
+    corpus::QueryBuilder builder(
+        sharded->ShardStore(0).GetCorpus().SharedContext());
+    const corpus::MediaObject q = builder.AddText(text).Build();
+    if (q.features.empty()) {
+      std::printf("no query tags matched the vocabulary\n");
+      return;
+    }
+    util::Stopwatch watch;
+    const auto result = router->Search(*sharded, q, 8, budget);
+    if (!result.ok()) {
+      std::printf("shard query failed: %s\n",
+                  result.status().ToString().c_str());
+      return;
+    }
+    std::printf(
+        "%zu results in %.1f ms — %s (%zu/%zu shards answered, %llu "
+        "retries, TA bound %.5f)\n",
+        result->response.results.size(), watch.ElapsedMillis(),
+        result->Complete() ? "complete" : "PARTIAL: unanswered shards' "
+                                          "objects are missing",
+        result->shards_answered, result->shards_total,
+        (unsigned long long)result->retries, result->ta_bound);
+    for (const auto& r : result->response.results)
+      std::printf("  #%-6u score=%.5f\n", r.object, r.score);
   }
 
   void Generate(std::size_t n) {
@@ -420,9 +563,18 @@ void Help() {
       "                    concurrent serving drill: reader threads search\n"
       "                    snapshot-isolated epochs while the shell ingests\n"
       "                    and publishes; prints epoch + admission stats\n"
+      "sharded store (scatter-gather across N shard stores):\n"
+      "  shard attach <dir> [n]  recover the sharded store in <dir>, or\n"
+      "                    create one there (n shards, default 4) from the\n"
+      "                    current database\n"
+      "  shard status      placement generation, per-shard health, router\n"
+      "                    admission / PARTIAL / straggler counters\n"
+      "  shard rebalance <n>  crash-recoverable two-phase re-partition\n"
+      "  shard query <tags...>  fan the query out; results are labelled\n"
+      "                    complete or PARTIAL (a/N shards answered)\n"
       "  quit\n"
       "env: FIGDB_FAILPOINTS=name[:skip[:fires]],…  activates fault drills\n"
-      "     (e.g. wal/fsync, checkpoint/rename) at startup\n");
+      "     (e.g. wal/fsync, shard/wounded) at startup\n");
 }
 
 }  // namespace
@@ -473,6 +625,27 @@ int main() {
     }
     if (cmd.verb == cli::ShellVerb::kAttach) {
       shell.Attach(cmd.text);
+      continue;
+    }
+    if (cmd.verb == cli::ShellVerb::kShardAttach) {
+      shell.ShardAttach(cmd.text, cmd.count);
+      continue;
+    }
+    if (cmd.verb == cli::ShellVerb::kShardStatus ||
+        cmd.verb == cli::ShellVerb::kShardRebalance ||
+        cmd.verb == cli::ShellVerb::kShardQuery) {
+      if (shell.sharded == nullptr) {
+        std::printf(
+            "no sharded store attached — use 'shard attach <dir> [n]' "
+            "first\n");
+        continue;
+      }
+      if (cmd.verb == cli::ShellVerb::kShardStatus)
+        shell.PrintShardStatus();
+      else if (cmd.verb == cli::ShellVerb::kShardRebalance)
+        shell.ShardRebalance(cmd.count);
+      else
+        shell.ShardQuery(cmd.text);
       continue;
     }
     if (cmd.verb == cli::ShellVerb::kServe ||

@@ -18,6 +18,7 @@
 #include "index/storage.hpp"
 #include "index/wal.hpp"
 #include "serve/query_executor.hpp"
+#include "shard/manifest.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
@@ -165,6 +166,13 @@ bool FixupWalCrcs(std::string* bytes) {
     patched = true;
   }
   return patched;
+}
+
+bool FixupShardManifestCrc(std::string* bytes) {
+  constexpr std::size_t kHeader = 12;  // magic + version + crc, fixed32 each
+  if (bytes->size() < kHeader) return false;
+  PatchFixed32(bytes, 8, util::Crc32(std::string_view(*bytes).substr(kHeader)));
+  return true;
 }
 
 std::string MutateBytes(util::Rng* rng, std::string_view bytes,
@@ -562,6 +570,39 @@ void CheckSerdeOneInput(const std::uint8_t* data, std::size_t size) {
     if (failed) FIGDB_CHECK(!r.Ok());  // failure is sticky
     failed = !r.Ok();
   }
+}
+
+// -------------------------------------------- shard-manifest harness
+
+ParseOutcome CheckShardManifestOneInput(const std::uint8_t* data,
+                                        std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const auto parsed = shard::ParseShardManifest(input);
+  ParseOutcome outcome;
+  outcome.accepted = parsed.ok();
+  outcome.code = parsed.ok() ? StatusCode::kOk : parsed.status().code();
+  if (!parsed.ok()) {
+    // Same taxonomy as the other persistent formats: framing/semantic skew
+    // is kInvalidArgument, damage is kDataLoss, and a recovery-path error
+    // without a message is useless to an operator.
+    FIGDB_CHECK(outcome.code == StatusCode::kInvalidArgument ||
+                outcome.code == StatusCode::kDataLoss);
+    FIGDB_CHECK(!parsed.status().message().empty());
+    return outcome;
+  }
+  // Accepted manifests must honor the documented ranges...
+  FIGDB_CHECK(parsed->generation >= 1);
+  FIGDB_CHECK(parsed->num_shards >= 1 &&
+              parsed->num_shards <= shard::kMaxShards);
+  // ...and reach a serialize fixed point (the input itself need not be
+  // canonical — overlong varints re-encode shorter).
+  const std::string s1 = shard::SerializeShardManifest(*parsed);
+  const auto reparsed = shard::ParseShardManifest(s1);
+  FIGDB_CHECK_MSG(reparsed.ok(),
+                  "serialize(parse(manifest)) failed to re-parse");
+  FIGDB_CHECK_MSG(*reparsed == *parsed, "manifest round-trip changed fields");
+  FIGDB_CHECK(shard::SerializeShardManifest(*reparsed) == s1);
+  return outcome;
 }
 
 // -------------------------------------------------------- taxonomy harness

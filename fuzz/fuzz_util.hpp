@@ -91,6 +91,10 @@ bool FixupSnapshotCrcs(std::string* bytes);
 /// WAL: 8-byte header, then per frame (fixed32 size, fixed32 CRC, payload).
 bool FixupWalCrcs(std::string* bytes);
 
+/// Shard manifest: fixed32 magic, fixed32 version, fixed32 CRC over the
+/// remaining payload. One checksum, re-stamped in place.
+bool FixupShardManifestCrc(std::string* bytes);
+
 /// The corruption model the robustness suite has used since PR 1: either
 /// truncate to a random prefix (seed % 3 == 0 style callers pick), or flip
 /// 1-4 random bytes with random non-zero XOR masks. Deterministic in \p rng.
@@ -164,6 +168,13 @@ void CheckWalRoundTripOneInput(const std::uint8_t* data, std::size_t size);
 /// adversarial decode sequences must fail cleanly (no crash, sticky
 /// failure state, no over-long reads).
 void CheckSerdeOneInput(const std::uint8_t* data, std::size_t size);
+
+/// Shard placement manifest (shard::ParseShardManifest). Accepted
+/// manifests must honor the documented ranges and reach a serialize
+/// fixed point (Parse(Serialize(m)) == m, byte-identical on re-serialize);
+/// rejections must carry kInvalidArgument or kDataLoss and a message.
+ParseOutcome CheckShardManifestOneInput(const std::uint8_t* data,
+                                        std::size_t size);
 
 /// Taxonomy section decode (index::ReadTaxonomySection) followed by WUP
 /// queries over whatever survives: WUP ∈ (0, 1], symmetric, self = 1, and

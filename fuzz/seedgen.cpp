@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fuzz_util.hpp"
+#include "shard/manifest.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -78,6 +79,24 @@ int main(int argc, char** argv) {
               log.substr(0, log.size() - 3));
   }
 
+  // fuzz_shard_manifest: valid manifests spanning the accepted ranges, a
+  // truncation, and a CRC-refreshed mutant (valid frame, damaged payload).
+  {
+    figdb::shard::ShardManifest m;
+    WriteSeed(root / "fuzz_shard_manifest", "valid_default.bin",
+              figdb::shard::SerializeShardManifest(m));
+    m.generation = 41;
+    m.num_shards = figdb::shard::kMaxShards;
+    const std::string big = figdb::shard::SerializeShardManifest(m);
+    WriteSeed(root / "fuzz_shard_manifest", "valid_max_shards.bin", big);
+    WriteSeed(root / "fuzz_shard_manifest", "truncated.bin",
+              big.substr(0, big.size() - 1));
+    figdb::util::Rng rng(20260809);
+    std::string mutant = fuzz::MutateBytes(&rng, big, /*truncate=*/false);
+    fuzz::FixupShardManifestCrc(&mutant);
+    WriteSeed(root / "fuzz_shard_manifest", "crc_fixed_mutant.bin", mutant);
+  }
+
   // fuzz_serde: byte programs for both modes (round-trip and adversarial).
   WriteSeed(root / "fuzz_serde", "roundtrip_script.bin",
             std::string(1, '\0') + ScriptBytes(101, 96));
@@ -111,10 +130,13 @@ int main(int argc, char** argv) {
             "stats\nquery sunset beach\nsimilar 12\nshow 0\nbudget 250 64\n"
             "budget\nattach /tmp/store\ningest sunset crowd\nremove 7\n"
             "checkpoint\nrecover\nserve 1.5 8 2\nserve 999 99 99\nserve\n"
+            "shard attach /tmp/shards 4\nshard attach /tmp/shards\n"
+            "shard status\nshard rebalance 2\nshard query beach sunset\n"
             "quit\n");
   WriteSeed(root / "fuzz_shell_command", "errors.txt",
             "frobnicate\ngen many\nload\nremove nineteen\nsimilar -4\n"
-            "budget fast\nserve soon\n\n   \n");
+            "budget fast\nserve soon\nshard\nshard attach\nshard rebalance\n"
+            "shard rebalance 999\nshard frob\n\n   \n");
 
   // Action-script harnesses: fixed byte programs.
   WriteSeed(root / "fuzz_store_ops", "script_a.bin", ScriptBytes(201, 48));

@@ -144,6 +144,40 @@ StatusOr<ShellCommand> ParseShellCommand(std::string_view line) {
     cmd.serve_readers = std::min(std::max<std::size_t>(cmd.serve_readers, 1),
                                  kMaxServeThreads);
     cmd.serve_workers = std::min(cmd.serve_workers, kMaxServeThreads);
+  } else if (verb == "shard") {
+    // Sub-verb dispatch for the sharded store. Shapes:
+    //   shard attach <dir> [num_shards]
+    //   shard status
+    //   shard rebalance <num_shards>
+    //   shard query <tags...>
+    const std::string sub = NextToken(&in);
+    if (sub == "attach") {
+      cmd.verb = ShellVerb::kShardAttach;
+      cmd.text = NextToken(&in);
+      if (cmd.text.empty()) return Usage("shard attach <dir> [num_shards]");
+      cmd.count = 4;
+      const std::string n = NextToken(&in);
+      if (!n.empty()) {
+        std::uint64_t v = 0;
+        if (!ParseU64(n, &v)) return Usage("shard attach <dir> [num_shards]");
+        cmd.count = std::size_t(v);
+      }
+      cmd.count =
+          std::min(std::max<std::size_t>(cmd.count, 1), kMaxShellShards);
+    } else if (sub == "status") {
+      cmd.verb = ShellVerb::kShardStatus;
+    } else if (sub == "rebalance") {
+      cmd.verb = ShellVerb::kShardRebalance;
+      std::uint64_t v = 0;
+      if (!ParseU64(NextToken(&in), &v) || v == 0)
+        return Usage("shard rebalance <num_shards>");
+      cmd.count = std::min(std::size_t(v), kMaxShellShards);
+    } else if (sub == "query") {
+      cmd.verb = ShellVerb::kShardQuery;
+      cmd.text = RestOfLine(&in);
+    } else {
+      return Usage("shard attach|status|rebalance|query …");
+    }
   } else {
     return Status::InvalidArgument("unknown command '" + verb +
                                    "' — try 'help'");

@@ -24,6 +24,8 @@
 ///             readers in [1, kMaxServeThreads]; workers <= kMaxServeThreads
 ///   kLoad/kSave/kAttach  non-empty path
 ///   kRemove/kSimilar/kShow  id parsed from a real integer token
+///   kShardAttach   non-empty path; count in [1, kMaxShellShards]
+///   kShardRebalance  count in [1, kMaxShellShards]
 
 namespace figdb::cli {
 
@@ -45,12 +47,19 @@ enum class ShellVerb {
   kCheckpoint,
   kRecover,
   kServe,
+  kShardAttach,     ///< `shard attach <dir> [n]` — recover or create N shards
+  kShardStatus,     ///< `shard status` — placement, per-shard health, stats
+  kShardRebalance,  ///< `shard rebalance <n>` — two-phase re-partition
+  kShardQuery,      ///< `shard query <tags…>` — scatter-gather top-k
 };
 
 inline constexpr std::size_t kMinGenObjects = 50;
 inline constexpr double kMinServeSeconds = 0.2;
 inline constexpr double kMaxServeSeconds = 60.0;
 inline constexpr std::size_t kMaxServeThreads = 16;
+/// Shell-level ceiling on shard fan-out (tighter than the manifest's
+/// kMaxShards: an interactive drill never needs hundreds of shards).
+inline constexpr std::size_t kMaxShellShards = 64;
 
 struct ShellCommand {
   ShellVerb verb = ShellVerb::kNone;
@@ -62,7 +71,8 @@ struct ShellCommand {
   /// Object id for kSimilar/kShow/kRemove.
   corpus::ObjectId id = corpus::kInvalidObject;
 
-  /// Database size for kGen (clamped to >= kMinGenObjects).
+  /// Database size for kGen (clamped to >= kMinGenObjects); shard fan-out
+  /// for kShardAttach/kShardRebalance (clamped to [1, kMaxShellShards]).
   std::size_t count = 2000;
 
   /// kBudget: 0 = unlimited for either component (the documented contract).

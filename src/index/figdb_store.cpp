@@ -253,6 +253,7 @@ StatusOr<FigDbStore> FigDbStore::Recover(const std::string& dir,
     return replay.status();
   }
   store.recovery_.torn_tail = replay->torn_tail;
+  store.recovery_.torn_bytes = replay->dropped_bytes;
   std::uint64_t last_lsn = applied_lsn;
   for (const WalRecord& record : replay->records) {
     if (record.lsn <= applied_lsn) {

@@ -70,6 +70,7 @@ class FigDbStore {
     std::uint64_t replayed_records = 0; ///< WAL records applied on top
     std::uint64_t skipped_records = 0;  ///< WAL records <= checkpoint LSN
     bool torn_tail = false;             ///< final WAL record was torn
+    std::uint64_t torn_bytes = 0;       ///< torn-tail bytes truncated away
   };
 
   /// Initialises \p dir (created if missing) with an empty WAL and a

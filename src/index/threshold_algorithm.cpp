@@ -1,6 +1,7 @@
 #include "index/threshold_algorithm.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -40,7 +41,7 @@ std::vector<core::SearchResult> TakeTopK(
 
 std::vector<core::SearchResult> ExhaustiveMerge(
     const std::vector<ScoredList>& lists, std::size_t k,
-    util::BudgetTracker* budget, bool* truncated) {
+    util::BudgetTracker* budget, bool* truncated, double* stop_bound) {
   std::unordered_map<corpus::ObjectId, double> totals;
   for (const ScoredList& list : lists)
     for (const core::SearchResult& e : list.entries)
@@ -48,6 +49,8 @@ std::vector<core::SearchResult> ExhaustiveMerge(
   util::TopK<corpus::ObjectId> topk(k);
   if (budget == nullptr) {
     for (const auto& [object, score] : totals) topk.Offer(score, object);
+    if (stop_bound != nullptr)
+      *stop_bound = topk.Full() ? topk.KthScore() : 0.0;
     return TakeTopK(&topk);
   }
   // Budgeted path: aggregation above is always complete (scores stay
@@ -60,11 +63,16 @@ std::vector<core::SearchResult> ExhaustiveMerge(
       if (!offered.insert(e.object).second) continue;
       if (!budget->ChargeScored()) {
         if (truncated != nullptr) *truncated = true;
+        // Unoffered objects may carry any score: nothing is certified.
+        if (stop_bound != nullptr)
+          *stop_bound = std::numeric_limits<double>::infinity();
         return TakeTopK(&topk);
       }
       topk.Offer(totals[e.object], e.object);
     }
   }
+  if (stop_bound != nullptr)
+    *stop_bound = topk.Full() ? topk.KthScore() : 0.0;
   return TakeTopK(&topk);
 }
 
@@ -127,7 +135,8 @@ std::vector<core::SearchResult> NraMerge(std::vector<ScoredList> lists,
 std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
                                                std::size_t k,
                                                util::BudgetTracker* budget,
-                                               bool* truncated) {
+                                               bool* truncated,
+                                               double* stop_bound) {
   // Per-list random-access maps + sorted lists.
   std::vector<std::unordered_map<corpus::ObjectId, double>> maps(
       lists.size());
@@ -142,9 +151,14 @@ std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
 
   util::TopK<corpus::ObjectId> topk(k);
   std::unordered_set<corpus::ObjectId> seen;
+  // Bound on objects never surfaced by sorted access: 0 when the lists
+  // drain fully (everything listed was seen), the frontier threshold when
+  // the TA rule stops early, +inf when a deadline cut the walk short.
+  double unseen_bound = 0.0;
   for (std::size_t depth = 0; depth < max_len; ++depth) {
     if (DeadlineHit(budget)) {
       if (truncated != nullptr) *truncated = true;
+      unseen_bound = std::numeric_limits<double>::infinity();
       break;
     }
     double threshold = 0.0;
@@ -156,8 +170,11 @@ std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
         if (seen.insert(obj).second) {
           if (budget != nullptr && !budget->ChargeScored()) {
             // Candidate budget exhausted: return best-so-far. Every result
-            // already offered carries its exact full aggregate.
+            // already offered carries its exact full aggregate — but the
+            // unwalked remainder certifies nothing.
             if (truncated != nullptr) *truncated = true;
+            if (stop_bound != nullptr)
+              *stop_bound = std::numeric_limits<double>::infinity();
             return TakeTopK(&topk);
           }
           // Random access: aggregate the object's score across all lists.
@@ -171,8 +188,15 @@ std::vector<core::SearchResult> ThresholdMerge(std::vector<ScoredList> lists,
       }
     }
     // TA stopping rule: no unseen object can beat the current k-th score.
-    if (topk.Full() && topk.KthScore() >= threshold) break;
+    if (topk.Full() && topk.KthScore() >= threshold) {
+      unseen_bound = threshold;
+      break;
+    }
   }
+  // Anything not returned is either unseen (<= unseen_bound) or was seen
+  // and displaced by the k-th score; the certificate is the max of the two.
+  if (stop_bound != nullptr)
+    *stop_bound = std::max(unseen_bound, topk.Full() ? topk.KthScore() : 0.0);
   return TakeTopK(&topk);
 }
 

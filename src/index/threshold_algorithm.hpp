@@ -37,17 +37,31 @@ struct ScoredList {
 /// object across all lists), so truncation sheds candidates, never corrupts
 /// scores. The `ta/deadline` fail-point injects deadline expiry at the top
 /// of the depth loop for deterministic fault testing.
+///
+/// When \p stop_bound is non-null it receives an upper bound on the exact
+/// aggregate score of every object NOT in the returned vector — the TA
+/// certificate the sharded scatter-gather merge uses: a router can prove a
+/// globally exact top-k from per-shard top-k lists because nothing a shard
+/// withheld can beat max(per-shard bounds). The bound is
+///   max(frontier threshold at early termination, displaced k-th score)
+/// (0 for a fully drained underfull merge), and +infinity when the merge
+/// was truncated by the budget — a truncated shard cannot certify anything.
 std::vector<core::SearchResult> ThresholdMerge(
     std::vector<ScoredList> lists, std::size_t k,
-    util::BudgetTracker* budget = nullptr, bool* truncated = nullptr);
+    util::BudgetTracker* budget = nullptr, bool* truncated = nullptr,
+    double* stop_bound = nullptr);
 
 /// Hash-aggregation over all entries (reference implementation). Always
 /// aggregates fully (exact scores); a candidate budget caps how many
 /// distinct objects are offered to the top-k, in deterministic
 /// first-encounter order (list order, then entry order).
+/// \p stop_bound has ThresholdMerge's semantics (here every object was
+/// aggregated, so the bound is the displaced k-th score — or +infinity
+/// when the candidate budget truncated the offer loop).
 std::vector<core::SearchResult> ExhaustiveMerge(
     const std::vector<ScoredList>& lists, std::size_t k,
-    util::BudgetTracker* budget = nullptr, bool* truncated = nullptr);
+    util::BudgetTracker* budget = nullptr, bool* truncated = nullptr,
+    double* stop_bound = nullptr);
 
 /// Fagin's No-Random-Access (NRA) variant: sorted access only, maintaining
 /// per-object [lower, upper] score bounds, terminating when the k-th lower

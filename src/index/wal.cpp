@@ -284,6 +284,7 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::ReplayBytes(
     offset += kFrameBytes + size;
     result.valid_bytes = offset;
   }
+  if (result.torn_tail) result.dropped_bytes = bytes.size() - result.valid_bytes;
   return result;
 }
 

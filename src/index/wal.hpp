@@ -97,6 +97,12 @@ class WriteAheadLog {
     /// records). Recovery truncates a torn file back to this length before
     /// appending again, so fresh records never land after garbage.
     std::uint64_t valid_bytes = 0;
+    /// Bytes of torn tail discarded past valid_bytes (0 unless torn_tail).
+    /// Surfaced by the shell's `recover` so operators can tell a routine
+    /// torn-tail truncation (this many bytes, one in-flight append) from
+    /// mid-log corruption, which is never silently dropped — it fails
+    /// replay with kDataLoss instead.
+    std::uint64_t dropped_bytes = 0;
   };
 
   /// Reads and validates the whole log.

@@ -6,6 +6,7 @@
 
 #include "index/threshold_algorithm.hpp"
 #include "util/failpoint.hpp"
+#include "util/shared_deadline.hpp"
 #include "util/top_k.hpp"
 
 namespace figdb::serve {
@@ -16,13 +17,21 @@ using util::QueryBudget;
 using util::Status;
 using util::StatusOr;
 
-using Clock = std::chrono::steady_clock;
-
 std::vector<core::SearchResult> TakeResults(
     util::TopK<corpus::ObjectId>* topk) {
   std::vector<core::SearchResult> out;
   for (const auto& e : topk->Take()) out.push_back({e.id, e.score});
   return out;
+}
+
+/// One worker-side deadline poll. The serve/slow_worker fail-point makes a
+/// shard observe expiry deterministically (simulating a stalled worker) —
+/// the injection stays at this call site so util::SharedDeadline remains
+/// mechanism-only and the shard router can run the same type under its own
+/// `shard/slow` drill.
+bool PollDeadline(util::SharedDeadline* deadline) {
+  if (FIGDB_FAILPOINT("serve/slow_worker")) deadline->ForceExpire();
+  return deadline->ExpiredNow();
 }
 
 /// RAII in-flight counter: registered before the admission check, released
@@ -44,41 +53,6 @@ class AdmissionTicket {
  private:
   std::atomic<std::size_t>* in_flight_;
   std::size_t count_;
-};
-
-/// Thread-safe deadline shared by the shards of one query's parallel
-/// stages. A BudgetTracker is single-threaded by design, so the parallel
-/// sections poll a precomputed monotonic time point instead and latch
-/// expiry into a relaxed atomic flag; the caller folds the flag back into
-/// the tracker (ForceDeadline) once the stage has joined.
-struct SharedDeadline {
-  explicit SharedDeadline(const QueryBudget& budget) {
-    if (budget.wall_limit_seconds > 0.0) {
-      armed = true;
-      at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double>(
-                                  budget.wall_limit_seconds));
-    }
-  }
-
-  /// One poll from inside a shard. The serve/slow_worker fail-point makes a
-  /// shard observe expiry deterministically (simulating a stalled worker).
-  bool ExpiredNow() {
-    if (FIGDB_FAILPOINT("serve/slow_worker"))
-      expired.store(true, std::memory_order_relaxed);
-    if (expired.load(std::memory_order_relaxed)) return true;
-    if (armed && Clock::now() > at) {
-      expired.store(true, std::memory_order_relaxed);
-      return true;
-    }
-    return false;
-  }
-
-  bool Expired() const { return expired.load(std::memory_order_relaxed); }
-
-  bool armed = false;
-  Clock::time_point at{};
-  std::atomic<bool> expired{false};
 };
 
 }  // namespace
@@ -115,11 +89,26 @@ StatusOr<core::SearchResponse> QueryExecutor::Search(
     return Status::Unavailable("engine was built without an inverted index");
 
   AdmissionTicket ticket(&in_flight_);
-  if (ticket.Count() > MaxConcurrent() || FIGDB_FAILPOINT("serve/overload")) {
+  // Same short-circuit as before the message rewrite: the overload
+  // fail-point is only consulted when the real cap did not already fire,
+  // so drills targeting the Nth admission keep their hit arithmetic.
+  const bool hard_cap_hit = ticket.Count() > MaxConcurrent();
+  const bool overload_injected =
+      !hard_cap_hit && FIGDB_FAILPOINT("serve/overload");
+  if (hard_cap_hit || overload_injected) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    // Operators must be able to tell SHED from REJECT: name the cap that
+    // fired, the load it saw, and both thresholds. The soft cap never
+    // rejects — it degrades admitted queries by shedding the rerank stage.
     return Status::ResourceExhausted(
-        "serving layer over capacity (" + std::to_string(ticket.Count() - 1) +
-        " queries in flight, cap " + std::to_string(MaxConcurrent()) + ")");
+        std::string("admission rejected by ") +
+        (hard_cap_hit ? "the hard concurrency cap"
+                      : "the serve/overload fail-point") +
+        ": " + std::to_string(ticket.Count() - 1) +
+        " queries already in flight, hard cap " +
+        std::to_string(MaxConcurrent()) + " rejects, soft cap " +
+        std::to_string(DegradeConcurrent()) +
+        " sheds the rerank stage instead of rejecting");
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
   const bool degrade = ticket.Count() > DegradeConcurrent();
@@ -151,7 +140,7 @@ core::SearchResponse QueryExecutor::RunParallel(
   core::SearchResponse resp;
   if (engine.Index().Degraded()) resp.truncated = true;
 
-  SharedDeadline deadline(budget);
+  util::SharedDeadline deadline(budget);
 
   // Stage 1, sharded per query clique. Each shard builds its clique's
   // complete list into the slot for that clique, so collecting the
@@ -165,7 +154,7 @@ core::SearchResponse QueryExecutor::RunParallel(
   std::vector<index::ScoredList> slots(n_cliques);
   std::vector<std::uint8_t> shed_slot(n_cliques, 0);
   pool_.ParallelFor(n_cliques, [&](std::size_t i) {
-    if (deadline.ExpiredNow()) {
+    if (PollDeadline(&deadline)) {
       shed_slot[i] = 1;
       return;
     }
@@ -219,7 +208,7 @@ core::SearchResponse QueryExecutor::RunParallel(
     // bit for bit.
     std::vector<double> scores(merged.size(), 0.0);
     pool_.ParallelFor(merged.size(), [&](std::size_t i) {
-      if (deadline.ExpiredNow()) return;
+      if (PollDeadline(&deadline)) return;
       scores[i] =
           engine.Scorer().Score(qm, engine.GetCorpus().Object(merged[i].object));
     });

@@ -1,0 +1,67 @@
+#include "shard/manifest.hpp"
+
+#include "util/crc32.hpp"
+#include "util/serde.hpp"
+
+namespace figdb::shard {
+
+using util::Status;
+using util::StatusOr;
+
+std::string SerializeShardManifest(const ShardManifest& manifest) {
+  util::BinaryWriter payload;
+  payload.PutVarint(manifest.generation);
+  payload.PutVarint(manifest.num_shards);
+  payload.PutU8(static_cast<std::uint8_t>(manifest.placement));
+
+  util::BinaryWriter out;
+  out.PutFixed32(kManifestMagic);
+  out.PutFixed32(kManifestVersion);
+  out.PutFixed32(util::Crc32(payload.Buffer()));
+  out.PutRaw(payload.Buffer());
+  return out.Take();
+}
+
+StatusOr<ShardManifest> ParseShardManifest(std::string_view bytes) {
+  if (bytes.size() < 12)
+    return Status::DataLoss("shard manifest truncated (" +
+                            std::to_string(bytes.size()) + " bytes)");
+  util::BinaryReader header(bytes.substr(0, 12));
+  const std::uint32_t magic = header.GetFixed32();
+  const std::uint32_t version = header.GetFixed32();
+  const std::uint32_t stored_crc = header.GetFixed32();
+  if (magic != kManifestMagic)
+    return Status::InvalidArgument("not a figdb shard manifest");
+  if (version != kManifestVersion)
+    return Status::InvalidArgument("unsupported shard manifest version " +
+                                   std::to_string(version) + " (expected " +
+                                   std::to_string(kManifestVersion) + ")");
+  const std::string_view payload = bytes.substr(12);
+  if (util::Crc32(payload) != stored_crc)
+    return Status::DataLoss("shard manifest CRC mismatch");
+
+  util::BinaryReader reader(payload);
+  ShardManifest manifest;
+  manifest.generation = reader.GetVarint();
+  manifest.num_shards = static_cast<std::uint32_t>(reader.GetVarint());
+  const std::uint8_t placement = reader.GetU8();
+  if (!reader.Ok())
+    return Status::DataLoss("shard manifest payload truncated");
+  if (reader.Remaining() != 0)
+    return Status::InvalidArgument(
+        "shard manifest carries " + std::to_string(reader.Remaining()) +
+        " trailing bytes");
+  if (manifest.generation == 0)
+    return Status::InvalidArgument("shard manifest generation must be >= 1");
+  if (manifest.num_shards == 0 || manifest.num_shards > kMaxShards)
+    return Status::InvalidArgument(
+        "shard manifest num_shards " + std::to_string(manifest.num_shards) +
+        " outside [1, " + std::to_string(kMaxShards) + "]");
+  if (placement != static_cast<std::uint8_t>(PlacementKind::kModulo))
+    return Status::InvalidArgument("unknown shard placement kind " +
+                                   std::to_string(placement));
+  manifest.placement = static_cast<PlacementKind>(placement);
+  return manifest;
+}
+
+}  // namespace figdb::shard

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+/// \file manifest.hpp
+/// The sharded store's placement manifest — the single source of truth for
+/// which generation of shard directories is live.
+///
+/// A sharded store directory looks like
+///
+///   <dir>/MANIFEST            this file (written via util/atomic_file)
+///   <dir>/rebalance.intent    present only mid-rebalance (same format)
+///   <dir>/gen-<G>/shard-<i>/  one FigDbStore per shard of generation G
+///
+/// The manifest is tiny and changes only when the placement changes: a
+/// rebalance builds the ENTIRE next generation of shard stores first, then
+/// commits by atomically replacing MANIFEST (the commit point), then
+/// cleans up the intent file and the old generation. Recovery therefore
+/// never reasons about partially-moved objects — it reads MANIFEST, keeps
+/// exactly the generation it names, and deletes every other gen-* tree
+/// plus any stale intent (see sharded_store.hpp for the full state
+/// machine). Either the old placement or the new one, never a mix.
+///
+/// Framing (all little-endian, mirroring the checkpoint format):
+///   fixed32  magic      0xf19d5a8d
+///   fixed32  version    1
+///   fixed32  crc32      over the payload bytes
+///   payload: varint generation (>= 1)
+///            varint num_shards (1 .. kMaxShards)
+///            u8     placement kind (PlacementKind)
+/// Trailing bytes after the payload are rejected. ParseShardManifest is
+/// the one untrusted-bytes entry point — the fuzz_shard_manifest target
+/// and the recovery path share it.
+
+namespace figdb::shard {
+
+inline constexpr std::uint32_t kManifestMagic = 0xf19d5a8d;
+inline constexpr std::uint32_t kManifestVersion = 1;
+/// Hard ceiling on shard fan-out; placements beyond it are malformed.
+inline constexpr std::uint32_t kMaxShards = 256;
+
+/// How global object ids map to shards. Pluggable by design: kModulo is
+/// the hash placement this PR ships; a topic-aware kind slots in as a new
+/// enumerator + arm in placement.hpp without touching the manifest frame.
+enum class PlacementKind : std::uint8_t {
+  kModulo = 0,
+};
+
+struct ShardManifest {
+  std::uint64_t generation = 1;
+  std::uint32_t num_shards = 1;
+  PlacementKind placement = PlacementKind::kModulo;
+
+  bool operator==(const ShardManifest&) const = default;
+};
+
+std::string SerializeShardManifest(const ShardManifest& manifest);
+
+/// Rejects with kInvalidArgument (wrong magic/version/ranges/trailing
+/// bytes) or kDataLoss (CRC mismatch, truncation). Accepted manifests
+/// round-trip: Parse(Serialize(m)) == m.
+[[nodiscard]] util::StatusOr<ShardManifest> ParseShardManifest(
+    std::string_view bytes);
+
+}  // namespace figdb::shard

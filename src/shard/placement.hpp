@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/media_object.hpp"
+#include "shard/manifest.hpp"
+
+/// \file placement.hpp
+/// Global-id ↔ (shard, local-id) mapping, derived from the manifest.
+///
+/// A sharded store assigns GLOBAL ids sequentially (exactly as an
+/// unsharded corpus would); each shard's FigDbStore assigns LOCAL ids
+/// sequentially within the shard. The placement makes the two coordinate
+/// systems mutually derivable with arithmetic only — no mapping tables to
+/// persist or rebuild:
+///
+///   kModulo:  shard(g)  = g mod N
+///             local(g)  = g div N
+///             global(s, l) = l * N + s
+///
+/// Because modulo placement assigns ids to a shard in increasing global
+/// order, within-shard local order IS global order restricted to the
+/// shard — the property that lets the router's union-merge reproduce the
+/// unsharded TA merge bit for bit (tie-breaks toward smaller id agree
+/// across both coordinate systems).
+///
+/// Removal tombstones slots in place (ids are never reused, exactly the
+/// FigDbStore contract), so these equations stay valid for the life of a
+/// generation; a rebalance re-derives everything under the new manifest.
+
+namespace figdb::shard {
+
+struct Placement {
+  PlacementKind kind = PlacementKind::kModulo;
+  std::uint32_t num_shards = 1;
+
+  explicit Placement(const ShardManifest& manifest)
+      : kind(manifest.placement), num_shards(manifest.num_shards) {}
+
+  std::uint32_t ShardOf(corpus::ObjectId global) const {
+    return global % num_shards;  // kModulo is the only kind today
+  }
+  corpus::ObjectId LocalOf(corpus::ObjectId global) const {
+    return global / num_shards;
+  }
+  corpus::ObjectId GlobalOf(std::uint32_t shard,
+                            corpus::ObjectId local) const {
+    return local * num_shards + shard;
+  }
+
+  /// Objects shard \p shard holds out of \p total global ids — the
+  /// consistency check recovery runs against what is actually on disk.
+  std::size_t ShardSize(std::size_t total, std::uint32_t shard) const {
+    return total / num_shards + (shard < total % num_shards ? 1 : 0);
+  }
+};
+
+}  // namespace figdb::shard

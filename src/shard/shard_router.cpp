@@ -1,0 +1,335 @@
+#include "shard/shard_router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "index/threshold_algorithm.hpp"
+#include "util/backoff.hpp"
+#include "util/epoch.hpp"
+#include "util/failpoint.hpp"
+#include "util/shared_deadline.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/top_k.hpp"
+
+namespace figdb::shard {
+namespace {
+
+using util::Status;
+using util::StatusCode;
+using util::StatusOr;
+
+/// The consistent per-query view: one epoch pin + snapshot pointer per
+/// shard, taken pin-then-load before the first leg is dispatched. Held by
+/// shared_ptr from every leg closure, so an abandoned straggler keeps the
+/// pins alive until it drains — the writer can publish and retire freely
+/// underneath. Retries reuse this view: "retry against the shard's last
+/// good snapshot" means the snapshot the query started with.
+struct PinnedView {
+  std::vector<std::unique_ptr<util::EpochReclaimer::ReadGuard>> guards;
+  std::vector<const ShardSnapshot*> snaps;
+};
+
+/// What one scatter leg produced. Entries carry GLOBAL ids and exact
+/// aggregate stage-1 scores; `bound` is the shard's TA stop bound.
+struct LegOutcome {
+  Status status = Status::Ok();
+  std::vector<core::SearchResult> entries;
+  double bound = 0.0;
+};
+
+/// Completion mailbox between a pool leg and the gathering caller.
+struct LegState {
+  util::Mutex mu;
+  util::CondVar cv;
+  bool done FIGDB_GUARDED_BY(mu) = false;
+  LegOutcome outcome FIGDB_GUARDED_BY(mu);
+};
+
+/// Stage 1 on one shard: per-clique candidate lists + local top-\p r TA
+/// merge over the pinned snapshot, ids mapped to global. The three shard
+/// fail-points fire here, in deterministic leg order under workers = 0.
+LegOutcome RunLeg(const ShardSnapshot& snap, const core::QueryModel& qm,
+                  std::size_t r, index::EngineOptions::MergeMode merge,
+                  util::SharedDeadline* deadline) {
+  LegOutcome out;
+  if (FIGDB_FAILPOINT("shard/slow"))
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  if (FIGDB_FAILPOINT("shard/wounded")) {
+    out.status = Status::Unavailable(
+        "shard " + std::to_string(snap.ShardId()) + " is wounded");
+    return out;
+  }
+
+  std::vector<index::ScoredList> lists;
+  lists.reserve(qm.cliques.size());
+  for (const core::Clique& clique : qm.cliques) {
+    if (deadline->ExpiredNow()) {
+      out.status = Status::DeadlineExceeded(
+          "deadline expired on shard " + std::to_string(snap.ShardId()));
+      return out;
+    }
+    index::ScoredList list = snap.Engine().BuildCliqueList(clique);
+    if (!list.entries.empty()) lists.push_back(std::move(list));
+  }
+
+  bool truncated = false;
+  std::vector<core::SearchResult> merged =
+      merge == index::EngineOptions::MergeMode::kThresholdAlgorithm
+          ? index::ThresholdMerge(std::move(lists), r, nullptr, &truncated,
+                                  &out.bound)
+          : index::ExhaustiveMerge(lists, r, nullptr, &truncated, &out.bound);
+  for (core::SearchResult& e : merged) e.object = snap.GlobalOf(e.object);
+  out.entries = std::move(merged);
+
+  // The work is DONE; this drill loses the answer in transit, so a retry
+  // redoes the work against the same snapshot and succeeds.
+  if (FIGDB_FAILPOINT("shard/scatter_drop")) {
+    out = LegOutcome{};
+    out.status = Status::Unavailable(
+        "scatter answer from shard " + std::to_string(snap.ShardId()) +
+        " dropped in transit");
+  }
+  return out;
+}
+
+/// Blocks until the leg completes or the shared deadline passes. Returns
+/// false only on expiry with the leg still outstanding — the straggler
+/// case; the leg itself keeps running detached on its worker.
+bool AwaitLeg(LegState& st, util::SharedDeadline& deadline) {
+  util::MutexLock lock(st.mu);
+  while (!st.done) {
+    if (!deadline.Armed()) {
+      st.cv.Wait(lock);
+      continue;
+    }
+    if (!st.cv.WaitUntil(lock, deadline.At())) {
+      if (st.done) return true;
+      // Reaching At() is expiry by definition; ExpiredNow latches it for
+      // every later poll (boundary tick: loop once more and re-wait).
+      if (deadline.ExpiredNow()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(RouterOptions options)
+    : options_(options), pool_(options.workers) {}
+
+std::size_t ShardRouter::MaxConcurrent() const {
+  if (options_.max_concurrent != 0) return options_.max_concurrent;
+  return 4 * std::max<std::size_t>(1, options_.workers);
+}
+
+std::size_t ShardRouter::DegradeConcurrent() const {
+  if (options_.degrade_concurrent != 0) return options_.degrade_concurrent;
+  return 2 * std::max<std::size_t>(1, options_.workers);
+}
+
+RouterStats ShardRouter::Stats() const {
+  RouterStats s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.partial = partial_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.stragglers = stragglers_.load(std::memory_order_relaxed);
+  return s;
+}
+
+StatusOr<ShardedSearchResult> ShardRouter::Search(
+    const ShardedStore& store, const corpus::MediaObject& query, std::size_t k,
+    const util::QueryBudget& budget) const {
+  const std::uint32_t n = store.NumShards();
+
+  // Pin the per-query view before anything else: every leg, every retry
+  // and the rerank stage read these exact snapshots.
+  auto view = std::make_shared<PinnedView>();
+  view->guards.reserve(n);
+  view->snaps.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    view->guards.push_back(std::make_unique<util::EpochReclaimer::ReadGuard>(
+        store.Reclaimer()));
+    view->snaps.push_back(store.SnapshotOf(s));
+  }
+
+  // Validate on any shard engine: validation depends only on the shared
+  // context and statistics, which every shard's snapshot pins identically.
+  FIGDB_RETURN_IF_ERROR(view->snaps[0]->Engine().ValidateQuery(query, k));
+
+  const std::size_t count = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  struct InFlight {
+    std::atomic<std::size_t>* c;
+    ~InFlight() { c->fetch_sub(1, std::memory_order_acq_rel); }
+  } in_flight_release{&in_flight_};
+  if (count > MaxConcurrent()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "admission rejected by the hard concurrency cap: " +
+        std::to_string(count - 1) + " queries already in flight, hard cap " +
+        std::to_string(MaxConcurrent()) + " rejects, soft cap " +
+        std::to_string(DegradeConcurrent()) +
+        " sheds the rerank stage instead of rejecting");
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  const bool degrade = count > DegradeConcurrent();
+  if (degrade) degraded_.fetch_add(1, std::memory_order_relaxed);
+
+  const index::EngineOptions& eopts = store.GetOptions().engine;
+  const std::size_t stage1_k = eopts.rerank_candidates == 0
+                                   ? k
+                                   : std::max(k, eopts.rerank_candidates);
+  const auto merge_mode = eopts.merge;
+  auto deadline = std::make_shared<util::SharedDeadline>(budget);
+  auto qm = std::make_shared<const core::QueryModel>(
+      view->snaps[0]->Engine().Scorer().Compile(query, eopts.type_mask));
+
+  // Legs must be self-contained: an abandoned straggler may outlive this
+  // call, so closures capture the view/model/deadline by shared_ptr and
+  // never touch the router or the store.
+  const bool inline_legs = pool_.Workers() == 0;
+  auto dispatch = [&](std::uint32_t s) {
+    auto st = std::make_shared<LegState>();
+    auto run = [view, qm, deadline, st, s, stage1_k, merge_mode] {
+      LegOutcome o =
+          RunLeg(*view->snaps[s], *qm, stage1_k, merge_mode, deadline.get());
+      util::MutexLock lock(st->mu);
+      st->outcome = std::move(o);
+      st->done = true;
+      st->cv.NotifyAll();
+    };
+    if (inline_legs)
+      run();
+    else
+      pool_.Submit(std::move(run));
+    return st;
+  };
+
+  // Scatter attempt 0 for every shard up front (inline mode defers each
+  // leg to its gather turn so fail-point hits land in shard order).
+  std::vector<std::shared_ptr<LegState>> legs(n);
+  if (!inline_legs)
+    for (std::uint32_t s = 0; s < n; ++s) legs[s] = dispatch(s);
+
+  ShardedSearchResult result;
+  result.shards_total = n;
+  std::vector<std::vector<core::SearchResult>> shard_entries(n);
+  Status last_failure = Status::Ok();
+
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (inline_legs) legs[s] = dispatch(s);
+    util::Backoff backoff(options_.retry_backoff_seconds,
+                          options_.max_backoff_seconds);
+    std::shared_ptr<LegState> leg = legs[s];
+    for (std::size_t attempt = 0;; ++attempt) {
+      if (!AwaitLeg(*leg, *deadline)) {
+        // Straggler: abandon the shard; the leg drains detached and its
+        // pins are released when the closure is destroyed.
+        stragglers_.fetch_add(1, std::memory_order_relaxed);
+        last_failure = Status::DeadlineExceeded(
+            "shard " + std::to_string(s) + " straggled past the deadline");
+        break;
+      }
+      LegOutcome outcome;
+      {
+        util::MutexLock lock(leg->mu);
+        outcome = std::move(leg->outcome);
+      }
+      if (outcome.status.ok()) {
+        shard_entries[s] = std::move(outcome.entries);
+        result.ta_bound = std::max(result.ta_bound, outcome.bound);
+        ++result.shards_answered;
+        break;
+      }
+      // Only kUnavailable is retriable (transient shard fault / lost
+      // answer). Deadline expiry never is — retrying it burns the other
+      // shards' remaining budget.
+      if (outcome.status.code() == StatusCode::kUnavailable &&
+          attempt < options_.max_retries && !deadline->ExpiredNow()) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        ++result.retries;
+        std::this_thread::sleep_for(backoff.Next());
+        leg = dispatch(s);
+        continue;
+      }
+      last_failure = outcome.status;
+      break;
+    }
+  }
+
+  if (result.shards_answered == 0) {
+    if (deadline->ExpiredNow())
+      return Status::DeadlineExceeded(
+          "deadline expired before any of " + std::to_string(n) +
+          " shards answered");
+    return Status{last_failure.ok() ? StatusCode::kUnavailable
+                                    : last_failure.code(),
+                  "all " + std::to_string(n) +
+                      " shards failed; last error: " + last_failure.message()};
+  }
+
+  // Gather-merge: the union of per-shard top-R lists ordered by
+  // (score desc, global id asc) truncated to R IS the stage-1 merge over
+  // the answered shards' union — bit-identical to the unsharded merge
+  // when every shard answered (see the file comment for the argument).
+  std::vector<core::SearchResult> merged;
+  for (auto& entries : shard_entries)
+    merged.insert(merged.end(), entries.begin(), entries.end());
+  std::sort(merged.begin(), merged.end(),
+            [](const core::SearchResult& a, const core::SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.object < b.object;
+            });
+  if (merged.size() > stage1_k) merged.resize(stage1_k);
+
+  core::SearchResponse& resp = result.response;
+  const Placement placement = store.GetPlacement();
+  bool shed_rerank = eopts.rerank_candidates == 0 || degrade ||
+                     deadline->ExpiredNow();
+  if (!shed_rerank) {
+    // Stage 2 through the owning shards' pinned snapshots, slot-indexed so
+    // worker scheduling cannot perturb the output; sequential top-k offers
+    // in merge order reproduce the unsharded rerank's tie-breaking.
+    std::vector<double> scores(merged.size(), 0.0);
+    pool_.ParallelFor(merged.size(), [&](std::size_t i) {
+      if (deadline->ExpiredNow()) return;
+      const corpus::ObjectId g = merged[i].object;
+      const ShardSnapshot& snap = *view->snaps[placement.ShardOf(g)];
+      scores[i] = snap.Engine().Scorer().Score(
+          *qm, snap.GetCorpus().Object(placement.LocalOf(g)));
+    });
+    if (deadline->ExpiredNow()) {
+      // Mid-rerank expiry: unscored slots would corrupt the ranking —
+      // shed the whole stage (executor semantics).
+      shed_rerank = true;
+    } else {
+      util::TopK<corpus::ObjectId> topk(k);
+      for (std::size_t i = 0; i < merged.size(); ++i)
+        topk.Offer(scores[i], merged[i].object);
+      resp.results.clear();
+      resp.results.reserve(topk.Size());
+      for (const auto& e : topk.Take())
+        resp.results.push_back({e.id, e.score});
+      resp.reranked = true;
+    }
+  }
+  if (!resp.reranked) {
+    if (merged.size() > k) merged.resize(k);
+    resp.results = std::move(merged);
+    if (eopts.rerank_candidates != 0) resp.truncated = true;
+  }
+  if (!result.Complete()) {
+    resp.truncated = true;  // degradation is never silent
+    partial_.fetch_add(1, std::memory_order_relaxed);
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace figdb::shard

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/retriever.hpp"
+#include "corpus/media_object.hpp"
+#include "shard/sharded_store.hpp"
+#include "util/query_budget.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file shard_router.hpp
+/// Scatter-gather top-k over a ShardedStore, with fault tolerance.
+///
+/// Algorithm 1 distributes cleanly: each shard runs stage 1 (per-clique
+/// inverted-list candidates + TA merge) over ITS objects and returns its
+/// local top-R with exact aggregate scores plus a TA stop bound — an upper
+/// bound on the score of everything it withheld. Because every shard
+/// engine adopts the store's GLOBAL statistics, per-object scores equal
+/// the unsharded engine's; because any object in the global top-R is a
+/// fortiori in its own shard's top-R, sorting the union of the per-shard
+/// lists (score desc, global id asc — the TopK tie-break) and truncating
+/// to R reproduces the unsharded stage-1 merge bit for bit, certified by
+/// max(per-shard bounds). Stage 2 (full-model rerank) then scores the
+/// merged candidates through their owning shards' snapshots in merge
+/// order — the unsharded rerank's exact offer sequence.
+///
+/// The robustness spine (degrade before reject):
+///
+///   STRAGGLERS   every leg polls one util::SharedDeadline; the gather
+///                waits per leg only until that deadline. A leg that has
+///                not answered by then is ABANDONED — it finishes (or
+///                dies) on its worker later, releasing its epoch pin when
+///                the task is destroyed, and its shard goes unanswered.
+///   RETRIES      a leg that fails retriably (kUnavailable: the
+///                `shard/wounded` and `shard/scatter_drop` drills, or a
+///                real fault) is retried with bounded exponential backoff
+///                against the SAME pinned snapshot — the shard's last
+///                good published state. Deadline expiry is never retried.
+///   PARTIAL      when retries exhaust, the query degrades instead of
+///                failing: the response carries shards_answered <
+///                shards_total and is marked truncated. The results are
+///                then exactly the correct top-k of the union of the
+///                surviving shards' objects (the certificate only spans
+///                answered shards). Only zero answered shards is an error.
+///
+/// Fail-points (scatter-leg sites, in leg order): `shard/slow` makes a leg
+/// sleep past sub-deadlines, `shard/wounded` fails a leg before it does
+/// any work, `shard/scatter_drop` loses a COMPLETED answer in transit
+/// (same work, retriable loss — distinct from wounded so tests can drill
+/// retry-after-work separately).
+///
+/// Lifetimes: the router owns the pool its legs run on, so destroying the
+/// router joins every outstanding leg. Destroy the router BEFORE the store
+/// it queried (the store's epoch reclaimer requires drained readers).
+
+namespace figdb::shard {
+
+struct RouterOptions {
+  /// Scatter pool size. 0 runs every leg inline on the caller in shard
+  /// order — deterministic, used by the fault-injection tests.
+  std::size_t workers = 4;
+  /// Retries per shard AFTER the first attempt (0 = fail fast).
+  std::size_t max_retries = 2;
+  /// First retry delay; doubles per attempt, capped at the max. No jitter:
+  /// retries replay deterministically, and only the single gather thread
+  /// sleeps (no thundering herd to spread).
+  double retry_backoff_seconds = 0.001;
+  double max_backoff_seconds = 0.050;
+  /// Admission caps, QueryExecutor semantics: above the soft cap admitted
+  /// queries shed their rerank stage; above the hard cap they are
+  /// rejected. 0 = derive from workers (4x / 2x).
+  std::size_t max_concurrent = 0;
+  std::size_t degrade_concurrent = 0;
+};
+
+/// Counters since construction (relaxed; exact under quiescence).
+struct RouterStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t degraded = 0;   ///< admitted above the soft cap (rerank shed)
+  std::uint64_t completed = 0;  ///< returned OK (complete or partial)
+  std::uint64_t partial = 0;    ///< completed with shards_answered < total
+  std::uint64_t retries = 0;    ///< scatter legs re-dispatched
+  std::uint64_t stragglers = 0; ///< scatter legs abandoned at the deadline
+};
+
+/// A scatter-gather answer. Results are globally exact when Complete();
+/// otherwise they are exactly the top-k of the union of the answered
+/// shards' objects — the response never silently mixes in stale or
+/// partial per-shard data.
+struct ShardedSearchResult {
+  core::SearchResponse response;
+  std::size_t shards_answered = 0;
+  std::size_t shards_total = 0;
+  /// Leg re-dispatches this query needed (0 on the fault-free path).
+  std::uint64_t retries = 0;
+  /// TA certificate: max per-shard stop bound — no object a responding
+  /// shard withheld can score above it. Spans only the answered shards.
+  double ta_bound = 0.0;
+
+  /// False = PARTIAL: one or more shards never answered (straggler or
+  /// exhausted retries) and their objects are absent from the results.
+  bool Complete() const { return shards_answered == shards_total; }
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterOptions options = {});
+
+  /// Scatter-gather top-k. Validation and admission mirror the serving
+  /// executor (kInvalidArgument / kResourceExhausted with the cap that
+  /// fired); kDeadlineExceeded when the deadline expired before ANY shard
+  /// answered, kUnavailable when every shard failed. Any answered shard
+  /// yields OK — check Complete() for degradation.
+  util::StatusOr<ShardedSearchResult> Search(
+      const ShardedStore& store, const corpus::MediaObject& query,
+      std::size_t k, const util::QueryBudget& budget = {}) const;
+
+  RouterStats Stats() const;
+
+  std::size_t MaxConcurrent() const;
+  std::size_t DegradeConcurrent() const;
+
+ private:
+  RouterOptions options_;
+  mutable util::ThreadPool pool_;
+  mutable std::atomic<std::size_t> in_flight_{0};
+  mutable std::atomic<std::uint64_t> admitted_{0};
+  mutable std::atomic<std::uint64_t> rejected_{0};
+  mutable std::atomic<std::uint64_t> degraded_{0};
+  mutable std::atomic<std::uint64_t> completed_{0};
+  mutable std::atomic<std::uint64_t> partial_{0};
+  mutable std::atomic<std::uint64_t> retries_{0};
+  mutable std::atomic<std::uint64_t> stragglers_{0};
+};
+
+}  // namespace figdb::shard

@@ -1,0 +1,378 @@
+#include "shard/sharded_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace figdb::shard {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+/// Read-only whole-file slurp (the manifest is tiny). kNotFound when the
+/// file does not exist, kUnavailable on a read error.
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string bytes;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::Unavailable("read error on " + path);
+  return bytes;
+}
+
+/// One numbered crash site of the rebalance protocol. Firing simulates the
+/// process dying here: the caller aborts with kUnavailable and the test
+/// harness re-opens the directory through Recover().
+Status RebalanceCrashPoint(const std::string& site) {
+  if (FIGDB_FAILPOINT("shard/rebalance_crash"))
+    return Status::Unavailable("injected rebalance crash " + site);
+  return Status::Ok();
+}
+
+/// Deletes every gen-* subtree of \p dir except \p keep_generation.
+/// keep_generation = 0 keeps nothing. Best-effort (recovery re-runs it).
+void SweepGenerations(const std::string& dir, std::uint64_t keep_generation) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("gen-", 0) != 0) continue;
+    if (keep_generation != 0 &&
+        name == "gen-" + std::to_string(keep_generation))
+      continue;
+    std::filesystem::remove_all(entry.path(), ec);
+  }
+}
+
+}  // namespace
+
+std::string ShardedStore::ManifestPath(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+std::string ShardedStore::IntentPath(const std::string& dir) {
+  return dir + "/rebalance.intent";
+}
+std::string ShardedStore::GenDir(const std::string& dir, std::uint64_t gen) {
+  return dir + "/gen-" + std::to_string(gen);
+}
+std::string ShardedStore::ShardDir(const std::string& dir, std::uint64_t gen,
+                                   std::uint32_t shard) {
+  return GenDir(dir, gen) + "/shard-" + std::to_string(shard);
+}
+
+StatusOr<ShardedStore> ShardedStore::Create(const std::string& dir,
+                                            const corpus::Corpus& base,
+                                            Options options) {
+  if (options.num_shards == 0 || options.num_shards > kMaxShards)
+    return Status::InvalidArgument(
+        "num_shards " + std::to_string(options.num_shards) + " outside [1, " +
+        std::to_string(kMaxShards) + "]");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    return Status::Unavailable("cannot create " + dir + ": " + ec.message());
+  if (std::filesystem::exists(ManifestPath(dir)))
+    return Status::FailedPrecondition(dir +
+                                      " already holds a sharded store");
+  // A crashed earlier Create may have left shard directories with no
+  // manifest; without a manifest nothing was ever committed.
+  SweepGenerations(dir, 0);
+
+  ShardManifest manifest;
+  manifest.generation = 1;
+  manifest.num_shards = options.num_shards;
+  manifest.placement = PlacementKind::kModulo;
+  const Placement placement(manifest);
+
+  std::filesystem::create_directories(GenDir(dir, manifest.generation), ec);
+  if (ec)
+    return Status::Unavailable("cannot create generation dir: " +
+                               ec.message());
+  std::vector<index::FigDbStore> stores;
+  stores.reserve(manifest.num_shards);
+  for (std::uint32_t s = 0; s < manifest.num_shards; ++s) {
+    corpus::Corpus sc = base.Prefix(0);
+    for (corpus::ObjectId g = 0; g < base.Size(); ++g)
+      if (placement.ShardOf(g) == s) sc.Add(base.Object(g));
+    auto store = index::FigDbStore::Create(
+        ShardDir(dir, manifest.generation, s), sc, options.store);
+    if (!store.ok()) return store.status();
+    stores.push_back(std::move(*store));
+  }
+
+  // Commit point: the manifest names generation 1 only after every shard
+  // store is fully durable.
+  FIGDB_RETURN_IF_ERROR(util::AtomicWriteFile(ManifestPath(dir),
+                                              SerializeShardManifest(manifest)));
+  FIGDB_RETURN_IF_ERROR(util::SyncParentDirectory(ManifestPath(dir)));
+  return Open(dir, manifest, std::move(options), std::move(stores), base);
+}
+
+StatusOr<ShardedStore> ShardedStore::Recover(const std::string& dir,
+                                             Options options) {
+  auto manifest_bytes = ReadFileBytes(ManifestPath(dir));
+  if (!manifest_bytes.ok())
+    return Status::NotFound("no sharded store at " + dir + " (" +
+                            manifest_bytes.status().message() + ")");
+  auto manifest = ParseShardManifest(*manifest_bytes);
+  FIGDB_RETURN_IF_ERROR(manifest.status());
+
+  // Resolve an interrupted rebalance. The intent is advisory — MANIFEST is
+  // the only commit point — so every branch just deletes what the manifest
+  // does not name. An unreadable intent gets the same treatment: whatever
+  // generation it advertised was never committed.
+  std::error_code ec;
+  if (std::filesystem::exists(IntentPath(dir))) {
+    std::filesystem::remove(IntentPath(dir), ec);
+    if (ec)
+      return Status::Unavailable("cannot remove stale rebalance intent: " +
+                                 ec.message());
+  }
+  SweepGenerations(dir, manifest->generation);
+
+  const Placement placement(*manifest);
+  std::vector<index::FigDbStore> stores;
+  stores.reserve(manifest->num_shards);
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < manifest->num_shards; ++s) {
+    auto store = index::FigDbStore::Recover(
+        ShardDir(dir, manifest->generation, s), options.store);
+    if (!store.ok())
+      return Status{store.status().code(),
+                    "shard " + std::to_string(s) + ": " +
+                        std::string(store.status().message())};
+    total += store->GetCorpus().Size();
+    stores.push_back(std::move(*store));
+  }
+  // The placement arithmetic admits exactly one size per shard; anything
+  // else means a shard directory from a different lineage was swapped in.
+  for (std::uint32_t s = 0; s < manifest->num_shards; ++s) {
+    const std::size_t want = placement.ShardSize(total, s);
+    const std::size_t got = stores[s].GetCorpus().Size();
+    if (got != want)
+      return Status::DataLoss(
+          "shard " + std::to_string(s) + " holds " + std::to_string(got) +
+          " objects, placement requires " + std::to_string(want));
+  }
+
+  // Rebuild the union corpus in global-id order so the statistics lineage
+  // is re-derived exactly as Create derived it (bit-identity across
+  // restarts).
+  corpus::Corpus union_corpus = stores.empty()
+                                    ? corpus::Corpus{}
+                                    : stores[0].GetCorpus().Prefix(0);
+  for (corpus::ObjectId g = 0; g < total; ++g)
+    union_corpus.Add(
+        stores[placement.ShardOf(g)].GetCorpus().Object(placement.LocalOf(g)));
+  return Open(dir, *manifest, std::move(options), std::move(stores),
+              union_corpus);
+}
+
+ShardedStore ShardedStore::Open(std::string dir, ShardManifest manifest,
+                                Options options,
+                                std::vector<index::FigDbStore> stores,
+                                const corpus::Corpus& union_corpus) {
+  ShardedStore out;
+  out.dir_ = std::move(dir);
+  out.options_ = std::move(options);
+  out.manifest_ = manifest;
+  out.total_objects_ = union_corpus.Size();
+  out.matrix_ = std::make_shared<const stats::FeatureMatrix>(
+      stats::FeatureMatrix::Build(union_corpus));
+  out.correlations_ = std::make_shared<const stats::CorrelationModel>(
+      union_corpus.SharedContext(), out.matrix_,
+      out.options_.engine.correlations);
+  out.ebr_ = std::make_unique<util::EpochReclaimer>();
+  out.AdoptStores(std::move(stores));
+  return out;
+}
+
+void ShardedStore::AdoptStores(std::vector<index::FigDbStore> stores) {
+  // Retire the outgoing snapshots through the reclaimer FIRST: an
+  // abandoned straggler leg may still hold a pin on one of them.
+  for (auto& slot : shards_) {
+    const ShardSnapshot* prev =
+        slot->current.exchange(nullptr, std::memory_order_seq_cst);
+    if (prev != nullptr) ebr_->Retire([prev] { delete prev; });
+  }
+  shards_.clear();
+  shards_.reserve(stores.size());
+  for (auto& store : stores) {
+    index::CliqueIndex qi = index::CliqueIndex::Build(
+        store.GetCorpus(), *correlations_, options_.engine.index);
+    shards_.push_back(
+        std::make_unique<Shard>(std::move(store), std::move(qi)));
+  }
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) PublishShard(s);
+}
+
+void ShardedStore::PublishShard(std::uint32_t s) {
+  Shard& shard = *shards_[s];
+  index::CliqueIndex copy;
+  {
+    util::ScopedRole writer(shard.query_index.WriterCap());
+    shard.query_index.CompactAll();
+    copy = shard.query_index;  // compacted; the copy gets a fresh role
+  }
+  auto snap = std::make_unique<const ShardSnapshot>(
+      s, manifest_, shard.store.LastLsn(), shard.store.GetCorpus(),
+      options_.engine, matrix_, correlations_, std::move(copy));
+  const ShardSnapshot* prev =
+      shard.current.exchange(snap.release(), std::memory_order_seq_cst);
+  if (prev != nullptr) ebr_->Retire([prev] { delete prev; });
+  shard.dirty = false;
+}
+
+StatusOr<corpus::ObjectId> ShardedStore::Ingest(corpus::MediaObject object) {
+  const auto gid = static_cast<corpus::ObjectId>(total_objects_);
+  const Placement placement = GetPlacement();
+  Shard& shard = *shards_[placement.ShardOf(gid)];
+  auto local = shard.store.Ingest(std::move(object));
+  if (!local.ok()) return local.status();
+  FIGDB_CHECK(*local == placement.LocalOf(gid));
+  {
+    util::ScopedRole writer(shard.query_index.WriterCap());
+    shard.query_index.AddObject(shard.store.GetCorpus().Object(*local),
+                                *correlations_);
+  }
+  shard.dirty = true;
+  ++total_objects_;
+  return gid;
+}
+
+Status ShardedStore::Remove(corpus::ObjectId global_id) {
+  if (global_id >= total_objects_)
+    return Status::NotFound("global id " + std::to_string(global_id) +
+                            " past the end of the corpus");
+  const Placement placement = GetPlacement();
+  Shard& shard = *shards_[placement.ShardOf(global_id)];
+  FIGDB_RETURN_IF_ERROR(shard.store.Remove(placement.LocalOf(global_id)));
+  {
+    util::ScopedRole writer(shard.query_index.WriterCap());
+    shard.query_index.RemoveObject(placement.LocalOf(global_id));
+  }
+  shard.dirty = true;
+  return Status::Ok();
+}
+
+Status ShardedStore::Checkpoint() {
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    Status st = shards_[s]->store.Checkpoint();
+    if (!st.ok())
+      return Status{st.code(), "shard " + std::to_string(s) + ": " +
+                                   std::string(st.message())};
+  }
+  return Status::Ok();
+}
+
+Status ShardedStore::Publish() {
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (!shard.dirty) continue;
+    if (shard.store.Wounded()) continue;  // last good snapshot keeps serving
+    PublishShard(s);
+  }
+  // Reclaim whatever the drained readers have released.
+  ebr_->TryReclaim();
+  return Status::Ok();
+}
+
+corpus::Corpus ShardedStore::UnionCorpus() const {
+  const Placement placement = GetPlacement();
+  corpus::Corpus u = shards_.empty() ? corpus::Corpus{}
+                                     : shards_[0]->store.GetCorpus().Prefix(0);
+  for (corpus::ObjectId g = 0; g < total_objects_; ++g)
+    u.Add(shards_[placement.ShardOf(g)]->store.GetCorpus().Object(
+        placement.LocalOf(g)));
+  return u;
+}
+
+Status ShardedStore::Rebalance(std::uint32_t new_num_shards) {
+  if (new_num_shards == 0 || new_num_shards > kMaxShards)
+    return Status::InvalidArgument(
+        "num_shards " + std::to_string(new_num_shards) + " outside [1, " +
+        std::to_string(kMaxShards) + "]");
+  for (std::uint32_t s = 0; s < shards_.size(); ++s)
+    if (shards_[s]->store.Wounded())
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(s) +
+          " is wounded; recover the store before rebalancing");
+
+  ShardManifest next = manifest_;
+  next.generation = manifest_.generation + 1;
+  next.num_shards = new_num_shards;
+  const Placement placement(next);
+
+  // Phase 1: declare intent, then build the ENTIRE next generation. Until
+  // the commit point below, nothing in memory changes and recovery rolls
+  // every on-disk leftover back.
+  FIGDB_RETURN_IF_ERROR(RebalanceCrashPoint("before writing intent"));
+  FIGDB_RETURN_IF_ERROR(util::AtomicWriteFile(IntentPath(dir_),
+                                              SerializeShardManifest(next)));
+  FIGDB_RETURN_IF_ERROR(util::SyncParentDirectory(IntentPath(dir_)));
+  FIGDB_RETURN_IF_ERROR(RebalanceCrashPoint("after writing intent"));
+
+  const corpus::Corpus u = UnionCorpus();
+  std::error_code ec;
+  std::filesystem::create_directories(GenDir(dir_, next.generation), ec);
+  if (ec)
+    return Status::Unavailable("cannot create generation dir: " +
+                               ec.message());
+  std::vector<index::FigDbStore> stores;
+  stores.reserve(new_num_shards);
+  for (std::uint32_t s = 0; s < new_num_shards; ++s) {
+    FIGDB_RETURN_IF_ERROR(RebalanceCrashPoint("before creating shard " +
+                                              std::to_string(s)));
+    corpus::Corpus sc = u.Prefix(0);
+    for (corpus::ObjectId g = 0; g < u.Size(); ++g)
+      if (placement.ShardOf(g) == s) sc.Add(u.Object(g));
+    auto store = index::FigDbStore::Create(
+        ShardDir(dir_, next.generation, s), sc, options_.store);
+    if (!store.ok()) return store.status();
+    stores.push_back(std::move(*store));
+    FIGDB_RETURN_IF_ERROR(RebalanceCrashPoint("after creating shard " +
+                                              std::to_string(s)));
+  }
+
+  // Phase 2: commit by atomically replacing the manifest, then swap the
+  // in-memory shard set. After the rename lands the new placement is the
+  // truth — every later failure leaves only sweepable leftovers.
+  FIGDB_RETURN_IF_ERROR(RebalanceCrashPoint("before manifest commit"));
+  FIGDB_RETURN_IF_ERROR(util::AtomicWriteFile(ManifestPath(dir_),
+                                              SerializeShardManifest(next)));
+  FIGDB_RETURN_IF_ERROR(util::SyncParentDirectory(ManifestPath(dir_)));
+  const std::uint64_t old_generation = manifest_.generation;
+  manifest_ = next;
+  AdoptStores(std::move(stores));
+  FIGDB_RETURN_IF_ERROR(RebalanceCrashPoint("after manifest commit"));
+
+  FIGDB_RETURN_IF_ERROR(RebalanceCrashPoint("before intent cleanup"));
+  std::filesystem::remove(IntentPath(dir_), ec);
+  FIGDB_RETURN_IF_ERROR(RebalanceCrashPoint("before old generation cleanup"));
+  std::filesystem::remove_all(GenDir(dir_, old_generation), ec);
+  FIGDB_RETURN_IF_ERROR(RebalanceCrashPoint("after cleanup"));
+  return Status::Ok();
+}
+
+std::size_t ShardedStore::LiveObjects() const {
+  std::size_t live = 0;
+  for (const auto& shard : shards_) live += shard->store.LiveObjects();
+  return live;
+}
+
+bool ShardedStore::AnyWounded() const {
+  for (const auto& shard : shards_)
+    if (shard->store.Wounded()) return true;
+  return false;
+}
+
+}  // namespace figdb::shard

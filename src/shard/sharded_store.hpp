@@ -1,0 +1,281 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "index/figdb_store.hpp"
+#include "index/retrieval_engine.hpp"
+#include "shard/manifest.hpp"
+#include "shard/placement.hpp"
+#include "util/epoch.hpp"
+#include "util/status.hpp"
+
+/// \file sharded_store.hpp
+/// Corpus partitioned across N FigDbStore shards with global statistics.
+///
+/// ROADMAP item 1's architectural unlock: one store cannot hold a
+/// millions-of-objects corpus, so ShardedStore places each object (by
+/// global id, modulo hash — pluggable via PlacementKind) on one of N
+/// FigDbStore shards, each with its OWN WAL and checkpoint in its own
+/// directory. Durability is therefore per shard: a crash wounds or loses
+/// at most the shards it touched, and recovery replays N independent WALs.
+///
+/// THE INVARIANT THAT MAKES SHARDED ANSWERS EXACT: scoring depends on the
+/// corpus-wide statistics (feature matrix → correlation model), and a
+/// shard's local statistics differ from the union's. So the sharded store
+/// pins ONE global statistics lineage — built over the union corpus in
+/// global-id order at Create, re-derived from the recovered union at
+/// Recover, exactly FigDbStore's pin-per-lineage rule — and every shard
+/// query engine adopts it. Each shard additionally maintains a QUERY index
+/// built with the global correlations (the per-shard FigDbStore's own
+/// index uses local stats and exists only as part of that store's
+/// self-contained durability contract). Scores are pure functions of
+/// features + statistics (never object ids), so a shard-local engine
+/// produces bit-identical scores to the unsharded engine for the same
+/// object — the foundation of the router's bit-identity guarantee.
+///
+/// Reads are snapshot-isolated, the serving-layer shape: the writer
+/// publishes an immutable ShardSnapshot per shard through an atomic
+/// pointer and retires the previous one through an EpochReclaimer shared
+/// by all shards; router legs pin an epoch before loading the pointer. A
+/// straggler leg abandoned by its gather keeps its pin until the leg
+/// drains, so the writer can keep publishing without freeing under it. A
+/// WOUNDED shard (durability failure) refuses mutations and is skipped by
+/// Publish — its last good snapshot keeps serving, which is what the
+/// router's retry-then-degrade path leans on.
+///
+/// WRITER CONTRACT: Ingest / Remove / Checkpoint / Publish / Rebalance are
+/// single-threaded (the FigDbStore contract, inherited). Readers only ever
+/// touch Reclaimer() + SnapshotOf(), which are lock-free. Destroying the
+/// store (or rebalancing it) while scatter legs are in flight is UB — the
+/// ShardRouter joins its pool on destruction, so "router dies before
+/// store" is the lifetime rule.
+///
+/// REBALANCE is a crash-recoverable two-phase protocol over the manifest
+/// (manifest.hpp has the directory layout):
+///
+///   1. write rebalance.intent = target manifest   (atomic)
+///   2. build EVERY new-generation shard store, fully durable
+///   3. commit: atomically replace MANIFEST        (the commit point)
+///   4. cleanup: delete intent, delete old generation
+///
+/// Recovery inverts it: MANIFEST names the only generation that exists;
+/// an intent newer than MANIFEST means the crash hit before the commit
+/// (delete the half-built new generation, stay old), an intent at or
+/// below it means the crash hit after (delete the leftovers, stay new).
+/// Either way the recovered placement is consistent — old or new, never a
+/// mix. The `shard/rebalance_crash` fail-point threads numbered crash
+/// sites through every step; the crash matrix in tests/shard_test.cpp
+/// drives them exhaustively. Statistics are NOT rebuilt by a live
+/// rebalance (same union, same lineage), so queries stay bit-identical
+/// across placements.
+
+namespace figdb::shard {
+
+/// One immutable, epoch-managed view of one shard: a deep copy of the
+/// shard corpus wrapped in a query engine that adopts the sharded store's
+/// pinned GLOBAL statistics plus a fully compacted copy of the shard's
+/// query index. Safe for any number of concurrent readers; never written
+/// after construction.
+class ShardSnapshot {
+ public:
+  ShardSnapshot(std::uint32_t shard, const ShardManifest& manifest,
+                std::uint64_t lsn, corpus::Corpus corpus,
+                const index::EngineOptions& engine_options,
+                std::shared_ptr<const stats::FeatureMatrix> matrix,
+                std::shared_ptr<const stats::CorrelationModel> correlations,
+                index::CliqueIndex compacted_index)
+      : shard_(shard),
+        placement_(manifest),
+        lsn_(lsn),
+        corpus_(std::move(corpus)),
+        engine_(std::make_unique<index::FigRetrievalEngine>(
+            corpus_, engine_options, std::move(matrix),
+            std::move(correlations), std::move(compacted_index))) {}
+
+  ShardSnapshot(const ShardSnapshot&) = delete;
+  ShardSnapshot& operator=(const ShardSnapshot&) = delete;
+
+  const index::FigRetrievalEngine& Engine() const { return *engine_; }
+  const corpus::Corpus& GetCorpus() const { return corpus_; }
+  std::uint32_t ShardId() const { return shard_; }
+  /// LSN of the last shard mutation folded into this snapshot.
+  std::uint64_t Lsn() const { return lsn_; }
+  /// Shard-local id → global id under the placement this snapshot serves.
+  corpus::ObjectId GlobalOf(corpus::ObjectId local) const {
+    return placement_.GlobalOf(shard_, local);
+  }
+
+ private:
+  std::uint32_t shard_;
+  Placement placement_;
+  std::uint64_t lsn_;
+  /// Owned copy — the engine points into it, so corpus_ must outlive
+  /// engine_ (declaration order gives reverse destruction order).
+  corpus::Corpus corpus_;
+  std::unique_ptr<index::FigRetrievalEngine> engine_;
+};
+
+class ShardedStore {
+ public:
+  struct Options {
+    /// Shard fan-out at Create (Recover reads it from the manifest).
+    std::uint32_t num_shards = 4;
+    /// Per-shard durability substrate options.
+    index::FigDbStore::Options store;
+    /// Query-path options: the router's merge mode, rerank width, and the
+    /// clique-index options of the per-shard QUERY indexes. Use the same
+    /// EngineOptions as the unsharded baseline engine when comparing.
+    index::EngineOptions engine;
+  };
+
+  /// Partitions \p base across num_shards fresh FigDbStores under \p dir
+  /// and commits the generation-1 manifest. kFailedPrecondition if \p dir
+  /// already holds a sharded store; leftovers of an earlier crashed Create
+  /// (gen dirs without a manifest) are swept first.
+  static util::StatusOr<ShardedStore> Create(const std::string& dir,
+                                             const corpus::Corpus& base,
+                                             Options options);
+  static util::StatusOr<ShardedStore> Create(const std::string& dir,
+                                             const corpus::Corpus& base) {
+    return Create(dir, base, Options{});
+  }
+
+  /// Rebuilds the store from MANIFEST: resolves any interrupted rebalance
+  /// (see the state machine above), recovers every shard's FigDbStore,
+  /// validates shard sizes against the placement arithmetic (kDataLoss on
+  /// mismatch), re-derives the global statistics from the union corpus in
+  /// global-id order, and publishes fresh snapshots.
+  static util::StatusOr<ShardedStore> Recover(const std::string& dir,
+                                              Options options);
+  static util::StatusOr<ShardedStore> Recover(const std::string& dir) {
+    return Recover(dir, Options{});
+  }
+
+  ShardedStore(ShardedStore&&) = default;
+  ShardedStore& operator=(ShardedStore&&) = default;
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  // ----------------------------------------------------------------- writer
+  // Single-threaded by contract.
+
+  /// Routes the object to placement.ShardOf(next global id) and ingests it
+  /// there (WAL append + apply + incremental query-index update). Returns
+  /// the GLOBAL id. Global ids fill densely in placement order, so while
+  /// any shard is wounded, ingests that route to it fail — recover the
+  /// store rather than skipping ids (the id arithmetic admits no gaps).
+  util::StatusOr<corpus::ObjectId> Ingest(corpus::MediaObject object);
+
+  /// Tombstones the GLOBAL id on its shard. kNotFound past the end or
+  /// already removed.
+  util::Status Remove(corpus::ObjectId global_id);
+
+  /// Checkpoints every shard (fold WAL into the shard checkpoint). Stops
+  /// at the first failing shard; the others keep their WALs (recoverable).
+  util::Status Checkpoint();
+
+  /// Publishes a fresh snapshot for every shard with unpublished
+  /// mutations. Wounded shards are SKIPPED — their last good snapshot
+  /// keeps serving (the router's degrade path) — so Publish never fails
+  /// the healthy shards on behalf of a wounded one.
+  util::Status Publish();
+
+  /// Re-partitions onto \p new_num_shards via the two-phase manifest
+  /// protocol above. On success the store serves the new placement with
+  /// the SAME pinned statistics (bit-identical answers). On any error —
+  /// including injected `shard/rebalance_crash` faults — the directory is
+  /// guaranteed consistent for Recover(); errors before the commit point
+  /// leave the old placement live in memory, errors after it the new one.
+  util::Status Rebalance(std::uint32_t new_num_shards);
+
+  // ---------------------------------------------------------------- readers
+  // Lock-free; used by ShardRouter legs under an epoch pin.
+
+  /// Pin (EpochReclaimer::ReadGuard) BEFORE loading a snapshot pointer.
+  util::EpochReclaimer& Reclaimer() const { return *ebr_; }
+  /// Current snapshot of shard \p s (never null after Create/Recover).
+  const ShardSnapshot* SnapshotOf(std::uint32_t s) const {
+    return shards_[s]->current.load(std::memory_order_seq_cst);
+  }
+
+  // ----------------------------------------------------------- introspection
+  const ShardManifest& Manifest() const { return manifest_; }
+  std::uint32_t NumShards() const { return manifest_.num_shards; }
+  Placement GetPlacement() const { return Placement(manifest_); }
+  const Options& GetOptions() const { return options_; }
+  const std::string& Dir() const { return dir_; }
+  /// Global id space size (tombstoned slots included — ids never recycle).
+  std::size_t TotalObjects() const { return total_objects_; }
+  std::size_t LiveObjects() const;
+  bool AnyWounded() const;
+  /// The live durability store of shard \p s (writer-side state: LSNs,
+  /// WAL stats, wound flag). Readers use SnapshotOf().
+  const index::FigDbStore& ShardStore(std::uint32_t s) const {
+    return shards_[s]->store;
+  }
+
+  static std::string ManifestPath(const std::string& dir);
+  static std::string IntentPath(const std::string& dir);
+  static std::string GenDir(const std::string& dir, std::uint64_t gen);
+  static std::string ShardDir(const std::string& dir, std::uint64_t gen,
+                              std::uint32_t shard);
+
+ private:
+  /// One shard's live state. Non-movable (atomic member); held by pointer.
+  struct Shard {
+    Shard(index::FigDbStore s, index::CliqueIndex qi)
+        : store(std::move(s)), query_index(std::move(qi)) {}
+    ~Shard() {
+      // The current snapshot was never retired; legs must have drained.
+      delete current.exchange(nullptr, std::memory_order_seq_cst);
+    }
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+    index::FigDbStore store;
+    /// Query index over the shard corpus built with the GLOBAL
+    /// correlations (the store's own index uses local stats).
+    index::CliqueIndex query_index;
+    /// seq_cst on both sides, mirroring ServingStore: the writer's swap
+    /// must be globally ordered against reader pin-then-load.
+    std::atomic<const ShardSnapshot*> current{nullptr};
+    /// Mutations since the last published snapshot.
+    bool dirty = false;
+  };
+
+  ShardedStore() = default;
+
+  /// Assembles the in-memory store over recovered/created shard stores:
+  /// pins global statistics from \p union_corpus, builds each shard's
+  /// query index with them, publishes the first snapshots.
+  static ShardedStore Open(std::string dir, ShardManifest manifest,
+                           Options options,
+                           std::vector<index::FigDbStore> stores,
+                           const corpus::Corpus& union_corpus);
+
+  /// The live union corpus in global-id order (rebalance input).
+  corpus::Corpus UnionCorpus() const;
+  /// Swaps the live shard set for \p stores under the CURRENT manifest,
+  /// retiring every old snapshot through the reclaimer.
+  void AdoptStores(std::vector<index::FigDbStore> stores);
+  /// Captures + swaps + retires one shard's snapshot.
+  void PublishShard(std::uint32_t s);
+
+  std::string dir_;
+  Options options_;
+  ShardManifest manifest_;
+  /// Global statistics lineage, pinned at Create/Recover and shared by
+  /// every shard snapshot (never rebuilt by mutations or rebalance).
+  std::shared_ptr<const stats::FeatureMatrix> matrix_;
+  std::shared_ptr<const stats::CorrelationModel> correlations_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<util::EpochReclaimer> ebr_;
+  std::uint64_t total_objects_ = 0;
+};
+
+}  // namespace figdb::shard

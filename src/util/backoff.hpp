@@ -1,0 +1,50 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+
+/// \file backoff.hpp
+/// Deterministic exponential backoff for bounded retry loops.
+///
+/// The shard router retries a failed scatter leg against the shard's last
+/// good snapshot; the delays between attempts are the classic doubling
+/// sequence initial, 2*initial, 4*initial, ... capped at a maximum. There
+/// is deliberately NO jitter: figdb replays fault schedules bit-for-bit in
+/// tests (and the `raw-randomness` lint bans ad-hoc entropy sources in
+/// src/), and the router's retry fan-in is a single gather thread, so the
+/// thundering-herd argument for jitter does not apply here. If a future
+/// caller needs jitter, thread a util::Rng through explicitly.
+
+namespace figdb::util {
+
+/// Delay before retry attempt \p attempt (0-based: the delay between the
+/// initial try and the first retry is Delay(0) = initial).
+inline std::chrono::duration<double> BackoffDelay(double initial_seconds,
+                                                  std::size_t attempt,
+                                                  double max_seconds) {
+  double d = std::max(0.0, initial_seconds);
+  for (std::size_t i = 0; i < attempt && d < max_seconds; ++i) d *= 2.0;
+  return std::chrono::duration<double>(std::min(d, max_seconds));
+}
+
+/// Stateful form: each Next() yields the following delay in the sequence.
+class Backoff {
+ public:
+  Backoff(double initial_seconds, double max_seconds)
+      : initial_(initial_seconds), max_(max_seconds) {}
+
+  std::chrono::duration<double> Next() {
+    return BackoffDelay(initial_, attempt_++, max_);
+  }
+
+  /// Retries taken so far (Next() calls).
+  std::size_t Attempts() const { return attempt_; }
+
+ private:
+  double initial_;
+  double max_;
+  std::size_t attempt_ = 0;
+};
+
+}  // namespace figdb::util

@@ -32,6 +32,10 @@ inline constexpr std::string_view kFailPointSites[] = {
     "index/build_truncated",      // CliqueIndex build cut short (OOM model)
     "serve/overload",             // executor admission rejects as if at cap
     "serve/slow_worker",          // a worker shard observes deadline expiry
+    "shard/rebalance_crash",      // rebalance dies at a numbered crash site
+    "shard/scatter_drop",         // a completed scatter answer is lost
+    "shard/slow",                 // a scatter leg straggles (real sleep)
+    "shard/wounded",              // a scatter leg fails as a wounded shard
     "storage/load_io",            // read error inside LoadCorpus
     "storage/save_fsync",         // SaveCorpus temp-file fsync failure
     "storage/save_io",            // short write inside SaveCorpus

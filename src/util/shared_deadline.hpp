@@ -1,0 +1,83 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "util/query_budget.hpp"
+
+/// \file shared_deadline.hpp
+/// Thread-safe deadline shared by the parallel legs of one query.
+///
+/// A BudgetTracker is single-threaded by design, so the parallel sections
+/// of a query — the executor's per-clique shards, the shard router's
+/// scatter legs — poll a precomputed monotonic time point instead and
+/// latch expiry into a relaxed atomic flag; the dispatching thread folds
+/// the flag back into the tracker (ForceDeadline) once the stage has
+/// joined. The flag is LATCHED: once any poller observes expiry, every
+/// later Expired()/ExpiredNow() on any thread reports it, so a stage that
+/// joined after a partial expiry cannot un-see it.
+///
+/// Expiry is only latched by a POLL (or ForceExpire) — Expired() alone
+/// never consults the clock. A dispatcher that wants "did the deadline
+/// pass between dispatch and merge?" must call ExpiredNow() at the merge
+/// boundary, not Expired(); the query executor and the shard router both
+/// do. Fault injection stays at the call sites (`serve/slow_worker`,
+/// `shard/slow`): the sites fire their own fail-point and call
+/// ForceExpire()/sleep, which keeps this type mechanism-only and lets each
+/// layer name its own drill.
+///
+/// An unarmed deadline (budget with wall_limit_seconds <= 0) never expires
+/// on its own but can still be ForceExpire()d — the executor uses that for
+/// fail-point-injected expiry under unlimited budgets.
+
+namespace figdb::util {
+
+class SharedDeadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Arms iff the budget carries a positive wall limit (the QueryBudget
+  /// contract: <= 0 means no deadline).
+  explicit SharedDeadline(const QueryBudget& budget) {
+    if (budget.wall_limit_seconds > 0.0) {
+      armed_ = true;
+      at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   budget.wall_limit_seconds));
+    }
+  }
+
+  /// Arms at an explicit instant — which may already be in the past (a
+  /// scatter dispatched with zero or negative remaining budget observes
+  /// expiry on its first poll).
+  explicit SharedDeadline(Clock::time_point at) : armed_(true), at_(at) {}
+
+  /// One poll: consults the latch, then the clock; latches on expiry.
+  bool ExpiredNow() {
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (armed_ && Clock::now() > at_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Latch-only read: true iff some poll (or ForceExpire) already expired
+  /// the deadline. Never reads the clock.
+  bool Expired() const { return expired_.load(std::memory_order_relaxed); }
+
+  /// Latches expiry regardless of the clock — the hook fail-point sites
+  /// use to inject deadline pressure deterministically.
+  void ForceExpire() { expired_.store(true, std::memory_order_relaxed); }
+
+  bool Armed() const { return armed_; }
+  /// Meaningful only when Armed(); the instant polls compare against.
+  Clock::time_point At() const { return at_; }
+
+ private:
+  bool armed_ = false;
+  Clock::time_point at_{};
+  std::atomic<bool> expired_{false};
+};
+
+}  // namespace figdb::util

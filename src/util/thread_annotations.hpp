@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -187,6 +188,20 @@ class CondVar {
     std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
     cv_.wait(ul);
     ul.release();
+  }
+
+  /// Timed wait (same adopt/release discipline as Wait). Returns false on
+  /// timeout, true on notification — including spurious wakeups, so
+  /// callers keep the predicate loop:
+  ///   while (!pred) if (!cv.WaitUntil(lock, at)) break;
+  /// The shard router's gather uses this to abandon a straggler leg whose
+  /// sub-deadline passed without an answer.
+  bool WaitUntil(MutexLock& lock,
+                 std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(ul, deadline);
+    ul.release();
+    return status == std::cv_status::no_timeout;
   }
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -1,0 +1,762 @@
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hpp"
+#include "index/retrieval_engine.hpp"
+#include "shard/manifest.hpp"
+#include "shard/placement.hpp"
+#include "shard/shard_router.hpp"
+#include "shard/sharded_store.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+#include "util/query_budget.hpp"
+#include "util/serde.hpp"
+#include "util/shared_deadline.hpp"
+
+/// \file shard_test.cpp
+/// The sharded-store layer: SharedDeadline edge cases, manifest framing,
+/// placement arithmetic, create/recover/rebalance (including the
+/// exhaustive rebalance crash matrix), and the router's scatter-gather
+/// guarantees — bit-identity to the unsharded engine when every shard
+/// answers, PARTIAL = exact top-k of the surviving shards' union when not.
+
+namespace figdb::shard {
+namespace {
+
+using corpus::ObjectId;
+using index::EngineOptions;
+using index::FigRetrievalEngine;
+using util::QueryBudget;
+using util::ScopedFailPoint;
+using util::SharedDeadline;
+using util::StatusCode;
+
+/// Feature-list equality (FeatureOccurrence has no operator==).
+bool SameFeatures(const corpus::MediaObject& a, const corpus::MediaObject& b) {
+  if (a.features.size() != b.features.size()) return false;
+  for (std::size_t i = 0; i < a.features.size(); ++i)
+    if (a.features[i].feature != b.features[i].feature ||
+        a.features[i].frequency != b.features[i].frequency)
+      return false;
+  return true;
+}
+
+// ===================================================================
+// SharedDeadline — the primitive every scatter leg polls. These edge
+// cases are exactly the races the router's dispatch/merge protocol
+// leans on (concurrency-labelled: the race tests spin real threads).
+// ===================================================================
+
+TEST(SharedDeadlineTest, ZeroAndNegativeBudgetsNeverArm) {
+  for (double limit : {0.0, -1.0, -1e-9}) {
+    QueryBudget budget;
+    budget.wall_limit_seconds = limit;
+    SharedDeadline deadline(budget);
+    EXPECT_FALSE(deadline.Armed()) << "limit=" << limit;
+    EXPECT_FALSE(deadline.ExpiredNow()) << "limit=" << limit;
+    EXPECT_FALSE(deadline.Expired()) << "limit=" << limit;
+  }
+}
+
+TEST(SharedDeadlineTest, UnarmedDeadlineCanStillBeForceExpired) {
+  SharedDeadline deadline{QueryBudget{}};
+  EXPECT_FALSE(deadline.Armed());
+  deadline.ForceExpire();
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_TRUE(deadline.ExpiredNow());
+}
+
+TEST(SharedDeadlineTest, TimePointAlreadyInThePastExpiresOnFirstPoll) {
+  // A scatter dispatched with zero (or negative) remaining budget: the
+  // deadline instant precedes construction, so the FIRST poll must
+  // observe expiry — but only a poll, never the latch-only read.
+  SharedDeadline deadline(SharedDeadline::Clock::now() -
+                          std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.Armed());
+  EXPECT_FALSE(deadline.Expired());  // nobody has polled yet
+  EXPECT_TRUE(deadline.ExpiredNow());
+  EXPECT_TRUE(deadline.Expired());  // and now it is latched for everyone
+}
+
+TEST(SharedDeadlineTest, ExpiryBetweenDispatchAndMergeNeedsAPoll) {
+  // The dispatch/merge race from the file comment: the deadline passes
+  // while no thread happens to poll. Expired() keeps answering false
+  // (it never consults the clock) — the merge boundary must call
+  // ExpiredNow() to catch it, which is what executor and router do.
+  QueryBudget budget;
+  budget.wall_limit_seconds = 0.002;
+  SharedDeadline deadline(budget);
+  EXPECT_FALSE(deadline.ExpiredNow());  // dispatch-time: still alive
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(deadline.Expired());   // latch-only read misses it
+  EXPECT_TRUE(deadline.ExpiredNow());  // the merge-boundary poll catches it
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(SharedDeadlineTest, DoubleExpiryRaceIsIdempotent) {
+  // Clock expiry and ForceExpire race from many threads; the latch must
+  // end up set exactly once semantically — every observer agrees, and
+  // no poll after the latch can un-expire it.
+  SharedDeadline deadline(SharedDeadline::Clock::now() +
+                          std::chrono::milliseconds(1));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&deadline, t] {
+      if (t % 2 == 0) {
+        while (!deadline.ExpiredNow()) std::this_thread::yield();
+      } else {
+        deadline.ForceExpire();
+      }
+      EXPECT_TRUE(deadline.Expired());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_TRUE(deadline.ExpiredNow());
+}
+
+TEST(SharedDeadlineTest, LatchIsVisibleAcrossThreads) {
+  QueryBudget budget;
+  budget.wall_limit_seconds = 3600.0;  // far future: only the latch fires
+  SharedDeadline deadline(budget);
+  std::thread forcer([&deadline] { deadline.ForceExpire(); });
+  forcer.join();
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_TRUE(deadline.ExpiredNow());
+}
+
+// ===================================================================
+// Manifest framing — the one untrusted-bytes surface of the shard
+// layer (shared with fuzz_shard_manifest).
+// ===================================================================
+
+TEST(ShardManifestTest, RoundTripsAcrossTheValidRange) {
+  const ShardManifest cases[] = {
+      {},
+      {.generation = 7, .num_shards = 256},
+      {.generation = std::uint64_t{1} << 40, .num_shards = 3},
+  };
+  for (const ShardManifest& m : cases) {
+    auto parsed = ParseShardManifest(SerializeShardManifest(m));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, m);
+  }
+}
+
+TEST(ShardManifestTest, TruncationBelowTheHeaderIsDataLoss) {
+  const std::string bytes = SerializeShardManifest({});
+  for (std::size_t len : {std::size_t{0}, std::size_t{5}, std::size_t{11}}) {
+    auto parsed = ParseShardManifest(bytes.substr(0, len));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss) << len;
+  }
+}
+
+TEST(ShardManifestTest, WrongMagicAndVersionAreInvalidArgument) {
+  std::string bad_magic = SerializeShardManifest({});
+  bad_magic[0] = char(bad_magic[0] ^ 0x5a);
+  EXPECT_EQ(ParseShardManifest(bad_magic).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::string bad_version = SerializeShardManifest({});
+  bad_version[4] = char(bad_version[4] ^ 0x01);
+  EXPECT_EQ(ParseShardManifest(bad_version).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardManifestTest, PayloadCorruptionIsDataLoss) {
+  // Any flip in the payload (or a lost tail byte) must trip the CRC, not
+  // decode into a different placement.
+  const std::string bytes = SerializeShardManifest({.num_shards = 8});
+  for (std::size_t i = 12; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = char(corrupt[i] ^ 0x80);
+    EXPECT_EQ(ParseShardManifest(corrupt).status().code(),
+              StatusCode::kDataLoss)
+        << "flipped byte " << i;
+  }
+  EXPECT_EQ(ParseShardManifest(bytes.substr(0, bytes.size() - 1))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+/// Frames an arbitrary payload with a CORRECT CRC, so the structural
+/// validators (not the checksum) are what reject it.
+std::string FrameWithValidCrc(const std::string& payload) {
+  util::BinaryWriter out;
+  out.PutFixed32(kManifestMagic);
+  out.PutFixed32(kManifestVersion);
+  out.PutFixed32(util::Crc32(payload));
+  out.PutRaw(payload);
+  return out.Take();
+}
+
+TEST(ShardManifestTest, TrailingBytesWithValidCrcAreRejected) {
+  util::BinaryWriter payload;
+  payload.PutVarint(1);   // generation
+  payload.PutVarint(2);   // num_shards
+  payload.PutU8(0);       // kModulo
+  payload.PutU8(0xee);    // trailing garbage the CRC covers
+  auto parsed = ParseShardManifest(FrameWithValidCrc(payload.Buffer()));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardManifestTest, ShortPayloadWithValidCrcIsDataLoss) {
+  util::BinaryWriter payload;
+  payload.PutVarint(1);  // generation only — num_shards/kind missing
+  auto parsed = ParseShardManifest(FrameWithValidCrc(payload.Buffer()));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ShardManifestTest, SemanticRangeViolationsAreInvalidArgument) {
+  const ShardManifest bad[] = {
+      {.generation = 0},
+      {.num_shards = 0},
+      {.num_shards = kMaxShards + 1},
+      {.placement = static_cast<PlacementKind>(9)},
+  };
+  for (const ShardManifest& m : bad) {
+    auto parsed = ParseShardManifest(SerializeShardManifest(m));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ===================================================================
+// Placement arithmetic.
+// ===================================================================
+
+TEST(PlacementTest, ModuloEquationsAreMutuallyInverse) {
+  for (std::uint32_t n : {1u, 2u, 3u, 7u}) {
+    const Placement p(ShardManifest{.num_shards = n});
+    std::vector<std::size_t> per_shard(n, 0);
+    for (ObjectId g = 0; g < 100; ++g) {
+      const std::uint32_t s = p.ShardOf(g);
+      ASSERT_LT(s, n);
+      EXPECT_EQ(p.GlobalOf(s, p.LocalOf(g)), g);
+      // Local ids fill densely in global order within the shard.
+      EXPECT_EQ(p.LocalOf(g), per_shard[s]);
+      ++per_shard[s];
+    }
+    std::size_t total = 0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      EXPECT_EQ(per_shard[s], p.ShardSize(100, s));
+      total += p.ShardSize(100, s);
+    }
+    EXPECT_EQ(total, 100u);
+  }
+}
+
+// ===================================================================
+// ShardedStore + ShardRouter fixture.
+// ===================================================================
+
+class ShardedStoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 160;
+    config.num_topics = 5;
+    config.num_users = 60;
+    config.visual_words = 32;
+    config.seed = 20107;
+    corpus_ = new corpus::Corpus(
+        corpus::Generator(config).MakeRetrievalCorpus());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  /// A fresh, empty directory under the system temp dir.
+  static std::string TempDir(const std::string& name) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / ("figdb_shard_" + name);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+  }
+
+  static ShardedStore::Options MakeOptions(std::uint32_t num_shards,
+                                           std::size_t rerank) {
+    ShardedStore::Options options;
+    options.num_shards = num_shards;
+    options.engine.rerank_candidates = rerank;
+    return options;
+  }
+
+  /// Asserts that a router query over \p store matches \p baseline result
+  /// bit for bit (ids AND scores) — the tentpole's central claim.
+  static void ExpectBitIdentical(const ShardedStore& store,
+                                 const FigRetrievalEngine& baseline,
+                                 const corpus::MediaObject& probe,
+                                 std::size_t k, std::size_t workers) {
+    ShardRouter router(RouterOptions{.workers = workers});
+    auto got = router.Search(store, probe, k);
+    auto want = baseline.TrySearch(probe, k);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_TRUE(got->Complete());
+    EXPECT_EQ(got->shards_answered, store.NumShards());
+    EXPECT_EQ(got->response.reranked, want->reranked);
+    EXPECT_EQ(got->response.truncated, want->truncated);
+    ASSERT_EQ(got->response.results.size(), want->results.size());
+    for (std::size_t i = 0; i < want->results.size(); ++i) {
+      EXPECT_EQ(got->response.results[i].object, want->results[i].object)
+          << "rank " << i;
+      EXPECT_EQ(got->response.results[i].score, want->results[i].score)
+          << "rank " << i;  // bitwise, not approximate
+    }
+  }
+
+  static corpus::Corpus* corpus_;
+};
+
+corpus::Corpus* ShardedStoreTest::corpus_ = nullptr;
+
+TEST_F(ShardedStoreTest, CreatePartitionsByModuloAndRecoverRoundTrips) {
+  const std::string dir = TempDir("create");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(4, 48));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->NumShards(), 4u);
+  EXPECT_EQ(store->TotalObjects(), corpus_->Size());
+  EXPECT_EQ(store->LiveObjects(), corpus_->Size());
+  EXPECT_FALSE(store->AnyWounded());
+
+  const Placement placement = store->GetPlacement();
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    const corpus::Corpus& sc = store->ShardStore(s).GetCorpus();
+    ASSERT_EQ(sc.Size(), placement.ShardSize(corpus_->Size(), s));
+    // Spot-check the feature payload landed on the right shard slot.
+    for (ObjectId local = 0; local < sc.Size(); local += 7) {
+      const ObjectId global = placement.GlobalOf(s, local);
+      EXPECT_TRUE(SameFeatures(sc.Object(local), corpus_->Object(global)))
+          << "shard " << s << " local " << local;
+    }
+  }
+
+  // A second Create on the same directory must refuse, not clobber.
+  auto clobber = ShardedStore::Create(dir, *corpus_, MakeOptions(4, 48));
+  ASSERT_FALSE(clobber.ok());
+  EXPECT_EQ(clobber.status().code(), StatusCode::kFailedPrecondition);
+
+  { auto moved = std::move(*store); }  // "crash": drop the live store
+  auto recovered = ShardedStore::Recover(dir, MakeOptions(4, 48));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->NumShards(), 4u);
+  EXPECT_EQ(recovered->TotalObjects(), corpus_->Size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardedStoreTest, IngestRoutesByGlobalIdAndRemoveTombstones) {
+  const std::string dir = TempDir("ingest");
+  const corpus::Corpus base = corpus_->Prefix(100);
+  auto store = ShardedStore::Create(dir, base, MakeOptions(3, 0));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // Ingest the generator's next 20 objects: global ids must continue the
+  // dense sequence and land on shard g % 3 at slot g / 3.
+  for (ObjectId g = 100; g < 120; ++g) {
+    auto id = store->Ingest(corpus_->Object(g));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(*id, g);
+    const corpus::Corpus& sc = store->ShardStore(g % 3).GetCorpus();
+    EXPECT_TRUE(SameFeatures(sc.Object(g / 3), corpus_->Object(g)));
+  }
+  EXPECT_EQ(store->TotalObjects(), 120u);
+  EXPECT_EQ(store->LiveObjects(), 120u);
+
+  ASSERT_TRUE(store->Remove(7).ok());
+  ASSERT_TRUE(store->Remove(110).ok());
+  EXPECT_EQ(store->LiveObjects(), 118u);
+  EXPECT_EQ(store->Remove(110).code(), StatusCode::kNotFound);  // again
+  EXPECT_EQ(store->Remove(500).code(), StatusCode::kNotFound);  // past end
+  ASSERT_TRUE(store->Checkpoint().ok());
+  ASSERT_TRUE(store->Publish().ok());
+
+  { auto moved = std::move(*store); }
+  auto recovered = ShardedStore::Recover(dir, MakeOptions(3, 0));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->TotalObjects(), 120u);
+  EXPECT_EQ(recovered->LiveObjects(), 118u);
+  EXPECT_EQ(recovered->Remove(7).code(), StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardedStoreTest, RecoverRejectsAMissingShard) {
+  const std::string dir = TempDir("missing_shard");
+  {
+    auto store = ShardedStore::Create(dir, corpus_->Prefix(60),
+                                      MakeOptions(3, 0));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+  }
+  std::filesystem::remove_all(ShardedStore::ShardDir(dir, 1, 1));
+  auto recovered = ShardedStore::Recover(dir, MakeOptions(3, 0));
+  ASSERT_FALSE(recovered.ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardedStoreTest, WoundedShardBlocksMutationsAndRebalance) {
+  const std::string dir = TempDir("wounded");
+  auto store = ShardedStore::Create(dir, corpus_->Prefix(90),
+                                    MakeOptions(3, 0));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  {
+    // The next ingest routes to shard 90 % 3 = 0; its WAL append fails,
+    // wounding exactly that shard.
+    ScopedFailPoint fp("wal/append_io", {.max_fires = 1});
+    auto id = store->Ingest(corpus_->Object(90));
+    ASSERT_FALSE(id.ok());
+  }
+  EXPECT_TRUE(store->AnyWounded());
+  EXPECT_TRUE(store->ShardStore(0).Wounded());
+  // The id space admits no gaps, so the routed ingest keeps failing…
+  EXPECT_FALSE(store->Ingest(corpus_->Object(90)).ok());
+  // …and a rebalance of a half-durable store is refused outright.
+  EXPECT_EQ(store->Rebalance(2).code(), StatusCode::kFailedPrecondition);
+  // Publish skips the wounded shard instead of failing the healthy ones.
+  EXPECT_TRUE(store->Publish().ok());
+
+  { auto moved = std::move(*store); }
+  auto recovered = ShardedStore::Recover(dir, MakeOptions(3, 0));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->AnyWounded());
+  EXPECT_TRUE(recovered->Ingest(corpus_->Object(90)).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardedStoreTest, RebalancePreservesAnswersBitForBit) {
+  const std::string dir = TempDir("rebalance");
+  const EngineOptions eopts = MakeOptions(1, 48).engine;
+  const FigRetrievalEngine baseline(*corpus_, eopts);
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(4, 48));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  std::uint64_t generation = store->Manifest().generation;
+  for (std::uint32_t n : {2u, 5u, 1u}) {
+    ASSERT_TRUE(store->Rebalance(n).ok());
+    EXPECT_EQ(store->NumShards(), n);
+    EXPECT_GT(store->Manifest().generation, generation);
+    generation = store->Manifest().generation;
+    EXPECT_EQ(store->TotalObjects(), corpus_->Size());
+    ExpectBitIdentical(*store, baseline, corpus_->Object(17), 10, 0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardedStoreTest, RebalanceCrashMatrixRecoversOldOrNewNeverAMix) {
+  // Drive `shard/rebalance_crash` through EVERY numbered crash site of
+  // two transitions (2→4 grows the generation loop, 4→2 shrinks it).
+  // After each injected crash the directory must recover to exactly the
+  // old placement or exactly the new one — detected structurally (the
+  // manifest) and semantically (recovered answers stay bit-identical to
+  // the unsharded baseline, which no mixed placement could produce).
+  const corpus::Corpus base = corpus_->Prefix(60);
+  const EngineOptions eopts = MakeOptions(1, 16).engine;
+  const FigRetrievalEngine baseline(base, eopts);
+  std::size_t crash_points = 0;
+
+  const struct {
+    std::uint32_t from, to;
+  } transitions[] = {{2, 4}, {4, 2}};
+  for (const auto& tr : transitions) {
+    bool exhausted = false;
+    for (std::uint64_t skip = 0; !exhausted; ++skip) {
+      SCOPED_TRACE(std::to_string(tr.from) + "->" + std::to_string(tr.to) +
+                   " skip=" + std::to_string(skip));
+      const std::string dir =
+          TempDir("crash_" + std::to_string(tr.from) + "_" +
+                  std::to_string(tr.to) + "_" + std::to_string(skip));
+      {
+        auto store = ShardedStore::Create(dir, base,
+                                          MakeOptions(tr.from, 16));
+        ASSERT_TRUE(store.ok()) << store.status().ToString();
+        ScopedFailPoint fp("shard/rebalance_crash",
+                           {.skip_hits = skip, .max_fires = 1});
+        const util::Status st = store->Rebalance(tr.to);
+        if (fp.HitCount() <= skip) {
+          // The rebalance ran clean past every remaining site: the
+          // matrix for this transition is exhausted.
+          ASSERT_TRUE(st.ok()) << st.ToString();
+          exhausted = true;
+        } else {
+          ASSERT_FALSE(st.ok())
+              << "site " << skip << " fired but Rebalance reported OK";
+          EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+          ++crash_points;
+        }
+        // The store object dies here — the "crash".
+      }
+      auto recovered = ShardedStore::Recover(dir, MakeOptions(tr.from, 16));
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      EXPECT_TRUE(recovered->NumShards() == tr.from ||
+                  recovered->NumShards() == tr.to)
+          << "recovered onto " << recovered->NumShards()
+          << " shards — neither the old nor the new placement";
+      EXPECT_EQ(recovered->TotalObjects(), base.Size());
+      // No intent file and no second generation may survive recovery.
+      EXPECT_FALSE(
+          std::filesystem::exists(ShardedStore::IntentPath(dir)));
+      ExpectBitIdentical(*recovered, baseline, base.Object(11), 8, 0);
+      std::filesystem::remove_all(dir);
+    }
+  }
+  // 8 fixed sites + 2 per new shard: 16 for 2→4 plus 12 for 4→2.
+  EXPECT_GE(crash_points, 20u);
+}
+
+// ===================================================================
+// ShardRouter — scatter-gather semantics (concurrency-labelled).
+// ===================================================================
+
+class ShardRouterTest : public ShardedStoreTest {};
+
+TEST_F(ShardRouterTest, MergedResultsBitIdenticalToUnshardedEngine) {
+  EngineOptions eopts;
+  eopts.rerank_candidates = 48;
+  const FigRetrievalEngine baseline(*corpus_, eopts);
+  for (std::uint32_t n : {1u, 2u, 3u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    const std::string dir = TempDir("ident_" + std::to_string(n));
+    auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(n, 48));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (ObjectId probe : {ObjectId{3}, ObjectId{17}, ObjectId{41},
+                           ObjectId{73}, ObjectId{128}}) {
+      ExpectBitIdentical(*store, baseline, corpus_->Object(probe), 10,
+                         /*workers=*/2);
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST_F(ShardRouterTest, StageOneOnlyPathIsAlsoBitIdentical) {
+  EngineOptions eopts;
+  eopts.rerank_candidates = 0;
+  const FigRetrievalEngine baseline(*corpus_, eopts);
+  const std::string dir = TempDir("stage1");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(4, 0));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ExpectBitIdentical(*store, baseline, corpus_->Object(29), 12, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardRouterTest, IngestThenRecoverMatchesUnshardedEngine) {
+  // Grow the sharded store past its Create corpus, recover (which
+  // re-derives the global statistics from the union), and compare to an
+  // unsharded engine over the same logical corpus.
+  const std::string dir = TempDir("grown");
+  {
+    auto store = ShardedStore::Create(dir, corpus_->Prefix(120),
+                                      MakeOptions(3, 48));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (ObjectId g = 120; g < 140; ++g)
+      ASSERT_TRUE(store->Ingest(corpus_->Object(g)).ok());
+  }
+  auto recovered = ShardedStore::Recover(dir, MakeOptions(3, 48));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const corpus::Corpus logical = corpus_->Prefix(140);
+  const FigRetrievalEngine baseline(logical, MakeOptions(1, 48).engine);
+  ExpectBitIdentical(*recovered, baseline, corpus_->Object(61), 10, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardRouterTest, PartialIsExactlyTheSurvivingShardsTopK) {
+  // Stage-1-only store so the oracle is computable: kill shard 1 of 2
+  // for every attempt, and check the PARTIAL answer equals the full
+  // (unsharded) ranking with shard 1's objects deleted — scored under
+  // the UNION statistics, which is precisely the documented contract.
+  const std::string dir = TempDir("partial");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(2, 0));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const FigRetrievalEngine baseline(*corpus_, MakeOptions(1, 0).engine);
+  const corpus::MediaObject& probe = corpus_->Object(17);
+
+  // Workers=0 runs legs inline in shard order, so hit 1 is shard 0's leg
+  // (passes) and every later hit is one of shard 1's attempts.
+  ShardRouter router(RouterOptions{.workers = 0, .max_retries = 2});
+  ScopedFailPoint fp("shard/wounded", {.skip_hits = 1});
+  auto got = router.Search(*store, probe, 8);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_FALSE(got->Complete());
+  EXPECT_EQ(got->shards_answered, 1u);
+  EXPECT_EQ(got->shards_total, 2u);
+  EXPECT_EQ(got->retries, 2u);
+  EXPECT_TRUE(got->response.truncated);  // degradation is never silent
+
+  auto full = baseline.TrySearch(probe, corpus_->Size());
+  ASSERT_TRUE(full.ok());
+  std::vector<core::SearchResult> survivors;
+  for (const core::SearchResult& r : full->results)
+    if (r.object % 2 == 0) survivors.push_back(r);  // shard 0 = even ids
+  if (survivors.size() > 8) survivors.resize(8);
+  ASSERT_EQ(got->response.results.size(), survivors.size());
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(got->response.results[i].object, survivors[i].object);
+    EXPECT_EQ(got->response.results[i].score, survivors[i].score);
+  }
+
+  const RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.partial, 1u);
+  EXPECT_EQ(stats.retries, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardRouterTest, DroppedScatterAnswerIsRetriedToCompletion) {
+  const std::string dir = TempDir("drop");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(2, 32));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ShardRouter router(RouterOptions{.workers = 0, .max_retries = 1});
+  const corpus::MediaObject& probe = corpus_->Object(44);
+
+  auto clean = router.Search(*store, probe, 6);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  // Shard 1's first answer is lost in transit; the retry redoes the work
+  // against the SAME pinned snapshot and the final answer is unchanged.
+  ScopedFailPoint fp("shard/scatter_drop", {.skip_hits = 1, .max_fires = 1});
+  auto retried = router.Search(*store, probe, 6);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_TRUE(retried->Complete());
+  EXPECT_EQ(retried->retries, 1u);
+  ASSERT_EQ(retried->response.results.size(), clean->response.results.size());
+  for (std::size_t i = 0; i < clean->response.results.size(); ++i) {
+    EXPECT_EQ(retried->response.results[i].object,
+              clean->response.results[i].object);
+    EXPECT_EQ(retried->response.results[i].score,
+              clean->response.results[i].score);
+  }
+  EXPECT_EQ(router.Stats().retries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardRouterTest, AllShardsFailingIsAnErrorNotAnEmptyAnswer) {
+  const std::string dir = TempDir("allfail");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(2, 0));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ShardRouter router(RouterOptions{.workers = 0, .max_retries = 0});
+  ScopedFailPoint fp("shard/wounded");
+  auto got = router.Search(*store, corpus_->Object(3), 5);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(got.status().message().find("all 2 shards failed"),
+            std::string::npos)
+      << got.status().message();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardRouterTest, DeadlineBeforeAnyAnswerIsDeadlineExceeded) {
+  const std::string dir = TempDir("deadline");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(2, 0));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ShardRouter router(RouterOptions{.workers = 0, .max_retries = 2});
+  // Every inline leg sleeps past the 1 ms budget, then observes expiry on
+  // its first poll — the dispatch-to-merge race at router scale.
+  ScopedFailPoint fp("shard/slow");
+  auto got = router.Search(*store, corpus_->Object(3), 5,
+                           QueryBudget::Deadline(0.001));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardRouterTest, StragglerIsAbandonedAndTheRestAnswer) {
+  const std::string dir = TempDir("straggler");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(2, 0));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  // Two workers, one leg slowed 50 ms, a 25 ms deadline: the slow leg is
+  // abandoned at the deadline (it drains detached, releasing its epoch
+  // pin), the fast leg's shard answers → PARTIAL, not an error.
+  ShardRouter router(RouterOptions{.workers = 2, .max_retries = 0});
+  ScopedFailPoint fp("shard/slow", {.max_fires = 1});
+  auto got = router.Search(*store, corpus_->Object(9), 5,
+                           QueryBudget::Deadline(0.025));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_FALSE(got->Complete());
+  EXPECT_EQ(got->shards_answered, 1u);
+  EXPECT_TRUE(got->response.truncated);
+  const RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.stragglers, 1u);
+  EXPECT_EQ(stats.partial, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardRouterTest, HardCapRejectionNamesTheCapAndTheLoad) {
+  const std::string dir = TempDir("hardcap");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(2, 0));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ShardRouter router(RouterOptions{.workers = 1,
+                                   .max_retries = 0,
+                                   .max_concurrent = 1,
+                                   .degrade_concurrent = 1});
+  // Hold one query in flight (its first leg sleeps 50 ms on the single
+  // worker), then submit a second: it must be rejected by the HARD cap
+  // with a message naming which cap fired and the load that tripped it.
+  ScopedFailPoint fp("shard/slow", {.max_fires = 1});
+  std::thread holder([&] {
+    auto r = router.Search(*store, corpus_->Object(3), 5);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto rejected = router.Search(*store, corpus_->Object(3), 5);
+  holder.join();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  const std::string& msg = rejected.status().message();
+  EXPECT_NE(msg.find("hard concurrency cap"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("1 queries already in flight"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("soft cap 1"), std::string::npos) << msg;
+  const RouterStats stats = router.Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardRouterTest, SoftCapShedsTheRerankStageInsteadOfRejecting) {
+  const std::string dir = TempDir("softcap");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(2, 32));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ShardRouter router(RouterOptions{.workers = 1,
+                                   .max_retries = 0,
+                                   .max_concurrent = 8,
+                                   .degrade_concurrent = 1});
+  ScopedFailPoint fp("shard/slow", {.max_fires = 1});
+  std::thread holder([&] {
+    auto r = router.Search(*store, corpus_->Object(3), 5);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (r.ok()) EXPECT_TRUE(r->response.reranked);  // below the soft cap
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto degraded = router.Search(*store, corpus_->Object(3), 5);
+  holder.join();
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->Complete());
+  EXPECT_FALSE(degraded->response.reranked);
+  EXPECT_TRUE(degraded->response.truncated);  // shed work is never silent
+  EXPECT_EQ(router.Stats().degraded, 1u);
+  EXPECT_EQ(router.Stats().rejected, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ShardRouterTest, ValidationErrorsComeBackAsInvalidArgument) {
+  const std::string dir = TempDir("validate");
+  auto store = ShardedStore::Create(dir, *corpus_, MakeOptions(2, 0));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ShardRouter router(RouterOptions{.workers = 0});
+  EXPECT_EQ(router.Search(*store, corpus_->Object(3), 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      router.Search(*store, corpus::MediaObject{}, 5).status().code(),
+      StatusCode::kInvalidArgument);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace figdb::shard

@@ -35,6 +35,13 @@ diagnostics and a non-zero exit on any finding:
                          through a shared fuzz::Check*OneInput harness in
                          fuzz_util — a target with private decode logic
                          would drift from the in-tree regression tests.
+  shard-status-completeness
+                         Any file consuming sharded scatter-gather results
+                         (ShardedSearchResult / ShardRouter) must consult
+                         the completeness annotation (Complete() or
+                         shards_answered) somewhere, or carry a waiver: a
+                         PARTIAL answer passed off as the full top-k is a
+                         silent wrong answer.
 
 Waivers: a justified exception carries, on the same line or the line
 above:   // figdb-lint: allow(<rule-id>): <reason>
@@ -70,6 +77,7 @@ RULES = (
     "failpoint-registry",
     "raw-randomness",
     "fuzz-entrypoint",
+    "shard-status-completeness",
 )
 
 WAIVER_RE = re.compile(r"figdb-lint:\s*allow\(([A-Za-z0-9_-]+)\)(:?\s*\S?)")
@@ -556,6 +564,56 @@ def rule_fuzz_entrypoint(files: list[SourceFile], root: str) -> list[Finding]:
     return found
 
 
+SHARD_RESULT_RE = re.compile(r"\bShardedSearchResult\b|\bShardRouter\b")
+SHARD_COMPLETENESS_RE = re.compile(r"\bshards_answered\b|\bComplete\s*\(")
+
+
+def rule_shard_status_completeness(
+    files: list[SourceFile], root: str
+) -> list[Finding]:
+    """A sharded answer is only meaningful next to its completeness
+    annotation: the router degrades to PARTIAL instead of failing, so a
+    caller that reads `response.results` without ever looking at
+    Complete()/shards_answered silently treats a best-effort subset as the
+    full top-k. File granularity on purpose — the check is about whether a
+    consumer *ever* consults completeness, not about each expression."""
+    found = []
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        # The shard layer defines the types; tests/tools/fuzz assert on
+        # them their own way.
+        if (
+            in_dir(rel, "src/shard")
+            or in_dir(rel, "tests")
+            or in_dir(rel, "tools")
+            or in_dir(rel, "fuzz")
+        ):
+            continue
+        first = None
+        for lineno, line in enumerate(sf.code.splitlines(), start=1):
+            if SHARD_RESULT_RE.search(line):
+                first = lineno
+                break
+        if first is None:
+            continue
+        if SHARD_COMPLETENESS_RE.search(sf.code):
+            continue
+        if sf.waived(first, "shard-status-completeness"):
+            continue
+        found.append(
+            Finding(
+                sf.path,
+                first,
+                "shard-status-completeness",
+                "consumes sharded results (ShardedSearchResult/ShardRouter) "
+                "but never checks the completeness annotation — read "
+                "Complete() or shards_answered so a PARTIAL answer is not "
+                "passed off as the full top-k, or carry a waiver",
+            )
+        )
+    return found
+
+
 def rule_bad_waivers(files: list[SourceFile], root: str) -> list[Finding]:
     found = []
     for sf in files:
@@ -592,6 +650,7 @@ ALL_RULES = (
     rule_failpoint_registry,
     rule_raw_randomness,
     rule_fuzz_entrypoint,
+    rule_shard_status_completeness,
     rule_bad_waivers,
 )
 
@@ -676,6 +735,31 @@ extern "C" int LLVMFuzzerTestOneInput(const unsigned char* data,
                                       unsigned long size);
 int Replay() { return 0; }
 """,
+    # Consumes a scatter-gather answer without ever consulting the
+    # completeness annotation — a PARTIAL answer would pass as the full
+    # top-k.
+    "src/serve/rogue_consumer.cpp": """\
+#include "shard/shard_router.hpp"
+void Serve(const figdb::shard::ShardedSearchResult& r) {
+  for (const auto& hit : r.response.results) (void)hit;  // no Complete()
+}
+""",
+    # Negative controls for shard-status-completeness: a consumer that
+    # checks Complete(), and one that carries an explicit waiver.
+    "src/serve/good_consumer.cpp": """\
+#include "shard/shard_router.hpp"
+bool Serve(const figdb::shard::ShardedSearchResult& r) {
+  if (!r.Complete()) return false;
+  return !r.response.results.empty();
+}
+""",
+    "src/serve/waived_consumer.cpp": """\
+#include "shard/shard_router.hpp"
+// figdb-lint: allow(shard-status-completeness): metrics-only reader
+void Count(const figdb::shard::ShardedSearchResult& r) {
+  (void)r.response.results.size();
+}
+""",
 }
 
 EXPECT_SEEDED = {
@@ -689,12 +773,15 @@ EXPECT_SEEDED = {
     ("src/util/failpoint_sites.hpp", "failpoint-registry"),  # dead entry
     ("src/index/seeded.cpp", "raw-randomness"),
     ("fuzz/targets/fuzz_rogue.cpp", "fuzz-entrypoint"),
+    ("src/serve/rogue_consumer.cpp", "shard-status-completeness"),
 }
 
 # Seeds that must NOT produce the paired finding — false-positive guards.
 EXPECT_CLEAN = {
     ("fuzz/targets/fuzz_conforming.cpp", "fuzz-entrypoint"),
     ("fuzz/driver_decl_only.cpp", "fuzz-entrypoint"),
+    ("src/serve/good_consumer.cpp", "shard-status-completeness"),
+    ("src/serve/waived_consumer.cpp", "shard-status-completeness"),
 }
 
 
