@@ -15,6 +15,10 @@
 #   ci/check.sh fuzz       coverage-guided libFuzzer run over every fuzz/
 #                          target (needs clang++; otherwise falls back to
 #                          corpus replay, `ctest -L fuzz_regression`)
+#   ci/check.sh serve-smoke  end-to-end wire drill: figdb_shell `listen`
+#                          in one process, `connect` queries from another
+#                          under a FIGDB_FAILPOINTS net drill, then
+#                          SIGTERM and assert a clean graceful drain
 #   ci/check.sh lint       figdb-lint self-test + repo invariants
 #   ci/check.sh tidy       clang-tidy over the compilation database
 #                          (skips with a notice if clang-tidy is absent)
@@ -141,6 +145,94 @@ run_fuzz() {
   echo "==== [ci-fuzz] all targets survived their budget ===="
 }
 
+# End-to-end smoke of the network serving front-end through the REAL user
+# surface (the shell binary): a `listen` server in one process, `connect`
+# queries over the wire from a second, a FIGDB_FAILPOINTS connection-reset
+# drill injected under the run, then SIGTERM — the mode passes only if at
+# least one query answered with results THROUGH the drill and the server
+# reported a clean graceful drain. This is the one place the whole stack
+# (shell grammar -> client retry -> framing -> quotas -> executor -> drain)
+# is exercised process-to-process instead of in-process.
+run_serve_smoke() {
+  if [ ! -x build/examples/figdb_shell ]; then
+    echo "==== [ci-serve] configure+build (build) ===="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS"
+  fi
+  local dir; dir="$(mktemp -d)"
+  local slog="$dir/server.log" clog="$dir/client.log"
+
+  # The generator is seed-deterministic, so a throwaway shell yields a tag
+  # that is guaranteed to exist in the server's vocabulary too.
+  local term
+  term="$(printf 'gen 200\nshow 0\nquit\n' | build/examples/figdb_shell 2>/dev/null \
+          | sed -n 's/^ *tag:\([a-z]*\).*/\1/p' | head -n1)"
+  if [ -z "$term" ]; then
+    echo "==== [ci-serve] could not extract a vocabulary term ===="
+    return 1
+  fi
+
+  echo "==== [ci-serve] starting listen server (net/conn_reset drill) ===="
+  # Resets the connection instead of writing the 4th and 5th responses: the
+  # client must ride through both on its bounded retry (torn = retriable).
+  FIGDB_FAILPOINTS="net/conn_reset:3:2" \
+    build/examples/figdb_shell >"$slog" 2>&1 <<EOF &
+gen 200
+attach $dir/store
+listen 0
+EOF
+  local server_pid=$!
+  local port="" i
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$slog" | head -n1)"
+    [ -n "$port" ] && break
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.2
+  done
+  if [ -z "$port" ]; then
+    echo "==== [ci-serve] server never reached listening state ===="
+    cat "$slog"
+    kill -9 "$server_pid" 2>/dev/null || true
+    return 1
+  fi
+
+  echo "==== [ci-serve] wire queries against 127.0.0.1:$port ===="
+  {
+    for i in $(seq 1 8); do echo "connect 127.0.0.1 $port $term"; done
+    echo "quit"
+  } | build/examples/figdb_shell >"$clog" 2>&1 || true
+  local ok_count
+  ok_count="$(grep -c 'result(s) in' "$clog" || true)"
+  if [ "${ok_count:-0}" -lt 1 ]; then
+    echo "==== [ci-serve] no wire query returned results ===="
+    cat "$clog"
+    kill -9 "$server_pid" 2>/dev/null || true
+    return 1
+  fi
+
+  echo "==== [ci-serve] SIGTERM -> graceful drain ===="
+  kill -TERM "$server_pid"
+  for i in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.2
+  done
+  if kill -0 "$server_pid" 2>/dev/null; then
+    echo "==== [ci-serve] server did not exit after SIGTERM ===="
+    cat "$slog"
+    kill -9 "$server_pid" 2>/dev/null || true
+    return 1
+  fi
+  wait "$server_pid" 2>/dev/null || true
+  if ! grep -q 'drained cleanly' "$slog"; then
+    echo "==== [ci-serve] no clean-drain report in server output ===="
+    cat "$slog"
+    return 1
+  fi
+  echo "==== [ci-serve] $ok_count/8 queries answered through the drill; drain: ===="
+  grep 'drained cleanly' "$slog"
+  rm -rf "$dir"
+}
+
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "==== [ci-tidy] clang-tidy not installed; skipping ===="
@@ -173,6 +265,9 @@ case "$MODE" in
   fuzz)
     run_fuzz
     ;;
+  serve-smoke)
+    run_serve_smoke
+    ;;
   lint)
     run_lint
     ;;
@@ -183,15 +278,17 @@ case "$MODE" in
     run_tree build ci-plain
     run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
     run_tsan_tree
+    run_serve_smoke
     run_lint
     run_tidy
     ;;
   help)
     cat <<'EOF'
-usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|lint|tidy|help]
+usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|serve-smoke|lint|tidy|help]
 
 modes
-  all    plain + asan + tsan + lint + tidy (the default). The plain tree
+  all    plain + asan + tsan + serve-smoke + lint + tidy (the default).
+         The plain tree
          registers every fuzz/ target as a corpus-replay ctest case
          (label `fuzz_regression`), so the checked-in corpus is part of
          the default gate on any compiler.
@@ -203,6 +300,9 @@ modes
   fuzz   coverage-guided libFuzzer run of all fuzz/ targets under
          clang++ (FUZZ_SECONDS per target, default 15); without clang++
          it degrades to the corpus-replay ctest cases
+  serve-smoke  process-to-process wire drill: figdb_shell `listen` server
+         + `connect` client under a FIGDB_FAILPOINTS connection-reset
+         drill, ending in a SIGTERM graceful-drain assertion
   lint   figdb-lint self-test + repo invariants
   tidy   clang-tidy over the compilation database (skips if absent)
 
@@ -228,7 +328,7 @@ EOF
     exit 0
     ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|lint|tidy|help]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|serve-smoke|lint|tidy|help]" >&2
     exit 2
     ;;
 esac

@@ -20,6 +20,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -34,6 +36,8 @@
 #include "index/figdb_store.hpp"
 #include "index/retrieval_engine.hpp"
 #include "index/storage.hpp"
+#include "net/fig_client.hpp"
+#include "net/fig_server.hpp"
 #include "serve/serving_store.hpp"
 #include "shard/shard_router.hpp"
 #include "shard/sharded_store.hpp"
@@ -45,6 +49,12 @@
 namespace {
 
 using namespace figdb;
+
+/// Set by SIGTERM/SIGINT while `listen` is serving: the loop drains and
+/// hands the store back instead of dying mid-request.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+extern "C" void OnDrainSignal(int) { g_drain_requested = 1; }
 
 struct Shell {
   std::optional<corpus::Corpus> db;
@@ -524,6 +534,84 @@ struct Shell {
     PrintStoreStats("store");
   }
 
+  /// Serves the attached store over the wire protocol until SIGTERM or
+  /// SIGINT, then drains gracefully: in-flight requests finish against
+  /// their pinned snapshots, late arrivals get typed RETRY_LATER, and the
+  /// store is handed back to the shell intact.
+  void Listen(std::uint16_t port) {
+    serve::ServeOptions soptions;
+    soptions.executor.workers = 2;
+    serve::ServingStore serving(std::move(*store), soptions);
+    store.reset();
+
+    net::ServerOptions options;
+    options.port = port;
+    net::FigServer server(&serving, options);
+    const util::Status started = server.Start();
+    if (!started.ok()) {
+      std::printf("listen failed: %s\n", started.ToString().c_str());
+      store = std::move(serving).Release();
+      SyncFromStore();
+      return;
+    }
+    std::printf("listening on 127.0.0.1:%u — SIGTERM/SIGINT drains and "
+                "returns to the shell\n",
+                server.Port());
+    std::fflush(stdout);
+
+    g_drain_requested = 0;
+    auto prev_term = std::signal(SIGTERM, OnDrainSignal);
+    auto prev_int = std::signal(SIGINT, OnDrainSignal);
+    while (g_drain_requested == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::signal(SIGTERM, prev_term);
+    std::signal(SIGINT, prev_int);
+
+    server.BeginDrain();
+    server.Stop();
+    const net::ServerStats stats = server.Stats();
+    std::printf(
+        "drained cleanly: %llu request(s) served, %llu retry-later, "
+        "%llu tenant-rejected, %llu degraded over %llu connection(s) "
+        "(%llu dropped, %llu corrupt streams)\n",
+        (unsigned long long)stats.completed,
+        (unsigned long long)stats.retry_later,
+        (unsigned long long)stats.tenant_rejected,
+        (unsigned long long)stats.tenant_degraded,
+        (unsigned long long)stats.connections_accepted,
+        (unsigned long long)stats.connections_dropped,
+        (unsigned long long)stats.decode_corrupt);
+    std::fflush(stdout);
+
+    store = std::move(serving).Release();
+    SyncFromStore();
+    PrintStoreStats("store");
+  }
+
+  /// One query against a remote `listen` server, with the shell's budget
+  /// propagated over the wire as the request's deadline.
+  void Connect(const std::string& host, std::uint16_t port,
+               const std::string& text) {
+    net::FigClient client(host, port);
+    util::Stopwatch watch;
+    const auto result = client.Query("shell", text, 8, budget);
+    if (!result.ok()) {
+      std::printf("connect query failed: %s\n",
+                  result.status().ToString().c_str());
+      return;
+    }
+    std::printf(
+        "%zu result(s) in %.1f ms from %s:%u (epoch %llu, %zu attempt(s))"
+        "%s%s\n",
+        result->response.results.size(), watch.ElapsedMillis(), host.c_str(),
+        port, (unsigned long long)result->response.epoch, result->attempts,
+        result->response.truncated ? " [TRUNCATED]" : "",
+        !result->response.reranked ? " [rerank shed]" : "");
+    for (const auto& r : result->response.results)
+      std::printf("  #%-6llu score=%.5f\n", (unsigned long long)r.object,
+                  r.score);
+  }
+
   void Show(corpus::ObjectId id) const {
     if (id >= db->Size()) {
       std::printf("no object #%u\n", id);
@@ -572,6 +660,14 @@ void Help() {
       "  shard rebalance <n>  crash-recoverable two-phase re-partition\n"
       "  shard query <tags...>  fan the query out; results are labelled\n"
       "                    complete or PARTIAL (a/N shards answered)\n"
+      "network serving (framed wire protocol, 127.0.0.1):\n"
+      "  listen [port]     serve the attached store over TCP (0/absent =\n"
+      "                    ephemeral, port is printed); SIGTERM or SIGINT\n"
+      "                    drains gracefully — in-flight requests finish,\n"
+      "                    late ones get RETRY_LATER — then returns\n"
+      "  connect <host> <port> <tags...>  run one query against a listen\n"
+      "                    server; the shell budget rides the wire as the\n"
+      "                    request deadline, retries are bounded+backoff\n"
       "  quit\n"
       "env: FIGDB_FAILPOINTS=name[:skip[:fires]],…  activates fault drills\n"
       "     (e.g. wal/fsync, shard/wounded) at startup\n");
@@ -648,7 +744,12 @@ int main() {
         shell.ShardQuery(cmd.text);
       continue;
     }
+    if (cmd.verb == cli::ShellVerb::kConnect) {
+      shell.Connect(cmd.host, cmd.port, cmd.text);
+      continue;
+    }
     if (cmd.verb == cli::ShellVerb::kServe ||
+        cmd.verb == cli::ShellVerb::kListen ||
         cmd.verb == cli::ShellVerb::kIngest ||
         cmd.verb == cli::ShellVerb::kRemove ||
         cmd.verb == cli::ShellVerb::kCheckpoint ||
@@ -661,6 +762,9 @@ int main() {
         case cli::ShellVerb::kServe:
           shell.Serve(cmd.serve_seconds, cmd.serve_readers,
                       cmd.serve_workers);
+          break;
+        case cli::ShellVerb::kListen:
+          shell.Listen(cmd.port);
           break;
         case cli::ShellVerb::kIngest:
           shell.Ingest(cmd.text);

@@ -17,6 +17,7 @@
 #include "index/retrieval_engine.hpp"
 #include "index/storage.hpp"
 #include "index/wal.hpp"
+#include "net/wire.hpp"
 #include "serve/query_executor.hpp"
 #include "shard/manifest.hpp"
 #include "util/check.hpp"
@@ -175,6 +176,25 @@ bool FixupShardManifestCrc(std::string* bytes) {
   return true;
 }
 
+bool FixupFrameCrc(std::string* bytes) {
+  std::string_view view(*bytes);
+  std::size_t pos = 0;
+  bool patched = false;
+  while (view.size() - pos >= net::kFrameHeaderBytes) {
+    std::uint32_t len = 0;
+    for (int i = 3; i >= 0; --i)
+      len = (len << 8) | std::uint8_t(view[pos + 4 + std::size_t(i)]);
+    if (len > net::kMaxFramePayload ||
+        view.size() - pos - net::kFrameHeaderBytes < len)
+      break;  // length claim exceeds the buffer: unwalkable from here
+    PatchFixed32(bytes, pos + 8,
+                 util::Crc32(view.substr(pos + net::kFrameHeaderBytes, len)));
+    pos += net::kFrameHeaderBytes + len;
+    patched = true;
+  }
+  return patched;
+}
+
 std::string MutateBytes(util::Rng* rng, std::string_view bytes,
                         bool truncate) {
   std::string mutant(bytes);
@@ -237,6 +257,30 @@ std::string BuildWalSeed(std::uint64_t seed, std::size_t records) {
     out.PutRaw(body);
   }
   return out.Take();
+}
+
+std::string BuildFrameSeed(std::uint64_t seed, std::size_t results) {
+  util::Rng rng(seed);
+  net::RequestFrame request;
+  request.request_id = 1 + rng.UniformInt(1000);
+  request.tenant = "tenant" + std::to_string(rng.UniformInt(8));
+  request.deadline_budget_us = rng.UniformInt(2000000);
+  request.query_text = "sunset beach crowd";
+  request.k = 1 + rng.UniformInt(50);
+  request.max_candidates = rng.UniformInt(4) == 0 ? 0 : rng.UniformInt(512);
+
+  net::ResponseFrame response;
+  response.request_id = request.request_id;
+  response.code = std::uint8_t(int(util::StatusCode::kOk));
+  response.truncated = rng.UniformInt(2) == 0;
+  response.reranked = rng.UniformInt(2) == 0;
+  response.epoch = 1 + rng.UniformInt(30);
+  for (std::size_t i = 0; i < results; ++i)
+    response.results.push_back(
+        {rng.UniformInt(500), rng.UniformReal()});
+
+  return net::EncodeRequestFrame(request) +
+         net::EncodeResponseFrame(response);
 }
 
 // ----------------------------------------------------- section surgery
@@ -602,6 +646,79 @@ ParseOutcome CheckShardManifestOneInput(const std::uint8_t* data,
                   "serialize(parse(manifest)) failed to re-parse");
   FIGDB_CHECK_MSG(*reparsed == *parsed, "manifest round-trip changed fields");
   FIGDB_CHECK(shard::SerializeShardManifest(*reparsed) == s1);
+  return outcome;
+}
+
+// ------------------------------------------------------ wire-frame harness
+
+namespace {
+
+bool SameRequest(const net::RequestFrame& a, const net::RequestFrame& b) {
+  return a.request_id == b.request_id && a.tenant == b.tenant &&
+         a.deadline_budget_us == b.deadline_budget_us &&
+         a.query_text == b.query_text && a.k == b.k &&
+         a.max_candidates == b.max_candidates;
+}
+
+bool SameResponse(const net::ResponseFrame& a, const net::ResponseFrame& b) {
+  if (a.request_id != b.request_id || a.code != b.code ||
+      a.retry_later != b.retry_later || a.message != b.message ||
+      a.truncated != b.truncated || a.reranked != b.reranked ||
+      a.epoch != b.epoch || a.results.size() != b.results.size())
+    return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    if (a.results[i].object != b.results[i].object ||
+        a.results[i].score != b.results[i].score)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+ParseOutcome CheckFrameOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string buffer(reinterpret_cast<const char*>(data), size);
+  ParseOutcome outcome;
+  // Drive the decoder the way a connection handler does: decode, erase the
+  // consumed prefix, decode again — a stream carries back-to-back frames.
+  while (!buffer.empty()) {
+    net::Frame frame;
+    std::size_t consumed = 0;
+    const net::DecodeResult dr = net::DecodeFrame(buffer, &frame, &consumed);
+    if (dr != net::DecodeResult::kOk) {
+      // Both terminal shapes end the walk; neither may claim bytes.
+      if (!outcome.accepted)
+        outcome.code = dr == net::DecodeResult::kCorrupt
+                           ? StatusCode::kDataLoss
+                           : StatusCode::kInvalidArgument;
+      return outcome;
+    }
+    outcome.accepted = true;
+    FIGDB_CHECK(consumed > 0 && consumed <= buffer.size());
+    // Re-encode what was decoded: the canonical bytes must decode back to
+    // the same fields (round trip) and to themselves (byte fixed point) —
+    // the input need not be canonical (overlong varints shrink).
+    const std::string canonical =
+        frame.kind == net::FrameKind::kRequest
+            ? net::EncodeRequestFrame(frame.request)
+            : net::EncodeResponseFrame(frame.response);
+    net::Frame again;
+    std::size_t reconsumed = 0;
+    FIGDB_CHECK_MSG(net::DecodeFrame(canonical, &again, &reconsumed) ==
+                        net::DecodeResult::kOk,
+                    "re-encoded frame failed to decode");
+    FIGDB_CHECK(reconsumed == canonical.size());
+    FIGDB_CHECK(again.kind == frame.kind);
+    if (frame.kind == net::FrameKind::kRequest)
+      FIGDB_CHECK_MSG(SameRequest(frame.request, again.request),
+                      "request frame round-trip changed fields");
+    else
+      FIGDB_CHECK_MSG(SameResponse(frame.response, again.response),
+                      "response frame round-trip changed fields");
+    FIGDB_CHECK((again.kind == net::FrameKind::kRequest
+                     ? net::EncodeRequestFrame(again.request)
+                     : net::EncodeResponseFrame(again.response)) == canonical);
+    buffer.erase(0, consumed);
+  }
   return outcome;
 }
 

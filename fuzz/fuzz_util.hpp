@@ -95,6 +95,11 @@ bool FixupWalCrcs(std::string* bytes);
 /// remaining payload. One checksum, re-stamped in place.
 bool FixupShardManifestCrc(std::string* bytes);
 
+/// Network wire frames: per frame (fixed32 magic, fixed32 payload_len,
+/// fixed32 CRC, payload), back to back. Re-stamps every walkable frame's
+/// CRC; stops at the first frame whose length claim exceeds the buffer.
+bool FixupFrameCrc(std::string* bytes);
+
 /// The corruption model the robustness suite has used since PR 1: either
 /// truncate to a random prefix (seed % 3 == 0 style callers pick), or flip
 /// 1-4 random bytes with random non-zero XOR masks. Deterministic in \p rng.
@@ -115,6 +120,11 @@ std::string BuildSnapshotSeed(std::uint64_t seed, std::size_t objects);
 /// A valid WAL image: header + \p records add/remove records with strictly
 /// increasing LSNs — a seed for fuzz_wal.
 std::string BuildWalSeed(std::uint64_t seed, std::size_t records);
+
+/// A valid wire-frame stream: one request frame followed by one response
+/// frame carrying \p results scored hits, all fields derived from \p seed —
+/// a seed for fuzz_frame.
+std::string BuildFrameSeed(std::uint64_t seed, std::size_t results);
 
 // ---------------------------------------------------------------------------
 // Snapshot section surgery (edge-case tests + structure-aware seeds).
@@ -175,6 +185,12 @@ void CheckSerdeOneInput(const std::uint8_t* data, std::size_t size);
 /// rejections must carry kInvalidArgument or kDataLoss and a message.
 ParseOutcome CheckShardManifestOneInput(const std::uint8_t* data,
                                         std::size_t size);
+
+/// Network frame decode (net::DecodeFrame), driven as a stream consumer:
+/// every decoded frame must re-encode to a byte fixed point that decodes
+/// back field-for-field; kNeedMoreBytes and kCorrupt must be terminal for
+/// the walk (no consumed bytes claimed). Never crashes, never over-reads.
+ParseOutcome CheckFrameOneInput(const std::uint8_t* data, std::size_t size);
 
 /// Taxonomy section decode (index::ReadTaxonomySection) followed by WUP
 /// queries over whatever survives: WUP ∈ (0, 1], symmetric, self = 1, and

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fuzz_util.hpp"
+#include "net/wire.hpp"
 #include "shard/manifest.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -97,6 +98,27 @@ int main(int argc, char** argv) {
     WriteSeed(root / "fuzz_shard_manifest", "crc_fixed_mutant.bin", mutant);
   }
 
+  // fuzz_frame: a valid request+response stream, a lone request, a torn
+  // tail, and a CRC-refreshed mutant (valid framing, damaged payload) to
+  // pre-seed the body decoders past the checksum gate.
+  {
+    const std::string stream = fuzz::BuildFrameSeed(13, 5);
+    WriteSeed(root / "fuzz_frame", "valid_stream.bin", stream);
+    figdb::net::RequestFrame request;
+    request.request_id = 7;
+    request.tenant = "acme";
+    request.deadline_budget_us = 250000;
+    request.query_text = "sunset beach";
+    WriteSeed(root / "fuzz_frame", "valid_request.bin",
+              figdb::net::EncodeRequestFrame(request));
+    WriteSeed(root / "fuzz_frame", "torn_tail.bin",
+              stream.substr(0, stream.size() - 7));
+    figdb::util::Rng rng(20260811);
+    std::string mutant = fuzz::MutateBytes(&rng, stream, /*truncate=*/false);
+    fuzz::FixupFrameCrc(&mutant);
+    WriteSeed(root / "fuzz_frame", "crc_fixed_mutant.bin", mutant);
+  }
+
   // fuzz_serde: byte programs for both modes (round-trip and adversarial).
   WriteSeed(root / "fuzz_serde", "roundtrip_script.bin",
             std::string(1, '\0') + ScriptBytes(101, 96));
@@ -132,11 +154,14 @@ int main(int argc, char** argv) {
             "checkpoint\nrecover\nserve 1.5 8 2\nserve 999 99 99\nserve\n"
             "shard attach /tmp/shards 4\nshard attach /tmp/shards\n"
             "shard status\nshard rebalance 2\nshard query beach sunset\n"
-            "quit\n");
+            "listen\nlisten 0\nlisten 4801\n"
+            "connect 127.0.0.1 4801 sunset beach\nquit\n");
   WriteSeed(root / "fuzz_shell_command", "errors.txt",
             "frobnicate\ngen many\nload\nremove nineteen\nsimilar -4\n"
             "budget fast\nserve soon\nshard\nshard attach\nshard rebalance\n"
-            "shard rebalance 999\nshard frob\n\n   \n");
+            "shard rebalance 999\nshard frob\nlisten 70000\nlisten x\n"
+            "connect\nconnect host\nconnect host 0 q\nconnect host 99999 q\n"
+            "\n   \n");
 
   // Action-script harnesses: fixed byte programs.
   WriteSeed(root / "fuzz_store_ops", "script_a.bin", ScriptBytes(201, 48));

@@ -144,6 +144,25 @@ StatusOr<ShellCommand> ParseShellCommand(std::string_view line) {
     cmd.serve_readers = std::min(std::max<std::size_t>(cmd.serve_readers, 1),
                                  kMaxServeThreads);
     cmd.serve_workers = std::min(cmd.serve_workers, kMaxServeThreads);
+  } else if (verb == "listen") {
+    cmd.verb = ShellVerb::kListen;
+    // `listen` with no argument binds an ephemeral port (printed once the
+    // server is up) — same contract as ServerOptions.port = 0.
+    const std::string token = NextToken(&in);
+    if (!token.empty()) {
+      std::uint64_t p = 0;
+      if (!ParseU64(token, &p) || p > 65535) return Usage("listen [port]");
+      cmd.port = std::uint16_t(p);
+    }
+  } else if (verb == "connect") {
+    cmd.verb = ShellVerb::kConnect;
+    cmd.host = NextToken(&in);
+    std::uint64_t p = 0;
+    if (cmd.host.empty() || !ParseU64(NextToken(&in), &p) || p == 0 ||
+        p > 65535)
+      return Usage("connect <host> <port> <tags…>");
+    cmd.port = std::uint16_t(p);
+    cmd.text = RestOfLine(&in);
   } else if (verb == "shard") {
     // Sub-verb dispatch for the sharded store. Shapes:
     //   shard attach <dir> [num_shards]

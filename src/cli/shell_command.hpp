@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -26,6 +27,9 @@
 ///   kRemove/kSimilar/kShow  id parsed from a real integer token
 ///   kShardAttach   non-empty path; count in [1, kMaxShellShards]
 ///   kShardRebalance  count in [1, kMaxShellShards]
+///   kListen   port parsed from a real integer token, <= 65535 (0 is the
+///             documented "pick an ephemeral port" request)
+///   kConnect  non-empty host; port in [1, 65535]
 
 namespace figdb::cli {
 
@@ -51,6 +55,8 @@ enum class ShellVerb {
   kShardStatus,     ///< `shard status` — placement, per-shard health, stats
   kShardRebalance,  ///< `shard rebalance <n>` — two-phase re-partition
   kShardQuery,      ///< `shard query <tags…>` — scatter-gather top-k
+  kListen,          ///< `listen [port]` — serve the store over the wire
+  kConnect,         ///< `connect <host> <port> <tags…>` — one wire query
 };
 
 inline constexpr std::size_t kMinGenObjects = 50;
@@ -83,6 +89,11 @@ struct ShellCommand {
   double serve_seconds = 3.0;
   std::size_t serve_readers = 4;
   std::size_t serve_workers = 4;
+
+  /// kListen/kConnect: TCP port (kListen: 0 = ephemeral); kConnect: the
+  /// peer host in `host`, the query text in `text`.
+  std::uint16_t port = 0;
+  std::string host;
 };
 
 /// Parses one shell line. Never throws; unknown verbs, missing required

@@ -1,0 +1,163 @@
+#include "net/fig_client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/backoff.hpp"
+
+namespace figdb::net {
+namespace {
+
+using Clock = Socket::Clock;
+
+std::uint64_t RemainingMicros(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? std::uint64_t(left.count()) : 0;
+}
+
+}  // namespace
+
+FigClient::FigClient(std::string host, std::uint16_t port,
+                     ClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      jitter_rng_(options.jitter_seed) {}
+
+util::StatusOr<ClientResult> FigClient::Query(const std::string& tenant,
+                                              const std::string& query_text,
+                                              std::size_t k,
+                                              const util::QueryBudget& budget) {
+  const double wall = budget.wall_limit_seconds > 0.0
+                          ? budget.wall_limit_seconds
+                          : options_.default_deadline_seconds;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(wall));
+
+  RequestFrame request;
+  request.request_id = next_request_id_++;
+  request.tenant = tenant;
+  request.query_text = query_text;
+  request.k = k;
+  if (budget.max_scored_candidates != util::QueryBudget::kUnlimitedCandidates)
+    request.max_candidates = budget.max_scored_candidates;
+
+  util::Backoff backoff(options_.backoff_initial_seconds,
+                        options_.backoff_max_seconds,
+                        options_.jitter_seed != 0 ? &jitter_rng_ : nullptr);
+  util::Status last = util::Status::Ok();
+  for (std::size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Sleep the backoff delay, but never past the deadline: a retry the
+      // caller will not wait for is not worth dialing.
+      const auto delay = std::chrono::duration_cast<Clock::duration>(
+          backoff.Next());
+      if (Clock::now() + delay >= deadline) break;
+      std::this_thread::sleep_for(delay);
+    }
+    // Each attempt carries the budget REMAINING now, not the original:
+    // the server must not start work the client has stopped waiting for.
+    request.deadline_budget_us = RemainingMicros(deadline);
+    if (request.deadline_budget_us == 0)
+      return util::Status::DeadlineExceeded(
+          "query deadline expired before attempt " +
+          std::to_string(attempt + 1));
+
+    auto response = Attempt(request, deadline);
+    if (response.ok()) {
+      util::Status server_status = StatusFromResponse(*response);
+      if (server_status.ok()) {
+        ClientResult result;
+        result.response = std::move(*response);
+        result.attempts = attempt + 1;
+        return result;
+      }
+      // A response that names a transient condition (RETRY_LATER drain,
+      // publish window) is retriable like a torn connection; every other
+      // server-side Status is the query's final answer.
+      if (!response->retry_later &&
+          !util::IsRetriableStatus(server_status))
+        return server_status;
+      last = std::move(server_status);
+      continue;
+    }
+    if (!util::IsRetriableStatus(response.status()))
+      return response.status();  // DEADLINE_EXCEEDED, DATA_LOSS: terminal
+    last = response.status();
+  }
+  if (last.ok())
+    return util::Status::DeadlineExceeded("query deadline expired");
+  return util::Status::Unavailable(
+      "retries exhausted (" + std::to_string(options_.max_retries + 1) +
+      " attempts); last error: " + last.ToString());
+}
+
+util::StatusOr<ResponseFrame> FigClient::Attempt(
+    const RequestFrame& request, Clock::time_point deadline) {
+  if (!conn_.Valid()) {
+    const auto connect_deadline = std::min(
+        deadline,
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               options_.connect_timeout_seconds)));
+    auto conn = Socket::Connect(host_, port_, connect_deadline);
+    if (!conn.ok()) return conn.status();
+    conn_ = std::move(*conn);
+  }
+
+  util::Status sent =
+      conn_.SendAll(EncodeRequestFrame(request), deadline);
+  if (!sent.ok()) {
+    // A stale persistent connection (server restarted, reset) fails on
+    // write; surface it retriable and re-dial on the next attempt.
+    conn_.Close();
+    return sent;
+  }
+
+  std::string buffer;
+  for (;;) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeResult dr = DecodeFrame(buffer, &frame, &consumed);
+    if (dr == DecodeResult::kOk) {
+      if (frame.kind != FrameKind::kResponse ||
+          frame.response.request_id != request.request_id) {
+        // A frame from a different conversation means the stream is not
+        // what we think it is — close and treat as corruption.
+        conn_.Close();
+        return util::Status::DataLoss(
+            "response frame did not match the request "
+            "(wrong kind or request id)");
+      }
+      return std::move(frame.response);
+    }
+    if (dr == DecodeResult::kCorrupt) {
+      // The frame arrived but its bytes are wrong (bad magic, CRC
+      // mismatch, malformed payload). TERMINAL: a peer that corrupts one
+      // frame corrupts the next; never retry into it, never trust the
+      // rest of the stream.
+      conn_.Close();
+      return util::Status::DataLoss(
+          "corrupt response frame (framing or checksum failure)");
+    }
+    auto got = conn_.RecvSome(&buffer, deadline);
+    if (!got.ok()) {
+      conn_.Close();
+      return got.status();  // timeout: DEADLINE_EXCEEDED; reset: UNAVAILABLE
+    }
+    if (*got == 0) {
+      // EOF with a partial (or absent) frame: the connection died before
+      // the answer finished — TORN, retriable.
+      conn_.Close();
+      return util::Status::Unavailable(
+          buffer.empty() ? "connection closed before any response byte"
+                         : "connection closed mid-frame (torn response)");
+    }
+  }
+}
+
+}  // namespace figdb::net

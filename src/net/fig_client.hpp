@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "util/query_budget.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+/// \file fig_client.hpp
+/// The client half of the wire protocol: one query in, a typed answer out
+/// — ALWAYS a typed answer. The client's contract mirrors the fault
+/// matrix's acceptance bar:
+///
+///   never a crash   malformed response bytes (CRC mismatch, bad framing)
+///                   close the connection and return DATA_LOSS;
+///   never a hang    every socket operation is bounded by the query's
+///                   deadline (QueryBudget wall limit), so a stalled or
+///                   black-holed server yields DEADLINE_EXCEEDED, not a
+///                   stuck caller;
+///   torn != corrupt EOF mid-frame means the connection died under us —
+///                   retriable UNAVAILABLE (the request may never have
+///                   been processed... or may have been: retrieval is
+///                   idempotent, so replay is safe). A frame that is
+///                   PRESENT but WRONG is DATA_LOSS: terminal, because a
+///                   peer that corrupts bytes will corrupt the retry too.
+///
+/// Retries: bounded by max_retries and by the deadline, whichever ends
+/// first, with util::Backoff delays between attempts. Retriable =
+/// util::IsRetriableStatus (UNAVAILABLE only) — which the server's
+/// RETRY_LATER drain/publish responses map to, so a client riding through
+/// a snapshot publish just waits one backoff step and asks again. Each
+/// attempt reconnects if needed and sends the REMAINING budget, so a
+/// retry after a 40 ms backoff offers the server 40 ms less work.
+///
+/// Jitter: a fleet of clients kicked loose by the same drain would retry
+/// in lockstep; an explicit jitter seed decorrelates them (equal-jitter
+/// via util::JitteredBackoffDelay) while keeping every schedule
+/// reproducible from its seed. Seed 0 = deterministic delays.
+
+namespace figdb::net {
+
+struct ClientOptions {
+  double connect_timeout_seconds = 2.0;
+  /// Applied when the query budget carries no deadline: the client never
+  /// waits unboundedly on a socket.
+  double default_deadline_seconds = 5.0;
+  std::size_t max_retries = 3;
+  double backoff_initial_seconds = 0.02;
+  double backoff_max_seconds = 0.25;
+  /// 0 = no jitter (bit-reproducible retry schedule); nonzero seeds the
+  /// client's private Rng for equal-jittered backoff delays.
+  std::uint64_t jitter_seed = 0;
+};
+
+/// A completed query: the decoded response plus retry accounting.
+struct ClientResult {
+  ResponseFrame response;
+  std::size_t attempts = 1;  ///< total attempts (1 = no retries)
+};
+
+class FigClient {
+ public:
+  FigClient(std::string host, std::uint16_t port, ClientOptions options = {});
+
+  /// Sends one search request and waits for its typed outcome. The
+  /// connection persists across calls; torn connections are re-dialed on
+  /// the next attempt. \p budget's wall limit bounds the WHOLE call —
+  /// connects, sends, reads, backoff sleeps and retries included.
+  util::StatusOr<ClientResult> Query(const std::string& tenant,
+                                     const std::string& query_text,
+                                     std::size_t k,
+                                     const util::QueryBudget& budget = {});
+
+  /// Drops the persistent connection (next Query re-dials).
+  void Disconnect() { conn_.Close(); }
+
+ private:
+  util::StatusOr<ResponseFrame> Attempt(const RequestFrame& request,
+                                        Socket::Clock::time_point deadline);
+
+  std::string host_;
+  std::uint16_t port_;
+  ClientOptions options_;
+  util::Rng jitter_rng_;
+  Socket conn_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace figdb::net

@@ -1,0 +1,249 @@
+#include "net/fig_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "corpus/query_builder.hpp"
+#include "util/failpoint.hpp"
+
+namespace figdb::net {
+namespace {
+
+using Clock = Socket::Clock;
+
+/// Handler poll granularity: the longest a blocked read can delay noticing
+/// closing_/drain state. Short enough that Stop() completes promptly,
+/// long enough that idle polling is cheap.
+constexpr std::chrono::milliseconds kPollSlice(50);
+/// Bound on writing one response (loopback: generous).
+constexpr std::chrono::seconds kWriteTimeout(5);
+/// net/slow_peer stall — longer than the tight client deadlines the fault
+/// matrix uses, far shorter than any test timeout.
+constexpr std::chrono::milliseconds kSlowPeerStall(150);
+
+}  // namespace
+
+FigServer::FigServer(const serve::ServingStore* store, ServerOptions options)
+    : store_(store),
+      options_(options),
+      quotas_(options.quotas),
+      handlers_(std::max<std::size_t>(1, options.handler_threads)) {
+  if (options_.default_deadline_seconds <= 0.0)
+    options_.default_deadline_seconds = 5.0;
+}
+
+FigServer::~FigServer() { Stop(); }
+
+util::Status FigServer::Start() {
+  auto listener = ListenSocket::Listen(options_.port, /*backlog=*/64);
+  FIGDB_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return util::Status::Ok();
+}
+
+void FigServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  draining_.store(true, std::memory_order_relaxed);
+  closing_.store(true, std::memory_order_relaxed);
+  stop_accepting_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  util::MutexLock lock(conn_mu_);
+  while (active_connections_ > 0) conn_done_.Wait(lock);
+}
+
+ServerStats FigServer::Stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_dropped = connections_dropped_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.retry_later = retry_later_.load(std::memory_order_relaxed);
+  s.tenant_rejected = tenant_rejected_.load(std::memory_order_relaxed);
+  s.tenant_degraded = tenant_degraded_.load(std::memory_order_relaxed);
+  s.decode_corrupt = decode_corrupt_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FigServer::AcceptLoop() {
+  while (!stop_accepting_.load(std::memory_order_relaxed)) {
+    auto conn = listener_.Accept(Clock::now() + kPollSlice);
+    if (!conn.ok()) continue;  // poll slice elapsed or transient error
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (FIGDB_FAILPOINT("net/accept_drop")) {
+      // The Socket destructor closes the fd: from the client's side the
+      // connection vanishes right after the handshake (listen-queue
+      // overflow, conntrack reset) — a retriable torn read, not a hang.
+      connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    {
+      util::MutexLock lock(conn_mu_);
+      ++active_connections_;
+    }
+    // std::function must be copyable; the move-only Socket rides a
+    // shared_ptr into the task.
+    auto shared = std::make_shared<Socket>(std::move(*conn));
+    handlers_.Submit([this, shared] {
+      HandleConnection(std::move(*shared));
+      util::MutexLock lock(conn_mu_);
+      --active_connections_;
+      conn_done_.NotifyAll();
+    });
+  }
+}
+
+void FigServer::HandleConnection(Socket conn) {
+  std::string buffer;
+  auto idle_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options_.idle_timeout_seconds));
+  while (!closing_.load(std::memory_order_relaxed)) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeResult dr = DecodeFrame(buffer, &frame, &consumed);
+    if (dr == DecodeResult::kCorrupt) {
+      // No resync point after a framing error: drop the connection. The
+      // client observes EOF — a fresh connection starts a clean stream.
+      decode_corrupt_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (dr == DecodeResult::kNeedMoreBytes) {
+      auto got = conn.RecvSome(&buffer, Clock::now() + kPollSlice);
+      if (!got.ok()) {
+        if (got.status().code() == util::StatusCode::kDeadlineExceeded) {
+          if (Clock::now() >= idle_deadline) return;
+          continue;  // poll slice elapsed; re-check closing_ and drain
+        }
+        return;  // reset / hard error
+      }
+      if (*got == 0) return;  // EOF (between frames = clean; mid-frame =
+                              // the peer died; either way we are done)
+      idle_deadline = Clock::now() +
+                      std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              options_.idle_timeout_seconds));
+      continue;
+    }
+
+    const auto received_at = Clock::now();
+    buffer.erase(0, consumed);
+    if (frame.kind != FrameKind::kRequest) return;  // protocol violation
+
+    ResponseFrame response = ProcessRequest(frame.request, received_at);
+    std::string bytes = EncodeResponseFrame(response);
+    if (FIGDB_FAILPOINT("net/slow_peer"))
+      std::this_thread::sleep_for(kSlowPeerStall);
+    if (FIGDB_FAILPOINT("net/conn_reset"))
+      return;  // close instead of answering: client sees a torn stream
+    if (FIGDB_FAILPOINT("net/frame_corrupt") &&
+        bytes.size() > kFrameHeaderBytes)
+      // Flip a payload byte, leaving the header intact: the frame arrives
+      // whole and fails its CRC — the client must type it DATA_LOSS.
+      bytes[kFrameHeaderBytes] = char(bytes[kFrameHeaderBytes] ^ 0xFF);
+    if (!conn.SendAll(bytes, Clock::now() + kWriteTimeout).ok()) return;
+  }
+}
+
+ResponseFrame FigServer::ProcessRequest(const RequestFrame& request,
+                                        Clock::time_point received_at) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ResponseFrame response;
+  response.request_id = request.request_id;
+
+  const auto fail = [&response](const util::Status& status,
+                                bool retry_later = false) {
+    response.code = std::uint8_t(int(status.code()));
+    response.message = status.message();
+    response.retry_later = retry_later;
+  };
+
+  // Drain / publish gate, before any capacity is consumed. retry_later
+  // distinguishes "the server is fine, just not NOW" from a real outage.
+  if (draining_.load(std::memory_order_relaxed)) {
+    retry_later_.fetch_add(1, std::memory_order_relaxed);
+    fail(util::Status::Unavailable(
+             "server draining: in-flight requests are finishing, "
+             "new requests must retry later"),
+         /*retry_later=*/true);
+    return response;
+  }
+  if (publish_pauses_.load(std::memory_order_acquire) > 0) {
+    retry_later_.fetch_add(1, std::memory_order_relaxed);
+    fail(util::Status::Unavailable(
+             "snapshot publish in progress: retry later"),
+         /*retry_later=*/true);
+    return response;
+  }
+
+  auto ticket = quotas_.Admit(request.tenant);
+  if (!ticket.ok()) {
+    tenant_rejected_.fetch_add(1, std::memory_order_relaxed);
+    fail(ticket.status());
+    return response;
+  }
+  if (ticket->Degrade())
+    tenant_degraded_.fetch_add(1, std::memory_order_relaxed);
+
+  if (request.k == 0 || request.k > options_.max_k) {
+    fail(util::Status::InvalidArgument(
+        "k must be in [1, " + std::to_string(options_.max_k) + "], got " +
+        std::to_string(request.k)));
+    return response;
+  }
+
+  // Deadline propagation: the wire carries the client's REMAINING budget;
+  // subtract the time the frame spent queued here, refuse work the client
+  // has already given up on, and hand the executor the true remainder.
+  double remaining_seconds = options_.default_deadline_seconds;
+  if (request.deadline_budget_us > 0) {
+    const double spent =
+        std::chrono::duration<double>(Clock::now() - received_at).count();
+    remaining_seconds =
+        double(request.deadline_budget_us) * 1e-6 - spent;
+    if (remaining_seconds <= 0.0) {
+      fail(util::Status::DeadlineExceeded(
+          "deadline budget exhausted before dispatch"));
+      return response;
+    }
+  }
+  util::QueryBudget budget;
+  budget.wall_limit_seconds = remaining_seconds;
+  if (request.max_candidates > 0)
+    budget.max_scored_candidates = std::size_t(request.max_candidates);
+
+  // Pin ONE snapshot for both query compilation and execution; the epoch
+  // in the response is exactly the epoch that produced the results, and a
+  // concurrent publish retires this snapshot only after the guard drops.
+  auto handle = store_->Acquire();
+  corpus::QueryBuilder builder(handle->Engine().GetCorpus().SharedContext());
+  builder.AddText(request.query_text);
+  const corpus::MediaObject query = builder.Build();
+
+  auto result = store_->Executor().Search(handle->Engine(), query,
+                                          std::size_t(request.k), budget,
+                                          ticket->Degrade());
+  if (!result.ok()) {
+    fail(result.status());
+    return response;
+  }
+  response.code = std::uint8_t(int(util::StatusCode::kOk));
+  response.truncated = result->truncated;
+  response.reranked = result->reranked;
+  response.epoch = handle->Epoch();
+  response.results.reserve(result->results.size());
+  for (const core::SearchResult& r : result->results)
+    response.results.push_back({std::uint64_t(r.object), r.score});
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+}  // namespace figdb::net

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "net/socket.hpp"
+#include "net/tenant_quota.hpp"
+#include "net/wire.hpp"
+#include "serve/serving_store.hpp"
+#include "util/status.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/thread_pool.hpp"
+
+/// \file fig_server.hpp
+/// The network serving front-end: framed requests in, ServeResults out.
+///
+/// FigServer wraps a ServingStore behind the wire protocol (net/wire.hpp)
+/// on loopback TCP. One accept thread hands connections to a handler pool
+/// (its OWN util::ThreadPool — handler tasks block on socket IO and call
+/// into the executor's ParallelFor, both of which the executor pool's
+/// blocking discipline forbids for its workers); each handler runs a
+/// persistent read-decode-dispatch-respond loop for its connection.
+///
+/// Per request, in order:
+///
+///   DRAIN GATE     while draining (SIGTERM) or a snapshot publish is in
+///                  progress (ScopedPublishPause), requests get a typed
+///                  RETRY_LATER response — never a dropped byte. Requests
+///                  that passed the gate FINISH, against the snapshot they
+///                  pinned, and their responses are written; graceful
+///                  drain loses zero accepted in-flight requests.
+///   TENANT QUOTA   per-tenant hard cap rejects (RESOURCE_EXHAUSTED via
+///                  the shared admission formatter), soft cap admits with
+///                  forced rerank-shed degradation.
+///   DEADLINE       the client's remaining budget (microseconds on the
+///                  wire; no clock crosses the machine boundary) minus
+///                  server-side queue time becomes the QueryBudget wall
+///                  limit — work the client stopped waiting for is work
+///                  the executor refuses to start. Requests without a
+///                  budget get the server's default deadline: every
+///                  dispatched query is deadline-bearing.
+///   DISPATCH       QueryBuilder compiles the query text against the
+///                  pinned snapshot's context; QueryExecutor::Search runs
+///                  it; the ServeResult (or Status) is framed back.
+///
+/// Fail-points (the fault matrix in tests/net_test.cpp):
+///   net/accept_drop    accepted connection closed before any read
+///   net/conn_reset     connection closed instead of writing the response
+///   net/frame_corrupt  one response payload byte flipped (client must
+///                      report DATA_LOSS, not crash or trust the frame)
+///   net/slow_peer      response delayed past the poll slice (client
+///                      deadline enforcement)
+
+namespace figdb::net {
+
+struct ServerOptions {
+  /// 127.0.0.1 bind port; 0 = ephemeral (read the chosen one via Port()).
+  std::uint16_t port = 0;
+  /// Connection-handler pool size = max concurrently served connections.
+  std::size_t handler_threads = 4;
+  QuotaOptions quotas;
+  /// Deadline applied to requests that carry no budget; clamped to > 0 —
+  /// the server never dispatches an unbounded query.
+  double default_deadline_seconds = 5.0;
+  /// Idle connections are closed after this long without a byte.
+  double idle_timeout_seconds = 30.0;
+  /// Requests asking for more than this many results are INVALID_ARGUMENT.
+  std::size_t max_k = 1000;
+};
+
+/// Monotonic counters, readable while serving.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_dropped = 0;  ///< net/accept_drop firings
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t retry_later = 0;     ///< drain/publish gate responses
+  std::uint64_t tenant_rejected = 0; ///< per-tenant hard cap
+  std::uint64_t tenant_degraded = 0; ///< per-tenant soft cap
+  std::uint64_t decode_corrupt = 0;  ///< connections dropped on bad frames
+};
+
+class FigServer {
+ public:
+  /// \p store must outlive the server. The server only READS the store
+  /// (Acquire/Executor); publishing stays with the owning writer thread,
+  /// which brackets each Publish() with a ScopedPublishPause.
+  FigServer(const serve::ServingStore* store, ServerOptions options);
+  ~FigServer();
+
+  FigServer(const FigServer&) = delete;
+  FigServer& operator=(const FigServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  util::Status Start();
+
+  /// The bound port (valid after Start(); resolves an ephemeral bind).
+  std::uint16_t Port() const { return listener_.Port(); }
+
+  /// Stops admitting NEW requests (typed RETRY_LATER); in-flight requests
+  /// finish and their responses are written. Connections stay open so
+  /// clients get answers, not resets.
+  void BeginDrain() { draining_.store(true, std::memory_order_relaxed); }
+  bool Draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Full shutdown: drain, stop accepting, finish in-flight responses,
+  /// close every connection, join all threads. Idempotent.
+  void Stop();
+
+  ServerStats Stats() const;
+
+  /// RAII publish window: while any pause is live, requests get
+  /// RETRY_LATER. The WRITER brackets ServingStore::Publish() with this so
+  /// queries never race the snapshot swap — in-flight ones already pinned
+  /// their epoch and complete against it.
+  class ScopedPublishPause {
+   public:
+    explicit ScopedPublishPause(FigServer* server) : server_(server) {
+      server_->publish_pauses_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~ScopedPublishPause() {
+      server_->publish_pauses_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    ScopedPublishPause(const ScopedPublishPause&) = delete;
+    ScopedPublishPause& operator=(const ScopedPublishPause&) = delete;
+
+   private:
+    FigServer* server_;
+  };
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(Socket conn);
+  ResponseFrame ProcessRequest(const RequestFrame& request,
+                               Socket::Clock::time_point received_at);
+
+  const serve::ServingStore* store_;
+  ServerOptions options_;
+  TenantQuotas quotas_;
+  ListenSocket listener_;
+  util::ThreadPool handlers_;
+  std::thread accept_thread_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> closing_{false};
+  std::atomic<bool> stop_accepting_{false};
+  std::atomic<int> publish_pauses_{0};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  /// Stop() waits for every handed-off connection (running or queued).
+  mutable util::Mutex conn_mu_;
+  util::CondVar conn_done_;
+  std::size_t active_connections_ FIGDB_GUARDED_BY(conn_mu_) = 0;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_dropped_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> retry_later_{0};
+  std::atomic<std::uint64_t> tenant_rejected_{0};
+  std::atomic<std::uint64_t> tenant_degraded_{0};
+  std::atomic<std::uint64_t> decode_corrupt_{0};
+};
+
+}  // namespace figdb::net

@@ -1,0 +1,197 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace figdb::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string Errno(const char* what) {
+  std::string msg(what);
+  msg += ": ";
+  msg += std::strerror(errno);
+  return msg;
+}
+
+/// Milliseconds until \p deadline, clamped to [0, 1h] for poll(). Returns
+/// 0 when the deadline already passed — poll then just samples readiness.
+int MillisUntil(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return int(std::clamp<std::chrono::milliseconds::rep>(
+      left.count(), 0, 3'600'000));
+}
+
+/// One poll() for \p events; kDeadlineExceeded on timeout. Loops on EINTR
+/// (recomputing the remaining window) so signals cannot shorten a wait.
+util::Status PollFor(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, MillisUntil(deadline));
+    if (rc > 0) return util::Status::Ok();
+    if (rc == 0) {
+      if (Clock::now() >= deadline)
+        return util::Status::DeadlineExceeded("socket wait deadline expired");
+      continue;  // clamped window elapsed; deadline still ahead
+    }
+    if (errno == EINTR) continue;
+    return util::Status::Unavailable(Errno("poll"));
+  }
+}
+
+util::Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return util::Status::Unavailable(Errno("fcntl(F_GETFL)"));
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0)
+    return util::Status::Unavailable(Errno("fcntl(F_SETFL)"));
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::StatusOr<Socket> Socket::Connect(const std::string& host,
+                                       std::uint16_t port,
+                                       Clock::time_point deadline) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return util::Status::InvalidArgument("not an IPv4 address: " + host);
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.Valid()) return util::Status::Unavailable(Errno("socket"));
+
+  // Non-blocking connect so the handshake honors the caller's deadline;
+  // the fd goes back to blocking afterwards (all IO is poll-gated anyway).
+  FIGDB_RETURN_IF_ERROR(SetNonBlocking(sock.Fd(), true));
+  if (::connect(sock.Fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS)
+      return util::Status::Unavailable(Errno("connect"));
+    FIGDB_RETURN_IF_ERROR(PollFor(sock.Fd(), POLLOUT, deadline));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.Fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+      return util::Status::Unavailable(Errno("getsockopt(SO_ERROR)"));
+    if (err != 0) {
+      errno = err;
+      return util::Status::Unavailable(Errno("connect"));
+    }
+  }
+  FIGDB_RETURN_IF_ERROR(SetNonBlocking(sock.Fd(), false));
+
+  const int one = 1;
+  ::setsockopt(sock.Fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+util::Status Socket::SendAll(std::string_view bytes,
+                             Clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    FIGDB_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline));
+    // MSG_NOSIGNAL: a peer that closed mid-send must surface as EPIPE ->
+    // kUnavailable, not kill the server process with SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return util::Status::Unavailable(Errno("send"));
+    }
+    sent += std::size_t(n);
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::size_t> Socket::RecvSome(std::string* buffer,
+                                             Clock::time_point deadline) {
+  FIGDB_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::Unavailable(Errno("recv"));
+    }
+    buffer->append(chunk, std::size_t(n));
+    return std::size_t(n);
+  }
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::StatusOr<ListenSocket> ListenSocket::Listen(std::uint16_t port,
+                                                  int backlog) {
+  ListenSocket sock;
+  sock.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock.fd_ < 0) return util::Status::Unavailable(Errno("socket"));
+
+  const int one = 1;
+  ::setsockopt(sock.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(sock.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    return util::Status::Unavailable(Errno("bind"));
+  if (::listen(sock.fd_, backlog) < 0)
+    return util::Status::Unavailable(Errno("listen"));
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    return util::Status::Unavailable(Errno("getsockname"));
+  sock.port_ = ntohs(addr.sin_port);
+  return sock;
+}
+
+util::StatusOr<Socket> ListenSocket::Accept(Clock::time_point deadline) {
+  FIGDB_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return util::Status::Unavailable(Errno("accept"));
+  }
+}
+
+}  // namespace figdb::net

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+/// \file socket.hpp
+/// RAII POSIX TCP sockets with deadline-bounded IO.
+///
+/// The serving front-end's no-hang guarantee lives here: every blocking
+/// operation (connect, accept, read, write) goes through poll() with an
+/// explicit deadline, so a stalled or malicious peer produces a typed
+/// DEADLINE_EXCEEDED / UNAVAILABLE status instead of a wedged thread. The
+/// wrappers are deliberately minimal — loopback TCP between figdb
+/// processes, not a general networking library: IPv4, blocking fds driven
+/// through poll, no TLS.
+///
+/// Status taxonomy: timeouts are kDeadlineExceeded; connection failures,
+/// resets and EOF-mid-operation are kUnavailable (retrying against a
+/// recovered server may help); invalid addresses are kInvalidArgument.
+
+namespace figdb::net {
+
+/// A connected stream socket (client side, or an accepted server
+/// connection). Move-only; closes on destruction.
+class Socket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool Valid() const { return fd_ >= 0; }
+  int Fd() const { return fd_; }
+  void Close();
+
+  /// Connects to host:port, waiting at most until \p deadline.
+  static util::StatusOr<Socket> Connect(const std::string& host,
+                                        std::uint16_t port,
+                                        Clock::time_point deadline);
+
+  /// Writes all of \p bytes before \p deadline.
+  util::Status SendAll(std::string_view bytes, Clock::time_point deadline);
+
+  /// Reads some bytes (appended to *buffer) before \p deadline. Returns
+  /// the byte count — 0 is CLEAN EOF (peer closed; whether that is fine or
+  /// a torn frame is the framing layer's call), kDeadlineExceeded on
+  /// timeout, kUnavailable on reset/error.
+  util::StatusOr<std::size_t> RecvSome(std::string* buffer,
+                                       Clock::time_point deadline);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket plus deadline-bounded Accept.
+class ListenSocket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+  ListenSocket(ListenSocket&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  ListenSocket& operator=(ListenSocket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds 127.0.0.1:\p port (0 = ephemeral; see Port()) and listens.
+  static util::StatusOr<ListenSocket> Listen(std::uint16_t port, int backlog);
+
+  bool Valid() const { return fd_ >= 0; }
+  /// The actual bound port (resolves an ephemeral bind).
+  std::uint16_t Port() const { return port_; }
+  void Close();
+
+  /// Accepts one connection, waiting at most until \p deadline
+  /// (kDeadlineExceeded on timeout — the accept loop's periodic chance to
+  /// observe its stop flag).
+  util::StatusOr<Socket> Accept(Clock::time_point deadline);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace figdb::net

@@ -1,0 +1,68 @@
+#include "net/tenant_quota.hpp"
+
+#include <utility>
+
+#include "util/admission.hpp"
+
+namespace figdb::net {
+
+TenantTicket::~TenantTicket() {
+  if (quotas_ != nullptr) quotas_->Release(tenant_);
+}
+
+TenantTicket::TenantTicket(TenantTicket&& other) noexcept
+    : quotas_(other.quotas_),
+      tenant_(std::move(other.tenant_)),
+      degrade_(other.degrade_) {
+  other.quotas_ = nullptr;
+}
+
+TenantTicket& TenantTicket::operator=(TenantTicket&& other) noexcept {
+  if (this != &other) {
+    if (quotas_ != nullptr) quotas_->Release(tenant_);
+    quotas_ = other.quotas_;
+    tenant_ = std::move(other.tenant_);
+    degrade_ = other.degrade_;
+    other.quotas_ = nullptr;
+  }
+  return *this;
+}
+
+const TenantQuota& TenantQuotas::QuotaFor(const std::string& tenant) const {
+  const auto it = options_.per_tenant.find(tenant);
+  return it != options_.per_tenant.end() ? it->second
+                                         : options_.default_quota;
+}
+
+util::StatusOr<TenantTicket> TenantQuotas::Admit(const std::string& tenant) {
+  const TenantQuota& quota = QuotaFor(tenant);
+  std::size_t count;
+  {
+    util::MutexLock lock(mu_);
+    std::size_t& slot = in_flight_[tenant];
+    count = slot + 1;
+    if (count > quota.hard_cap) {
+      // Same formatter, tenant-scoped cap name: operators grep one message
+      // shape across the executor, the router, and per-tenant rejections.
+      return util::Status::ResourceExhausted(util::AdmissionRejection(
+          util::TenantCapName(tenant), slot, quota.hard_cap,
+          quota.soft_cap));
+    }
+    slot = count;
+  }
+  return TenantTicket(this, tenant, count > quota.soft_cap);
+}
+
+std::size_t TenantQuotas::InFlight(const std::string& tenant) const {
+  util::MutexLock lock(mu_);
+  const auto it = in_flight_.find(tenant);
+  return it != in_flight_.end() ? it->second : 0;
+}
+
+void TenantQuotas::Release(const std::string& tenant) {
+  util::MutexLock lock(mu_);
+  const auto it = in_flight_.find(tenant);
+  if (it != in_flight_.end() && it->second > 0) --it->second;
+}
+
+}  // namespace figdb::net

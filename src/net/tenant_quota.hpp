@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.hpp"
+#include "util/thread_annotations.hpp"
+
+/// \file tenant_quota.hpp
+/// Per-tenant admission quotas for the network front-end.
+///
+/// The executor's process-wide admission control protects the MACHINE; it
+/// cannot stop one tenant's burst from eating every slot below the global
+/// cap and starving everyone else. TenantQuotas layers the same two-level
+/// convention per tenant id from the request header:
+///
+///   in-flight > hard cap  ->  REJECT (RESOURCE_EXHAUSTED, message via the
+///                             shared util::AdmissionRejection formatter,
+///                             naming the tenant, the load, both caps);
+///   in-flight > soft cap  ->  ADMIT but force-degrade: the query runs with
+///                             its rerank stage shed, the same degradation
+///                             the executor applies under global pressure.
+///
+/// Counters release by RAII (TenantTicket) on every exit path, mirroring
+/// the executor's AdmissionTicket, so the load the NEXT request observes
+/// is exact. Unknown tenants get the default caps — a quota system that
+/// only throttles registered names is a quota system with an opt-out.
+
+namespace figdb::net {
+
+struct TenantQuota {
+  std::size_t hard_cap = 8;  ///< above this in-flight: reject
+  std::size_t soft_cap = 4;  ///< above this in-flight: admit degraded
+};
+
+struct QuotaOptions {
+  TenantQuota default_quota;
+  /// Per-tenant overrides (ordered map: deterministic iteration in stats).
+  std::map<std::string, TenantQuota> per_tenant;
+};
+
+class TenantQuotas;
+
+/// RAII in-flight slot for one admitted request; releases on destruction.
+class TenantTicket {
+ public:
+  TenantTicket() = default;
+  ~TenantTicket();
+  TenantTicket(TenantTicket&& other) noexcept;
+  TenantTicket& operator=(TenantTicket&& other) noexcept;
+  TenantTicket(const TenantTicket&) = delete;
+  TenantTicket& operator=(const TenantTicket&) = delete;
+
+  /// True iff the request was admitted above the tenant's soft cap and
+  /// must run with its rerank stage shed.
+  bool Degrade() const { return degrade_; }
+
+ private:
+  friend class TenantQuotas;
+  TenantTicket(TenantQuotas* quotas, std::string tenant, bool degrade)
+      : quotas_(quotas), tenant_(std::move(tenant)), degrade_(degrade) {}
+
+  TenantQuotas* quotas_ = nullptr;
+  std::string tenant_;
+  bool degrade_ = false;
+};
+
+class TenantQuotas {
+ public:
+  explicit TenantQuotas(QuotaOptions options) : options_(std::move(options)) {}
+
+  /// Admission check + slot acquisition. RESOURCE_EXHAUSTED above the
+  /// tenant's hard cap; otherwise the ticket holds the slot and carries
+  /// the soft-cap degrade verdict.
+  util::StatusOr<TenantTicket> Admit(const std::string& tenant);
+
+  /// Current in-flight count for \p tenant (tests, stats).
+  std::size_t InFlight(const std::string& tenant) const;
+
+  const TenantQuota& QuotaFor(const std::string& tenant) const;
+
+ private:
+  friend class TenantTicket;
+  void Release(const std::string& tenant);
+
+  QuotaOptions options_;
+  mutable util::Mutex mu_;
+  std::unordered_map<std::string, std::size_t> in_flight_
+      FIGDB_GUARDED_BY(mu_);
+};
+
+}  // namespace figdb::net

@@ -1,0 +1,159 @@
+#include "net/wire.hpp"
+
+#include "util/crc32.hpp"
+#include "util/serde.hpp"
+
+namespace figdb::net {
+namespace {
+
+/// Result lists are bounded by the payload cap anyway; this just keeps a
+/// hostile count from reserving gigabytes before the per-entry reads fail.
+constexpr std::uint64_t kMaxWireResults = 1u << 16;
+
+std::string WrapPayload(const std::string& payload) {
+  util::BinaryWriter w;
+  w.PutFixed32(kFrameMagic);
+  w.PutFixed32(std::uint32_t(payload.size()));
+  w.PutFixed32(util::Crc32(payload));
+  w.PutRaw(payload);
+  return w.Take();
+}
+
+bool DecodeRequestBody(util::BinaryReader* r, RequestFrame* out) {
+  out->tenant = r->GetString();
+  out->deadline_budget_us = r->GetVarint();
+  out->query_text = r->GetString();
+  out->k = r->GetVarint();
+  out->max_candidates = r->GetVarint();
+  return r->Ok();
+}
+
+bool DecodeResponseBody(util::BinaryReader* r, ResponseFrame* out) {
+  out->code = r->GetU8();
+  out->retry_later = r->GetU8() != 0;
+  out->message = r->GetString();
+  out->truncated = r->GetU8() != 0;
+  out->reranked = r->GetU8() != 0;
+  out->epoch = r->GetVarint();
+  const std::uint64_t n = r->GetVarint();
+  if (!r->Ok() || n > kMaxWireResults) return false;
+  out->results.reserve(std::size_t(n));
+  for (std::uint64_t i = 0; i < n && r->Ok(); ++i) {
+    WireResult wr;
+    wr.object = r->GetVarint();
+    wr.score = r->GetDouble();
+    out->results.push_back(wr);
+  }
+  return r->Ok();
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(const RequestFrame& request) {
+  util::BinaryWriter w;
+  w.PutU8(kWireVersion);
+  w.PutU8(std::uint8_t(FrameKind::kRequest));
+  w.PutVarint(request.request_id);
+  w.PutString(request.tenant);
+  w.PutVarint(request.deadline_budget_us);
+  w.PutString(request.query_text);
+  w.PutVarint(request.k);
+  w.PutVarint(request.max_candidates);
+  return WrapPayload(w.Buffer());
+}
+
+std::string EncodeResponseFrame(const ResponseFrame& response) {
+  util::BinaryWriter w;
+  w.PutU8(kWireVersion);
+  w.PutU8(std::uint8_t(FrameKind::kResponse));
+  w.PutVarint(response.request_id);
+  w.PutU8(response.code);
+  w.PutU8(response.retry_later ? 1 : 0);
+  w.PutString(response.message);
+  w.PutU8(response.truncated ? 1 : 0);
+  w.PutU8(response.reranked ? 1 : 0);
+  w.PutVarint(response.epoch);
+  w.PutVarint(response.results.size());
+  for (const WireResult& r : response.results) {
+    w.PutVarint(r.object);
+    w.PutDouble(r.score);
+  }
+  return WrapPayload(w.Buffer());
+}
+
+DecodeResult DecodeFrame(std::string_view buffer, Frame* out,
+                         std::size_t* consumed) {
+  if (buffer.size() < kFrameHeaderBytes) {
+    // A short buffer whose magic bytes already contradict the sentinel can
+    // never extend into a valid frame — report corruption as soon as it is
+    // knowable so a garbage-spewing peer is cut off at the first bytes.
+    for (std::size_t i = 0; i < buffer.size() && i < 4; ++i)
+      if (std::uint8_t(buffer[i]) != std::uint8_t(kFrameMagic >> (8 * i)))
+        return DecodeResult::kCorrupt;
+    return DecodeResult::kNeedMoreBytes;
+  }
+  util::BinaryReader header(buffer.substr(0, kFrameHeaderBytes));
+  if (header.GetFixed32() != kFrameMagic) return DecodeResult::kCorrupt;
+  const std::uint32_t payload_len = header.GetFixed32();
+  const std::uint32_t payload_crc = header.GetFixed32();
+  if (payload_len > kMaxFramePayload) return DecodeResult::kCorrupt;
+  if (buffer.size() < kFrameHeaderBytes + payload_len)
+    return DecodeResult::kNeedMoreBytes;
+
+  const std::string_view payload =
+      buffer.substr(kFrameHeaderBytes, payload_len);
+  if (util::Crc32(payload) != payload_crc) return DecodeResult::kCorrupt;
+
+  util::BinaryReader r(payload);
+  if (r.GetU8() != kWireVersion) return DecodeResult::kCorrupt;
+  const std::uint8_t kind = r.GetU8();
+  if (!r.Ok()) return DecodeResult::kCorrupt;
+
+  Frame frame;
+  if (kind == std::uint8_t(FrameKind::kRequest)) {
+    frame.kind = FrameKind::kRequest;
+    frame.request.request_id = r.GetVarint();
+    if (!DecodeRequestBody(&r, &frame.request)) return DecodeResult::kCorrupt;
+  } else if (kind == std::uint8_t(FrameKind::kResponse)) {
+    frame.kind = FrameKind::kResponse;
+    frame.response.request_id = r.GetVarint();
+    if (!DecodeResponseBody(&r, &frame.response))
+      return DecodeResult::kCorrupt;
+  } else {
+    return DecodeResult::kCorrupt;
+  }
+  // Trailing payload bytes mean the length claim and the message disagree —
+  // the CRC passed, so the peer MEANT to send this; still corrupt.
+  if (!r.AtEnd()) return DecodeResult::kCorrupt;
+
+  *out = std::move(frame);
+  *consumed = kFrameHeaderBytes + payload_len;
+  return DecodeResult::kOk;
+}
+
+util::Status StatusFromResponse(const ResponseFrame& response) {
+  switch (response.code) {
+    case int(util::StatusCode::kOk):
+      return util::Status::Ok();
+    case int(util::StatusCode::kInvalidArgument):
+      return util::Status::InvalidArgument(response.message);
+    case int(util::StatusCode::kNotFound):
+      return util::Status::NotFound(response.message);
+    case int(util::StatusCode::kDataLoss):
+      return util::Status::DataLoss(response.message);
+    case int(util::StatusCode::kDeadlineExceeded):
+      return util::Status::DeadlineExceeded(response.message);
+    case int(util::StatusCode::kResourceExhausted):
+      return util::Status::ResourceExhausted(response.message);
+    case int(util::StatusCode::kUnavailable):
+      return util::Status::Unavailable(response.message);
+    case int(util::StatusCode::kFailedPrecondition):
+      return util::Status::FailedPrecondition(response.message);
+    default:
+      return util::Status::Unavailable(
+          "response carried an unknown status code " +
+          std::to_string(int(response.code)));
+  }
+}
+
+}  // namespace figdb::net

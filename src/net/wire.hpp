@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+/// \file wire.hpp
+/// The figdb wire format: length-prefixed, CRC-framed request/response
+/// messages over a byte stream.
+///
+/// Layout of one frame (all fixed fields little-endian, util/serde):
+///
+///   fixed32  magic        'F''i''G''1' — stream resync / version sentinel
+///   fixed32  payload_len  validated against kMaxFramePayload BEFORE any
+///                         allocation (a corrupt length must fail cleanly)
+///   fixed32  payload_crc  CRC32 of the payload bytes
+///   payload  serde-encoded message:
+///              u8      version   (kWireVersion)
+///              u8      kind      (request | response)
+///              varint  request_id
+///              kind-specific body (below)
+///
+/// The decoder is INCREMENTAL and discriminates the two failure shapes a
+/// stream consumer must treat differently:
+///
+///   kNeedMoreBytes  the buffer holds a torn PREFIX of a valid frame — the
+///                   peer may still be writing; read more (or, on EOF, the
+///                   connection died mid-frame: retriable UNAVAILABLE);
+///   kCorrupt        the bytes can never become a valid frame (bad magic,
+///                   oversized length claim, CRC mismatch, malformed
+///                   payload): terminal DATA_LOSS, close the connection —
+///                   after a framing error the stream has no resync point.
+///
+/// The header carries the request's tenant id (admission quotas), its
+/// remaining deadline budget in microseconds (propagated into QueryBudget
+/// on the server — the client's clock never crosses the wire, only the
+/// budget), and a request id echoed in the response.
+
+namespace figdb::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x31476946;  // "FiG1"
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Frames above this payload size are corrupt by definition; bounds the
+/// allocation a hostile length claim can cause.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+enum class FrameKind : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// A search request. deadline_budget_us is the client's REMAINING budget at
+/// send time (0 = none: the server applies its default); max_candidates
+/// 0 = unlimited.
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  std::string tenant;
+  std::uint64_t deadline_budget_us = 0;
+  std::string query_text;
+  std::uint64_t k = 10;
+  std::uint64_t max_candidates = 0;
+};
+
+/// One scored hit on the wire.
+struct WireResult {
+  std::uint64_t object = 0;
+  double score = 0.0;
+};
+
+/// A search response: a Status (code + message) plus the result payload.
+/// retry_later marks UNAVAILABLE rejections that are explicitly transient
+/// (drain, snapshot publish) — the client's retry gate keys on it.
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  std::uint8_t code = 0;  ///< util::StatusCode as its integer value
+  bool retry_later = false;
+  std::string message;
+  bool truncated = false;
+  bool reranked = false;
+  std::uint64_t epoch = 0;
+  std::vector<WireResult> results;
+};
+
+/// A decoded frame: exactly one of request/response is meaningful,
+/// selected by kind.
+struct Frame {
+  FrameKind kind = FrameKind::kRequest;
+  RequestFrame request;
+  ResponseFrame response;
+};
+
+enum class DecodeResult {
+  kOk,            ///< *out holds the frame, *consumed bytes were used
+  kNeedMoreBytes, ///< valid prefix; append more bytes and retry
+  kCorrupt,       ///< never becomes valid; close the stream
+};
+
+std::string EncodeRequestFrame(const RequestFrame& request);
+std::string EncodeResponseFrame(const ResponseFrame& response);
+
+/// Incremental decode of the first frame in \p buffer. On kOk, *consumed
+/// is the total frame size (header + payload) — the caller erases that
+/// prefix and may decode again (streams carry back-to-back frames).
+DecodeResult DecodeFrame(std::string_view buffer, Frame* out,
+                         std::size_t* consumed);
+
+/// Maps a ResponseFrame's code byte back into the Status taxonomy;
+/// unknown code bytes (future peers) map to kUnavailable, never to kOk.
+util::Status StatusFromResponse(const ResponseFrame& response);
+
+}  // namespace figdb::net

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "index/threshold_algorithm.hpp"
+#include "util/admission.hpp"
 #include "util/failpoint.hpp"
 #include "util/shared_deadline.hpp"
 #include "util/top_k.hpp"
@@ -81,7 +82,7 @@ ExecutorStats QueryExecutor::Stats() const {
 
 StatusOr<core::SearchResponse> QueryExecutor::Search(
     const index::FigRetrievalEngine& engine, const corpus::MediaObject& query,
-    std::size_t k, const QueryBudget& budget) const {
+    std::size_t k, const QueryBudget& budget, bool force_degrade) const {
   // Malformed requests are rejected before they consume capacity; same
   // taxonomy and same checks as the sequential TrySearch.
   FIGDB_RETURN_IF_ERROR(engine.ValidateQuery(query, k));
@@ -98,20 +99,16 @@ StatusOr<core::SearchResponse> QueryExecutor::Search(
   if (hard_cap_hit || overload_injected) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     // Operators must be able to tell SHED from REJECT: name the cap that
-    // fired, the load it saw, and both thresholds. The soft cap never
-    // rejects — it degrades admitted queries by shedding the rerank stage.
-    return Status::ResourceExhausted(
-        std::string("admission rejected by ") +
-        (hard_cap_hit ? "the hard concurrency cap"
-                      : "the serve/overload fail-point") +
-        ": " + std::to_string(ticket.Count() - 1) +
-        " queries already in flight, hard cap " +
-        std::to_string(MaxConcurrent()) + " rejects, soft cap " +
-        std::to_string(DegradeConcurrent()) +
-        " sheds the rerank stage instead of rejecting");
+    // fired, the load it saw, and both thresholds (util::AdmissionRejection
+    // is the shared convention). The soft cap never rejects — it degrades
+    // admitted queries by shedding the rerank stage.
+    return Status::ResourceExhausted(util::AdmissionRejection(
+        hard_cap_hit ? "the hard concurrency cap"
+                     : "the serve/overload fail-point",
+        ticket.Count() - 1, MaxConcurrent(), DegradeConcurrent()));
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
-  const bool degrade = ticket.Count() > DegradeConcurrent();
+  const bool degrade = force_degrade || ticket.Count() > DegradeConcurrent();
   if (degrade) degraded_.fetch_add(1, std::memory_order_relaxed);
 
   QueryBudget effective = budget;

@@ -86,11 +86,15 @@ class QueryExecutor {
   /// Parallel Algorithm 1 over \p engine (normally a snapshot's engine).
   /// Unbudgeted, un-degraded results are bit-identical to
   /// engine.TrySearch(query, k). Error taxonomy = TrySearch's, plus
-  /// RESOURCE_EXHAUSTED when admission rejects.
+  /// RESOURCE_EXHAUSTED when admission rejects. \p force_degrade sheds the
+  /// rerank stage as if the soft cap had fired — an upstream admission
+  /// layer (the network front-end's per-tenant quotas) degrading a query
+  /// it admitted.
   util::StatusOr<core::SearchResponse> Search(
       const index::FigRetrievalEngine& engine,
       const corpus::MediaObject& query, std::size_t k,
-      const util::QueryBudget& budget = {}) const;
+      const util::QueryBudget& budget = {},
+      bool force_degrade = false) const;
 
   std::size_t Workers() const { return pool_.Workers(); }
   std::size_t MaxConcurrent() const;

@@ -90,14 +90,15 @@ Status ServingStore::Checkpoint() {
 
 StatusOr<ServeResult> ServingStore::Search(const corpus::MediaObject& query,
                                            std::size_t k,
-                                           const util::QueryBudget& budget) const {
+                                           const util::QueryBudget& budget,
+                                           bool force_degrade) const {
   // Pin first, load second: once the guard has published its epoch, any
   // snapshot the subsequent load can observe is protected from reclamation
   // (the writer's min-scan sees the pin before it frees anything newer).
   util::EpochReclaimer::ReadGuard guard(ebr_);
   const StoreSnapshot* snap = current_.load(std::memory_order_seq_cst);
   StatusOr<core::SearchResponse> resp =
-      executor_.Search(snap->Engine(), query, k, budget);
+      executor_.Search(snap->Engine(), query, k, budget, force_degrade);
   if (!resp.ok()) return resp.status();
   return ServeResult{std::move(*resp), snap->Epoch(), snap->Lsn()};
 }

@@ -96,10 +96,12 @@ class ServingStore {
 
   /// Pin the current epoch and run the parallel Algorithm 1 against it.
   /// Error taxonomy = QueryExecutor::Search (invalid argument, deadline,
-  /// RESOURCE_EXHAUSTED under overload).
+  /// RESOURCE_EXHAUSTED under overload). \p force_degrade sheds the rerank
+  /// stage up front (upstream per-tenant soft-cap degradation).
   util::StatusOr<ServeResult> Search(const corpus::MediaObject& query,
                                      std::size_t k,
-                                     const util::QueryBudget& budget = {}) const;
+                                     const util::QueryBudget& budget = {},
+                                     bool force_degrade = false) const;
 
   /// RAII pin on the current snapshot for direct engine access (tests,
   /// stats, sequential-vs-parallel comparisons). The snapshot stays alive —

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "index/threshold_algorithm.hpp"
+#include "util/admission.hpp"
 #include "util/backoff.hpp"
 #include "util/epoch.hpp"
 #include "util/failpoint.hpp"
@@ -171,11 +172,8 @@ StatusOr<ShardedSearchResult> ShardRouter::Search(
   if (count > MaxConcurrent()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::ResourceExhausted(
-        "admission rejected by the hard concurrency cap: " +
-        std::to_string(count - 1) + " queries already in flight, hard cap " +
-        std::to_string(MaxConcurrent()) + " rejects, soft cap " +
-        std::to_string(DegradeConcurrent()) +
-        " sheds the rerank stage instead of rejecting");
+        util::AdmissionRejection("the hard concurrency cap", count - 1,
+                                 MaxConcurrent(), DegradeConcurrent()));
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
   const bool degrade = count > DegradeConcurrent();

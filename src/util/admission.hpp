@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+/// \file admission.hpp
+/// The one formatter for admission-control rejection messages.
+///
+/// Three layers reject on concurrency caps — the executor's process-wide
+/// RAII admission control, the shard router's scatter admission, and the
+/// network front-end's per-tenant quotas — and operators triage all three
+/// from the same log stream. PR 6 established the convention (name the cap
+/// that fired, the load it saw, and both thresholds, and say explicitly
+/// that the soft cap degrades instead of rejecting); this header makes it
+/// a single function instead of three hand-assembled copies that drift.
+
+namespace figdb::util {
+
+/// "admission rejected by <cap_name>: N queries already in flight, hard
+/// cap H rejects, soft cap S sheds the rerank stage instead of rejecting".
+///
+/// \p cap_name names the cap that fired ("the hard concurrency cap", "the
+/// serve/overload fail-point", `tenant "acme" hard cap`); \p in_flight is
+/// the load the admission check observed (EXCLUDING the rejected query, so
+/// the number reads as "already in flight").
+inline std::string AdmissionRejection(std::string_view cap_name,
+                                      std::size_t in_flight,
+                                      std::size_t hard_cap,
+                                      std::size_t soft_cap) {
+  std::string msg = "admission rejected by ";
+  msg += cap_name;
+  msg += ": ";
+  msg += std::to_string(in_flight);
+  msg += " queries already in flight, hard cap ";
+  msg += std::to_string(hard_cap);
+  msg += " rejects, soft cap ";
+  msg += std::to_string(soft_cap);
+  msg += " sheds the rerank stage instead of rejecting";
+  return msg;
+}
+
+/// Tenant-scoped cap name for the network front-end's quota rejections:
+/// `tenant "acme" hard cap` — the tenant id is quoted so log greps for a
+/// tenant never match a prefix of another tenant's id.
+inline std::string TenantCapName(std::string_view tenant) {
+  std::string name = "tenant \"";
+  name += tenant;
+  name += "\" hard cap";
+  return name;
+}
+
+}  // namespace figdb::util

@@ -4,17 +4,27 @@
 #include <chrono>
 #include <cstddef>
 
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
 /// \file backoff.hpp
 /// Deterministic exponential backoff for bounded retry loops.
 ///
 /// The shard router retries a failed scatter leg against the shard's last
 /// good snapshot; the delays between attempts are the classic doubling
 /// sequence initial, 2*initial, 4*initial, ... capped at a maximum. There
-/// is deliberately NO jitter: figdb replays fault schedules bit-for-bit in
-/// tests (and the `raw-randomness` lint bans ad-hoc entropy sources in
-/// src/), and the router's retry fan-in is a single gather thread, so the
-/// thundering-herd argument for jitter does not apply here. If a future
-/// caller needs jitter, thread a util::Rng through explicitly.
+/// is deliberately NO jitter in the base sequence: figdb replays fault
+/// schedules bit-for-bit in tests (and the `raw-randomness` lint bans
+/// ad-hoc entropy sources in src/), and the router's retry fan-in is a
+/// single gather thread, so the thundering-herd argument for jitter does
+/// not apply there.
+///
+/// The network client IS a thundering herd: after a RETRY_LATER drain or a
+/// connection reset, every client of a server would otherwise retry on the
+/// same doubling schedule and re-collide. Those callers pass an explicit
+/// util::Rng (seeded, so drills still replay) and get equal-jitter delays —
+/// uniform in [d/2, d] where d is the deterministic delay — which keeps
+/// the cap and the expected growth rate while decorrelating the herd.
 
 namespace figdb::util {
 
@@ -28,14 +38,48 @@ inline std::chrono::duration<double> BackoffDelay(double initial_seconds,
   return std::chrono::duration<double>(std::min(d, max_seconds));
 }
 
+/// Equal-jitter variant: uniform in [d/2, d] where d = BackoffDelay(...).
+/// The lower bound keeps a floor under the spacing (no client retries
+/// instantly), the upper bound keeps the deterministic cap. A zero base
+/// delay jitters to zero.
+inline std::chrono::duration<double> JitteredBackoffDelay(
+    double initial_seconds, std::size_t attempt, double max_seconds,
+    Rng* rng) {
+  const double d =
+      BackoffDelay(initial_seconds, attempt, max_seconds).count();
+  return std::chrono::duration<double>(d / 2.0 +
+                                       rng->UniformReal() * (d / 2.0));
+}
+
+/// True iff a failed attempt with this code may be retried: the condition
+/// was transient (server draining, connection dropped, shard wounded) and
+/// an identical retry can succeed. Everything else is terminal — the
+/// request itself is wrong (kInvalidArgument, kNotFound), retrying cannot
+/// beat a clock that already ran out (kDeadlineExceeded), the payload is
+/// damaged and will be damaged again (kDataLoss), or the server explicitly
+/// shed load (kResourceExhausted: retrying into an overloaded server is
+/// how retry storms start; callers back off at a higher level or give up).
+inline bool IsRetriableStatus(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
+inline bool IsRetriableStatus(const Status& status) {
+  return IsRetriableStatus(status.code());
+}
+
 /// Stateful form: each Next() yields the following delay in the sequence.
+/// With a jitter Rng (explicitly threaded, never ambient — see file
+/// comment) the delays are equal-jittered; without one they are the exact
+/// deterministic sequence.
 class Backoff {
  public:
-  Backoff(double initial_seconds, double max_seconds)
-      : initial_(initial_seconds), max_(max_seconds) {}
+  Backoff(double initial_seconds, double max_seconds, Rng* jitter_rng = nullptr)
+      : initial_(initial_seconds), max_(max_seconds), rng_(jitter_rng) {}
 
   std::chrono::duration<double> Next() {
-    return BackoffDelay(initial_, attempt_++, max_);
+    const std::size_t attempt = attempt_++;
+    if (rng_ != nullptr)
+      return JitteredBackoffDelay(initial_, attempt, max_, rng_);
+    return BackoffDelay(initial_, attempt, max_);
   }
 
   /// Retries taken so far (Next() calls).
@@ -44,6 +88,7 @@ class Backoff {
  private:
   double initial_;
   double max_;
+  Rng* rng_;
   std::size_t attempt_ = 0;
 };
 

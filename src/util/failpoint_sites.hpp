@@ -30,6 +30,10 @@ inline constexpr std::string_view kFailPointSites[] = {
     "checkpoint/rename",          // checkpoint rename(tmp, final)
     "checkpoint/write_io",        // short write into checkpoint temp file
     "index/build_truncated",      // CliqueIndex build cut short (OOM model)
+    "net/accept_drop",            // server drops a connection at accept
+    "net/conn_reset",             // server resets the connection mid-exchange
+    "net/frame_corrupt",          // server corrupts a response frame byte
+    "net/slow_peer",              // server stalls before writing the response
     "serve/overload",             // executor admission rejects as if at cap
     "serve/slow_worker",          // a worker shard observes deadline expiry
     "shard/rebalance_crash",      // rebalance dies at a numbered crash site

@@ -1,0 +1,657 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "corpus/query_builder.hpp"
+#include "index/figdb_store.hpp"
+#include "net/fig_client.hpp"
+#include "net/fig_server.hpp"
+#include "net/socket.hpp"
+#include "net/tenant_quota.hpp"
+#include "net/wire.hpp"
+#include "serve/serving_store.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+#include "util/query_budget.hpp"
+#include "util/serde.hpp"
+#include "util/status.hpp"
+
+/// \file net_test.cpp
+/// The network serving front-end suite: wire-format framing (round trips,
+/// torn-vs-corrupt discrimination, hostile length claims), per-tenant
+/// quota admission, and the FigServer/FigClient loop over real loopback
+/// sockets — deadline propagation, drain/publish RETRY_LATER behavior,
+/// and the net/* fail-point fault matrix. The matrix's acceptance bar:
+/// under every injected fault the client observes a TYPED Status — never
+/// a hang past its deadline, never a crash. Run under ci/check.sh tsan
+/// these tests double as the race proof for the server's accept/handler/
+/// drain machinery.
+
+namespace figdb::net {
+namespace {
+
+using util::FailPointSpec;
+using util::QueryBudget;
+using util::ScopedFailPoint;
+using util::StatusCode;
+
+// ======================================================================
+// Wire format
+// ======================================================================
+
+RequestFrame SampleRequest() {
+  RequestFrame r;
+  r.request_id = 42;
+  r.tenant = "acme";
+  r.deadline_budget_us = 250000;
+  r.query_text = "sunset beach";
+  r.k = 7;
+  r.max_candidates = 64;
+  return r;
+}
+
+ResponseFrame SampleResponse() {
+  ResponseFrame r;
+  r.request_id = 42;
+  r.code = std::uint8_t(int(StatusCode::kOk));
+  r.message = "";
+  r.truncated = true;
+  r.reranked = true;
+  r.epoch = 9;
+  r.results = {{11, 0.875}, {3, 0.5}, {29, 0.0625}};
+  return r;
+}
+
+TEST(WireFrameTest, RequestRoundTripPreservesEveryField) {
+  const std::string bytes = EncodeRequestFrame(SampleRequest());
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes, &frame, &consumed), DecodeResult::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  ASSERT_EQ(frame.kind, FrameKind::kRequest);
+  EXPECT_EQ(frame.request.request_id, 42u);
+  EXPECT_EQ(frame.request.tenant, "acme");
+  EXPECT_EQ(frame.request.deadline_budget_us, 250000u);
+  EXPECT_EQ(frame.request.query_text, "sunset beach");
+  EXPECT_EQ(frame.request.k, 7u);
+  EXPECT_EQ(frame.request.max_candidates, 64u);
+}
+
+TEST(WireFrameTest, ResponseRoundTripPreservesEveryField) {
+  const std::string bytes = EncodeResponseFrame(SampleResponse());
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes, &frame, &consumed), DecodeResult::kOk);
+  ASSERT_EQ(frame.kind, FrameKind::kResponse);
+  const ResponseFrame& r = frame.response;
+  EXPECT_EQ(r.request_id, 42u);
+  EXPECT_TRUE(StatusFromResponse(r).ok());
+  EXPECT_TRUE(r.truncated);
+  EXPECT_TRUE(r.reranked);
+  EXPECT_EQ(r.epoch, 9u);
+  ASSERT_EQ(r.results.size(), 3u);
+  EXPECT_EQ(r.results[0].object, 11u);
+  EXPECT_DOUBLE_EQ(r.results[0].score, 0.875);
+  EXPECT_EQ(r.results[2].object, 29u);
+}
+
+TEST(WireFrameTest, EveryTornPrefixAsksForMoreBytesNeverCrashes) {
+  const std::string bytes = EncodeRequestFrame(SampleRequest());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(bytes.substr(0, n), &frame, &consumed),
+              DecodeResult::kNeedMoreBytes)
+        << "prefix length " << n;
+  }
+}
+
+TEST(WireFrameTest, BadMagicIsCorruptFromTheFirstByte) {
+  std::string bytes = EncodeRequestFrame(SampleRequest());
+  bytes[0] = char(bytes[0] ^ 0x01);
+  Frame frame;
+  std::size_t consumed = 0;
+  // Even a single wrong byte is enough: no amount of further input makes
+  // this buffer a frame.
+  EXPECT_EQ(DecodeFrame(bytes.substr(0, 1), &frame, &consumed),
+            DecodeResult::kCorrupt);
+  EXPECT_EQ(DecodeFrame(bytes, &frame, &consumed), DecodeResult::kCorrupt);
+}
+
+TEST(WireFrameTest, FlippedPayloadByteFailsTheCrc) {
+  std::string bytes = EncodeResponseFrame(SampleResponse());
+  bytes[kFrameHeaderBytes] = char(bytes[kFrameHeaderBytes] ^ 0xFF);
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(bytes, &frame, &consumed), DecodeResult::kCorrupt);
+}
+
+TEST(WireFrameTest, OversizedLengthClaimIsCorruptNotAnAllocation) {
+  util::BinaryWriter w;
+  w.PutFixed32(kFrameMagic);
+  w.PutFixed32(kMaxFramePayload + 1);
+  w.PutFixed32(0xdeadbeef);
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(w.Buffer(), &frame, &consumed),
+            DecodeResult::kCorrupt);
+}
+
+TEST(WireFrameTest, TrailingPayloadBytesAreCorruptEvenWithValidCrc) {
+  // Re-frame a valid payload with one extra byte and a REFRESHED CRC: the
+  // checksum passes, the message decodes, the length claim disagrees.
+  const std::string valid = EncodeRequestFrame(SampleRequest());
+  const std::string payload =
+      valid.substr(kFrameHeaderBytes) + std::string(1, '\0');
+  util::BinaryWriter w;
+  w.PutFixed32(kFrameMagic);
+  w.PutFixed32(std::uint32_t(payload.size()));
+  w.PutFixed32(util::Crc32(payload));
+  w.PutRaw(payload);
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(w.Buffer(), &frame, &consumed),
+            DecodeResult::kCorrupt);
+}
+
+TEST(WireFrameTest, BackToBackFramesDecodeSequentially) {
+  RequestFrame second = SampleRequest();
+  second.request_id = 43;
+  std::string stream =
+      EncodeRequestFrame(SampleRequest()) + EncodeRequestFrame(second);
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(stream, &frame, &consumed), DecodeResult::kOk);
+  EXPECT_EQ(frame.request.request_id, 42u);
+  stream.erase(0, consumed);
+  ASSERT_EQ(DecodeFrame(stream, &frame, &consumed), DecodeResult::kOk);
+  EXPECT_EQ(frame.request.request_id, 43u);
+  EXPECT_EQ(consumed, stream.size());
+}
+
+TEST(WireFrameTest, UnknownStatusCodeMapsToUnavailableNeverOk) {
+  ResponseFrame r;
+  r.code = 250;
+  const util::Status status = StatusFromResponse(r);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+// ======================================================================
+// Per-tenant quotas
+// ======================================================================
+
+QuotaOptions TwoByOneQuotas() {
+  QuotaOptions q;
+  q.default_quota = {/*hard_cap=*/2, /*soft_cap=*/1};
+  return q;
+}
+
+TEST(TenantQuotaTest, HardCapRejectsNamingTenantLoadAndBothCaps) {
+  TenantQuotas quotas(TwoByOneQuotas());
+  auto first = quotas.Admit("acme");
+  auto second = quotas.Admit("acme");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  auto third = quotas.Admit("acme");
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  const std::string& msg = third.status().message();
+  EXPECT_NE(msg.find("tenant \"acme\" hard cap"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2 queries already in flight"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("hard cap 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("soft cap 1"), std::string::npos) << msg;
+}
+
+TEST(TenantQuotaTest, SoftCapDegradesInsteadOfRejecting) {
+  TenantQuotas quotas(TwoByOneQuotas());
+  auto first = quotas.Admit("acme");
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->Degrade());
+  auto second = quotas.Admit("acme");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->Degrade()) << "above soft cap must shed the rerank";
+}
+
+TEST(TenantQuotaTest, TicketReleaseRestoresCapacityByRaii) {
+  TenantQuotas quotas(TwoByOneQuotas());
+  {
+    auto a = quotas.Admit("acme");
+    auto b = quotas.Admit("acme");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(quotas.InFlight("acme"), 2u);
+    EXPECT_FALSE(quotas.Admit("acme").ok());
+  }
+  EXPECT_EQ(quotas.InFlight("acme"), 0u);
+  auto again = quotas.Admit("acme");
+  EXPECT_TRUE(again.ok());
+}
+
+TEST(TenantQuotaTest, TenantsAreIsolatedAndOverridesApply) {
+  QuotaOptions options = TwoByOneQuotas();
+  options.per_tenant["vip"] = {/*hard_cap=*/8, /*soft_cap=*/8};
+  TenantQuotas quotas(options);
+  auto a1 = quotas.Admit("acme");
+  auto a2 = quotas.Admit("acme");
+  ASSERT_FALSE(quotas.Admit("acme").ok()) << "acme is at its hard cap";
+  // A full acme changes nothing for vip, whose override is roomier.
+  std::vector<TenantTicket> vips;
+  for (int i = 0; i < 8; ++i) {
+    auto t = quotas.Admit("vip");
+    ASSERT_TRUE(t.ok()) << "vip admission " << i;
+    EXPECT_FALSE(t->Degrade());
+    vips.push_back(std::move(*t));
+  }
+  EXPECT_FALSE(quotas.Admit("vip").ok());
+}
+
+// ======================================================================
+// Server + client over real loopback sockets
+// ======================================================================
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 80;
+    config.num_topics = 4;
+    config.num_users = 30;
+    config.visual_words = 16;
+    config.seed = 7171;
+    base_ = new corpus::Corpus(
+        corpus::Generator(config).MakeRetrievalCorpus());
+  }
+  static void TearDownTestSuite() {
+    delete base_;
+    base_ = nullptr;
+  }
+  void TearDown() override { util::FailPoints::DeactivateAll(); }
+
+  static std::string StoreDir(const std::string& name) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / ("figdb_net_" + name);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+  }
+
+  /// A query string every epoch resolves: the two most frequent tags.
+  static std::string KnownQuery() {
+    const corpus::Context& ctx = base_->GetContext();
+    return ctx.vocabulary.TermOf(0) + " " + ctx.vocabulary.TermOf(1);
+  }
+
+  static serve::ServingStore MakeServing(const std::string& dir) {
+    serve::ServeOptions options;
+    options.executor.workers = 2;
+    auto store = index::FigDbStore::Create(dir, *base_);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return serve::ServingStore(std::move(*store), options);
+  }
+
+  static corpus::MediaObject Donor(corpus::ObjectId source) {
+    corpus::MediaObject obj = base_->Object(source);
+    obj.id = corpus::kInvalidObject;
+    return obj;
+  }
+
+  static corpus::Corpus* base_;
+};
+
+corpus::Corpus* NetServerTest::base_ = nullptr;
+
+TEST_F(NetServerTest, QueryOverTheWireMatchesDirectServing) {
+  serve::ServingStore serving = MakeServing(StoreDir("basic"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  FigClient client("127.0.0.1", server.Port());
+  auto result = client.Query("acme", KnownQuery(), 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->attempts, 1u);
+  EXPECT_EQ(result->response.epoch, 1u);
+  ASSERT_FALSE(result->response.results.empty());
+
+  // The wire answer IS the serving answer: same ids, same scores.
+  corpus::QueryBuilder builder(base_->SharedContext());
+  QueryBudget budget;
+  budget.wall_limit_seconds = 5.0;
+  auto direct =
+      serving.Search(builder.AddText(KnownQuery()).Build(), 5, budget);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(result->response.results.size(), direct->response.results.size());
+  for (std::size_t i = 0; i < direct->response.results.size(); ++i) {
+    EXPECT_EQ(result->response.results[i].object,
+              std::uint64_t(direct->response.results[i].object));
+    EXPECT_DOUBLE_EQ(result->response.results[i].score,
+                     direct->response.results[i].score);
+  }
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, PersistentConnectionServesSequentialRequests) {
+  serve::ServingStore serving = MakeServing(StoreDir("persistent"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  FigClient client("127.0.0.1", server.Port());
+  for (int i = 0; i < 3; ++i) {
+    auto result = client.Query("acme", KnownQuery(), 3);
+    ASSERT_TRUE(result.ok()) << "request " << i << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->attempts, 1u);
+  }
+  EXPECT_EQ(server.Stats().connections_accepted, 1u)
+      << "three requests should share one connection";
+  server.Stop();
+}
+
+TEST_F(NetServerTest, MalformedQueryGetsTypedInvalidArgumentNoRetry) {
+  serve::ServingStore serving = MakeServing(StoreDir("badquery"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  FigClient client("127.0.0.1", server.Port());
+  // No vocabulary term survives: the executor's validation rejects, the
+  // rejection crosses the wire typed, and the client must NOT retry it.
+  auto result = client.Query("acme", "zzzzunknownzzzz", 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.Stats().requests, 1u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, GarbageBytesDropTheConnectionNotTheServer) {
+  serve::ServingStore serving = MakeServing(StoreDir("garbage"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto deadline =
+      Socket::Clock::now() + std::chrono::seconds(5);
+  auto raw = Socket::Connect("127.0.0.1", server.Port(), deadline);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->SendAll("this is not a frame at all", deadline).ok());
+  std::string buffer;
+  auto got = raw->RecvSome(&buffer, deadline);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, 0u) << "server must close on an unframeable stream";
+
+  // The server is still alive and serving others.
+  FigClient client("127.0.0.1", server.Port());
+  EXPECT_TRUE(client.Query("acme", KnownQuery(), 3).ok());
+  EXPECT_GE(server.Stats().decode_corrupt, 1u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, DeadlinePropagatesIntoTheExecutorBudget) {
+  serve::ServingStore serving = MakeServing(StoreDir("deadline"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // serve/slow_worker forces every executor shard to observe expiry — but
+  // ONLY if the dispatched query carries an armed deadline. A typed
+  // DEADLINE_EXCEEDED on the client therefore proves the wire budget
+  // reached the executor as a live QueryBudget.
+  ScopedFailPoint slow("serve/slow_worker");
+  FigClient client("127.0.0.1", server.Port());
+  QueryBudget budget;
+  budget.wall_limit_seconds = 2.0;
+  auto result = client.Query("acme", KnownQuery(), 5, budget);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+  server.Stop();
+}
+
+TEST_F(NetServerTest, TenantHardCapRejectionCrossesTheWireTyped) {
+  serve::ServingStore serving = MakeServing(StoreDir("tenantcap"));
+  ServerOptions options;
+  options.quotas.per_tenant["blocked"] = {/*hard_cap=*/0, /*soft_cap=*/0};
+  FigServer server(&serving, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  FigClient client("127.0.0.1", server.Port());
+  auto rejected = client.Query("blocked", KnownQuery(), 3);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected.status().message().find("tenant \"blocked\" hard cap"),
+            std::string::npos)
+      << rejected.status().message();
+
+  // Another tenant is untouched by blocked's cap.
+  auto fine = client.Query("acme", KnownQuery(), 3);
+  EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+  EXPECT_EQ(server.Stats().tenant_rejected, 1u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, TenantSoftCapDegradesBySheddingTheRerank) {
+  serve::ServingStore serving = MakeServing(StoreDir("tenantsoft"));
+  ServerOptions options;
+  // soft cap 0: EVERY request from this tenant is admitted degraded.
+  options.quotas.per_tenant["besteffort"] = {/*hard_cap=*/8, /*soft_cap=*/0};
+  FigServer server(&serving, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  FigClient client("127.0.0.1", server.Port());
+  auto degraded = client.Query("besteffort", KnownQuery(), 5);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_FALSE(degraded->response.reranked)
+      << "soft-capped tenant must run with the rerank stage shed";
+  EXPECT_TRUE(degraded->response.truncated);
+
+  auto normal = client.Query("acme", KnownQuery(), 5);
+  ASSERT_TRUE(normal.ok());
+  EXPECT_TRUE(normal->response.reranked);
+  EXPECT_EQ(server.Stats().tenant_degraded, 1u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, DrainAnswersRetryLaterInsteadOfDropping) {
+  serve::ServingStore serving = MakeServing(StoreDir("drain"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  server.BeginDrain();
+  ClientOptions copts;
+  copts.max_retries = 1;
+  copts.backoff_initial_seconds = 0.005;
+  FigClient client("127.0.0.1", server.Port(), copts);
+  auto result = client.Query("acme", KnownQuery(), 3);
+  ASSERT_FALSE(result.ok());
+  // The drain answer is TYPED and RETRIABLE: the client exhausted its
+  // retries against RETRY_LATER responses, it was never hung up on.
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("retries exhausted"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_GE(server.Stats().retry_later, 2u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, DrainDuringPublishLosesNoAcceptedRequest) {
+  serve::ServingStore serving = MakeServing(StoreDir("drainpub"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Clients hammer while the writer publishes repeatedly behind the gate.
+  // Zero loss means: every request gets a TYPED outcome, and with retries
+  // enabled every query eventually completes — nothing vanishes into a
+  // closed socket or a swallowed frame.
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 6;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> typed_failures{0};
+  std::atomic<int> untyped{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      ClientOptions copts;
+      copts.max_retries = 5;
+      copts.backoff_initial_seconds = 0.005;
+      copts.backoff_max_seconds = 0.05;
+      copts.jitter_seed = std::uint64_t(t + 1);
+      FigClient client("127.0.0.1", server.Port(), copts);
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        auto result = client.Query("acme", KnownQuery(), 3);
+        if (result.ok())
+          ok_count.fetch_add(1);
+        else if (result.status().code() != StatusCode::kOk)
+          typed_failures.fetch_add(1);
+        else
+          untyped.fetch_add(1);
+      }
+    });
+  }
+
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(serving.Ingest(Donor(corpus::ObjectId(round))).ok());
+    {
+      FigServer::ScopedPublishPause pause(&server);
+      ASSERT_TRUE(serving.Publish().ok());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(untyped.load(), 0);
+  EXPECT_EQ(ok_count.load(), kThreads * kQueriesPerThread)
+      << "retries must ride through publish windows ("
+      << typed_failures.load() << " typed failures)";
+
+  // Now drain: in-flight answers complete (verified by the joins above);
+  // post-drain requests are typed RETRY_LATER, not dropped.
+  server.BeginDrain();
+  ClientOptions copts;
+  copts.max_retries = 0;
+  FigClient late("127.0.0.1", server.Port(), copts);
+  auto after = late.Query("acme", KnownQuery(), 3);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  server.Stop();
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, std::uint64_t(ok_count.load()));
+  EXPECT_EQ(stats.requests,
+            stats.completed + stats.retry_later + stats.tenant_rejected);
+}
+
+// ======================================================================
+// Fault matrix: every net/* fail-point yields a typed Status, never a
+// hang past the deadline, never a crash.
+// ======================================================================
+
+class NetFaultMatrixTest : public NetServerTest {};
+
+TEST_F(NetFaultMatrixTest, AcceptDropOnceIsAbsorbedByOneRetry) {
+  serve::ServingStore serving = MakeServing(StoreDir("acceptdrop1"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  ScopedFailPoint drop("net/accept_drop",
+                       FailPointSpec{/*skip_hits=*/0, /*max_fires=*/1});
+  ClientOptions copts;
+  copts.backoff_initial_seconds = 0.005;
+  FigClient client("127.0.0.1", server.Port(), copts);
+  auto result = client.Query("acme", KnownQuery(), 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->attempts, 2u);
+  EXPECT_EQ(server.Stats().connections_dropped, 1u);
+  server.Stop();
+}
+
+TEST_F(NetFaultMatrixTest, PersistentAcceptDropExhaustsTypedNotHung) {
+  serve::ServingStore serving = MakeServing(StoreDir("acceptdropN"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  ScopedFailPoint drop("net/accept_drop");
+  ClientOptions copts;
+  copts.max_retries = 2;
+  copts.backoff_initial_seconds = 0.005;
+  FigClient client("127.0.0.1", server.Port(), copts);
+  QueryBudget budget;
+  budget.wall_limit_seconds = 3.0;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = client.Query("acme", KnownQuery(), 3, budget);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(elapsed, std::chrono::seconds(3) + std::chrono::seconds(1))
+      << "client must not outwait its own deadline";
+  server.Stop();
+}
+
+TEST_F(NetFaultMatrixTest, ConnResetMidExchangeIsTornThereforeRetriable) {
+  serve::ServingStore serving = MakeServing(StoreDir("connreset"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  ScopedFailPoint reset("net/conn_reset",
+                        FailPointSpec{/*skip_hits=*/0, /*max_fires=*/1});
+  ClientOptions copts;
+  copts.backoff_initial_seconds = 0.005;
+  FigClient client("127.0.0.1", server.Port(), copts);
+  auto result = client.Query("acme", KnownQuery(), 3);
+  ASSERT_TRUE(result.ok())
+      << "one reset, then success on a fresh connection: "
+      << result.status().ToString();
+  EXPECT_GE(result->attempts, 2u);
+  server.Stop();
+}
+
+TEST_F(NetFaultMatrixTest, CorruptFrameIsTypedDataLossAndNeverRetried) {
+  serve::ServingStore serving = MakeServing(StoreDir("framecorrupt"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  ScopedFailPoint corrupt("net/frame_corrupt");
+  FigClient client("127.0.0.1", server.Port());
+  auto result = client.Query("acme", KnownQuery(), 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+      << result.status().ToString();
+  // Torn != corrupt: a present-but-wrong frame is terminal. Exactly one
+  // request must have reached the server (no retry into corruption).
+  EXPECT_EQ(server.Stats().requests, 1u);
+  server.Stop();
+}
+
+TEST_F(NetFaultMatrixTest, SlowPeerTripsTheClientDeadlineNotAHang) {
+  serve::ServingStore serving = MakeServing(StoreDir("slowpeer"));
+  FigServer server(&serving, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // The server stalls 150 ms before writing; the client will only wait
+  // 80 ms. It must come back with DEADLINE_EXCEEDED on time — not block
+  // on the eventual response.
+  ScopedFailPoint slow("net/slow_peer");
+  ClientOptions copts;
+  copts.max_retries = 0;
+  FigClient client("127.0.0.1", server.Port(), copts);
+  QueryBudget budget;
+  budget.wall_limit_seconds = 0.08;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = client.Query("acme", KnownQuery(), 3, budget);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1000))
+      << "typed expiry must arrive near the deadline, not after the stall";
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace figdb::net

@@ -9,6 +9,7 @@
 #include "corpus/media_object.hpp"
 #include "fuzz_util.hpp"
 #include "index/wal.hpp"
+#include "util/backoff.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
 #include "util/query_budget.hpp"
@@ -146,6 +147,83 @@ TEST(RngTest, GammaMeanEqualsShape) {
     for (int i = 0; i < n; ++i) total += rng.Gamma(shape);
     EXPECT_NEAR(total / n, shape, 0.1 * shape + 0.05);
   }
+}
+
+// ---------------------------------------------------------------- Backoff
+
+TEST(BackoffTest, DeterministicSequenceDoublesThenCaps) {
+  Backoff backoff(0.01, 0.05);
+  EXPECT_DOUBLE_EQ(backoff.Next().count(), 0.01);
+  EXPECT_DOUBLE_EQ(backoff.Next().count(), 0.02);
+  EXPECT_DOUBLE_EQ(backoff.Next().count(), 0.04);
+  EXPECT_DOUBLE_EQ(backoff.Next().count(), 0.05);  // capped, not 0.08
+  EXPECT_DOUBLE_EQ(backoff.Next().count(), 0.05);  // and stays capped
+  EXPECT_EQ(backoff.Attempts(), 5u);
+}
+
+TEST(BackoffTest, FreeFunctionMatchesStatefulForm) {
+  Backoff backoff(0.003, 1.0);
+  for (std::size_t attempt = 0; attempt < 12; ++attempt)
+    EXPECT_DOUBLE_EQ(backoff.Next().count(),
+                     BackoffDelay(0.003, attempt, 1.0).count())
+        << "attempt " << attempt;
+}
+
+TEST(BackoffTest, NegativeInitialClampsToZero) {
+  EXPECT_DOUBLE_EQ(BackoffDelay(-1.0, 0, 0.5).count(), 0.0);
+  EXPECT_DOUBLE_EQ(BackoffDelay(-1.0, 7, 0.5).count(), 0.0);
+}
+
+TEST(BackoffTest, JitterStaysWithinEqualJitterBounds) {
+  // Equal jitter: every delay lands in [d/2, d] for the deterministic d —
+  // the floor stops instant retries, the ceiling preserves the cap.
+  Rng rng(41);
+  for (std::size_t attempt = 0; attempt < 10; ++attempt) {
+    const double d = BackoffDelay(0.01, attempt, 0.2).count();
+    for (int trial = 0; trial < 200; ++trial) {
+      const double j = JitteredBackoffDelay(0.01, attempt, 0.2, &rng).count();
+      EXPECT_GE(j, d / 2.0) << "attempt " << attempt;
+      EXPECT_LE(j, d) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffTest, JitterActuallyVariesAndNeverExceedsTheCap) {
+  Rng rng(43);
+  Backoff backoff(0.01, 0.05, &rng);
+  std::set<double> seen;
+  for (int i = 0; i < 50; ++i) {
+    const double j = backoff.Next().count();
+    EXPECT_LE(j, 0.05);
+    EXPECT_GE(j, 0.0);
+    seen.insert(j);
+  }
+  // 50 jittered draws collapsing to a handful of values would mean the
+  // jitter is not actually decorrelating the herd.
+  EXPECT_GT(seen.size(), 40u);
+}
+
+TEST(BackoffTest, JitteredScheduleIsReproducibleFromItsSeed) {
+  Rng a(47), b(47);
+  Backoff first(0.01, 0.2, &a), second(0.01, 0.2, &b);
+  for (int i = 0; i < 12; ++i)
+    EXPECT_DOUBLE_EQ(first.Next().count(), second.Next().count());
+}
+
+TEST(BackoffTest, RetriableClassificationIsUnavailableOnly) {
+  // Transient = the identical retry can succeed. Exactly one code
+  // qualifies; every other Status is the attempt's final answer.
+  EXPECT_TRUE(IsRetriableStatus(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetriableStatus(Status::Unavailable("draining")));
+
+  EXPECT_FALSE(IsRetriableStatus(StatusCode::kOk));
+  EXPECT_FALSE(IsRetriableStatus(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetriableStatus(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetriableStatus(StatusCode::kDataLoss));
+  EXPECT_FALSE(IsRetriableStatus(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetriableStatus(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsRetriableStatus(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetriableStatus(Status::DataLoss("corrupt frame")));
 }
 
 TEST(RngTest, SampleWithoutReplacementDistinct) {

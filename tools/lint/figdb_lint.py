@@ -42,6 +42,13 @@ diagnostics and a non-zero exit on any finding:
                          shards_answered) somewhere, or carry a waiver: a
                          PARTIAL answer passed off as the full top-k is a
                          silent wrong answer.
+  deadline-propagation   Search dispatch in the serving layers (src/net,
+                         src/serve) — TrySearch/TryRank/.Search(...) call
+                         statements — must pass a deadline-bearing budget
+                         argument. The engine APIs default the budget to
+                         unlimited, so dropping the argument silently
+                         dispatches an unbounded query a remote client has
+                         long stopped waiting for.
 
 Waivers: a justified exception carries, on the same line or the line
 above:   // figdb-lint: allow(<rule-id>): <reason>
@@ -78,6 +85,7 @@ RULES = (
     "raw-randomness",
     "fuzz-entrypoint",
     "shard-status-completeness",
+    "deadline-propagation",
 )
 
 WAIVER_RE = re.compile(r"figdb-lint:\s*allow\(([A-Za-z0-9_-]+)\)(:?\s*\S?)")
@@ -614,6 +622,55 @@ def rule_shard_status_completeness(
     return found
 
 
+DEADLINE_DISPATCH_RE = re.compile(r"(?:\.|->)\s*(?:TrySearch|TryRank|Search)\s*\(")
+DEADLINE_TOKEN_RE = re.compile(r"budget|Budget|deadline|Deadline")
+
+
+def rule_deadline_propagation(files: list[SourceFile], root: str) -> list[Finding]:
+    """Every search dispatched from the serving layers must carry the
+    client's deadline. TrySearch/TryRank/QueryExecutor::Search default
+    their budget parameter to unlimited, so a call that simply omits the
+    argument compiles fine and silently runs unbounded — precisely the
+    query a remote client's RPC deadline was supposed to cap. Statement
+    granularity: the call statement (joined to its `;`) must mention a
+    budget/deadline-bearing argument, or carry a waiver."""
+    found = []
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if not (in_dir(rel, "src/net") or in_dir(rel, "src/serve")):
+            continue
+        if not rel.endswith((".cpp", ".cc")):
+            continue
+        lines = sf.code.splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not DEADLINE_DISPATCH_RE.search(line):
+                continue
+            # Join the statement to its terminator so multi-line argument
+            # lists are inspected whole (bounded: a dispatch statement
+            # longer than 8 lines is its own problem).
+            stmt = line
+            for follow in lines[lineno : lineno + 8]:
+                if ";" in stmt:
+                    break
+                stmt += " " + follow
+            if DEADLINE_TOKEN_RE.search(stmt):
+                continue
+            if sf.waived(lineno, "deadline-propagation"):
+                continue
+            found.append(
+                Finding(
+                    sf.path,
+                    lineno,
+                    "deadline-propagation",
+                    "search dispatch without a deadline-bearing budget "
+                    "argument — the engine defaults to unlimited, so this "
+                    "query outlives any client deadline; pass the "
+                    "propagated QueryBudget (or waive with a reason)",
+                )
+            )
+    return found
+
+
 def rule_bad_waivers(files: list[SourceFile], root: str) -> list[Finding]:
     found = []
     for sf in files:
@@ -651,6 +708,7 @@ ALL_RULES = (
     rule_raw_randomness,
     rule_fuzz_entrypoint,
     rule_shard_status_completeness,
+    rule_deadline_propagation,
     rule_bad_waivers,
 )
 
@@ -760,6 +818,37 @@ void Count(const figdb::shard::ShardedSearchResult& r) {
   (void)r.response.results.size();
 }
 """,
+    # Dispatches a search with the budget argument silently defaulted —
+    # the query runs unbounded while the remote client's deadline lapses.
+    "src/net/rogue_dispatch.cpp": """\
+#include "index/retrieval_engine.hpp"
+void Dispatch(const figdb::index::FigRetrievalEngine& engine,
+              const figdb::corpus::MediaObject& query) {
+  auto r = engine.TrySearch(query, 10);  // deadline-propagation
+  (void)r;
+}
+""",
+    # Negative controls: a dispatch that passes the propagated budget, and
+    # a justified waiver (a stats probe that wants the unbounded default).
+    "src/net/good_dispatch.cpp": """\
+#include "index/retrieval_engine.hpp"
+void Dispatch(const figdb::index::FigRetrievalEngine& engine,
+              const figdb::corpus::MediaObject& query,
+              const figdb::util::QueryBudget& budget) {
+  auto r = engine.TrySearch(query, 10,
+                            budget);
+  (void)r;
+}
+""",
+    "src/net/waived_dispatch.cpp": """\
+#include "index/retrieval_engine.hpp"
+void Probe(const figdb::index::FigRetrievalEngine& engine,
+           const figdb::corpus::MediaObject& query) {
+  // figdb-lint: allow(deadline-propagation): offline warmup probe
+  auto r = engine.TrySearch(query, 1);
+  (void)r;
+}
+""",
 }
 
 EXPECT_SEEDED = {
@@ -774,6 +863,7 @@ EXPECT_SEEDED = {
     ("src/index/seeded.cpp", "raw-randomness"),
     ("fuzz/targets/fuzz_rogue.cpp", "fuzz-entrypoint"),
     ("src/serve/rogue_consumer.cpp", "shard-status-completeness"),
+    ("src/net/rogue_dispatch.cpp", "deadline-propagation"),
 }
 
 # Seeds that must NOT produce the paired finding — false-positive guards.
@@ -782,6 +872,8 @@ EXPECT_CLEAN = {
     ("fuzz/driver_decl_only.cpp", "fuzz-entrypoint"),
     ("src/serve/good_consumer.cpp", "shard-status-completeness"),
     ("src/serve/waived_consumer.cpp", "shard-status-completeness"),
+    ("src/net/good_dispatch.cpp", "deadline-propagation"),
+    ("src/net/waived_dispatch.cpp", "deadline-propagation"),
 }
 
 
