@@ -1,11 +1,14 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string_view>
 
 #include "eval/training.hpp"
+#include "temporal/segmented_store.hpp"
 #include "util/failpoint.hpp"
 
 namespace figdb::bench {
@@ -42,11 +45,13 @@ Args Args::Parse(int argc, char** argv) {
       args.objects = 236600;  // Dret size
     } else if (a == "--csv") {
       args.csv = true;
+    } else if (a == "--segmented") {
+      args.segmented = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--objects=N] [--topics=N] [--users=N] "
                    "[--queries=N] [--seed=N] [--shards=N] [--train-lambda] "
-                   "[--paper-scale] [--csv]\n",
+                   "[--paper-scale] [--csv] [--segmented]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -163,6 +168,80 @@ std::vector<corpus::ObjectId> EvalQueries(const corpus::Corpus& corpus,
 std::vector<corpus::ObjectId> TrainQueries(const corpus::Corpus& corpus,
                                            const Args& args) {
   return eval::SampleQueries(corpus, args.train_queries, args.seed + 7);
+}
+
+void RunSegmentedCrossCheck(const corpus::Corpus& corpus, const char* tag,
+                            const std::vector<double>& deltas,
+                            std::uint32_t now_epoch, std::size_t k,
+                            std::size_t num_queries, std::uint64_t seed) {
+  constexpr double kTolerance = 1e-9;  // segmented_store.hpp's fp bound
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       (std::string("figdb_bench_segmented_") + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  temporal::SegmentedStore::Options options;
+  options.epochs_per_segment = 1;  // a segment per month: the worst case
+  auto store = temporal::SegmentedStore::Create(dir, corpus, options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "[%s] segmented cross-check: create failed: %s\n",
+                 tag, store.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("[%s] segmented cross-check: %zu segments over %zu objects\n",
+              tag, store->NumSegments(), store->TotalObjects());
+
+  const auto queries = eval::SampleQueries(corpus, num_queries, seed + 13);
+  bool failed = false;
+  for (double delta : deltas) {
+    double max_drift = 0.0;
+    std::size_t mismatches = 0;
+    for (corpus::ObjectId q : queries) {
+      const corpus::MediaObject& query = corpus.Object(q);
+      auto got = store->Search(query, k, delta, now_epoch);
+      auto want = store->SearchExhaustiveDecayed(query, k, delta, now_epoch);
+      if (!got.ok() || !want.ok()) {
+        std::fprintf(stderr, "[%s] segmented cross-check: query %u: %s\n",
+                     tag, q,
+                     (got.ok() ? want.status() : got.status())
+                         .ToString()
+                         .c_str());
+        std::exit(1);
+      }
+      if (got->results.size() != want->size()) {
+        ++mismatches;
+        continue;
+      }
+      for (std::size_t i = 0; i < want->size(); ++i) {
+        const double a = got->results[i].score;
+        const double b = (*want)[i].score;
+        const double drift =
+            std::fabs(a - b) / std::max(std::fabs(b), 1e-12);
+        max_drift = std::max(max_drift, drift);
+        // An id mismatch is only real when the scores differ too:
+        // near-ties within the fp tolerance may legally swap order
+        // between the two paths.
+        if (got->results[i].object != (*want)[i].object && drift > kTolerance)
+          ++mismatches;
+      }
+    }
+    std::printf(
+        "[%s] segmented cross-check: delta=%.2f max_drift=%.3g "
+        "mismatches=%zu\n",
+        tag, delta, max_drift, mismatches);
+    if (max_drift > kTolerance || mismatches > 0) failed = true;
+  }
+  std::filesystem::remove_all(dir);
+  if (failed) {
+    std::fprintf(stderr,
+                 "[%s] segmented cross-check FAILED: merge-time decay "
+                 "diverged from exhaustive rescoring\n",
+                 tag);
+    std::exit(1);
+  }
+  std::printf("[%s] segmented cross-check OK (tolerance %.0e)\n", tag,
+              kTolerance);
 }
 
 }  // namespace figdb::bench

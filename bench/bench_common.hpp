@@ -39,6 +39,9 @@ struct Args {
   bool train_lambda = false;
   bool paper_scale = false;
   bool csv = false;
+  /// fig10/fig11: cross-check merge-time δ-decay over a SegmentedStore
+  /// against exhaustive decayed rescoring before running the figure.
+  bool segmented = false;
 
   static Args Parse(int argc, char** argv);
 };
@@ -74,5 +77,18 @@ std::vector<corpus::ObjectId> EvalQueries(const corpus::Corpus& corpus,
                                           const Args& args);
 std::vector<corpus::ObjectId> TrainQueries(const corpus::Corpus& corpus,
                                            const Args& args);
+
+/// The --segmented cross-check: partitions \p corpus into a
+/// month-per-segment temporal::SegmentedStore under a scratch directory
+/// and, for every delta and a query sample, compares the merge-time
+/// decayed top-k against exhaustive decayed rescoring. Prints the
+/// per-delta maximum relative score drift; exits non-zero if drift
+/// exceeds the documented 1e-9 tolerance or ids diverge beyond fp
+/// near-ties — the figure's δ-decay numbers are only trustworthy if the
+/// segmented path reproduces them.
+void RunSegmentedCrossCheck(const corpus::Corpus& corpus, const char* tag,
+                            const std::vector<double>& deltas,
+                            std::uint32_t now_epoch, std::size_t k,
+                            std::size_t num_queries, std::uint64_t seed);
 
 }  // namespace figdb::bench

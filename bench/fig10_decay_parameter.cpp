@@ -36,6 +36,14 @@ int main(int argc, char** argv) {
       std::uint16_t(generator.Config().num_months - 1);
 
   const double deltas[] = {1.0, 0.8, 0.6, 0.4, 0.2, 0.1};
+  if (args.segmented) {
+    // Guard the figure's decay numbers: the segmented serving path must
+    // reproduce exhaustive δ-decay before we trust either.
+    bench::RunSegmentedCrossCheck(
+        ds.corpus, "fig10",
+        std::vector<double>(std::begin(deltas), std::end(deltas)), now,
+        /*k=*/50, /*num_queries=*/10, args.seed);
+  }
   std::vector<std::string> columns;
   for (double d : deltas) columns.push_back("d=" + std::to_string(d).substr(0, 3));
 

@@ -31,6 +31,12 @@ int main(int argc, char** argv) {
   const std::uint16_t now =
       std::uint16_t(generator.Config().num_months - 1);
 
+  if (args.segmented) {
+    // FIG-T's delta plus the undecayed control, same guard as fig10.
+    bench::RunSegmentedCrossCheck(ds.corpus, "fig11", {0.25, 1.0}, now,
+                                  /*k=*/50, /*num_queries=*/10, args.seed);
+  }
+
   const recsys::ProfileBuilder builder(engine.Correlations());
   std::vector<recsys::UserProfile> profiles;
   for (const corpus::RecommendationUser& u : ds.users)

@@ -1,0 +1,279 @@
+// Merge-time δ-decay vs exhaustive rescoring: decayed top-k latency of the
+// temporal SegmentedStore as the segment count grows, against exhaustive
+// δ^(now−month) rescoring over the union engine as the reference.
+//
+// Expected shape: the merge-time path pays one TA leg per segment, each
+// over a corpus slice, so its per-query cost stays near the unsegmented
+// engine's while exhaustive rescoring pays a full posting re-weight and
+// re-sort every query; the gap widens with database size, not segment
+// count. Retention and merge are the window-maintenance costs a serving
+// deployment pays off the query path — they are timed per sweep point so
+// the JSON captures the full lifecycle, and the emitted rows record the
+// CORE COUNT (ROADMAP's single-core caveat) like the other scale benches.
+//
+// Every sweep point re-checks the equivalence contract first (≤1e-9
+// relative drift, id swaps only inside fp near-ties) — a speedup over
+// wrong answers measures nothing.
+//
+// Output: a human table on stdout plus machine-readable
+// BENCH_temporal_decay.json in the working directory.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+#include "temporal/segmented_store.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace figdb;
+
+struct LatencyStats {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;
+};
+
+struct SweepRow {
+  std::size_t segments = 1;
+  std::uint32_t epochs_per_segment = 1;
+  LatencyStats merge_time;   // per-segment TA legs + TemporalMerger fold
+  LatencyStats exhaustive;   // full δ^(now−month) rescoring reference
+  double max_drift = 0.0;
+  std::size_t mismatches = 0;
+  double merge_ms = 0.0;      // MergeSealed (compact all sealed segments)
+  double retention_ms = 0.0;  // RunRetention (expire the oldest bucket)
+  std::size_t retained_segments = 0;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t i = std::min(
+      sorted.size() - 1, std::size_t(p * double(sorted.size() - 1) + 0.5));
+  return sorted[i];
+}
+
+LatencyStats Summarize(std::vector<double> latencies, double total_s) {
+  LatencyStats stats;
+  if (latencies.empty()) return stats;
+  double sum = 0.0;
+  for (double l : latencies) sum += l;
+  std::sort(latencies.begin(), latencies.end());
+  stats.mean_ms = sum / double(latencies.size());
+  stats.p50_ms = Percentile(latencies, 0.50);
+  stats.p99_ms = Percentile(latencies, 0.99);
+  stats.qps = double(latencies.size()) / total_s;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::Parse(argc, argv);
+  const std::size_t k = 10;
+  const std::size_t passes = 5;
+  const double delta = 0.6;
+  constexpr double kTolerance = 1e-9;  // segmented_store.hpp's fp bound
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+
+  // Eight epoch buckets so the sweep reaches eight single-month segments.
+  corpus::GeneratorConfig config = bench::MakeRetrievalConfig(args);
+  config.num_months = 8;
+  std::printf("[temporal] generating corpus (%zu objects, %zu months)...\n",
+              config.num_objects, config.num_months);
+  const corpus::Corpus corpus =
+      corpus::Generator(config).MakeRetrievalCorpus();
+  const std::vector<corpus::ObjectId> queries =
+      bench::EvalQueries(corpus, args);
+
+  // epochs_per_segment 8→1 segment, 4→2, 2→4, 1→8.
+  const std::vector<std::uint32_t> widths = {8, 4, 2, 1};
+  std::vector<SweepRow> rows;
+  for (std::uint32_t eps : widths) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("figdb_bench_temporal_" + std::to_string(eps)))
+            .string();
+    std::filesystem::remove_all(dir);
+    temporal::SegmentedStore::Options options;
+    options.epochs_per_segment = eps;
+    // One-bucket window: RunRetention(now + eps) below expires everything
+    // older than the newest bucket — the steady-state serving cadence.
+    options.retention_epochs = eps;
+    auto store = temporal::SegmentedStore::Create(dir, corpus, options);
+    if (!store.ok()) {
+      std::fprintf(stderr, "[temporal] create failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    const std::uint32_t now = store->ClockEpoch();
+
+    SweepRow row;
+    row.epochs_per_segment = eps;
+    row.segments = store->NumSegments();
+
+    // Warm-up pass doubles as the equivalence gate.
+    for (corpus::ObjectId qid : queries) {
+      auto got = store->Search(corpus.Object(qid), k, delta, now);
+      auto want =
+          store->SearchExhaustiveDecayed(corpus.Object(qid), k, delta, now);
+      if (!got.ok() || !want.ok() ||
+          got->results.size() != want->size()) {
+        ++row.mismatches;
+        continue;
+      }
+      for (std::size_t i = 0; i < want->size(); ++i) {
+        const double a = got->results[i].score;
+        const double b = (*want)[i].score;
+        const double drift =
+            std::fabs(a - b) / std::max(std::fabs(b), 1e-12);
+        row.max_drift = std::max(row.max_drift, drift);
+        // Id swaps are only real when the scores differ beyond fp
+        // near-ties (the documented tolerance).
+        if (got->results[i].object != (*want)[i].object &&
+            drift > kTolerance)
+          ++row.mismatches;
+      }
+    }
+
+    std::vector<double> merge_lat, exhaustive_lat;
+    merge_lat.reserve(passes * queries.size());
+    exhaustive_lat.reserve(passes * queries.size());
+    {
+      util::Stopwatch wall;
+      for (std::size_t pass = 0; pass < passes; ++pass) {
+        for (corpus::ObjectId qid : queries) {
+          util::Stopwatch watch;
+          auto got = store->Search(corpus.Object(qid), k, delta, now);
+          merge_lat.push_back(watch.ElapsedMillis());
+          if (!got.ok()) ++row.mismatches;
+        }
+      }
+      row.merge_time = Summarize(std::move(merge_lat),
+                                 wall.ElapsedSeconds());
+    }
+    {
+      util::Stopwatch wall;
+      for (std::size_t pass = 0; pass < passes; ++pass) {
+        for (corpus::ObjectId qid : queries) {
+          util::Stopwatch watch;
+          auto want =
+              store->SearchExhaustiveDecayed(corpus.Object(qid), k, delta,
+                                             now);
+          exhaustive_lat.push_back(watch.ElapsedMillis());
+          if (!want.ok()) ++row.mismatches;
+        }
+      }
+      row.exhaustive = Summarize(std::move(exhaustive_lat),
+                                 wall.ElapsedSeconds());
+    }
+
+    // Window maintenance: compact every sealed segment, then slide the
+    // window one bucket past the clock so the oldest bucket expires.
+    {
+      util::Stopwatch watch;
+      const util::Status merged = store->MergeSealed();
+      row.merge_ms = watch.ElapsedMillis();
+      if (!merged.ok()) {
+        std::fprintf(stderr, "[temporal] merge failed: %s\n",
+                     merged.ToString().c_str());
+        return 1;
+      }
+    }
+    {
+      util::Stopwatch watch;
+      const util::Status expired = store->RunRetention(now + eps);
+      row.retention_ms = watch.ElapsedMillis();
+      if (!expired.ok()) {
+        std::fprintf(stderr, "[temporal] retention failed: %s\n",
+                     expired.ToString().c_str());
+        return 1;
+      }
+      row.retained_segments = store->NumSegments();
+    }
+
+    rows.push_back(row);
+    std::printf(
+        "[temporal] %zu segment(s) done (merge-time %.2f ms mean, "
+        "exhaustive %.2f ms mean, drift %.3g)\n",
+        row.segments, row.merge_time.mean_ms, row.exhaustive.mean_ms,
+        row.max_drift);
+    std::filesystem::remove_all(dir);
+  }
+
+  bool equivalent = true;
+  for (const SweepRow& r : rows)
+    if (r.max_drift > kTolerance || r.mismatches > 0) equivalent = false;
+
+  eval::Table table("Temporal decay: merge-time vs exhaustive (" +
+                        std::to_string(cores) + " cores, delta " +
+                        std::to_string(delta) + ")",
+                    {"merge ms", "merge p99", "merge qps", "exh ms",
+                     "exh p99", "exh qps", "compact ms", "expire ms"});
+  for (const SweepRow& r : rows)
+    table.AddRow(std::to_string(r.segments) + " segment(s)",
+                 {r.merge_time.mean_ms, r.merge_time.p99_ms,
+                  r.merge_time.qps, r.exhaustive.mean_ms,
+                  r.exhaustive.p99_ms, r.exhaustive.qps, r.merge_ms,
+                  r.retention_ms});
+  table.Print();
+  if (!equivalent)
+    std::fprintf(stderr,
+                 "[temporal] EQUIVALENCE FAILED: drift above 1e-9 or id "
+                 "mismatches — see rows above\n");
+
+  const char* path = "BENCH_temporal_decay.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[temporal] cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"temporal_decay\",\n"
+               "  \"objects\": %zu,\n"
+               "  \"months\": %zu,\n"
+               "  \"queries\": %zu,\n"
+               "  \"passes\": %zu,\n"
+               "  \"k\": %zu,\n"
+               "  \"delta\": %.2f,\n"
+               "  \"seed\": %llu,\n"
+               "  \"cores\": %u,\n"
+               "  \"equivalent\": %s,\n"
+               "  \"sweep\": [\n",
+               config.num_objects, config.num_months, queries.size(), passes,
+               k, delta, (unsigned long long)args.seed, cores,
+               equivalent ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"segments\": %zu, \"epochs_per_segment\": %u,\n"
+        "     \"merge_time\": {\"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"qps\": %.2f},\n"
+        "     \"exhaustive\": {\"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"qps\": %.2f},\n"
+        "     \"max_drift\": %.3g, \"mismatches\": %zu,\n"
+        "     \"compact_sealed_ms\": %.4f, \"retention_ms\": %.4f, "
+        "\"segments_after_retention\": %zu}%s\n",
+        r.segments, r.epochs_per_segment, r.merge_time.mean_ms,
+        r.merge_time.p50_ms, r.merge_time.p99_ms, r.merge_time.qps,
+        r.exhaustive.mean_ms, r.exhaustive.p50_ms, r.exhaustive.p99_ms,
+        r.exhaustive.qps, r.max_drift, r.mismatches, r.merge_ms,
+        r.retention_ms, r.retained_segments,
+        i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("[temporal] wrote %s\n", path);
+  return equivalent ? 0 : 1;
+}

@@ -19,6 +19,10 @@
 #                          in one process, `connect` queries from another
 #                          under a FIGDB_FAILPOINTS net drill, then
 #                          SIGTERM and assert a clean graceful drain
+#   ci/check.sh temporal-smoke  end-to-end temporal drill: figdb_shell
+#                          `segments` lifecycle (attach/merge/expire/
+#                          bursts), then re-attach from a fresh process
+#                          and assert the committed window recovered
 #   ci/check.sh lint       figdb-lint self-test + repo invariants
 #   ci/check.sh tidy       clang-tidy over the compilation database
 #                          (skips with a notice if clang-tidy is absent)
@@ -233,6 +237,65 @@ EOF
   rm -rf "$dir"
 }
 
+# End-to-end smoke of the temporal serving layer through the REAL user
+# surface (the shell binary): create a segmented store from a generated
+# corpus, walk the whole window lifecycle — merge the sealed segments,
+# expire the old window, list burst events — then re-attach from a second
+# process and assert recovery landed on the committed window. This is the
+# one place the temporal stack (shell grammar -> segment clock -> manifest
+# protocols -> burst detector) is exercised through process restarts
+# instead of in-process moves.
+run_temporal_smoke() {
+  if [ ! -x build/examples/figdb_shell ]; then
+    echo "==== [ci-temporal] configure+build (build) ===="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$JOBS"
+  fi
+  local dir; dir="$(mktemp -d)"
+  local log1="$dir/lifecycle.log" log2="$dir/reattach.log"
+
+  echo "==== [ci-temporal] segment lifecycle drill ===="
+  printf 'gen 300\nsegments attach %s/segs 2 4\nsegments merge\nsegments expire 20\nsegments bursts 3\nquit\n' "$dir" \
+    | build/examples/figdb_shell >"$log1" 2>&1 || true
+  local want
+  for want in 'created segmented store' 'merged sealed segments' \
+              'retention at epoch 20'; do
+    if ! grep -q "$want" "$log1"; then
+      echo "==== [ci-temporal] lifecycle drill missing '$want' ===="
+      cat "$log1"
+      rm -rf "$dir"
+      return 1
+    fi
+  done
+  # Burst detection must answer either way (events or a typed "none").
+  if ! grep -Eq 'burst event\(s\)|no bursts over' "$log1"; then
+    echo "==== [ci-temporal] no burst-detection report ===="
+    cat "$log1"
+    rm -rf "$dir"
+    return 1
+  fi
+
+  echo "==== [ci-temporal] re-attach from a fresh process ===="
+  printf 'segments attach %s/segs\nquit\n' "$dir" \
+    | build/examples/figdb_shell >"$log2" 2>&1 || true
+  if ! grep -q 'recovered segmented store' "$log2"; then
+    echo "==== [ci-temporal] recovery did not land on the committed window ===="
+    cat "$log2"
+    rm -rf "$dir"
+    return 1
+  fi
+  # The expired window must stay expired across the restart: retention at
+  # epoch 20 with a 4-epoch window leaves only the active bucket.
+  if ! grep -q '1 segment(s)' "$log2"; then
+    echo "==== [ci-temporal] re-attached window has the wrong segment count ===="
+    cat "$log2"
+    rm -rf "$dir"
+    return 1
+  fi
+  echo "==== [ci-temporal] lifecycle + recovery assertions held ===="
+  rm -rf "$dir"
+}
+
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "==== [ci-tidy] clang-tidy not installed; skipping ===="
@@ -268,6 +331,9 @@ case "$MODE" in
   serve-smoke)
     run_serve_smoke
     ;;
+  temporal-smoke)
+    run_temporal_smoke
+    ;;
   lint)
     run_lint
     ;;
@@ -279,15 +345,17 @@ case "$MODE" in
     run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
     run_tsan_tree
     run_serve_smoke
+    run_temporal_smoke
     run_lint
     run_tidy
     ;;
   help)
     cat <<'EOF'
-usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|serve-smoke|lint|tidy|help]
+usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]
 
 modes
-  all    plain + asan + tsan + serve-smoke + lint + tidy (the default).
+  all    plain + asan + tsan + serve-smoke + temporal-smoke + lint +
+         tidy (the default).
          The plain tree
          registers every fuzz/ target as a corpus-replay ctest case
          (label `fuzz_regression`), so the checked-in corpus is part of
@@ -303,6 +371,9 @@ modes
   serve-smoke  process-to-process wire drill: figdb_shell `listen` server
          + `connect` client under a FIGDB_FAILPOINTS connection-reset
          drill, ending in a SIGTERM graceful-drain assertion
+  temporal-smoke  process-restart temporal drill: figdb_shell `segments`
+         lifecycle (attach, merge, expire, bursts) then a fresh-process
+         re-attach asserting the committed window recovered
   lint   figdb-lint self-test + repo invariants
   tidy   clang-tidy over the compilation database (skips if absent)
 
@@ -328,7 +399,7 @@ EOF
     exit 0
     ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|serve-smoke|lint|tidy|help]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]" >&2
     exit 2
     ;;
 esac

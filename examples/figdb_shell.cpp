@@ -41,6 +41,7 @@
 #include "serve/serving_store.hpp"
 #include "shard/shard_router.hpp"
 #include "shard/sharded_store.hpp"
+#include "temporal/segmented_store.hpp"
 #include "util/failpoint.hpp"
 #include "util/query_budget.hpp"
 #include "util/status.hpp"
@@ -68,6 +69,10 @@ struct Shell {
   std::unique_ptr<shard::ShardedStore> sharded;
   std::unique_ptr<shard::ShardRouter> router;
   std::string sharded_dir;
+  /// Attached time-partitioned store (see `segments attach`): ingest is
+  /// epoch-bucketed, δ-decay folds in at merge time, retention slides.
+  std::optional<temporal::SegmentedStore> segments;
+  std::string segments_dir;
   /// Set when the store's corpus has drifted from the query engine; the
   /// engine is rebuilt lazily before the next query instead of per-ingest.
   bool engine_stale = false;
@@ -350,6 +355,140 @@ struct Shell {
         (unsigned long long)result->retries, result->ta_bound);
     for (const auto& r : result->response.results)
       std::printf("  #%-6u score=%.5f\n", r.object, r.score);
+  }
+
+  // ------------------------------------------------------------ temporal
+  void PrintSegmentsStatus() const {
+    const temporal::SegmentManifest& m = segments->Manifest();
+    const std::uint32_t retention =
+        segments->GetOptions().retention_epochs;
+    std::printf(
+        "segmented store: generation %llu, %zu segment(s), %zu objects "
+        "(%zu live) | clock epoch %u | retention %u epoch(s)%s | %llu "
+        "skew-clamped ingest(s)\n",
+        (unsigned long long)m.generation, segments->NumSegments(),
+        segments->TotalObjects(), segments->LiveObjects(),
+        segments->ClockEpoch(), retention,
+        retention == 0 ? " (keep forever)" : "",
+        (unsigned long long)segments->SkewClamped());
+    for (std::size_t s = 0; s < segments->NumSegments(); ++s) {
+      const temporal::SegmentEntry& e = segments->EntryOf(s);
+      const index::FigDbStore& ss = segments->StoreOf(s);
+      std::printf(
+          "  seg %-3u epochs [%u, %u]  ids [%llu, %llu)  %zu live  %s%s\n",
+          e.id, e.min_epoch, e.max_epoch, (unsigned long long)e.base,
+          (unsigned long long)(e.base + e.count), ss.LiveObjects(),
+          e.state == temporal::SegmentState::kActive ? "ACTIVE" : "sealed",
+          ss.Wounded() ? " [WOUNDED]" : "");
+    }
+  }
+
+  void SegmentsAttach(const std::string& dir, std::size_t epochs_per_segment,
+                      std::size_t retention_epochs) {
+    temporal::SegmentedStore::Options options;
+    options.epochs_per_segment = std::uint32_t(epochs_per_segment);
+    options.retention_epochs = std::uint32_t(retention_epochs);
+    segments.reset();
+    auto recovered = temporal::SegmentedStore::Recover(dir, options);
+    if (recovered.ok()) {
+      segments = std::move(*recovered);
+      segments_dir = dir;
+      std::printf("recovered segmented store from %s\n", dir.c_str());
+      PrintSegmentsStatus();
+      return;
+    }
+    if (recovered.status().code() != util::StatusCode::kNotFound) {
+      std::printf("segments recover failed: %s\n",
+                  recovered.status().ToString().c_str());
+      return;
+    }
+    if (!Ready()) {
+      std::printf(
+          "'%s' holds no segmented store and there is no database to seed "
+          "one — use 'gen <n>' or 'load <path>' first\n",
+          dir.c_str());
+      return;
+    }
+    auto created = temporal::SegmentedStore::Create(dir, *db, options);
+    if (!created.ok()) {
+      std::printf("segments create failed: %s\n",
+                  created.status().ToString().c_str());
+      return;
+    }
+    segments = std::move(*created);
+    segments_dir = dir;
+    std::printf(
+        "created segmented store in %s from the current database "
+        "(%zu epoch(s) per segment)\n",
+        dir.c_str(), epochs_per_segment);
+    PrintSegmentsStatus();
+  }
+
+  void SegmentsMerge() {
+    const std::size_t before = segments->NumSegments();
+    const util::Status st = segments->MergeSealed();
+    if (!st.ok()) {
+      std::printf(
+          "merge failed: %s\n(the directory stays consistent — 'segments "
+          "attach %s' re-runs recovery and lands on the old or the new "
+          "layout, never a mix)\n",
+          st.ToString().c_str(), segments_dir.c_str());
+      return;
+    }
+    std::printf("merged sealed segments: %zu -> %zu segment(s)\n", before,
+                segments->NumSegments());
+    PrintSegmentsStatus();
+  }
+
+  void SegmentsExpire(std::uint64_t epoch) {
+    const std::uint32_t now = epoch == cli::kEpochFromClock
+                                  ? segments->ClockEpoch()
+                                  : std::uint32_t(epoch);
+    const std::size_t before = segments->NumSegments();
+    const util::Status st = segments->RunRetention(now);
+    if (!st.ok()) {
+      std::printf(
+          "expire failed: %s\n(the directory stays consistent — 'segments "
+          "attach %s' re-runs recovery and lands on the old or the new "
+          "window, never a mix)\n",
+          st.ToString().c_str(), segments_dir.c_str());
+      return;
+    }
+    std::printf("retention at epoch %u: %zu -> %zu segment(s)%s\n", now,
+                before, segments->NumSegments(),
+                segments->GetOptions().retention_epochs == 0
+                    ? " (retention window disabled — attach with a nonzero "
+                      "retention to expire)"
+                    : "");
+    PrintSegmentsStatus();
+  }
+
+  void SegmentsBursts(std::size_t k) {
+    const temporal::BurstDetector& detector = segments->Bursts();
+    const std::vector<temporal::BurstEvent> events = detector.Detect();
+    if (events.empty()) {
+      std::printf(
+          "no bursts over %llu observed object(s) (threshold z >= %.1f, "
+          "support >= %u)\n",
+          (unsigned long long)detector.ObservedObjects(),
+          detector.Options().threshold, detector.Options().min_support);
+      return;
+    }
+    // Feature names come from the shared context every segment store
+    // inherits from the seeding corpus.
+    const corpus::Context& ctx =
+        segments->StoreOf(0).GetCorpus().GetContext();
+    std::printf("%zu burst event(s) over %llu observed object(s); top %zu:\n",
+                events.size(),
+                (unsigned long long)detector.ObservedObjects(),
+                std::min(k, events.size()));
+    for (std::size_t i = 0; i < events.size() && i < k; ++i) {
+      const temporal::BurstEvent& e = events[i];
+      std::printf(
+          "  z=%-7.2f epoch %-4u %-24s x%llu (baseline %.1f±%.1f/epoch)\n",
+          e.score, e.epoch, ctx.DescribeFeature(e.feature).c_str(),
+          (unsigned long long)e.count, e.baseline_mean, e.baseline_stddev);
+    }
   }
 
   void Generate(std::size_t n) {
@@ -660,6 +799,20 @@ void Help() {
       "  shard rebalance <n>  crash-recoverable two-phase re-partition\n"
       "  shard query <tags...>  fan the query out; results are labelled\n"
       "                    complete or PARTIAL (a/N shards answered)\n"
+      "temporal segmented store (time-partitioned, merge-time δ-decay):\n"
+      "  segments attach <dir> [epochs] [retention]\n"
+      "                    recover the segmented store in <dir>, or create\n"
+      "                    one there from the current database (bucket width\n"
+      "                    in epochs, default 1; sliding retention window in\n"
+      "                    epochs, 0/default = keep forever)\n"
+      "  segments status   manifest generation, per-segment epoch ranges and\n"
+      "                    id spans, clock epoch, skew-clamp counter\n"
+      "  segments merge    compact all sealed segments into one (crash-\n"
+      "                    recoverable single-manifest swap)\n"
+      "  segments expire [now]  run sliding-window retention at epoch <now>\n"
+      "                    (absent = the store's clock epoch)\n"
+      "  segments bursts [k]  top-k detected burst events (z-score against\n"
+      "                    each feature's trailing baseline)\n"
       "network serving (framed wire protocol, 127.0.0.1):\n"
       "  listen [port]     serve the attached store over TCP (0/absent =\n"
       "                    ephemeral, port is printed); SIGTERM or SIGINT\n"
@@ -742,6 +895,30 @@ int main() {
         shell.ShardRebalance(cmd.count);
       else
         shell.ShardQuery(cmd.text);
+      continue;
+    }
+    if (cmd.verb == cli::ShellVerb::kSegmentsAttach) {
+      shell.SegmentsAttach(cmd.text, cmd.count, cmd.retention);
+      continue;
+    }
+    if (cmd.verb == cli::ShellVerb::kSegmentsStatus ||
+        cmd.verb == cli::ShellVerb::kSegmentsMerge ||
+        cmd.verb == cli::ShellVerb::kSegmentsExpire ||
+        cmd.verb == cli::ShellVerb::kSegmentsBursts) {
+      if (!shell.segments.has_value()) {
+        std::printf(
+            "no segmented store attached — use 'segments attach <dir> "
+            "[epochs] [retention]' first\n");
+        continue;
+      }
+      if (cmd.verb == cli::ShellVerb::kSegmentsStatus)
+        shell.PrintSegmentsStatus();
+      else if (cmd.verb == cli::ShellVerb::kSegmentsMerge)
+        shell.SegmentsMerge();
+      else if (cmd.verb == cli::ShellVerb::kSegmentsExpire)
+        shell.SegmentsExpire(cmd.epoch);
+      else
+        shell.SegmentsBursts(cmd.count);
       continue;
     }
     if (cmd.verb == cli::ShellVerb::kConnect) {

@@ -20,6 +20,7 @@
 #include "net/wire.hpp"
 #include "serve/query_executor.hpp"
 #include "shard/manifest.hpp"
+#include "temporal/segment_manifest.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
@@ -171,6 +172,15 @@ bool FixupWalCrcs(std::string* bytes) {
 
 bool FixupShardManifestCrc(std::string* bytes) {
   constexpr std::size_t kHeader = 12;  // magic + version + crc, fixed32 each
+  if (bytes->size() < kHeader) return false;
+  PatchFixed32(bytes, 8, util::Crc32(std::string_view(*bytes).substr(kHeader)));
+  return true;
+}
+
+bool FixupSegmentManifestCrc(std::string* bytes) {
+  // Identical framing to the shard manifest: 12-byte fixed32 header with
+  // the CRC at offset 8 covering everything after it.
+  constexpr std::size_t kHeader = 12;
   if (bytes->size() < kHeader) return false;
   PatchFixed32(bytes, 8, util::Crc32(std::string_view(*bytes).substr(kHeader)));
   return true;
@@ -649,6 +659,51 @@ ParseOutcome CheckShardManifestOneInput(const std::uint8_t* data,
   return outcome;
 }
 
+// ------------------------------------------ segment-manifest harness
+
+ParseOutcome CheckSegmentManifestOneInput(const std::uint8_t* data,
+                                          std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const auto parsed = temporal::ParseSegmentManifest(input);
+  ParseOutcome outcome;
+  outcome.accepted = parsed.ok();
+  outcome.code = parsed.ok() ? StatusCode::kOk : parsed.status().code();
+  if (!parsed.ok()) {
+    FIGDB_CHECK(outcome.code == StatusCode::kInvalidArgument ||
+                outcome.code == StatusCode::kDataLoss);
+    FIGDB_CHECK(!parsed.status().message().empty());
+    return outcome;
+  }
+  // Accepted manifests must honor the documented invariants...
+  FIGDB_CHECK(parsed->generation >= 1);
+  FIGDB_CHECK(parsed->segments.size() <= temporal::kMaxSegments);
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < parsed->segments.size(); ++i) {
+    const temporal::SegmentEntry& e = parsed->segments[i];
+    FIGDB_CHECK(e.min_epoch <= e.max_epoch);
+    if (e.state == temporal::SegmentState::kActive) {
+      ++active;
+      FIGDB_CHECK(i + 1 == parsed->segments.size());  // active is last
+    }
+    if (i > 0) {
+      const temporal::SegmentEntry& prev = parsed->segments[i - 1];
+      FIGDB_CHECK(e.base >= prev.base + prev.count);   // ids don't overlap
+      FIGDB_CHECK(e.min_epoch >= prev.max_epoch);      // epochs monotone
+    }
+  }
+  FIGDB_CHECK(active <= 1);
+  // ...and reach a serialize fixed point (the input itself need not be
+  // canonical — overlong varints re-encode shorter).
+  const std::string s1 = temporal::SerializeSegmentManifest(*parsed);
+  const auto reparsed = temporal::ParseSegmentManifest(s1);
+  FIGDB_CHECK_MSG(reparsed.ok(),
+                  "serialize(parse(segments)) failed to re-parse");
+  FIGDB_CHECK_MSG(*reparsed == *parsed,
+                  "segment manifest round-trip changed fields");
+  FIGDB_CHECK(temporal::SerializeSegmentManifest(*reparsed) == s1);
+  return outcome;
+}
+
 // ------------------------------------------------------ wire-frame harness
 
 namespace {
@@ -818,6 +873,22 @@ void CheckShellCommandOneInput(const std::uint8_t* data, std::size_t size) {
         break;
       case cli::ShellVerb::kBudget:
         FIGDB_CHECK(std::isfinite(cmd.budget_ms));
+        break;
+      case cli::ShellVerb::kSegmentsAttach:
+        FIGDB_CHECK(!cmd.text.empty());
+        FIGDB_CHECK(cmd.count >= 1 &&
+                    cmd.count <= cli::kMaxShellEpochsPerSegment);
+        FIGDB_CHECK(cmd.retention <= cli::kMaxShellRetentionEpochs);
+        break;
+      case cli::ShellVerb::kSegmentsExpire:
+        // Either the "use the store clock" sentinel or a uint32 epoch —
+        // the shell casts without re-validating.
+        FIGDB_CHECK(cmd.epoch == cli::kEpochFromClock ||
+                    cmd.epoch <= 0xffffffffull);
+        break;
+      case cli::ShellVerb::kSegmentsBursts:
+        FIGDB_CHECK(cmd.count >= 1 &&
+                    cmd.count <= cli::kMaxShellBurstEvents);
         break;
       default:
         break;

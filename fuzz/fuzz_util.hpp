@@ -95,6 +95,10 @@ bool FixupWalCrcs(std::string* bytes);
 /// remaining payload. One checksum, re-stamped in place.
 bool FixupShardManifestCrc(std::string* bytes);
 
+/// Temporal segment manifest (SEGMENTS): same 12-byte fixed32 header
+/// framing as the shard manifest — magic, version, CRC over the payload.
+bool FixupSegmentManifestCrc(std::string* bytes);
+
 /// Network wire frames: per frame (fixed32 magic, fixed32 payload_len,
 /// fixed32 CRC, payload), back to back. Re-stamps every walkable frame's
 /// CRC; stops at the first frame whose length claim exceeds the buffer.
@@ -185,6 +189,15 @@ void CheckSerdeOneInput(const std::uint8_t* data, std::size_t size);
 /// rejections must carry kInvalidArgument or kDataLoss and a message.
 ParseOutcome CheckShardManifestOneInput(const std::uint8_t* data,
                                         std::size_t size);
+
+/// Temporal segment manifest (temporal::ParseSegmentManifest), the file
+/// the segmented store's recovery trusts to name the live time buckets.
+/// Accepted manifests must honor the documented invariants (generation,
+/// segment ceiling, base/epoch monotonicity, active-last) and reach a
+/// serialize fixed point; rejections must carry kInvalidArgument or
+/// kDataLoss and a message.
+ParseOutcome CheckSegmentManifestOneInput(const std::uint8_t* data,
+                                          std::size_t size);
 
 /// Network frame decode (net::DecodeFrame), driven as a stream consumer:
 /// every decoded frame must re-encode to a byte fixed point that decodes

@@ -6,6 +6,7 @@
 #include "fuzz_util.hpp"
 #include "net/wire.hpp"
 #include "shard/manifest.hpp"
+#include "temporal/segment_manifest.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -98,6 +99,42 @@ int main(int argc, char** argv) {
     WriteSeed(root / "fuzz_shard_manifest", "crc_fixed_mutant.bin", mutant);
   }
 
+  // fuzz_segment_manifest: a default (empty) manifest, a realistic sealed+
+  // active window, a truncation, and a CRC-refreshed mutant.
+  {
+    figdb::temporal::SegmentManifest m;
+    WriteSeed(root / "fuzz_segment_manifest", "valid_default.bin",
+              figdb::temporal::SerializeSegmentManifest(m));
+    m.generation = 17;
+    m.segments = {{.id = 0,
+                   .min_epoch = 0,
+                   .max_epoch = 2,
+                   .base = 0,
+                   .count = 90,
+                   .state = figdb::temporal::SegmentState::kSealed},
+                  {.id = 1,
+                   .min_epoch = 3,
+                   .max_epoch = 5,
+                   .base = 90,
+                   .count = 90,
+                   .state = figdb::temporal::SegmentState::kSealed},
+                  {.id = 2,
+                   .min_epoch = 6,
+                   .max_epoch = 8,
+                   .base = 180,
+                   .count = 30,
+                   .state = figdb::temporal::SegmentState::kActive}};
+    const std::string window =
+        figdb::temporal::SerializeSegmentManifest(m);
+    WriteSeed(root / "fuzz_segment_manifest", "valid_window.bin", window);
+    WriteSeed(root / "fuzz_segment_manifest", "truncated.bin",
+              window.substr(0, window.size() - 1));
+    figdb::util::Rng rng(20260810);
+    std::string mutant = fuzz::MutateBytes(&rng, window, /*truncate=*/false);
+    fuzz::FixupSegmentManifestCrc(&mutant);
+    WriteSeed(root / "fuzz_segment_manifest", "crc_fixed_mutant.bin", mutant);
+  }
+
   // fuzz_frame: a valid request+response stream, a lone request, a torn
   // tail, and a CRC-refreshed mutant (valid framing, damaged payload) to
   // pre-seed the body decoders past the checksum gate.
@@ -154,12 +191,19 @@ int main(int argc, char** argv) {
             "checkpoint\nrecover\nserve 1.5 8 2\nserve 999 99 99\nserve\n"
             "shard attach /tmp/shards 4\nshard attach /tmp/shards\n"
             "shard status\nshard rebalance 2\nshard query beach sunset\n"
+            "segments attach /tmp/segs 2 6\nsegments attach /tmp/segs\n"
+            "segments attach /tmp/segs 999 999\nsegments status\n"
+            "segments merge\nsegments expire\nsegments expire 9\n"
+            "segments bursts\nsegments bursts 3\n"
             "listen\nlisten 0\nlisten 4801\n"
             "connect 127.0.0.1 4801 sunset beach\nquit\n");
   WriteSeed(root / "fuzz_shell_command", "errors.txt",
             "frobnicate\ngen many\nload\nremove nineteen\nsimilar -4\n"
             "budget fast\nserve soon\nshard\nshard attach\nshard rebalance\n"
-            "shard rebalance 999\nshard frob\nlisten 70000\nlisten x\n"
+            "shard rebalance 999\nshard frob\nsegments\nsegments attach\n"
+            "segments attach /tmp/segs two\nsegments expire never\n"
+            "segments expire 99999999999\nsegments bursts 0\nsegments frob\n"
+            "listen 70000\nlisten x\n"
             "connect\nconnect host\nconnect host 0 q\nconnect host 99999 q\n"
             "\n   \n");
 

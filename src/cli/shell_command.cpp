@@ -197,6 +197,67 @@ StatusOr<ShellCommand> ParseShellCommand(std::string_view line) {
     } else {
       return Usage("shard attach|status|rebalance|query …");
     }
+  } else if (verb == "segments") {
+    // Sub-verb dispatch for the time-partitioned (temporal) store. Shapes:
+    //   segments attach <dir> [epochs_per_segment] [retention_epochs]
+    //   segments status
+    //   segments merge
+    //   segments expire [now_epoch]
+    //   segments bursts [k]
+    const std::string sub = NextToken(&in);
+    if (sub == "attach") {
+      cmd.verb = ShellVerb::kSegmentsAttach;
+      cmd.text = NextToken(&in);
+      if (cmd.text.empty())
+        return Usage("segments attach <dir> [epochs_per_segment] [retention]");
+      cmd.count = 1;
+      const std::string eps = NextToken(&in);
+      if (!eps.empty()) {
+        std::uint64_t v = 0;
+        if (!ParseU64(eps, &v))
+          return Usage(
+              "segments attach <dir> [epochs_per_segment] [retention]");
+        cmd.count = std::size_t(v);
+        const std::string keep = NextToken(&in);
+        if (!keep.empty()) {
+          if (!ParseU64(keep, &v))
+            return Usage(
+                "segments attach <dir> [epochs_per_segment] [retention]");
+          cmd.retention = std::size_t(v);
+        }
+      }
+      cmd.count = std::min(std::max<std::size_t>(cmd.count, 1),
+                           kMaxShellEpochsPerSegment);
+      cmd.retention = std::min(cmd.retention, kMaxShellRetentionEpochs);
+    } else if (sub == "status") {
+      cmd.verb = ShellVerb::kSegmentsStatus;
+    } else if (sub == "merge") {
+      cmd.verb = ShellVerb::kSegmentsMerge;
+    } else if (sub == "expire") {
+      cmd.verb = ShellVerb::kSegmentsExpire;
+      // No epoch on the line = expire against the store's own clock; an
+      // explicit epoch must fit the manifest's uint32 epoch domain.
+      const std::string now = NextToken(&in);
+      if (!now.empty()) {
+        std::uint64_t v = 0;
+        if (!ParseU64(now, &v) || v > 0xffffffffull)
+          return Usage("segments expire [now_epoch]");
+        cmd.epoch = v;
+      }
+    } else if (sub == "bursts") {
+      cmd.verb = ShellVerb::kSegmentsBursts;
+      cmd.count = 8;
+      const std::string k = NextToken(&in);
+      if (!k.empty()) {
+        std::uint64_t v = 0;
+        if (!ParseU64(k, &v) || v == 0)
+          return Usage("segments bursts [k]");
+        cmd.count = std::size_t(v);
+      }
+      cmd.count = std::min(cmd.count, kMaxShellBurstEvents);
+    } else {
+      return Usage("segments attach|status|merge|expire|bursts …");
+    }
   } else {
     return Status::InvalidArgument("unknown command '" + verb +
                                    "' — try 'help'");

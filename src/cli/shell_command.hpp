@@ -30,6 +30,12 @@
 ///   kListen   port parsed from a real integer token, <= 65535 (0 is the
 ///             documented "pick an ephemeral port" request)
 ///   kConnect  non-empty host; port in [1, 65535]
+///   kSegmentsAttach  non-empty path; count (epochs per segment) in
+///             [1, kMaxShellEpochsPerSegment]; retention (sliding-window
+///             epochs, 0 = keep forever) <= kMaxShellRetentionEpochs
+///   kSegmentsExpire  epoch parsed from a real integer token that fits a
+///             uint32, or kEpochFromClock when absent (use the store clock)
+///   kSegmentsBursts  count (events to print) in [1, kMaxShellBurstEvents]
 
 namespace figdb::cli {
 
@@ -57,6 +63,11 @@ enum class ShellVerb {
   kShardQuery,      ///< `shard query <tags…>` — scatter-gather top-k
   kListen,          ///< `listen [port]` — serve the store over the wire
   kConnect,         ///< `connect <host> <port> <tags…>` — one wire query
+  kSegmentsAttach,  ///< `segments attach <dir> [epochs] [retention]`
+  kSegmentsStatus,  ///< `segments status` — window, clock, per-segment health
+  kSegmentsMerge,   ///< `segments merge` — compact all sealed segments
+  kSegmentsExpire,  ///< `segments expire [now]` — run sliding-window retention
+  kSegmentsBursts,  ///< `segments bursts [k]` — top detected burst events
 };
 
 inline constexpr std::size_t kMinGenObjects = 50;
@@ -66,6 +77,16 @@ inline constexpr std::size_t kMaxServeThreads = 16;
 /// Shell-level ceiling on shard fan-out (tighter than the manifest's
 /// kMaxShards: an interactive drill never needs hundreds of shards).
 inline constexpr std::size_t kMaxShellShards = 64;
+/// Shell-level ceiling on the temporal bucket width (epochs are corpus
+/// months; a year-wide bucket is already one segment for most corpora).
+inline constexpr std::size_t kMaxShellEpochsPerSegment = 12;
+/// Shell-level ceiling on the sliding retention window, in epochs.
+inline constexpr std::size_t kMaxShellRetentionEpochs = 120;
+/// Shell-level ceiling on burst events printed by `segments bursts`.
+inline constexpr std::size_t kMaxShellBurstEvents = 32;
+/// kSegmentsExpire sentinel: no explicit epoch on the line — the shell
+/// expires against the segmented store's own clock.
+inline constexpr std::uint64_t kEpochFromClock = ~std::uint64_t{0};
 
 struct ShellCommand {
   ShellVerb verb = ShellVerb::kNone;
@@ -78,8 +99,19 @@ struct ShellCommand {
   corpus::ObjectId id = corpus::kInvalidObject;
 
   /// Database size for kGen (clamped to >= kMinGenObjects); shard fan-out
-  /// for kShardAttach/kShardRebalance (clamped to [1, kMaxShellShards]).
+  /// for kShardAttach/kShardRebalance (clamped to [1, kMaxShellShards]);
+  /// epochs per segment for kSegmentsAttach (clamped to
+  /// [1, kMaxShellEpochsPerSegment]); events to print for kSegmentsBursts
+  /// (clamped to [1, kMaxShellBurstEvents]).
   std::size_t count = 2000;
+
+  /// kSegmentsAttach: sliding-window retention in epochs (0 = keep
+  /// forever), clamped to <= kMaxShellRetentionEpochs.
+  std::size_t retention = 0;
+
+  /// kSegmentsExpire: the `now` epoch to expire against; kEpochFromClock
+  /// (the default) means "use the store's own clock epoch".
+  std::uint64_t epoch = kEpochFromClock;
 
   /// kBudget: 0 = unlimited for either component (the documented contract).
   double budget_ms = 0.0;

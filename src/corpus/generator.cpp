@@ -45,12 +45,17 @@ class SynthesisEngine {
     BuildVisualPools();
   }
 
-  /// Samples one object draft with the given month.
-  Draft MakeDraft(std::uint16_t month) {
+  /// Samples one object draft with the given month. A forced topic (burst
+  /// injection) replaces the Zipf topic draw; everything downstream — tag
+  /// mix, visual words, favouriters — is sampled normally, so injected
+  /// objects are indistinguishable from organic ones except in volume.
+  Draft MakeDraft(std::uint16_t month, std::uint32_t forced_topic = kNoTopic) {
     Draft d;
     d.month = month;
-    d.topic = static_cast<std::uint32_t>(
-        rng_.Zipf(cfg_.num_topics, cfg_.topic_zipf));
+    d.topic = forced_topic != kNoTopic
+                  ? forced_topic
+                  : static_cast<std::uint32_t>(
+                        rng_.Zipf(cfg_.num_topics, cfg_.topic_zipf));
     if (rng_.Bernoulli(cfg_.secondary_topic_probability))
       d.secondary = SameDomainNeighbor(d.topic);
     SampleTags(&d);
@@ -105,6 +110,11 @@ class SynthesisEngine {
   const std::vector<std::uint32_t>& UsersInterestedIn(
       std::uint32_t topic) const {
     return topic_users_[topic];
+  }
+
+  /// Raw tag pool of \p topic (stems; some may be vocabulary-pruned).
+  const std::vector<std::string>& TopicTags(std::uint32_t topic) const {
+    return topic_tags_[topic];
   }
 
  private:
@@ -484,9 +494,63 @@ RecommendationDataset Generator::MakeRecommendationDataset(
     drafts.push_back(engine.MakeDraft(month));
   }
 
+  // ---- Burst injection: each burst topic receives a slab of extra
+  // uploads in a window of evaluation months, so its tag terms spike far
+  // above their trailing baseline. Topics are drawn uniformly (not Zipf):
+  // a tail topic bursting is the paper's "Obama during the election"
+  // event shape, and head topics would drown the spike in their own
+  // baseline. Window starts cycle over the evaluation months, which all
+  // sit past the profile window and therefore have the
+  // min_baseline_epochs of history a detector needs.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> injected;
+  if (rec.num_burst_topics > 0) {
+    FIGDB_CHECK(rec.burst_window_months > 0);
+    FIGDB_CHECK(rec.burst_objects_per_month > 0);
+    util::Rng* brng = engine.MutableRng();
+    std::vector<std::uint32_t> burst_topics;
+    while (burst_topics.size() <
+           std::min(rec.num_burst_topics, config_.num_topics)) {
+      const std::uint32_t t = static_cast<std::uint32_t>(
+          brng->UniformInt(config_.num_topics));
+      if (std::find(burst_topics.begin(), burst_topics.end(), t) ==
+          burst_topics.end())
+        burst_topics.push_back(t);
+    }
+    const std::size_t span = config_.num_months - rec.profile_months;
+    for (std::size_t i = 0; i < burst_topics.size(); ++i) {
+      std::vector<std::uint32_t> window;
+      const std::size_t start = rec.profile_months + (i % span);
+      for (std::size_t w = 0; w < rec.burst_window_months; ++w) {
+        if (start + w >= config_.num_months) break;
+        window.push_back(static_cast<std::uint32_t>(start + w));
+      }
+      for (std::uint32_t epoch : window) {
+        for (std::size_t j = 0; j < rec.burst_objects_per_month; ++j) {
+          drafts.push_back(engine.MakeDraft(
+              static_cast<std::uint16_t>(epoch), burst_topics[i]));
+        }
+      }
+      injected.emplace_back(burst_topics[i], std::move(window));
+    }
+  }
+
   RecommendationDataset out;
   out.profile_months = rec.profile_months;
   out.corpus = engine.Build(std::move(drafts));
+
+  // Burst ground truth: the injected (topic, window) pairs labeled with
+  // the topic's pruning-surviving tag FeatureKeys.
+  for (auto& [topic, window] : injected) {
+    BurstLabel label;
+    label.topic = topic;
+    label.epochs = std::move(window);
+    for (const std::string& stem : engine.TopicTags(topic)) {
+      const text::TermId id = out.corpus.GetContext().vocabulary.Lookup(stem);
+      if (id == text::kInvalidTerm) continue;
+      label.terms.push_back(MakeFeatureKey(FeatureType::kText, id));
+    }
+    out.bursts.push_back(std::move(label));
+  }
 
   std::vector<std::vector<ObjectId>> by_month(config_.num_months);
   for (const MediaObject& obj : out.corpus.Objects()) {

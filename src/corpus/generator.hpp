@@ -114,12 +114,27 @@ struct RecommendationUser {
   std::vector<ObjectId> held_out;
 };
 
+/// Ground truth for one injected burst (temporal workload): the topic's
+/// tag terms spike in the window epochs, far above their trailing
+/// baseline. `terms` holds the vocabulary-surviving tag FeatureKeys of
+/// the topic's pool — a burst detector evaluated against these labels is
+/// correct when it fires on one of them inside the window.
+struct BurstLabel {
+  std::uint32_t topic = 0;
+  /// Consecutive months the extra uploads were injected into.
+  std::vector<std::uint32_t> epochs;
+  /// Text FeatureKeys of the topic's pruning-surviving tag pool.
+  std::vector<FeatureKey> terms;
+};
+
 struct RecommendationDataset {
   Corpus corpus;
   std::vector<RecommendationUser> users;
   /// All objects in the evaluation window (the "newly incoming set").
   std::vector<ObjectId> candidates;
   std::size_t profile_months = 3;
+  /// Injected burst ground truth (empty unless num_burst_topics > 0).
+  std::vector<BurstLabel> bursts;
 };
 
 struct RecommendationConfig {
@@ -136,6 +151,17 @@ struct RecommendationConfig {
   /// evaluation window); larger leads give moderate decay values more
   /// profile evidence to exploit.
   std::size_t new_interest_lead = 2;
+
+  // ---- Burst/event injection (temporal workload; 0 = off, and the
+  // dataset is then draw-for-draw identical to the pre-burst generator).
+  /// Distinct topics given an upload burst inside the evaluation window.
+  std::size_t num_burst_topics = 0;
+  /// Consecutive months each burst lasts (clipped at num_months).
+  std::size_t burst_window_months = 1;
+  /// Extra objects of the burst topic injected per burst month. Sized so
+  /// the topic's head tags spike far above the trailing baseline of
+  /// ~num_objects/(num_months * num_topics) topical objects per month.
+  std::size_t burst_objects_per_month = 150;
 };
 
 /// Deterministic corpus synthesis; one Generator instance per dataset.

@@ -1,14 +1,30 @@
 #include "recsys/recommender.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 #include <unordered_map>
 
+#include "temporal/decay.hpp"
 #include "util/check.hpp"
 #include "util/top_k.hpp"
 
 namespace figdb::recsys {
+namespace {
+
+/// Sum of decayed occurrence stamps (Eq. 10, summed over the clique's
+/// appearances in Hu). Routed through temporal::DecayWeight — the SAME
+/// kernel the segmented store applies at merge time — so the fig10/fig11
+/// `--segmented` cross-check compares like against like.
+double DecayedOccurrenceWeight(double delta,
+                               const std::vector<std::uint16_t>& months,
+                               std::uint16_t current_month) {
+  double weight = 0.0;
+  for (std::uint16_t month : months)
+    weight += temporal::DecayWeight(delta, int(current_month) - int(month));
+  return weight;
+}
+
+}  // namespace
 
 FigRecommender::FigRecommender(
     const corpus::Corpus& corpus,
@@ -30,13 +46,8 @@ double FigRecommender::ScoreWith(const core::PotentialEvaluator& potential,
   double total = 0.0;
   core::Clique scratch;
   for (const ProfileClique& pc : profile.cliques) {
-    // Occurrence weight: sum of decayed occurrence stamps (Eq. 10, summed
-    // over the clique's appearances in Hu).
-    double weight = 0.0;
-    for (std::uint16_t month : pc.months) {
-      const int age = int(current_month) - int(month);
-      weight += std::pow(options_.decay, double(std::max(age, 0)));
-    }
+    const double weight =
+        DecayedOccurrenceWeight(options_.decay, pc.months, current_month);
     if (weight <= 0.0) continue;
     scratch.features = pc.features;  // Phi needs a core::Clique view
     const double phi = potential.Phi(scratch, obj);
@@ -63,11 +74,8 @@ std::vector<FigRecommender::Explanation> FigRecommender::Explain(
   std::vector<Explanation> all;
   core::Clique scratch;
   for (const ProfileClique& pc : profile.cliques) {
-    double weight = 0.0;
-    for (std::uint16_t month : pc.months) {
-      const int age = int(current_month) - int(month);
-      weight += std::pow(options_.decay, double(std::max(age, 0)));
-    }
+    const double weight =
+        DecayedOccurrenceWeight(options_.decay, pc.months, current_month);
     if (weight <= 0.0) continue;
     scratch.features = pc.features;
     const double phi = full_->Phi(scratch, obj);
@@ -151,11 +159,8 @@ core::SearchResponse FigRecommender::RecommendWithBudget(
   core::Clique scratch;
   for (std::size_t c = 0; c < n; ++c) {
     const ProfileClique& pc = profile.cliques[c];
-    double decayed = 0.0;
-    for (std::uint16_t month : pc.months) {
-      const int age = int(current_month) - int(month);
-      decayed += std::pow(options_.decay, double(std::max(age, 0)));
-    }
+    const double decayed =
+        DecayedOccurrenceWeight(options_.decay, pc.months, current_month);
     scratch.features = pc.features;
     static_weight[c] = decayed *
                        exact_->LambdaFor(pc.features.size()) *

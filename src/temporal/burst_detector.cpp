@@ -1,0 +1,66 @@
+#include "temporal/burst_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace figdb::temporal {
+
+BurstDetector::BurstDetector(BurstOptions options) : options_(options) {}
+
+void BurstDetector::ObserveObject(const corpus::MediaObject& obj) {
+  const std::uint32_t epoch = obj.month;
+  max_epoch_ = std::max(max_epoch_, epoch);
+  ++observed_objects_;
+  for (const corpus::FeatureOccurrence& f : obj.features) {
+    std::vector<std::uint64_t>& per_epoch = counts_[f.feature];
+    if (per_epoch.size() <= epoch) per_epoch.resize(epoch + 1, 0);
+    per_epoch[epoch] += f.frequency;
+  }
+}
+
+std::uint64_t BurstDetector::CountOf(corpus::FeatureKey feature,
+                                     std::uint32_t epoch) const {
+  auto it = counts_.find(feature);
+  if (it == counts_.end() || it->second.size() <= epoch) return 0;
+  return it->second[epoch];
+}
+
+std::vector<BurstEvent> BurstDetector::Detect() const {
+  std::vector<BurstEvent> events;
+  for (const auto& [feature, per_epoch] : counts_) {
+    // Trailing prefix sums let every epoch's baseline come from one pass.
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::uint32_t e = 0; e < per_epoch.size(); ++e) {
+      const double count = double(per_epoch[e]);
+      if (e >= options_.min_baseline_epochs &&
+          per_epoch[e] >= options_.min_support) {
+        const double n = double(e);
+        const double mean = sum / n;
+        const double variance = std::max(sum_sq / n - mean * mean, 0.0);
+        const double stddev = std::sqrt(variance);
+        const double z = (count - mean) / std::max(stddev, 1.0);
+        if (z >= options_.threshold) {
+          BurstEvent ev;
+          ev.feature = feature;
+          ev.epoch = e;
+          ev.count = per_epoch[e];
+          ev.baseline_mean = mean;
+          ev.baseline_stddev = stddev;
+          ev.score = z;
+          events.push_back(ev);
+        }
+      }
+      sum += count;
+      sum_sq += count * count;
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const BurstEvent& a, const BurstEvent& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              return a.feature < b.feature;
+            });
+  return events;
+}
+
+}  // namespace figdb::temporal

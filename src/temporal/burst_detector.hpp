@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/media_object.hpp"
+
+/// \file burst_detector.hpp
+/// Social event detection over the ingest stream, following the
+/// interaction-graph burst formulation of Wang/Sundaram/Xie
+/// (arXiv:1208.2547): an *event* is a feature (tag / visual word / user
+/// edge) whose occurrence rate in some epoch spikes far above its own
+/// trailing baseline.
+///
+/// The detector keeps one counter per (feature, epoch) — fed object by
+/// object, in any order, across segment boundaries (the SegmentedStore
+/// replays every segment's corpus through it at recovery and forwards
+/// live ingest). Scoring is a z-score against the trailing per-feature
+/// baseline:
+///
+///   z(f, e) = (count(f, e) − mean(f, <e)) / max(stddev(f, <e), 1)
+///
+/// with a minimum-support floor so one-off rare tags don't alert. The
+/// stddev floor of 1 count makes flat-zero baselines well-defined and
+/// demands at least `min_support` raw occurrences regardless of history.
+/// Detection is deterministic: events order by (score desc, epoch asc,
+/// feature asc).
+
+namespace figdb::temporal {
+
+struct BurstOptions {
+  /// Epochs of history required before an epoch may alert (the baseline).
+  std::uint32_t min_baseline_epochs = 2;
+  /// Raw occurrences in the epoch required before it may alert.
+  std::uint32_t min_support = 8;
+  /// z-score at or above which a (feature, epoch) becomes an event.
+  double threshold = 3.0;
+};
+
+/// One detected burst: feature `feature` spiked in epoch `epoch`.
+struct BurstEvent {
+  corpus::FeatureKey feature = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t count = 0;       ///< occurrences in the bursting epoch
+  double baseline_mean = 0.0;    ///< trailing mean occurrences per epoch
+  double baseline_stddev = 0.0;  ///< trailing stddev (before the 1.0 floor)
+  double score = 0.0;            ///< z-score against the trailing baseline
+
+  bool operator==(const BurstEvent&) const = default;
+};
+
+class BurstDetector {
+ public:
+  explicit BurstDetector(BurstOptions options = {});
+
+  /// Accumulates every feature occurrence of \p obj into the epoch bucket
+  /// given by the object's month. Safe to call in any epoch order (the
+  /// clock-skew fault matrix feeds out-of-order months through here).
+  void ObserveObject(const corpus::MediaObject& obj);
+
+  /// Raw occurrence count for (feature, epoch). Zero when never seen.
+  std::uint64_t CountOf(corpus::FeatureKey feature, std::uint32_t epoch) const;
+
+  /// Scans every tracked feature over epochs [min_baseline_epochs,
+  /// max observed epoch] and returns the scored events, ordered by
+  /// (score desc, epoch asc, feature asc).
+  std::vector<BurstEvent> Detect() const;
+
+  const BurstOptions& Options() const { return options_; }
+  std::uint64_t ObservedObjects() const { return observed_objects_; }
+
+ private:
+  BurstOptions options_;
+  std::uint32_t max_epoch_ = 0;
+  std::uint64_t observed_objects_ = 0;
+  /// feature -> per-epoch occurrence counts (indexed by epoch, ragged).
+  std::unordered_map<corpus::FeatureKey, std::vector<std::uint64_t>> counts_;
+};
+
+}  // namespace figdb::temporal

@@ -1,0 +1,52 @@
+#include "temporal/burst_eval.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace figdb::temporal {
+
+BurstEvalResult EvaluateBursts(const std::vector<BurstEvent>& events,
+                               const std::vector<corpus::BurstLabel>& labels) {
+  BurstEvalResult out;
+
+  // term FeatureKey -> indices of labels claiming it. A term can appear in
+  // several labels (topics share no tag pools, but windows may overlap a
+  // re-used topic across datasets), so keep the full list.
+  std::unordered_map<corpus::FeatureKey, std::vector<std::size_t>> claims;
+  std::vector<bool> recalled(labels.size(), false);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i].terms.empty()) continue;  // fully pruned: unmatchable
+    ++out.labels;
+    for (corpus::FeatureKey term : labels[i].terms)
+      claims[term].push_back(i);
+  }
+
+  for (const BurstEvent& e : events) {
+    if (corpus::TypeOf(e.feature) != corpus::FeatureType::kText) continue;
+    ++out.detected_text;
+    auto it = claims.find(e.feature);
+    if (it == claims.end()) continue;
+    bool matched = false;
+    for (std::size_t i : it->second) {
+      const auto& epochs = labels[i].epochs;
+      if (std::find(epochs.begin(), epochs.end(), e.epoch) == epochs.end())
+        continue;
+      matched = true;
+      if (!recalled[i]) {
+        recalled[i] = true;
+        ++out.recalled_labels;
+      }
+    }
+    if (matched) ++out.matched_events;
+  }
+
+  out.precision = out.detected_text == 0
+                      ? 1.0
+                      : double(out.matched_events) / double(out.detected_text);
+  out.recall = out.labels == 0
+                   ? 1.0
+                   : double(out.recalled_labels) / double(out.labels);
+  return out;
+}
+
+}  // namespace figdb::temporal

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "temporal/burst_detector.hpp"
+
+/// \file burst_eval.hpp
+/// Precision/recall of detected burst events against the generator's
+/// injected ground truth (corpus::BurstLabel).
+///
+/// Scoring is restricted to TEXT features: the labels name tag terms, and
+/// an injected burst legitimately drags correlated user and visual
+/// features up with it (the topic's favouriters spike too), so counting
+/// those unlabeled-but-real detections as false positives would punish
+/// the detector for being right.
+///
+///   precision = matched text events / detected text events
+///   recall    = labels with >= 1 matching event / labels
+///
+/// where a text event (feature, epoch) MATCHES a label when the feature
+/// is one of the label's terms and the epoch falls in its window.
+
+namespace figdb::temporal {
+
+struct BurstEvalResult {
+  std::size_t labels = 0;           ///< labels with >= 1 surviving term
+  std::size_t detected_text = 0;    ///< detected text-feature events
+  std::size_t matched_events = 0;   ///< text events matching some label
+  std::size_t recalled_labels = 0;  ///< labels with >= 1 matching event
+  double precision = 0.0;  ///< 1.0 when nothing was detected (vacuous)
+  double recall = 0.0;     ///< 1.0 when there are no labels (vacuous)
+};
+
+BurstEvalResult EvaluateBursts(const std::vector<BurstEvent>& events,
+                               const std::vector<corpus::BurstLabel>& labels);
+
+}  // namespace figdb::temporal

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+/// \file decay.hpp
+/// The one δ-decay kernel shared by every temporal scorer in the tree.
+///
+/// FIG-T (PAPER.md Eq. 10) weights an interest observed at epoch t when
+/// scoring at epoch `now` by δ^(now−t), δ ∈ (0, 1]. Three call sites used
+/// to inline `std::pow(decay, ...)` independently (recsys scoring,
+/// explanation, and budgeted recommendation); the segmented store adds a
+/// fourth (merge-time per-segment weights). Any drift between them breaks
+/// the fig10/fig11 `--segmented` cross-check, so they all route here.
+///
+/// The factorization the merge-time path relies on:
+///
+///   δ^(now−t) = δ^(now−ref) · δ^(ref−t)
+///
+/// holds exactly in the reals but NOT bit-exactly in floating point
+/// (pow does not factor). A single segment uses ref == now (weight 1.0)
+/// and is therefore bit-identical to exhaustive rescoring; multi-segment
+/// results agree within a relative 1e-9 (documented and asserted by
+/// tests/temporal_test.cpp across segment counts {1,2,4,8}).
+
+namespace figdb::temporal {
+
+/// δ^max(age, 0): the paper's decay for an observation `age` epochs old.
+/// Future-dated observations (negative age, e.g. clock skew) are clamped
+/// to weight 1.0 rather than amplified.
+inline double DecayWeight(double delta, int age) {
+  return std::pow(delta, double(std::max(age, 0)));
+}
+
+/// Convenience for the common (now, then) epoch pair.
+inline double DecayWeightAt(double delta, std::uint32_t now_epoch,
+                            std::uint32_t then_epoch) {
+  return DecayWeight(delta, int(now_epoch) - int(then_epoch));
+}
+
+}  // namespace figdb::temporal

@@ -1,0 +1,115 @@
+#include "temporal/segment_manifest.hpp"
+
+#include <unordered_set>
+
+#include "util/crc32.hpp"
+#include "util/serde.hpp"
+
+namespace figdb::temporal {
+
+using util::Status;
+using util::StatusOr;
+
+std::string SerializeSegmentManifest(const SegmentManifest& manifest) {
+  util::BinaryWriter payload;
+  payload.PutVarint(manifest.generation);
+  payload.PutVarint(manifest.segments.size());
+  for (const SegmentEntry& seg : manifest.segments) {
+    payload.PutVarint(seg.id);
+    payload.PutVarint(seg.min_epoch);
+    payload.PutVarint(seg.max_epoch);
+    payload.PutVarint(seg.base);
+    payload.PutVarint(seg.count);
+    payload.PutU8(static_cast<std::uint8_t>(seg.state));
+  }
+
+  util::BinaryWriter out;
+  out.PutFixed32(kSegmentManifestMagic);
+  out.PutFixed32(kSegmentManifestVersion);
+  out.PutFixed32(util::Crc32(payload.Buffer()));
+  out.PutRaw(payload.Buffer());
+  return out.Take();
+}
+
+StatusOr<SegmentManifest> ParseSegmentManifest(std::string_view bytes) {
+  if (bytes.size() < 12)
+    return Status::DataLoss("segment manifest truncated (" +
+                            std::to_string(bytes.size()) + " bytes)");
+  util::BinaryReader header(bytes.substr(0, 12));
+  const std::uint32_t magic = header.GetFixed32();
+  const std::uint32_t version = header.GetFixed32();
+  const std::uint32_t stored_crc = header.GetFixed32();
+  if (magic != kSegmentManifestMagic)
+    return Status::InvalidArgument("not a figdb segment manifest");
+  if (version != kSegmentManifestVersion)
+    return Status::InvalidArgument("unsupported segment manifest version " +
+                                   std::to_string(version) + " (expected " +
+                                   std::to_string(kSegmentManifestVersion) +
+                                   ")");
+  const std::string_view payload = bytes.substr(12);
+  if (util::Crc32(payload) != stored_crc)
+    return Status::DataLoss("segment manifest CRC mismatch");
+
+  util::BinaryReader reader(payload);
+  SegmentManifest manifest;
+  manifest.generation = reader.GetVarint();
+  const std::uint64_t num_segments = reader.GetVarint();
+  if (!reader.Ok())
+    return Status::DataLoss("segment manifest payload truncated");
+  if (manifest.generation == 0)
+    return Status::InvalidArgument("segment manifest generation must be >= 1");
+  if (num_segments > kMaxSegments)
+    return Status::InvalidArgument(
+        "segment manifest num_segments " + std::to_string(num_segments) +
+        " exceeds " + std::to_string(kMaxSegments));
+  manifest.segments.reserve(static_cast<std::size_t>(num_segments));
+  std::unordered_set<std::uint32_t> seen_ids;
+  for (std::uint64_t i = 0; i < num_segments; ++i) {
+    SegmentEntry seg;
+    seg.id = static_cast<std::uint32_t>(reader.GetVarint());
+    seg.min_epoch = static_cast<std::uint32_t>(reader.GetVarint());
+    seg.max_epoch = static_cast<std::uint32_t>(reader.GetVarint());
+    seg.base = reader.GetVarint();
+    seg.count = reader.GetVarint();
+    const std::uint8_t state = reader.GetU8();
+    if (!reader.Ok())
+      return Status::DataLoss("segment manifest payload truncated in entry " +
+                              std::to_string(i));
+    if (state > static_cast<std::uint8_t>(SegmentState::kTombstoned))
+      return Status::InvalidArgument("unknown segment state " +
+                                     std::to_string(state) + " in entry " +
+                                     std::to_string(i));
+    seg.state = static_cast<SegmentState>(state);
+    if (seg.max_epoch < seg.min_epoch)
+      return Status::InvalidArgument(
+          "segment " + std::to_string(seg.id) + " epoch range [" +
+          std::to_string(seg.min_epoch) + ", " + std::to_string(seg.max_epoch) +
+          "] is inverted");
+    if (!seen_ids.insert(seg.id).second)
+      return Status::InvalidArgument("duplicate segment id " +
+                                     std::to_string(seg.id));
+    if (!manifest.segments.empty()) {
+      const SegmentEntry& prev = manifest.segments.back();
+      if (seg.base < prev.base + prev.count)
+        return Status::InvalidArgument(
+            "segment " + std::to_string(seg.id) + " base " +
+            std::to_string(seg.base) + " overlaps the previous id range");
+      if (seg.min_epoch < prev.max_epoch)
+        return Status::InvalidArgument(
+            "segment " + std::to_string(seg.id) + " epochs regress below " +
+            "segment " + std::to_string(prev.id) + "'s max epoch");
+      if (prev.state == SegmentState::kActive)
+        return Status::InvalidArgument(
+            "segment " + std::to_string(prev.id) +
+            " is active but not the last segment");
+    }
+    manifest.segments.push_back(seg);
+  }
+  if (reader.Remaining() != 0)
+    return Status::InvalidArgument(
+        "segment manifest carries " + std::to_string(reader.Remaining()) +
+        " trailing bytes");
+  return manifest;
+}
+
+}  // namespace figdb::temporal

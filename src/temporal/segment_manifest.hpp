@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+/// \file segment_manifest.hpp
+/// The temporal store's segment manifest — the single source of truth for
+/// which time-bucketed segments are live, sealed, or tombstoned.
+///
+/// A segmented store directory looks like
+///
+///   <dir>/SEGMENTS           this file (written via util/atomic_file)
+///   <dir>/seg-<id>/          one FigDbStore per segment
+///
+/// Each segment owns a contiguous global-id range [base, base+count) and a
+/// closed epoch range [min_epoch, max_epoch] (epochs are the corpus month
+/// ticks). At most one segment is ACTIVE (mutable, taking ingest); all
+/// earlier segments are SEALED (immutable — the figdb-lint rule
+/// `segment-timestamp-monotonicity` enforces that only the segment clock
+/// inside src/temporal appends to segment stores). Retention tombstones a
+/// sealed segment FIRST (the commit point: an atomically-replaced SEGMENTS
+/// naming it kTombstoned), THEN deletes its directory, THEN commits a
+/// clean manifest without it. Recovery keeps exactly the non-tombstoned
+/// segments the manifest names, finishes deleting tombstoned ones, and
+/// sweeps unlisted seg-* trees — either the old window or the new one,
+/// never a mix (same discipline as the shard rebalance manifest).
+///
+/// Framing (all little-endian, mirroring the shard manifest format):
+///   fixed32  magic      0xf19d7e55
+///   fixed32  version    1
+///   fixed32  crc32      over the payload bytes
+///   payload: varint generation (>= 1)
+///            varint num_segments (0 .. kMaxSegments)
+///            per segment:
+///              varint id
+///              varint min_epoch
+///              varint max_epoch  (>= min_epoch)
+///              varint base      (global-id base; strictly increasing)
+///              varint count
+///              u8     state     (SegmentState)
+/// Segment ids must be unique (NOT necessarily sorted: a merge of old
+/// sealed segments mints a fresh id that sits earliest in base order),
+/// bases must be strictly increasing and non-overlapping, epochs must be
+/// non-overlapping and non-decreasing across segments, and only the LAST
+/// segment may be kActive. Trailing bytes after the payload are rejected. ParseSegmentManifest is the one untrusted-bytes entry point —
+/// the fuzz_segment_manifest target and the recovery path share it.
+
+namespace figdb::temporal {
+
+inline constexpr std::uint32_t kSegmentManifestMagic = 0xf19d7e55;
+inline constexpr std::uint32_t kSegmentManifestVersion = 1;
+/// Hard ceiling on live segments; manifests beyond it are malformed.
+inline constexpr std::uint32_t kMaxSegments = 4096;
+
+/// Lifecycle of one time bucket. kActive takes ingest; kSealed is
+/// immutable and serves; kTombstoned is logically deleted — recovery
+/// finishes removing its directory and drops it from the next manifest.
+enum class SegmentState : std::uint8_t {
+  kActive = 0,
+  kSealed = 1,
+  kTombstoned = 2,
+};
+
+struct SegmentEntry {
+  std::uint32_t id = 0;
+  std::uint32_t min_epoch = 0;
+  std::uint32_t max_epoch = 0;
+  std::uint64_t base = 0;   ///< first global object id owned by the segment
+  std::uint64_t count = 0;  ///< number of global ids owned (may be 0)
+  SegmentState state = SegmentState::kActive;
+
+  bool operator==(const SegmentEntry&) const = default;
+};
+
+struct SegmentManifest {
+  std::uint64_t generation = 1;
+  std::vector<SegmentEntry> segments;
+
+  bool operator==(const SegmentManifest&) const = default;
+};
+
+std::string SerializeSegmentManifest(const SegmentManifest& manifest);
+
+/// Rejects with kInvalidArgument (wrong magic/version/ranges/ordering/
+/// trailing bytes) or kDataLoss (CRC mismatch, truncation). Accepted
+/// manifests round-trip: Parse(Serialize(m)) == m.
+[[nodiscard]] util::StatusOr<SegmentManifest> ParseSegmentManifest(
+    std::string_view bytes);
+
+}  // namespace figdb::temporal

@@ -1,0 +1,665 @@
+#include "temporal/segmented_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <unordered_set>
+#include <utility>
+
+#include "temporal/decay.hpp"
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+#include "util/failpoint.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace figdb::temporal {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+/// Read-only whole-file slurp (the manifest is tiny). kNotFound when the
+/// file does not exist, kUnavailable on a read error.
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string bytes;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::Unavailable("read error on " + path);
+  return bytes;
+}
+
+/// One numbered crash site of the seal-and-roll / merge protocol. Firing
+/// simulates the process dying here: the caller aborts with kUnavailable
+/// and the test harness re-opens the directory through Recover().
+Status MergeCrashPoint(const std::string& site) {
+  if (FIGDB_FAILPOINT("temporal/merge_crash"))
+    return Status::Unavailable("injected segment-merge crash " + site);
+  return Status::Ok();
+}
+
+/// Same shape for the retention protocol's numbered crash sites.
+Status RetentionCrashPoint(const std::string& site) {
+  if (FIGDB_FAILPOINT("temporal/retention_crash"))
+    return Status::Unavailable("injected retention crash " + site);
+  return Status::Ok();
+}
+
+/// Deletes every seg-* subtree of \p dir whose id is not in \p keep.
+/// Unparsable seg-* names are junk from no committed state and go too.
+/// Best-effort (recovery re-runs it).
+void SweepSegmentDirs(const std::string& dir,
+                      const std::unordered_set<std::uint32_t>& keep) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) != 0) continue;
+    const std::string suffix = name.substr(4);
+    char* end = nullptr;
+    const unsigned long id = std::strtoul(suffix.c_str(), &end, 10);
+    const bool parsed = end != nullptr && *end == '\0' && !suffix.empty();
+    if (parsed && keep.count(static_cast<std::uint32_t>(id)) != 0) continue;
+    std::filesystem::remove_all(entry.path(), ec);
+  }
+}
+
+/// Final deterministic order of every decayed answer: score desc, id asc
+/// (the TemporalMerger's order, applied to the reference path too so the
+/// two are comparable entry by entry).
+void SortByScoreThenId(std::vector<core::SearchResult>& results) {
+  std::sort(results.begin(), results.end(),
+            [](const core::SearchResult& a, const core::SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.object < b.object;
+            });
+}
+
+}  // namespace
+
+std::string SegmentedStore::ManifestPath(const std::string& dir) {
+  return dir + "/SEGMENTS";
+}
+std::string SegmentedStore::SegmentDir(const std::string& dir,
+                                       std::uint32_t id) {
+  return dir + "/seg-" + std::to_string(id);
+}
+
+StatusOr<SegmentedStore> SegmentedStore::Create(const std::string& dir,
+                                                const corpus::Corpus& base,
+                                                Options options) {
+  if (options.epochs_per_segment == 0)
+    return Status::InvalidArgument("epochs_per_segment must be >= 1");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    return Status::Unavailable("cannot create " + dir + ": " + ec.message());
+  if (std::filesystem::exists(ManifestPath(dir)))
+    return Status::FailedPrecondition(dir +
+                                      " already holds a segmented store");
+  // A crashed earlier Create may have left segment directories with no
+  // manifest; without a manifest nothing was ever committed.
+  SweepSegmentDirs(dir, {});
+
+  // Re-id the base corpus in (epoch, original id) order so every segment
+  // owns a contiguous global-id range — the store's canonical ordering.
+  const std::uint32_t eps = options.epochs_per_segment;
+  std::vector<corpus::ObjectId> order(base.Size());
+  for (corpus::ObjectId i = 0; i < base.Size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](corpus::ObjectId a, corpus::ObjectId b) {
+                     return base.Object(a).month < base.Object(b).month;
+                   });
+
+  SegmentManifest manifest;
+  manifest.generation = 1;
+  corpus::Corpus union_corpus = base.Prefix(0);
+  std::vector<index::FigDbStore> stores;
+  std::size_t i = 0;
+  std::uint32_t next_id = 0;
+  while (i < order.size() || manifest.segments.empty()) {
+    // One pass per epoch bucket actually present (plus one empty active
+    // segment for an empty base, so the store always has a clock).
+    const std::uint32_t bucket =
+        i < order.size() ? base.Object(order[i]).month / eps : 0;
+    SegmentEntry entry;
+    entry.id = next_id++;
+    entry.min_epoch = bucket * eps;
+    entry.max_epoch = bucket * eps + eps - 1;
+    entry.base = union_corpus.Size();
+    corpus::Corpus sc = base.Prefix(0);
+    while (i < order.size() && base.Object(order[i]).month / eps == bucket) {
+      sc.Add(base.Object(order[i]));
+      union_corpus.Add(base.Object(order[i]));
+      ++i;
+    }
+    entry.count = sc.Size();
+    entry.state =
+        i < order.size() ? SegmentState::kSealed : SegmentState::kActive;
+    auto store = index::FigDbStore::Create(SegmentDir(dir, entry.id), sc,
+                                           options.store);
+    if (!store.ok()) return store.status();
+    stores.push_back(std::move(*store));
+    manifest.segments.push_back(entry);
+  }
+
+  // Commit point: the manifest names the segment set only after every
+  // segment store is fully durable.
+  FIGDB_RETURN_IF_ERROR(util::AtomicWriteFile(
+      ManifestPath(dir), SerializeSegmentManifest(manifest)));
+  FIGDB_RETURN_IF_ERROR(util::SyncParentDirectory(ManifestPath(dir)));
+  return Open(dir, std::move(manifest), std::move(options), std::move(stores),
+              union_corpus);
+}
+
+StatusOr<SegmentedStore> SegmentedStore::Recover(const std::string& dir,
+                                                 Options options) {
+  if (options.epochs_per_segment == 0)
+    return Status::InvalidArgument("epochs_per_segment must be >= 1");
+  auto manifest_bytes = ReadFileBytes(ManifestPath(dir));
+  if (!manifest_bytes.ok())
+    return Status::NotFound("no segmented store at " + dir + " (" +
+                            manifest_bytes.status().message() + ")");
+  auto parsed = ParseSegmentManifest(*manifest_bytes);
+  FIGDB_RETURN_IF_ERROR(parsed.status());
+  SegmentManifest manifest = std::move(*parsed);
+  if (manifest.segments.empty())
+    return Status::DataLoss("segment manifest names no segments");
+
+  // Finish an interrupted retention: a tombstoned entry is logically gone
+  // (the tombstone commit WAS the commit point), so delete whatever is
+  // left of its directory and drop it from the manifest.
+  std::error_code ec;
+  bool had_tombstones = false;
+  std::vector<SegmentEntry> live;
+  for (const SegmentEntry& entry : manifest.segments) {
+    if (entry.state == SegmentState::kTombstoned) {
+      std::filesystem::remove_all(SegmentDir(dir, entry.id), ec);
+      had_tombstones = true;
+    } else {
+      live.push_back(entry);
+    }
+  }
+  if (had_tombstones) {
+    manifest.segments = std::move(live);
+    if (manifest.segments.empty())
+      return Status::DataLoss(
+          "segment manifest holds only tombstones; the active segment is "
+          "missing");
+    manifest.generation += 1;
+    FIGDB_RETURN_IF_ERROR(util::AtomicWriteFile(
+        ManifestPath(dir), SerializeSegmentManifest(manifest)));
+    FIGDB_RETURN_IF_ERROR(util::SyncParentDirectory(ManifestPath(dir)));
+  }
+
+  std::unordered_set<std::uint32_t> keep;
+  for (const SegmentEntry& entry : manifest.segments) keep.insert(entry.id);
+  SweepSegmentDirs(dir, keep);
+
+  std::vector<index::FigDbStore> stores;
+  stores.reserve(manifest.segments.size());
+  for (SegmentEntry& entry : manifest.segments) {
+    auto store =
+        index::FigDbStore::Recover(SegmentDir(dir, entry.id), options.store);
+    if (!store.ok())
+      return Status{store.status().code(),
+                    "segment " + std::to_string(entry.id) + ": " +
+                        std::string(store.status().message())};
+    const std::size_t got = store->GetCorpus().Size();
+    if (entry.state == SegmentState::kSealed) {
+      // Sealed segments are immutable: any size drift means a directory
+      // from a different lineage was swapped in.
+      if (got != entry.count)
+        return Status::DataLoss("sealed segment " + std::to_string(entry.id) +
+                                " holds " + std::to_string(got) +
+                                " objects, manifest requires " +
+                                std::to_string(entry.count));
+    } else {
+      // The active segment may have ingested past the last manifest write
+      // (its WAL replays them); it can never hold less.
+      if (got < entry.count)
+        return Status::DataLoss("active segment " + std::to_string(entry.id) +
+                                " holds " + std::to_string(got) +
+                                " objects, manifest requires at least " +
+                                std::to_string(entry.count));
+      entry.count = got;
+    }
+    stores.push_back(std::move(*store));
+  }
+
+  // Rebuild the union corpus in global-id order so the statistics lineage
+  // is re-derived exactly as Create derived it (bit-identity across
+  // restarts).
+  corpus::Corpus union_corpus = stores[0].GetCorpus().Prefix(0);
+  for (const index::FigDbStore& store : stores)
+    for (corpus::ObjectId l = 0; l < store.GetCorpus().Size(); ++l)
+      union_corpus.Add(store.GetCorpus().Object(l));
+  return Open(dir, std::move(manifest), std::move(options), std::move(stores),
+              union_corpus);
+}
+
+SegmentedStore SegmentedStore::Open(std::string dir, SegmentManifest manifest,
+                                    Options options,
+                                    std::vector<index::FigDbStore> stores,
+                                    const corpus::Corpus& union_corpus) {
+  FIGDB_CHECK(manifest.segments.size() == stores.size());
+  SegmentedStore out;
+  out.dir_ = std::move(dir);
+  out.options_ = std::move(options);
+  out.matrix_ = std::make_shared<const stats::FeatureMatrix>(
+      stats::FeatureMatrix::Build(union_corpus));
+  out.correlations_ = std::make_shared<const stats::CorrelationModel>(
+      union_corpus.SharedContext(), out.matrix_,
+      out.options_.engine.correlations);
+  out.detector_ = BurstDetector(out.options_.burst);
+  out.segments_.reserve(stores.size());
+  for (std::size_t s = 0; s < stores.size(); ++s) {
+    index::CliqueIndex qi = index::CliqueIndex::Build(
+        stores[s].GetCorpus(), *out.correlations_, out.options_.engine.index);
+    out.segments_.push_back(std::make_unique<Segment>(
+        manifest.segments[s], std::move(stores[s]), std::move(qi)));
+  }
+  out.manifest_ = std::move(manifest);
+  out.clock_epoch_ = out.segments_.back()->entry.min_epoch;
+  for (corpus::ObjectId g = 0; g < union_corpus.Size(); ++g) {
+    const corpus::MediaObject& obj = union_corpus.Object(g);
+    out.clock_epoch_ = std::max(out.clock_epoch_, std::uint32_t(obj.month));
+    out.detector_.ObserveObject(obj);
+  }
+  return out;
+}
+
+Status SegmentedStore::CommitManifest(const SegmentManifest& manifest) {
+  FIGDB_RETURN_IF_ERROR(util::AtomicWriteFile(
+      ManifestPath(dir_), SerializeSegmentManifest(manifest)));
+  return util::SyncParentDirectory(ManifestPath(dir_));
+}
+
+Status SegmentedStore::RollActiveSegment(std::uint32_t month) {
+  Segment& old_active = Active();
+  FIGDB_RETURN_IF_ERROR(MergeCrashPoint(
+      "seal: before checkpoint of segment " +
+      std::to_string(old_active.entry.id)));
+  // Seal = compact through the checkpoint path: the WAL folds into one
+  // atomic checkpoint, so the sealed segment recovers without replay.
+  FIGDB_RETURN_IF_ERROR(old_active.store.Checkpoint());
+
+  const std::uint32_t eps = options_.epochs_per_segment;
+  std::uint32_t next_id = 0;
+  for (const SegmentEntry& e : manifest_.segments)
+    next_id = std::max(next_id, e.id + 1);
+  SegmentEntry next;
+  next.id = next_id;
+  next.min_epoch = (month / eps) * eps;
+  next.max_epoch = next.min_epoch + eps - 1;
+  next.base = old_active.entry.base + old_active.store.GetCorpus().Size();
+  next.count = 0;
+  next.state = SegmentState::kActive;
+
+  FIGDB_RETURN_IF_ERROR(MergeCrashPoint("seal: before creating segment " +
+                                        std::to_string(next.id)));
+  auto store = index::FigDbStore::Create(
+      SegmentDir(dir_, next.id), old_active.store.GetCorpus().Prefix(0),
+      options_.store);
+  if (!store.ok()) return store.status();
+
+  // Single commit point: one atomic SEGMENTS replace both finalises the
+  // sealed entry (state + final count) and opens the next bucket. A crash
+  // on either side leaves old-or-new: before it the manifest still names
+  // the old active segment and recovery sweeps seg-<next>; after it the
+  // roll is fully visible.
+  SegmentManifest next_manifest = manifest_;
+  next_manifest.generation += 1;
+  next_manifest.segments.back().state = SegmentState::kSealed;
+  next_manifest.segments.back().count = old_active.store.GetCorpus().Size();
+  next_manifest.segments.push_back(next);
+  FIGDB_RETURN_IF_ERROR(MergeCrashPoint("seal: before manifest commit"));
+  FIGDB_RETURN_IF_ERROR(CommitManifest(next_manifest));
+  manifest_ = std::move(next_manifest);
+
+  old_active.entry = manifest_.segments[manifest_.segments.size() - 2];
+  index::CliqueIndex qi = index::CliqueIndex::Build(
+      store->GetCorpus(), *correlations_, options_.engine.index);
+  segments_.push_back(
+      std::make_unique<Segment>(next, std::move(*store), std::move(qi)));
+  union_dirty_ = true;
+  return MergeCrashPoint("seal: after manifest commit");
+}
+
+StatusOr<corpus::ObjectId> SegmentedStore::Ingest(corpus::MediaObject object) {
+  if (FIGDB_FAILPOINT("temporal/clock_skew")) {
+    // Deterministic out-of-order producer: rewind the timestamp below the
+    // active segment's floor so the clamp path must fire.
+    const std::uint32_t floor = Active().entry.min_epoch;
+    object.month = floor > 0 ? static_cast<std::uint16_t>(floor - 1) : 0;
+  }
+  if (std::uint32_t(object.month) < Active().entry.min_epoch) {
+    // Late arrival from before the active bucket: the segment clock is
+    // authoritative, so the object is credited to the bucket floor (the
+    // epoch invariant of the manifest admits nothing earlier).
+    object.month = static_cast<std::uint16_t>(Active().entry.min_epoch);
+    ++skew_clamped_;
+  }
+  const std::uint32_t eps = options_.epochs_per_segment;
+  if (std::uint32_t(object.month) / eps > Active().entry.min_epoch / eps)
+    FIGDB_RETURN_IF_ERROR(RollActiveSegment(object.month));
+
+  Segment& seg = Active();
+  auto local = seg.store.Ingest(std::move(object));
+  if (!local.ok()) return local.status();
+  const corpus::MediaObject& stored = seg.store.GetCorpus().Object(*local);
+  {
+    util::ScopedRole writer(seg.query_index.WriterCap());
+    seg.query_index.AddObject(stored, *correlations_);
+  }
+  seg.entry.count = seg.store.GetCorpus().Size();
+  seg.dirty = true;
+  union_dirty_ = true;
+  detector_.ObserveObject(stored);
+  clock_epoch_ = std::max(clock_epoch_, std::uint32_t(stored.month));
+  return static_cast<corpus::ObjectId>(seg.entry.base) + *local;
+}
+
+Status SegmentedStore::Remove(corpus::ObjectId global_id) {
+  for (auto& seg_ptr : segments_) {
+    Segment& seg = *seg_ptr;
+    if (global_id < seg.entry.base ||
+        global_id >= seg.entry.base + seg.entry.count)
+      continue;
+    if (seg.entry.state != SegmentState::kActive)
+      return Status::FailedPrecondition(
+          "global id " + std::to_string(global_id) + " lives in sealed "
+          "segment " + std::to_string(seg.entry.id) +
+          "; sealed segments are immutable (objects leave via retention)");
+    const auto local =
+        static_cast<corpus::ObjectId>(global_id - seg.entry.base);
+    FIGDB_RETURN_IF_ERROR(seg.store.Remove(local));
+    {
+      util::ScopedRole writer(seg.query_index.WriterCap());
+      seg.query_index.RemoveObject(local);
+    }
+    seg.dirty = true;
+    union_dirty_ = true;
+    return Status::Ok();
+  }
+  return Status::NotFound("global id " + std::to_string(global_id) +
+                          " is not owned by any live segment");
+}
+
+Status SegmentedStore::Checkpoint() {
+  for (auto& seg : segments_) {
+    Status st = seg->store.Checkpoint();
+    if (!st.ok())
+      return Status{st.code(), "segment " + std::to_string(seg->entry.id) +
+                                   ": " + std::string(st.message())};
+  }
+  return Status::Ok();
+}
+
+Status SegmentedStore::RunRetention(std::uint32_t now_epoch) {
+  if (options_.retention_epochs == 0) return Status::Ok();
+  std::vector<std::uint32_t> victims;
+  for (const auto& seg : segments_)
+    if (seg->entry.state == SegmentState::kSealed &&
+        seg->entry.max_epoch + options_.retention_epochs <= now_epoch)
+      victims.push_back(seg->entry.id);
+  if (victims.empty()) return Status::Ok();
+  const auto is_victim = [&](std::uint32_t id) {
+    return std::find(victims.begin(), victims.end(), id) != victims.end();
+  };
+
+  // Phase 1 — THE commit point: one atomic manifest replace marks every
+  // aged-out segment tombstoned. From here the window slide is the truth;
+  // recovery finishes the deletions below if we die mid-way.
+  FIGDB_RETURN_IF_ERROR(
+      RetentionCrashPoint("retention: before tombstone commit"));
+  SegmentManifest next = manifest_;
+  next.generation += 1;
+  for (SegmentEntry& e : next.segments)
+    if (is_victim(e.id)) e.state = SegmentState::kTombstoned;
+  FIGDB_RETURN_IF_ERROR(CommitManifest(next));
+  manifest_ = std::move(next);
+  segments_.erase(std::remove_if(segments_.begin(), segments_.end(),
+                                 [&](const std::unique_ptr<Segment>& s) {
+                                   return is_victim(s->entry.id);
+                                 }),
+                  segments_.end());
+  union_dirty_ = true;
+  FIGDB_RETURN_IF_ERROR(
+      RetentionCrashPoint("retention: after tombstone commit"));
+
+  // Phase 2: physically delete, then commit the clean manifest.
+  std::error_code ec;
+  for (std::uint32_t id : victims) {
+    std::filesystem::remove_all(SegmentDir(dir_, id), ec);
+    FIGDB_RETURN_IF_ERROR(RetentionCrashPoint(
+        "retention: after removing segment " + std::to_string(id)));
+  }
+  SegmentManifest clean = manifest_;
+  clean.generation += 1;
+  clean.segments.erase(
+      std::remove_if(clean.segments.begin(), clean.segments.end(),
+                     [](const SegmentEntry& e) {
+                       return e.state == SegmentState::kTombstoned;
+                     }),
+      clean.segments.end());
+  FIGDB_RETURN_IF_ERROR(CommitManifest(clean));
+  manifest_ = std::move(clean);
+  return RetentionCrashPoint("retention: after clean commit");
+}
+
+Status SegmentedStore::MergeSealed() {
+  std::vector<Segment*> victims;
+  std::unordered_set<std::uint32_t> victim_ids;
+  for (auto& seg : segments_)
+    if (seg->entry.state == SegmentState::kSealed) {
+      victims.push_back(seg.get());
+      victim_ids.insert(seg->entry.id);
+    }
+  if (victims.size() < 2) return Status::Ok();
+
+  // Phase 1: build the merged segment fully durable under a fresh id.
+  // Victims are a contiguous base prefix, so concatenating them in order
+  // preserves every global id. Tombstoned slots materialise as empty
+  // objects (they score zero and never surface).
+  FIGDB_RETURN_IF_ERROR(
+      MergeCrashPoint("merge: before building merged segment"));
+  SegmentEntry merged;
+  std::uint32_t next_id = 0;
+  for (const SegmentEntry& e : manifest_.segments)
+    next_id = std::max(next_id, e.id + 1);
+  merged.id = next_id;
+  merged.min_epoch = victims.front()->entry.min_epoch;
+  merged.max_epoch = victims.back()->entry.max_epoch;
+  merged.base = victims.front()->entry.base;
+  merged.state = SegmentState::kSealed;
+  corpus::Corpus mc = victims.front()->store.GetCorpus().Prefix(0);
+  for (Segment* v : victims)
+    for (corpus::ObjectId l = 0; l < v->store.GetCorpus().Size(); ++l)
+      mc.Add(v->store.GetCorpus().Object(l));
+  merged.count = mc.Size();
+  auto store =
+      index::FigDbStore::Create(SegmentDir(dir_, merged.id), mc,
+                                options_.store);
+  if (!store.ok()) return store.status();
+  FIGDB_RETURN_IF_ERROR(
+      MergeCrashPoint("merge: after building merged segment"));
+
+  // Phase 2 — the commit point: one atomic manifest replace swaps the
+  // victims for the merged entry. Before it recovery sweeps seg-<merged>;
+  // after it recovery sweeps the victims.
+  SegmentManifest next = manifest_;
+  next.generation += 1;
+  next.segments.erase(std::remove_if(next.segments.begin(),
+                                     next.segments.end(),
+                                     [&](const SegmentEntry& e) {
+                                       return victim_ids.count(e.id) != 0;
+                                     }),
+                      next.segments.end());
+  next.segments.insert(next.segments.begin(), merged);
+  FIGDB_RETURN_IF_ERROR(MergeCrashPoint("merge: before manifest commit"));
+  FIGDB_RETURN_IF_ERROR(CommitManifest(next));
+  manifest_ = std::move(next);
+
+  segments_.erase(std::remove_if(segments_.begin(), segments_.end(),
+                                 [&](const std::unique_ptr<Segment>& s) {
+                                   return victim_ids.count(s->entry.id) != 0;
+                                 }),
+                  segments_.end());
+  index::CliqueIndex qi = index::CliqueIndex::Build(
+      store->GetCorpus(), *correlations_, options_.engine.index);
+  segments_.insert(segments_.begin(),
+                   std::make_unique<Segment>(merged, std::move(*store),
+                                             std::move(qi)));
+  union_dirty_ = true;
+  FIGDB_RETURN_IF_ERROR(MergeCrashPoint("merge: after manifest commit"));
+
+  // Phase 3: delete the victim directories (recovery's sweep re-runs this
+  // if we die here).
+  std::error_code ec;
+  FIGDB_RETURN_IF_ERROR(MergeCrashPoint("merge: before victim cleanup"));
+  for (std::uint32_t id : victim_ids)
+    std::filesystem::remove_all(SegmentDir(dir_, id), ec);
+  return MergeCrashPoint("merge: after cleanup");
+}
+
+void SegmentedStore::RefreshViews(bool with_union) {
+  for (auto& seg_ptr : segments_) {
+    Segment& seg = *seg_ptr;
+    if (!seg.dirty && seg.engine != nullptr) continue;
+    index::CliqueIndex copy;
+    {
+      util::ScopedRole writer(seg.query_index.WriterCap());
+      seg.query_index.CompactAll();
+      copy = seg.query_index;  // compacted; the copy gets a fresh role
+    }
+    seg.engine = std::make_unique<index::FigRetrievalEngine>(
+        seg.store.GetCorpus(), options_.engine, matrix_, correlations_,
+        std::move(copy));
+    seg.dirty = false;
+  }
+  if (!with_union || (!union_dirty_ && union_engine_ != nullptr)) return;
+  union_engine_.reset();  // points into the old union corpus
+  union_corpus_ = std::make_unique<corpus::Corpus>(UnionCorpus());
+  index::CliqueIndex qi = index::CliqueIndex::Build(
+      *union_corpus_, *correlations_, options_.engine.index);
+  {
+    util::ScopedRole writer(qi.WriterCap());
+    qi.CompactAll();
+  }
+  union_engine_ = std::make_unique<index::FigRetrievalEngine>(
+      *union_corpus_, options_.engine, matrix_, correlations_, std::move(qi));
+  union_dirty_ = false;
+}
+
+StatusOr<TemporalSearchResult> SegmentedStore::Search(
+    const corpus::MediaObject& query, std::size_t k, double delta,
+    std::uint32_t now_epoch) {
+  if (!(delta > 0.0 && delta <= 1.0))
+    return Status::InvalidArgument("decay delta " + std::to_string(delta) +
+                                   " outside (0, 1]");
+  if (now_epoch < clock_epoch_)
+    return Status::InvalidArgument(
+        "now_epoch " + std::to_string(now_epoch) + " is behind the store "
+        "clock " + std::to_string(clock_epoch_) +
+        " (decayed search cannot query the past)");
+  RefreshViews(/*with_union=*/false);
+  FIGDB_RETURN_IF_ERROR(segments_[0]->engine->ValidateQuery(query, k));
+  const core::QueryModel qm = segments_[0]->engine->Scorer().Compile(
+      query, options_.engine.type_mask);
+
+  std::vector<SegmentLeg> legs;
+  legs.reserve(segments_.size());
+  for (auto& seg_ptr : segments_) {
+    Segment& seg = *seg_ptr;
+    // ref >= every epoch in the segment (local ages stay >= 0) and
+    // ref <= now (the merge weight stays in (0, 1]); see decay.hpp.
+    const std::uint32_t ref = std::min(seg.entry.max_epoch, now_epoch);
+    std::vector<index::ScoredList> lists;
+    lists.reserve(qm.cliques.size());
+    for (const core::Clique& clique : qm.cliques) {
+      index::ScoredList list = seg.engine->BuildCliqueList(clique);
+      for (core::SearchResult& e : list.entries)
+        e.score *= DecayWeightAt(delta, ref,
+                                 seg.store.GetCorpus().Object(e.object).month);
+      if (!list.entries.empty()) lists.push_back(std::move(list));
+    }
+    SegmentLeg leg;
+    leg.segment_id = seg.entry.id;
+    leg.weight = DecayWeightAt(delta, now_epoch, ref);
+    bool truncated = false;
+    leg.entries =
+        options_.engine.merge == index::EngineOptions::MergeMode::kExhaustive
+            ? index::ExhaustiveMerge(lists, k, nullptr, &truncated, &leg.bound)
+            : index::ThresholdMerge(std::move(lists), k, nullptr, &truncated,
+                                    &leg.bound);
+    for (core::SearchResult& e : leg.entries)
+      e.object += static_cast<corpus::ObjectId>(seg.entry.base);
+    legs.push_back(std::move(leg));
+  }
+  return MergeSegmentTopK(std::move(legs), k);
+}
+
+StatusOr<std::vector<core::SearchResult>>
+SegmentedStore::SearchExhaustiveDecayed(const corpus::MediaObject& query,
+                                        std::size_t k, double delta,
+                                        std::uint32_t now_epoch) {
+  if (!(delta > 0.0 && delta <= 1.0))
+    return Status::InvalidArgument("decay delta " + std::to_string(delta) +
+                                   " outside (0, 1]");
+  if (now_epoch < clock_epoch_)
+    return Status::InvalidArgument(
+        "now_epoch " + std::to_string(now_epoch) + " is behind the store "
+        "clock " + std::to_string(clock_epoch_) +
+        " (decayed search cannot query the past)");
+  RefreshViews(/*with_union=*/true);
+  FIGDB_RETURN_IF_ERROR(union_engine_->ValidateQuery(query, k));
+  const core::QueryModel qm =
+      union_engine_->Scorer().Compile(query, options_.engine.type_mask);
+
+  std::vector<index::ScoredList> lists;
+  lists.reserve(qm.cliques.size());
+  for (const core::Clique& clique : qm.cliques) {
+    index::ScoredList list = union_engine_->BuildCliqueList(clique);
+    for (core::SearchResult& e : list.entries)
+      e.score *= DecayWeightAt(delta, now_epoch,
+                               union_corpus_->Object(e.object).month);
+    if (!list.entries.empty()) lists.push_back(std::move(list));
+  }
+  bool truncated = false;
+  double bound = 0.0;
+  std::vector<core::SearchResult> results =
+      index::ExhaustiveMerge(lists, k, nullptr, &truncated, &bound);
+  // Union positions -> global ids: live bases are contiguous (retention
+  // only ever expires a prefix), so one offset covers every segment.
+  const auto base0 = static_cast<corpus::ObjectId>(segments_[0]->entry.base);
+  for (core::SearchResult& e : results) e.object += base0;
+  SortByScoreThenId(results);
+  return results;
+}
+
+corpus::Corpus SegmentedStore::UnionCorpus() const {
+  corpus::Corpus u = segments_[0]->store.GetCorpus().Prefix(0);
+  for (const auto& seg : segments_)
+    for (corpus::ObjectId l = 0; l < seg->store.GetCorpus().Size(); ++l)
+      u.Add(seg->store.GetCorpus().Object(l));
+  return u;
+}
+
+std::size_t SegmentedStore::TotalObjects() const {
+  std::size_t total = 0;
+  for (const auto& seg : segments_) total += seg->store.GetCorpus().Size();
+  return total;
+}
+
+std::size_t SegmentedStore::LiveObjects() const {
+  std::size_t live = 0;
+  for (const auto& seg : segments_) live += seg->store.LiveObjects();
+  return live;
+}
+
+}  // namespace figdb::temporal

@@ -1,0 +1,260 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "index/figdb_store.hpp"
+#include "index/retrieval_engine.hpp"
+#include "temporal/burst_detector.hpp"
+#include "temporal/segment_manifest.hpp"
+#include "temporal/temporal_merger.hpp"
+#include "util/status.hpp"
+
+/// \file segmented_store.hpp
+/// Time-partitioned store: ingest lands in epoch-bucketed segments so
+/// FIG-T's δ-decay is applied as a per-segment weight at merge time
+/// instead of rescoring every posting (ROADMAP item 4).
+///
+/// LAYOUT. `<dir>/SEGMENTS` (segment_manifest.hpp) names the live
+/// segments; `<dir>/seg-<id>/` holds one FigDbStore per segment (its own
+/// WAL + atomic checkpoint — durability is per segment, like shards).
+/// Segment `s` owns the contiguous global-id range [base_s, base_s+n_s)
+/// and the epoch bucket [min_epoch_s, max_epoch_s]; Create() re-ids the
+/// base corpus in (epoch, original id) order so both stay contiguous —
+/// the temporal analogue of an LSM level assignment. UnionCorpus() (live
+/// segments concatenated in base order) is the store's logical corpus.
+///
+/// THE SEGMENT CLOCK. Exactly one segment — the LAST — is active; all
+/// earlier ones are sealed and immutable (the figdb-lint rule
+/// `segment-timestamp-monotonicity` flags append paths that bypass this
+/// file). Ingest routes by the object's month: months inside the active
+/// bucket land there, a month past the bucket ceiling SEALS the active
+/// segment (checkpoint-compact, then one atomic SEGMENTS commit that
+/// both finalises the sealed entry and opens the next bucket), and a
+/// month below the active floor — clock skew, out-of-order producers —
+/// is CLAMPED up to the floor (the store's clock is authoritative; the
+/// `temporal/clock_skew` fail-point injects exactly this fault and the
+/// matrix in tests/temporal_test.cpp asserts the clamp accounting).
+///
+/// PINNED GLOBAL STATISTICS (the sharded-store invariant): one feature
+/// matrix + correlation model is built over the union corpus in
+/// global-id order at Create and re-derived at Recover; every segment
+/// engine adopts it, so a segment engine scores an object bit-identically
+/// to an unsharded engine over the union corpus.
+///
+/// DECAYED SEARCH (temporal_merger.hpp has the equivalence argument):
+/// each segment scales its clique lists by the local factor
+/// δ^(ref_s − month), re-sorts, TA-merges into an exact locally-decayed
+/// top-k with a stop bound, and the merger folds the legs under
+/// w_s = δ^(now − ref_s) with the global certificate max_s(w_s·bound_s).
+/// ref_s = min(max_epoch_s, now), so the newest segment always carries
+/// w_s == 1.0. SearchExhaustiveDecayed() is the reference implementation
+/// (every posting rescored by δ^(now−month) over one union engine) the
+/// equivalence suite and the fig10/fig11 `--segmented` cross-check run
+/// against.
+///
+/// RETENTION & MERGE are crash-recoverable manifest protocols, the shard
+/// rebalance discipline (old-or-new-never-a-mix):
+///
+///   RunRetention(now): sealed segments whose whole bucket has aged out
+///   of the sliding window (max_epoch + retention_epochs <= now) are
+///   first marked kTombstoned in one atomic SEGMENTS commit (THE commit
+///   point), then their directories are deleted, then a clean manifest
+///   is committed. Recovery finishes the deletion half: tombstoned
+///   entries are dropped and their directories removed.
+///
+///   MergeSealed(): compacts ALL sealed segments into one — builds the
+///   merged FigDbStore fully durable under a fresh id, commits one
+///   atomic SEGMENTS swap (victims out, merged entry in; global ids are
+///   preserved because victims are a contiguous base prefix), then
+///   deletes the victim directories. Recovery sweeps whichever side the
+///   manifest does not name.
+///
+/// Both protocols thread numbered crash sites through the
+/// `temporal/merge_crash` and `temporal/retention_crash` fail-points;
+/// the crash matrix drives every site and asserts old-or-new.
+///
+/// WRITER/READER CONTRACT: the whole store is single-threaded (FigDbStore
+/// contract, inherited). Search lazily refreshes per-segment engine views
+/// after mutations, so it is a mutating call too.
+
+namespace figdb::temporal {
+
+class SegmentedStore {
+ public:
+  struct Options {
+    /// Epochs (corpus months) per time bucket. 1 = a segment per month.
+    std::uint32_t epochs_per_segment = 1;
+    /// Sliding window: segments whose max epoch is more than this many
+    /// epochs behind `now` at RunRetention time expire. 0 = keep forever.
+    std::uint32_t retention_epochs = 0;
+    /// Per-segment durability substrate options.
+    index::FigDbStore::Options store;
+    /// Query-path options shared by every segment engine and the
+    /// exhaustive reference engine.
+    index::EngineOptions engine;
+    /// Burst/event-detection thresholds (burst_detector.hpp).
+    BurstOptions burst;
+  };
+
+  /// Partitions \p base into epoch buckets under \p dir (created if
+  /// missing) and commits the generation-1 SEGMENTS manifest. Objects are
+  /// re-identified in (epoch, original id) order — the returned store's
+  /// UnionCorpus() is the canonical ordering. kFailedPrecondition if
+  /// \p dir already holds a segmented store.
+  static util::StatusOr<SegmentedStore> Create(const std::string& dir,
+                                               const corpus::Corpus& base,
+                                               Options options);
+
+  /// Rebuilds the store from SEGMENTS: finishes interrupted retention
+  /// (tombstoned entries are dropped and their directories removed),
+  /// sweeps seg-* directories the manifest does not name, recovers every
+  /// segment's FigDbStore, validates sealed sizes against the manifest
+  /// (kDataLoss on mismatch), re-derives the pinned global statistics
+  /// from the union corpus, and reseeds the burst detector.
+  static util::StatusOr<SegmentedStore> Recover(const std::string& dir,
+                                                Options options);
+
+  SegmentedStore(SegmentedStore&&) = default;
+  SegmentedStore& operator=(SegmentedStore&&) = default;
+  SegmentedStore(const SegmentedStore&) = delete;
+  SegmentedStore& operator=(const SegmentedStore&) = delete;
+
+  // ----------------------------------------------------------------- writer
+
+  /// Routes one object through the segment clock (see above: in-bucket
+  /// months append to the active segment, later months roll it, earlier
+  /// months clamp to the active floor) and ingests it durably. Returns
+  /// the GLOBAL id.
+  util::StatusOr<corpus::ObjectId> Ingest(corpus::MediaObject object);
+
+  /// Tombstones a global id. Only ids owned by the ACTIVE segment may be
+  /// removed — sealed segments are immutable by contract; their objects
+  /// leave through retention (kFailedPrecondition otherwise).
+  util::Status Remove(corpus::ObjectId global_id);
+
+  /// Checkpoints every segment store (fold WAL into the checkpoint).
+  util::Status Checkpoint();
+
+  /// Applies the sliding window at epoch \p now_epoch (crash-recoverable;
+  /// see the protocol above). No-op when retention_epochs == 0 or nothing
+  /// has aged out.
+  util::Status RunRetention(std::uint32_t now_epoch);
+
+  /// Compacts all sealed segments into one (crash-recoverable; see the
+  /// protocol above). No-op with fewer than two sealed segments.
+  util::Status MergeSealed();
+
+  // ---------------------------------------------------------------- queries
+
+  /// Merge-time decayed top-k: per-segment locally-decayed TA legs folded
+  /// by the TemporalMerger. Requires delta ∈ (0, 1] and
+  /// now_epoch >= ClockEpoch() (querying the past would need decay
+  /// amplification, which the factorization does not model).
+  util::StatusOr<TemporalSearchResult> Search(const corpus::MediaObject& query,
+                                              std::size_t k, double delta,
+                                              std::uint32_t now_epoch);
+
+  /// Reference implementation: exhaustive decayed rescoring (every clique
+  /// posting weighted by δ^(now−month)) over one engine spanning the
+  /// union corpus. Same validation as Search.
+  util::StatusOr<std::vector<core::SearchResult>> SearchExhaustiveDecayed(
+      const corpus::MediaObject& query, std::size_t k, double delta,
+      std::uint32_t now_epoch);
+
+  // ----------------------------------------------------------- introspection
+
+  const SegmentManifest& Manifest() const { return manifest_; }
+  std::size_t NumSegments() const { return segments_.size(); }
+  /// Newest epoch the clock has admitted (ingest floor moves with it).
+  std::uint32_t ClockEpoch() const { return clock_epoch_; }
+  /// Ingests whose month regressed below the active floor and was clamped.
+  std::uint64_t SkewClamped() const { return skew_clamped_; }
+  /// Global id space size across live segments (tombstones included).
+  std::size_t TotalObjects() const;
+  std::size_t LiveObjects() const;
+  const Options& GetOptions() const { return options_; }
+  const std::string& Dir() const { return dir_; }
+
+  /// Event detection over everything the store has observed (seeded by
+  /// replay at Create/Recover, fed by Ingest).
+  const BurstDetector& Bursts() const { return detector_; }
+
+  /// Live segments concatenated in base order — the logical corpus the
+  /// exhaustive reference scores over.
+  corpus::Corpus UnionCorpus() const;
+
+  /// Manifest entry of segment slot \p i (count live for the active one).
+  const SegmentEntry& EntryOf(std::size_t i) const {
+    return segments_[i]->entry;
+  }
+  /// Durability store of segment slot \p i (WAL stats, wound flag).
+  const index::FigDbStore& StoreOf(std::size_t i) const {
+    return segments_[i]->store;
+  }
+
+  static std::string ManifestPath(const std::string& dir);
+  static std::string SegmentDir(const std::string& dir, std::uint32_t id);
+
+ private:
+  /// One live segment. Non-movable after construction: the engine view
+  /// points into store's corpus, so Segment lives behind unique_ptr.
+  struct Segment {
+    Segment(SegmentEntry e, index::FigDbStore s, index::CliqueIndex qi)
+        : entry(e), store(std::move(s)), query_index(std::move(qi)) {}
+    Segment(const Segment&) = delete;
+    Segment& operator=(const Segment&) = delete;
+
+    SegmentEntry entry;
+    index::FigDbStore store;
+    /// Query index over the segment corpus built with the GLOBAL
+    /// correlations (the store's own index uses local stats).
+    index::CliqueIndex query_index;
+    /// Lazily (re)built compacted engine view; null or stale when dirty.
+    std::unique_ptr<index::FigRetrievalEngine> engine;
+    bool dirty = true;
+  };
+
+  SegmentedStore() = default;
+
+  /// Assembles the in-memory store over recovered/created segment stores:
+  /// pins global statistics from \p union_corpus, builds per-segment
+  /// query indexes, reseeds the burst detector.
+  static SegmentedStore Open(std::string dir, SegmentManifest manifest,
+                             Options options,
+                             std::vector<index::FigDbStore> stores,
+                             const corpus::Corpus& union_corpus);
+
+  /// Seals the active segment and opens a fresh one whose bucket covers
+  /// \p month (the single-commit roll described above).
+  util::Status RollActiveSegment(std::uint32_t month);
+  /// Rebuilds stale engine views (and the union view if \p with_union).
+  void RefreshViews(bool with_union);
+  /// Atomically writes \p manifest to SEGMENTS (the caller assigns
+  /// manifest_ only after the commit lands).
+  util::Status CommitManifest(const SegmentManifest& manifest);
+  Segment& Active() { return *segments_.back(); }
+
+  std::string dir_;
+  Options options_;
+  SegmentManifest manifest_;
+  /// Global statistics lineage, pinned at Create/Recover and shared by
+  /// every segment engine and the union reference engine.
+  std::shared_ptr<const stats::FeatureMatrix> matrix_;
+  std::shared_ptr<const stats::CorrelationModel> correlations_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  /// Lazy reference view for SearchExhaustiveDecayed: a union-corpus copy
+  /// plus an engine over it (corpus_ must outlive engine — declaration
+  /// order gives reverse destruction).
+  std::unique_ptr<corpus::Corpus> union_corpus_;
+  std::unique_ptr<index::FigRetrievalEngine> union_engine_;
+  bool union_dirty_ = true;
+  BurstDetector detector_;
+  std::uint32_t clock_epoch_ = 0;
+  std::uint64_t skew_clamped_ = 0;
+};
+
+}  // namespace figdb::temporal

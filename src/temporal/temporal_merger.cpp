@@ -1,0 +1,38 @@
+#include "temporal/temporal_merger.hpp"
+
+#include <algorithm>
+
+namespace figdb::temporal {
+
+TemporalSearchResult MergeSegmentTopK(std::vector<SegmentLeg> legs,
+                                      std::size_t k) {
+  TemporalSearchResult out;
+  bool first = true;
+  for (SegmentLeg& leg : legs) {
+    // Multiplying by exactly 1.0 is the identity in IEEE 754, which is
+    // what makes the newest segment (and the single-segment store)
+    // bit-identical to exhaustive decayed rescoring.
+    if (leg.weight != 1.0)
+      for (core::SearchResult& e : leg.entries) e.score *= leg.weight;
+    out.ta_bound = std::max(out.ta_bound, leg.weight * leg.bound);
+    if (first) {
+      out.min_weight = out.max_weight = leg.weight;
+      first = false;
+    } else {
+      out.min_weight = std::min(out.min_weight, leg.weight);
+      out.max_weight = std::max(out.max_weight, leg.weight);
+    }
+    ++out.segments_merged;
+    out.results.insert(out.results.end(), leg.entries.begin(),
+                       leg.entries.end());
+  }
+  std::sort(out.results.begin(), out.results.end(),
+            [](const core::SearchResult& a, const core::SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.object < b.object;
+            });
+  if (out.results.size() > k) out.results.resize(k);
+  return out;
+}
+
+}  // namespace figdb::temporal

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/retriever.hpp"
+
+/// \file temporal_merger.hpp
+/// Merge-time δ-decay: folds per-segment top-k answers into the global
+/// decayed top-k under the global TA certificate.
+///
+/// THE EQUIVALENCE ARGUMENT. Exhaustive decayed rescoring weights every
+/// object by δ^(now−m(o)) where m(o) is the object's epoch. The segmented
+/// path factors that weight per segment s with reference epoch ref_s:
+///
+///   δ^(now−m) = δ^(now−ref_s) · δ^(ref_s−m)
+///                └── w_s ────┘  └─ applied inside the segment ─┘
+///
+/// The segment scales its clique lists by the LOCAL factor δ^(ref_s−m)
+/// (ages ≥ 0 because ref_s ≥ every epoch in the segment), re-sorts, and
+/// runs the ordinary TA merge — its answer is the exact locally-decayed
+/// top-k with a stop bound `bound_s` dominating every unreturned object's
+/// locally-decayed score. The merger then multiplies each leg by the
+/// UNIFORM positive weight w_s. Uniform positive scaling preserves the
+/// within-segment order, so the global decayed top-k is a subset of the
+/// union of per-segment top-k lists, and
+///
+///   global_bound = max_s (w_s · bound_s)
+///
+/// dominates every object no leg returned — the same certificate shape
+/// PR 6's shard router exports through the ThresholdMerge/ExhaustiveMerge
+/// `stop_bound` out-params. Floating point caveat: pow does not factor
+/// bit-exactly, so only legs with w_s == 1.0 (ref_s == now — always true
+/// for the newest segment, hence for every single-segment store) are
+/// bit-identical to exhaustive rescoring; other legs agree within a
+/// relative 1e-9, asserted by tests/temporal_test.cpp for segment counts
+/// {1, 2, 4, 8}.
+
+namespace figdb::temporal {
+
+/// One segment's answer to a decayed query: exact locally-decayed top-k
+/// with GLOBAL object ids, plus the leg's TA stop bound and merge weight.
+struct SegmentLeg {
+  std::uint32_t segment_id = 0;
+  /// w_s = δ^(now − ref_s); uniform over the leg, ∈ (0, 1].
+  double weight = 1.0;
+  /// Locally-decayed scores (δ^(ref_s−m) already applied), ids global.
+  std::vector<core::SearchResult> entries;
+  /// TA stop bound over the leg's locally-decayed scores.
+  double bound = 0.0;
+};
+
+/// The merged decayed answer plus its certificate and provenance.
+struct TemporalSearchResult {
+  std::vector<core::SearchResult> results;
+  /// max_s(w_s · bound_s): no unreturned object scores above this.
+  double ta_bound = 0.0;
+  std::uint32_t segments_merged = 0;
+  /// Weight range across merged legs ([1, 1] for a single segment).
+  double min_weight = 1.0;
+  double max_weight = 1.0;
+};
+
+/// Scales every leg by its weight, merges by (score desc, id asc) and
+/// truncates to \p k. Each leg must hold at least the segment's top-k (or
+/// everything it has) for the result to be the exact global decayed top-k.
+TemporalSearchResult MergeSegmentTopK(std::vector<SegmentLeg> legs,
+                                      std::size_t k);
+
+}  // namespace figdb::temporal

@@ -47,6 +47,9 @@ inline constexpr std::string_view kFailPointSites[] = {
     "storage/section_crc",        // snapshot section CRC mismatch
     "storage/section_truncated",  // snapshot section truncated
     "ta/deadline",                // TA merge loop observes deadline expiry
+    "temporal/clock_skew",        // ingest timestamp rewound below the floor
+    "temporal/merge_crash",       // seal/roll or segment merge dies at a site
+    "temporal/retention_crash",   // retention dies at a numbered crash site
     "wal/append_io",              // WAL append IO error
     "wal/fsync",                  // WAL fsync failure after append
     "wal/torn_tail",              // WAL append writes a torn partial frame

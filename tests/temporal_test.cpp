@@ -1,0 +1,896 @@
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hpp"
+#include "temporal/burst_detector.hpp"
+#include "temporal/burst_eval.hpp"
+#include "temporal/decay.hpp"
+#include "temporal/segment_manifest.hpp"
+#include "temporal/segmented_store.hpp"
+#include "temporal/temporal_merger.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+#include "util/serde.hpp"
+
+/// \file temporal_test.cpp
+/// The temporal serving layer: segment manifest framing, the decay
+/// factorization, the merge-time top-k fold, burst detection against the
+/// generator's injected ground truth, and the SegmentedStore itself —
+/// merge-time δ-decay equivalent to exhaustive decayed rescoring across
+/// segment counts {1, 2, 4, 8}, the segment clock's clamp/roll routing,
+/// sliding-window retention, and the seal/merge/retention crash matrices
+/// (old-or-new-never-a-mix, the shard rebalance discipline).
+
+namespace figdb::temporal {
+namespace {
+
+using corpus::ObjectId;
+using util::ScopedFailPoint;
+using util::StatusCode;
+
+// ===================================================================
+// Segment manifest framing — the untrusted-bytes surface shared with
+// fuzz_segment_manifest.
+// ===================================================================
+
+SegmentManifest TwoSegmentManifest() {
+  SegmentManifest m;
+  m.generation = 3;
+  m.segments.push_back({.id = 0,
+                        .min_epoch = 0,
+                        .max_epoch = 1,
+                        .base = 0,
+                        .count = 10,
+                        .state = SegmentState::kSealed});
+  m.segments.push_back({.id = 1,
+                        .min_epoch = 2,
+                        .max_epoch = 3,
+                        .base = 10,
+                        .count = 4,
+                        .state = SegmentState::kActive});
+  return m;
+}
+
+TEST(SegmentManifestTest, RoundTripsAcrossTheValidRange) {
+  SegmentManifest merged_first = TwoSegmentManifest();
+  merged_first.segments[0].id = 7;  // fresh merge id, earliest base: legal
+  const SegmentManifest cases[] = {
+      {},  // no segments: legal framing (Recover rejects it separately)
+      TwoSegmentManifest(),
+      merged_first,
+      {.generation = std::uint64_t{1} << 40,
+       .segments = {{.id = 2,
+                     .min_epoch = 5,
+                     .max_epoch = 9,
+                     .base = 100,
+                     .count = 0,
+                     .state = SegmentState::kActive}}},
+  };
+  for (const SegmentManifest& m : cases) {
+    auto parsed = ParseSegmentManifest(SerializeSegmentManifest(m));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, m);
+  }
+}
+
+TEST(SegmentManifestTest, TruncationBelowTheHeaderIsDataLoss) {
+  const std::string bytes = SerializeSegmentManifest(TwoSegmentManifest());
+  for (std::size_t len : {std::size_t{0}, std::size_t{5}, std::size_t{11}}) {
+    auto parsed = ParseSegmentManifest(bytes.substr(0, len));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss) << len;
+  }
+}
+
+TEST(SegmentManifestTest, WrongMagicAndVersionAreInvalidArgument) {
+  std::string bad_magic = SerializeSegmentManifest({});
+  bad_magic[0] = char(bad_magic[0] ^ 0x5a);
+  EXPECT_EQ(ParseSegmentManifest(bad_magic).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::string bad_version = SerializeSegmentManifest({});
+  bad_version[4] = char(bad_version[4] ^ 0x01);
+  EXPECT_EQ(ParseSegmentManifest(bad_version).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentManifestTest, PayloadCorruptionIsDataLoss) {
+  const std::string bytes = SerializeSegmentManifest(TwoSegmentManifest());
+  for (std::size_t i = 12; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = char(corrupt[i] ^ 0x80);
+    EXPECT_EQ(ParseSegmentManifest(corrupt).status().code(),
+              StatusCode::kDataLoss)
+        << "flipped byte " << i;
+  }
+  EXPECT_EQ(
+      ParseSegmentManifest(bytes.substr(0, bytes.size() - 1)).status().code(),
+      StatusCode::kDataLoss);
+}
+
+/// Frames an arbitrary payload with a CORRECT CRC so the structural
+/// validators (not the checksum) are what reject it.
+std::string FrameWithValidCrc(const std::string& payload) {
+  util::BinaryWriter out;
+  out.PutFixed32(kSegmentManifestMagic);
+  out.PutFixed32(kSegmentManifestVersion);
+  out.PutFixed32(util::Crc32(payload));
+  out.PutRaw(payload);
+  return out.Take();
+}
+
+TEST(SegmentManifestTest, TrailingBytesWithValidCrcAreRejected) {
+  util::BinaryWriter payload;
+  payload.PutVarint(1);   // generation
+  payload.PutVarint(0);   // num_segments
+  payload.PutU8(0xee);    // trailing garbage the CRC covers
+  auto parsed = ParseSegmentManifest(FrameWithValidCrc(payload.Buffer()));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentManifestTest, ShortPayloadWithValidCrcIsDataLoss) {
+  util::BinaryWriter payload;
+  payload.PutVarint(1);  // generation only — num_segments missing
+  auto parsed = ParseSegmentManifest(FrameWithValidCrc(payload.Buffer()));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+
+  util::BinaryWriter entry_cut;
+  entry_cut.PutVarint(1);  // generation
+  entry_cut.PutVarint(1);  // one segment promised…
+  entry_cut.PutVarint(0);  // …but only its id delivered
+  auto cut = ParseSegmentManifest(FrameWithValidCrc(entry_cut.Buffer()));
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SegmentManifestTest, SemanticViolationsAreInvalidArgument) {
+  std::vector<SegmentManifest> bad;
+
+  bad.push_back(TwoSegmentManifest());
+  bad.back().generation = 0;
+
+  bad.push_back(TwoSegmentManifest());
+  bad.back().segments[1].id = bad.back().segments[0].id;  // duplicate id
+
+  bad.push_back(TwoSegmentManifest());
+  bad.back().segments[1].base = 9;  // overlaps [0, 10)
+
+  bad.push_back(TwoSegmentManifest());
+  bad.back().segments[1].min_epoch = 0;  // regresses below seg 0's max
+
+  bad.push_back(TwoSegmentManifest());
+  std::swap(bad.back().segments[0].min_epoch,
+            bad.back().segments[0].max_epoch);  // inverted range
+
+  bad.push_back(TwoSegmentManifest());
+  bad.back().segments[0].state = SegmentState::kActive;  // active not last
+
+  SegmentManifest oversized;
+  for (std::uint32_t i = 0; i <= kMaxSegments; ++i)
+    oversized.segments.push_back({.id = i,
+                                  .min_epoch = i,
+                                  .max_epoch = i,
+                                  .base = i,
+                                  .count = 0,
+                                  .state = SegmentState::kSealed});
+  oversized.segments.back().state = SegmentState::kActive;
+  bad.push_back(std::move(oversized));
+
+  for (std::size_t i = 0; i < bad.size(); ++i) {
+    auto parsed = ParseSegmentManifest(SerializeSegmentManifest(bad[i]));
+    ASSERT_FALSE(parsed.ok()) << "case " << i;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+        << "case " << i << ": " << parsed.status().ToString();
+  }
+
+  // An unknown state byte (serializer can't produce one; patch the frame).
+  SegmentManifest m = TwoSegmentManifest();
+  std::string bytes = SerializeSegmentManifest(m);
+  const std::size_t last_state = bytes.size() - 1;  // u8 state ends an entry
+  bytes[last_state] = 7;
+  util::BinaryWriter refashioned;
+  refashioned.PutFixed32(kSegmentManifestMagic);
+  refashioned.PutFixed32(kSegmentManifestVersion);
+  refashioned.PutFixed32(util::Crc32(bytes.substr(12)));
+  refashioned.PutRaw(bytes.substr(12));
+  auto parsed = ParseSegmentManifest(refashioned.Take());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ===================================================================
+// The decay factorization (decay.hpp) and the merge-time fold.
+// ===================================================================
+
+TEST(DecayWeightTest, IdentityClampingAndFactorization) {
+  EXPECT_EQ(DecayWeight(0.4, 0), 1.0);
+  EXPECT_EQ(DecayWeight(0.4, -3), 1.0);  // negative ages clamp to identity
+  EXPECT_EQ(DecayWeight(1.0, 17), 1.0);  // delta 1 never decays
+  EXPECT_DOUBLE_EQ(DecayWeight(0.5, 3), 0.125);
+  EXPECT_EQ(DecayWeightAt(0.4, 7, 9), 1.0);  // future epochs clamp too
+
+  // The factorization the segmented path relies on: composing through any
+  // intermediate reference epoch agrees within the documented 1e-9.
+  for (double delta : {0.9, 0.6, 0.25, 0.1}) {
+    for (std::uint32_t ref = 3; ref <= 11; ++ref) {
+      const double direct = DecayWeightAt(delta, 11, 2);
+      const double split = DecayWeightAt(delta, 11, ref) *
+                           DecayWeightAt(delta, ref, 2);
+      EXPECT_NEAR(split / direct, 1.0, 1e-9)
+          << "delta=" << delta << " ref=" << ref;
+    }
+  }
+}
+
+TEST(TemporalMergerTest, FoldsWeightsBoundsAndOrderDeterministically) {
+  SegmentLeg old_leg;
+  old_leg.segment_id = 0;
+  old_leg.weight = 0.25;
+  old_leg.entries = {{.object = 4, .score = 2.0}, {.object = 9, .score = 1.6}};
+  old_leg.bound = 1.6;
+  SegmentLeg new_leg;
+  new_leg.segment_id = 1;
+  new_leg.weight = 1.0;
+  new_leg.entries = {{.object = 12, .score = 0.5},
+                     {.object = 10, .score = 0.4}};
+  new_leg.bound = 0.3;
+
+  const TemporalSearchResult r =
+      MergeSegmentTopK({old_leg, new_leg}, /*k=*/3);
+  EXPECT_EQ(r.segments_merged, 2u);
+  EXPECT_EQ(r.min_weight, 0.25);
+  EXPECT_EQ(r.max_weight, 1.0);
+  // max(0.25 * 1.6, 1.0 * 0.3): the old leg's scaled bound dominates.
+  EXPECT_DOUBLE_EQ(r.ta_bound, 0.4);
+  ASSERT_EQ(r.results.size(), 3u);
+  EXPECT_EQ(r.results[0].object, 4u);  // 2.0 * 0.25
+  EXPECT_EQ(r.results[0].score, 0.5);
+  // 0.5*1.0 vs 2.0*0.25 tie at 0.5 — the smaller id wins rank 0.
+  EXPECT_EQ(r.results[1].object, 12u);
+  EXPECT_EQ(r.results[1].score, 0.5);
+  EXPECT_EQ(r.results[2].object, 9u);  // 1.6 * 0.25
+  EXPECT_DOUBLE_EQ(r.results[2].score, 0.4);
+
+  // Ties break toward the smaller id: 4 < 12 at equal score 0.5.
+  EXPECT_LT(r.results[0].object, r.results[1].object);
+
+  // A weight-1 leg must pass its scores through BITWISE (the IEEE
+  // multiplicative identity — the single-segment bit-identity claim).
+  const TemporalSearchResult solo = MergeSegmentTopK({new_leg}, 2);
+  ASSERT_EQ(solo.results.size(), 2u);
+  EXPECT_EQ(solo.results[0].score, 0.5);
+  EXPECT_EQ(solo.results[1].score, 0.4);
+  EXPECT_EQ(solo.ta_bound, 0.3);
+}
+
+// ===================================================================
+// Burst detection — mechanics, then the injected-workload eval.
+// ===================================================================
+
+corpus::MediaObject ObjectWith(std::uint16_t month, corpus::FeatureKey key,
+                               std::uint32_t frequency) {
+  corpus::MediaObject obj;
+  obj.month = month;
+  obj.features.push_back({key, frequency});
+  return obj;
+}
+
+TEST(BurstDetectorTest, GatesBaselineAndSupportThenScoresZ) {
+  const corpus::FeatureKey f =
+      corpus::MakeFeatureKey(corpus::FeatureType::kText, 1);
+  BurstDetector det({.min_baseline_epochs = 2, .min_support = 10,
+                     .threshold = 3.0});
+  // Out-of-order epochs on purpose: the clamp fault matrix feeds these.
+  det.ObserveObject(ObjectWith(3, f, 50));
+  det.ObserveObject(ObjectWith(0, f, 5));
+  det.ObserveObject(ObjectWith(2, f, 5));
+  det.ObserveObject(ObjectWith(1, f, 5));
+  EXPECT_EQ(det.ObservedObjects(), 4u);
+  EXPECT_EQ(det.CountOf(f, 3), 50u);
+  EXPECT_EQ(det.CountOf(f, 4), 0u);
+
+  const auto events = det.Detect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].feature, f);
+  EXPECT_EQ(events[0].epoch, 3u);
+  EXPECT_EQ(events[0].count, 50u);
+  EXPECT_DOUBLE_EQ(events[0].baseline_mean, 5.0);
+  // stddev of a flat baseline is 0; the 1.0 floor makes z = 50 - 5.
+  EXPECT_DOUBLE_EQ(events[0].score, 45.0);
+
+  // Below min_support the same spike shape stays silent…
+  BurstDetector quiet({.min_baseline_epochs = 2, .min_support = 10,
+                       .threshold = 3.0});
+  quiet.ObserveObject(ObjectWith(0, f, 1));
+  quiet.ObserveObject(ObjectWith(1, f, 1));
+  quiet.ObserveObject(ObjectWith(2, f, 9));
+  EXPECT_TRUE(quiet.Detect().empty());
+
+  // …and so does a spike with no baseline history.
+  BurstDetector early({.min_baseline_epochs = 2, .min_support = 10,
+                       .threshold = 3.0});
+  early.ObserveObject(ObjectWith(1, f, 80));
+  EXPECT_TRUE(early.Detect().empty());
+}
+
+TEST(BurstDetectorTest, EventsOrderByScoreThenEpochThenFeature) {
+  const corpus::FeatureKey a =
+      corpus::MakeFeatureKey(corpus::FeatureType::kText, 1);
+  const corpus::FeatureKey b =
+      corpus::MakeFeatureKey(corpus::FeatureType::kText, 2);
+  const corpus::FeatureKey c =
+      corpus::MakeFeatureKey(corpus::FeatureType::kText, 3);
+  BurstDetector det({.min_baseline_epochs = 2, .min_support = 10,
+                     .threshold = 3.0});
+  // a and b spike identically at epoch 2; c carries its flat baseline one
+  // epoch further and spikes at 3. All three baselines are flat fives
+  // (stddev 0 → the 1.0 floor), so every spike scores exactly 25 − 5 = 20
+  // and only the (epoch asc, feature asc) tiebreaks decide the order.
+  for (std::uint16_t m = 0; m < 2; ++m) {
+    det.ObserveObject(ObjectWith(m, a, 5));
+    det.ObserveObject(ObjectWith(m, b, 5));
+    det.ObserveObject(ObjectWith(m, c, 5));
+  }
+  det.ObserveObject(ObjectWith(2, a, 25));
+  det.ObserveObject(ObjectWith(2, b, 25));
+  det.ObserveObject(ObjectWith(2, c, 5));
+  det.ObserveObject(ObjectWith(3, c, 25));
+
+  const auto events = det.Detect();
+  ASSERT_EQ(events.size(), 3u);
+  for (const BurstEvent& e : events) EXPECT_DOUBLE_EQ(e.score, 20.0);
+  EXPECT_EQ(events[0].feature, a);
+  EXPECT_EQ(events[0].epoch, 2u);
+  EXPECT_EQ(events[1].feature, b);
+  EXPECT_EQ(events[1].epoch, 2u);
+  EXPECT_EQ(events[2].feature, c);
+  EXPECT_EQ(events[2].epoch, 3u);
+}
+
+TEST(BurstEvalTest, MatchesTermAndWindowAndHandlesVacuousCases) {
+  const corpus::FeatureKey term =
+      corpus::MakeFeatureKey(corpus::FeatureType::kText, 9);
+  const corpus::FeatureKey user =
+      corpus::MakeFeatureKey(corpus::FeatureType::kUser, 9);
+  corpus::BurstLabel label;
+  label.topic = 3;
+  label.epochs = {4, 5};
+  label.terms = {term};
+
+  // Vacuous: no events → precision 1; no labels → recall 1.
+  const auto vacuous = EvaluateBursts({}, {label});
+  EXPECT_EQ(vacuous.precision, 1.0);
+  EXPECT_EQ(vacuous.recall, 0.0);
+  EXPECT_EQ(EvaluateBursts({}, {}).recall, 1.0);
+
+  std::vector<BurstEvent> events;
+  events.push_back({.feature = term, .epoch = 4, .score = 9.0});   // match
+  events.push_back({.feature = term, .epoch = 1, .score = 8.0});   // outside
+  events.push_back({.feature = user, .epoch = 4, .score = 30.0});  // not text
+  const auto r = EvaluateBursts(events, {label});
+  EXPECT_EQ(r.labels, 1u);
+  EXPECT_EQ(r.detected_text, 2u);  // the user event is excluded
+  EXPECT_EQ(r.matched_events, 1u);
+  EXPECT_EQ(r.recalled_labels, 1u);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(BurstEvalTest, InjectedBurstsAreDetectedWithHighPrecisionAndRecall) {
+  corpus::GeneratorConfig config;
+  config.num_objects = 3000;
+  config.num_topics = 20;
+  config.num_users = 400;
+  config.visual_words = 64;
+  config.num_months = 6;
+  config.seed = 20109;
+  corpus::RecommendationConfig rc;
+  rc.num_profile_users = 2;  // the favourite histories are irrelevant here
+  rc.num_burst_topics = 3;
+  rc.burst_window_months = 1;
+  rc.burst_objects_per_month = 150;
+  const corpus::RecommendationDataset ds =
+      corpus::Generator(config).MakeRecommendationDataset(rc);
+  ASSERT_EQ(ds.bursts.size(), 3u);
+  for (const corpus::BurstLabel& label : ds.bursts) {
+    ASSERT_FALSE(label.terms.empty());
+    ASSERT_FALSE(label.epochs.empty());
+    EXPECT_GE(label.epochs.front(), std::uint32_t(ds.profile_months));
+  }
+
+  BurstDetector detector(
+      {.min_baseline_epochs = 2, .min_support = 25, .threshold = 8.0});
+  for (ObjectId i = 0; i < ds.corpus.Size(); ++i)
+    detector.ObserveObject(ds.corpus.Object(i));
+
+  const auto result = EvaluateBursts(detector.Detect(), ds.bursts);
+  EXPECT_GT(result.detected_text, 0u);
+  EXPECT_GE(result.precision, 0.7)
+      << result.matched_events << "/" << result.detected_text
+      << " detected text events matched a label";
+  EXPECT_GE(result.recall, 0.7)
+      << result.recalled_labels << "/" << result.labels
+      << " injected bursts recalled";
+}
+
+TEST(BurstEvalTest, WithoutInjectionTheDatasetIsUnchanged) {
+  corpus::GeneratorConfig config;
+  config.num_objects = 400;
+  config.num_topics = 5;
+  config.num_users = 60;
+  config.visual_words = 32;
+  config.seed = 20110;
+  corpus::RecommendationConfig rc;
+  rc.num_profile_users = 3;
+  const auto plain = corpus::Generator(config).MakeRecommendationDataset(rc);
+  EXPECT_TRUE(plain.bursts.empty());
+  // Injection off is draw-for-draw identical: same corpus, same profiles.
+  const auto again = corpus::Generator(config).MakeRecommendationDataset(rc);
+  ASSERT_EQ(plain.corpus.Size(), again.corpus.Size());
+  ASSERT_EQ(plain.users.size(), again.users.size());
+  for (std::size_t u = 0; u < plain.users.size(); ++u)
+    EXPECT_EQ(plain.users[u].profile, again.users[u].profile);
+}
+
+// ===================================================================
+// SegmentedStore fixture.
+// ===================================================================
+
+class SegmentedStoreTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kMonths = 8;
+
+  static void SetUpTestSuite() {
+    corpus::GeneratorConfig config;
+    config.num_objects = 240;
+    config.num_topics = 5;
+    config.num_users = 60;
+    config.visual_words = 32;
+    config.num_months = kMonths;
+    config.seed = 20108;
+    const corpus::Corpus raw =
+        corpus::Generator(config).MakeRetrievalCorpus();
+    // Deterministic month coverage: i % kMonths populates every epoch
+    // bucket, so epochs_per_segment in {8,4,2,1} yields {1,2,4,8} segments.
+    corpus_ = new corpus::Corpus(raw.Prefix(0));
+    for (ObjectId i = 0; i < raw.Size(); ++i) {
+      corpus::MediaObject obj = raw.Object(i);
+      obj.month = static_cast<std::uint16_t>(i % kMonths);
+      corpus_->Add(std::move(obj));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static std::string TempDir(const std::string& name) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / ("figdb_temporal_" + name);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+  }
+
+  static SegmentedStore::Options MakeOptions(std::uint32_t eps,
+                                             std::uint32_t retention = 0) {
+    SegmentedStore::Options options;
+    options.epochs_per_segment = eps;
+    options.retention_epochs = retention;
+    return options;
+  }
+
+  /// A probe object with the given month (the store re-ids on ingest, so
+  /// only the feature bag and the month matter).
+  static corpus::MediaObject Probe(ObjectId source, std::uint16_t month) {
+    corpus::MediaObject obj = corpus_->Object(source);
+    obj.month = month;
+    return obj;
+  }
+
+  /// The tentpole's central claim: merge-time δ-decay equals exhaustive
+  /// decayed rescoring — bitwise when every leg's weight is exactly 1
+  /// (single segment, or delta == 1), within a relative 1e-9 otherwise.
+  static void ExpectDecayEquivalence(SegmentedStore& store,
+                                     std::uint32_t now) {
+    constexpr double kTol = 1e-9;
+    for (ObjectId probe : {ObjectId{3}, ObjectId{17}, ObjectId{41},
+                           ObjectId{73}}) {
+      for (double delta : {1.0, 0.6, 0.25}) {
+        SCOPED_TRACE("probe=" + std::to_string(probe) +
+                     " delta=" + std::to_string(delta) +
+                     " now=" + std::to_string(now));
+        auto got = store.Search(corpus_->Object(probe), 10, delta, now);
+        auto want =
+            store.SearchExhaustiveDecayed(corpus_->Object(probe), 10, delta,
+                                          now);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ASSERT_TRUE(want.ok()) << want.status().ToString();
+        EXPECT_EQ(got->segments_merged, store.NumSegments());
+        // w_s == 1.0 exactly (bitwise identity) needs delta == 1, or a
+        // single segment whose ref epoch IS now — querying past the
+        // newest bucket decays even a lone leg.
+        const bool bitwise =
+            delta == 1.0 ||
+            (store.NumSegments() == 1 &&
+             now <= store.EntryOf(store.NumSegments() - 1).max_epoch);
+        ASSERT_EQ(got->results.size(), want->size());
+        for (std::size_t i = 0; i < want->size(); ++i) {
+          const double a = got->results[i].score;
+          const double b = (*want)[i].score;
+          if (bitwise) {
+            EXPECT_EQ(got->results[i].object, (*want)[i].object)
+                << "rank " << i;
+            EXPECT_EQ(a, b) << "rank " << i;  // bitwise, not approximate
+          } else {
+            const double drift =
+                std::fabs(a - b) / std::max(std::fabs(b), 1e-12);
+            EXPECT_LE(drift, kTol) << "rank " << i;
+            // Near-ties within the tolerance may legally swap order
+            // between the two paths; a swap beyond it is a real miss.
+            if (got->results[i].object != (*want)[i].object) {
+              EXPECT_LE(drift, kTol) << "id mismatch at rank " << i;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  static corpus::Corpus* corpus_;
+};
+
+corpus::Corpus* SegmentedStoreTest::corpus_ = nullptr;
+
+TEST_F(SegmentedStoreTest, CreateBucketsByEpochAndRecoverRoundTrips) {
+  const std::string dir = TempDir("create");
+  auto store = SegmentedStore::Create(dir, *corpus_, MakeOptions(2));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(store->NumSegments(), 4u);
+  EXPECT_EQ(store->TotalObjects(), corpus_->Size());
+  EXPECT_EQ(store->LiveObjects(), corpus_->Size());
+  EXPECT_EQ(store->ClockEpoch(), kMonths - 1);
+  EXPECT_EQ(store->SkewClamped(), 0u);
+  EXPECT_EQ(store->Bursts().ObservedObjects(), corpus_->Size());
+
+  for (std::size_t s = 0; s < 4; ++s) {
+    const SegmentEntry& e = store->EntryOf(s);
+    EXPECT_EQ(e.min_epoch, 2 * s);
+    EXPECT_EQ(e.max_epoch, 2 * s + 1);
+    EXPECT_EQ(e.count, corpus_->Size() / 4);
+    EXPECT_EQ(e.base, s * (corpus_->Size() / 4));
+    EXPECT_EQ(e.state,
+              s == 3 ? SegmentState::kActive : SegmentState::kSealed);
+    // Every object landed in its epoch bucket.
+    const corpus::Corpus& sc = store->StoreOf(s).GetCorpus();
+    for (ObjectId l = 0; l < sc.Size(); ++l) {
+      EXPECT_GE(std::uint32_t(sc.Object(l).month), e.min_epoch);
+      EXPECT_LE(std::uint32_t(sc.Object(l).month), e.max_epoch);
+    }
+  }
+
+  // A second Create on the same directory must refuse, not clobber.
+  auto clobber = SegmentedStore::Create(dir, *corpus_, MakeOptions(2));
+  ASSERT_FALSE(clobber.ok());
+  EXPECT_EQ(clobber.status().code(), StatusCode::kFailedPrecondition);
+
+  const SegmentManifest manifest = store->Manifest();
+  { auto moved = std::move(*store); }  // "crash": drop the live store
+  auto recovered = SegmentedStore::Recover(dir, MakeOptions(2));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->Manifest(), manifest);
+  EXPECT_EQ(recovered->TotalObjects(), corpus_->Size());
+  EXPECT_EQ(recovered->ClockEpoch(), kMonths - 1);
+  EXPECT_EQ(recovered->Bursts().ObservedObjects(), corpus_->Size());
+  ExpectDecayEquivalence(*recovered, kMonths - 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SegmentedStoreTest, MergeTimeDecayMatchesExhaustiveAcrossCounts) {
+  for (std::uint32_t eps : {8u, 4u, 2u, 1u}) {
+    SCOPED_TRACE("epochs_per_segment=" + std::to_string(eps));
+    const std::string dir = TempDir("equiv_" + std::to_string(eps));
+    auto store = SegmentedStore::Create(dir, *corpus_, MakeOptions(eps));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_EQ(store->NumSegments(), kMonths / eps);
+    ExpectDecayEquivalence(*store, kMonths - 1);   // now == newest epoch
+    ExpectDecayEquivalence(*store, kMonths + 2);   // querying the future
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST_F(SegmentedStoreTest, SearchValidatesDeltaAndNow) {
+  const std::string dir = TempDir("validate");
+  auto store = SegmentedStore::Create(dir, *corpus_, MakeOptions(4));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const corpus::MediaObject& q = corpus_->Object(3);
+  EXPECT_EQ(store->Search(q, 5, 0.0, kMonths).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->Search(q, 5, 1.5, kMonths).status().code(),
+            StatusCode::kInvalidArgument);
+  // now behind the clock would need decay amplification: refused.
+  EXPECT_EQ(store->Search(q, 5, 0.5, kMonths - 2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      store->SearchExhaustiveDecayed(q, 5, 0.5, kMonths - 2).status().code(),
+      StatusCode::kInvalidArgument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SegmentedStoreTest, IngestRoutesThroughTheSegmentClock) {
+  const std::string dir = TempDir("ingest");
+  auto store = SegmentedStore::Create(dir, *corpus_, MakeOptions(4));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(store->NumSegments(), 2u);  // buckets [0,3] and [4,7]
+
+  // In-bucket month: appends to the active segment, dense global ids.
+  auto id = store->Ingest(Probe(0, 5));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*id, corpus_->Size());
+
+  // Below the active floor: clamped up to it and counted.
+  auto clamped = store->Ingest(Probe(1, 2));
+  ASSERT_TRUE(clamped.ok()) << clamped.status().ToString();
+  EXPECT_EQ(*clamped, corpus_->Size() + 1);
+  EXPECT_EQ(store->SkewClamped(), 1u);
+  const corpus::Corpus& active = store->StoreOf(1).GetCorpus();
+  EXPECT_EQ(active.Object(active.Size() - 1).month, 4);  // the clamp
+  EXPECT_EQ(store->NumSegments(), 2u);  // no roll
+
+  // Sealed segments are immutable; the active one accepts removal.
+  EXPECT_EQ(store->Remove(5).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(store->Remove(*id).ok());
+  EXPECT_EQ(store->Remove(corpus_->Size() + 500).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store->LiveObjects(), corpus_->Size() + 1);
+
+  // A month past the bucket ceiling seals the active segment and rolls.
+  auto rolled = store->Ingest(Probe(2, 9));
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_EQ(store->NumSegments(), 3u);
+  EXPECT_EQ(store->EntryOf(1).state, SegmentState::kSealed);
+  EXPECT_EQ(store->EntryOf(2).state, SegmentState::kActive);
+  EXPECT_EQ(store->EntryOf(2).min_epoch, 8u);
+  EXPECT_EQ(store->EntryOf(2).max_epoch, 11u);
+  EXPECT_EQ(store->ClockEpoch(), 9u);
+  EXPECT_EQ(*rolled, corpus_->Size() + 2);
+
+  ASSERT_TRUE(store->Checkpoint().ok());
+  { auto moved = std::move(*store); }
+  auto recovered = SegmentedStore::Recover(dir, MakeOptions(4));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->NumSegments(), 3u);
+  EXPECT_EQ(recovered->TotalObjects(), corpus_->Size() + 3);
+  EXPECT_EQ(recovered->LiveObjects(), corpus_->Size() + 2);
+  EXPECT_EQ(recovered->ClockEpoch(), 9u);
+  ExpectDecayEquivalence(*recovered, 9);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SegmentedStoreTest, ClockSkewFaultIsClampedAndCounted) {
+  const std::string dir = TempDir("skew");
+  auto store = SegmentedStore::Create(dir, *corpus_, MakeOptions(4));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  {
+    // The fail point rewinds the ingest timestamp below the active floor;
+    // the clamp must absorb it instead of violating the epoch invariant.
+    ScopedFailPoint fp("temporal/clock_skew", {.max_fires = 1});
+    auto id = store->Ingest(Probe(0, 6));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  }
+  EXPECT_EQ(store->SkewClamped(), 1u);
+  const corpus::Corpus& active = store->StoreOf(1).GetCorpus();
+  EXPECT_EQ(active.Object(active.Size() - 1).month, 4);
+  // The burst detector saw the CLAMPED epoch — the stored truth.
+  EXPECT_EQ(store->Bursts().ObservedObjects(), corpus_->Size() + 1);
+  ExpectDecayEquivalence(*store, kMonths - 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SegmentedStoreTest, RetentionSlidesTheWindow) {
+  const std::string dir = TempDir("retention");
+  auto store =
+      SegmentedStore::Create(dir, *corpus_, MakeOptions(1, /*retention=*/4));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(store->NumSegments(), 8u);
+
+  // Nothing has aged out at now == 3 (epoch 0 expires at 0 + 4 <= now).
+  ASSERT_TRUE(store->RunRetention(3).ok());
+  EXPECT_EQ(store->NumSegments(), 8u);
+
+  // At now == 7 epochs 0..3 have aged out of the 4-epoch window.
+  ASSERT_TRUE(store->RunRetention(7).ok());
+  EXPECT_EQ(store->NumSegments(), 4u);
+  EXPECT_EQ(store->EntryOf(0).min_epoch, 4u);
+  EXPECT_EQ(store->TotalObjects(), corpus_->Size() / 2);
+  for (std::uint32_t id : {0u, 1u, 2u, 3u})
+    EXPECT_FALSE(std::filesystem::exists(SegmentedStore::SegmentDir(dir, id)))
+        << "seg-" << id;
+  ExpectDecayEquivalence(*store, kMonths - 1);
+
+  // Idempotent: a second pass at the same now is a no-op.
+  ASSERT_TRUE(store->RunRetention(7).ok());
+  EXPECT_EQ(store->NumSegments(), 4u);
+
+  { auto moved = std::move(*store); }
+  auto recovered = SegmentedStore::Recover(dir, MakeOptions(1, 4));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->NumSegments(), 4u);
+  EXPECT_EQ(recovered->TotalObjects(), corpus_->Size() / 2);
+  ExpectDecayEquivalence(*recovered, kMonths - 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SegmentedStoreTest, MergeSealedCompactsAndPreservesAnswers) {
+  const std::string dir = TempDir("merge");
+  auto store = SegmentedStore::Create(dir, *corpus_, MakeOptions(1));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(store->NumSegments(), 8u);
+
+  ASSERT_TRUE(store->MergeSealed().ok());
+  ASSERT_EQ(store->NumSegments(), 2u);
+  const SegmentEntry& merged = store->EntryOf(0);
+  EXPECT_EQ(merged.id, 8u);  // fresh id, earliest base
+  EXPECT_EQ(merged.min_epoch, 0u);
+  EXPECT_EQ(merged.max_epoch, 6u);
+  EXPECT_EQ(merged.base, 0u);
+  EXPECT_EQ(merged.count, corpus_->Size() - corpus_->Size() / 8);
+  EXPECT_EQ(merged.state, SegmentState::kSealed);
+  EXPECT_EQ(store->TotalObjects(), corpus_->Size());
+  ExpectDecayEquivalence(*store, kMonths - 1);
+
+  // With one sealed segment left a second merge is a no-op.
+  ASSERT_TRUE(store->MergeSealed().ok());
+  EXPECT_EQ(store->NumSegments(), 2u);
+
+  { auto moved = std::move(*store); }
+  auto recovered = SegmentedStore::Recover(dir, MakeOptions(1));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->NumSegments(), 2u);
+  ExpectDecayEquivalence(*recovered, kMonths - 1);
+  std::filesystem::remove_all(dir);
+}
+
+// ===================================================================
+// Crash matrices — every numbered site of the three manifest protocols,
+// each followed by recovery onto exactly-old or exactly-new.
+// ===================================================================
+
+TEST_F(SegmentedStoreTest, RollCrashMatrixRecoversOldOrNew) {
+  std::size_t crash_points = 0;
+  bool exhausted = false;
+  for (std::uint64_t skip = 0; !exhausted; ++skip) {
+    SCOPED_TRACE("skip=" + std::to_string(skip));
+    const std::string dir = TempDir("roll_crash_" + std::to_string(skip));
+    {
+      auto store = SegmentedStore::Create(dir, *corpus_, MakeOptions(1));
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      ScopedFailPoint fp("temporal/merge_crash",
+                         {.skip_hits = skip, .max_fires = 1});
+      auto id = store->Ingest(Probe(0, kMonths));  // past the ceiling: rolls
+      if (fp.HitCount() <= skip) {
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        exhausted = true;
+      } else {
+        ASSERT_FALSE(id.ok()) << "site " << skip << " fired but Ingest OK";
+        EXPECT_EQ(id.status().code(), StatusCode::kUnavailable);
+        ++crash_points;
+      }
+      // The store object dies here — the "crash".
+    }
+    auto recovered = SegmentedStore::Recover(dir, MakeOptions(1));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_TRUE(recovered->NumSegments() == 8 || recovered->NumSegments() == 9)
+        << "recovered onto " << recovered->NumSegments()
+        << " segments — neither the old nor the new clock state";
+    // The object itself is ingested after the roll commits, so a crash
+    // anywhere in the roll always loses it; re-ingest must succeed.
+    EXPECT_EQ(recovered->TotalObjects(),
+              exhausted ? corpus_->Size() + 1 : corpus_->Size());
+    if (!exhausted) {
+      auto retry = recovered->Ingest(Probe(0, kMonths));
+      ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+      EXPECT_EQ(*retry, corpus_->Size());
+      EXPECT_EQ(recovered->NumSegments(), 9u);
+    }
+    ExpectDecayEquivalence(*recovered, kMonths);
+    std::filesystem::remove_all(dir);
+  }
+  EXPECT_EQ(crash_points, 4u);  // the roll protocol's numbered sites
+}
+
+TEST_F(SegmentedStoreTest, MergeCrashMatrixRecoversOldOrNew) {
+  std::size_t crash_points = 0;
+  bool exhausted = false;
+  for (std::uint64_t skip = 0; !exhausted; ++skip) {
+    SCOPED_TRACE("skip=" + std::to_string(skip));
+    const std::string dir = TempDir("merge_crash_" + std::to_string(skip));
+    {
+      auto store = SegmentedStore::Create(dir, *corpus_, MakeOptions(1));
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      ScopedFailPoint fp("temporal/merge_crash",
+                         {.skip_hits = skip, .max_fires = 1});
+      const util::Status st = store->MergeSealed();
+      if (fp.HitCount() <= skip) {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        exhausted = true;
+      } else {
+        ASSERT_FALSE(st.ok()) << "site " << skip << " fired but merge OK";
+        EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+        ++crash_points;
+      }
+    }
+    auto recovered = SegmentedStore::Recover(dir, MakeOptions(1));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_TRUE(recovered->NumSegments() == 8 || recovered->NumSegments() == 2)
+        << "recovered onto " << recovered->NumSegments()
+        << " segments — neither the old set nor the merged one";
+    EXPECT_EQ(recovered->TotalObjects(), corpus_->Size());
+    // No tombstones and no orphan directories survive recovery.
+    for (const SegmentEntry& e : recovered->Manifest().segments)
+      EXPECT_NE(e.state, SegmentState::kTombstoned);
+    ExpectDecayEquivalence(*recovered, kMonths - 1);
+    // The merge completes cleanly on the recovered store.
+    ASSERT_TRUE(recovered->MergeSealed().ok());
+    EXPECT_EQ(recovered->NumSegments(), 2u);
+    std::filesystem::remove_all(dir);
+  }
+  EXPECT_EQ(crash_points, 6u);  // the merge protocol's numbered sites
+}
+
+TEST_F(SegmentedStoreTest, RetentionCrashMatrixRecoversOldOrNew) {
+  std::size_t crash_points = 0;
+  bool exhausted = false;
+  for (std::uint64_t skip = 0; !exhausted; ++skip) {
+    SCOPED_TRACE("skip=" + std::to_string(skip));
+    const std::string dir =
+        TempDir("retention_crash_" + std::to_string(skip));
+    {
+      auto store = SegmentedStore::Create(dir, *corpus_,
+                                          MakeOptions(1, /*retention=*/4));
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      ScopedFailPoint fp("temporal/retention_crash",
+                         {.skip_hits = skip, .max_fires = 1});
+      const util::Status st = store->RunRetention(kMonths - 1);
+      if (fp.HitCount() <= skip) {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        exhausted = true;
+      } else {
+        ASSERT_FALSE(st.ok()) << "site " << skip << " fired but retention OK";
+        EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+        ++crash_points;
+      }
+    }
+    auto recovered = SegmentedStore::Recover(dir, MakeOptions(1, 4));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_TRUE(recovered->NumSegments() == 8 || recovered->NumSegments() == 4)
+        << "recovered onto " << recovered->NumSegments()
+        << " segments — neither the old window nor the new one";
+    for (const SegmentEntry& e : recovered->Manifest().segments) {
+      EXPECT_NE(e.state, SegmentState::kTombstoned);
+      // Old-or-new, no mix: either the full window or exactly epochs 4..7.
+      if (recovered->NumSegments() == 4) {
+        EXPECT_GE(e.min_epoch, 4u);
+      }
+    }
+    ExpectDecayEquivalence(*recovered, kMonths - 1);
+    // Re-running the slide on the recovered store converges to the new
+    // window regardless of where the crash landed.
+    ASSERT_TRUE(recovered->RunRetention(kMonths - 1).ok());
+    EXPECT_EQ(recovered->NumSegments(), 4u);
+    EXPECT_EQ(recovered->TotalObjects(), corpus_->Size() / 2);
+    std::filesystem::remove_all(dir);
+  }
+  // 1 before + 1 after the tombstone commit, 4 per-victim deletions,
+  // 1 after the clean commit.
+  EXPECT_EQ(crash_points, 7u);
+}
+
+}  // namespace
+}  // namespace figdb::temporal

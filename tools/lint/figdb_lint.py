@@ -49,6 +49,14 @@ diagnostics and a non-zero exit on any finding:
                          unlimited, so dropping the argument silently
                          dispatches an unbounded query a remote client has
                          long stopped waiting for.
+  segment-timestamp-monotonicity
+                         Inside src/temporal, only the segment clock
+                         (segmented_store.cpp) may mutate a segment's
+                         store or corpus (Ingest/Remove/Add call sites).
+                         Any other append path bypasses the epoch
+                         clamp/roll, so a skewed timestamp could land in a
+                         sealed bucket and break the per-segment epoch
+                         ranges the merge-time decay weights rely on.
 
 Waivers: a justified exception carries, on the same line or the line
 above:   // figdb-lint: allow(<rule-id>): <reason>
@@ -86,6 +94,7 @@ RULES = (
     "fuzz-entrypoint",
     "shard-status-completeness",
     "deadline-propagation",
+    "segment-timestamp-monotonicity",
 )
 
 WAIVER_RE = re.compile(r"figdb-lint:\s*allow\(([A-Za-z0-9_-]+)\)(:?\s*\S?)")
@@ -671,6 +680,38 @@ def rule_deadline_propagation(files: list[SourceFile], root: str) -> list[Findin
     return found
 
 
+SEGMENT_MUTATION_RE = re.compile(r"(?:\.|->)\s*(?:Ingest|Remove|Add)\s*\(")
+
+
+def rule_segment_timestamp_monotonicity(
+    files: list[SourceFile], root: str
+) -> list[Finding]:
+    """Segment stores are append-only THROUGH the segment clock: ingest
+    routes by month (clamp below the active floor, roll past the bucket
+    ceiling) inside segmented_store.cpp, which is what keeps every
+    segment's [min_epoch, max_epoch] honest. A direct Ingest/Remove/Add on
+    a segment's FigDbStore or corpus from anywhere else in src/temporal
+    skips that routing, so a skewed timestamp could land in a sealed
+    bucket and silently corrupt the merge-time decay weights."""
+    found = []
+    for sf in files:
+        rel = rel_of(sf.path, root)
+        if not in_dir(rel, "src/temporal"):
+            continue
+        if rel == "src/temporal/segmented_store.cpp":
+            continue  # the segment clock itself
+        found += grep(
+            sf,
+            SEGMENT_MUTATION_RE,
+            "segment-timestamp-monotonicity",
+            "segment store/corpus mutation outside the segment clock "
+            "(segmented_store.cpp) — route through SegmentedStore::Ingest/"
+            "Remove so the epoch clamp/roll keeps segment timestamp ranges "
+            "monotone, or carry a waiver",
+        )
+    return found
+
+
 def rule_bad_waivers(files: list[SourceFile], root: str) -> list[Finding]:
     found = []
     for sf in files:
@@ -709,6 +750,7 @@ ALL_RULES = (
     rule_fuzz_entrypoint,
     rule_shard_status_completeness,
     rule_deadline_propagation,
+    rule_segment_timestamp_monotonicity,
     rule_bad_waivers,
 )
 
@@ -849,6 +891,33 @@ void Probe(const figdb::index::FigRetrievalEngine& engine,
   (void)r;
 }
 """,
+    # Appends to a segment store directly, bypassing the segment clock's
+    # epoch clamp/roll — a skewed month could land in a sealed bucket.
+    "src/temporal/rogue_append.cpp": """\
+#include "index/figdb_store.hpp"
+void Backfill(figdb::index::FigDbStore& segment,
+              figdb::corpus::MediaObject obj) {
+  auto id = segment.Ingest(std::move(obj));  // segment-timestamp-monotonicity
+  (void)id;
+}
+""",
+    # Negative controls: the segment clock itself is the one sanctioned
+    # mutation path, and a read-only temporal file must stay clean.
+    "src/temporal/segmented_store.cpp": """\
+#include "index/figdb_store.hpp"
+void Route(figdb::index::FigDbStore& active,
+           figdb::corpus::MediaObject obj) {
+  auto id = active.Ingest(std::move(obj));
+  (void)id;
+}
+""",
+    "src/temporal/reader_only.cpp": """\
+#include "temporal/burst_detector.hpp"
+void Feed(figdb::temporal::BurstDetector& detector,
+          const figdb::corpus::MediaObject& obj) {
+  detector.ObserveObject(obj);
+}
+""",
 }
 
 EXPECT_SEEDED = {
@@ -864,6 +933,7 @@ EXPECT_SEEDED = {
     ("fuzz/targets/fuzz_rogue.cpp", "fuzz-entrypoint"),
     ("src/serve/rogue_consumer.cpp", "shard-status-completeness"),
     ("src/net/rogue_dispatch.cpp", "deadline-propagation"),
+    ("src/temporal/rogue_append.cpp", "segment-timestamp-monotonicity"),
 }
 
 # Seeds that must NOT produce the paired finding — false-positive guards.
@@ -874,6 +944,8 @@ EXPECT_CLEAN = {
     ("src/serve/waived_consumer.cpp", "shard-status-completeness"),
     ("src/net/good_dispatch.cpp", "deadline-propagation"),
     ("src/net/waived_dispatch.cpp", "deadline-propagation"),
+    ("src/temporal/segmented_store.cpp", "segment-timestamp-monotonicity"),
+    ("src/temporal/reader_only.cpp", "segment-timestamp-monotonicity"),
 }
 
 
