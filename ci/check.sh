@@ -23,7 +23,13 @@
 #                          `segments` lifecycle (attach/merge/expire/
 #                          bursts), then re-attach from a fresh process
 #                          and assert the committed window recovered
+#   ci/check.sh deadlock   runtime lock-order validator tree
+#                          (-DFIGDB_DEADLOCK_DETECT=ON): the
+#                          `concurrency`-labeled suites with every scoped
+#                          acquisition checked against the global
+#                          acquisition-order graph
 #   ci/check.sh lint       figdb-lint self-test + repo invariants
+#                          (includes the cross-TU lock-order-cycle pass)
 #   ci/check.sh tidy       clang-tidy over the compilation database
 #                          (skips with a notice if clang-tidy is absent)
 #   ci/check.sh help       modes, environment knobs, corpus maintenance
@@ -75,6 +81,22 @@ run_tsan_tree() {
       -L concurrency ${CTEST_ARGS:-}
 }
 
+# The runtime deadlock detector (util/deadlock.hpp) is compiler-agnostic
+# and catches the ORDER VIOLATION itself — unlike TSan, which only reports
+# an ABBA if the fatal interleaving happens to fire under the run. The
+# tree runs the same `concurrency`-labeled suites as TSan; the two modes
+# are complementary (TSan sees data races, this sees lock-order cycles).
+# tests/deadlock_test.cpp's DeadlockDetectTest suite only compiles here,
+# so the seeded-ABBA-aborts acceptance check runs exactly in this mode.
+run_deadlock_tree() {
+  cmake -B build-deadlock -S . -DFIGDB_DEADLOCK_DETECT=ON >/dev/null
+  echo "==== [ci-deadlock] build ===="
+  cmake --build build-deadlock -j "$JOBS"
+  echo "==== [ci-deadlock] ctest (-L concurrency) ===="
+  ctest --test-dir build-deadlock --output-on-failure -j "$JOBS" \
+    -L concurrency ${CTEST_ARGS:-}
+}
+
 # figdb-lint needs a compilation database for the TU universe; any
 # configured tree provides one (CMAKE_EXPORT_COMPILE_COMMANDS is always
 # on). The self-test seeds one violation per rule and fails unless each
@@ -88,6 +110,13 @@ run_lint() {
   python3 tools/lint/figdb_lint.py --self-test
   echo "==== [ci-lint] figdb-lint ===="
   python3 tools/lint/figdb_lint.py -p build
+  echo "==== [ci-lint] lock-order graph artifacts ===="
+  # Archives the cross-TU acquisition-order graph next to the build
+  # (lock_graph.json for tooling, .dot for humans: `dot -Tsvg`). The
+  # cycle check itself already ran as figdb-lint rule lock-order-cycle;
+  # this re-run is for the artifacts and the one-line summary.
+  python3 tools/lint/lock_graph.py \
+    --json-out build/lock_graph.json --dot-out build/lock_graph.dot
 }
 
 # Coverage-guided fuzzing needs Clang (libFuzzer is a Clang runtime).
@@ -325,6 +354,9 @@ case "$MODE" in
   tsan)
     run_tsan_tree
     ;;
+  deadlock)
+    run_deadlock_tree
+    ;;
   fuzz)
     run_fuzz
     ;;
@@ -344,6 +376,7 @@ case "$MODE" in
     run_tree build ci-plain
     run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
     run_tsan_tree
+    run_deadlock_tree
     run_serve_smoke
     run_temporal_smoke
     run_lint
@@ -351,11 +384,11 @@ case "$MODE" in
     ;;
   help)
     cat <<'EOF'
-usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]
+usage: ci/check.sh [all|plain|asan|ubsan|tsan|deadlock|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]
 
 modes
-  all    plain + asan + tsan + serve-smoke + temporal-smoke + lint +
-         tidy (the default).
+  all    plain + asan + tsan + deadlock + serve-smoke + temporal-smoke +
+         lint + tidy (the default).
          The plain tree
          registers every fuzz/ target as a corpus-replay ctest case
          (label `fuzz_regression`), so the checked-in corpus is part of
@@ -365,6 +398,10 @@ modes
   ubsan  UBSan-only tree; halt_on_error=1 turns any UB report into a
          test failure instead of a log line
   tsan   ThreadSanitizer tree, `concurrency`-labeled suites only
+  deadlock  runtime lock-order validator tree
+         (-DFIGDB_DEADLOCK_DETECT=ON), `concurrency`-labeled suites
+         only; the DeadlockDetectTest seeded-ABBA/abort suite compiles
+         only in this tree
   fuzz   coverage-guided libFuzzer run of all fuzz/ targets under
          clang++ (FUZZ_SECONDS per target, default 15); without clang++
          it degrades to the corpus-replay ctest cases
@@ -374,7 +411,9 @@ modes
   temporal-smoke  process-restart temporal drill: figdb_shell `segments`
          lifecycle (attach, merge, expire, bursts) then a fresh-process
          re-attach asserting the committed window recovered
-  lint   figdb-lint self-test + repo invariants
+  lint   figdb-lint self-test + repo invariants; also emits the
+         cross-module lock-order graph artifacts
+         (build/lock_graph.json, build/lock_graph.dot)
   tidy   clang-tidy over the compilation database (skips if absent)
 
 environment
@@ -399,7 +438,7 @@ EOF
     exit 0
     ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|ubsan|tsan|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|ubsan|tsan|deadlock|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]" >&2
     exit 2
     ;;
 esac

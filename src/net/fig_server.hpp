@@ -150,7 +150,9 @@ class FigServer {
   bool stopped_ = false;
 
   /// Stop() waits for every handed-off connection (running or queued).
-  mutable util::Mutex conn_mu_;
+  /// Leaf by design: AcceptLoop releases it before Submit, and connection
+  /// handlers only touch it bare (no store/quota lock held).
+  mutable util::Mutex conn_mu_{"net.FigServer.conn"};
   util::CondVar conn_done_;
   std::size_t active_connections_ FIGDB_GUARDED_BY(conn_mu_) = 0;
 

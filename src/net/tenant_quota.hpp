@@ -86,7 +86,7 @@ class TenantQuotas {
   void Release(const std::string& tenant);
 
   QuotaOptions options_;
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"net.TenantQuotas.inflight"};
   std::unordered_map<std::string, std::size_t> in_flight_
       FIGDB_GUARDED_BY(mu_);
 };

@@ -169,7 +169,12 @@ class ServingStore {
 
   /// The writer capability: serializes Ingest/Remove/Checkpoint/Publish and
   /// guards all writer-only state. Uncontended when the contract is obeyed.
-  mutable util::Mutex writer_mutex_;
+  /// Ordering: PublishLocked retires the displaced snapshot while holding
+  /// this lock, so the reclaimer's retired-list lock nests inside it — a
+  /// cross-function nesting the scope-level lock-graph pass cannot see,
+  /// hence the explicit declaration.
+  mutable util::Mutex writer_mutex_{"serve.ServingStore.writer"}
+      FIGDB_ACQUIRED_BEFORE("util.EpochReclaimer.retired");
 
   index::FigDbStore store_;
   ServeOptions options_;

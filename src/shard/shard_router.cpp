@@ -44,7 +44,9 @@ struct LegOutcome {
 
 /// Completion mailbox between a pool leg and the gathering caller.
 struct LegState {
-  util::Mutex mu;
+  /// One role node for every leg mailbox: a gather must never hold two
+  /// leg locks at once (the scatter-gather loop locks one leg at a time).
+  util::Mutex mu{"shard.ShardRouter.leg"};
   util::CondVar cv;
   bool done FIGDB_GUARDED_BY(mu) = false;
   LegOutcome outcome FIGDB_GUARDED_BY(mu);

@@ -331,6 +331,7 @@ Status SegmentedStore::RollActiveSegment(std::uint32_t month) {
 }
 
 StatusOr<corpus::ObjectId> SegmentedStore::Ingest(corpus::MediaObject object) {
+  util::MutexLock lock(*writer_mutex_);
   if (FIGDB_FAILPOINT("temporal/clock_skew")) {
     // Deterministic out-of-order producer: rewind the timestamp below the
     // active segment's floor so the clamp path must fire.
@@ -365,6 +366,7 @@ StatusOr<corpus::ObjectId> SegmentedStore::Ingest(corpus::MediaObject object) {
 }
 
 Status SegmentedStore::Remove(corpus::ObjectId global_id) {
+  util::MutexLock lock(*writer_mutex_);
   for (auto& seg_ptr : segments_) {
     Segment& seg = *seg_ptr;
     if (global_id < seg.entry.base ||
@@ -391,6 +393,7 @@ Status SegmentedStore::Remove(corpus::ObjectId global_id) {
 }
 
 Status SegmentedStore::Checkpoint() {
+  util::MutexLock lock(*writer_mutex_);
   for (auto& seg : segments_) {
     Status st = seg->store.Checkpoint();
     if (!st.ok())
@@ -401,6 +404,7 @@ Status SegmentedStore::Checkpoint() {
 }
 
 Status SegmentedStore::RunRetention(std::uint32_t now_epoch) {
+  util::MutexLock lock(*writer_mutex_);
   if (options_.retention_epochs == 0) return Status::Ok();
   std::vector<std::uint32_t> victims;
   for (const auto& seg : segments_)
@@ -453,6 +457,7 @@ Status SegmentedStore::RunRetention(std::uint32_t now_epoch) {
 }
 
 Status SegmentedStore::MergeSealed() {
+  util::MutexLock lock(*writer_mutex_);
   std::vector<Segment*> victims;
   std::unordered_set<std::uint32_t> victim_ids;
   for (auto& seg : segments_)
@@ -559,6 +564,7 @@ void SegmentedStore::RefreshViews(bool with_union) {
 StatusOr<TemporalSearchResult> SegmentedStore::Search(
     const corpus::MediaObject& query, std::size_t k, double delta,
     std::uint32_t now_epoch) {
+  util::MutexLock lock(*writer_mutex_);
   if (!(delta > 0.0 && delta <= 1.0))
     return Status::InvalidArgument("decay delta " + std::to_string(delta) +
                                    " outside (0, 1]");
@@ -608,6 +614,7 @@ StatusOr<std::vector<core::SearchResult>>
 SegmentedStore::SearchExhaustiveDecayed(const corpus::MediaObject& query,
                                         std::size_t k, double delta,
                                         std::uint32_t now_epoch) {
+  util::MutexLock lock(*writer_mutex_);
   if (!(delta > 0.0 && delta <= 1.0))
     return Status::InvalidArgument("decay delta " + std::to_string(delta) +
                                    " outside (0, 1]");

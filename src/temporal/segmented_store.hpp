@@ -12,6 +12,7 @@
 #include "temporal/segment_manifest.hpp"
 #include "temporal/temporal_merger.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 /// \file segmented_store.hpp
 /// Time-partitioned store: ingest lands in epoch-bucketed segments so
@@ -255,6 +256,16 @@ class SegmentedStore {
   BurstDetector detector_;
   std::uint32_t clock_epoch_ = 0;
   std::uint64_t skew_clamped_ = 0;
+  /// Serializes the public entry points (Ingest/Remove/Checkpoint/
+  /// RunRetention/MergeSealed — and Search/SearchExhaustiveDecayed, which
+  /// lazily refresh engine views, so they mutate too). The single-threaded
+  /// contract above still holds for callers; this lock turns a violation
+  /// into serialization instead of corruption, and gives the store a
+  /// named node in the deadlock-freedom layer's lock-order graph. Behind
+  /// unique_ptr because a Mutex member would delete the move operations
+  /// the StatusOr<SegmentedStore> factories rely on.
+  std::unique_ptr<util::Mutex> writer_mutex_ =
+      std::make_unique<util::Mutex>("temporal.SegmentedStore.writer");
 };
 
 }  // namespace figdb::temporal

@@ -1,0 +1,281 @@
+#include "util/deadlock.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace figdb::util::deadlock {
+namespace {
+
+using NodeId = std::uint32_t;
+
+/// "file:line" of the acquisition that first put an endpoint on an edge.
+std::string SiteOf(const std::source_location& loc) {
+  std::string site = loc.file_name();
+  // Trim to the repo-relative tail: the build invokes the compiler with
+  // absolute paths and the reports should read like lint findings.
+  const auto src = site.rfind("/src/");
+  if (src != std::string::npos) site.erase(0, src + 1);
+  site += ":" + std::to_string(loc.line());
+  return site;
+}
+
+struct Node {
+  std::string name;      ///< role name, or "mutex@0x..." for unnamed locks
+  std::size_t refs = 0;  ///< live lock objects mapped to this node
+};
+
+struct Edge {
+  std::string from_site;  ///< acquisition holding `from` when observed
+  std::string to_site;    ///< acquisition of `to` that observed the edge
+};
+
+struct HeldLock {
+  const void* lock;
+  NodeId node;
+  std::string site;
+};
+
+/// One entry per lock this thread holds, acquisition order. thread_local
+/// lifetime means a lock held across thread exit is the caller's bug (a
+/// scoped acquirer cannot outlive its frame, let alone its thread).
+thread_local std::vector<HeldLock> tls_held;
+
+void DefaultHandler(const std::string& report) {
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+struct Registry {
+  /// Raw std::mutex on purpose: the annotated wrappers call in here, so
+  /// the registry must not be built out of the thing it instruments.
+  std::mutex mu;
+  std::unordered_map<const void*, NodeId> by_object;
+  std::unordered_map<std::string, NodeId> by_name;
+  std::unordered_map<NodeId, Node> nodes;
+  /// adjacency: from -> (to -> first-observed sites)
+  std::unordered_map<NodeId, std::unordered_map<NodeId, Edge>> edges;
+  NodeId next_id = 1;
+  std::uint64_t violations = 0;
+  ViolationHandler handler = &DefaultHandler;
+
+  /// DFS: is `target` reachable from `start` over recorded edges?
+  /// Collects one path into \p path when it is (for the report).
+  bool Reaches(NodeId start, NodeId target, std::vector<NodeId>* path) {
+    std::unordered_set<NodeId> seen;
+    path->clear();
+    return ReachesFrom(start, target, &seen, path);
+  }
+
+  bool ReachesFrom(NodeId at, NodeId target, std::unordered_set<NodeId>* seen,
+                   std::vector<NodeId>* path) {
+    if (!seen->insert(at).second) return false;
+    path->push_back(at);
+    if (at == target) return true;
+    auto it = edges.find(at);
+    if (it != edges.end())
+      for (const auto& [next, edge] : it->second)
+        if (ReachesFrom(next, target, seen, path)) return true;
+    path->pop_back();
+    return false;
+  }
+
+  const Edge* EdgeBetween(NodeId from, NodeId to) const {
+    auto it = edges.find(from);
+    if (it == edges.end()) return nullptr;
+    auto jt = it->second.find(to);
+    return jt == it->second.end() ? nullptr : &jt->second;
+  }
+};
+
+Registry& Reg() {
+  static Registry* registry = new Registry();  // leaked: outlives all locks
+  return *registry;
+}
+
+std::string UnnamedLabel(const void* lock) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "mutex@%p", lock);
+  return buf;
+}
+
+/// The full violation report: what was being acquired, what was held, and
+/// the already-established path that the new edge would close into a
+/// cycle — every hop with the acquisition sites that established it.
+std::string BuildReport(Registry& reg, const Node& acquiring,
+                        const std::string& acquire_site, const HeldLock& held,
+                        const std::vector<NodeId>& path) {
+  std::string r = "figdb deadlock detector: lock-order cycle\n";
+  r += "  acquiring: " + acquiring.name + " (at " + acquire_site + ")\n";
+  r += "  while holding: " + reg.nodes[held.node].name + " (acquired at " +
+       held.site + ")\n";
+  r += "  established order that the acquisition contradicts:\n";
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Edge* e = reg.EdgeBetween(path[i], path[i + 1]);
+    r += "    " + reg.nodes[path[i]].name + " -> " +
+         reg.nodes[path[i + 1]].name;
+    if (e != nullptr)
+      r += "  (held at " + e->from_site + ", acquired at " + e->to_site + ")";
+    r += "\n";
+  }
+  r += "  fix: acquire " + acquiring.name + " before " +
+       reg.nodes[held.node].name +
+       " everywhere, or break the nesting (see DESIGN.md on deadlock "
+       "analysis)\n";
+  return r;
+}
+
+std::string RecursionReport(const Node& node, const std::string& first_site,
+                            const std::string& second_site) {
+  return "figdb deadlock detector: recursive acquisition of " + node.name +
+         "\n  first acquired at " + first_site + "\n  re-acquired at " +
+         second_site + " (figdb mutexes are non-recursive: this blocks "
+         "forever)\n";
+}
+
+}  // namespace
+
+void OnCreate(const void* lock, const char* name) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  NodeId id;
+  if (name != nullptr) {
+    auto [it, inserted] = reg.by_name.try_emplace(name, reg.next_id);
+    id = it->second;
+    if (inserted) reg.nodes[id] = Node{name, 0}, ++reg.next_id;
+  } else {
+    id = reg.next_id++;
+    reg.nodes[id] = Node{UnnamedLabel(lock), 0};
+  }
+  ++reg.nodes[id].refs;
+  reg.by_object[lock] = id;
+}
+
+void OnDestroy(const void* lock) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto it = reg.by_object.find(lock);
+  if (it == reg.by_object.end()) return;  // pre-registry static init order
+  const NodeId id = it->second;
+  reg.by_object.erase(it);
+  Node& node = reg.nodes[id];
+  if (--node.refs > 0) return;
+  // Last instance of the role: the node and every incident edge leave the
+  // graph (a fresh same-named lock starts with a clean slate — test
+  // fixtures construct and destruct freely without cross-test ghosts).
+  reg.by_name.erase(node.name);
+  reg.nodes.erase(id);
+  reg.edges.erase(id);
+  for (auto& [from, out] : reg.edges) out.erase(id);
+}
+
+void OnAcquire(const void* lock, Kind kind, const std::source_location& loc) {
+  Registry& reg = Reg();
+  const std::string site = SiteOf(loc);
+  // Recursive re-acquisition: same OBJECT already on this thread's stack.
+  // (Same-name sibling instances fall through to the self-edge check.)
+  for (const HeldLock& h : tls_held)
+    if (h.lock == lock) {
+      std::string report;
+      ViolationHandler handler;
+      {
+        std::lock_guard<std::mutex> lk(reg.mu);
+        ++reg.violations;
+        handler = reg.handler;
+        auto it = reg.by_object.find(lock);
+        const Node fallback{UnnamedLabel(lock), 0};
+        const Node& node =
+            it == reg.by_object.end() ? fallback : reg.nodes[it->second];
+        report = RecursionReport(node, h.site, site);
+      }
+      handler(report);
+      return;  // handler returned (test mode): record nothing
+    }
+
+  std::string report;
+  ViolationHandler handler = nullptr;
+  NodeId id = 0;
+  {
+    std::lock_guard<std::mutex> lk(reg.mu);
+    auto it = reg.by_object.find(lock);
+    if (it == reg.by_object.end()) return;  // constructed before registry
+    id = it->second;
+    for (const HeldLock& h : tls_held) {
+      if (h.node == id) {
+        // Two instances of one named role held at once: order within the
+        // role is undefined — report it as the self-cycle it is.
+        ++reg.violations;
+        handler = reg.handler;
+        std::vector<NodeId> self_path = {id, id};
+        report = BuildReport(reg, reg.nodes[id], site, h, self_path);
+        break;
+      }
+      if (reg.EdgeBetween(h.node, id) != nullptr) continue;  // steady state
+      std::vector<NodeId> path;
+      if (reg.Reaches(id, h.node, &path)) {
+        // h.node -> ... -> id exists transitively the OTHER way round:
+        // inserting h.node -> id would close the cycle. Report with the
+        // established path id -> ... -> h.node.
+        ++reg.violations;
+        handler = reg.handler;
+        report = BuildReport(reg, reg.nodes[id], site, h, path);
+        break;
+      }
+      reg.edges[h.node][id] = Edge{h.site, site};
+    }
+  }
+  if (handler != nullptr) {
+    handler(report);
+    // Handler returned (test mode): skip recording the offending edge and
+    // still push the hold so the matching OnRelease stays balanced.
+  }
+  (void)kind;  // shared vs exclusive order identically; kept for reports
+  tls_held.push_back(HeldLock{lock, id, site});
+}
+
+void OnRelease(const void* lock) {
+  // LIFO in the common scoped case, but search back-to-front so an
+  // out-of-order release (interleaved scopes via moved guards) stays
+  // balanced instead of corrupting the stack.
+  for (std::size_t i = tls_held.size(); i-- > 0;) {
+    if (tls_held[i].lock == lock) {
+      tls_held.erase(tls_held.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+Stats GetStats() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  Stats s;
+  s.nodes = reg.nodes.size();
+  for (const auto& [from, out] : reg.edges) s.edges += out.size();
+  s.violations = reg.violations;
+  return s;
+}
+
+std::size_t HeldByThisThread() { return tls_held.size(); }
+
+ViolationHandler SetViolationHandler(ViolationHandler handler) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  ViolationHandler prev = reg.handler;
+  reg.handler = handler == nullptr ? &DefaultHandler : handler;
+  return prev == &DefaultHandler ? nullptr : prev;
+}
+
+void ResetForTest() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.edges.clear();
+  reg.violations = 0;
+}
+
+}  // namespace figdb::util::deadlock

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <source_location>
+#include <string>
+
+/// \file deadlock.hpp
+/// Runtime lock-order validator (the dynamic half of the deadlock-freedom
+/// layer; tools/lint/lock_graph.py is the static half).
+///
+/// TSan only reports an ABBA deadlock if the fatal interleaving actually
+/// fires under the test run. This registry catches the ORDER VIOLATION
+/// itself, on the first run that merely exercises both orders — long
+/// before any interleaving wedges: every scoped lock acquisition records
+/// a directed edge from each lock the thread already holds to the lock it
+/// is acquiring, and an edge that closes a cycle in the global
+/// acquisition-order graph reports the full cycle (lock names plus the
+/// file:line of the acquisitions that established each edge) and aborts.
+///
+/// The abseil GraphCycles detector is the shape being followed: a global
+/// first-observed-edge graph over lock IDENTITIES, a per-thread stack of
+/// held locks, an O(edges) reachability check only when a NEW edge is
+/// inserted (the steady state — every edge already known — is one hash
+/// lookup per held lock).
+///
+/// Identity. A mutex constructed with a debug name (see the named
+/// constructors in util/thread_annotations.hpp) shares one graph node with
+/// every other mutex of the same name: the name denotes the lock's ROLE
+/// ("serve.ServingStore.writer"), so an inconsistent order between two
+/// roles is flagged even when the two runs that exercised the two orders
+/// touched different instances. Unnamed mutexes get a per-object node —
+/// still protected, just not merged. Same-name nesting (two instances of
+/// one role held at once) is reported as a self-cycle: ordering within a
+/// role needs an explicit discipline and a waiver-carrying wrapper, not
+/// silence.
+///
+/// The hooks below are called by the scoped acquirers in
+/// util/thread_annotations.hpp only when FIGDB_DEADLOCK_DETECT is defined
+/// (the CMake option of the same name); the registry itself compiles in
+/// every build so its unit tests and tools can drive it directly. The
+/// registry's own synchronization is a raw std::mutex on purpose — the
+/// instrumented wrappers must not recurse into themselves.
+///
+/// Interplay with Clang Thread Safety Analysis: TSA proves WHICH lock
+/// guards WHAT (thread_annotations.hpp); this layer proves the ORDER of
+/// acquisitions is globally consistent. FIGDB_ACQUIRED_BEFORE documents
+/// the intended order statically; the registry verifies the observed
+/// order dynamically; lock_graph.py cross-checks both cross-TU.
+
+namespace figdb::util::deadlock {
+
+/// Exclusive vs shared acquisition. Both participate identically in the
+/// order graph (a shared holder still deadlocks against a writer queued
+/// behind it), the kind only improves the report text.
+enum class Kind : std::uint8_t { kExclusive, kShared };
+
+/// Registers a lock object. \p name may be nullptr (per-object identity)
+/// or a stable role name (instances sharing a name share a graph node).
+/// Called by Mutex/SharedMutex constructors under FIGDB_DEADLOCK_DETECT.
+void OnCreate(const void* lock, const char* name);
+
+/// Unregisters a lock object; when the last object of a named role goes,
+/// the role's node and its incident edges leave the graph with it.
+void OnDestroy(const void* lock);
+
+/// Records the acquisition about to happen: checks for recursive
+/// re-acquisition, inserts first-observed edges from every lock this
+/// thread already holds, and reports a violation if an edge closes a
+/// cycle. Call BEFORE blocking on the real lock — that is what turns a
+/// would-be deadlock into a report: the second thread of an ABBA pair
+/// reports at its acquire instead of wedging.
+void OnAcquire(const void* lock, Kind kind, const std::source_location& loc);
+
+/// Pops the lock from the calling thread's held stack.
+void OnRelease(const void* lock);
+
+/// Introspection (tests, tools).
+struct Stats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::uint64_t violations = 0;  ///< reported since process start / reset
+};
+Stats GetStats();
+
+/// How many locks the CALLING thread currently holds (test assertion aid).
+std::size_t HeldByThisThread();
+
+/// Violation sink. The default handler prints the report to stderr and
+/// aborts (the acceptance contract: a seeded ABBA run dies loudly, with
+/// both lock names and both acquisition sites in the output). Tests
+/// install a capturing handler; a handler that RETURNS suppresses the
+/// offending edge (it is not inserted), so a capture-and-continue test
+/// leaves the graph exactly as acyclic as it found it.
+using ViolationHandler = void (*)(const std::string& report);
+
+/// Installs \p handler (nullptr restores the default abort handler) and
+/// returns the previous one.
+ViolationHandler SetViolationHandler(ViolationHandler handler);
+
+/// Drops every edge and zeroes the violation counter, keeping the nodes
+/// of still-live locks. Test isolation only: production code never calls
+/// this — forgetting an observed edge is forgetting evidence.
+void ResetForTest();
+
+}  // namespace figdb::util::deadlock

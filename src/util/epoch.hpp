@@ -94,7 +94,9 @@ class EpochReclaimer {
   std::atomic<std::uint64_t> reclaimed_{0};
   std::vector<std::atomic<std::uint64_t>> slots_;
 
-  mutable Mutex retired_mutex_;
+  /// Leaf lock: Retire/TryReclaim never acquire anything while holding it
+  /// (deleters run after release — see epoch.cpp).
+  mutable Mutex retired_mutex_{"util.EpochReclaimer.retired"};
   std::vector<Retired> retired_ FIGDB_GUARDED_BY(retired_mutex_);
 };
 

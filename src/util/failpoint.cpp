@@ -20,7 +20,7 @@ struct FailPointState {
 };
 
 struct Registry {
-  Mutex mu;
+  Mutex mu{"util.FailPoints.registry"};
   std::unordered_map<std::string, FailPointState> points FIGDB_GUARDED_BY(mu);
   std::uint64_t active FIGDB_GUARDED_BY(mu) = 0;
 };

@@ -69,7 +69,11 @@ class ShardedMemoCache {
   }
 
   struct Shard {
-    mutable SharedMutex mutex;
+    /// All 16 shards share one role node in the lock-order graph, so
+    /// holding two shard locks at once is flagged as a self-cycle: the
+    /// cache's contract is strictly one-shard-at-a-time (Size() walks the
+    /// shards sequentially, never nested).
+    mutable SharedMutex mutex{"util.ShardedMemoCache.shard"};
     std::unordered_map<std::uint64_t, double> map FIGDB_GUARDED_BY(mutex);
   };
 

@@ -5,6 +5,12 @@
 #include <mutex>
 #include <shared_mutex>
 
+#ifdef FIGDB_DEADLOCK_DETECT
+#include <source_location>
+
+#include "util/deadlock.hpp"
+#endif
+
 /// \file thread_annotations.hpp
 /// Compile-time concurrency contracts: Clang Thread Safety Analysis.
 ///
@@ -89,6 +95,45 @@
 #define FIGDB_NO_THREAD_SAFETY_ANALYSIS \
   FIGDB_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/// Declares the intended GLOBAL acquisition order on a mutex member:
+/// "this lock is acquired before the named ones". Arguments are either
+/// same-class capability members or string literals naming locks in other
+/// classes/TUs ("figdb::util::EpochReclaimer::retired_mutex_").
+///
+/// Deliberately NOT the Clang acquired_before beta attribute: that
+/// attribute ignores string arguments, and the whole point here is the
+/// cross-TU order, which only strings can name. The checkers are ours
+/// instead — tools/lint/lock_graph.py parses these declarations, folds
+/// them into the observed (nested-scope + REQUIRES-implied) acquisition
+/// graph, and fails the `lock-order-cycle` lint rule on any cycle; the
+/// runtime registry (util/deadlock.hpp, FIGDB_DEADLOCK_DETECT) verifies
+/// the executed order agrees. The macro itself expands to nothing on
+/// every compiler.
+#define FIGDB_ACQUIRED_BEFORE(...)
+/// Inverse direction, for when the later lock is the natural place to
+/// document the pair. Same tooling, same no-op expansion.
+#define FIGDB_ACQUIRED_AFTER(...)
+
+/// Hooks the runtime lock-order validator into the scoped acquirers
+/// below. Expand to nothing unless the build opted in: the production
+/// wrappers stay exactly the std primitives they wrap.
+#ifdef FIGDB_DEADLOCK_DETECT
+#define FIGDB_DL_SITE_PARAM \
+  , std::source_location figdb_loc = std::source_location::current()
+#define FIGDB_DL_CREATE(lock, name) ::figdb::util::deadlock::OnCreate(lock, name)
+#define FIGDB_DL_DESTROY(lock) ::figdb::util::deadlock::OnDestroy(lock)
+#define FIGDB_DL_ACQUIRE(lock, kind) \
+  ::figdb::util::deadlock::OnAcquire(  \
+      lock, ::figdb::util::deadlock::Kind::kind, figdb_loc)
+#define FIGDB_DL_RELEASE(lock) ::figdb::util::deadlock::OnRelease(lock)
+#else
+#define FIGDB_DL_SITE_PARAM
+#define FIGDB_DL_CREATE(lock, name) ((void)0)
+#define FIGDB_DL_DESTROY(lock) ((void)0)
+#define FIGDB_DL_ACQUIRE(lock, kind) ((void)0)
+#define FIGDB_DL_RELEASE(lock) ((void)0)
+#endif
+
 namespace figdb::util {
 
 class CondVar;
@@ -96,9 +141,22 @@ class CondVar;
 /// std::mutex as an annotated capability. Lock with MutexLock (scoped) —
 /// the bare lock()/unlock() exist for the wrappers and for
 /// std::unique_lock-shaped interop, but scoped acquisition is the idiom.
+///
+/// The optional debug name feeds the runtime lock-order validator
+/// (util/deadlock.hpp): same-named mutexes share one node in the
+/// acquisition-order graph, so the name should denote the lock's ROLE
+/// ("serve.ServingStore.writer"), stable across instances. Outside
+/// FIGDB_DEADLOCK_DETECT builds the name is discarded at compile time.
 class FIGDB_CAPABILITY("mutex") Mutex {
  public:
+#ifdef FIGDB_DEADLOCK_DETECT
+  Mutex() { FIGDB_DL_CREATE(this, nullptr); }
+  explicit Mutex(const char* name) { FIGDB_DL_CREATE(this, name); }
+  ~Mutex() { FIGDB_DL_DESTROY(this); }
+#else
   Mutex() = default;
+  explicit Mutex(const char*) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
@@ -112,9 +170,17 @@ class FIGDB_CAPABILITY("mutex") Mutex {
 };
 
 /// std::shared_mutex as an annotated capability (reader/writer memo locks).
+/// Naming: see Mutex.
 class FIGDB_CAPABILITY("shared_mutex") SharedMutex {
  public:
+#ifdef FIGDB_DEADLOCK_DETECT
+  SharedMutex() { FIGDB_DL_CREATE(this, nullptr); }
+  explicit SharedMutex(const char* name) { FIGDB_DL_CREATE(this, name); }
+  ~SharedMutex() { FIGDB_DL_DESTROY(this); }
+#else
   SharedMutex() = default;
+  explicit SharedMutex(const char*) {}
+#endif
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
@@ -128,10 +194,24 @@ class FIGDB_CAPABILITY("shared_mutex") SharedMutex {
 };
 
 /// Scoped exclusive lock on a Mutex (the annotated std::scoped_lock).
+///
+/// Under FIGDB_DEADLOCK_DETECT the constructor registers the acquisition
+/// (capturing the call site via the defaulted source_location) BEFORE
+/// blocking: an order violation is reported at the acquire that would
+/// have deadlocked, instead of wedging. The bare Mutex::lock()/try_lock()
+/// are NOT instrumented — scoped acquisition is the idiom the raw-mutex
+/// lint rule already enforces outside src/util.
 class FIGDB_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) FIGDB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
-  ~MutexLock() FIGDB_RELEASE() { mu_.unlock(); }
+  explicit MutexLock(Mutex& mu FIGDB_DL_SITE_PARAM) FIGDB_ACQUIRE(mu)
+      : mu_(mu) {
+    FIGDB_DL_ACQUIRE(&mu_, kExclusive);
+    mu_.lock();
+  }
+  ~MutexLock() FIGDB_RELEASE() {
+    mu_.unlock();
+    FIGDB_DL_RELEASE(&mu_);
+  }
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
@@ -143,10 +223,16 @@ class FIGDB_SCOPED_CAPABILITY MutexLock {
 /// Scoped exclusive lock on a SharedMutex (writer side).
 class FIGDB_SCOPED_CAPABILITY SharedMutexLock {
  public:
-  explicit SharedMutexLock(SharedMutex& mu) FIGDB_ACQUIRE(mu) : mu_(mu) {
+  explicit SharedMutexLock(SharedMutex& mu FIGDB_DL_SITE_PARAM)
+      FIGDB_ACQUIRE(mu)
+      : mu_(mu) {
+    FIGDB_DL_ACQUIRE(&mu_, kExclusive);
     mu_.lock();
   }
-  ~SharedMutexLock() FIGDB_RELEASE() { mu_.unlock(); }
+  ~SharedMutexLock() FIGDB_RELEASE() {
+    mu_.unlock();
+    FIGDB_DL_RELEASE(&mu_);
+  }
   SharedMutexLock(const SharedMutexLock&) = delete;
   SharedMutexLock& operator=(const SharedMutexLock&) = delete;
 
@@ -154,13 +240,21 @@ class FIGDB_SCOPED_CAPABILITY SharedMutexLock {
   SharedMutex& mu_;
 };
 
-/// Scoped shared lock on a SharedMutex (reader side).
+/// Scoped shared lock on a SharedMutex (reader side). Shared acquisitions
+/// participate in the order graph exactly like exclusive ones: a shared
+/// holder still deadlocks against a writer queued behind it.
 class FIGDB_SCOPED_CAPABILITY SharedLock {
  public:
-  explicit SharedLock(SharedMutex& mu) FIGDB_ACQUIRE_SHARED(mu) : mu_(mu) {
+  explicit SharedLock(SharedMutex& mu FIGDB_DL_SITE_PARAM)
+      FIGDB_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    FIGDB_DL_ACQUIRE(&mu_, kShared);
     mu_.lock_shared();
   }
-  ~SharedLock() FIGDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+  ~SharedLock() FIGDB_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    FIGDB_DL_RELEASE(&mu_);
+  }
   SharedLock(const SharedLock&) = delete;
   SharedLock& operator=(const SharedLock&) = delete;
 

@@ -59,7 +59,7 @@ void ThreadPool::ParallelFor(std::size_t shards,
   struct Batch {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done_count{0};
-    Mutex done_mutex;
+    Mutex done_mutex{"util.ThreadPool.batch_done"};
     CondVar done;
   };
   auto batch = std::make_shared<Batch>();

@@ -52,7 +52,7 @@ class ThreadPool {
  private:
   void WorkerLoop() FIGDB_EXCLUDES(mutex_);
 
-  Mutex mutex_;
+  Mutex mutex_{"util.ThreadPool.queue"};
   CondVar wake_;
   std::deque<std::function<void()>> queue_ FIGDB_GUARDED_BY(mutex_);
   /// Written only by the constructor, before any worker exists; const after.

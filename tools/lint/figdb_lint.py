@@ -57,13 +57,29 @@ diagnostics and a non-zero exit on any finding:
                          clamp/roll, so a skewed timestamp could land in a
                          sealed bucket and break the per-segment epoch
                          ranges the merge-time decay weights rely on.
+  lock-order-cycle       The global lock-acquisition-order graph (built
+                         cross-TU by tools/lint/lock_graph.py from named
+                         Mutex/SharedMutex declarations, nested scoped
+                         acquisitions, FIGDB_REQUIRES/FIGDB_ACQUIRE
+                         implications, and FIGDB_ACQUIRED_BEFORE/AFTER
+                         declarations) must be acyclic: a cycle is a
+                         potential ABBA deadlock that TSan only reports
+                         if the fatal interleaving actually fires.
+  blocking-under-lock    No sleeps, file I/O, or FigClient/socket network
+                         calls while a MutexLock/SharedLock guard is live
+                         in the enclosing scope — a blocked lock holder
+                         convoys every thread behind that lock.
 
 Waivers: a justified exception carries, on the same line or the line
 above:   // figdb-lint: allow(<rule-id>): <reason>
 The reason is mandatory; a waiver without one is itself a finding.
 
 Usage:
-  tools/lint/figdb_lint.py [-p BUILD_DIR] [--self-test]
+  tools/lint/figdb_lint.py [-p BUILD_DIR] [--self-test] [--json]
+
+Exit codes: 0 clean, 1 findings (or self-test failure), 2 internal or
+usage error — stable for CI consumption, as is the --json schema
+(schema_version bumps on any incompatible change).
 
 The compilation database (BUILD_DIR/compile_commands.json, default
 build/) supplies the translation-unit universe; headers under src/ are
@@ -81,6 +97,9 @@ import re
 import sys
 import tempfile
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lock_graph  # noqa: E402  (sibling module, path set above)
+
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 RULES = (
@@ -95,6 +114,8 @@ RULES = (
     "shard-status-completeness",
     "deadline-propagation",
     "segment-timestamp-monotonicity",
+    "lock-order-cycle",
+    "blocking-under-lock",
 )
 
 WAIVER_RE = re.compile(r"figdb-lint:\s*allow\(([A-Za-z0-9_-]+)\)(:?\s*\S?)")
@@ -712,6 +733,73 @@ def rule_segment_timestamp_monotonicity(
     return found
 
 
+def rule_lock_order_cycle(files: list[SourceFile], root: str) -> list[Finding]:
+    """The cross-TU lock-acquisition-order graph must be acyclic. The
+    graph construction lives in lock_graph.py (also runnable standalone
+    to emit lock_graph.json/.dot artifacts); this rule turns each cycle
+    into one finding anchored at the first edge site. A waiver on ANY
+    edge of the cycle suppresses it — waiving one edge is exactly the
+    'this inversion is safe because X' claim that breaks the cycle."""
+    graph = lock_graph.analyze(files, root)
+    by_rel = {rel_of(sf.path, root): sf for sf in files}
+    found = []
+    for cycle in graph.cycles():
+        edges = graph.cycle_edges(cycle)
+        waived = False
+        for frm, to, e in edges:
+            for site in e["sites"]:
+                sf = by_rel.get(site["file"])
+                if sf and sf.waived(site["line"], "lock-order-cycle"):
+                    waived = True
+        if waived or not edges:
+            continue
+        desc = "; ".join(
+            f"{frm} -> {to} ({e['kind']} at "
+            f"{e['sites'][0]['file']}:{e['sites'][0]['line']})"
+            for frm, to, e in edges
+        )
+        anchor = edges[0][2]["sites"][0]
+        found.append(
+            Finding(
+                os.path.join(root, anchor["file"]),
+                anchor["line"],
+                "lock-order-cycle",
+                f"lock acquisition order cycle {' -> '.join(cycle)} -> "
+                f"{cycle[0]}: {desc} — pick one global order (document it "
+                "with FIGDB_ACQUIRED_BEFORE) or waive one edge with the "
+                "reason the inversion cannot deadlock",
+            )
+        )
+    return found
+
+
+def rule_blocking_under_lock(files: list[SourceFile], root: str) -> list[Finding]:
+    """A thread that sleeps, touches disk, or waits on the network while
+    holding a lock convoys every thread behind that lock — and under the
+    serving deadline contract that is a latency cliff, not a hang. The
+    scope tracking (which guards are live at which source position) is
+    shared with the lock-graph pass in lock_graph.py."""
+    graph = lock_graph.analyze(files, root)
+    by_rel = {rel_of(sf.path, root): sf for sf in files}
+    found = []
+    for b in graph.blocking:
+        sf = by_rel.get(b["file"])
+        if sf is None or sf.waived(b["line"], "blocking-under-lock"):
+            continue
+        found.append(
+            Finding(
+                sf.path,
+                b["line"],
+                "blocking-under-lock",
+                f"{b['what']} while holding {b['lock']} — move the slow "
+                "call outside the critical section (stage under the lock, "
+                "execute after release), or waive with the reason the "
+                "stall is intended",
+            )
+        )
+    return found
+
+
 def rule_bad_waivers(files: list[SourceFile], root: str) -> list[Finding]:
     found = []
     for sf in files:
@@ -751,6 +839,8 @@ ALL_RULES = (
     rule_shard_status_completeness,
     rule_deadline_propagation,
     rule_segment_timestamp_monotonicity,
+    rule_lock_order_cycle,
+    rule_blocking_under_lock,
     rule_bad_waivers,
 )
 
@@ -918,6 +1008,119 @@ void Feed(figdb::temporal::BurstDetector& detector,
   detector.ObserveObject(obj);
 }
 """,
+    # ABBA: two functions acquire the same pair of named locks in
+    # opposite orders — the cross-TU graph closes the cycle even though
+    # each function is individually lock-consistent.
+    "src/serve/abba_order.cpp": """\
+#include "util/thread_annotations.hpp"
+namespace figdb::serve {
+class AbbaPair {
+ public:
+  void Forward() {
+    util::MutexLock first(alpha_);
+    util::MutexLock second(beta_);
+  }
+  void Backward() {
+    util::MutexLock first(beta_);
+    util::MutexLock second(alpha_);  // lock-order-cycle
+  }
+
+ private:
+  util::Mutex alpha_{"seed.AbbaPair.alpha"};
+  util::Mutex beta_{"seed.AbbaPair.beta"};
+};
+}  // namespace figdb::serve
+""",
+    # Negative control: the same nesting in a consistent order is fine.
+    "src/serve/ordered_pair.cpp": """\
+#include "util/thread_annotations.hpp"
+namespace figdb::serve {
+class OrderedPair {
+ public:
+  void Publish() {
+    util::MutexLock first(outer_);
+    util::MutexLock second(inner_);
+  }
+  void Drain() {
+    util::MutexLock first(outer_);
+    util::MutexLock second(inner_);
+  }
+
+ private:
+  util::Mutex outer_{"seed.OrderedPair.outer"};
+  util::Mutex inner_{"seed.OrderedPair.inner"};
+};
+}  // namespace figdb::serve
+""",
+    # Negative control: a cycle whose inverted edge carries a reasoned
+    # waiver is accepted (the waiver IS the deadlock-freedom argument).
+    "src/serve/waived_abba.cpp": """\
+#include "util/thread_annotations.hpp"
+namespace figdb::serve {
+class WaivedAbba {
+ public:
+  void Forward() {
+    util::MutexLock first(left_);
+    util::MutexLock second(right_);
+  }
+  void Backward() {
+    util::MutexLock first(right_);
+    // figdb-lint: allow(lock-order-cycle): only ever called single-threaded
+    util::MutexLock second(left_);
+  }
+
+ private:
+  util::Mutex left_{"seed.WaivedAbba.left"};
+  util::Mutex right_{"seed.WaivedAbba.right"};
+};
+}  // namespace figdb::serve
+""",
+    # Sleeps while a scoped guard is live in the enclosing scope.
+    "src/serve/blocking_seed.cpp": """\
+#include <chrono>
+#include <thread>
+
+#include "util/thread_annotations.hpp"
+namespace figdb::serve {
+class Stalls {
+ public:
+  void Slow() {
+    util::MutexLock lock(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // under lock
+  }
+
+ private:
+  util::Mutex mu_{"seed.Stalls.mu"};
+};
+}  // namespace figdb::serve
+""",
+    # Negative controls: the same sleep after the guard's scope closes,
+    # and a deliberate stall carrying a reasoned waiver.
+    "src/serve/blocking_clean.cpp": """\
+#include <chrono>
+#include <thread>
+
+#include "util/thread_annotations.hpp"
+namespace figdb::serve {
+class NoStalls {
+ public:
+  void Fine() {
+    {
+      util::MutexLock lock(mu_);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  void Intended() {
+    util::MutexLock lock(mu_);
+    // figdb-lint: allow(blocking-under-lock): fault-injection stall is the point
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+ private:
+  util::Mutex mu_{"seed.NoStalls.mu"};
+};
+}  // namespace figdb::serve
+""",
 }
 
 EXPECT_SEEDED = {
@@ -934,6 +1137,8 @@ EXPECT_SEEDED = {
     ("src/serve/rogue_consumer.cpp", "shard-status-completeness"),
     ("src/net/rogue_dispatch.cpp", "deadline-propagation"),
     ("src/temporal/rogue_append.cpp", "segment-timestamp-monotonicity"),
+    ("src/serve/abba_order.cpp", "lock-order-cycle"),
+    ("src/serve/blocking_seed.cpp", "blocking-under-lock"),
 }
 
 # Seeds that must NOT produce the paired finding — false-positive guards.
@@ -946,6 +1151,9 @@ EXPECT_CLEAN = {
     ("src/net/waived_dispatch.cpp", "deadline-propagation"),
     ("src/temporal/segmented_store.cpp", "segment-timestamp-monotonicity"),
     ("src/temporal/reader_only.cpp", "segment-timestamp-monotonicity"),
+    ("src/serve/ordered_pair.cpp", "lock-order-cycle"),
+    ("src/serve/waived_abba.cpp", "lock-order-cycle"),
+    ("src/serve/blocking_clean.cpp", "blocking-under-lock"),
 }
 
 
@@ -992,11 +1200,42 @@ def main() -> int:
         action="store_true",
         help="verify every rule fires on seeded violations, then exit",
     )
+    ap.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON on stdout (stable schema_version 1, "
+        "for CI archival alongside BENCH_*.json); exit codes unchanged",
+    )
     args = ap.parse_args()
     if args.self_test:
         return self_test()
     files = load_universe(args.build_dir, REPO)
     findings = run_all(files, REPO)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "findings": [
+                        {
+                            "file": rel_of(f.path, REPO),
+                            "line": f.line,
+                            "rule": f.rule,
+                            "message": f.message,
+                        }
+                        for f in findings
+                    ],
+                    "summary": {
+                        "files_checked": len(files),
+                        "findings": len(findings),
+                        "rules": list(RULES),
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if findings else 0
     for f in findings:
         print(f)
     if findings:
@@ -1007,4 +1246,8 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except Exception as exc:  # stable exit-code contract: 2 = tool error
+        print(f"figdb-lint: internal error: {exc}", file=sys.stderr)
+        sys.exit(2)

@@ -1,0 +1,427 @@
+#!/usr/bin/env python3
+"""lock_graph: cross-TU lock-acquisition-order analysis for figdb.
+
+The static half of the deadlock-freedom layer (util/deadlock.hpp is the
+runtime half). Reads every file under src/, reconstructs the global
+lock-acquisition-order graph, and reports cycles:
+
+  nodes  annotated Mutex/SharedMutex declarations. A declaration whose
+         braced initializer is a string literal — `util::Mutex m_{"role"}`
+         — names the lock's ROLE; same-named declarations share one node,
+         so an order inversion between two subsystems is visible even
+         though each TU only ever sees its own half. Unnamed locks get a
+         per-file node ("src/x.cpp::mu_").
+  edges  three sources, in the same direction "acquired first -> acquired
+         next":
+           nested    a MutexLock/SharedMutexLock/SharedLock constructed
+                     while another guard is live in an enclosing scope of
+                     the same function body (tracked by brace depth);
+           requires  an acquisition inside a function annotated
+                     FIGDB_REQUIRES(mu)/FIGDB_ACQUIRE(mu) — the caller
+                     already holds mu, so mu orders before the new lock;
+           declared  FIGDB_ACQUIRED_BEFORE("other") /
+                     FIGDB_ACQUIRED_AFTER("other") on the declaration —
+                     the documented order for nestings that cross function
+                     boundaries, which textual scope tracking cannot see.
+  cycles strongly connected components of that graph. Any SCC with more
+         than one node — or a self-loop, which is two instances of one
+         role held at once — is a potential ABBA deadlock and fails the
+         `lock-order-cycle` rule in figdb_lint.py unless an edge on the
+         cycle carries a reasoned waiver.
+
+This is a lexical pass, deliberately: it runs without a compiler, on
+every build, in milliseconds. The runtime registry (FIGDB_DEADLOCK_DETECT)
+covers what lexical analysis cannot — orders established through calls,
+function pointers, and data-dependent paths.
+
+Standalone usage (figdb_lint.py also imports this module as a rule):
+  tools/lint/lock_graph.py [--root DIR] [--json-out F] [--dot-out F]
+Exit 1 when the graph has an unwaived cycle, else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# The wrapper/detector implementation files define the vocabulary this
+# pass greps for; scanning them would hallucinate nodes out of the class
+# definitions themselves.
+SKIP_FILES = {
+    "src/util/thread_annotations.hpp",
+    "src/util/deadlock.hpp",
+    "src/util/deadlock.cpp",
+}
+
+DECL_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:util::)?(SharedMutex|Mutex)\s+(\w+)\s*"
+    r"(?:\{\s*\"([^\"]+)\"\s*\})?\s*(?=[;=F{])"
+)
+# util::Mutex behind a unique_ptr (movable owners name the role in the
+# make_unique argument instead of a member initializer).
+UNIQUE_RE = re.compile(
+    r"(\w+)\s*[={(]?\s*std::make_unique<\s*(?:util::)?(SharedMutex|Mutex)\s*>"
+    r"\(\s*\"([^\"]+)\"\s*\)"
+)
+GUARD_RE = re.compile(
+    r"\b(?:util::)?(SharedMutexLock|MutexLock|SharedLock)\s+\w+\s*"
+    r"[({]([^;{}]+?)[)}]\s*;"
+)
+REQ_RE = re.compile(r"\bFIGDB_(?:REQUIRES|ACQUIRE)\s*\(([^()]+)\)")
+ORDER_RE = re.compile(r"\bFIGDB_ACQUIRED_(BEFORE|AFTER)\s*\(([^)]*)\)")
+STRING_RE = re.compile(r"\"([^\"]+)\"")
+
+
+def trailing_ident(expr: str) -> str | None:
+    """`*writer_mutex_` / `shard.mutex` / `st->mu` -> the member name."""
+    m = re.search(r"([A-Za-z_]\w*)\s*$", expr.strip().rstrip("*&) \t"))
+    return m.group(1) if m else None
+
+
+def stem_of(rel: str) -> str:
+    """serving_store.hpp and serving_store.cpp share a resolution scope."""
+    return os.path.splitext(rel)[0]
+
+
+class Graph:
+    """The assembled lock-order graph plus everything a report needs."""
+
+    def __init__(self):
+        # node name -> list of {"file", "line"} declaration sites
+        self.nodes: dict[str, list[dict]] = {}
+        # (from, to) -> {"kind", "sites": [{"file", "line"}]}
+        self.edges: dict[tuple[str, str], dict] = {}
+        # var -> roles seen, for resolution diagnostics
+        self.by_var: dict[str, set[str]] = {}
+        self.by_file_var: dict[tuple[str, str], str] = {}
+        self.by_stem_var: dict[tuple[str, str], set[str]] = {}
+        # blocking calls made under a live guard (figdb_lint rule input):
+        # {"file", "line", "lock", "what"}
+        self.blocking: list[dict] = []
+
+    def add_node(self, name: str, file: str, line: int) -> None:
+        self.nodes.setdefault(name, []).append({"file": file, "line": line})
+
+    def add_edge(self, frm: str, to: str, kind: str, file: str, line: int):
+        self.nodes.setdefault(frm, [])
+        self.nodes.setdefault(to, [])
+        e = self.edges.setdefault((frm, to), {"kind": kind, "sites": []})
+        e["sites"].append({"file": file, "line": line})
+
+    def resolve(self, file_rel: str, var: str) -> str:
+        """Variable name -> node name: same-file declaration first, then
+        same-stem (hpp/cpp pair), then a globally unique name, else a
+        per-file fallback node so the guard still participates."""
+        role = self.by_file_var.get((file_rel, var))
+        if role:
+            return role
+        stem_roles = self.by_stem_var.get((stem_of(file_rel), var), set())
+        if len(stem_roles) == 1:
+            return next(iter(stem_roles))
+        roles = self.by_var.get(var, set())
+        if len(roles) == 1:
+            return next(iter(roles))
+        return f"{file_rel}::{var}"
+
+    def cycles(self) -> list[list[str]]:
+        """SCCs with >1 node, plus self-loops, as sorted node lists."""
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = [0]
+        adj: dict[str, list[str]] = {}
+        for (frm, to) in self.edges:
+            adj.setdefault(frm, []).append(to)
+
+        def strongconnect(root: str) -> None:
+            # Iterative Tarjan: (node, iterator position) frames.
+            work = [(root, 0)]
+            while work:
+                node, pos = work.pop()
+                if pos == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                succs = adj.get(node, [])
+                for i in range(pos, len(succs)):
+                    nxt = succs[i]
+                    if nxt not in index:
+                        work.append((node, i + 1))
+                        work.append((nxt, 0))
+                        recurse = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    sccs.append(comp)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+
+        for node in sorted(self.nodes):
+            if node not in index:
+                strongconnect(node)
+        out = []
+        for comp in sccs:
+            if len(comp) > 1 or (comp[0], comp[0]) in self.edges:
+                out.append(sorted(comp))
+        return sorted(out)
+
+    def cycle_edges(self, cycle: list[str]) -> list[tuple[str, str, dict]]:
+        members = set(cycle)
+        return sorted(
+            (frm, to, e)
+            for (frm, to), e in self.edges.items()
+            if frm in members and to in members
+        )
+
+
+BLOCKING_PATTERNS = (
+    (re.compile(r"\bsleep_(?:for|until)\s*\("), "a thread sleep"),
+    (re.compile(r"\bfopen\s*\("), "file I/O (fopen)"),
+    (
+        re.compile(r"\bstd::(?:i|o)?fstream\b"),
+        "file I/O (fstream)",
+    ),
+    (re.compile(r"\bAtomicWriteFile\s*\("), "durable file I/O"),
+    (re.compile(r"(?:\.|->)\s*Query\s*\("), "a FigClient network call"),
+    (re.compile(r"\bSendAll\s*\("), "a socket send"),
+    (re.compile(r"\bRecvSome\s*\("), "a socket receive"),
+)
+
+
+def scan_declarations(graph: Graph, rel: str, text: str) -> None:
+    """First pass: lock member declarations, role names, declared order.
+    Declarations are matched against the whole statement (physical lines
+    joined up to the terminating ';') so a wrapped initializer or a
+    trailing FIGDB_ACQUIRED_BEFORE does not hide the role name; a match
+    only counts on the line where it starts, so the join cannot double-
+    count a declaration that begins on a later line."""
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        stmt = line
+        for follow in lines[lineno : lineno + 4]:
+            if ";" in stmt:
+                break
+            stmt += " " + follow
+        for m in list(DECL_RE.finditer(stmt)) + list(UNIQUE_RE.finditer(stmt)):
+            if m.start() >= len(line):
+                continue  # starts on a continuation line: its own turn
+            if m.re is DECL_RE:
+                var, role = m.group(2), m.group(3)
+            else:
+                var, role = m.group(1), m.group(3)
+            node = role if role else f"{rel}::{var}"
+            graph.add_node(node, rel, lineno)
+            graph.by_var.setdefault(var, set()).add(node)
+            graph.by_file_var[(rel, var)] = node
+            graph.by_stem_var.setdefault((stem_of(rel), var), set()).add(node)
+            for om in ORDER_RE.finditer(stmt):
+                for other in STRING_RE.findall(om.group(2)):
+                    if om.group(1) == "BEFORE":
+                        graph.add_edge(node, other, "declared", rel, lineno)
+                    else:
+                        graph.add_edge(other, node, "declared", rel, lineno)
+
+
+def scan_scopes(graph: Graph, rel: str, text: str) -> None:
+    """Second pass: brace-depth walk recording nested and REQUIRES-implied
+    acquisition edges plus blocking calls made under a live guard."""
+    events: list[tuple[int, int, str, object]] = []  # (offset, line, kind, m)
+    line_at: list[int] = []
+    line = 1
+    for ch in text:
+        line_at.append(line)
+        if ch == "\n":
+            line += 1
+    for m in GUARD_RE.finditer(text):
+        events.append((m.start(), line_at[m.start()], "guard", m))
+    for m in REQ_RE.finditer(text):
+        events.append((m.start(), line_at[m.start()], "requires", m))
+    for pat, what in BLOCKING_PATTERNS:
+        for m in pat.finditer(text):
+            events.append((m.start(), line_at[m.start()], "blocking", what))
+    events.sort(key=lambda e: e[0])
+
+    depth = 0
+    guards: list[dict] = []  # {"node", "depth", "line", "pseudo"}
+    pending: list[str] = []  # REQUIRES nodes awaiting the body's '{'
+    ei = 0
+    for off, ch in enumerate(text):
+        while ei < len(events) and events[ei][0] == off:
+            _, lineno, kind, payload = events[ei]
+            ei += 1
+            if kind == "guard":
+                var = trailing_ident(payload.group(2))
+                if var is None:
+                    continue
+                node = graph.resolve(rel, var)
+                for g in guards:
+                    graph.add_edge(
+                        g["node"],
+                        node,
+                        "requires" if g["pseudo"] else "nested",
+                        rel,
+                        lineno,
+                    )
+                guards.append(
+                    {"node": node, "depth": depth, "line": lineno,
+                     "pseudo": False}
+                )
+            elif kind == "requires":
+                for arg in payload.group(1).split(","):
+                    var = trailing_ident(arg)
+                    if var:
+                        pending.append(graph.resolve(rel, var))
+            elif kind == "blocking" and guards:
+                graph.blocking.append(
+                    {
+                        "file": rel,
+                        "line": lineno,
+                        "lock": guards[-1]["node"],
+                        "what": payload,
+                    }
+                )
+        if ch == "{":
+            depth += 1
+            for node in pending:
+                guards.append(
+                    {"node": node, "depth": depth, "line": line_at[off],
+                     "pseudo": True}
+                )
+            pending = []
+        elif ch == "}":
+            depth -= 1
+            guards = [g for g in guards if g["depth"] <= depth]
+        elif ch == ";" and depth == 0:
+            pending = []  # declaration without a body
+        elif ch == ";" and pending:
+            # A ';' before any '{' at this nesting means the annotated
+            # function was a pure declaration; its REQUIRES binds nothing.
+            pending = []
+    # A file ending mid-scope is malformed C++; nothing to do.
+
+
+def analyze(files, root: str) -> Graph:
+    """Builds the graph from SourceFile-like objects (need .path and
+    .code_with_strings). Only src/ participates: the production lock
+    graph is the contract; tests seed deliberate violations."""
+    graph = Graph()
+    scannable = []
+    for sf in files:
+        rel = os.path.relpath(sf.path, root).replace(os.sep, "/")
+        if not rel.startswith("src/") or rel in SKIP_FILES:
+            continue
+        scannable.append((rel, sf.code_with_strings))
+    for rel, text in sorted(scannable):
+        scan_declarations(graph, rel, text)
+    for rel, text in sorted(scannable):
+        scan_scopes(graph, rel, text)
+    return graph
+
+
+def to_json(graph: Graph) -> dict:
+    return {
+        "schema_version": 1,
+        "nodes": [
+            {"name": name, "declared_at": sites}
+            for name, sites in sorted(graph.nodes.items())
+        ],
+        "edges": [
+            {"from": frm, "to": to, "kind": e["kind"], "sites": e["sites"]}
+            for (frm, to), e in sorted(graph.edges.items())
+        ],
+        "cycles": graph.cycles(),
+        "blocking_under_lock": graph.blocking,
+    }
+
+
+def to_dot(graph: Graph) -> str:
+    cyclic = {n for cycle in graph.cycles() for n in cycle}
+    out = ["digraph figdb_lock_order {", "  rankdir=LR;"]
+    for name in sorted(graph.nodes):
+        attrs = ' [color=red, fontcolor=red]' if name in cyclic else ""
+        out.append(f'  "{name}"{attrs};')
+    for (frm, to), e in sorted(graph.edges.items()):
+        site = e["sites"][0]
+        style = {"nested": "solid", "requires": "dashed",
+                 "declared": "dotted"}[e["kind"]]
+        color = ", color=red" if frm in cyclic and to in cyclic else ""
+        out.append(
+            f'  "{frm}" -> "{to}" '
+            f'[style={style}, label="{site["file"]}:{site["line"]}"{color}];'
+        )
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--root",
+        default=os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        ),
+        help="repository root (default: this script's repo)",
+    )
+    ap.add_argument("--json-out", help="write the graph as JSON here")
+    ap.add_argument("--dot-out", help="write a Graphviz DOT rendering here")
+    args = ap.parse_args()
+
+    # Deferred import: figdb_lint imports this module at top level, so the
+    # reverse import lives inside main() to keep module load acyclic —
+    # fitting, for this tool.
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import figdb_lint
+
+    files = []
+    src = os.path.join(args.root, "src")
+    for dirpath, _, names in os.walk(src):
+        for name in sorted(names):
+            if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                files.append(figdb_lint.SourceFile(os.path.join(dirpath, name)))
+    graph = analyze(files, args.root)
+    cycles = graph.cycles()
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(to_json(graph), f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.dot_out:
+        with open(args.dot_out, "w", encoding="utf-8") as f:
+            f.write(to_dot(graph))
+
+    n_edges = len(graph.edges)
+    print(
+        f"lock-graph: {len(graph.nodes)} locks, {n_edges} ordered edges, "
+        f"{len(cycles)} cycle(s)"
+    )
+    for cycle in cycles:
+        print(f"  cycle: {' -> '.join(cycle)} -> {cycle[0]}")
+        for frm, to, e in graph.cycle_edges(cycle):
+            site = e["sites"][0]
+            print(
+                f"    {frm} -> {to} ({e['kind']} at "
+                f"{site['file']}:{site['line']})"
+            )
+    return 1 if cycles else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
