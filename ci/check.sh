@@ -28,8 +28,14 @@
 #                          `concurrency`-labeled suites with every scoped
 #                          acquisition checked against the global
 #                          acquisition-order graph
+#   ci/check.sh lifetime   reclaimed-memory poisoning tree
+#                          (-DFIGDB_LIFETIME_POISON=ON): quarantined +
+#                          pattern-filled retired snapshots, canary-checked
+#                          reads; runs the `concurrency`-labeled suites
+#                          including the seeded use-after-unpin death test
 #   ci/check.sh lint       figdb-lint self-test + repo invariants
-#                          (includes the cross-TU lock-order-cycle pass)
+#                          (includes the cross-TU lock-order-cycle and
+#                          snapshot-lifetime passes)
 #   ci/check.sh tidy       clang-tidy over the compilation database
 #                          (skips with a notice if clang-tidy is absent)
 #   ci/check.sh help       modes, environment knobs, corpus maintenance
@@ -97,6 +103,25 @@ run_deadlock_tree() {
     -L concurrency ${CTEST_ARGS:-}
 }
 
+# The epoch-lifetime poisoning tree (util/lifetime.hpp) is the dynamic
+# half of the snapshot-lifetime layer: retired snapshots are destroyed,
+# pattern-filled, and quarantined instead of freed, and every snapshot
+# accessor canary-checks its header — so a stale dereference aborts with
+# the retiring epoch, the reader's pin epoch, and both source locations,
+# instead of silently reading reclaimed memory. The static half
+# (lifetime_graph.py) proves the pin discipline lexically; this tree
+# catches what a lexical pass cannot see. tests/lifetime_test.cpp's
+# LifetimePoisonTest death suite only compiles here, so the seeded
+# use-after-unpin-aborts acceptance check runs exactly in this mode.
+run_lifetime_tree() {
+  cmake -B build-lifetime -S . -DFIGDB_LIFETIME_POISON=ON >/dev/null
+  echo "==== [ci-lifetime] build ===="
+  cmake --build build-lifetime -j "$JOBS"
+  echo "==== [ci-lifetime] ctest (-L concurrency) ===="
+  ctest --test-dir build-lifetime --output-on-failure -j "$JOBS" \
+    -L concurrency ${CTEST_ARGS:-}
+}
+
 # figdb-lint needs a compilation database for the TU universe; any
 # configured tree provides one (CMAKE_EXPORT_COMPILE_COMMANDS is always
 # on). The self-test seeds one violation per rule and fails unless each
@@ -108,8 +133,14 @@ run_lint() {
   fi
   echo "==== [ci-lint] figdb-lint self-test ===="
   python3 tools/lint/figdb_lint.py --self-test
+  echo "==== [ci-lint] lock-graph self-test ===="
+  python3 tools/lint/lock_graph.py --self-test
+  echo "==== [ci-lint] lifetime-graph self-test ===="
+  python3 tools/lint/lifetime_graph.py --self-test
   echo "==== [ci-lint] figdb-lint ===="
-  python3 tools/lint/figdb_lint.py -p build
+  # --sarif: the same findings in the exchange format review tooling
+  # ingests, archived next to the build like the graph artifacts below.
+  python3 tools/lint/figdb_lint.py -p build --sarif build/figdb_lint.sarif
   echo "==== [ci-lint] lock-order graph artifacts ===="
   # Archives the cross-TU acquisition-order graph next to the build
   # (lock_graph.json for tooling, .dot for humans: `dot -Tsvg`). The
@@ -117,6 +148,12 @@ run_lint() {
   # this re-run is for the artifacts and the one-line summary.
   python3 tools/lint/lock_graph.py \
     --json-out build/lock_graph.json --dot-out build/lock_graph.dot
+  echo "==== [ci-lint] snapshot-lifetime graph artifacts ===="
+  # Same contract for the pin/snapshot lifetime graph: the escape check
+  # already ran as rules snapshot-escape / pin-outlived; this re-run
+  # archives the pins, bindings, and sanctioned hand-off points.
+  python3 tools/lint/lifetime_graph.py \
+    --json-out build/lifetime_graph.json --dot-out build/lifetime_graph.dot
 }
 
 # Coverage-guided fuzzing needs Clang (libFuzzer is a Clang runtime).
@@ -357,6 +394,9 @@ case "$MODE" in
   deadlock)
     run_deadlock_tree
     ;;
+  lifetime)
+    run_lifetime_tree
+    ;;
   fuzz)
     run_fuzz
     ;;
@@ -377,6 +417,7 @@ case "$MODE" in
     run_tree build-asan ci-asan -DFIGDB_SANITIZE="address;undefined"
     run_tsan_tree
     run_deadlock_tree
+    run_lifetime_tree
     run_serve_smoke
     run_temporal_smoke
     run_lint
@@ -384,11 +425,11 @@ case "$MODE" in
     ;;
   help)
     cat <<'EOF'
-usage: ci/check.sh [all|plain|asan|ubsan|tsan|deadlock|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]
+usage: ci/check.sh [all|plain|asan|ubsan|tsan|deadlock|lifetime|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]
 
 modes
-  all    plain + asan + tsan + deadlock + serve-smoke + temporal-smoke +
-         lint + tidy (the default).
+  all    plain + asan + tsan + deadlock + lifetime + serve-smoke +
+         temporal-smoke + lint + tidy (the default).
          The plain tree
          registers every fuzz/ target as a corpus-replay ctest case
          (label `fuzz_regression`), so the checked-in corpus is part of
@@ -402,6 +443,12 @@ modes
          (-DFIGDB_DEADLOCK_DETECT=ON), `concurrency`-labeled suites
          only; the DeadlockDetectTest seeded-ABBA/abort suite compiles
          only in this tree
+  lifetime  reclaimed-memory poisoning tree (-DFIGDB_LIFETIME_POISON=ON),
+         `concurrency`-labeled suites only; retired snapshots are
+         quarantined + pattern-filled and every accessor canary-checks,
+         so a stale read aborts with retire + dereference provenance;
+         the LifetimePoisonTest seeded use-after-unpin death suite
+         compiles only in this tree
   fuzz   coverage-guided libFuzzer run of all fuzz/ targets under
          clang++ (FUZZ_SECONDS per target, default 15); without clang++
          it degrades to the corpus-replay ctest cases
@@ -411,9 +458,11 @@ modes
   temporal-smoke  process-restart temporal drill: figdb_shell `segments`
          lifecycle (attach, merge, expire, bursts) then a fresh-process
          re-attach asserting the committed window recovered
-  lint   figdb-lint self-test + repo invariants; also emits the
-         cross-module lock-order graph artifacts
-         (build/lock_graph.json, build/lock_graph.dot)
+  lint   figdb-lint + lock-graph + lifetime-graph self-tests, then the
+         repo invariants; also emits the cross-module lock-order and
+         snapshot-lifetime graph artifacts (build/lock_graph.{json,dot},
+         build/lifetime_graph.{json,dot}) and the findings as SARIF
+         (build/figdb_lint.sarif)
   tidy   clang-tidy over the compilation database (skips if absent)
 
 environment
@@ -438,7 +487,7 @@ EOF
     exit 0
     ;;
   *)
-    echo "usage: ci/check.sh [all|plain|asan|ubsan|tsan|deadlock|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]" >&2
+    echo "usage: ci/check.sh [all|plain|asan|ubsan|tsan|deadlock|lifetime|fuzz|serve-smoke|temporal-smoke|lint|tidy|help]" >&2
     exit 2
     ;;
 esac

@@ -44,7 +44,11 @@ void ServingStore::PublishLocked() {
     // tests can re-query any historical epoch afterwards.
     graveyard_.emplace_back(prev);
   } else {
-    ebr_.Retire([prev] { delete prev; });
+    // Tracked retirement: under lifetime poisoning the storage outlives
+    // the object in a poisoned quarantine, so a reader that kept a raw
+    // pointer past its pin aborts on this epoch instead of reading
+    // freed-but-plausible memory (util/lifetime.hpp).
+    ebr_.RetireObject(prev);
   }
 }
 
@@ -106,10 +110,15 @@ StatusOr<ServeResult> ServingStore::Search(const corpus::MediaObject& query,
 ServingStore::SnapshotHandle ServingStore::Acquire() const {
   auto guard = std::make_unique<util::EpochReclaimer::ReadGuard>(ebr_);
   const StoreSnapshot* snap = current_.load(std::memory_order_seq_cst);
+  FIGDB_PIN_ESCAPE_OK("the handle owns the guard: pin and pointer escape together");
   return SnapshotHandle(std::move(guard), snap);
 }
 
 std::uint64_t ServingStore::CurrentEpoch() const {
+  // Pin even for this one-shot read: an unpinned load races a concurrent
+  // Publish, and Epoch() on the retired snapshot is exactly the stale
+  // dereference the lifetime layer exists to catch.
+  util::EpochReclaimer::ReadGuard guard(ebr_);
   return current_.load(std::memory_order_seq_cst)->Epoch();
 }
 

@@ -6,6 +6,7 @@
 #include "corpus/corpus.hpp"
 #include "index/figdb_store.hpp"
 #include "index/retrieval_engine.hpp"
+#include "util/lifetime.hpp"
 
 /// \file snapshot.hpp
 /// One immutable, epoch-stamped view of a FigDbStore for lock-free reads.
@@ -45,16 +46,35 @@ class StoreSnapshot {
 
   /// The query engine over this snapshot. Const access only; safe for
   /// concurrent TrySearch / parallel execution.
-  const index::FigRetrievalEngine& Engine() const { return *engine_; }
+  const index::FigRetrievalEngine& Engine() const {
+    FIGDB_LIFETIME_CHECK(canary_);
+    return *engine_;
+  }
 
-  std::uint64_t Epoch() const { return epoch_; }
+  std::uint64_t Epoch() const {
+    FIGDB_LIFETIME_CHECK(canary_);
+    return epoch_;
+  }
   /// LSN of the last store mutation folded into this snapshot.
-  std::uint64_t Lsn() const { return lsn_; }
-  std::size_t LiveObjects() const { return live_objects_; }
+  std::uint64_t Lsn() const {
+    FIGDB_LIFETIME_CHECK(canary_);
+    return lsn_;
+  }
+  std::size_t LiveObjects() const {
+    FIGDB_LIFETIME_CHECK(canary_);
+    return live_objects_;
+  }
+
+  /// Lifetime header for EpochReclaimer::RetireObject (DESIGN.md §16).
+  const util::lifetime::Canary* LifetimeCanary() const { return &canary_; }
 
  private:
   StoreSnapshot() = default;
 
+  /// First member on purpose: a stale dereference that misses the
+  /// accessors (raw pointer arithmetic) still reads poison, and the
+  /// poisoned header sits where a debugger looks first.
+  util::lifetime::Canary canary_;
   std::uint64_t epoch_ = 0;
   std::uint64_t lsn_ = 0;
   std::size_t live_objects_ = 0;

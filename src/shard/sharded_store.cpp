@@ -202,7 +202,7 @@ void ShardedStore::AdoptStores(std::vector<index::FigDbStore> stores) {
   for (auto& slot : shards_) {
     const ShardSnapshot* prev =
         slot->current.exchange(nullptr, std::memory_order_seq_cst);
-    if (prev != nullptr) ebr_->Retire([prev] { delete prev; });
+    if (prev != nullptr) ebr_->RetireObject(prev);
   }
   shards_.clear();
   shards_.reserve(stores.size());
@@ -228,7 +228,7 @@ void ShardedStore::PublishShard(std::uint32_t s) {
       options_.engine, matrix_, correlations_, std::move(copy));
   const ShardSnapshot* prev =
       shard.current.exchange(snap.release(), std::memory_order_seq_cst);
-  if (prev != nullptr) ebr_->Retire([prev] { delete prev; });
+  if (prev != nullptr) ebr_->RetireObject(prev);
   shard.dirty = false;
 }
 

@@ -100,17 +100,29 @@ class ShardSnapshot {
   ShardSnapshot(const ShardSnapshot&) = delete;
   ShardSnapshot& operator=(const ShardSnapshot&) = delete;
 
-  const index::FigRetrievalEngine& Engine() const { return *engine_; }
-  const corpus::Corpus& GetCorpus() const { return corpus_; }
+  const index::FigRetrievalEngine& Engine() const {
+    FIGDB_LIFETIME_CHECK(canary_);
+    return *engine_;
+  }
+  const corpus::Corpus& GetCorpus() const {
+    FIGDB_LIFETIME_CHECK(canary_);
+    return corpus_;
+  }
   std::uint32_t ShardId() const { return shard_; }
   /// LSN of the last shard mutation folded into this snapshot.
   std::uint64_t Lsn() const { return lsn_; }
   /// Shard-local id → global id under the placement this snapshot serves.
   corpus::ObjectId GlobalOf(corpus::ObjectId local) const {
+    FIGDB_LIFETIME_CHECK(canary_);
     return placement_.GlobalOf(shard_, local);
   }
 
+  /// Lifetime header for EpochReclaimer::RetireObject (DESIGN.md §16).
+  const util::lifetime::Canary* LifetimeCanary() const { return &canary_; }
+
  private:
+  /// First member on purpose — see StoreSnapshot::canary_.
+  util::lifetime::Canary canary_;
   std::uint32_t shard_;
   Placement placement_;
   std::uint64_t lsn_;
@@ -200,6 +212,7 @@ class ShardedStore {
   util::EpochReclaimer& Reclaimer() const { return *ebr_; }
   /// Current snapshot of shard \p s (never null after Create/Recover).
   const ShardSnapshot* SnapshotOf(std::uint32_t s) const {
+    FIGDB_PIN_ESCAPE_OK("documented reader contract: callers pin via Reclaimer() before loading");
     return shards_[s]->current.load(std::memory_order_seq_cst);
   }
 

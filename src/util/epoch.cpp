@@ -1,19 +1,45 @@
 #include "util/epoch.hpp"
 
+#include <sstream>
+
 #include "util/check.hpp"
 
 namespace figdb::util {
+namespace {
+
+/// Quarantine bound in the FIGDB_LIFETIME_POISON tree: deep enough that a
+/// stale pointer from the previous few epochs still lands on poisoned
+/// (mapped) storage, small enough that the instrumented tree's memory
+/// ceiling stays close to the plain tree's.
+constexpr std::size_t kDefaultQuarantineCapacity = 8;
+
+}  // namespace
 
 EpochReclaimer::EpochReclaimer() : slots_(kMaxReaders) {
   for (auto& s : slots_) s.store(kIdle, std::memory_order_relaxed);
+#ifdef FIGDB_LIFETIME_POISON
+  EnableLifetimePoison(kDefaultQuarantineCapacity);
+#endif
 }
 
 EpochReclaimer::~EpochReclaimer() {
   FIGDB_CHECK_MSG(ActiveReaders() == 0,
                   "EpochReclaimer destroyed with active readers");
   MutexLock lock(retired_mutex_);
-  for (Retired& r : retired_) r.free_fn();
+  for (Retired& r : retired_) {
+    if (r.object != nullptr) {
+      // Tracked entries skip the quarantine at teardown — there is no
+      // "later" left to catch a stale reader in — but not the destroy/
+      // deallocate split, which must mirror the reclaim path exactly.
+      r.destroy();
+      ::operator delete(const_cast<void*>(r.object));
+    } else {
+      r.free_fn();
+    }
+  }
   retired_.clear();
+  for (const Quarantined& q : quarantine_) VerifyAndFree(q);
+  quarantine_.clear();
 }
 
 EpochReclaimer::ReadGuard::ReadGuard(EpochReclaimer& r) : reclaimer_(&r) {
@@ -34,12 +60,17 @@ EpochReclaimer::ReadGuard::ReadGuard(EpochReclaimer& r) : reclaimer_(&r) {
       break;
     }
   }
-  reclaimer_->slots_[slot_].store(
-      reclaimer_->epoch_.load(std::memory_order_seq_cst),
-      std::memory_order_seq_cst);
+  const std::uint64_t pinned =
+      reclaimer_->epoch_.load(std::memory_order_seq_cst);
+  reclaimer_->slots_[slot_].store(pinned, std::memory_order_seq_cst);
+  // Two thread-local writes so a use-after-reclaim report can name the
+  // offending thread's pin epoch (see lifetime.hpp); cheap enough to keep
+  // in every build rather than gating on FIGDB_LIFETIME_POISON.
+  lifetime::PushThreadPin(pinned);
 }
 
 EpochReclaimer::ReadGuard::~ReadGuard() {
+  lifetime::PopThreadPin();
   reclaimer_->slots_[slot_].store(kIdle, std::memory_order_release);
 }
 
@@ -55,15 +86,108 @@ std::uint64_t EpochReclaimer::MinActiveEpoch() const {
 void EpochReclaimer::Retire(std::function<void()> free_fn) {
   {
     MutexLock lock(retired_mutex_);
-    retired_.push_back(
-        {epoch_.load(std::memory_order_relaxed), std::move(free_fn)});
+    Retired r;
+    r.epoch = epoch_.load(std::memory_order_relaxed);
+    r.free_fn = std::move(free_fn);
+    retired_.push_back(std::move(r));
   }
   epoch_.fetch_add(1, std::memory_order_seq_cst);
   TryReclaim();
 }
 
+void EpochReclaimer::RetireTracked(const void* object, std::size_t bytes,
+                                   const lifetime::Canary* canary,
+                                   std::function<void()> destroy,
+                                   std::source_location retire_site) {
+  bool duplicate = false;
+  {
+    MutexLock lock(retired_mutex_);
+    for (const Retired& r : retired_) duplicate |= r.object == object;
+    for (const Quarantined& q : quarantine_) duplicate |= q.storage == object;
+    if (!duplicate) {
+      Retired r;
+      r.epoch = epoch_.load(std::memory_order_relaxed);
+      r.object = object;
+      r.bytes = bytes;
+      r.canary = canary;
+      r.destroy = std::move(destroy);
+      r.retire_file = retire_site.file_name();
+      r.retire_line = retire_site.line();
+      retired_.push_back(std::move(r));
+    }
+  }
+  if (duplicate) {
+    // Report and DROP: enqueueing the second retirement would turn the
+    // caller's bookkeeping bug into a double destroy + double free.
+    std::ostringstream report;
+    report << "figdb lifetime: double retire of object @" << object
+           << "\n  second retirement at " << retire_site.file_name() << ":"
+           << retire_site.line()
+           << " (the first is still pending reclamation)\n";
+    lifetime::ReportViolation(report.str());
+    return;
+  }
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  TryReclaim();
+}
+
+void EpochReclaimer::EnableLifetimePoison(std::size_t quarantine_capacity) {
+  MutexLock lock(retired_mutex_);
+  poison_enabled_ = true;
+  quarantine_capacity_ = quarantine_capacity;
+}
+
+std::size_t EpochReclaimer::QuarantineDepth() const {
+  MutexLock lock(retired_mutex_);
+  return quarantine_.size();
+}
+
+void EpochReclaimer::VerifyAndFree(const Quarantined& q) {
+  if (lifetime::VerifyPoison(q.storage, q.bytes, q.canary)) {
+    lifetime::NoteVerified();
+  } else {
+    std::ostringstream report;
+    report << "figdb lifetime: reclaimed-memory corruption @" << q.storage
+           << "\n  a stale write landed after retirement (object retired at "
+           << (q.canary->retire_file != nullptr ? q.canary->retire_file
+                                                : "<unknown>")
+           << ":" << q.canary->retire_line << ", epoch "
+           << q.canary->retired_epoch << ")\n";
+    lifetime::ReportViolation(report.str());
+  }
+  ::operator delete(const_cast<void*>(q.storage));
+}
+
+void EpochReclaimer::ReclaimTracked(Retired&& r,
+                                    std::vector<Quarantined>& evicted) {
+  // Destructor first — poisoning live members would hand the destructor
+  // garbage. Runs outside retired_mutex_ like every other deleter here.
+  r.destroy();
+  bool quarantine_this = false;
+  {
+    MutexLock lock(retired_mutex_);
+    quarantine_this = poison_enabled_;
+  }
+  if (!quarantine_this) {
+    ::operator delete(const_cast<void*>(r.object));
+    return;
+  }
+  lifetime::PoisonStorage(const_cast<void*>(r.object), r.bytes, r.canary,
+                          r.epoch, r.retire_file, r.retire_line);
+  lifetime::NoteQuarantined();
+  Quarantined q{r.object, r.bytes, r.canary};
+  {
+    MutexLock lock(retired_mutex_);
+    quarantine_.push_back(q);
+    while (quarantine_.size() > quarantine_capacity_) {
+      evicted.push_back(quarantine_.front());
+      quarantine_.pop_front();
+    }
+  }
+}
+
 std::size_t EpochReclaimer::TryReclaim() {
-  std::vector<std::function<void()>> to_free;
+  std::vector<Retired> to_free;
   {
     MutexLock lock(retired_mutex_);
     const std::uint64_t min_active = MinActiveEpoch();
@@ -71,14 +195,22 @@ std::size_t EpochReclaimer::TryReclaim() {
     for (Retired& r : retired_) {
       // A reader pinned at epoch e may hold any pointer retired at >= e.
       if (r.epoch < min_active)
-        to_free.push_back(std::move(r.free_fn));
+        to_free.push_back(std::move(r));
       else
         retired_[kept++] = std::move(r);
     }
     retired_.resize(kept);
   }
-  // Run deleters outside the lock: snapshot destructors are heavy.
-  for (auto& fn : to_free) fn();
+  // Run deleters (and poison fills / quarantine evictions) outside the
+  // lock: snapshot destructors are heavy.
+  std::vector<Quarantined> evicted;
+  for (Retired& r : to_free) {
+    if (r.object != nullptr)
+      ReclaimTracked(std::move(r), evicted);
+    else
+      r.free_fn();
+  }
+  for (const Quarantined& q : evicted) VerifyAndFree(q);
   reclaimed_.fetch_add(to_free.size(), std::memory_order_relaxed);
   return to_free.size();
 }

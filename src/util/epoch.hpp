@@ -3,9 +3,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <source_location>
 #include <vector>
 
+#include "util/lifetime.hpp"
 #include "util/thread_annotations.hpp"
 
 /// \file epoch.hpp
@@ -65,6 +68,42 @@ class EpochReclaimer {
   /// opportunistically reclaims whatever is already safe.
   void Retire(std::function<void()> free_fn) FIGDB_EXCLUDES(retired_mutex_);
 
+  /// Writer-side retirement for canary-headed objects (the snapshots).
+  /// With lifetime poisoning off this is exactly `Retire([p]{ delete p; })`
+  /// — destructor, then ::operator delete. With it on (always in the
+  /// -DFIGDB_LIFETIME_POISON tree, or via EnableLifetimePoison), reclaim
+  /// destroys the object, pattern-fills its storage, plants a poisoned
+  /// canary carrying the retiring epoch and \p retire_site, and parks the
+  /// storage in a bounded FIFO quarantine whose eviction verifies the
+  /// pattern before the final free. Retiring the same object twice is a
+  /// violation (reported, second retirement dropped). \p T must expose
+  /// `const lifetime::Canary* LifetimeCanary() const`.
+  template <typename T>
+  void RetireObject(const T* object, std::source_location retire_site =
+                                         std::source_location::current()) {
+    RetireTracked(object, sizeof(T), object->LifetimeCanary(),
+                  [object] { object->~T(); }, retire_site);
+  }
+
+  /// Untemplated core of RetireObject. \p destroy must only run the
+  /// destructor — deallocation is the reclaimer's (it frees with
+  /// ::operator delete once the quarantine lets go of the storage).
+  void RetireTracked(const void* object, std::size_t bytes,
+                     const lifetime::Canary* canary,
+                     std::function<void()> destroy,
+                     std::source_location retire_site)
+      FIGDB_EXCLUDES(retired_mutex_);
+
+  /// Turns the poison quarantine on at runtime (any build; the
+  /// FIGDB_LIFETIME_POISON tree constructs with it already on). Capacity
+  /// bounds the FIFO: pushing past it evicts the oldest entry through the
+  /// verify-then-free path, and capacity 0 degenerates to verify-and-free
+  /// immediately — the canary check is never skipped, only the parking.
+  void EnableLifetimePoison(std::size_t quarantine_capacity)
+      FIGDB_EXCLUDES(retired_mutex_);
+
+  std::size_t QuarantineDepth() const FIGDB_EXCLUDES(retired_mutex_);
+
   /// Frees every retired object no active reader can still see. Returns the
   /// number freed. Called internally by Retire; exposed so the writer can
   /// sweep without retiring (e.g. on an idle tick).
@@ -86,9 +125,33 @@ class EpochReclaimer {
   std::uint64_t MinActiveEpoch() const;
 
   struct Retired {
-    std::uint64_t epoch;
-    std::function<void()> free_fn;
+    std::uint64_t epoch = 0;
+    std::function<void()> free_fn;  ///< legacy untracked path
+    // Tracked (RetireObject) path: destroy runs the destructor, the
+    // reclaimer owns deallocation so it can interpose the quarantine.
+    const void* object = nullptr;
+    std::size_t bytes = 0;
+    const lifetime::Canary* canary = nullptr;
+    std::function<void()> destroy;
+    const char* retire_file = nullptr;
+    std::uint32_t retire_line = 0;
   };
+
+  /// Destroyed-and-poisoned storage awaiting its final free.
+  struct Quarantined {
+    const void* storage = nullptr;
+    std::size_t bytes = 0;
+    const lifetime::Canary* canary = nullptr;
+  };
+
+  /// Destroys a reclaimable tracked entry and either frees it (poison
+  /// off) or poisons + quarantines it, appending evictions to \p evicted.
+  void ReclaimTracked(Retired&& r, std::vector<Quarantined>& evicted)
+      FIGDB_EXCLUDES(retired_mutex_);
+
+  /// Verifies the poison pattern survived quarantine, reporting a
+  /// lifetime violation if a stale write landed, then frees the storage.
+  static void VerifyAndFree(const Quarantined& q);
 
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint64_t> reclaimed_{0};
@@ -98,6 +161,9 @@ class EpochReclaimer {
   /// (deleters run after release — see epoch.cpp).
   mutable Mutex retired_mutex_{"util.EpochReclaimer.retired"};
   std::vector<Retired> retired_ FIGDB_GUARDED_BY(retired_mutex_);
+  std::deque<Quarantined> quarantine_ FIGDB_GUARDED_BY(retired_mutex_);
+  bool poison_enabled_ FIGDB_GUARDED_BY(retired_mutex_) = false;
+  std::size_t quarantine_capacity_ FIGDB_GUARDED_BY(retired_mutex_) = 0;
 };
 
 }  // namespace figdb::util

@@ -1,0 +1,149 @@
+#include "util/lifetime.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sstream>
+
+namespace figdb::util::lifetime {
+namespace {
+
+/// "file:line" trimmed to the repo-relative tail, matching the deadlock
+/// registry's reports (and lint findings) so the two read alike.
+std::string Site(const char* file, std::uint32_t line) {
+  std::string site = file != nullptr ? file : "<unknown>";
+  for (const char* dir : {"/src/", "/tests/", "/bench/", "/examples/"}) {
+    const auto at = site.rfind(dir);
+    if (at != std::string::npos) {
+      site.erase(0, at + 1);
+      break;
+    }
+  }
+  site += ":" + std::to_string(line);
+  return site;
+}
+
+void DefaultHandler(const std::string& report) {
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<ViolationHandler> g_handler{&DefaultHandler};
+std::atomic<std::uint64_t> g_quarantined{0};
+std::atomic<std::uint64_t> g_verified{0};
+std::atomic<std::uint64_t> g_violations{0};
+
+/// Nested-pin stack per thread. Deeper nesting than kMaxPinDepth keeps
+/// counting (so pops stay balanced) but only the first levels record an
+/// epoch — 8 is already far beyond any real reader's nesting.
+constexpr int kMaxPinDepth = 8;
+struct PinStack {
+  std::uint64_t epochs[kMaxPinDepth];
+  int depth = 0;
+};
+thread_local PinStack tls_pins;
+
+}  // namespace
+
+void Canary::Check(std::source_location deref_site) const {
+  const std::uint64_t seen = magic;
+  if (seen == kAliveMagic) return;
+  std::ostringstream report;
+  if (seen == kPoisonMagic) {
+    report << "figdb lifetime: use-after-reclaim\n"
+           << "  object retired at " << Site(retire_file, retire_line)
+           << " under epoch " << retired_epoch << "\n"
+           << "  dereferenced at "
+           << Site(deref_site.file_name(), deref_site.line());
+    const std::uint64_t pin = ThreadPinEpoch();
+    if (pin == 0) {
+      report << " with no live reader pin\n";
+    } else {
+      report << " by a reader pinned at epoch " << pin
+             << " (pin acquired after retirement cannot protect it)\n";
+    }
+    report << "  the static pass (figdb-lint snapshot-escape/pin-outlived) "
+              "should have flagged the escape\n";
+  } else {
+    report << "figdb lifetime: canary destroyed (magic=0x" << std::hex << seen
+           << std::dec << ")\n"
+           << "  dereferenced at "
+           << Site(deref_site.file_name(), deref_site.line())
+           << " — the header was overwritten while the object was live "
+              "(wild pointer or buffer overrun)\n";
+  }
+  ReportViolation(report.str());
+}
+
+void PoisonStorage(void* storage, std::size_t bytes, const Canary* canary,
+                   std::uint64_t retired_epoch, const char* retire_file,
+                   std::uint32_t retire_line) {
+  std::memset(storage, kPoisonByte, bytes);
+  // Rewrite the canary in place: the object is destroyed, so this is raw
+  // storage again and a placement re-initialisation is the legal way to
+  // plant the poisoned header a stale reader will trip over.
+  auto* poisoned = ::new (const_cast<Canary*>(canary)) Canary();
+  poisoned->magic = kPoisonMagic;
+  poisoned->retired_epoch = retired_epoch;
+  poisoned->retire_file = retire_file;
+  poisoned->retire_line = retire_line;
+}
+
+bool VerifyPoison(const void* storage, std::size_t bytes,
+                  const Canary* canary) {
+  const auto* bytes_begin = static_cast<const unsigned char*>(storage);
+  const auto* canary_begin = reinterpret_cast<const unsigned char*>(canary);
+  const std::size_t canary_at =
+      static_cast<std::size_t>(canary_begin - bytes_begin);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    if (i >= canary_at && i < canary_at + sizeof(Canary)) continue;
+    if (bytes_begin[i] != kPoisonByte) return false;
+  }
+  return canary->magic == kPoisonMagic;
+}
+
+Stats GetStats() {
+  Stats s;
+  s.quarantined = g_quarantined.load(std::memory_order_relaxed);
+  s.verified = g_verified.load(std::memory_order_relaxed);
+  s.violations = g_violations.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetStatsForTest() {
+  g_quarantined.store(0, std::memory_order_relaxed);
+  g_verified.store(0, std::memory_order_relaxed);
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+ViolationHandler SetViolationHandler(ViolationHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &DefaultHandler);
+}
+
+void ReportViolation(const std::string& report) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  g_handler.load()(report);
+}
+
+void NoteQuarantined() { g_quarantined.fetch_add(1, std::memory_order_relaxed); }
+void NoteVerified() { g_verified.fetch_add(1, std::memory_order_relaxed); }
+
+void PushThreadPin(std::uint64_t epoch) {
+  if (tls_pins.depth < kMaxPinDepth) tls_pins.epochs[tls_pins.depth] = epoch;
+  ++tls_pins.depth;
+}
+
+void PopThreadPin() {
+  if (tls_pins.depth > 0) --tls_pins.depth;
+}
+
+std::uint64_t ThreadPinEpoch() {
+  if (tls_pins.depth == 0) return 0;
+  const int top = tls_pins.depth < kMaxPinDepth ? tls_pins.depth : kMaxPinDepth;
+  return tls_pins.epochs[top - 1];
+}
+
+}  // namespace figdb::util::lifetime

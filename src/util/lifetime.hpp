@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <source_location>
+#include <string>
+
+/// \file lifetime.hpp
+/// Epoch-lifetime safety: the dynamic half of the snapshot use-after-
+/// reclaim defense (tools/lint/lifetime_graph.py is the static half).
+///
+/// Every pointer derived from a pinned snapshot is only valid while the
+/// RAII reader pin (EpochReclaimer::ReadGuard) is alive. Nothing in the
+/// existing tooling checks that contract: TSan sees no data race in a
+/// use-after-reclaim (the racing write is the allocator's), the Clang
+/// thread-safety annotations only track mutexes, and the lock-order
+/// layers only order acquisitions. This module closes the gap the way
+/// GWP-ASan / allocator quarantines do in production stacks:
+///
+///   * every snapshot carries a Canary header, stamped kAliveMagic at
+///     construction and never written again while the object lives (the
+///     snapshot immutability contract forbids `mutable` members);
+///   * when the EpochReclaimer reclaims a retired snapshot it runs the
+///     destructor, PATTERN-FILLS the storage with kPoisonByte, rewrites
+///     the canary in place with kPoisonMagic + the retiring epoch + the
+///     retire site, and parks the storage in a bounded FIFO quarantine
+///     instead of freeing it;
+///   * accessors in the instrumented tree (-DFIGDB_LIFETIME_POISON) call
+///     FIGDB_LIFETIME_CHECK on every dereference: a stale pointer now
+///     lands on poisoned-but-mapped storage and aborts with the retiring
+///     epoch, the reader's pin epoch (or "no live pin"), and both
+///     std::source_location sites — instead of silently reading freed
+///     memory that usually still looks plausible;
+///   * quarantine eviction verifies the poison pattern is intact before
+///     the final ::operator delete, so a stale WRITE is caught too.
+///
+/// Like util/deadlock.hpp, everything here compiles in every build so
+/// unit tests can drive it directly; only the per-dereference
+/// FIGDB_LIFETIME_CHECK hook and the default-on quarantine are gated on
+/// the FIGDB_LIFETIME_POISON CMake option.
+
+namespace figdb::util::lifetime {
+
+/// Canary magics. kAlive is stamped at construction; PoisonStorage
+/// rewrites it to kPoisoned after the destructor has run. Any other
+/// value means the header itself was trampled.
+inline constexpr std::uint64_t kAliveMagic = 0xF16DBA11CE5A11FEull;
+inline constexpr std::uint64_t kPoisonMagic = 0xDEADF16DB5A1E11Full;
+
+/// Fill byte for reclaimed storage (distinct from ASan's 0xBE/0xFE and
+/// MSVC's 0xDD so a pattern in a debugger reads unambiguously as ours).
+inline constexpr unsigned char kPoisonByte = 0xEF;
+
+/// Lifetime header embedded in every epoch-managed snapshot. While the
+/// object is alive the struct is written exactly once (construction), so
+/// it is safe inside the write-once-then-frozen snapshot types; the
+/// poison fields are only written by the reclaimer, after the destructor
+/// has already run.
+struct Canary {
+  std::uint64_t magic = kAliveMagic;
+  /// Epoch the object was retired under (written at poison time).
+  std::uint64_t retired_epoch = 0;
+  /// Retire call site (std::source_location file_name/line; the pointer
+  /// is into static storage so it survives the object).
+  const char* retire_file = nullptr;
+  std::uint32_t retire_line = 0;
+
+  /// Verifies this header still says "alive". On kPoisonMagic the report
+  /// carries the retiring epoch, the retire site, the dereference site
+  /// (this call, via the defaulted source_location), and the calling
+  /// thread's pin epoch; any other magic reports header corruption. The
+  /// default violation handler aborts.
+  void Check(std::source_location deref_site =
+                 std::source_location::current()) const;
+};
+
+/// Pattern-fills \p storage (an object whose destructor has run) and
+/// rewrites the canary at \p canary — which must point inside the
+/// storage — with kPoisonMagic plus the retirement provenance.
+void PoisonStorage(void* storage, std::size_t bytes, const Canary* canary,
+                   std::uint64_t retired_epoch, const char* retire_file,
+                   std::uint32_t retire_line);
+
+/// True iff every poisoned byte outside the canary still holds
+/// kPoisonByte — i.e. nobody wrote through a stale pointer while the
+/// storage sat in quarantine.
+bool VerifyPoison(const void* storage, std::size_t bytes,
+                  const Canary* canary);
+
+/// Introspection (tests, tools). Counters are process-global, like the
+/// deadlock registry's.
+struct Stats {
+  std::uint64_t quarantined = 0;  ///< objects parked in a quarantine
+  std::uint64_t verified = 0;     ///< evictions with the pattern intact
+  std::uint64_t violations = 0;   ///< reports since process start / reset
+};
+Stats GetStats();
+void ResetStatsForTest();
+
+/// Counter bumps for the EpochReclaimer's quarantine (kept here so the
+/// counters live next to the ones Canary::Check maintains).
+void NoteQuarantined();
+void NoteVerified();
+
+/// Violation sink, mirroring deadlock::SetViolationHandler: the default
+/// prints the report to stderr and aborts; tests install a capturing
+/// handler, and a handler that returns suppresses the abort (the
+/// offending operation is dropped, not performed twice).
+using ViolationHandler = void (*)(const std::string& report);
+ViolationHandler SetViolationHandler(ViolationHandler handler);
+
+/// Routes \p report through the installed handler and bumps the
+/// violation counter. Called by Canary::Check and the reclaimer's
+/// quarantine; exposed for the tests that drive those paths directly.
+void ReportViolation(const std::string& report);
+
+/// Per-thread pin bookkeeping, maintained by EpochReclaimer::ReadGuard
+/// so a use-after-reclaim report can say what the offending thread was
+/// (or was not) pinned at. Pins nest; epoch 0 means "no live pin".
+void PushThreadPin(std::uint64_t epoch);
+void PopThreadPin();
+std::uint64_t ThreadPinEpoch();
+
+}  // namespace figdb::util::lifetime
+
+/// Waiver for tools/lint/lifetime_graph.py: placed on (or up to three
+/// lines above) a line the snapshot-escape / pin-outlived rules would
+/// flag, it suppresses the finding. The reason must be a non-empty
+/// string literal — enforced here at compile time (sizeof("") == 1) and
+/// by `ci/check.sh lint`, which fails on reason-less waivers.
+#define FIGDB_PIN_ESCAPE_OK(reason) \
+  static_assert(sizeof(reason) > 1, "FIGDB_PIN_ESCAPE_OK needs a reason")
+
+/// Per-dereference canary check, compiled in only under the
+/// -DFIGDB_LIFETIME_POISON tree (ci/check.sh lifetime). The plain tree
+/// pays nothing; tests can still call Canary::Check directly.
+#ifdef FIGDB_LIFETIME_POISON
+#define FIGDB_LIFETIME_CHECK(canary) (canary).Check()
+#else
+#define FIGDB_LIFETIME_CHECK(canary) (static_cast<void>(0))
+#endif

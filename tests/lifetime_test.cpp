@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "corpus/generator.hpp"
+#include "index/figdb_store.hpp"
+#include "serve/serving_store.hpp"
+#include "util/epoch.hpp"
+#include "util/lifetime.hpp"
+
+/// \file lifetime_test.cpp
+/// The epoch-lifetime safety layer (util/lifetime.hpp + the
+/// EpochReclaimer's poison quarantine). Three layers, mirroring
+/// deadlock_test.cpp:
+///
+/// LifetimeCanaryTest drives the canary/poison primitives directly, in
+/// every build — the machinery compiles unconditionally; only the
+/// per-dereference FIGDB_LIFETIME_CHECK hook is gated.
+///
+/// EpochLifetimeTest covers the reclaimer edge cases the validator
+/// depends on: the retire-at-exact-pin-epoch boundary (strict `<`),
+/// quarantine overflow falling back to immediate verify-and-free, and
+/// double-retire detection — using EnableLifetimePoison so the plain
+/// tree exercises the same code the instrumented tree defaults to.
+///
+/// LifetimePoisonTest (compiled under FIGDB_LIFETIME_POISON only — the
+/// `lifetime` tree in ci/check.sh) proves the end-to-end contract: a
+/// snapshot pointer held past its reader pin must abort with the
+/// retiring epoch and both source_location sites.
+
+namespace figdb::util {
+namespace {
+
+namespace lt = lifetime;
+
+std::string& LastReport() {
+  static std::string report;
+  return report;
+}
+
+void CaptureReport(const std::string& report) { LastReport() = report; }
+
+/// Installs the capturing handler for one test, restores on the way out.
+class CapturingHandler {
+ public:
+  CapturingHandler() : prev_(lt::SetViolationHandler(&CaptureReport)) {
+    LastReport().clear();
+  }
+  ~CapturingHandler() { lt::SetViolationHandler(prev_); }
+
+ private:
+  lt::ViolationHandler prev_;
+};
+
+/// A canary-headed object the reclaimer can track: same shape contract
+/// as the snapshots (canary first, LifetimeCanary accessor), plus a
+/// destruction flag so tests can observe the destroy/free split.
+struct TrackedObj {
+  lt::Canary canary;
+  std::uint64_t payload[6];
+  bool* destroyed;
+
+  explicit TrackedObj(bool* flag) : destroyed(flag) {
+    for (auto& word : payload) word = 0xABABABABABABABABull;
+  }
+  ~TrackedObj() {
+    if (destroyed != nullptr) *destroyed = true;
+  }
+  const lt::Canary* LifetimeCanary() const { return &canary; }
+};
+
+/// The reclaimer frees tracked objects itself (::operator delete after
+/// quarantine), so tests hand it raw news on purpose.
+// figdb-lint: allow(raw-new): ownership passes to the reclaimer at RetireObject
+TrackedObj* NewTracked(bool* flag = nullptr) { return new TrackedObj(flag); }
+
+// ======================================================================
+// Canary / poison primitives
+// ======================================================================
+
+TEST(LifetimeCanaryTest, FreshCanaryPassesCheck) {
+  CapturingHandler capture;
+  lt::Canary canary;
+  canary.Check();
+  EXPECT_TRUE(LastReport().empty());
+}
+
+TEST(LifetimeCanaryTest, PoisonedCanaryReportsEpochAndBothSites) {
+  CapturingHandler capture;
+  auto* obj = NewTracked();
+  lt::PoisonStorage(obj, sizeof(*obj), obj->LifetimeCanary(), 41,
+                    "src/serve/somewhere.cpp", 123);
+  obj->LifetimeCanary()->Check();  // the "stale dereference"
+  EXPECT_NE(LastReport().find("use-after-reclaim"), std::string::npos);
+  EXPECT_NE(LastReport().find("epoch 41"), std::string::npos);
+  EXPECT_NE(LastReport().find("somewhere.cpp:123"), std::string::npos);
+  EXPECT_NE(LastReport().find("lifetime_test.cpp"), std::string::npos)
+      << "the dereference site must name this file";
+  EXPECT_NE(LastReport().find("no live reader pin"), std::string::npos);
+  ::operator delete(obj);
+}
+
+TEST(LifetimeCanaryTest, TrampledCanaryReportsCorruption) {
+  CapturingHandler capture;
+  lt::Canary canary;
+  canary.magic = 0x1234;  // neither alive nor poisoned
+  canary.Check();
+  EXPECT_NE(LastReport().find("canary destroyed"), std::string::npos);
+}
+
+TEST(LifetimeCanaryTest, VerifyPoisonCatchesStaleWrites) {
+  auto* obj = NewTracked();
+  lt::PoisonStorage(obj, sizeof(*obj), obj->LifetimeCanary(), 7,
+                    "x.cpp", 1);
+  EXPECT_TRUE(lt::VerifyPoison(obj, sizeof(*obj), obj->LifetimeCanary()));
+  obj->payload[3] = 0;  // a write through a stale pointer
+  EXPECT_FALSE(lt::VerifyPoison(obj, sizeof(*obj), obj->LifetimeCanary()));
+  ::operator delete(obj);
+}
+
+TEST(LifetimeCanaryTest, ThreadPinEpochTracksNestedGuards) {
+  EpochReclaimer ebr;
+  EXPECT_EQ(lt::ThreadPinEpoch(), 0u);
+  {
+    EpochReclaimer::ReadGuard outer(ebr);
+    const std::uint64_t pinned = lt::ThreadPinEpoch();
+    EXPECT_NE(pinned, 0u);
+    {
+      EpochReclaimer::ReadGuard inner(ebr);
+      EXPECT_EQ(lt::ThreadPinEpoch(), pinned) << "no retire in between";
+    }
+    EXPECT_EQ(lt::ThreadPinEpoch(), pinned);
+  }
+  EXPECT_EQ(lt::ThreadPinEpoch(), 0u);
+}
+
+// ======================================================================
+// Reclaimer edge cases the validator depends on
+// ======================================================================
+
+TEST(EpochLifetimeTest, RetireObjectWithoutPoisonFreesLikeDelete) {
+  bool destroyed = false;
+  EpochReclaimer ebr;
+  ebr.RetireObject(NewTracked(&destroyed));
+  EXPECT_TRUE(destroyed) << "no readers: reclaimed on the retire itself";
+  EXPECT_EQ(ebr.TotalReclaimed(), 1u);
+#ifndef FIGDB_LIFETIME_POISON
+  // The instrumented tree default-enables the quarantine, so only the
+  // plain tree may assert the storage went straight back to the heap.
+  EXPECT_EQ(ebr.QuarantineDepth(), 0u);
+#endif
+}
+
+TEST(EpochLifetimeTest, RetireAtExactPinEpochBoundaryIsBlocked) {
+  bool destroyed = false;
+  EpochReclaimer ebr;
+  auto guard = std::make_unique<EpochReclaimer::ReadGuard>(ebr);
+  // The guard pinned the CURRENT epoch e; this retirement is tagged e as
+  // well. The reclaim comparison is strictly `retired < min_active`, so
+  // the boundary case — reader and retirement at the same epoch — must
+  // keep the object alive: that reader may have loaded the pointer.
+  ebr.RetireObject(NewTracked(&destroyed));
+  ebr.TryReclaim();
+  EXPECT_FALSE(destroyed) << "equal epochs must block reclamation";
+  EXPECT_EQ(ebr.PendingRetired(), 1u);
+  guard.reset();
+  ebr.TryReclaim();
+  EXPECT_TRUE(destroyed);
+  EXPECT_EQ(ebr.PendingRetired(), 0u);
+}
+
+TEST(EpochLifetimeTest, QuarantineOverflowEvictsOldestThroughVerify) {
+  const lt::Stats before = lt::GetStats();
+  bool destroyed[4] = {};
+  {
+    EpochReclaimer ebr;
+    ebr.EnableLifetimePoison(2);
+    for (bool& flag : destroyed) ebr.RetireObject(NewTracked(&flag));
+    for (const bool flag : destroyed)
+      EXPECT_TRUE(flag) << "destruction never waits on the quarantine";
+    EXPECT_EQ(ebr.QuarantineDepth(), 2u);
+    const lt::Stats mid = lt::GetStats();
+    EXPECT_EQ(mid.quarantined, before.quarantined + 4);
+    EXPECT_EQ(mid.verified, before.verified + 2)
+        << "two overflow evictions, each through the poison check";
+    EXPECT_EQ(mid.violations, before.violations);
+  }
+  // Reclaimer teardown drains the rest through the same verify path.
+  const lt::Stats after = lt::GetStats();
+  EXPECT_EQ(after.verified, before.verified + 4);
+  EXPECT_EQ(after.violations, before.violations);
+}
+
+TEST(EpochLifetimeTest, ZeroCapacityQuarantineStillRunsTheCanaryCheck) {
+  const lt::Stats before = lt::GetStats();
+  bool destroyed = false;
+  EpochReclaimer ebr;
+  ebr.EnableLifetimePoison(0);
+  ebr.RetireObject(NewTracked(&destroyed));
+  EXPECT_TRUE(destroyed);
+  EXPECT_EQ(ebr.QuarantineDepth(), 0u) << "capacity 0 never parks storage";
+  const lt::Stats after = lt::GetStats();
+  EXPECT_EQ(after.quarantined, before.quarantined + 1);
+  EXPECT_EQ(after.verified, before.verified + 1)
+      << "immediate free still goes through the verify step";
+}
+
+TEST(EpochLifetimeTest, DoubleRetireWhilePendingIsReportedAndDropped) {
+  CapturingHandler capture;
+  bool destroyed = false;
+  EpochReclaimer ebr;
+  TrackedObj* obj = NewTracked(&destroyed);
+  auto guard = std::make_unique<EpochReclaimer::ReadGuard>(ebr);
+  ebr.RetireObject(obj);
+  EXPECT_TRUE(LastReport().empty());
+  ebr.RetireObject(obj);  // the caller's bookkeeping bug
+  EXPECT_NE(LastReport().find("double retire"), std::string::npos);
+  EXPECT_NE(LastReport().find("lifetime_test.cpp"), std::string::npos);
+  guard.reset();
+  ebr.TryReclaim();
+  EXPECT_TRUE(destroyed);
+  EXPECT_EQ(ebr.TotalReclaimed(), 1u)
+      << "the duplicate must be dropped, not double-freed";
+}
+
+TEST(EpochLifetimeTest, DoubleRetireOfQuarantinedStorageIsDetected) {
+  CapturingHandler capture;
+  EpochReclaimer ebr;
+  ebr.EnableLifetimePoison(4);
+  TrackedObj* obj = NewTracked();
+  ebr.RetireObject(obj);  // no readers: destroyed + quarantined right away
+  EXPECT_EQ(ebr.QuarantineDepth(), 1u);
+  ASSERT_TRUE(LastReport().empty());
+  ebr.RetireObject(obj);  // stale pointer retired again
+  EXPECT_NE(LastReport().find("double retire"), std::string::npos);
+}
+
+TEST(EpochLifetimeTest, StaleDereferenceAfterReclaimReportsProvenance) {
+  CapturingHandler capture;
+  EpochReclaimer ebr;
+  ebr.EnableLifetimePoison(4);
+  TrackedObj* stale = NewTracked();
+  ebr.RetireObject(stale);
+  ASSERT_EQ(ebr.QuarantineDepth(), 1u) << "storage must still be mapped";
+  // What FIGDB_LIFETIME_CHECK does in the instrumented tree, spelled out
+  // so the plain tree covers the same path:
+  stale->LifetimeCanary()->Check();
+  EXPECT_NE(LastReport().find("use-after-reclaim"), std::string::npos);
+  EXPECT_NE(LastReport().find("lifetime_test.cpp"), std::string::npos)
+      << "retire and dereference sites are both in this file";
+}
+
+TEST(EpochLifetimeTest, StaleWriteInQuarantineIsReportedAtEviction) {
+  CapturingHandler capture;
+  EpochReclaimer ebr;
+  // Capacity 1 keeps the storage parked until a second retirement
+  // overflows the FIFO and forces the eviction-time verify.
+  ebr.EnableLifetimePoison(1);
+  TrackedObj* stale = NewTracked();
+  ebr.RetireObject(stale);
+  ASSERT_EQ(ebr.QuarantineDepth(), 1u);
+  stale->payload[0] = 0xBAD;  // stale write through the old pointer
+  ebr.RetireObject(NewTracked());  // overflow: evicts + verifies `stale`
+  EXPECT_NE(LastReport().find("reclaimed-memory corruption"),
+            std::string::npos);
+  EXPECT_NE(LastReport().find("lifetime_test.cpp"), std::string::npos)
+      << "the report names the retire site of the corrupted object";
+}
+
+// ======================================================================
+// End-to-end: the instrumented tree's abort contract
+// ======================================================================
+
+#ifdef FIGDB_LIFETIME_POISON
+
+/// Builds a minimal ServingStore, leaks a snapshot pointer past its pin,
+/// publishes until the snapshot is reclaimed (destroyed + poisoned into
+/// the quarantine), then dereferences the stale pointer. Must abort via
+/// the canary in StoreSnapshot::Engine().
+void DriveUseAfterUnpin() {
+  corpus::GeneratorConfig config;
+  config.num_objects = 24;
+  config.num_topics = 3;
+  config.num_users = 12;
+  config.visual_words = 16;
+  config.seed = 99;
+  const corpus::Corpus base =
+      corpus::Generator(config).MakeRetrievalCorpus();
+  const auto dir =
+      std::filesystem::temp_directory_path() / "figdb_lifetime_death";
+  std::filesystem::remove_all(dir);
+  auto store = index::FigDbStore::Create(dir.string(), base);
+  if (!store.ok()) return;  // death test then fails: no abort happened
+  serve::ServingStore serving(std::move(*store), serve::ServeOptions{});
+
+  const serve::StoreSnapshot* stale = nullptr;
+  {
+    auto handle = serving.Acquire();
+    FIGDB_PIN_ESCAPE_OK("seeded use-after-unpin: this escape IS the test");
+    stale = handle.get();
+  }  // pin dies here; `stale` is now a contract violation waiting to fire
+  // figdb-lint: allow(discarded-status): death-test driver — the abort below is the assertion
+  (void)serving.Publish();  // retires + reclaims the snapshot under stale
+  (void)serving.Stats();    // opportunistic sweep, belt and braces
+  (void)stale->Engine();    // poisoned canary: aborts with both sites
+}
+
+TEST(LifetimePoisonTest, UseAfterUnpinAbortsWithBothSites) {
+  // gtest death matchers are POSIX ERE: (.|\n)* is the portable
+  // "anything, across lines". The report must carry the retire site
+  // (serving_store.cpp's RetireObject call) and the dereference site
+  // (the FIGDB_LIFETIME_CHECK in snapshot.hpp's Engine()).
+  EXPECT_DEATH(DriveUseAfterUnpin(),
+               "use-after-reclaim(.|\n)*serving_store.cpp(.|\n)*"
+               "dereferenced at(.|\n)*snapshot.hpp");
+}
+
+#endif  // FIGDB_LIFETIME_POISON
+
+}  // namespace
+}  // namespace figdb::util

@@ -69,13 +69,27 @@ diagnostics and a non-zero exit on any finding:
                          calls while a MutexLock/SharedLock guard is live
                          in the enclosing scope — a blocked lock holder
                          convoys every thread behind that lock.
+  snapshot-escape        A snapshot-derived pointer must not outlive its
+                         reader pin: no storing into members, returning
+                         raw, or capturing into thread/pool lambdas
+                         unless the pin travels with it (SnapshotHandle,
+                         PinnedView). Built cross-TU by
+                         tools/lint/lifetime_graph.py (also runnable
+                         standalone for lifetime_graph.json/.dot).
+  pin-outlived           Snapshot loads need a live ReadGuard in scope
+                         (pin first, load second), and a variable bound
+                         under a pin dies with the pin's scope.
 
 Waivers: a justified exception carries, on the same line or the line
 above:   // figdb-lint: allow(<rule-id>): <reason>
-The reason is mandatory; a waiver without one is itself a finding.
+The reason is mandatory; a waiver without one is itself a finding. The
+lifetime rules also accept the in-language FIGDB_PIN_ESCAPE_OK("reason")
+macro (util/lifetime.hpp), which additionally rejects an empty reason at
+compile time.
 
 Usage:
   tools/lint/figdb_lint.py [-p BUILD_DIR] [--self-test] [--json]
+                           [--sarif PATH]
 
 Exit codes: 0 clean, 1 findings (or self-test failure), 2 internal or
 usage error — stable for CI consumption, as is the --json schema
@@ -98,6 +112,7 @@ import sys
 import tempfile
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lifetime_graph  # noqa: E402  (sibling module, path set above)
 import lock_graph  # noqa: E402  (sibling module, path set above)
 
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
@@ -116,6 +131,8 @@ RULES = (
     "segment-timestamp-monotonicity",
     "lock-order-cycle",
     "blocking-under-lock",
+    "snapshot-escape",
+    "pin-outlived",
 )
 
 WAIVER_RE = re.compile(r"figdb-lint:\s*allow\(([A-Za-z0-9_-]+)\)(:?\s*\S?)")
@@ -291,8 +308,12 @@ def rule_discarded_status(files: list[SourceFile], root: str) -> list[Finding]:
     found = []
     for sf in files:
         rel = rel_of(sf.path, root)
-        if in_dir(rel, "tests") or in_dir(rel, "tools"):
-            continue  # tests assert on statuses their own way
+        if in_dir(rel, "tools"):
+            continue  # lint fixtures seed violations on purpose
+        # tests/ is checked too: a silently dropped Status in test setup
+        # turns the assertions that follow into vacuous passes. Intentional
+        # drops (e.g. exercising an error path for its side effect) carry
+        # a reasoned waiver.
         if not rel.endswith((".cpp", ".cc")):
             continue
         # A file-local `void Name(...)` definition shadows a same-named
@@ -348,8 +369,9 @@ def rule_discarded_status(files: list[SourceFile], root: str) -> list[Finding]:
                         sf.path,
                         lineno,
                         "discarded-status",
-                        "(void)-cast silences a [[nodiscard]] Status "
-                        "outside tests",
+                        "(void)-cast silences a [[nodiscard]] Status — "
+                        "handle it, or waive with the reason the drop "
+                        "is intended",
                     )
                 )
     return found
@@ -366,7 +388,13 @@ def rule_raw_mutex(files: list[SourceFile], root: str) -> list[Finding]:
     found = []
     for sf in files:
         rel = rel_of(sf.path, root)
-        if not in_dir(rel, "src") or in_dir(rel, "src/util"):
+        # tests/ and bench/ are in scope too: an unannotated mutex in a
+        # test harness hides lock-order edges from lock_graph.py and
+        # guarded-by violations from TSA just as surely as one in src/.
+        checked = (
+            in_dir(rel, "src") or in_dir(rel, "tests") or in_dir(rel, "bench")
+        )
+        if not checked or in_dir(rel, "src/util"):
             continue
         found += grep(
             sf,
@@ -800,9 +828,69 @@ def rule_blocking_under_lock(files: list[SourceFile], root: str) -> list[Finding
     return found
 
 
+def _lifetime_findings(
+    files: list[SourceFile], root: str, rule: str
+) -> list[Finding]:
+    """Shared driver for the two lifetime rules: run the cross-TU pass in
+    lifetime_graph.py, keep findings of `rule`, drop comment-waived ones
+    (FIGDB_PIN_ESCAPE_OK waivers are already applied inside the pass)."""
+    graph = lifetime_graph.analyze(files, root)
+    by_rel = {rel_of(sf.path, root): sf for sf in files}
+    found = []
+    for f in graph.findings:
+        if f["rule"] != rule:
+            continue
+        sf = by_rel.get(f["file"])
+        if sf is not None and sf.waived(f["line"], rule):
+            continue
+        found.append(
+            Finding(os.path.join(root, f["file"]), f["line"], rule, f["message"])
+        )
+    return found
+
+
+def rule_snapshot_escape(files: list[SourceFile], root: str) -> list[Finding]:
+    """A pointer derived from a published snapshot is only valid while a
+    reader pin is alive; storing it into a member, returning it raw, or
+    capturing it into a deferred lambda detaches the value from the pin.
+    The FIGDB_LIFETIME_POISON tree catches what slips past this pass —
+    but only on the interleavings the tests happen to drive."""
+    return _lifetime_findings(files, root, "snapshot-escape")
+
+
+def rule_pin_outlived(files: list[SourceFile], root: str) -> list[Finding]:
+    """Pin first, load second — and every use of the loaded pointer stays
+    inside the pin's scope. An unpinned load races reclamation directly;
+    a use after the pin's closing brace races the very next Publish."""
+    return _lifetime_findings(files, root, "pin-outlived")
+
+
+# FIGDB_PIN_ESCAPE_OK with a blanked-out or absent reason. The compiler
+# already rejects an empty string literal (static_assert on its size),
+# so this mostly guards `FIGDB_PIN_ESCAPE_OK()` in headers that a given
+# TU never instantiates — and keeps the contract visible in lint output.
+EMPTY_PIN_WAIVER_RE = re.compile(r'FIGDB_PIN_ESCAPE_OK\s*\(\s*(?:\)|""\s*\))')
+
+
 def rule_bad_waivers(files: list[SourceFile], root: str) -> list[Finding]:
     found = []
     for sf in files:
+        rel = rel_of(sf.path, root)
+        if rel != "src/util/lifetime.hpp":  # the macro's own definition
+            for lineno, line in enumerate(
+                sf.code_with_strings.splitlines(), start=1
+            ):
+                if EMPTY_PIN_WAIVER_RE.search(line):
+                    found.append(
+                        Finding(
+                            sf.path,
+                            lineno,
+                            "waiver",
+                            "FIGDB_PIN_ESCAPE_OK without a reason — every "
+                            "pin-escape waiver must say why the pointer "
+                            "outliving its pin is safe",
+                        )
+                    )
         for lineno in sf.bad_waivers:
             found.append(
                 Finding(
@@ -841,6 +929,8 @@ ALL_RULES = (
     rule_segment_timestamp_monotonicity,
     rule_lock_order_cycle,
     rule_blocking_under_lock,
+    rule_snapshot_escape,
+    rule_pin_outlived,
     rule_bad_waivers,
 )
 
@@ -1121,6 +1211,58 @@ class NoStalls {
 };
 }  // namespace figdb::serve
 """,
+    # A snapshot pointer returned raw: the ReadGuard dies at the closing
+    # brace, the caller dereferences reclaimed (or poisoned) memory.
+    "src/serve/pin_leak.cpp": """\
+#include "serve/serving_store.hpp"
+namespace figdb::serve {
+const StoreSnapshot* PinLeak(const Published& p) {
+  util::EpochReclaimer::ReadGuard guard(p.ebr);
+  const StoreSnapshot* snap = p.current_.load(std::memory_order_seq_cst);
+  return snap;
+}
+}  // namespace figdb::serve
+""",
+    # A load with no pin anywhere in scope races reclamation directly.
+    "src/serve/unpinned_read.cpp": """\
+#include "shard/sharded_store.hpp"
+namespace figdb::serve {
+std::uint64_t UnpinnedRead(const shard::ShardedStore& store) {
+  return store.SnapshotOf(0)->Lsn();
+}
+}  // namespace figdb::serve
+""",
+    # Negative controls for the lifetime rules: the same escapes carrying
+    # the in-language macro waiver and the comment waiver respectively.
+    "src/serve/waived_pin_escape.cpp": """\
+#include "shard/sharded_store.hpp"
+namespace figdb::serve {
+const shard::ShardSnapshot* WaivedPeek(const shard::ShardedStore& store) {
+  FIGDB_PIN_ESCAPE_OK("callers pin via Reclaimer() before loading");
+  return store.SnapshotOf(0);
+}
+}  // namespace figdb::serve
+""",
+    "src/serve/comment_waived_escape.cpp": """\
+#include "shard/sharded_store.hpp"
+namespace figdb::serve {
+const shard::ShardSnapshot* CommentWaived(const shard::ShardedStore& store) {
+  // figdb-lint: allow(snapshot-escape): caller owns a longer-lived pin
+  // figdb-lint: allow(pin-outlived): caller owns a longer-lived pin
+  return store.SnapshotOf(0);
+}
+}  // namespace figdb::serve
+""",
+    # A pin-escape waiver with no reason: the `waiver` rule must reject it
+    # even though no TU ever instantiates the macro to hit static_assert.
+    "src/serve/bad_pin_waiver.cpp": """\
+#include "serve/serving_store.hpp"
+namespace figdb::serve {
+void BadWaiver() {
+  FIGDB_PIN_ESCAPE_OK();
+}
+}  // namespace figdb::serve
+""",
 }
 
 EXPECT_SEEDED = {
@@ -1139,6 +1281,9 @@ EXPECT_SEEDED = {
     ("src/temporal/rogue_append.cpp", "segment-timestamp-monotonicity"),
     ("src/serve/abba_order.cpp", "lock-order-cycle"),
     ("src/serve/blocking_seed.cpp", "blocking-under-lock"),
+    ("src/serve/pin_leak.cpp", "snapshot-escape"),
+    ("src/serve/unpinned_read.cpp", "pin-outlived"),
+    ("src/serve/bad_pin_waiver.cpp", "waiver"),
 }
 
 # Seeds that must NOT produce the paired finding — false-positive guards.
@@ -1154,6 +1299,11 @@ EXPECT_CLEAN = {
     ("src/serve/ordered_pair.cpp", "lock-order-cycle"),
     ("src/serve/waived_abba.cpp", "lock-order-cycle"),
     ("src/serve/blocking_clean.cpp", "blocking-under-lock"),
+    ("src/serve/waived_pin_escape.cpp", "snapshot-escape"),
+    ("src/serve/waived_pin_escape.cpp", "pin-outlived"),
+    ("src/serve/comment_waived_escape.cpp", "snapshot-escape"),
+    ("src/serve/comment_waived_escape.cpp", "pin-outlived"),
+    ("src/serve/waived_pin_escape.cpp", "waiver"),
 }
 
 
@@ -1187,6 +1337,78 @@ def self_test() -> int:
         return 0
 
 
+# One-line rule summaries for the SARIF rules table ("waiver" is the
+# meta-rule findings about waivers themselves are filed under).
+RULE_SUMMARIES = {
+    "discarded-status": "Status/StatusOr results must be handled",
+    "raw-mutex": "use the annotated wrappers in util/thread_annotations.hpp",
+    "raw-new": "raw `new` outside src/util",
+    "snapshot-immutability": "published snapshots stay deeply immutable",
+    "atomic-file-io": "persistence goes through util/file_io atomic writes",
+    "failpoint-registry": "every failpoint is registered and exercised",
+    "raw-randomness": "entropy flows through util::Rng for replayability",
+    "fuzz-entrypoint": "fuzz targets route through shared Check*OneInput",
+    "shard-status-completeness": "sharded answers carry completeness",
+    "deadline-propagation": "deadlines propagate into shard fan-out",
+    "segment-timestamp-monotonicity": "segment appends stay monotonic",
+    "lock-order-cycle": "the cross-TU lock-order graph stays acyclic",
+    "blocking-under-lock": "no sleeps/IO/network under a held lock",
+    "snapshot-escape": "snapshot pointers must not outlive their pin",
+    "pin-outlived": "pin first, load second, use inside the pin's scope",
+    "waiver": "waivers carry a reason and name a known rule",
+}
+
+
+def to_sarif(findings: list[Finding], files_checked: int) -> dict:
+    """SARIF 2.1.0 — the same findings --json carries, in the exchange
+    format code-review UIs ingest. Repo-relative URIs, one run."""
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "figdb-lint",
+                        "informationUri": "tools/lint/figdb_lint.py",
+                        "version": "1.0.0",
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {
+                                    "text": RULE_SUMMARIES[rule]
+                                },
+                            }
+                            for rule in (*RULES, "waiver")
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule,
+                        "level": "error",
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": rel_of(f.path, REPO),
+                                        "uriBaseId": "SRCROOT",
+                                    },
+                                    "region": {"startLine": f.line},
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "properties": {"files_checked": files_checked},
+            }
+        ],
+    }
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -1206,11 +1428,22 @@ def main() -> int:
         help="emit findings as JSON on stdout (stable schema_version 1, "
         "for CI archival alongside BENCH_*.json); exit codes unchanged",
     )
+    ap.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="additionally write findings as SARIF 2.1.0 to PATH (for "
+        "code-review ingestion); composes with --json, exit codes "
+        "unchanged",
+    )
     args = ap.parse_args()
     if args.self_test:
         return self_test()
     files = load_universe(args.build_dir, REPO)
     findings = run_all(files, REPO)
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as f:
+            json.dump(to_sarif(findings, len(files)), f, indent=2, sort_keys=True)
+            f.write("\n")
     if args.json:
         print(
             json.dumps(

@@ -1,0 +1,757 @@
+#!/usr/bin/env python3
+"""lifetime_graph: cross-TU snapshot-escape / pin-outlived analysis.
+
+The static half of the epoch-lifetime safety layer (util/lifetime.hpp's
+poison quarantine is the dynamic half). Every pointer derived from a
+published snapshot is only valid while an EpochReclaimer reader pin is
+alive; this pass reconstructs, lexically and across TUs, where pins are
+held and where snapshot-derived values flow, and flags flows that can
+outlive their pin:
+
+  pins      RAII reader-pin scopes: `EpochReclaimer::ReadGuard g(...)`
+            declarations, `std::make_unique<...ReadGuard>` bound to a
+            variable, and `ServingStore::Acquire()` handles (a
+            SnapshotHandle owns its guard, so the handle variable is both
+            a pin and a tracked value). A variable that RECEIVES a
+            ReadGuard into a container it owns (`view->guards.push_back(
+            make_unique<ReadGuard>(...))`) becomes a PIN CARRIER: values
+            stored next to the pins it carries share their lifetime.
+  bindings  variables bound to snapshot-derived values: loads of the
+            published atomic (`current_.load(...)`, `...current.load`),
+            `SnapshotOf(...)`, `Acquire()`, typed snapshot-pointer
+            declarations/assignments, and pointer/reference derivations
+            off an already-tracked variable.
+  findings  two rules, both wired into figdb_lint.py:
+            snapshot-escape  a tracked value stored into a member,
+                             returned from a function, or captured by a
+                             lambda handed to a thread/pool/deferred sink
+                             — unless the escaping statement also carries
+                             a pin (SnapshotHandle construction) or the
+                             destination is a pin carrier (PinnedView).
+            pin-outlived     a snapshot load with no live pin in scope,
+                             or a use of a tracked variable after the pin
+                             it was bound under has left scope.
+
+Waiver: FIGDB_PIN_ESCAPE_OK("reason") on the flagged line or up to three
+lines above (util/lifetime.hpp also rejects an empty reason at compile
+time). figdb-lint's comment waivers (`// figdb-lint: allow(rule): why`)
+work as everywhere else.
+
+Like lock_graph.py this is a lexical pass on purpose: no compiler, runs
+in milliseconds on every build. What lexical analysis cannot see —
+pointers laundered through containers, fields, or call chains — is
+exactly what the FIGDB_LIFETIME_POISON tree catches at run time.
+
+Standalone usage (figdb_lint.py also imports this module as two rules):
+  tools/lint/lifetime_graph.py [--root DIR] [--json-out F] [--dot-out F]
+                               [--self-test]
+Exit codes: 0 clean, 1 findings (or self-test failure), 2 internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+import tempfile
+
+# The reclaimer/canary implementation defines the vocabulary this pass
+# greps for; scanning it would hallucinate pins out of the definitions.
+SKIP_FILES = {
+    "src/util/epoch.hpp",
+    "src/util/epoch.cpp",
+    "src/util/lifetime.hpp",
+    "src/util/lifetime.cpp",
+}
+
+# --- pins ------------------------------------------------------------------
+PIN_DECL_RE = re.compile(
+    r"\b(?:util::)?EpochReclaimer::ReadGuard\s+(\w+)\s*[({]"
+)
+PIN_UNIQUE_RE = re.compile(
+    r"std::make_unique<\s*(?:util::)?EpochReclaimer::ReadGuard\s*>"
+)
+PIN_UNIQUE_BIND_RE = re.compile(
+    r"\b(?:auto|std::unique_ptr<[^;=]*>)\s*(\w+)\s*=\s*"
+    r"std::make_unique<\s*(?:util::)?EpochReclaimer::ReadGuard\s*>"
+)
+# `view->guards.push_back(make_unique<ReadGuard>(...))`: `view` carries
+# the pin from here on.
+PIN_CARRIER_RE = re.compile(
+    r"\b(\w+)\s*(?:\.|->)[\w.\->\[\]]*?(?:push_back|emplace_back)\s*\(\s*"
+    r"std::make_unique<\s*(?:util::)?EpochReclaimer::ReadGuard\s*>"
+)
+
+# --- snapshot sources ------------------------------------------------------
+# Reader-side loads only: `.exchange(...)` is the writer swapping a
+# snapshot OUT (the retire path), not a reader acquiring one.
+SOURCE_RES = (
+    ("load", re.compile(r"\bcurrent_?\s*\.\s*load\s*\(")),
+    ("snapshot-of", re.compile(r"(?:\.|->)\s*SnapshotOf\s*\(")),
+    ("acquire", re.compile(r"(?:\.|->)\s*Acquire\s*\(\s*\)")),
+)
+# Acquire returns a self-pinning handle: its binding is a pin, and the
+# source expression needs no surrounding pin of its own.
+SELF_PINNING = {"acquire"}
+
+SNAPSHOT_TYPE_RE = r"(?:Store|Shard)Snapshot"
+# `const StoreSnapshot* snap = <expr>` — typed pointer/reference binding.
+TYPED_BIND_RE = re.compile(
+    r"\b(?:const\s+)?[\w:]*" + SNAPSHOT_TYPE_RE + r"\s*[*&]\s*(\w+)\s*=\s*(.+)"
+)
+# `const StoreSnapshot* snap = nullptr;` / bare declaration: registers the
+# variable's scope depth so a later assignment-bind can outlive blocks.
+TYPED_DECL_RE = re.compile(
+    r"\b(?:const\s+)?[\w:]*" + SNAPSHOT_TYPE_RE + r"\s*\*\s*(\w+)\s*(?:=\s*nullptr\s*)?;"
+)
+# `auto handle = <expr>` — tracked only if the RHS contains a source.
+AUTO_BIND_RE = re.compile(r"\bauto\s*[&*]?\s*(\w+)\s*=\s*(.+)")
+# `snap = current_.load(...)` — rebinding an existing variable.
+ASSIGN_BIND_RE = re.compile(r"^\s*(\w+)\s*=\s*(.+)")
+
+# --- escapes ---------------------------------------------------------------
+# `cached_ = snap;` / `this->last_ = ...` — member-store by the `name_`
+# convention every figdb member follows.
+MEMBER_STORE_RE = re.compile(r"(?:this->)?\b(\w+_)\s*=\s*")
+# `owner->snaps.push_back(<expr>)` — container store; group 1 is the
+# owning object (sanctioned when it is a pin carrier).
+CONTAINER_STORE_RE = re.compile(
+    r"\b(\w+)\s*(?:\.|->)[\w.\->\[\]]*?(?:push_back|emplace_back|insert|assign)\s*\("
+)
+RETURN_RE = re.compile(r"^\s*return\b")
+# Statements that hand a lambda to something that may outlive the scope.
+ASYNC_SINK_RE = re.compile(
+    r"std::thread\b|std::async\b|(?:\.|->)\s*(?:Submit|ParallelFor|Retire|Detach|detach)\s*\("
+)
+
+MACRO_WAIVER_RE = re.compile(r'FIGDB_PIN_ESCAPE_OK\s*\(\s*"([^"]*)"\s*\)')
+MACRO_ANY_RE = re.compile(r"FIGDB_PIN_ESCAPE_OK\s*\(")
+# A waiver covers its own line plus the next three (wrapped statements).
+MACRO_WAIVER_REACH = 3
+
+
+def escaping_sources(stmt: str) -> list[str]:
+    """Source expressions whose RESULT can leave the statement as a
+    pointer. `current_.load(...)->Epoch()` dereferences in place — only a
+    value extracted under the statement's own pin travels, never the
+    pointer — so immediately-dereferenced sources don't count."""
+    out = []
+    for kind, pat in SOURCE_RES:
+        for m in pat.finditer(stmt):
+            i = stmt.find("(", m.end() - 1)
+            if i < 0:
+                continue
+            depth = 0
+            while i < len(stmt):
+                if stmt[i] == "(":
+                    depth += 1
+                elif stmt[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            rest = stmt[i + 1 :].lstrip()
+            if not (rest.startswith("->") or rest.startswith(".")):
+                out.append(kind)
+                break
+    return out
+
+
+def bare_use_re(var: str) -> re.Pattern:
+    """A mention of `var` as a whole value — not the receiver of a member
+    access or call, which extracts FROM the snapshot rather than moving
+    the pointer itself."""
+    return re.compile(r"\b" + re.escape(var) + r"\b(?!\s*(?:\.|->|\(|_))")
+
+
+def any_use_re(var: str) -> re.Pattern:
+    return re.compile(r"\b" + re.escape(var) + r"\b")
+
+
+class Graph:
+    """Everything the pass learned: pins, bindings, findings, waivers."""
+
+    def __init__(self):
+        # [{"file", "line", "var", "kind"}] kind: guard|handle|carrier
+        self.pins: list[dict] = []
+        # [{"file", "line", "var", "source", "pin"}] pin: var name or None
+        self.bindings: list[dict] = []
+        # [{"file", "line", "rule", "message"}]
+        self.findings: list[dict] = []
+        # [{"file", "line", "reason"}] — FIGDB_PIN_ESCAPE_OK sites
+        self.waivers: list[dict] = []
+        # escapes sanctioned by a co-located pin (kept for the artifacts:
+        # they are the sanctioned hand-off points reviewers care about)
+        self.sanctioned: list[dict] = []
+        self.files_scanned = 0
+
+
+def scan_file(graph: Graph, rel: str, text: str) -> None:
+    """One brace-depth walk over a comment-stripped file. Line-oriented:
+    each statement is analyzed joined to its ';' (bounded look-ahead), on
+    the line where it starts; continuation lines only update depth."""
+    lines = text.splitlines()
+
+    waive_until: dict[int, str] = {}  # line -> reason, from macro waivers
+    for lineno, line in enumerate(lines, start=1):
+        m = MACRO_WAIVER_RE.search(line)
+        if m:
+            graph.waivers.append(
+                {"file": rel, "line": lineno, "reason": m.group(1)}
+            )
+            for covered in range(lineno, lineno + MACRO_WAIVER_REACH + 1):
+                waive_until[covered] = m.group(1)
+        elif MACRO_ANY_RE.search(line):
+            # Reason blanked or malformed; still positionally a waiver —
+            # figdb_lint's `waiver` rule rejects the missing reason.
+            graph.waivers.append({"file": rel, "line": lineno, "reason": ""})
+            for covered in range(lineno, lineno + MACRO_WAIVER_REACH + 1):
+                waive_until[covered] = ""
+
+    depth = 0
+    # var -> {"depth", "line", "pin"(var|None), "stale_line"(int|None)}
+    tracked: dict[str, dict] = {}
+    # var -> {"depth", "line", "kind"} for live pins/carriers
+    pins: dict[str, dict] = {}
+    # typed snapshot-pointer declarations awaiting a later assignment-bind
+    declared: dict[str, int] = {}
+    prev_code = ";"  # last non-blank stripped line (for continuations)
+
+    def live_pin() -> str | None:
+        return next(iter(pins), None)
+
+    def emit(lineno: int, rule: str, message: str) -> None:
+        if lineno in waive_until:
+            return
+        graph.findings.append(
+            {"file": rel, "line": lineno, "rule": rule, "message": message}
+        )
+
+    def stmt_mentions_pin(stmt: str) -> str | None:
+        for var in pins:
+            if any_use_re(var).search(stmt):
+                return var
+        return None
+
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        is_continuation = bool(prev_code) and not prev_code.endswith(
+            (";", "{", "}", ":", ">")
+        ) and not prev_code.startswith("#")
+        if stripped:
+            prev_code = stripped
+
+        if stripped and not is_continuation:
+            stmt = line
+            for follow in lines[lineno : lineno + 4]:
+                if ";" in stmt or "{" in stmt:
+                    break
+                stmt += " " + follow
+
+            sources = [
+                kind for kind, pat in SOURCE_RES if pat.search(stmt)
+            ]
+
+            # --- pins -------------------------------------------------
+            pm = PIN_DECL_RE.search(stmt)
+            if pm and pm.group(1) != "ReadGuard":
+                pins[pm.group(1)] = {
+                    "depth": depth, "line": lineno, "kind": "guard"
+                }
+                graph.pins.append(
+                    {"file": rel, "line": lineno, "var": pm.group(1),
+                     "kind": "guard"}
+                )
+            um = PIN_UNIQUE_BIND_RE.search(stmt)
+            if um:
+                pins[um.group(1)] = {
+                    "depth": depth, "line": lineno, "kind": "guard"
+                }
+                graph.pins.append(
+                    {"file": rel, "line": lineno, "var": um.group(1),
+                     "kind": "guard"}
+                )
+            cm = PIN_CARRIER_RE.search(stmt)
+            if cm:
+                pins[cm.group(1)] = {
+                    "depth": depth, "line": lineno, "kind": "carrier"
+                }
+                graph.pins.append(
+                    {"file": rel, "line": lineno, "var": cm.group(1),
+                     "kind": "carrier"}
+                )
+
+            # --- stale / unpinned uses --------------------------------
+            for var, info in tracked.items():
+                if info.get("stale") and any_use_re(var).search(stmt):
+                    emit(
+                        lineno,
+                        "pin-outlived",
+                        f"use of '{var}' after its reader pin left scope "
+                        f"(pinned binding at line {info['line']}) — the "
+                        "snapshot may already be reclaimed; widen the "
+                        "pin's scope to cover every use",
+                    )
+                    info["stale"] = False  # one finding per escape site
+
+            unpinned_source = [
+                k for k in sources if k not in SELF_PINNING
+            ] and live_pin() is None and not cm
+            if unpinned_source and not stmt_mentions_pin(stmt):
+                emit(
+                    lineno,
+                    "pin-outlived",
+                    "snapshot pointer loaded with no live reader pin in "
+                    "scope — construct util::EpochReclaimer::ReadGuard "
+                    "(pin first, load second) so reclamation cannot race "
+                    "this read",
+                )
+
+            # --- bindings ---------------------------------------------
+            bound_var = None
+            tm = TYPED_BIND_RE.search(stmt)
+            am = AUTO_BIND_RE.search(stmt)
+            sm = ASSIGN_BIND_RE.match(stmt)
+            rhs_tracked = [
+                v for v in tracked
+                if not tracked[v].get("stale") and bare_use_re(v).search(stmt)
+            ]
+            if tm and (sources or rhs_tracked):
+                bound_var = tm.group(1)
+                bind_depth = depth
+            elif am and sources:
+                bound_var = am.group(1)
+                bind_depth = depth
+            elif sm and sm.group(1) in declared and (sources or rhs_tracked):
+                bound_var = sm.group(1)
+                bind_depth = declared[sm.group(1)]
+            if bound_var:
+                is_handle = "acquire" in sources
+                tracked[bound_var] = {
+                    "depth": bind_depth,
+                    "line": lineno,
+                    "pin": bound_var if is_handle else live_pin(),
+                    "stale": False,
+                }
+                if is_handle:
+                    pins[bound_var] = {
+                        "depth": depth, "line": lineno, "kind": "handle"
+                    }
+                    graph.pins.append(
+                        {"file": rel, "line": lineno, "var": bound_var,
+                         "kind": "handle"}
+                    )
+                graph.bindings.append(
+                    {
+                        "file": rel,
+                        "line": lineno,
+                        "var": bound_var,
+                        "source": (sources + ["derived"])[0],
+                        "pin": tracked[bound_var]["pin"],
+                    }
+                )
+            dm = TYPED_DECL_RE.search(stmt)
+            if dm:
+                declared[dm.group(1)] = depth
+
+            # --- escapes ----------------------------------------------
+            escaping = rhs_tracked if not bound_var else [
+                v for v in rhs_tracked if v != bound_var
+            ]
+            escape_payload = bool(escaping) or bool(
+                [k for k in escaping_sources(stmt) if k not in SELF_PINNING]
+            )
+            what = (
+                f"snapshot-derived value '{escaping[0]}'" if escaping
+                else "a snapshot-derived value"
+            )
+            pin_on_stmt = stmt_mentions_pin(stmt)
+
+            msm = MEMBER_STORE_RE.search(stmt)
+            csm = CONTAINER_STORE_RE.search(stmt)
+            if escape_payload and msm and not bound_var:
+                emit(
+                    lineno,
+                    "snapshot-escape",
+                    f"{what} stored into member '{msm.group(1)}', which "
+                    "outlives the reader pin — keep it in a structure "
+                    "that also owns the pin (SnapshotHandle / a pinned "
+                    "view), or waive with FIGDB_PIN_ESCAPE_OK(reason)",
+                )
+            elif escape_payload and csm and not cm:
+                owner = csm.group(1)
+                if pins.get(owner, {}).get("kind") == "carrier":
+                    graph.sanctioned.append(
+                        {"file": rel, "line": lineno, "owner": owner,
+                         "kind": "carrier-store"}
+                    )
+                else:
+                    emit(
+                        lineno,
+                        "snapshot-escape",
+                        f"{what} stored into container owned by "
+                        f"'{owner}', which does not carry the reader pin "
+                        "— store the ReadGuard in the same structure "
+                        "first (PinnedView pattern), or waive with "
+                        "FIGDB_PIN_ESCAPE_OK(reason)",
+                    )
+            elif escape_payload and RETURN_RE.search(stmt):
+                if pin_on_stmt:
+                    graph.sanctioned.append(
+                        {"file": rel, "line": lineno, "owner": pin_on_stmt,
+                         "kind": "return-with-pin"}
+                    )
+                else:
+                    emit(
+                        lineno,
+                        "snapshot-escape",
+                        f"{what} returned while its reader pin dies at "
+                        "scope exit — return a pin-owning handle "
+                        "(ServingStore::Acquire style) instead, or waive "
+                        "with FIGDB_PIN_ESCAPE_OK(reason)",
+                    )
+            elif escaping and ASYNC_SINK_RE.search(stmt):
+                if pin_on_stmt:
+                    graph.sanctioned.append(
+                        {"file": rel, "line": lineno, "owner": pin_on_stmt,
+                         "kind": "async-with-pin"}
+                    )
+                else:
+                    emit(
+                        lineno,
+                        "snapshot-escape",
+                        f"{what} captured by a lambda handed to a "
+                        "thread/pool/deferred sink that can outlive the "
+                        "pin scope — capture a pin-owning handle or a "
+                        "pinned view instead, or waive with "
+                        "FIGDB_PIN_ESCAPE_OK(reason)",
+                    )
+
+        # --- scope bookkeeping (every line, continuations included) ---
+        for ch in line:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                dead_pins = [
+                    v for v, p in pins.items() if p["depth"] > depth
+                ]
+                for v in dead_pins:
+                    del pins[v]
+                if dead_pins:
+                    for var, info in tracked.items():
+                        if (
+                            info["pin"] in dead_pins
+                            and info["depth"] <= depth
+                        ):
+                            info["stale"] = True
+                tracked = {
+                    v: i for v, i in tracked.items() if i["depth"] <= depth
+                }
+                declared = {
+                    v: d for v, d in declared.items() if d <= depth
+                }
+
+
+def analyze(files, root: str) -> Graph:
+    """Builds the lifetime graph from SourceFile-like objects (need .path
+    and .code). Only src/ participates: the production pin discipline is
+    the contract; tests seed deliberate violations."""
+    graph = Graph()
+    for sf in sorted(files, key=lambda s: s.path):
+        rel = os.path.relpath(sf.path, root).replace(os.sep, "/")
+        if not rel.startswith("src/") or rel in SKIP_FILES:
+            continue
+        if not rel.endswith((".hpp", ".cpp", ".h", ".cc")):
+            continue
+        text = getattr(sf, "code_with_strings", None) or sf.code
+        scan_file(graph, rel, text)
+        graph.files_scanned += 1
+    return graph
+
+
+def to_json(graph: Graph) -> dict:
+    return {
+        "schema_version": 1,
+        "pins": graph.pins,
+        "bindings": graph.bindings,
+        "findings": graph.findings,
+        "sanctioned_escapes": graph.sanctioned,
+        "waivers": graph.waivers,
+        "summary": {
+            "files_scanned": graph.files_scanned,
+            "pins": len(graph.pins),
+            "bindings": len(graph.bindings),
+            "findings": len(graph.findings),
+        },
+    }
+
+
+def to_dot(graph: Graph) -> str:
+    """Pins as boxes, bindings as edges pin -> var, findings in red."""
+    out = ["digraph figdb_lifetime {", "  rankdir=LR;"]
+    for p in graph.pins:
+        label = f"{p['var']}\\n{p['file']}:{p['line']}"
+        out.append(
+            f'  "pin:{p["file"]}:{p["line"]}" '
+            f'[shape=box, label="{label}", color=blue];'
+        )
+    for b in graph.bindings:
+        label = f"{b['var']}\\n{b['file']}:{b['line']}"
+        node = f'bind:{b["file"]}:{b["line"]}'
+        out.append(f'  "{node}" [label="{label}"];')
+        if b["pin"]:
+            pin_sites = [
+                p for p in graph.pins
+                if p["file"] == b["file"] and p["var"] == b["pin"]
+                and p["line"] <= b["line"]
+            ]
+            if pin_sites:
+                p = pin_sites[-1]
+                out.append(
+                    f'  "pin:{p["file"]}:{p["line"]}" -> "{node}";'
+                )
+    for i, f in enumerate(graph.findings):
+        label = f"{f['rule']}\\n{f['file']}:{f['line']}"
+        out.append(
+            f'  "finding:{i}" [shape=octagon, label="{label}", '
+            "color=red, fontcolor=red];"
+        )
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+# --------------------------------------------------------------------------
+# Self-test: seeded escape/outlived fixtures plus clean and waived
+# counterparts, mirroring figdb_lint's EXPECT_SEEDED / EXPECT_CLEAN split.
+# --------------------------------------------------------------------------
+
+SELF_TEST_SEEDS = {
+    # A pinned load whose result is parked in a member: the member
+    # outlives the guard, so this is the canonical snapshot-escape.
+    "src/serve/escape_member.cpp": """\
+#include "serve/serving_store.hpp"
+namespace figdb::serve {
+class WarmCache {
+ public:
+  void Warm() {
+    util::EpochReclaimer::ReadGuard guard(ebr_);
+    const StoreSnapshot* snap = current_.load(std::memory_order_seq_cst);
+    cached_ = snap;  // escapes the pin
+  }
+ private:
+  util::EpochReclaimer ebr_;
+  std::atomic<const StoreSnapshot*> current_;
+  const StoreSnapshot* cached_ = nullptr;
+};
+}  // namespace figdb::serve
+""",
+    # Returning the raw pointer: the pin dies at the closing brace.
+    "src/serve/escape_return.cpp": """\
+#include "serve/serving_store.hpp"
+namespace figdb::serve {
+const StoreSnapshot* Leak(const Published& p) {
+  util::EpochReclaimer::ReadGuard guard(p.ebr);
+  const StoreSnapshot* snap = p.current_.load(std::memory_order_seq_cst);
+  return snap;  // escapes the pin
+}
+}  // namespace figdb::serve
+""",
+    # Captured by a pool task that may run after the guard is gone.
+    "src/serve/escape_lambda.cpp": """\
+#include "serve/serving_store.hpp"
+namespace figdb::serve {
+void Fan(util::ThreadPool& pool, const Published& p) {
+  util::EpochReclaimer::ReadGuard guard(p.ebr);
+  const StoreSnapshot* snap = p.current_.load(std::memory_order_seq_cst);
+  pool.Submit([snap] { snap->Engine(); });  // outlives the pin
+}
+}  // namespace figdb::serve
+""",
+    # Bound under a pin in an inner block, used after the block closed.
+    "src/serve/outlived_use.cpp": """\
+#include "serve/serving_store.hpp"
+namespace figdb::serve {
+void Stale(const Published& p) {
+  const StoreSnapshot* snap = nullptr;
+  {
+    util::EpochReclaimer::ReadGuard guard(p.ebr);
+    snap = p.current_.load(std::memory_order_seq_cst);
+  }
+  snap->Engine();  // the pin died at the brace above
+}
+}  // namespace figdb::serve
+""",
+    # A load with no pin anywhere in scope.
+    "src/serve/unpinned_load.cpp": """\
+#include "shard/sharded_store.hpp"
+namespace figdb::serve {
+std::uint64_t Hot(const shard::ShardedStore& store) {
+  return store.SnapshotOf(0)->Lsn();  // no ReadGuard in scope
+}
+}  // namespace figdb::serve
+""",
+    # Clean: pin first, load second, every use inside the pin's scope.
+    "src/serve/clean_pinned.cpp": """\
+#include "serve/serving_store.hpp"
+namespace figdb::serve {
+void Serve(const Published& p) {
+  util::EpochReclaimer::ReadGuard guard(p.ebr);
+  const StoreSnapshot* snap = p.current_.load(std::memory_order_seq_cst);
+  Use(snap->Engine());
+  Use(snap->Lsn());
+}
+}  // namespace figdb::serve
+""",
+    # Clean: the sanctioned hand-off — pointer and guard escape together
+    # inside one handle, so the pin travels with the value.
+    "src/serve/handle_return.cpp": """\
+#include "serve/serving_store.hpp"
+namespace figdb::serve {
+SnapshotHandle AcquireLike(const Published& p) {
+  auto guard = std::make_unique<util::EpochReclaimer::ReadGuard>(p.ebr);
+  const StoreSnapshot* snap = p.current_.load(std::memory_order_seq_cst);
+  return SnapshotHandle(std::move(guard), snap);
+}
+}  // namespace figdb::serve
+""",
+    # Clean: the PinnedView pattern — the container receives the guards
+    # FIRST, making it a pin carrier; snapshots stored next to them are
+    # covered for exactly as long as the pins are.
+    "src/serve/carrier_view.cpp": """\
+#include "shard/sharded_store.hpp"
+namespace figdb::serve {
+void Gather(const shard::ShardedStore& store) {
+  auto view = std::make_shared<PinnedView>();
+  for (std::uint32_t s = 0; s < store.NumShards(); ++s) {
+    view->guards.push_back(std::make_unique<util::EpochReclaimer::ReadGuard>(
+        store.Reclaimer()));
+    view->snaps.push_back(store.SnapshotOf(s));
+  }
+}
+}  // namespace figdb::serve
+""",
+    # Clean: an explicitly waived escape (the documented reader contract).
+    "src/serve/waived_escape.cpp": """\
+#include "shard/sharded_store.hpp"
+namespace figdb::serve {
+const shard::ShardSnapshot* Peek(const shard::ShardedStore& store) {
+  FIGDB_PIN_ESCAPE_OK("callers pin via Reclaimer() before loading");
+  return store.SnapshotOf(0);
+}
+}  // namespace figdb::serve
+""",
+}
+
+EXPECT_SEEDED = {
+    ("src/serve/escape_member.cpp", "snapshot-escape"),
+    ("src/serve/escape_return.cpp", "snapshot-escape"),
+    ("src/serve/escape_lambda.cpp", "snapshot-escape"),
+    ("src/serve/outlived_use.cpp", "pin-outlived"),
+    ("src/serve/unpinned_load.cpp", "pin-outlived"),
+}
+
+EXPECT_CLEAN = {
+    "src/serve/clean_pinned.cpp",
+    "src/serve/handle_return.cpp",
+    "src/serve/carrier_view.cpp",
+    "src/serve/waived_escape.cpp",
+}
+
+
+def self_test() -> int:
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import figdb_lint
+
+    with tempfile.TemporaryDirectory(prefix="figdb-lifetime-selftest-") as tmp:
+        for rel, content in SELF_TEST_SEEDS.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        files = [
+            figdb_lint.SourceFile(os.path.join(dirpath, name))
+            for dirpath, _, names in os.walk(tmp)
+            for name in sorted(names)
+        ]
+        graph = analyze(files, tmp)
+        got = {(f["file"], f["rule"]) for f in graph.findings}
+        missing = EXPECT_SEEDED - got
+        dirty = {
+            (f["file"], f["rule"])
+            for f in graph.findings
+            if f["file"] in EXPECT_CLEAN
+        }
+        if missing or dirty:
+            print("lifetime-graph: SELF-TEST FAILED")
+            for rel, rule in sorted(missing):
+                print(f"  {rel}: expected a [{rule}] finding, got none")
+            for rel, rule in sorted(dirty):
+                print(f"  {rel}: unexpected [{rule}] finding on a clean seed")
+            return 1
+        print(
+            f"lifetime-graph: self-test ok ({len(graph.findings)} seeded "
+            f"findings, all {len(EXPECT_SEEDED)} expectations hit, "
+            f"{len(EXPECT_CLEAN)} clean fixtures clean)"
+        )
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--root",
+        default=os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        ),
+        help="repository root (default: this script's repo)",
+    )
+    ap.add_argument("--json-out", help="write the lifetime graph as JSON here")
+    ap.add_argument("--dot-out", help="write a Graphviz DOT rendering here")
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the rules fire on seeded fixtures, then exit",
+    )
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import figdb_lint
+
+    files = []
+    src = os.path.join(args.root, "src")
+    for dirpath, _, names in os.walk(src):
+        for name in sorted(names):
+            if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                files.append(figdb_lint.SourceFile(os.path.join(dirpath, name)))
+    graph = analyze(files, args.root)
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(to_json(graph), f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.dot_out:
+        with open(args.dot_out, "w", encoding="utf-8") as f:
+            f.write(to_dot(graph))
+
+    print(
+        f"lifetime-graph: {graph.files_scanned} files, {len(graph.pins)} "
+        f"pins, {len(graph.bindings)} bindings, "
+        f"{len(graph.sanctioned)} sanctioned escapes, "
+        f"{len(graph.waivers)} waivers, {len(graph.findings)} finding(s)"
+    )
+    for f in graph.findings:
+        print(f"  {f['file']}:{f['line']}: [{f['rule']}] {f['message']}")
+    return 1 if graph.findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except Exception as exc:  # stable exit-code contract: 2 = tool error
+        print(f"lifetime-graph: internal error: {exc}", file=sys.stderr)
+        sys.exit(2)

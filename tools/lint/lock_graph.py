@@ -36,7 +36,13 @@ function pointers, and data-dependent paths.
 
 Standalone usage (figdb_lint.py also imports this module as a rule):
   tools/lint/lock_graph.py [--root DIR] [--json-out F] [--dot-out F]
-Exit 1 when the graph has an unwaived cycle, else 0.
+                           [--self-test]
+Exit codes: 0 acyclic (or self-test pass), 1 cycle found (or self-test
+failure), 2 internal error — the same contract figdb_lint.py keeps.
+--self-test seeds a deliberate ABBA inversion and an ordered pair into a
+temp tree and requires exactly the cycle (and only the cycle) to be
+found, so ci/check.sh proves the detector's teeth before trusting a
+clean report.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ import json
 import os
 import re
 import sys
+import tempfile
 
 # The wrapper/detector implementation files define the vocabulary this
 # pass greps for; scanning them would hallucinate nodes out of the class
@@ -371,6 +378,102 @@ def to_dot(graph: Graph) -> str:
     return "\n".join(out) + "\n"
 
 
+# --------------------------------------------------------------------------
+# Self-test fixtures: one deliberate ABBA inversion (must yield exactly one
+# cycle through its two roles) and one consistently ordered pair (must
+# contribute edges but no cycle).
+# --------------------------------------------------------------------------
+
+SELF_TEST_SEEDS = {
+    "src/serve/abba_seed.cpp": """\
+#include "util/thread_annotations.hpp"
+namespace figdb::serve {
+class AbbaSeed {
+ public:
+  void Forward() {
+    util::MutexLock first(alpha_);
+    util::MutexLock second(beta_);
+  }
+  void Backward() {
+    util::MutexLock first(beta_);
+    util::MutexLock second(alpha_);
+  }
+
+ private:
+  util::Mutex alpha_{"selftest.Abba.alpha"};
+  util::Mutex beta_{"selftest.Abba.beta"};
+};
+}  // namespace figdb::serve
+""",
+    "src/serve/ordered_seed.cpp": """\
+#include "util/thread_annotations.hpp"
+namespace figdb::serve {
+class OrderedSeed {
+ public:
+  void Publish() {
+    util::MutexLock first(outer_);
+    util::MutexLock second(inner_);
+  }
+  void Drain() {
+    util::MutexLock first(outer_);
+    util::MutexLock second(inner_);
+  }
+
+ private:
+  util::Mutex outer_{"selftest.Ordered.outer"};
+  util::Mutex inner_{"selftest.Ordered.inner"};
+};
+}  // namespace figdb::serve
+""",
+}
+
+
+def self_test() -> int:
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import figdb_lint
+
+    with tempfile.TemporaryDirectory(prefix="figdb-lockgraph-selftest-") as tmp:
+        for rel, content in SELF_TEST_SEEDS.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        files = [
+            figdb_lint.SourceFile(os.path.join(dirpath, name))
+            for dirpath, _, names in os.walk(tmp)
+            for name in sorted(names)
+        ]
+        graph = analyze(files, tmp)
+        cycles = graph.cycles()
+        errors = []
+        abba = [
+            c for c in cycles
+            if {n.split(".")[-1] for n in c} >= {"alpha", "beta"}
+            or any("Abba" in n for n in c)
+        ]
+        if not abba:
+            errors.append(
+                "expected the seeded ABBA inversion to form a cycle, got none"
+            )
+        ordered = [c for c in cycles if any("Ordered" in n for n in c)]
+        if ordered:
+            errors.append(
+                f"ordered no-cycle seed appeared in a cycle: {ordered[0]}"
+            )
+        if len(cycles) != len(abba):
+            errors.append(f"unexpected extra cycles: {cycles}")
+        if errors:
+            print("lock-graph: SELF-TEST FAILED")
+            for e in errors:
+                print(f"  {e}")
+            return 1
+        print(
+            f"lock-graph: self-test ok ({len(graph.nodes)} seeded locks, "
+            f"{len(graph.edges)} edges, exactly the seeded ABBA cycle found)"
+        )
+        return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -382,7 +485,14 @@ def main() -> int:
     )
     ap.add_argument("--json-out", help="write the graph as JSON here")
     ap.add_argument("--dot-out", help="write a Graphviz DOT rendering here")
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify cycle detection on seeded fixtures, then exit",
+    )
     args = ap.parse_args()
+    if args.self_test:
+        return self_test()
 
     # Deferred import: figdb_lint imports this module at top level, so the
     # reverse import lives inside main() to keep module load acyclic —
@@ -424,4 +534,8 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except Exception as exc:  # stable exit-code contract: 2 = tool error
+        print(f"lock-graph: internal error: {exc}", file=sys.stderr)
+        sys.exit(2)
